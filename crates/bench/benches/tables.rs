@@ -1,0 +1,124 @@
+//! One bench per table and figure: how fast each analysis + rendering
+//! stage regenerates its artifact from a collected dataset, plus the full
+//! end-to-end study.
+//!
+//! The datasets are collected once (outside the timing loops); the benches
+//! measure the per-table inference work, which is the part a user re-runs
+//! while exploring data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use tft_core::report::{figures, tables};
+use tft_core::{analysis, StudyConfig};
+
+struct Fixture {
+    run: tft_bench::HarnessRun,
+    cfg: StudyConfig,
+    world: proxynet::World,
+}
+
+fn fixture() -> &'static Fixture {
+    use std::sync::OnceLock;
+    static FIXTURE: OnceLock<Fixture> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let scale = 0.01;
+        let run = tft_bench::run_full(scale, 0xBE7C);
+        // A second world for re-running analyses (the run consumed its own).
+        let built = worldgen::build(&worldgen::paper_spec(scale, 0xBE7C));
+        Fixture {
+            run,
+            cfg: StudyConfig::scaled(scale),
+            world: built.world,
+        }
+    })
+}
+
+fn bench_study(c: &mut Criterion) {
+    let mut g = c.benchmark_group("study");
+    g.sample_size(10);
+    g.bench_function("end_to_end_scale_0.004", |b| {
+        b.iter(|| black_box(tft_bench::run_full(0.004, 0xEE)))
+    });
+    g.finish();
+}
+
+fn bench_tables(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("tables");
+    g.bench_function("table1_coverage", |b| {
+        b.iter(|| black_box(tables::table1(&f.run.report)))
+    });
+    g.bench_function("table2_experiments", |b| {
+        b.iter(|| black_box(tables::table2(&f.run.report)))
+    });
+    g.bench_function("table3_dns_country", |b| {
+        b.iter(|| {
+            let a = analysis::dns::analyze(&f.run.report.dns_data, &f.world, &f.cfg);
+            black_box(tables::table3(&a))
+        })
+    });
+    g.bench_function("table4_isp_dns", |b| {
+        b.iter(|| {
+            let a = analysis::dns::analyze(&f.run.report.dns_data, &f.world, &f.cfg);
+            black_box(tables::table4(&a))
+        })
+    });
+    g.bench_function("table5_google_dns", |b| {
+        b.iter(|| {
+            let a = analysis::dns::analyze(&f.run.report.dns_data, &f.world, &f.cfg);
+            black_box(tables::table5(&a))
+        })
+    });
+    g.bench_function("table6_js_injection", |b| {
+        b.iter(|| {
+            let a = analysis::http::analyze(&f.run.report.http_data, &f.world, &f.cfg);
+            black_box(tables::table6(&a))
+        })
+    });
+    g.bench_function("table7_image", |b| {
+        b.iter(|| {
+            let a = analysis::http::analyze(&f.run.report.http_data, &f.world, &f.cfg);
+            black_box(tables::table7(&a))
+        })
+    });
+    g.bench_function("table8_issuers", |b| {
+        b.iter(|| {
+            let a = analysis::https::analyze(&f.run.report.https_data, &f.world, &f.cfg);
+            black_box(tables::table8(&a))
+        })
+    });
+    g.bench_function("table9_monitors", |b| {
+        b.iter(|| {
+            let a = analysis::monitor::analyze(&f.run.report.monitor_data, &f.world, &f.cfg);
+            black_box(tables::table9(&a))
+        })
+    });
+    g.finish();
+}
+
+fn bench_figures(c: &mut Criterion) {
+    let f = fixture();
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("figure5_delay_cdf", |b| {
+        b.iter(|| {
+            let a = analysis::monitor::analyze(&f.run.report.monitor_data, &f.world, &f.cfg);
+            black_box(figures::figure5(&a))
+        })
+    });
+    g.sample_size(20);
+    g.bench_function("figures_1_to_4_timelines", |b| {
+        b.iter(|| {
+            let mut world = figures::demo_world();
+            black_box((
+                figures::figure1(&mut world),
+                figures::figure2(&mut world),
+                figures::figure3(&mut world),
+                figures::figure4(&mut world),
+            ))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_study, bench_tables, bench_figures);
+criterion_main!(benches);

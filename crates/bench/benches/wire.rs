@@ -1,0 +1,113 @@
+//! Wire-format microbenchmarks: the per-message costs underneath every
+//! proxied request in the simulation (and in any real deployment of these
+//! protocol crates).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use dnswire::{DnsName, Message, QType, RData, Rcode, Record};
+use httpwire::{Request, Response, Uri};
+use netsim::{SimRng, SimTime};
+use std::hint::black_box;
+use std::net::Ipv4Addr;
+
+fn dns_response() -> Message {
+    let q = Message::query(
+        77,
+        DnsName::parse("d1-123456.tft-probe.example").expect("valid"),
+        QType::A,
+    );
+    let mut resp = Message::respond(
+        &q,
+        Rcode::NoError,
+        (0..4)
+            .map(|i| Record {
+                name: DnsName::parse("d1-123456.tft-probe.example").expect("valid"),
+                ttl: 300,
+                rdata: RData::A(Ipv4Addr::new(192, 0, 2, i)),
+            })
+            .collect(),
+    );
+    resp.authority.push(Record {
+        name: DnsName::parse("tft-probe.example").expect("valid"),
+        ttl: 3600,
+        rdata: RData::Ns(DnsName::parse("ns1.tft-probe.example").expect("valid")),
+    });
+    resp
+}
+
+fn bench_dns(c: &mut Criterion) {
+    let msg = dns_response();
+    let wire = dnswire::encode(&msg).expect("encodes");
+    let mut g = c.benchmark_group("dnswire");
+    g.throughput(Throughput::Bytes(wire.len() as u64));
+    g.bench_function("encode_typical_response", |b| {
+        b.iter(|| black_box(dnswire::encode(black_box(&msg)).unwrap()))
+    });
+    g.bench_function("decode_typical_response", |b| {
+        b.iter(|| black_box(dnswire::decode(black_box(&wire)).unwrap()))
+    });
+    g.bench_function("roundtrip", |b| {
+        b.iter(|| {
+            let w = dnswire::encode(black_box(&msg)).unwrap();
+            black_box(dnswire::decode(&w).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_http(c: &mut Criterion) {
+    let req =
+        Request::proxy_get(Uri::parse("http://objects.tft-probe.example/obj/page.html").unwrap());
+    let req_wire = req.encode();
+    let body = tft_core::http_exp::object_body(tft_core::obs::ProbeObject::Html);
+    let resp = Response::ok("text/html", body);
+    let resp_wire = resp.encode();
+    let mut g = c.benchmark_group("httpwire");
+    g.throughput(Throughput::Bytes(resp_wire.len() as u64));
+    g.bench_function("request_parse", |b| {
+        b.iter(|| black_box(Request::parse(black_box(&req_wire)).unwrap()))
+    });
+    g.bench_function("response_encode_9k", |b| {
+        b.iter(|| black_box(black_box(&resp).encode()))
+    });
+    g.bench_function("response_parse_9k", |b| {
+        b.iter(|| black_box(Response::parse(black_box(&resp_wire)).unwrap()))
+    });
+    g.bench_function("chunked_roundtrip_9k", |b| {
+        b.iter(|| {
+            let enc = httpwire::chunked::encode(black_box(&resp.body), 1024);
+            black_box(httpwire::chunked::decode(&enc).unwrap())
+        })
+    });
+    g.finish();
+}
+
+fn bench_certs(c: &mut Criterion) {
+    let mut rng = SimRng::new(5);
+    let (store, mut cas) = certs::RootStore::os_x_like(187, SimTime::EPOCH, &mut rng);
+    let mut inter = cas[0].issue_intermediate(
+        certs::DistinguishedName::cn("Intermediate"),
+        SimTime::EPOCH,
+        &mut rng,
+    );
+    let leaf = inter.issue_leaf("www.example.com", SimTime::EPOCH, &mut rng);
+    let chain = vec![leaf, inter.cert.clone()];
+    let now = SimTime::from_millis(86_400_000);
+    let mut g = c.benchmark_group("certs");
+    g.bench_function("verify_chain_with_intermediate", |b| {
+        b.iter(|| {
+            black_box(certs::verify_chain(
+                black_box(&chain),
+                "www.example.com",
+                now,
+                &store,
+            ))
+        })
+    });
+    g.bench_function("fingerprint", |b| {
+        b.iter(|| black_box(chain[0].fingerprint()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_dns, bench_http, bench_certs);
+criterion_main!(benches);

@@ -1,0 +1,239 @@
+//! Certificate data model.
+//!
+//! A deliberately simplified X.509: enough structure for everything the
+//! paper's HTTPS experiment reads — subject/issuer distinguished names
+//! (the *Issuer Common Name* is the primary attribution signal of Table 8),
+//! validity windows, subject-alternative names, CA flags, and a key identity
+//! that models signatures (`signed by K` ⇔ `issuer_key == K`). Real
+//! cryptography is substituted away: the paper never verifies signatures
+//! cryptographically either — it runs `openssl verify` chain logic, which
+//! this crate reimplements over simulated keys.
+
+use netsim::SimTime;
+use std::fmt;
+
+/// A (simulated) public key identity. Two certificates carrying the same
+/// `KeyId` "share a public key" — the observation the paper makes about
+/// anti-virus products reusing one key for every spoofed certificate on a
+/// host (§6.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyId(pub u64);
+
+impl fmt::Display for KeyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key:{:016x}", self.0)
+    }
+}
+
+/// A distinguished name (the subset of RDNs the analysis reads).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct DistinguishedName {
+    /// Common Name (CN) — for leaf certs usually the hostname; for issuers
+    /// the product or CA name ("Avast Web/Mail Shield Root", …).
+    pub common_name: String,
+    /// Organization (O).
+    pub organization: Option<String>,
+    /// Country (C).
+    pub country: Option<String>,
+}
+
+impl DistinguishedName {
+    /// A DN with only a common name.
+    pub fn cn(common_name: &str) -> Self {
+        DistinguishedName {
+            common_name: common_name.to_string(),
+            organization: None,
+            country: None,
+        }
+    }
+
+    /// A DN with CN and O.
+    pub fn cn_o(common_name: &str, organization: &str) -> Self {
+        DistinguishedName {
+            common_name: common_name.to_string(),
+            organization: Some(organization.to_string()),
+            country: None,
+        }
+    }
+}
+
+impl fmt::Display for DistinguishedName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CN={}", self.common_name)?;
+        if let Some(o) = &self.organization {
+            write!(f, ", O={o}")?;
+        }
+        if let Some(c) = &self.country {
+            write!(f, ", C={c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A certificate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Certificate {
+    /// Serial number (unique per issuer in well-formed PKIs).
+    pub serial: u64,
+    /// Subject distinguished name.
+    pub subject: DistinguishedName,
+    /// Issuer distinguished name.
+    pub issuer: DistinguishedName,
+    /// The subject's public key.
+    pub subject_key: KeyId,
+    /// The key that signed this certificate.
+    pub issuer_key: KeyId,
+    /// Start of validity.
+    pub not_before: SimTime,
+    /// End of validity.
+    pub not_after: SimTime,
+    /// Subject alternative names (DNS names; wildcards allowed).
+    pub san: Vec<String>,
+    /// CA flag (basicConstraints).
+    pub is_ca: bool,
+}
+
+impl Certificate {
+    /// True if this certificate is self-signed (issuer == subject and the
+    /// key signed itself).
+    pub fn is_self_signed(&self) -> bool {
+        self.issuer == self.subject && self.issuer_key == self.subject_key
+    }
+
+    /// True if `now` is inside the validity window.
+    pub fn is_time_valid(&self, now: SimTime) -> bool {
+        self.not_before <= now && now <= self.not_after
+    }
+
+    /// True if `hostname` matches the CN or any SAN entry, with single-label
+    /// wildcard support (`*.example.com` matches `a.example.com` but not
+    /// `a.b.example.com` or `example.com`).
+    pub fn matches_hostname(&self, hostname: &str) -> bool {
+        let host = hostname.to_ascii_lowercase();
+        std::iter::once(self.subject.common_name.as_str())
+            .chain(self.san.iter().map(|s| s.as_str()))
+            .any(|pattern| host_matches(&pattern.to_ascii_lowercase(), &host))
+    }
+
+    /// A stable fingerprint over all fields, for exact-identity comparison
+    /// (the invalid-site check in §6.1 compares certificates exactly).
+    pub fn fingerprint(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        eat(&self.serial.to_be_bytes());
+        eat(self.subject.to_string().as_bytes());
+        eat(self.issuer.to_string().as_bytes());
+        eat(&self.subject_key.0.to_be_bytes());
+        eat(&self.issuer_key.0.to_be_bytes());
+        eat(&self.not_before.as_millis().to_be_bytes());
+        eat(&self.not_after.as_millis().to_be_bytes());
+        for s in &self.san {
+            eat(s.as_bytes());
+        }
+        eat(&[self.is_ca as u8]);
+        h
+    }
+}
+
+fn host_matches(pattern: &str, host: &str) -> bool {
+    if let Some(suffix) = pattern.strip_prefix("*.") {
+        // Exactly one extra label on the left.
+        match host.split_once('.') {
+            Some((first_label, rest)) => !first_label.is_empty() && rest == suffix,
+            None => false,
+        }
+    } else {
+        pattern == host
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimDuration;
+
+    fn cert(cn: &str, san: &[&str]) -> Certificate {
+        Certificate {
+            serial: 1,
+            subject: DistinguishedName::cn(cn),
+            issuer: DistinguishedName::cn("Test CA"),
+            subject_key: KeyId(1),
+            issuer_key: KeyId(2),
+            not_before: SimTime::EPOCH,
+            not_after: SimTime::EPOCH + SimDuration::from_days(365),
+            san: san.iter().map(|s| s.to_string()).collect(),
+            is_ca: false,
+        }
+    }
+
+    #[test]
+    fn exact_hostname_match() {
+        let c = cert("www.example.com", &[]);
+        assert!(c.matches_hostname("www.example.com"));
+        assert!(c.matches_hostname("WWW.EXAMPLE.COM"));
+        assert!(!c.matches_hostname("example.com"));
+    }
+
+    #[test]
+    fn san_match() {
+        let c = cert("cdn.example.net", &["www.example.com", "example.com"]);
+        assert!(c.matches_hostname("example.com"));
+        assert!(c.matches_hostname("www.example.com"));
+        assert!(!c.matches_hostname("mail.example.com"));
+    }
+
+    #[test]
+    fn wildcard_matches_one_label_only() {
+        let c = cert("*.example.com", &[]);
+        assert!(c.matches_hostname("a.example.com"));
+        assert!(!c.matches_hostname("a.b.example.com"));
+        assert!(!c.matches_hostname("example.com"));
+    }
+
+    #[test]
+    fn time_validity() {
+        let c = cert("x", &[]);
+        assert!(c.is_time_valid(SimTime::EPOCH));
+        assert!(c.is_time_valid(SimTime::EPOCH + SimDuration::from_days(364)));
+        assert!(!c.is_time_valid(SimTime::EPOCH + SimDuration::from_days(366)));
+    }
+
+    #[test]
+    fn self_signed_detection() {
+        let mut c = cert("x", &[]);
+        assert!(!c.is_self_signed());
+        c.issuer = c.subject.clone();
+        c.issuer_key = c.subject_key;
+        assert!(c.is_self_signed());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_fields() {
+        let a = cert("x", &[]);
+        let mut b = a.clone();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.serial = 2;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let mut c = a.clone();
+        c.san.push("extra.example".into());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+    }
+
+    #[test]
+    fn dn_display() {
+        let dn = DistinguishedName {
+            common_name: "Avast Web/Mail Shield Root".into(),
+            organization: Some("Avast".into()),
+            country: Some("CZ".into()),
+        };
+        assert_eq!(
+            dn.to_string(),
+            "CN=Avast Web/Mail Shield Root, O=Avast, C=CZ"
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Certificate issuance: roots, intermediates, leaves, and the deliberately
+//! broken certificates the HTTPS experiment's *invalid sites* class needs
+//! (self-signed, expired, wrong common name — §6.1).
+
+use crate::cert::{Certificate, DistinguishedName, KeyId};
+use netsim::rng::RngExt;
+use netsim::{SimDuration, SimRng, SimTime};
+
+/// A certificate authority: a CA certificate plus its (simulated) private
+/// key, able to sign child certificates.
+#[derive(Debug, Clone)]
+pub struct CertAuthority {
+    /// The CA's own certificate.
+    pub cert: Certificate,
+    key: KeyId,
+    next_serial: u64,
+}
+
+/// Default validity for issued leaves: ~2 years of simulated time.
+const LEAF_VALIDITY: SimDuration = SimDuration::from_days(730);
+/// Default validity for CA certificates: ~10 years.
+const CA_VALIDITY: SimDuration = SimDuration::from_days(3650);
+
+impl CertAuthority {
+    /// Create a new self-signed root CA.
+    pub fn new_root(name: DistinguishedName, now: SimTime, rng: &mut SimRng) -> CertAuthority {
+        let key = KeyId(rng.random());
+        let cert = Certificate {
+            serial: rng.random(),
+            subject: name.clone(),
+            issuer: name,
+            subject_key: key,
+            issuer_key: key,
+            not_before: now,
+            not_after: now + CA_VALIDITY,
+            san: Vec::new(),
+            is_ca: true,
+        };
+        CertAuthority {
+            cert,
+            key,
+            next_serial: 1,
+        }
+    }
+
+    /// The CA's signing key (exposed for the shared-key analyses).
+    pub fn key(&self) -> KeyId {
+        self.key
+    }
+
+    /// Issue an intermediate CA.
+    pub fn issue_intermediate(
+        &mut self,
+        name: DistinguishedName,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> CertAuthority {
+        let key = KeyId(rng.random());
+        let cert = Certificate {
+            serial: self.take_serial(),
+            subject: name,
+            issuer: self.cert.subject.clone(),
+            subject_key: key,
+            issuer_key: self.key,
+            not_before: now,
+            not_after: now + CA_VALIDITY,
+            san: Vec::new(),
+            is_ca: true,
+        };
+        CertAuthority {
+            cert,
+            key,
+            next_serial: 1,
+        }
+    }
+
+    /// Issue a leaf certificate for `hostname` with a fresh key.
+    pub fn issue_leaf(&mut self, hostname: &str, now: SimTime, rng: &mut SimRng) -> Certificate {
+        let key = KeyId(rng.random());
+        self.issue_leaf_with_key(hostname, now, key)
+    }
+
+    /// Issue a leaf certificate for `hostname` with a caller-chosen subject
+    /// key. This is how TLS interceptors that reuse one key per host are
+    /// modelled (§6.2: "each system uses the same public keys on all
+    /// certificates on a given exit node").
+    pub fn issue_leaf_with_key(&mut self, hostname: &str, now: SimTime, key: KeyId) -> Certificate {
+        Certificate {
+            serial: self.take_serial(),
+            subject: DistinguishedName::cn(hostname),
+            issuer: self.cert.subject.clone(),
+            subject_key: key,
+            issuer_key: self.key,
+            not_before: now,
+            not_after: now + LEAF_VALIDITY,
+            san: vec![hostname.to_string()],
+            is_ca: false,
+        }
+    }
+
+    /// Issue a spoofed replacement for `original`, copying its subject and
+    /// SANs (and optionally most other surface fields, as the Cloudguard
+    /// malware does to "appear more legitimate" — §6.2).
+    pub fn issue_spoof(
+        &mut self,
+        original: &Certificate,
+        key: KeyId,
+        now: SimTime,
+        copy_fields: bool,
+    ) -> Certificate {
+        Certificate {
+            serial: if copy_fields {
+                original.serial
+            } else {
+                self.take_serial()
+            },
+            subject: original.subject.clone(),
+            issuer: self.cert.subject.clone(),
+            subject_key: key,
+            issuer_key: self.key,
+            not_before: if copy_fields {
+                original.not_before
+            } else {
+                now
+            },
+            not_after: if copy_fields {
+                original.not_after
+            } else {
+                now + LEAF_VALIDITY
+            },
+            san: original.san.clone(),
+            is_ca: false,
+        }
+    }
+
+    fn take_serial(&mut self) -> u64 {
+        let s = self.next_serial;
+        self.next_serial += 1;
+        s
+    }
+}
+
+/// A self-signed leaf certificate (invalid: no trust path).
+pub fn self_signed_leaf(hostname: &str, now: SimTime, rng: &mut SimRng) -> Certificate {
+    let key = KeyId(rng.random());
+    let dn = DistinguishedName::cn(hostname);
+    Certificate {
+        serial: rng.random(),
+        subject: dn.clone(),
+        issuer: dn,
+        subject_key: key,
+        issuer_key: key,
+        not_before: now,
+        not_after: now + LEAF_VALIDITY,
+        san: vec![hostname.to_string()],
+        is_ca: false,
+    }
+}
+
+/// An expired leaf signed by `ca` (invalid: validity window in the past).
+pub fn expired_leaf(
+    ca: &mut CertAuthority,
+    hostname: &str,
+    now: SimTime,
+    rng: &mut SimRng,
+) -> Certificate {
+    let mut cert = ca.issue_leaf(hostname, now, rng);
+    // Window entirely before `now`; guard against the epoch edge.
+    let shift = SimDuration::from_days(800);
+    cert.not_before = if now.as_millis() >= shift.as_millis() {
+        now - shift
+    } else {
+        SimTime::EPOCH
+    };
+    cert.not_after = cert.not_before + SimDuration::from_days(30);
+    cert
+}
+
+/// A leaf with the wrong common name, signed by `ca` (invalid for
+/// `intended_host`).
+pub fn wrong_name_leaf(
+    ca: &mut CertAuthority,
+    intended_host: &str,
+    now: SimTime,
+    rng: &mut SimRng,
+) -> Certificate {
+    let wrong = format!("wrong-cn-for.{intended_host}");
+    let mut cert = ca.issue_leaf(&wrong, now, rng);
+    // Ensure no SAN accidentally matches.
+    cert.san = vec![wrong];
+    cert
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(0x5eed)
+    }
+
+    #[test]
+    fn root_is_self_signed_ca() {
+        let mut r = rng();
+        let ca = CertAuthority::new_root(DistinguishedName::cn("Root X"), SimTime::EPOCH, &mut r);
+        assert!(ca.cert.is_self_signed());
+        assert!(ca.cert.is_ca);
+    }
+
+    #[test]
+    fn leaf_is_signed_by_ca_key() {
+        let mut r = rng();
+        let mut ca =
+            CertAuthority::new_root(DistinguishedName::cn("Root X"), SimTime::EPOCH, &mut r);
+        let leaf = ca.issue_leaf("www.example.com", SimTime::EPOCH, &mut r);
+        assert_eq!(leaf.issuer_key, ca.key());
+        assert_eq!(leaf.issuer, ca.cert.subject);
+        assert!(!leaf.is_ca);
+        assert!(leaf.matches_hostname("www.example.com"));
+    }
+
+    #[test]
+    fn serials_are_unique_per_ca() {
+        let mut r = rng();
+        let mut ca =
+            CertAuthority::new_root(DistinguishedName::cn("Root X"), SimTime::EPOCH, &mut r);
+        let a = ca.issue_leaf("a.example", SimTime::EPOCH, &mut r);
+        let b = ca.issue_leaf("b.example", SimTime::EPOCH, &mut r);
+        assert_ne!(a.serial, b.serial);
+    }
+
+    #[test]
+    fn intermediate_chains_to_root() {
+        let mut r = rng();
+        let mut root =
+            CertAuthority::new_root(DistinguishedName::cn("Root X"), SimTime::EPOCH, &mut r);
+        let inter =
+            root.issue_intermediate(DistinguishedName::cn("Inter Y"), SimTime::EPOCH, &mut r);
+        assert_eq!(inter.cert.issuer_key, root.key());
+        assert!(inter.cert.is_ca);
+    }
+
+    #[test]
+    fn spoof_copies_subject() {
+        let mut r = rng();
+        let mut real =
+            CertAuthority::new_root(DistinguishedName::cn("Real CA"), SimTime::EPOCH, &mut r);
+        let original = real.issue_leaf("bank.example", SimTime::EPOCH, &mut r);
+        let mut av = CertAuthority::new_root(
+            DistinguishedName::cn("Avast Web/Mail Shield Root"),
+            SimTime::EPOCH,
+            &mut r,
+        );
+        let spoof = av.issue_spoof(&original, KeyId(42), SimTime::EPOCH, false);
+        assert_eq!(spoof.subject, original.subject);
+        assert_eq!(spoof.san, original.san);
+        assert_eq!(spoof.issuer.common_name, "Avast Web/Mail Shield Root");
+        assert_eq!(spoof.subject_key, KeyId(42));
+    }
+
+    #[test]
+    fn spoof_with_copied_fields_mimics_original() {
+        let mut r = rng();
+        let mut real =
+            CertAuthority::new_root(DistinguishedName::cn("Real CA"), SimTime::EPOCH, &mut r);
+        let original = real.issue_leaf("bank.example", SimTime::EPOCH, &mut r);
+        let mut mw = CertAuthority::new_root(
+            DistinguishedName::cn("Cloudguard.me"),
+            SimTime::EPOCH,
+            &mut r,
+        );
+        let spoof = mw.issue_spoof(&original, KeyId(7), SimTime::EPOCH, true);
+        assert_eq!(spoof.serial, original.serial);
+        assert_eq!(spoof.not_after, original.not_after);
+    }
+
+    #[test]
+    fn invalid_leaves_are_invalid_in_the_intended_way() {
+        let mut r = rng();
+        let now = SimTime::from_millis(SimDuration::from_days(900).as_millis());
+        let mut ca = CertAuthority::new_root(DistinguishedName::cn("Root X"), now, &mut r);
+        let ss = self_signed_leaf("invalid1.example", now, &mut r);
+        assert!(ss.is_self_signed());
+        let exp = expired_leaf(&mut ca, "invalid2.example", now, &mut r);
+        assert!(!exp.is_time_valid(now));
+        let wrong = wrong_name_leaf(&mut ca, "invalid3.example", now, &mut r);
+        assert!(!wrong.matches_hostname("invalid3.example"));
+        assert!(wrong.is_time_valid(now));
+    }
+}

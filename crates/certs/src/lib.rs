@@ -1,0 +1,31 @@
+//! # certs — certificate model and chain validation
+//!
+//! The TLS trust plane of the reproduction, at the granularity the paper
+//! observes it (§6): presented certificate chains, issuer common names,
+//! validity, hostname matching, and root-store anchoring. Record-layer
+//! cryptography is substituted away — the paper's client performs a TLS
+//! handshake only to *collect the certificates* and then terminates the
+//! connection; it never exchanges application data under TLS.
+//!
+//! - [`cert`]: certificates, distinguished names, key identities,
+//!   fingerprints;
+//! - [`issue`]: CAs, leaf issuance, spoof generation, and the three
+//!   deliberately invalid certificates of the experiment's *invalid sites*
+//!   class;
+//! - [`store`]: root stores, including the 187-root "OS X 10.11-like"
+//!   store the paper validates against;
+//! - [`verify`]: `openssl verify`-equivalent chain validation and the
+//!   exact-match check for invalid sites.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cert;
+pub mod issue;
+pub mod store;
+pub mod verify;
+
+pub use cert::{Certificate, DistinguishedName, KeyId};
+pub use issue::{expired_leaf, self_signed_leaf, wrong_name_leaf, CertAuthority};
+pub use store::RootStore;
+pub use verify::{exact_match, verify_chain, CertError};

@@ -1,0 +1,138 @@
+//! Root certificate stores.
+//!
+//! The paper validates chains against the OS X 10.11 root store, which
+//! contained 187 unique roots (paper ref. \[21\]). [`RootStore::os_x_like`] generates a
+//! deterministic simulated equivalent of the same size.
+
+use crate::cert::{Certificate, DistinguishedName, KeyId};
+use crate::issue::CertAuthority;
+use netsim::{SimRng, SimTime};
+use std::collections::HashMap;
+
+/// A set of trusted root certificates, indexed by subject key.
+#[derive(Debug, Clone, Default)]
+pub struct RootStore {
+    by_key: HashMap<KeyId, Certificate>,
+}
+
+impl RootStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a trusted root.
+    ///
+    /// # Panics
+    /// Panics if the certificate is not a self-signed CA — root stores hold
+    /// trust anchors, nothing else.
+    pub fn add(&mut self, cert: Certificate) {
+        assert!(
+            cert.is_ca && cert.is_self_signed(),
+            "root store entries must be self-signed CAs"
+        );
+        self.by_key.insert(cert.subject_key, cert);
+    }
+
+    /// Number of roots.
+    pub fn len(&self) -> usize {
+        self.by_key.len()
+    }
+
+    /// True if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_key.is_empty()
+    }
+
+    /// Find the trusted root whose key signed `cert`, if any, and whose
+    /// subject matches `cert`'s issuer.
+    pub fn issuer_of(&self, cert: &Certificate) -> Option<&Certificate> {
+        self.by_key
+            .get(&cert.issuer_key)
+            .filter(|root| root.subject == cert.issuer)
+    }
+
+    /// True if `cert` itself is a trust anchor in this store.
+    pub fn contains(&self, cert: &Certificate) -> bool {
+        self.by_key
+            .get(&cert.subject_key)
+            .map(|c| c == cert)
+            .unwrap_or(false)
+    }
+
+    /// Build the deterministic "OS X 10.11-like" store: `count` synthetic
+    /// root CAs, and return the authorities so the world generator can issue
+    /// real site certificates from them.
+    pub fn os_x_like(
+        count: usize,
+        now: SimTime,
+        rng: &mut SimRng,
+    ) -> (RootStore, Vec<CertAuthority>) {
+        let mut store = RootStore::new();
+        let mut authorities = Vec::with_capacity(count);
+        for i in 1..=count {
+            let ca = CertAuthority::new_root(
+                DistinguishedName::cn_o(&format!("Global Trust Root {i}"), "Simulated PKI"),
+                now,
+                rng,
+            );
+            store.add(ca.cert.clone());
+            authorities.push(ca);
+        }
+        (store, authorities)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn os_x_like_store_has_requested_size() {
+        let mut rng = SimRng::new(1);
+        let (store, cas) = RootStore::os_x_like(187, SimTime::EPOCH, &mut rng);
+        assert_eq!(store.len(), 187);
+        assert_eq!(cas.len(), 187);
+    }
+
+    #[test]
+    fn issuer_lookup_finds_signing_root() {
+        let mut rng = SimRng::new(2);
+        let (store, mut cas) = RootStore::os_x_like(3, SimTime::EPOCH, &mut rng);
+        let leaf = cas[1].issue_leaf("www.example.com", SimTime::EPOCH, &mut rng);
+        let root = store.issuer_of(&leaf).expect("issuer should be found");
+        assert_eq!(root.subject, cas[1].cert.subject);
+        assert!(store.contains(&cas[0].cert));
+    }
+
+    #[test]
+    fn unknown_issuer_not_found() {
+        let mut rng = SimRng::new(3);
+        let (store, _) = RootStore::os_x_like(2, SimTime::EPOCH, &mut rng);
+        let mut rogue =
+            CertAuthority::new_root(DistinguishedName::cn("Rogue CA"), SimTime::EPOCH, &mut rng);
+        let leaf = rogue.issue_leaf("victim.example", SimTime::EPOCH, &mut rng);
+        assert!(store.issuer_of(&leaf).is_none());
+        assert!(!store.contains(&rogue.cert));
+    }
+
+    #[test]
+    fn issuer_dn_must_match_key() {
+        let mut rng = SimRng::new(4);
+        let (store, mut cas) = RootStore::os_x_like(1, SimTime::EPOCH, &mut rng);
+        let mut leaf = cas[0].issue_leaf("www.example.com", SimTime::EPOCH, &mut rng);
+        // Same signing key, forged issuer DN: must not validate.
+        leaf.issuer = DistinguishedName::cn("Forged Name");
+        assert!(store.issuer_of(&leaf).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "self-signed CAs")]
+    fn rejects_non_ca_roots() {
+        let mut rng = SimRng::new(5);
+        let mut ca = CertAuthority::new_root(DistinguishedName::cn("CA"), SimTime::EPOCH, &mut rng);
+        let leaf = ca.issue_leaf("x.example", SimTime::EPOCH, &mut rng);
+        let mut store = RootStore::new();
+        store.add(leaf);
+    }
+}

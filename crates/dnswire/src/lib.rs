@@ -1,0 +1,33 @@
+//! # dnswire — DNS implemented from scratch
+//!
+//! The DNS plane of the reproduction:
+//!
+//! - [`name`]: domain names with RFC 1035 limits and case-insensitive
+//!   comparison;
+//! - [`wire`]: full message encode/decode with name compression and
+//!   pointer-loop protection;
+//! - [`zone`]: authoritative zone semantics — the NXDOMAIN / NODATA
+//!   distinction, wildcards, CNAME chasing;
+//! - [`server`]: the study's authoritative server with **source-conditional
+//!   answers** (the d₁/d₂ trick of §4.1) and the query log from which exit
+//!   nodes' resolvers are identified.
+//!
+//! The paper's DNS experiment never sees the response an exit node receives;
+//! it infers hijacking from (a) what arrives at this server and (b) what
+//! content comes back through the proxy. This crate supplies both the wire
+//! mechanics and the observables for that inference.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod name;
+pub mod server;
+pub mod wire;
+pub mod zone;
+
+pub use cache::{CachedAnswer, DnsCache};
+pub use name::{DnsName, NameError};
+pub use server::{AnswerOverride, AuthServer, QueryLogEntry};
+pub use wire::{decode, encode, Flags, Message, QType, Question, RData, Rcode, Record, WireError};
+pub use zone::{Zone, ZoneAnswer};

@@ -1,0 +1,126 @@
+//! Property-based tests: wire-format roundtrips and decoder robustness.
+
+use dnswire::{decode, encode, DnsName, Message, QType, RData, Rcode, Record};
+use proptest::prelude::*;
+use std::net::{Ipv4Addr, Ipv6Addr};
+
+fn arb_label() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,14})").expect("valid regex")
+}
+
+fn arb_name() -> impl Strategy<Value = DnsName> {
+    proptest::collection::vec(arb_label(), 1..5)
+        .prop_map(|labels| DnsName::parse(&labels.join(".")).expect("generated labels are valid"))
+}
+
+fn arb_qtype() -> impl Strategy<Value = QType> {
+    prop_oneof![
+        Just(QType::A),
+        Just(QType::Ns),
+        Just(QType::Cname),
+        Just(QType::Txt),
+        Just(QType::Aaaa),
+        Just(QType::Soa),
+    ]
+}
+
+fn arb_rdata() -> impl Strategy<Value = RData> {
+    prop_oneof![
+        any::<u32>().prop_map(|v| RData::A(Ipv4Addr::from(v))),
+        any::<u128>().prop_map(|v| RData::Aaaa(Ipv6Addr::from(v))),
+        arb_name().prop_map(RData::Ns),
+        arb_name().prop_map(RData::Cname),
+        arb_name().prop_map(RData::Ptr),
+        proptest::collection::vec(
+            proptest::string::string_regex("[ -~]{0,40}").expect("regex"),
+            0..3
+        )
+        .prop_map(RData::Txt),
+        (arb_name(), arb_name(), any::<u32>(), any::<u32>()).prop_map(
+            |(mname, rname, serial, t)| RData::Soa {
+                mname,
+                rname,
+                serial,
+                refresh: t,
+                retry: t / 2,
+                expire: t.saturating_mul(2),
+                minimum: 300,
+            }
+        ),
+    ]
+}
+
+fn arb_record() -> impl Strategy<Value = Record> {
+    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, rdata)| Record {
+        name,
+        ttl,
+        rdata,
+    })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u16>(),
+        arb_name(),
+        arb_qtype(),
+        proptest::collection::vec(arb_record(), 0..6),
+        proptest::collection::vec(arb_record(), 0..3),
+        prop_oneof![
+            Just(Rcode::NoError),
+            Just(Rcode::NxDomain),
+            Just(Rcode::ServFail)
+        ],
+    )
+        .prop_map(|(id, qname, qtype, answers, authority, rcode)| {
+            let q = Message::query(id, qname, qtype);
+            let mut m = Message::respond(&q, rcode, answers);
+            m.authority = authority;
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity on well-formed messages, including
+    /// through the name-compression path.
+    #[test]
+    fn roundtrip(msg in arb_message()) {
+        let bytes = encode(&msg).expect("encodable");
+        let back = decode(&bytes).expect("decodable");
+        prop_assert_eq!(back, msg);
+    }
+
+    /// The decoder never panics on arbitrary bytes.
+    #[test]
+    fn decoder_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode(&bytes);
+    }
+
+    /// The decoder never panics on corrupted valid messages (single-octet
+    /// mutations, the fault-injector model).
+    #[test]
+    fn decoder_total_on_corruption(msg in arb_message(), idx in any::<usize>(), flip in 1u8..) {
+        let mut bytes = encode(&msg).expect("encodable");
+        if !bytes.is_empty() {
+            let i = idx % bytes.len();
+            bytes[i] ^= flip;
+            let _ = decode(&bytes);
+        }
+    }
+
+    /// Truncation at every length errors or yields a message, never panics.
+    #[test]
+    fn decoder_total_on_truncation(msg in arb_message(), cut in 0.0f64..1.0) {
+        let bytes = encode(&msg).expect("encodable");
+        let cut = (bytes.len() as f64 * cut) as usize;
+        let _ = decode(&bytes[..cut]);
+    }
+
+    /// Name parse/display roundtrip.
+    #[test]
+    fn name_roundtrip(name in arb_name()) {
+        let s = name.to_string();
+        prop_assert_eq!(DnsName::parse(&s).unwrap(), name);
+    }
+}

@@ -1,0 +1,147 @@
+//! Chunked transfer coding (RFC 7230 §4.1).
+
+/// Errors decoding a chunked body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ChunkError {
+    /// Input ended before the final zero-size chunk.
+    Truncated,
+    /// A chunk-size line was not valid hex.
+    BadSize,
+    /// A chunk was not terminated by CRLF.
+    MissingCrlf,
+}
+
+impl std::fmt::Display for ChunkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChunkError::Truncated => write!(f, "chunked body truncated"),
+            ChunkError::BadSize => write!(f, "bad chunk size line"),
+            ChunkError::MissingCrlf => write!(f, "chunk missing CRLF terminator"),
+        }
+    }
+}
+
+impl std::error::Error for ChunkError {}
+
+/// Encode `body` as chunked transfer coding with chunks of at most
+/// `chunk_size` bytes.
+///
+/// # Panics
+/// Panics if `chunk_size` is zero.
+pub fn encode(body: &[u8], chunk_size: usize) -> Vec<u8> {
+    assert!(chunk_size > 0, "chunk size must be positive");
+    let mut out = Vec::with_capacity(body.len() + 32);
+    for chunk in body.chunks(chunk_size) {
+        out.extend_from_slice(format!("{:x}\r\n", chunk.len()).as_bytes());
+        out.extend_from_slice(chunk);
+        out.extend_from_slice(b"\r\n");
+    }
+    out.extend_from_slice(b"0\r\n\r\n");
+    out
+}
+
+/// Decode a chunked body. Returns `(body, bytes_consumed)`.
+pub fn decode(input: &[u8]) -> Result<(Vec<u8>, usize), ChunkError> {
+    let mut body = Vec::new();
+    let mut pos = 0;
+    loop {
+        let line_end = find_crlf(&input[pos..]).ok_or(ChunkError::Truncated)? + pos;
+        let size_line = &input[pos..line_end];
+        // Ignore chunk extensions after ';'.
+        let size_str = size_line.split(|&b| b == b';').next().unwrap_or_default();
+        let size_str = std::str::from_utf8(size_str)
+            .map_err(|_| ChunkError::BadSize)?
+            .trim();
+        if size_str.is_empty() {
+            return Err(ChunkError::BadSize);
+        }
+        let size = usize::from_str_radix(size_str, 16).map_err(|_| ChunkError::BadSize)?;
+        pos = line_end + 2;
+        if size == 0 {
+            // Trailer section: we support only the empty trailer.
+            if input.len() < pos + 2 {
+                return Err(ChunkError::Truncated);
+            }
+            if &input[pos..pos + 2] != b"\r\n" {
+                return Err(ChunkError::MissingCrlf);
+            }
+            return Ok((body, pos + 2));
+        }
+        if input.len() < pos + size + 2 {
+            return Err(ChunkError::Truncated);
+        }
+        body.extend_from_slice(&input[pos..pos + size]);
+        if &input[pos + size..pos + size + 2] != b"\r\n" {
+            return Err(ChunkError::MissingCrlf);
+        }
+        pos += size + 2;
+    }
+}
+
+fn find_crlf(buf: &[u8]) -> Option<usize> {
+    buf.windows(2).position(|w| w == b"\r\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let body = b"The quick brown fox jumps over the lazy dog".to_vec();
+        for chunk_size in [1, 3, 7, 1024] {
+            let encoded = encode(&body, chunk_size);
+            let (decoded, consumed) = decode(&encoded).unwrap();
+            assert_eq!(decoded, body);
+            assert_eq!(consumed, encoded.len());
+        }
+    }
+
+    #[test]
+    fn empty_body() {
+        let encoded = encode(b"", 8);
+        assert_eq!(encoded, b"0\r\n\r\n");
+        let (decoded, consumed) = decode(&encoded).unwrap();
+        assert!(decoded.is_empty());
+        assert_eq!(consumed, 5);
+    }
+
+    #[test]
+    fn trailing_bytes_not_consumed() {
+        let mut encoded = encode(b"hi", 8);
+        encoded.extend_from_slice(b"NEXT MESSAGE");
+        let (decoded, consumed) = decode(&encoded).unwrap();
+        assert_eq!(decoded, b"hi");
+        assert_eq!(&encoded[consumed..], b"NEXT MESSAGE");
+    }
+
+    #[test]
+    fn chunk_extension_ignored() {
+        let raw = b"2;ext=1\r\nhi\r\n0\r\n\r\n";
+        let (decoded, _) = decode(raw).unwrap();
+        assert_eq!(decoded, b"hi");
+    }
+
+    #[test]
+    fn truncation_detected() {
+        let encoded = encode(b"hello world", 4);
+        for cut in 0..encoded.len() {
+            match decode(&encoded[..cut]) {
+                Err(_) => {}
+                Ok((_, consumed)) => assert!(consumed <= cut),
+            }
+        }
+        assert_eq!(decode(b"5\r\nhel"), Err(ChunkError::Truncated));
+    }
+
+    #[test]
+    fn bad_size_rejected() {
+        assert_eq!(decode(b"zz\r\n\r\n"), Err(ChunkError::BadSize));
+        assert_eq!(decode(b"\r\n\r\n"), Err(ChunkError::BadSize));
+    }
+
+    #[test]
+    fn missing_crlf_rejected() {
+        assert_eq!(decode(b"2\r\nhiXX0\r\n\r\n"), Err(ChunkError::MissingCrlf));
+    }
+}

@@ -1,0 +1,155 @@
+//! Connection-level request handling: a byte stream carrying pipelined
+//! HTTP/1.1 requests, consumed one complete message at a time.
+//!
+//! The in-simulation origin servers receive one request per exchange, but a
+//! real deployment of these protocol crates needs keep-alive semantics;
+//! `RequestStream` provides them and is exercised by the tests and fuzzed
+//! for totality.
+
+use crate::parse::ParseError;
+use crate::request::Request;
+
+/// An incremental reader of pipelined requests from an append-only buffer.
+///
+/// ```
+/// use httpwire::{Request, RequestStream};
+/// let mut stream = RequestStream::new();
+/// stream.feed(&Request::origin_get("a.example", "/1").encode());
+/// stream.feed(&Request::origin_get("a.example", "/2").encode());
+/// let reqs = stream.drain_requests().unwrap();
+/// assert_eq!(reqs.len(), 2);
+/// ```
+#[derive(Debug, Default)]
+pub struct RequestStream {
+    buf: Vec<u8>,
+    consumed_total: usize,
+}
+
+impl RequestStream {
+    /// An empty stream.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append bytes received from the peer.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes currently buffered and not yet consumed.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Total bytes consumed as complete requests so far.
+    pub fn consumed(&self) -> usize {
+        self.consumed_total
+    }
+
+    /// Try to take the next complete request off the stream.
+    ///
+    /// * `Ok(Some(req))` — a complete request was parsed and consumed.
+    /// * `Ok(None)` — more bytes are needed.
+    /// * `Err(e)` — the stream is corrupt; the connection should be closed
+    ///   (the buffer is left untouched for diagnostics).
+    pub fn next_request(&mut self) -> Result<Option<Request>, ParseError> {
+        if self.buf.is_empty() {
+            return Ok(None);
+        }
+        match Request::parse(&self.buf) {
+            Ok((req, used)) => {
+                self.buf.drain(..used);
+                self.consumed_total += used;
+                Ok(Some(req))
+            }
+            Err(ParseError::Incomplete) => Ok(None),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Drain every complete request currently buffered.
+    pub fn drain_requests(&mut self) -> Result<Vec<Request>, ParseError> {
+        let mut out = Vec::new();
+        while let Some(req) = self.next_request()? {
+            out.push(req);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::Method;
+
+    fn get(path: &str) -> Request {
+        Request::origin_get("pipelined.example", path)
+    }
+
+    #[test]
+    fn single_request_roundtrip() {
+        let mut s = RequestStream::new();
+        s.feed(&get("/a").encode());
+        let req = s.next_request().unwrap().expect("complete");
+        assert_eq!(req.target.path(), Some("/a"));
+        assert_eq!(s.buffered(), 0);
+        assert!(s.next_request().unwrap().is_none());
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_in_order() {
+        let mut s = RequestStream::new();
+        let mut bytes = Vec::new();
+        for p in ["/1", "/2", "/3"] {
+            bytes.extend_from_slice(&get(p).encode());
+        }
+        s.feed(&bytes);
+        let reqs = s.drain_requests().unwrap();
+        let paths: Vec<_> = reqs.iter().filter_map(|r| r.target.path()).collect();
+        assert_eq!(paths, vec!["/1", "/2", "/3"]);
+    }
+
+    #[test]
+    fn partial_delivery_waits_for_more_bytes() {
+        let mut s = RequestStream::new();
+        let wire = get("/slow").encode();
+        for chunk in wire.chunks(7) {
+            assert!(s.next_request().unwrap().is_none() || s.buffered() == 0);
+            s.feed(chunk);
+        }
+        let req = s.next_request().unwrap().expect("now complete");
+        assert_eq!(req.target.path(), Some("/slow"));
+    }
+
+    #[test]
+    fn body_boundaries_are_respected() {
+        let mut a = get("/post");
+        a.method = Method::Post;
+        a.body = b"12345".to_vec();
+        let b = get("/after");
+        let mut s = RequestStream::new();
+        s.feed(&a.encode());
+        s.feed(&b.encode());
+        let first = s.next_request().unwrap().unwrap();
+        assert_eq!(first.body, b"12345");
+        let second = s.next_request().unwrap().unwrap();
+        assert_eq!(second.target.path(), Some("/after"));
+    }
+
+    #[test]
+    fn corrupt_stream_errors_and_preserves_buffer() {
+        let mut s = RequestStream::new();
+        s.feed(b"NOT HTTP AT ALL\r\n\r\n");
+        assert!(s.next_request().is_err());
+        assert!(s.buffered() > 0, "buffer kept for diagnostics");
+    }
+
+    #[test]
+    fn consumed_counter_tracks_bytes() {
+        let mut s = RequestStream::new();
+        let wire = get("/x").encode();
+        s.feed(&wire);
+        s.next_request().unwrap().unwrap();
+        assert_eq!(s.consumed(), wire.len());
+    }
+}

@@ -1,0 +1,165 @@
+//! Shared parsing machinery for requests and responses.
+
+use crate::chunked;
+use crate::headers::Headers;
+use std::fmt;
+
+/// Errors parsing an HTTP message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Input ended before the message was complete.
+    Incomplete,
+    /// The start line was malformed.
+    BadStartLine,
+    /// A header line was malformed.
+    BadHeader,
+    /// The body framing was invalid (bad Content-Length or chunk coding).
+    BadBody,
+    /// Non-UTF-8 bytes in the head section.
+    BadEncoding,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseError::Incomplete => write!(f, "message incomplete"),
+            ParseError::BadStartLine => write!(f, "malformed start line"),
+            ParseError::BadHeader => write!(f, "malformed header"),
+            ParseError::BadBody => write!(f, "invalid body framing"),
+            ParseError::BadEncoding => write!(f, "non-UTF-8 head section"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Split the head section: returns `(start_line, headers, body_offset)`.
+pub(crate) fn head(input: &[u8]) -> Result<(&str, Headers, usize), ParseError> {
+    let head_end = input
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or(ParseError::Incomplete)?;
+    let head = std::str::from_utf8(&input[..head_end]).map_err(|_| ParseError::BadEncoding)?;
+    let mut lines = head.split("\r\n");
+    let start_line = lines.next().ok_or(ParseError::BadStartLine)?;
+    if start_line.is_empty() {
+        return Err(ParseError::BadStartLine);
+    }
+    let mut headers = Headers::new();
+    for line in lines {
+        let (name, value) = line.split_once(':').ok_or(ParseError::BadHeader)?;
+        if name.is_empty() || name.contains(' ') {
+            return Err(ParseError::BadHeader);
+        }
+        headers.append(name, value.trim());
+    }
+    Ok((start_line, headers, head_end + 4))
+}
+
+/// Extract the body given the framing headers. Returns `(body, total bytes
+/// consumed from the start of the message)`.
+///
+/// `read_to_end` selects the HTTP/1.0-style "body is everything until
+/// connection close" fallback used for responses without framing headers;
+/// requests never use it.
+pub(crate) fn body(
+    headers: &Headers,
+    input: &[u8],
+    body_start: usize,
+    read_to_end: bool,
+) -> Result<(Vec<u8>, usize), ParseError> {
+    if headers.is_chunked() {
+        let (body, used) = chunked::decode(&input[body_start..]).map_err(|e| match e {
+            chunked::ChunkError::Truncated => ParseError::Incomplete,
+            _ => ParseError::BadBody,
+        })?;
+        return Ok((body, body_start + used));
+    }
+    if let Some(len) = headers.content_length() {
+        if input.len() < body_start + len {
+            return Err(ParseError::Incomplete);
+        }
+        return Ok((
+            input[body_start..body_start + len].to_vec(),
+            body_start + len,
+        ));
+    }
+    if headers.contains("content-length") {
+        // Header present but unparseable.
+        return Err(ParseError::BadBody);
+    }
+    if read_to_end {
+        Ok((input[body_start..].to_vec(), input.len()))
+    } else {
+        Ok((Vec::new(), body_start))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn head_splits_start_line_and_headers() {
+        let raw = b"GET / HTTP/1.1\r\nHost: x\r\nA: b\r\n\r\nBODY";
+        let (start, headers, off) = head(raw).unwrap();
+        assert_eq!(start, "GET / HTTP/1.1");
+        assert_eq!(headers.get("host"), Some("x"));
+        assert_eq!(&raw[off..], b"BODY");
+    }
+
+    #[test]
+    fn incomplete_head() {
+        assert!(matches!(
+            head(b"GET / HTTP/1.1\r\nHost: x"),
+            Err(ParseError::Incomplete)
+        ));
+    }
+
+    #[test]
+    fn bad_header_line() {
+        assert!(matches!(
+            head(b"GET / HTTP/1.1\r\nNOCOLON\r\n\r\n"),
+            Err(ParseError::BadHeader)
+        ));
+        assert!(matches!(
+            head(b"GET / HTTP/1.1\r\nbad name: x\r\n\r\n"),
+            Err(ParseError::BadHeader)
+        ));
+    }
+
+    #[test]
+    fn body_content_length() {
+        let mut h = Headers::new();
+        h.set("Content-Length", "4");
+        let raw = b"....ABCDextra";
+        let (body, used) = body(&h, raw, 4, false).unwrap();
+        assert_eq!(body, b"ABCD");
+        assert_eq!(used, 8);
+    }
+
+    #[test]
+    fn body_content_length_incomplete() {
+        let mut h = Headers::new();
+        h.set("Content-Length", "10");
+        assert_eq!(body(&h, b"....AB", 4, false), Err(ParseError::Incomplete));
+    }
+
+    #[test]
+    fn body_bad_content_length() {
+        let mut h = Headers::new();
+        h.set("Content-Length", "wat");
+        assert_eq!(body(&h, b"....", 4, false), Err(ParseError::BadBody));
+    }
+
+    #[test]
+    fn body_read_to_end_fallback() {
+        let h = Headers::new();
+        let (b, used) = body(&h, b"....tail", 4, true).unwrap();
+        assert_eq!(b, b"tail");
+        assert_eq!(used, 8);
+        let (b2, used2) = body(&h, b"....tail", 4, false).unwrap();
+        assert!(b2.is_empty());
+        assert_eq!(used2, 4);
+    }
+}

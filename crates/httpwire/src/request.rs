@@ -1,0 +1,253 @@
+//! HTTP requests: the three target forms the proxy ecosystem uses, plus
+//! serialization and parsing.
+
+use crate::headers::Headers;
+use crate::parse::{self, ParseError};
+use crate::uri::Uri;
+use std::fmt;
+
+/// HTTP request method.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// GET
+    Get,
+    /// HEAD
+    Head,
+    /// POST
+    Post,
+    /// CONNECT — the tunnel-establishment method the HTTPS experiment uses.
+    Connect,
+    /// Any other token, preserved verbatim.
+    Other(String),
+}
+
+impl Method {
+    /// The method token.
+    pub fn as_str(&self) -> &str {
+        match self {
+            Method::Get => "GET",
+            Method::Head => "HEAD",
+            Method::Post => "POST",
+            Method::Connect => "CONNECT",
+            Method::Other(s) => s,
+        }
+    }
+
+    /// Parse a method token.
+    pub fn parse(s: &str) -> Method {
+        match s {
+            "GET" => Method::Get,
+            "HEAD" => Method::Head,
+            "POST" => Method::Post,
+            "CONNECT" => Method::Connect,
+            other => Method::Other(other.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The request target, in one of the three forms of RFC 7230 §5.3.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// Origin form: `/path` (what origin servers receive).
+    Origin(String),
+    /// Absolute form: `http://host/path` (what HTTP proxies receive).
+    Absolute(Uri),
+    /// Authority form: `host:port` (CONNECT only).
+    Authority(String, u16),
+}
+
+impl Target {
+    /// The path component of the target (authority form has none).
+    pub fn path(&self) -> Option<&str> {
+        match self {
+            Target::Origin(p) => Some(p),
+            Target::Absolute(u) => Some(&u.path),
+            Target::Authority(..) => None,
+        }
+    }
+}
+
+impl fmt::Display for Target {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Target::Origin(p) => f.write_str(p),
+            Target::Absolute(u) => write!(f, "{u}"),
+            Target::Authority(h, p) => write!(f, "{h}:{p}"),
+        }
+    }
+}
+
+/// An HTTP/1.1 request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Request method.
+    pub method: Method,
+    /// Request target.
+    pub target: Target,
+    /// Header fields.
+    pub headers: Headers,
+    /// Message body (empty for GET/HEAD/CONNECT in this ecosystem).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// A GET in absolute (proxy) form with a `Host` header.
+    pub fn proxy_get(uri: Uri) -> Request {
+        let mut headers = Headers::new();
+        headers.set("Host", &uri.authority());
+        Request {
+            method: Method::Get,
+            target: Target::Absolute(uri),
+            headers,
+            body: Vec::new(),
+        }
+    }
+
+    /// A GET in origin form (as seen by the origin server).
+    pub fn origin_get(host: &str, path: &str) -> Request {
+        let mut headers = Headers::new();
+        headers.set("Host", host);
+        Request {
+            method: Method::Get,
+            target: Target::Origin(path.to_string()),
+            headers,
+            body: Vec::new(),
+        }
+    }
+
+    /// A CONNECT request to `host:port`.
+    pub fn connect(host: &str, port: u16) -> Request {
+        let mut headers = Headers::new();
+        headers.set("Host", &format!("{host}:{port}"));
+        Request {
+            method: Method::Connect,
+            target: Target::Authority(host.to_string(), port),
+            headers,
+            body: Vec::new(),
+        }
+    }
+
+    /// The `Host` header value, if present.
+    pub fn host(&self) -> Option<&str> {
+        self.headers.get("host")
+    }
+
+    /// Serialize to wire bytes. A `Content-Length` header is added when a
+    /// body is present and neither framing header exists.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut headers = self.headers.clone();
+        if !self.body.is_empty() && headers.content_length().is_none() && !headers.is_chunked() {
+            headers.set("Content-Length", &self.body.len().to_string());
+        }
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(
+            format!("{} {} HTTP/1.1\r\n{headers}\r\n", self.method, self.target).as_bytes(),
+        );
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parse a complete request from wire bytes. Returns the request and the
+    /// number of bytes consumed.
+    pub fn parse(input: &[u8]) -> Result<(Request, usize), ParseError> {
+        let (start_line, headers, body_start) = parse::head(input)?;
+        let mut parts = start_line.split(' ');
+        let method = Method::parse(parts.next().ok_or(ParseError::BadStartLine)?);
+        let target_str = parts.next().ok_or(ParseError::BadStartLine)?;
+        let version = parts.next().ok_or(ParseError::BadStartLine)?;
+        if !version.starts_with("HTTP/1.") || parts.next().is_some() {
+            return Err(ParseError::BadStartLine);
+        }
+        let target = if method == Method::Connect {
+            let (host, port) = target_str
+                .rsplit_once(':')
+                .ok_or(ParseError::BadStartLine)?;
+            let port: u16 = port.parse().map_err(|_| ParseError::BadStartLine)?;
+            Target::Authority(host.to_string(), port)
+        } else if target_str.starts_with('/') {
+            Target::Origin(target_str.to_string())
+        } else if target_str.starts_with("http") {
+            Target::Absolute(Uri::parse(target_str).map_err(|_| ParseError::BadStartLine)?)
+        } else {
+            return Err(ParseError::BadStartLine);
+        };
+        let (body, consumed) = parse::body(&headers, input, body_start, false)?;
+        Ok((
+            Request {
+                method,
+                target,
+                headers,
+                body,
+            },
+            consumed,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn proxy_get_encodes_absolute_form() {
+        let req = Request::proxy_get(Uri::parse("http://d1.tft-probe.example/").unwrap());
+        let wire = String::from_utf8(req.encode()).unwrap();
+        assert!(
+            wire.starts_with("GET http://d1.tft-probe.example/ HTTP/1.1\r\n"),
+            "got: {wire}"
+        );
+        assert!(wire.contains("Host: d1.tft-probe.example\r\n"));
+    }
+
+    #[test]
+    fn connect_encodes_authority_form() {
+        let req = Request::connect("203.0.113.4", 443);
+        let wire = String::from_utf8(req.encode()).unwrap();
+        assert!(wire.starts_with("CONNECT 203.0.113.4:443 HTTP/1.1\r\n"));
+    }
+
+    #[test]
+    fn parse_roundtrip_all_forms() {
+        for req in [
+            Request::proxy_get(Uri::parse("http://a.example/x").unwrap()),
+            Request::origin_get("a.example", "/x"),
+            Request::connect("a.example", 443),
+        ] {
+            let wire = req.encode();
+            let (parsed, consumed) = Request::parse(&wire).unwrap();
+            assert_eq!(parsed, req);
+            assert_eq!(consumed, wire.len());
+        }
+    }
+
+    #[test]
+    fn parse_with_body() {
+        let mut req = Request::origin_get("a.example", "/submit");
+        req.method = Method::Post;
+        req.body = b"payload".to_vec();
+        let wire = req.encode();
+        let (parsed, _) = Request::parse(&wire).unwrap();
+        assert_eq!(parsed.body, b"payload");
+        assert_eq!(parsed.headers.content_length(), Some(7));
+    }
+
+    #[test]
+    fn rejects_bad_start_lines() {
+        assert!(Request::parse(b"GARBAGE\r\n\r\n").is_err());
+        assert!(Request::parse(b"GET /x HTTP/2.0 extra\r\n\r\n").is_err());
+        assert!(Request::parse(b"GET ftp://x/ HTTP/1.1\r\n\r\n").is_err());
+        assert!(Request::parse(b"CONNECT noport HTTP/1.1\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn method_parse_preserves_unknown() {
+        assert_eq!(Method::parse("PATCH"), Method::Other("PATCH".into()));
+        assert_eq!(Method::parse("GET"), Method::Get);
+    }
+}

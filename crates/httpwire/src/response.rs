@@ -1,0 +1,153 @@
+//! HTTP responses: serialization, parsing, and content-type helpers used by
+//! the HTTP-modification experiment.
+
+use crate::headers::Headers;
+use crate::parse::{self, ParseError};
+use crate::status::StatusCode;
+
+/// An HTTP/1.1 response.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: StatusCode,
+    /// Reason phrase (defaults to the code's canonical phrase).
+    pub reason: String,
+    /// Header fields.
+    pub headers: Headers,
+    /// Message body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A response with the canonical reason phrase and a body.
+    pub fn new(status: StatusCode, body: Vec<u8>) -> Response {
+        Response {
+            status,
+            reason: status.reason().to_string(),
+            headers: Headers::new(),
+            body,
+        }
+    }
+
+    /// A `200 OK` with the given content type and body.
+    pub fn ok(content_type: &str, body: Vec<u8>) -> Response {
+        let mut r = Response::new(StatusCode::OK, body);
+        r.headers.set("Content-Type", content_type);
+        r
+    }
+
+    /// The declared content type (without parameters), lowercased.
+    pub fn content_type(&self) -> Option<String> {
+        self.headers
+            .get("content-type")
+            .map(|v| v.split(';').next().unwrap_or(v).trim().to_ascii_lowercase())
+    }
+
+    /// Serialize to wire bytes, adding `Content-Length` unless chunked
+    /// framing is declared.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut headers = self.headers.clone();
+        if !headers.is_chunked() {
+            headers.set("Content-Length", &self.body.len().to_string());
+        }
+        let mut out = Vec::with_capacity(128 + self.body.len());
+        out.extend_from_slice(
+            format!("HTTP/1.1 {} {}\r\n{headers}\r\n", self.status, self.reason).as_bytes(),
+        );
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Parse a complete response. Returns the response and bytes consumed.
+    /// Responses without framing headers consume the rest of the input
+    /// (HTTP/1.0-style close-delimited bodies).
+    pub fn parse(input: &[u8]) -> Result<(Response, usize), ParseError> {
+        let (start_line, headers, body_start) = parse::head(input)?;
+        let mut parts = start_line.splitn(3, ' ');
+        let version = parts.next().ok_or(ParseError::BadStartLine)?;
+        if !version.starts_with("HTTP/1.") {
+            return Err(ParseError::BadStartLine);
+        }
+        let code: u16 = parts
+            .next()
+            .ok_or(ParseError::BadStartLine)?
+            .parse()
+            .map_err(|_| ParseError::BadStartLine)?;
+        let reason = parts.next().unwrap_or("").to_string();
+        let (body, consumed) = parse::body(&headers, input, body_start, true)?;
+        Ok((
+            Response {
+                status: StatusCode(code),
+                reason,
+                headers,
+                body,
+            },
+            consumed,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunked;
+
+    #[test]
+    fn encode_adds_content_length() {
+        let r = Response::ok("text/html", b"<html></html>".to_vec());
+        let wire = String::from_utf8(r.encode()).unwrap();
+        assert!(wire.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(wire.contains("Content-Length: 13\r\n"));
+        assert!(wire.ends_with("<html></html>"));
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        let r = Response::ok("image/jpeg", vec![0xFF, 0xD8, 0xFF, 0xE0]);
+        let wire = r.encode();
+        let (parsed, consumed) = Response::parse(&wire).unwrap();
+        assert_eq!(consumed, wire.len());
+        assert_eq!(parsed.status, StatusCode::OK);
+        assert_eq!(parsed.body, vec![0xFF, 0xD8, 0xFF, 0xE0]);
+        assert_eq!(parsed.content_type().as_deref(), Some("image/jpeg"));
+    }
+
+    #[test]
+    fn parse_chunked_body() {
+        let mut r = Response::new(StatusCode::OK, Vec::new());
+        r.headers.set("Transfer-Encoding", "chunked");
+        let mut wire = r.encode();
+        wire.extend_from_slice(&chunked::encode(b"streamed content", 4));
+        let (parsed, consumed) = Response::parse(&wire).unwrap();
+        assert_eq!(parsed.body, b"streamed content");
+        assert_eq!(consumed, wire.len());
+    }
+
+    #[test]
+    fn close_delimited_body() {
+        let raw = b"HTTP/1.1 200 OK\r\n\r\neverything until close";
+        let (parsed, consumed) = Response::parse(raw).unwrap();
+        assert_eq!(parsed.body, b"everything until close");
+        assert_eq!(consumed, raw.len());
+    }
+
+    #[test]
+    fn content_type_strips_parameters() {
+        let mut r = Response::new(StatusCode::OK, vec![]);
+        r.headers.set("Content-Type", "Text/HTML; charset=utf-8");
+        assert_eq!(r.content_type().as_deref(), Some("text/html"));
+    }
+
+    #[test]
+    fn reason_phrase_with_spaces_survives() {
+        let raw = b"HTTP/1.1 404 Not Found\r\nContent-Length: 0\r\n\r\n";
+        let (parsed, _) = Response::parse(raw).unwrap();
+        assert_eq!(parsed.reason, "Not Found");
+    }
+
+    #[test]
+    fn rejects_bad_status_line() {
+        assert!(Response::parse(b"HTTP/1.1 abc OK\r\n\r\n").is_err());
+        assert!(Response::parse(b"SPDY/1 200 OK\r\n\r\n").is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! HTTP status codes.
+
+use std::fmt;
+
+/// An HTTP status code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StatusCode(pub u16);
+
+impl StatusCode {
+    /// 200 OK
+    pub const OK: StatusCode = StatusCode(200);
+    /// 204 No Content
+    pub const NO_CONTENT: StatusCode = StatusCode(204);
+    /// 301 Moved Permanently
+    pub const MOVED_PERMANENTLY: StatusCode = StatusCode(301);
+    /// 302 Found
+    pub const FOUND: StatusCode = StatusCode(302);
+    /// 400 Bad Request
+    pub const BAD_REQUEST: StatusCode = StatusCode(400);
+    /// 403 Forbidden
+    pub const FORBIDDEN: StatusCode = StatusCode(403);
+    /// 404 Not Found
+    pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 502 Bad Gateway
+    pub const BAD_GATEWAY: StatusCode = StatusCode(502);
+    /// 503 Service Unavailable
+    pub const SERVICE_UNAVAILABLE: StatusCode = StatusCode(503);
+    /// 504 Gateway Timeout
+    pub const GATEWAY_TIMEOUT: StatusCode = StatusCode(504);
+
+    /// The canonical reason phrase.
+    pub fn reason(self) -> &'static str {
+        match self.0 {
+            200 => "OK",
+            204 => "No Content",
+            301 => "Moved Permanently",
+            302 => "Found",
+            400 => "Bad Request",
+            403 => "Forbidden",
+            404 => "Not Found",
+            500 => "Internal Server Error",
+            502 => "Bad Gateway",
+            503 => "Service Unavailable",
+            504 => "Gateway Timeout",
+            _ => "Unknown",
+        }
+    }
+
+    /// True for 2xx codes.
+    pub fn is_success(self) -> bool {
+        (200..300).contains(&self.0)
+    }
+
+    /// True for 3xx codes.
+    pub fn is_redirect(self) -> bool {
+        (300..400).contains(&self.0)
+    }
+
+    /// True for 4xx/5xx codes.
+    pub fn is_error(self) -> bool {
+        self.0 >= 400
+    }
+}
+
+impl fmt::Display for StatusCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        assert!(StatusCode::OK.is_success());
+        assert!(StatusCode::FOUND.is_redirect());
+        assert!(StatusCode::BAD_GATEWAY.is_error());
+        assert!(!StatusCode::OK.is_error());
+    }
+
+    #[test]
+    fn reasons() {
+        assert_eq!(StatusCode::OK.reason(), "OK");
+        assert_eq!(StatusCode(418).reason(), "Unknown");
+    }
+}

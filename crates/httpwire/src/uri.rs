@@ -1,0 +1,235 @@
+//! URI handling for the subset of HTTP the proxy ecosystem uses.
+//!
+//! Proxy requests take the *absolute form* (`GET http://foo.com/ HTTP/1.1`),
+//! CONNECT takes the *authority form* (`CONNECT 1.2.3.4:443`), and origin
+//! servers see the *origin form* (`GET /path`). This module parses all
+//! three.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A parsed `http://` URI (the ecosystem never dereferences `https://` URIs
+/// through the proxy; TLS goes through CONNECT tunnels instead).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Uri {
+    /// URI scheme (`http` or `https`).
+    pub scheme: Scheme,
+    /// Host (a DNS name or an IPv4 literal).
+    pub host: String,
+    /// Explicit port, if present.
+    pub port: Option<u16>,
+    /// Path, always beginning with `/`.
+    pub path: String,
+}
+
+/// URI scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Plain HTTP.
+    Http,
+    /// HTTP over TLS.
+    Https,
+}
+
+impl Scheme {
+    /// Default port for the scheme.
+    pub fn default_port(self) -> u16 {
+        match self {
+            Scheme::Http => 80,
+            Scheme::Https => 443,
+        }
+    }
+
+    /// Scheme name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Scheme::Http => "http",
+            Scheme::Https => "https",
+        }
+    }
+}
+
+/// Errors parsing a URI.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum UriError {
+    /// Scheme missing or not http/https.
+    BadScheme,
+    /// Host empty or contains invalid characters.
+    BadHost,
+    /// Port not a valid u16.
+    BadPort,
+}
+
+impl fmt::Display for UriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UriError::BadScheme => write!(f, "bad or missing scheme"),
+            UriError::BadHost => write!(f, "bad host"),
+            UriError::BadPort => write!(f, "bad port"),
+        }
+    }
+}
+
+impl std::error::Error for UriError {}
+
+fn valid_host(h: &str) -> bool {
+    !h.is_empty()
+        && h.bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'-' || b == b'_')
+}
+
+impl Uri {
+    /// Build an `http://` URI.
+    pub fn http(host: &str, path: &str) -> Uri {
+        assert!(valid_host(host), "invalid host {host:?}");
+        Uri {
+            scheme: Scheme::Http,
+            host: host.to_ascii_lowercase(),
+            port: None,
+            path: normalize_path(path),
+        }
+    }
+
+    /// Build an `https://` URI.
+    pub fn https(host: &str, path: &str) -> Uri {
+        assert!(valid_host(host), "invalid host {host:?}");
+        Uri {
+            scheme: Scheme::Https,
+            host: host.to_ascii_lowercase(),
+            port: None,
+            path: normalize_path(path),
+        }
+    }
+
+    /// Parse an absolute URI.
+    pub fn parse(s: &str) -> Result<Uri, UriError> {
+        let (scheme, rest) = if let Some(rest) = s.strip_prefix("http://") {
+            (Scheme::Http, rest)
+        } else if let Some(rest) = s.strip_prefix("https://") {
+            (Scheme::Https, rest)
+        } else {
+            return Err(UriError::BadScheme);
+        };
+        let (authority, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => {
+                let port: u16 = p.parse().map_err(|_| UriError::BadPort)?;
+                (h, Some(port))
+            }
+            None => (authority, None),
+        };
+        if !valid_host(host) {
+            return Err(UriError::BadHost);
+        }
+        Ok(Uri {
+            scheme,
+            host: host.to_ascii_lowercase(),
+            port,
+            path: path.to_string(),
+        })
+    }
+
+    /// The effective port (explicit or the scheme default).
+    pub fn effective_port(&self) -> u16 {
+        self.port.unwrap_or_else(|| self.scheme.default_port())
+    }
+
+    /// The `host` or `host:port` authority string (port omitted when
+    /// default).
+    pub fn authority(&self) -> String {
+        match self.port {
+            Some(p) if p != self.scheme.default_port() => format!("{}:{p}", self.host),
+            _ => self.host.clone(),
+        }
+    }
+}
+
+fn normalize_path(path: &str) -> String {
+    if path.starts_with('/') {
+        path.to_string()
+    } else {
+        format!("/{path}")
+    }
+}
+
+impl fmt::Display for Uri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}://{}{}",
+            self.scheme.as_str(),
+            self.authority(),
+            self.path
+        )
+    }
+}
+
+impl FromStr for Uri {
+    type Err = UriError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Uri::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_basic() {
+        let u = Uri::parse("http://probe.example/obj/page.html").unwrap();
+        assert_eq!(u.scheme, Scheme::Http);
+        assert_eq!(u.host, "probe.example");
+        assert_eq!(u.path, "/obj/page.html");
+        assert_eq!(u.effective_port(), 80);
+    }
+
+    #[test]
+    fn parse_with_port() {
+        let u = Uri::parse("https://site.example:8443/").unwrap();
+        assert_eq!(u.port, Some(8443));
+        assert_eq!(u.effective_port(), 8443);
+        assert_eq!(u.authority(), "site.example:8443");
+    }
+
+    #[test]
+    fn bare_host_gets_root_path() {
+        let u = Uri::parse("http://foo.com").unwrap();
+        assert_eq!(u.path, "/");
+        assert_eq!(u.to_string(), "http://foo.com/");
+    }
+
+    #[test]
+    fn host_is_lowercased() {
+        assert_eq!(Uri::parse("http://FOO.Com/").unwrap().host, "foo.com");
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in [
+            "http://a.example/",
+            "https://b.example/x/y",
+            "http://c.example:8080/z",
+        ] {
+            assert_eq!(Uri::parse(s).unwrap().to_string(), s);
+        }
+    }
+
+    #[test]
+    fn default_port_elided_in_authority() {
+        let u = Uri::parse("http://foo.com:80/").unwrap();
+        assert_eq!(u.authority(), "foo.com");
+        assert_eq!(u.to_string(), "http://foo.com/");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(Uri::parse("ftp://x/"), Err(UriError::BadScheme));
+        assert_eq!(Uri::parse("http:///"), Err(UriError::BadHost));
+        assert_eq!(Uri::parse("http://h:99999/"), Err(UriError::BadPort));
+        assert_eq!(Uri::parse("http://sp ace/"), Err(UriError::BadHost));
+    }
+}

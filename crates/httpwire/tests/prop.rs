@@ -1,0 +1,121 @@
+//! Property-based tests: HTTP parse/serialize roundtrips and parser totality.
+
+use httpwire::{chunked, Headers, Method, Request, Response, StatusCode, Target, Uri};
+use proptest::prelude::*;
+
+fn arb_token() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z][A-Za-z0-9-]{0,15}").expect("regex")
+}
+
+fn arb_header_value() -> impl Strategy<Value = String> {
+    // Visible ASCII without leading/trailing space (values are trimmed on
+    // parse) and without CR/LF.
+    proptest::string::string_regex("[!-~]([ -~]{0,30}[!-~])?").expect("regex")
+}
+
+fn arb_headers() -> impl Strategy<Value = Headers> {
+    proptest::collection::vec((arb_token(), arb_header_value()), 0..8).prop_map(|pairs| {
+        let mut h = Headers::new();
+        for (n, v) in pairs {
+            // Avoid framing headers; encode() manages those.
+            if !n.eq_ignore_ascii_case("content-length")
+                && !n.eq_ignore_ascii_case("transfer-encoding")
+            {
+                h.append(&n, &v);
+            }
+        }
+        h
+    })
+}
+
+fn arb_host() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z0-9]([a-z0-9.-]{0,20}[a-z0-9])?").expect("regex")
+}
+
+fn arb_body() -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(any::<u8>(), 0..256)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    #[test]
+    fn request_roundtrip_origin_form(
+        host in arb_host(),
+        path in proptest::string::string_regex("/[!-~&&[^ ]]{0,30}").expect("regex"),
+        headers in arb_headers(),
+        body in arb_body(),
+    ) {
+        let mut req = Request::origin_get(&host, &path);
+        for (n, v) in headers.iter() {
+            req.headers.append(n, v);
+        }
+        if !body.is_empty() {
+            req.method = Method::Post;
+            req.body = body;
+        }
+        let wire = req.encode();
+        let (parsed, consumed) = Request::parse(&wire).unwrap();
+        prop_assert_eq!(consumed, wire.len());
+        prop_assert_eq!(parsed.method, req.method);
+        prop_assert_eq!(parsed.target, req.target);
+        prop_assert_eq!(parsed.body, req.body);
+    }
+
+    #[test]
+    fn request_roundtrip_absolute_form(host in arb_host(), port in 1u16.., body in arb_body()) {
+        let uri = Uri::parse(&format!("http://{host}:{port}/probe")).unwrap();
+        let mut req = Request::proxy_get(uri.clone());
+        req.body = body;
+        let (parsed, _) = Request::parse(&req.encode()).unwrap();
+        match parsed.target {
+            Target::Absolute(u) => {
+                prop_assert_eq!(u.effective_port(), uri.effective_port());
+                prop_assert_eq!(u.host, uri.host);
+            }
+            other => prop_assert!(false, "wrong target form: {:?}", other),
+        }
+    }
+
+    #[test]
+    fn response_roundtrip(status in 100u16..600, headers in arb_headers(), body in arb_body()) {
+        let mut resp = Response::new(StatusCode(status), body);
+        resp.headers = headers;
+        let wire = resp.encode();
+        let (parsed, consumed) = Response::parse(&wire).unwrap();
+        prop_assert_eq!(consumed, wire.len());
+        prop_assert_eq!(parsed.status, resp.status);
+        prop_assert_eq!(parsed.body, resp.body);
+    }
+
+    #[test]
+    fn parsers_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let _ = Request::parse(&bytes);
+        let _ = Response::parse(&bytes);
+    }
+
+    #[test]
+    fn parsers_total_on_corruption(body in arb_body(), idx in any::<usize>(), flip in 1u8..) {
+        let resp = Response::ok("application/octet-stream", body);
+        let mut wire = resp.encode();
+        let i = idx % wire.len();
+        wire[i] ^= flip;
+        let _ = Response::parse(&wire);
+    }
+
+    #[test]
+    fn chunked_roundtrip(body in arb_body(), chunk in 1usize..64) {
+        let encoded = chunked::encode(&body, chunk);
+        let (decoded, consumed) = chunked::decode(&encoded).unwrap();
+        prop_assert_eq!(decoded, body);
+        prop_assert_eq!(consumed, encoded.len());
+    }
+
+    #[test]
+    fn uri_roundtrip(host in arb_host(), port in 1u16.., path in proptest::string::string_regex("/[a-z0-9/._-]{0,20}").expect("regex")) {
+        let s = format!("http://{host}:{port}{path}");
+        let uri = Uri::parse(&s).unwrap();
+        let again = Uri::parse(&uri.to_string()).unwrap();
+        prop_assert_eq!(&uri, &again);
+    }
+}

@@ -1,0 +1,30 @@
+//! # inetdb — the Internet registry substrate
+//!
+//! In-simulation equivalents of the external datasets the paper depends on
+//! (§3.1):
+//!
+//! - **RouteViews** → [`routeviews::RibSnapshot`]: prefix → origin-AS
+//!   longest-prefix matching over a binary [`trie::PrefixTrie`];
+//! - **CAIDA AS-organizations** → [`registry::InternetRegistry`]: AS → org,
+//!   org → country, plus the simulated world's address-space allocator;
+//! - **Alexa Top Sites / university list** → [`rankings::Rankings`]: the
+//!   HTTPS experiment's *popular* and *international* site classes.
+//!
+//! The analysis layer in `tft-core` performs the same three-level grouping
+//! the paper does — AS level, organization (ISP) level, country level —
+//! through this crate's query API.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod rankings;
+pub mod registry;
+pub mod routeviews;
+pub mod trie;
+pub mod types;
+
+pub use rankings::Rankings;
+pub use registry::{InternetRegistry, Organization, GOOGLE_ANYCAST_NET, GOOGLE_PUBLIC_DNS};
+pub use routeviews::{RibBuilder, RibSnapshot};
+pub use trie::PrefixTrie;
+pub use types::{Asn, CountryCode, Ipv4Net, OrgId};

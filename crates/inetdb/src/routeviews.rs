@@ -1,0 +1,95 @@
+//! RouteViews-equivalent RIB snapshot: prefix → origin AS.
+//!
+//! The paper maps IP addresses to ASes "using data from RouteViews taken at
+//! the same time as our data collection" (§3.1). Our snapshot is built by the
+//! world generator at world-construction time — the same-time property holds
+//! by construction.
+
+use crate::trie::PrefixTrie;
+use crate::types::{Asn, Ipv4Net};
+use std::net::Ipv4Addr;
+
+/// An immutable RIB snapshot supporting longest-prefix-match origin lookup.
+#[derive(Debug)]
+pub struct RibSnapshot {
+    trie: PrefixTrie<Asn>,
+    routes: Vec<(Ipv4Net, Asn)>,
+}
+
+/// Builder for [`RibSnapshot`].
+#[derive(Debug, Default)]
+pub struct RibBuilder {
+    routes: Vec<(Ipv4Net, Asn)>,
+}
+
+impl RibBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Announce `net` as originated by `asn`. Later announcements of the same
+    /// prefix override earlier ones (mirroring a RIB dump where the most
+    /// recent path wins).
+    pub fn announce(&mut self, net: Ipv4Net, asn: Asn) -> &mut Self {
+        self.routes.push((net, asn));
+        self
+    }
+
+    /// Freeze into a snapshot.
+    pub fn build(self) -> RibSnapshot {
+        let mut trie = PrefixTrie::new();
+        for &(net, asn) in &self.routes {
+            trie.insert(net, asn);
+        }
+        RibSnapshot {
+            trie,
+            routes: self.routes,
+        }
+    }
+}
+
+impl RibSnapshot {
+    /// Longest-prefix-match origin AS for `ip`.
+    pub fn origin(&self, ip: Ipv4Addr) -> Option<Asn> {
+        self.trie.lookup(ip).copied()
+    }
+
+    /// All announced routes, in announcement order.
+    pub fn routes(&self) -> &[(Ipv4Net, Asn)] {
+        &self.routes
+    }
+
+    /// Number of distinct prefixes in the snapshot.
+    pub fn prefix_count(&self) -> usize {
+        self.trie.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn origin_lookup_prefers_specifics() {
+        let mut b = RibBuilder::new();
+        b.announce("10.0.0.0/8".parse().unwrap(), Asn(100));
+        b.announce("10.20.0.0/16".parse().unwrap(), Asn(200));
+        let rib = b.build();
+        assert_eq!(rib.origin("10.20.1.1".parse().unwrap()), Some(Asn(200)));
+        assert_eq!(rib.origin("10.99.1.1".parse().unwrap()), Some(Asn(100)));
+        assert_eq!(rib.origin("11.0.0.1".parse().unwrap()), None);
+    }
+
+    #[test]
+    fn later_announcement_overrides() {
+        let mut b = RibBuilder::new();
+        let net = "192.0.2.0/24".parse().unwrap();
+        b.announce(net, Asn(1));
+        b.announce(net, Asn(2));
+        let rib = b.build();
+        assert_eq!(rib.origin("192.0.2.1".parse().unwrap()), Some(Asn(2)));
+        assert_eq!(rib.prefix_count(), 1);
+        assert_eq!(rib.routes().len(), 2);
+    }
+}

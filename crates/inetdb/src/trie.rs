@@ -1,0 +1,168 @@
+//! Binary prefix trie over IPv4 addresses with longest-prefix match.
+//!
+//! This is the lookup structure behind the RouteViews-style RIB snapshot:
+//! `IP address → origin ASN`, exactly the mapping the paper uses to place
+//! every exit node and DNS server into an AS (Section 3.1).
+
+use crate::types::Ipv4Net;
+use std::net::Ipv4Addr;
+
+#[derive(Debug)]
+struct Node<T> {
+    value: Option<T>,
+    children: [Option<Box<Node<T>>>; 2],
+}
+
+impl<T> Node<T> {
+    fn new() -> Self {
+        Node {
+            value: None,
+            children: [None, None],
+        }
+    }
+}
+
+/// A binary trie keyed by IPv4 prefixes, supporting exact insert and
+/// longest-prefix-match lookup.
+#[derive(Debug)]
+pub struct PrefixTrie<T> {
+    root: Node<T>,
+    len: usize,
+}
+
+impl<T> Default for PrefixTrie<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> PrefixTrie<T> {
+    /// An empty trie.
+    pub fn new() -> Self {
+        PrefixTrie {
+            root: Node::new(),
+            len: 0,
+        }
+    }
+
+    /// Number of prefixes stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if no prefixes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert a value for `net`, returning the previous value if the exact
+    /// prefix was already present.
+    pub fn insert(&mut self, net: Ipv4Net, value: T) -> Option<T> {
+        let bits = u32::from(net.network());
+        let mut node = &mut self.root;
+        for i in 0..net.prefix_len() {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            node = node.children[bit].get_or_insert_with(|| Box::new(Node::new()));
+        }
+        let old = node.value.replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Longest-prefix match: the most specific stored prefix covering `ip`.
+    pub fn lookup(&self, ip: Ipv4Addr) -> Option<&T> {
+        let bits = u32::from(ip);
+        let mut node = &self.root;
+        let mut best = node.value.as_ref();
+        for i in 0..32 {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            match &node.children[bit] {
+                Some(child) => {
+                    node = child;
+                    if node.value.is_some() {
+                        best = node.value.as_ref();
+                    }
+                }
+                None => break,
+            }
+        }
+        best
+    }
+
+    /// Exact-prefix lookup.
+    pub fn get(&self, net: Ipv4Net) -> Option<&T> {
+        let bits = u32::from(net.network());
+        let mut node = &self.root;
+        for i in 0..net.prefix_len() {
+            let bit = ((bits >> (31 - i)) & 1) as usize;
+            node = node.children[bit].as_deref()?;
+        }
+        node.value.as_ref()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn net(s: &str) -> Ipv4Net {
+        s.parse().unwrap()
+    }
+    fn ip(s: &str) -> Ipv4Addr {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let mut t = PrefixTrie::new();
+        t.insert(net("10.0.0.0/8"), "eight");
+        t.insert(net("10.1.0.0/16"), "sixteen");
+        t.insert(net("10.1.2.0/24"), "twentyfour");
+        assert_eq!(t.lookup(ip("10.1.2.3")), Some(&"twentyfour"));
+        assert_eq!(t.lookup(ip("10.1.9.9")), Some(&"sixteen"));
+        assert_eq!(t.lookup(ip("10.9.9.9")), Some(&"eight"));
+        assert_eq!(t.lookup(ip("11.0.0.1")), None);
+    }
+
+    #[test]
+    fn insert_replaces_and_reports_old() {
+        let mut t = PrefixTrie::new();
+        assert_eq!(t.insert(net("192.0.2.0/24"), 1), None);
+        assert_eq!(t.insert(net("192.0.2.0/24"), 2), Some(1));
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(net("192.0.2.0/24")), Some(&2));
+    }
+
+    #[test]
+    fn default_route_matches_everything() {
+        let mut t = PrefixTrie::new();
+        t.insert(net("0.0.0.0/0"), "default");
+        assert_eq!(t.lookup(ip("203.0.113.7")), Some(&"default"));
+    }
+
+    #[test]
+    fn host_route_is_most_specific() {
+        let mut t = PrefixTrie::new();
+        t.insert(net("198.51.100.0/24"), "net");
+        t.insert(net("198.51.100.7/32"), "host");
+        assert_eq!(t.lookup(ip("198.51.100.7")), Some(&"host"));
+        assert_eq!(t.lookup(ip("198.51.100.8")), Some(&"net"));
+    }
+
+    #[test]
+    fn get_is_exact_not_covering() {
+        let mut t = PrefixTrie::new();
+        t.insert(net("10.0.0.0/8"), "eight");
+        assert_eq!(t.get(net("10.0.0.0/16")), None);
+        assert_eq!(t.get(net("10.0.0.0/8")), Some(&"eight"));
+    }
+
+    #[test]
+    fn empty_trie_lookup() {
+        let t: PrefixTrie<u8> = PrefixTrie::new();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(ip("1.2.3.4")), None);
+    }
+}

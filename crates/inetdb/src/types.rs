@@ -1,0 +1,222 @@
+//! Fundamental identifier types for the Internet registry.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+/// An Autonomous System Number.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Asn(pub u32);
+
+impl fmt::Display for Asn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+/// An organization (ISP) identifier, from the AS-organizations dataset.
+/// One organization may operate many ASes (the paper's ISP-level grouping).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct OrgId(pub u32);
+
+impl fmt::Display for OrgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "org{}", self.0)
+    }
+}
+
+/// An ISO 3166-1 alpha-2 country code (e.g. `US`, `MY`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CountryCode([u8; 2]);
+
+impl CountryCode {
+    /// Construct from a two-letter code.
+    ///
+    /// # Panics
+    /// Panics if `code` is not exactly two ASCII alphabetic characters.
+    pub fn new(code: &str) -> Self {
+        let bytes = code.as_bytes();
+        assert!(
+            bytes.len() == 2 && bytes.iter().all(|b| b.is_ascii_alphabetic()),
+            "invalid country code: {code:?}"
+        );
+        CountryCode([bytes[0].to_ascii_uppercase(), bytes[1].to_ascii_uppercase()])
+    }
+
+    /// The code as a string slice.
+    pub fn as_str(&self) -> &str {
+        // Constructed from ASCII alphabetic bytes only.
+        std::str::from_utf8(&self.0).expect("country code is ASCII")
+    }
+}
+
+impl fmt::Display for CountryCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for CountryCode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bytes = s.as_bytes();
+        if bytes.len() == 2 && bytes.iter().all(|b| b.is_ascii_alphabetic()) {
+            Ok(CountryCode::new(s))
+        } else {
+            Err(format!("invalid country code: {s:?}"))
+        }
+    }
+}
+
+/// An IPv4 network prefix in CIDR form.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Ipv4Net {
+    addr: u32,
+    prefix_len: u8,
+}
+
+impl Ipv4Net {
+    /// Construct a prefix; host bits below the prefix length are zeroed.
+    ///
+    /// # Panics
+    /// Panics if `prefix_len > 32`.
+    pub fn new(addr: Ipv4Addr, prefix_len: u8) -> Self {
+        assert!(prefix_len <= 32, "prefix length {prefix_len} > 32");
+        let raw = u32::from(addr);
+        Ipv4Net {
+            addr: raw & Self::mask(prefix_len),
+            prefix_len,
+        }
+    }
+
+    fn mask(prefix_len: u8) -> u32 {
+        if prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - prefix_len)
+        }
+    }
+
+    /// The (masked) network address.
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.addr)
+    }
+
+    /// Prefix length in bits.
+    pub fn prefix_len(&self) -> u8 {
+        self.prefix_len
+    }
+
+    /// True if `ip` falls inside this prefix.
+    pub fn contains(&self, ip: Ipv4Addr) -> bool {
+        (u32::from(ip) & Self::mask(self.prefix_len)) == self.addr
+    }
+
+    /// Number of addresses covered by this prefix.
+    pub fn size(&self) -> u64 {
+        1u64 << (32 - self.prefix_len)
+    }
+
+    /// The `i`-th address inside this prefix.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range.
+    pub fn nth(&self, i: u64) -> Ipv4Addr {
+        assert!(i < self.size(), "address index {i} out of prefix range");
+        Ipv4Addr::from(self.addr + i as u32)
+    }
+}
+
+impl fmt::Display for Ipv4Net {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.prefix_len)
+    }
+}
+
+impl FromStr for Ipv4Net {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| format!("missing '/' in CIDR: {s:?}"))?;
+        let addr: Ipv4Addr = addr.parse().map_err(|e| format!("bad address: {e}"))?;
+        let len: u8 = len.parse().map_err(|e| format!("bad prefix length: {e}"))?;
+        if len > 32 {
+            return Err(format!("prefix length {len} > 32"));
+        }
+        Ok(Ipv4Net::new(addr, len))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn country_code_normalizes_case() {
+        assert_eq!(CountryCode::new("us"), CountryCode::new("US"));
+        assert_eq!(CountryCode::new("My").as_str(), "MY");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid country code")]
+    fn country_code_rejects_bad_input() {
+        CountryCode::new("USA");
+    }
+
+    #[test]
+    fn country_code_parse() {
+        assert!("GB".parse::<CountryCode>().is_ok());
+        assert!("G1".parse::<CountryCode>().is_err());
+        assert!("".parse::<CountryCode>().is_err());
+    }
+
+    #[test]
+    fn cidr_masks_host_bits() {
+        let net = Ipv4Net::new(Ipv4Addr::new(10, 1, 2, 3), 16);
+        assert_eq!(net.network(), Ipv4Addr::new(10, 1, 0, 0));
+        assert_eq!(net.to_string(), "10.1.0.0/16");
+    }
+
+    #[test]
+    fn cidr_contains() {
+        let net: Ipv4Net = "74.125.0.0/16".parse().unwrap();
+        assert!(net.contains(Ipv4Addr::new(74, 125, 3, 9)));
+        assert!(!net.contains(Ipv4Addr::new(74, 126, 0, 0)));
+    }
+
+    #[test]
+    fn cidr_parse_roundtrip() {
+        let net: Ipv4Net = "192.168.64.0/18".parse().unwrap();
+        assert_eq!(net.to_string(), "192.168.64.0/18");
+        assert!("1.2.3.4".parse::<Ipv4Net>().is_err());
+        assert!("1.2.3.4/33".parse::<Ipv4Net>().is_err());
+    }
+
+    #[test]
+    fn cidr_size_and_nth() {
+        let net: Ipv4Net = "10.0.0.0/30".parse().unwrap();
+        assert_eq!(net.size(), 4);
+        assert_eq!(net.nth(0), Ipv4Addr::new(10, 0, 0, 0));
+        assert_eq!(net.nth(3), Ipv4Addr::new(10, 0, 0, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of prefix range")]
+    fn cidr_nth_bounds() {
+        let net: Ipv4Net = "10.0.0.0/30".parse().unwrap();
+        net.nth(4);
+    }
+
+    #[test]
+    fn zero_prefix_contains_everything() {
+        let net: Ipv4Net = "0.0.0.0/0".parse().unwrap();
+        assert!(net.contains(Ipv4Addr::new(255, 255, 255, 255)));
+        assert_eq!(net.size(), 1 << 32);
+    }
+}

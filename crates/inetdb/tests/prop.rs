@@ -1,0 +1,66 @@
+//! Property-based tests for the prefix trie and CIDR types.
+
+use inetdb::{Ipv4Net, PrefixTrie};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// Reference longest-prefix match: scan all prefixes, keep the longest that
+/// contains the address.
+fn reference_lpm(routes: &HashMap<Ipv4Net, u32>, ip: Ipv4Addr) -> Option<u32> {
+    routes
+        .iter()
+        .filter(|(net, _)| net.contains(ip))
+        .max_by_key(|(net, _)| net.prefix_len())
+        .map(|(_, v)| *v)
+}
+
+fn arb_net() -> impl Strategy<Value = Ipv4Net> {
+    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Ipv4Net::new(Ipv4Addr::from(addr), len))
+}
+
+proptest! {
+    #[test]
+    fn trie_matches_reference_lpm(
+        routes in proptest::collection::hash_map(arb_net(), any::<u32>(), 0..64),
+        probes in proptest::collection::vec(any::<u32>(), 1..64),
+    ) {
+        let mut trie = PrefixTrie::new();
+        for (&net, &v) in &routes {
+            trie.insert(net, v);
+        }
+        prop_assert_eq!(trie.len(), routes.len());
+        for p in probes {
+            let ip = Ipv4Addr::from(p);
+            prop_assert_eq!(trie.lookup(ip).copied(), reference_lpm(&routes, ip));
+        }
+    }
+
+    #[test]
+    fn cidr_display_parse_roundtrip(addr in any::<u32>(), len in 0u8..=32) {
+        let net = Ipv4Net::new(Ipv4Addr::from(addr), len);
+        let parsed: Ipv4Net = net.to_string().parse().unwrap();
+        prop_assert_eq!(net, parsed);
+    }
+
+    #[test]
+    fn cidr_contains_its_own_addresses(addr in any::<u32>(), len in 8u8..=32) {
+        let net = Ipv4Net::new(Ipv4Addr::from(addr), len);
+        // Probe first, last, and a middle address of the prefix.
+        let size = net.size();
+        for i in [0, size / 2, size - 1] {
+            prop_assert!(net.contains(net.nth(i)));
+        }
+    }
+
+    #[test]
+    fn exact_get_after_insert(routes in proptest::collection::hash_map(arb_net(), any::<u32>(), 1..32)) {
+        let mut trie = PrefixTrie::new();
+        for (&net, &v) in &routes {
+            trie.insert(net, v);
+        }
+        for (&net, &v) in &routes {
+            prop_assert_eq!(trie.get(net), Some(&v));
+        }
+    }
+}

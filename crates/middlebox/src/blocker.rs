@@ -1,0 +1,75 @@
+//! Object blockers (§5.2's JavaScript/CSS findings).
+//!
+//! The paper found 45 exit nodes whose JavaScript and 11 whose CSS fetches
+//! returned *replaced* content — always error pages ("bandwidth exceeded",
+//! "blocked") or empty responses, never minification or injection. A further
+//! 32 HTML fetches returned similar block pages and were filtered before
+//! the injection analysis. This models that interference.
+
+/// Replaces whole objects with block pages, by content type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ObjectBlocker {
+    /// Replace `text/html` responses.
+    pub html: bool,
+    /// Replace `application/javascript` responses.
+    pub js: bool,
+    /// Replace `text/css` responses.
+    pub css: bool,
+}
+
+impl ObjectBlocker {
+    /// Whether this blocker replaces the given content type.
+    pub fn blocks(&self, content_type: &str) -> bool {
+        match content_type {
+            "text/html" => self.html,
+            "application/javascript" | "text/javascript" => self.js,
+            "text/css" => self.css,
+            _ => false,
+        }
+    }
+
+    /// The replacement body.
+    pub fn block_page(&self, content_type: &str) -> Vec<u8> {
+        match content_type {
+            "text/html" => {
+                b"<html><head><title>Blocked</title></head><body><h1>509 Bandwidth Limit Exceeded</h1></body></html>".to_vec()
+            }
+            // Script/style objects come back as short error text or empty.
+            "text/css" => Vec::new(),
+            _ => b"/* bandwidth exceeded */".to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_by_content_type() {
+        let b = ObjectBlocker {
+            html: false,
+            js: true,
+            css: true,
+        };
+        assert!(b.blocks("application/javascript"));
+        assert!(b.blocks("text/javascript"));
+        assert!(b.blocks("text/css"));
+        assert!(!b.blocks("text/html"));
+        assert!(!b.blocks("image/jpeg"));
+    }
+
+    #[test]
+    fn block_pages_are_replacements_not_modifications() {
+        let b = ObjectBlocker {
+            html: true,
+            js: true,
+            css: true,
+        };
+        let js = b.block_page("application/javascript");
+        assert!(!js.is_empty());
+        assert!(b.block_page("text/css").is_empty());
+        let html = String::from_utf8(b.block_page("text/html")).unwrap();
+        assert!(html.contains("Bandwidth"));
+    }
+}

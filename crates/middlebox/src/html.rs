@@ -1,0 +1,190 @@
+//! HTML content modification (§5): JavaScript injection by end-host malware
+//! and web-filtering appliances.
+
+/// What the injected code is keyed on in the analysis — either a URL the
+/// injected `<script src=…>` references, or a characteristic keyword
+/// (variable name, class id, meta tag) in inline code. These are exactly the
+/// signatures of Table 6.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum InjectionSignature {
+    /// An external script URL (e.g. `d36mw5gp02ykm5.cloudfront.net`).
+    ScriptUrl(String),
+    /// An inline keyword (e.g. `var oiasudoj;` or
+    /// `AdTaily_Widget_Container`).
+    Keyword(String),
+    /// A meta tag inserted by a filtering appliance (e.g.
+    /// `NetsparkQuiltingResult`).
+    MetaTag(String),
+}
+
+impl InjectionSignature {
+    /// The string the analyzer greps for.
+    pub fn needle(&self) -> &str {
+        match self {
+            InjectionSignature::ScriptUrl(s)
+            | InjectionSignature::Keyword(s)
+            | InjectionSignature::MetaTag(s) => s,
+        }
+    }
+}
+
+/// An HTML modifier: injects JavaScript (malware, ad injectors) or filter
+/// markers (NetSpark-style appliances) into pages in flight.
+#[derive(Debug, Clone)]
+pub struct HtmlInjector {
+    /// The signature the injected content carries.
+    pub signature: InjectionSignature,
+    /// Extra bytes of payload injected alongside the signature (the paper
+    /// measured e.g. +335 KB of ads for `AdTaily_Widget_Container`, +23 KB
+    /// for `oiasudoj`).
+    pub payload_bytes: usize,
+    /// Number of ads the payload loads (reported for flavor; the analyzer
+    /// keys on size and signature).
+    pub ad_count: usize,
+}
+
+impl HtmlInjector {
+    /// A script-URL injector.
+    pub fn script(url: &str, payload_bytes: usize, ad_count: usize) -> Self {
+        HtmlInjector {
+            signature: InjectionSignature::ScriptUrl(url.to_string()),
+            payload_bytes,
+            ad_count,
+        }
+    }
+
+    /// An inline-keyword injector.
+    pub fn keyword(word: &str, payload_bytes: usize, ad_count: usize) -> Self {
+        HtmlInjector {
+            signature: InjectionSignature::Keyword(word.to_string()),
+            payload_bytes,
+            ad_count,
+        }
+    }
+
+    /// A filtering-appliance meta-tag injector (NetSpark style).
+    pub fn meta_tag(tag: &str) -> Self {
+        HtmlInjector {
+            signature: InjectionSignature::MetaTag(tag.to_string()),
+            payload_bytes: 0,
+            ad_count: 0,
+        }
+    }
+
+    /// Modify an HTML body in flight. Non-HTML bodies (no `</head>` or
+    /// `</body>` anchor) get the injection appended, which is what crude
+    /// real-world injectors do.
+    pub fn inject(&self, html: &[u8]) -> Vec<u8> {
+        let insert = self.injection_block();
+        let text = String::from_utf8_lossy(html);
+        let anchor = match &self.signature {
+            InjectionSignature::MetaTag(_) => text.find("</head>"),
+            _ => text.find("</body>"),
+        };
+        let mut out = Vec::with_capacity(html.len() + insert.len());
+        match anchor {
+            Some(pos) => {
+                out.extend_from_slice(&html[..pos]);
+                out.extend_from_slice(insert.as_bytes());
+                out.extend_from_slice(&html[pos..]);
+            }
+            None => {
+                out.extend_from_slice(html);
+                out.extend_from_slice(insert.as_bytes());
+            }
+        }
+        out
+    }
+
+    fn injection_block(&self) -> String {
+        let filler = "/*ad*/".repeat(self.payload_bytes / 6 + 1);
+        let filler = &filler[..self.payload_bytes.min(filler.len())];
+        match &self.signature {
+            InjectionSignature::ScriptUrl(url) => {
+                // Signatures with a path ("jswrite.com/script1.js") are full
+                // script URLs; bare domains get a conventional script name.
+                let src = if url.contains('/') {
+                    format!("http://{url}")
+                } else {
+                    format!("http://{url}/inject.js")
+                };
+                format!(
+                    "<script type=\"text/javascript\" src=\"{src}\"></script>\
+                     <script>{filler}</script>\n"
+                )
+            }
+            InjectionSignature::Keyword(word) => format!(
+                "<script type=\"text/javascript\">var {w}; {filler}\
+                 /* loads {n} ads */</script>\n",
+                w = word.trim_end_matches(';').trim_start_matches("var "),
+                n = self.ad_count
+            ),
+            InjectionSignature::MetaTag(tag) => {
+                format!("<meta name=\"{tag}\" content=\"filtered\"/>\n")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAGE: &[u8] =
+        b"<html><head><title>t</title></head><body><p>original content</p></body></html>";
+
+    #[test]
+    fn script_injection_adds_signature_and_grows_body() {
+        let inj = HtmlInjector::script("d36mw5gp02ykm5.cloudfront.example", 1024, 10);
+        let out = inj.inject(PAGE);
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("d36mw5gp02ykm5.cloudfront.example"));
+        assert!(out.len() >= PAGE.len() + 1024);
+        // Original content is preserved (injection, not replacement).
+        assert!(text.contains("original content"));
+    }
+
+    #[test]
+    fn keyword_injection() {
+        let inj = HtmlInjector::keyword("oiasudoj", 23 * 1024, 170);
+        let out = inj.inject(PAGE);
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.contains("var oiasudoj;"));
+        assert!(out.len() > PAGE.len() + 20 * 1024);
+    }
+
+    #[test]
+    fn meta_tag_lands_in_head() {
+        let inj = HtmlInjector::meta_tag("NetsparkQuiltingResult");
+        let out = inj.inject(PAGE);
+        let text = String::from_utf8_lossy(&out);
+        let meta = text.find("NetsparkQuiltingResult").unwrap();
+        let head_end = text.find("</head>").unwrap();
+        assert!(meta < head_end, "meta tag should be inside <head>");
+    }
+
+    #[test]
+    fn body_injection_lands_before_body_end() {
+        let inj = HtmlInjector::script("x.example", 10, 1);
+        let out = inj.inject(PAGE);
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.find("x.example").unwrap() < text.find("</body>").unwrap());
+    }
+
+    #[test]
+    fn non_html_gets_appended() {
+        let inj = HtmlInjector::keyword("marker", 0, 0);
+        let out = inj.inject(b"just bytes");
+        assert!(String::from_utf8_lossy(&out).contains("marker"));
+        assert!(out.starts_with(b"just bytes"));
+    }
+
+    #[test]
+    fn signature_needle() {
+        assert_eq!(
+            HtmlInjector::script("u.example", 0, 0).signature.needle(),
+            "u.example"
+        );
+        assert_eq!(HtmlInjector::meta_tag("T").signature.needle(), "T");
+    }
+}

@@ -1,0 +1,36 @@
+//! # middlebox — models of every end-to-end violator the paper observes
+//!
+//! These are the *subjects* of the measurement study. Each model is
+//! parameterized by the behaviours the paper documents, so the analysis
+//! pipeline in `tft-core` can be scored on whether it rediscovers them from
+//! raw observations:
+//!
+//! - [`dns`]: NXDOMAIN hijackers (§4) at four vectors — ISP resolvers,
+//!   public resolvers, transparent proxies, end-host software — with
+//!   landing-page content that carries the attribution signal;
+//! - [`html`]: JavaScript injectors and filtering appliances (§5, Table 6);
+//! - [`image`]: transparent image transcoders of mobile carriers (§5,
+//!   Table 7), single- and multi-ratio;
+//! - [`tls`]: TLS interceptors (§6, Table 8) — anti-virus, content filters,
+//!   malware — with shared-key, invalid-cert and selectivity behaviours;
+//! - [`monitor`]: content monitors (§7, Table 9 / Figure 5) with
+//!   per-entity refetch delay distributions and source-address patterns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod blocker;
+pub mod dns;
+pub mod html;
+pub mod image;
+pub mod monitor;
+pub mod smtp;
+pub mod tls;
+
+pub use blocker::ObjectBlocker;
+pub use dns::{extract_urls, url_domain, HijackVector, JsFamily, NxdomainHijacker};
+pub use html::{HtmlInjector, InjectionSignature};
+pub use image::ImageTranscoder;
+pub use monitor::{MonitorEntity, PlannedRefetch, RefetchModel, RefetchOffset, SourcePattern};
+pub use smtp::SmtpInterceptor;
+pub use tls::{InvalidCertPolicy, Selectivity, TlsInterceptor};

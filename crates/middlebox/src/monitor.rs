@@ -1,0 +1,393 @@
+//! Content monitors (§7): software or middleboxes that observe a user's
+//! HTTP request and later re-download the content from their own
+//! infrastructure.
+//!
+//! Each entity's fingerprint is its **refetch delay distribution** (Figure 5)
+//! and **source address behaviour** (Table 9). The models below encode the
+//! six entities the paper characterizes:
+//!
+//! | entity       | pattern                                                  |
+//! |--------------|----------------------------------------------------------|
+//! | TrendMicro   | two refetches: U(12–120 s), then U(200–12,500 s)          |
+//! | TalkTalk     | two refetches: ≈30 s fixed, then within the next hour     |
+//! | Commtouch    | one refetch: 1–10 min                                     |
+//! | AnchorFree   | two refetches <1 s apart; 2nd always from one fixed IP    |
+//! | Bluecoat     | two refetches; the first **precedes** the user's request  |
+//! |              | 83% of the time (fetch-before-allow)                      |
+//! | Tiscali U.K. | one refetch at exactly 30 s                               |
+
+use netsim::rng::RngExt;
+use netsim::{SimDuration, SimRng};
+use std::net::Ipv4Addr;
+
+/// When a refetch happens relative to the exit node's own request reaching
+/// the origin.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefetchOffset {
+    /// The monitor fetched *before* letting the user's request through
+    /// (Bluecoat's fetch-before-allow).
+    Before(SimDuration),
+    /// The monitor fetched after the user's request.
+    After(SimDuration),
+}
+
+/// The per-entity refetch timing model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RefetchModel {
+    /// Two refetches in two log-uniform windows (TrendMicro).
+    TwoWindows {
+        /// First window, inclusive bounds in milliseconds.
+        first: (u64, u64),
+        /// Second window, inclusive bounds in milliseconds.
+        second: (u64, u64),
+    },
+    /// A near-fixed first refetch then one uniform in a trailing window
+    /// (TalkTalk: 30 s then within the next hour).
+    FixedThenWindow {
+        /// First refetch offset in milliseconds (±5% jitter).
+        first_ms: u64,
+        /// Trailing window length in milliseconds.
+        window_ms: u64,
+    },
+    /// One refetch, log-uniform in a window (Commtouch).
+    OneWindow {
+        /// Window bounds in milliseconds.
+        range: (u64, u64),
+    },
+    /// Two refetches within `max_ms` of the request (AnchorFree: 99% under
+    /// one second).
+    Immediate {
+        /// Upper bound on both offsets, milliseconds.
+        max_ms: u64,
+    },
+    /// Fetch-before-allow: first refetch precedes the request with
+    /// probability `before_prob` (else trails shortly), second refetch is
+    /// log-uniform in `after` (Bluecoat).
+    PrefetchThenAfter {
+        /// Probability the first request precedes the user's.
+        before_prob: f64,
+        /// Bound on the lead/lag of the first request, milliseconds.
+        near_ms: u64,
+        /// Window for the second request, milliseconds.
+        after: (u64, u64),
+    },
+    /// Exactly one refetch at a fixed offset (Tiscali: 30 s sharp).
+    FixedSingle {
+        /// The offset in milliseconds.
+        at_ms: u64,
+    },
+}
+
+impl RefetchModel {
+    /// Sample the refetch schedule for one monitored request.
+    pub fn sample(&self, rng: &mut SimRng) -> Vec<RefetchOffset> {
+        match *self {
+            RefetchModel::TwoWindows { first, second } => vec![
+                RefetchOffset::After(log_uniform(rng, first)),
+                RefetchOffset::After(log_uniform(rng, second)),
+            ],
+            RefetchModel::FixedThenWindow {
+                first_ms,
+                window_ms,
+            } => {
+                let jitter = first_ms / 20;
+                let first = if jitter == 0 {
+                    first_ms
+                } else {
+                    rng.random_range(first_ms - jitter..=first_ms + jitter)
+                };
+                let second = first_ms + rng.random_range(1..=window_ms);
+                vec![
+                    RefetchOffset::After(SimDuration::from_millis(first)),
+                    RefetchOffset::After(SimDuration::from_millis(second)),
+                ]
+            }
+            RefetchModel::OneWindow { range } => {
+                vec![RefetchOffset::After(log_uniform(rng, range))]
+            }
+            RefetchModel::Immediate { max_ms } => {
+                let a = rng.random_range(1..=max_ms);
+                let b = rng.random_range(1..=max_ms);
+                vec![
+                    RefetchOffset::After(SimDuration::from_millis(a)),
+                    RefetchOffset::After(SimDuration::from_millis(b)),
+                ]
+            }
+            RefetchModel::PrefetchThenAfter {
+                before_prob,
+                near_ms,
+                after,
+            } => {
+                let first = if rng.random_bool(before_prob) {
+                    RefetchOffset::Before(SimDuration::from_millis(rng.random_range(1..=near_ms)))
+                } else {
+                    RefetchOffset::After(SimDuration::from_millis(rng.random_range(1..=near_ms)))
+                };
+                vec![first, RefetchOffset::After(log_uniform(rng, after))]
+            }
+            RefetchModel::FixedSingle { at_ms } => {
+                vec![RefetchOffset::After(SimDuration::from_millis(at_ms))]
+            }
+        }
+    }
+}
+
+/// Log-uniform sample in `[lo, hi]` milliseconds: wide windows in Figure 5
+/// fill evenly on its log-scaled x axis.
+fn log_uniform(rng: &mut SimRng, (lo, hi): (u64, u64)) -> SimDuration {
+    assert!(lo > 0 && hi >= lo, "bad log-uniform window [{lo},{hi}]");
+    let (llo, lhi) = ((lo as f64).ln(), (hi as f64).ln());
+    let x: f64 = rng.random_range(llo..=lhi);
+    SimDuration::from_millis((x.exp().round() as u64).clamp(lo, hi))
+}
+
+/// How the entity picks source addresses for its refetches.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourcePattern {
+    /// Any address from the pool, independently per refetch.
+    AnyFromPool,
+    /// First refetch from any pool address, second always from the last
+    /// pool address (AnchorFree's Menlo Park scanner).
+    AnyThenFixedLast,
+}
+
+/// A content-monitoring entity.
+#[derive(Debug, Clone)]
+pub struct MonitorEntity {
+    /// Entity name (Table 9 row).
+    pub name: String,
+    /// Addresses its refetches originate from (inside the entity's own AS).
+    pub source_ips: Vec<Ipv4Addr>,
+    /// Source-selection behaviour.
+    pub source_pattern: SourcePattern,
+    /// The timing model.
+    pub model: RefetchModel,
+    /// User-Agent string on refetches (an attribution hint the paper used).
+    pub user_agent: String,
+}
+
+/// One planned refetch: when, and from where.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlannedRefetch {
+    /// Timing relative to the user's request.
+    pub offset: RefetchOffset,
+    /// Source address of the refetch.
+    pub src: Ipv4Addr,
+}
+
+impl MonitorEntity {
+    /// Plan the refetches for one monitored request.
+    ///
+    /// # Panics
+    /// Panics if the entity has no source addresses.
+    pub fn plan(&self, rng: &mut SimRng) -> Vec<PlannedRefetch> {
+        assert!(!self.source_ips.is_empty(), "monitor has no source IPs");
+        let offsets = self.model.sample(rng);
+        offsets
+            .into_iter()
+            .enumerate()
+            .map(|(i, offset)| {
+                let src = match self.source_pattern {
+                    SourcePattern::AnyFromPool => {
+                        self.source_ips[rng.random_range(0..self.source_ips.len())]
+                    }
+                    SourcePattern::AnyThenFixedLast => {
+                        if i == 0 && self.source_ips.len() > 1 {
+                            let head = self.source_ips.len() - 1;
+                            self.source_ips[rng.random_range(0..head)]
+                        } else {
+                            *self.source_ips.last().expect("non-empty pool")
+                        }
+                    }
+                };
+                PlannedRefetch { offset, src }
+            })
+            .collect()
+    }
+}
+
+/// Canonical timing models for the six Table 9 entities.
+pub mod profiles {
+    use super::RefetchModel;
+
+    /// TrendMicro Web Reputation Services.
+    pub fn trend_micro() -> RefetchModel {
+        RefetchModel::TwoWindows {
+            first: (12_000, 120_000),
+            second: (200_000, 12_500_000),
+        }
+    }
+
+    /// TalkTalk ISP-level monitoring.
+    pub fn talktalk() -> RefetchModel {
+        RefetchModel::FixedThenWindow {
+            first_ms: 30_000,
+            window_ms: 3_600_000,
+        }
+    }
+
+    /// Commtouch / CYREN.
+    pub fn commtouch() -> RefetchModel {
+        RefetchModel::OneWindow {
+            range: (60_000, 600_000),
+        }
+    }
+
+    /// AnchorFree Hotspot Shield malware protection.
+    pub fn anchorfree() -> RefetchModel {
+        RefetchModel::Immediate { max_ms: 1_000 }
+    }
+
+    /// Bluecoat fetch-before-allow.
+    pub fn bluecoat() -> RefetchModel {
+        RefetchModel::PrefetchThenAfter {
+            before_prob: 0.83,
+            near_ms: 5_000,
+            after: (30_000, 3_600_000),
+        }
+    }
+
+    /// Tiscali U.K.
+    pub fn tiscali() -> RefetchModel {
+        RefetchModel::FixedSingle { at_ms: 30_000 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> SimRng {
+        SimRng::new(0x30)
+    }
+
+    fn after_ms(o: &RefetchOffset) -> Option<u64> {
+        match o {
+            RefetchOffset::After(d) => Some(d.as_millis()),
+            RefetchOffset::Before(_) => None,
+        }
+    }
+
+    #[test]
+    fn trendmicro_is_bimodal() {
+        let m = profiles::trend_micro();
+        let mut r = rng();
+        for _ in 0..200 {
+            let offs = m.sample(&mut r);
+            assert_eq!(offs.len(), 2);
+            let a = after_ms(&offs[0]).unwrap();
+            let b = after_ms(&offs[1]).unwrap();
+            assert!((12_000..=120_000).contains(&a), "first {a}");
+            assert!((200_000..=12_500_000).contains(&b), "second {b}");
+        }
+    }
+
+    #[test]
+    fn talktalk_first_is_near_thirty_seconds() {
+        let m = profiles::talktalk();
+        let mut r = rng();
+        for _ in 0..100 {
+            let offs = m.sample(&mut r);
+            let a = after_ms(&offs[0]).unwrap();
+            assert!((28_500..=31_500).contains(&a), "first {a}");
+            let b = after_ms(&offs[1]).unwrap();
+            assert!(b > a && b <= 30_000 + 3_600_000);
+        }
+    }
+
+    #[test]
+    fn tiscali_is_exact() {
+        let m = profiles::tiscali();
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(
+                m.sample(&mut r),
+                vec![RefetchOffset::After(SimDuration::from_millis(30_000))]
+            );
+        }
+    }
+
+    #[test]
+    fn anchorfree_under_one_second() {
+        let m = profiles::anchorfree();
+        let mut r = rng();
+        for _ in 0..100 {
+            for o in m.sample(&mut r) {
+                assert!(after_ms(&o).unwrap() <= 1_000);
+            }
+        }
+    }
+
+    #[test]
+    fn bluecoat_prefetch_rate_near_83_percent() {
+        let m = profiles::bluecoat();
+        let mut r = rng();
+        let n = 2_000;
+        let before = (0..n)
+            .filter(|_| matches!(m.sample(&mut r)[0], RefetchOffset::Before(_)))
+            .count();
+        let rate = before as f64 / n as f64;
+        assert!((0.79..0.87).contains(&rate), "prefetch rate {rate}");
+    }
+
+    #[test]
+    fn anchorfree_second_source_is_fixed() {
+        let pool: Vec<Ipv4Addr> = (1..=11).map(|i| Ipv4Addr::new(10, 9, 0, i)).collect();
+        let menlo_park = *pool.last().unwrap();
+        let entity = MonitorEntity {
+            name: "AnchorFree".into(),
+            source_ips: pool,
+            source_pattern: SourcePattern::AnyThenFixedLast,
+            model: profiles::anchorfree(),
+            user_agent: "HotspotShield-Scanner/1.0".into(),
+        };
+        let mut r = rng();
+        let mut first_sources = std::collections::HashSet::new();
+        for _ in 0..100 {
+            let plan = entity.plan(&mut r);
+            assert_eq!(plan.len(), 2);
+            assert_eq!(plan[1].src, menlo_park, "second request is fixed-source");
+            assert_ne!(plan[0].src, menlo_park);
+            first_sources.insert(plan[0].src);
+        }
+        assert!(first_sources.len() > 3, "first request source varies");
+    }
+
+    #[test]
+    fn pool_sources_stay_in_pool() {
+        let pool: Vec<Ipv4Addr> = (1..=5).map(|i| Ipv4Addr::new(10, 8, 0, i)).collect();
+        let entity = MonitorEntity {
+            name: "TrendMicro".into(),
+            source_ips: pool.clone(),
+            source_pattern: SourcePattern::AnyFromPool,
+            model: profiles::trend_micro(),
+            user_agent: "TMWRS/5.0".into(),
+        };
+        let mut r = rng();
+        for _ in 0..50 {
+            for p in entity.plan(&mut r) {
+                assert!(pool.contains(&p.src));
+            }
+        }
+    }
+
+    #[test]
+    fn log_uniform_spans_window() {
+        let mut r = rng();
+        let mut below_geometric_mid = 0;
+        let n = 4_000;
+        for _ in 0..n {
+            let d = log_uniform(&mut r, (1_000, 1_000_000)).as_millis();
+            assert!((1_000..=1_000_000).contains(&d));
+            // Geometric midpoint of the window is ~31,623 ms.
+            if d < 31_623 {
+                below_geometric_mid += 1;
+            }
+        }
+        let frac = below_geometric_mid as f64 / n as f64;
+        assert!(
+            (0.45..0.55).contains(&frac),
+            "log-uniform median should sit at the geometric midpoint, got {frac}"
+        );
+    }
+}

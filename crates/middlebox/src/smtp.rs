@@ -1,0 +1,112 @@
+//! SMTP interference — the future-work extension's violator (§3.4, §9).
+//!
+//! The canonical in-path SMTP violation is **STARTTLS stripping**: a
+//! middlebox removes `STARTTLS` from EHLO capability replies (and refuses
+//! the command if a client tries anyway), silently downgrading mail to
+//! plaintext. Some appliances also rewrite the banner to hide the server
+//! implementation.
+
+use smtpwire::{Command, Reply};
+
+/// An in-path SMTP interceptor.
+#[derive(Debug, Clone, Default)]
+pub struct SmtpInterceptor {
+    /// Remove STARTTLS from EHLO replies and refuse STARTTLS commands.
+    pub strip_starttls: bool,
+    /// Replace the 220 banner text with this (appliances often leak their
+    /// own identity here — a real-world fingerprint).
+    pub banner_rewrite: Option<String>,
+}
+
+impl SmtpInterceptor {
+    /// A STARTTLS stripper.
+    pub fn stripper() -> SmtpInterceptor {
+        SmtpInterceptor {
+            strip_starttls: true,
+            banner_rewrite: None,
+        }
+    }
+
+    /// Filter a server reply on its way to the client. `in_response_to`
+    /// is the command that elicited it (None for the connection banner).
+    pub fn filter_reply(&self, in_response_to: Option<&Command>, reply: Reply) -> Reply {
+        match in_response_to {
+            None => {
+                if let Some(banner) = &self.banner_rewrite {
+                    return Reply::new(reply.code, banner);
+                }
+                reply
+            }
+            Some(Command::Ehlo(_)) if self.strip_starttls => {
+                let lines: Vec<String> = reply
+                    .lines
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, l)| *i == 0 || !l.eq_ignore_ascii_case("STARTTLS"))
+                    .map(|(_, l)| l.clone())
+                    .collect();
+                Reply::multiline(reply.code, lines)
+            }
+            Some(Command::StartTls) if self.strip_starttls => {
+                // The server never sees the command; the box answers.
+                Reply::new(454, "TLS not available due to temporary reason")
+            }
+            _ => reply,
+        }
+    }
+
+    /// True if the interceptor intercepts the given command instead of
+    /// letting it reach the server.
+    pub fn absorbs(&self, cmd: &Command) -> bool {
+        self.strip_starttls && matches!(cmd, Command::StartTls)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smtpwire::{Capabilities, MailServer};
+
+    #[test]
+    fn stripper_removes_starttls_from_ehlo() {
+        let server = MailServer::new("mx1.example");
+        let mitm = SmtpInterceptor::stripper();
+        let ehlo = Command::Ehlo("probe.example".into());
+        let clean = server.handle(&ehlo);
+        assert!(Capabilities::from_ehlo(&clean).starttls);
+        let filtered = mitm.filter_reply(Some(&ehlo), clean);
+        assert!(!Capabilities::from_ehlo(&filtered).starttls);
+        // Other capabilities survive.
+        assert!(Capabilities::from_ehlo(&filtered).pipelining);
+    }
+
+    #[test]
+    fn stripper_refuses_starttls_command() {
+        let mitm = SmtpInterceptor::stripper();
+        assert!(mitm.absorbs(&Command::StartTls));
+        let refusal = mitm.filter_reply(Some(&Command::StartTls), Reply::new(220, "unused"));
+        assert_eq!(refusal.code, 454);
+    }
+
+    #[test]
+    fn banner_rewrite() {
+        let server = MailServer::new("mx1.example");
+        let mitm = SmtpInterceptor {
+            strip_starttls: false,
+            banner_rewrite: Some("mailguard appliance".into()),
+        };
+        let banner = mitm.filter_reply(None, server.banner());
+        assert_eq!(banner.code, 220);
+        assert_eq!(banner.lines[0], "mailguard appliance");
+    }
+
+    #[test]
+    fn passthrough_when_disabled() {
+        let server = MailServer::new("mx1.example");
+        let mitm = SmtpInterceptor::default();
+        let ehlo = Command::Ehlo("probe.example".into());
+        let reply = server.handle(&ehlo);
+        assert_eq!(mitm.filter_reply(Some(&ehlo), reply.clone()), reply);
+        assert!(!mitm.absorbs(&Command::StartTls));
+    }
+}

@@ -1,0 +1,160 @@
+//! Fault injection for the simulated transport.
+//!
+//! Mirrors the smoltcp example knobs: a drop chance, a corrupt chance (mutate
+//! one octet), and an extra-delay spike. The proxy layer uses drops to
+//! exercise Luminati's automatic retry path; wire-format code uses corruption
+//! to prove parsers reject mangled input instead of panicking.
+
+use crate::latency::Latency;
+use crate::rng::{RngExt, SimRng};
+use crate::time::SimDuration;
+
+/// What the fault injector decided to do with one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultVerdict {
+    /// Deliver unmodified after the given extra delay (possibly zero).
+    Deliver {
+        /// Delay spike to add on top of normal path latency.
+        extra_delay: SimDuration,
+    },
+    /// Deliver after mutating one octet of the payload.
+    CorruptAndDeliver {
+        /// Delay spike to add on top of normal path latency.
+        extra_delay: SimDuration,
+    },
+    /// Silently drop the message.
+    Drop,
+}
+
+/// Probabilistic fault injector.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    /// Probability in `[0,1]` that a message is dropped.
+    pub drop_chance: f64,
+    /// Probability in `[0,1]` that one octet is corrupted.
+    pub corrupt_chance: f64,
+    /// Probability in `[0,1]` that a delay spike is added.
+    pub delay_chance: f64,
+    /// The delay spike distribution.
+    pub delay_spike: Latency,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::none()
+    }
+}
+
+impl FaultInjector {
+    /// An injector that never interferes.
+    pub fn none() -> Self {
+        FaultInjector {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            delay_chance: 0.0,
+            delay_spike: Latency::fixed(0),
+        }
+    }
+
+    /// A lossy-link profile: the smoltcp examples' suggested starting point.
+    pub fn lossy(drop_chance: f64) -> Self {
+        FaultInjector {
+            drop_chance,
+            corrupt_chance: 0.0,
+            delay_chance: 0.0,
+            delay_spike: Latency::fixed(0),
+        }
+    }
+
+    /// True if this injector can never interfere.
+    pub fn is_none(&self) -> bool {
+        self.drop_chance == 0.0 && self.corrupt_chance == 0.0 && self.delay_chance == 0.0
+    }
+
+    /// Decide the fate of one message.
+    pub fn judge(&self, rng: &mut SimRng) -> FaultVerdict {
+        if self.drop_chance > 0.0 && rng.random_bool(self.drop_chance) {
+            return FaultVerdict::Drop;
+        }
+        let extra_delay = if self.delay_chance > 0.0 && rng.random_bool(self.delay_chance) {
+            self.delay_spike.sample(rng)
+        } else {
+            SimDuration::ZERO
+        };
+        if self.corrupt_chance > 0.0 && rng.random_bool(self.corrupt_chance) {
+            FaultVerdict::CorruptAndDeliver { extra_delay }
+        } else {
+            FaultVerdict::Deliver { extra_delay }
+        }
+    }
+
+    /// Mutate one octet of `payload` in place (no-op on empty payloads).
+    /// The mutation is guaranteed to change the byte.
+    pub fn corrupt(rng: &mut SimRng, payload: &mut [u8]) {
+        if payload.is_empty() {
+            return;
+        }
+        let idx = rng.random_range(0..payload.len());
+        let flip: u8 = rng.random_range(1..=255_u8);
+        payload[idx] ^= flip;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_always_delivers_clean() {
+        let inj = FaultInjector::none();
+        let mut rng = SimRng::new(1);
+        for _ in 0..100 {
+            assert_eq!(
+                inj.judge(&mut rng),
+                FaultVerdict::Deliver {
+                    extra_delay: SimDuration::ZERO
+                }
+            );
+        }
+    }
+
+    #[test]
+    fn drop_chance_one_always_drops() {
+        let inj = FaultInjector::lossy(1.0);
+        let mut rng = SimRng::new(2);
+        for _ in 0..20 {
+            assert_eq!(inj.judge(&mut rng), FaultVerdict::Drop);
+        }
+    }
+
+    #[test]
+    fn drop_rate_is_approximately_honored() {
+        let inj = FaultInjector::lossy(0.15);
+        let mut rng = SimRng::new(3);
+        let drops = (0..10_000)
+            .filter(|_| inj.judge(&mut rng) == FaultVerdict::Drop)
+            .count();
+        let rate = drops as f64 / 10_000.0;
+        assert!((0.12..0.18).contains(&rate), "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn corrupt_changes_exactly_one_byte() {
+        let mut rng = SimRng::new(4);
+        let original = vec![0u8; 64];
+        for _ in 0..50 {
+            let mut copy = original.clone();
+            FaultInjector::corrupt(&mut rng, &mut copy);
+            let diffs = original.iter().zip(&copy).filter(|(a, b)| a != b).count();
+            assert_eq!(diffs, 1);
+        }
+    }
+
+    #[test]
+    fn corrupt_on_empty_is_noop() {
+        let mut rng = SimRng::new(5);
+        let mut empty: Vec<u8> = vec![];
+        FaultInjector::corrupt(&mut rng, &mut empty);
+        assert!(empty.is_empty());
+    }
+}

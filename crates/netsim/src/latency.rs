@@ -1,0 +1,112 @@
+//! Latency models for simulated network paths.
+//!
+//! Latency only matters to this reproduction where the paper *measures time*
+//! (the content-monitoring delay CDFs of Figure 5) or where protocol behaviour
+//! depends on it (Luminati's 60-second session stickiness, retry timeouts).
+//! We therefore keep the model simple and explicit: a base propagation delay
+//! plus uniform jitter, both configurable per path class.
+
+use crate::rng::{RngExt, SimRng};
+use crate::time::SimDuration;
+
+/// A latency distribution: `base + U(0, jitter)` milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Latency {
+    /// Fixed propagation component.
+    pub base_ms: u64,
+    /// Upper bound of the uniform jitter component.
+    pub jitter_ms: u64,
+}
+
+impl Latency {
+    /// A constant latency with no jitter.
+    pub const fn fixed(ms: u64) -> Self {
+        Latency {
+            base_ms: ms,
+            jitter_ms: 0,
+        }
+    }
+
+    /// Latency of `base` plus uniform jitter in `[0, jitter)`.
+    pub const fn jittered(base_ms: u64, jitter_ms: u64) -> Self {
+        Latency { base_ms, jitter_ms }
+    }
+
+    /// Sample one delay.
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        let jitter = if self.jitter_ms == 0 {
+            0
+        } else {
+            rng.random_range(0..self.jitter_ms)
+        };
+        SimDuration::from_millis(self.base_ms + jitter)
+    }
+
+    /// The worst-case delay this model can produce.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_millis(self.base_ms + self.jitter_ms.saturating_sub(1))
+    }
+}
+
+/// Per-hop latency configuration for the proxied request path of Figure 1.
+///
+/// Numbers are loose approximations of real-world RTT components; the
+/// reproduction's claims never depend on their absolute values.
+#[derive(Debug, Clone, Copy)]
+pub struct PathLatencies {
+    /// Measurement client to the super proxy.
+    pub client_to_super: Latency,
+    /// Super proxy to its DNS resolver (Google anycast).
+    pub super_to_dns: Latency,
+    /// Super proxy to an exit node (varies widely: residential links).
+    pub super_to_exit: Latency,
+    /// Exit node to its configured DNS resolver.
+    pub exit_to_dns: Latency,
+    /// Exit node to an origin server.
+    pub exit_to_origin: Latency,
+}
+
+impl Default for PathLatencies {
+    fn default() -> Self {
+        PathLatencies {
+            client_to_super: Latency::jittered(20, 10),
+            super_to_dns: Latency::jittered(2, 3),
+            super_to_exit: Latency::jittered(60, 120),
+            exit_to_dns: Latency::jittered(10, 30),
+            exit_to_origin: Latency::jittered(40, 80),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_latency_is_constant() {
+        let mut rng = SimRng::new(1);
+        let l = Latency::fixed(25);
+        for _ in 0..10 {
+            assert_eq!(l.sample(&mut rng), SimDuration::from_millis(25));
+        }
+    }
+
+    #[test]
+    fn jitter_stays_in_bounds() {
+        let mut rng = SimRng::new(2);
+        let l = Latency::jittered(10, 5);
+        for _ in 0..200 {
+            let d = l.sample(&mut rng).as_millis();
+            assert!((10..15).contains(&d), "sample {d} out of [10,15)");
+        }
+    }
+
+    #[test]
+    fn jitter_actually_varies() {
+        let mut rng = SimRng::new(3);
+        let l = Latency::jittered(0, 100);
+        let samples: std::collections::HashSet<u64> =
+            (0..50).map(|_| l.sample(&mut rng).as_millis()).collect();
+        assert!(samples.len() > 10, "expected varied samples");
+    }
+}

@@ -1,0 +1,44 @@
+//! # netsim — deterministic discrete-event simulation kernel
+//!
+//! The substrate every other crate in this workspace runs on. It provides:
+//!
+//! - [`time`]: virtual time ([`SimTime`], [`SimDuration`]) — wall-clock time
+//!   never enters the simulation;
+//! - [`sched`]: a deterministic event scheduler with stable tie-breaking;
+//! - [`rng`]: splittable seeded randomness ([`SimRng`]) — one master `u64`
+//!   seed reproduces an entire measurement campaign;
+//! - [`latency`]: per-hop latency models for proxied request paths;
+//! - [`fault`]: drop/corrupt/delay fault injection (the smoltcp idiom);
+//! - [`trace`]: structured event traces, rendered as the paper's
+//!   request-timeline figures;
+//! - [`stats`]: empirical CDFs and friends for the analysis layer.
+//!
+//! ## Why a simulator
+//!
+//! The paper's substrate is the live Luminati proxy network; access to it is
+//! gated (commercial service, real Internet, five days of wall-clock time).
+//! This kernel lets the whole ecosystem — proxy service, resolvers,
+//! middleboxes, monitors — run as one deterministic program, so the paper's
+//! *measurement and inference methodology* can be reproduced and scored
+//! against planted ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fault;
+pub mod latency;
+pub mod rate;
+pub mod rng;
+pub mod sched;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use fault::{FaultInjector, FaultVerdict};
+pub use latency::{Latency, PathLatencies};
+pub use rate::TokenBucket;
+pub use rng::SimRng;
+pub use sched::{EventId, Fired, Scheduler};
+pub use stats::Cdf;
+pub use time::{SimDuration, SimTime};
+pub use trace::{TraceCategory, TraceEvent, TraceLog};

@@ -1,0 +1,135 @@
+//! Token-bucket rate limiting (the smoltcp examples' `--tx-rate-limit` /
+//! `--shaping-interval` knobs).
+//!
+//! Virtual-time native: the bucket refills as a function of [`SimTime`], so
+//! a shaped link inside the simulation behaves exactly like one outside it.
+
+use crate::time::{SimDuration, SimTime};
+
+/// A token bucket: `capacity` tokens, refilled in full every
+/// `refill_interval`.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    capacity: u64,
+    tokens: u64,
+    refill_interval: SimDuration,
+    last_refill: SimTime,
+}
+
+impl TokenBucket {
+    /// A bucket starting full.
+    ///
+    /// # Panics
+    /// Panics if `capacity` is zero or `refill_interval` is zero — both
+    /// describe a link that can never transmit, which is a configuration
+    /// error, not a shaping policy.
+    pub fn new(capacity: u64, refill_interval: SimDuration) -> Self {
+        assert!(capacity > 0, "zero-capacity bucket");
+        assert!(!refill_interval.is_zero(), "zero refill interval");
+        TokenBucket {
+            capacity,
+            tokens: capacity,
+            refill_interval,
+            last_refill: SimTime::EPOCH,
+        }
+    }
+
+    /// Tokens currently available at `now`.
+    pub fn available(&mut self, now: SimTime) -> u64 {
+        self.refill(now);
+        self.tokens
+    }
+
+    /// Try to take `n` tokens at `now`. Returns true on success.
+    pub fn try_take(&mut self, now: SimTime, n: u64) -> bool {
+        self.refill(now);
+        if self.tokens >= n {
+            self.tokens -= n;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The earliest time at or after `now` when `n` tokens will be
+    /// available, or `None` if `n` exceeds the bucket capacity (it would
+    /// never fit).
+    pub fn next_available(&mut self, now: SimTime, n: u64) -> Option<SimTime> {
+        if n > self.capacity {
+            return None;
+        }
+        self.refill(now);
+        if self.tokens >= n {
+            return Some(now);
+        }
+        // The bucket refills in full at interval boundaries.
+        Some(self.last_refill + self.refill_interval)
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if let Some(elapsed) = now.checked_since(self.last_refill) {
+            let intervals = elapsed.as_millis() / self.refill_interval.as_millis();
+            if intervals > 0 {
+                self.tokens = self.capacity;
+                self.last_refill += self.refill_interval * intervals;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn starts_full_and_drains() {
+        let mut b = TokenBucket::new(4, SimDuration::from_millis(50));
+        assert_eq!(b.available(t(0)), 4);
+        assert!(b.try_take(t(0), 3));
+        assert_eq!(b.available(t(0)), 1);
+        assert!(!b.try_take(t(0), 2));
+        assert!(b.try_take(t(0), 1));
+    }
+
+    #[test]
+    fn refills_at_interval_boundaries() {
+        let mut b = TokenBucket::new(2, SimDuration::from_millis(50));
+        assert!(b.try_take(t(0), 2));
+        assert!(!b.try_take(t(49), 1), "not yet refilled");
+        assert!(b.try_take(t(50), 2), "full refill at the boundary");
+        assert!(b.try_take(t(175), 2), "skipping intervals still refills");
+    }
+
+    #[test]
+    fn next_available_predicts_refill() {
+        let mut b = TokenBucket::new(2, SimDuration::from_millis(50));
+        assert_eq!(b.next_available(t(0), 1), Some(t(0)));
+        b.try_take(t(0), 2);
+        assert_eq!(b.next_available(t(10), 1), Some(t(50)));
+        assert_eq!(b.next_available(t(10), 3), None, "exceeds capacity");
+    }
+
+    #[test]
+    fn sustained_rate_is_bounded() {
+        // 4 packets per 50 ms bucket → at most 80 packets per second.
+        let mut b = TokenBucket::new(4, SimDuration::from_millis(50));
+        let mut sent = 0;
+        for ms in 0..1000 {
+            if b.try_take(t(ms), 1) {
+                sent += 1;
+            }
+        }
+        assert!(sent <= 80, "sent {sent} in 1s");
+        assert!(sent >= 76, "shaping should not starve: {sent}");
+    }
+
+    #[test]
+    #[should_panic(expected = "zero-capacity")]
+    fn rejects_zero_capacity() {
+        TokenBucket::new(0, SimDuration::from_millis(50));
+    }
+}

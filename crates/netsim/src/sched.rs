@@ -1,0 +1,270 @@
+//! Discrete-event scheduler.
+//!
+//! A classic calendar queue over a binary heap: events carry a fire time and
+//! a monotonically increasing sequence number, so simultaneous events fire in
+//! the order they were scheduled (deterministic tie-breaking).
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Identifier handed back by [`Scheduler::schedule`], usable to cancel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event is on top.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// An event popped from the scheduler.
+#[derive(Debug, PartialEq, Eq)]
+pub struct Fired<E> {
+    /// When the event fired (the scheduler's clock has advanced to this).
+    pub at: SimTime,
+    /// The scheduled payload.
+    pub payload: E,
+}
+
+/// Deterministic discrete-event scheduler with a virtual clock.
+pub struct Scheduler<E> {
+    now: SimTime,
+    seq: u64,
+    next_id: u64,
+    heap: BinaryHeap<Entry<E>>,
+    cancelled: std::collections::HashSet<EventId>,
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// A scheduler starting at the simulation epoch.
+    pub fn new() -> Self {
+        Scheduler {
+            now: SimTime::EPOCH,
+            seq: 0,
+            next_id: 0,
+            heap: BinaryHeap::new(),
+            cancelled: std::collections::HashSet::new(),
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of pending (non-cancelled) events.
+    pub fn pending(&self) -> usize {
+        self.heap.len() - self.cancelled.len()
+    }
+
+    /// True if no events remain.
+    pub fn is_idle(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// Schedule `payload` to fire `after` the current time.
+    pub fn schedule(&mut self, after: SimDuration, payload: E) -> EventId {
+        self.schedule_at(self.now + after, payload)
+    }
+
+    /// Schedule `payload` at an absolute time.
+    ///
+    /// # Panics
+    /// Panics if `at` is in the past: scheduling into the past would silently
+    /// reorder causality.
+    pub fn schedule_at(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(at >= self.now, "cannot schedule an event in the past");
+        let id = EventId(self.next_id);
+        self.next_id += 1;
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Entry {
+            at,
+            seq,
+            id,
+            payload,
+        });
+        id
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_id {
+            return false;
+        }
+        // Lazy deletion: mark and skip at pop time.
+        if self.heap.iter().any(|e| e.id == id) {
+            self.cancelled.insert(id)
+        } else {
+            false
+        }
+    }
+
+    /// Pop the next event, advancing the clock to its fire time.
+    // Deliberately named like `Iterator::next`: popping advances the clock,
+    // which an `Iterator` impl would hide behind `for` desugaring.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Option<Fired<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            debug_assert!(entry.at >= self.now);
+            self.now = entry.at;
+            return Some(Fired {
+                at: entry.at,
+                payload: entry.payload,
+            });
+        }
+        None
+    }
+
+    /// Pop the next event only if it fires at or before `deadline`.
+    /// The clock advances to the event time if one is returned, otherwise to
+    /// `deadline`.
+    pub fn next_until(&mut self, deadline: SimTime) -> Option<Fired<E>> {
+        loop {
+            match self.heap.peek() {
+                Some(entry) if entry.at <= deadline => {
+                    let entry = self.heap.pop().expect("peeked entry vanished");
+                    if self.cancelled.remove(&entry.id) {
+                        continue;
+                    }
+                    self.now = entry.at;
+                    return Some(Fired {
+                        at: entry.at,
+                        payload: entry.payload,
+                    });
+                }
+                _ => {
+                    if deadline > self.now {
+                        self.now = deadline;
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+
+    /// Advance the clock without firing events (e.g. client-side think time).
+    ///
+    /// # Panics
+    /// Panics if doing so would skip over a pending event, which would break
+    /// the event ordering contract.
+    pub fn advance(&mut self, by: SimDuration) {
+        let target = self.now + by;
+        if let Some(entry) = self.heap.peek() {
+            assert!(
+                entry.at >= target || self.cancelled.contains(&entry.id),
+                "advance would skip a pending event at {}",
+                entry.at
+            );
+        }
+        self.now = target;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut s = Scheduler::new();
+        s.schedule(SimDuration::from_millis(30), "c");
+        s.schedule(SimDuration::from_millis(10), "a");
+        s.schedule(SimDuration::from_millis(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| s.next().map(|f| f.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+        assert_eq!(s.now(), SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn simultaneous_events_fire_in_schedule_order() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.schedule(SimDuration::from_millis(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| s.next().map(|f| f.payload)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_suppresses_event() {
+        let mut s = Scheduler::new();
+        let keep = s.schedule(SimDuration::from_millis(1), "keep");
+        let drop = s.schedule(SimDuration::from_millis(2), "drop");
+        assert!(s.cancel(drop));
+        assert!(!s.cancel(drop), "double-cancel reports false");
+        let _ = keep;
+        let order: Vec<_> = std::iter::from_fn(|| s.next().map(|f| f.payload)).collect();
+        assert_eq!(order, vec!["keep"]);
+    }
+
+    #[test]
+    fn next_until_respects_deadline() {
+        let mut s = Scheduler::new();
+        s.schedule(SimDuration::from_millis(10), 1u32);
+        s.schedule(SimDuration::from_millis(100), 2u32);
+        let deadline = SimTime::from_millis(50);
+        assert_eq!(s.next_until(deadline).map(|f| f.payload), Some(1));
+        assert_eq!(s.next_until(deadline), None);
+        // Clock parked at the deadline, later event still pending.
+        assert_eq!(s.now(), deadline);
+        assert_eq!(s.pending(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut s = Scheduler::new();
+        s.schedule(SimDuration::from_millis(10), ());
+        s.next();
+        s.schedule_at(SimTime::from_millis(5), ());
+    }
+
+    #[test]
+    fn advance_moves_clock() {
+        let mut s: Scheduler<()> = Scheduler::new();
+        s.advance(SimDuration::from_secs(3));
+        assert_eq!(s.now(), SimTime::from_millis(3000));
+    }
+
+    #[test]
+    #[should_panic(expected = "skip a pending event")]
+    fn advance_cannot_skip_events() {
+        let mut s = Scheduler::new();
+        s.schedule(SimDuration::from_millis(5), ());
+        s.advance(SimDuration::from_millis(10));
+    }
+}

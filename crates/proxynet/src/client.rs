@@ -1,0 +1,209 @@
+//! The Luminati-client-facing API surface: responses, debug headers, and
+//! errors.
+
+use crate::node::ZId;
+use certs::Certificate;
+use httpwire::{Headers, StatusCode};
+use std::fmt;
+
+/// Why one exit-node attempt failed (recorded in the debug header so the
+/// client can tell a node-went-offline retry from a real answer — §2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttemptOutcome {
+    /// The attempt succeeded.
+    Success,
+    /// The exit node was offline.
+    Offline,
+    /// The exit node's residential link dropped the exchange.
+    Flaked,
+    /// The exit node's DNS resolution failed with NXDOMAIN — for the DNS
+    /// experiment this *is* the signal that the node's resolver did not
+    /// hijack (§4.1 step 3).
+    DnsError,
+}
+
+impl fmt::Display for AttemptOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AttemptOutcome::Success => "success",
+            AttemptOutcome::Offline => "offline",
+            AttemptOutcome::Flaked => "conn_failed",
+            AttemptOutcome::DnsError => "dns_error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One exit-node attempt in the debug timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attempt {
+    /// The exit node's persistent id.
+    pub zid: ZId,
+    /// What happened.
+    pub outcome: AttemptOutcome,
+}
+
+/// The parsed `X-Hola-Timeline-Debug` information.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TimelineDebug {
+    /// All exit nodes tried, in order, with per-attempt outcomes.
+    pub attempts: Vec<Attempt>,
+}
+
+impl TimelineDebug {
+    /// The zID of the node that produced the final answer (the last
+    /// attempt).
+    pub fn final_zid(&self) -> Option<&ZId> {
+        self.attempts.last().map(|a| &a.zid)
+    }
+
+    /// Render as the header value.
+    pub fn to_header_value(&self) -> String {
+        self.attempts
+            .iter()
+            .map(|a| format!("{}={}", a.zid, a.outcome))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parse from a header value.
+    pub fn parse(value: &str) -> Option<TimelineDebug> {
+        let mut attempts = Vec::new();
+        for part in value.split(',').filter(|p| !p.is_empty()) {
+            let (zid, outcome) = part.split_once('=')?;
+            let outcome = match outcome {
+                "success" => AttemptOutcome::Success,
+                "offline" => AttemptOutcome::Offline,
+                "conn_failed" => AttemptOutcome::Flaked,
+                "dns_error" => AttemptOutcome::DnsError,
+                _ => return None,
+            };
+            attempts.push(Attempt {
+                zid: ZId(zid.to_string()),
+                outcome,
+            });
+        }
+        Some(TimelineDebug { attempts })
+    }
+}
+
+/// A successful proxied HTTP response.
+#[derive(Debug, Clone)]
+pub struct ProxyResponse {
+    /// Origin status code.
+    pub status: StatusCode,
+    /// Response headers, including `X-Hola-Timeline-Debug`.
+    pub headers: Headers,
+    /// Response body as delivered through the tunnel (possibly modified in
+    /// flight — detecting that is the whole experiment).
+    pub body: Vec<u8>,
+    /// Parsed debug timeline.
+    pub debug: TimelineDebug,
+    /// The exit node's public address as the service reports it (Luminati
+    /// exposes this; §7.2.1's VPN detection compares it against the source
+    /// address seen by the origin).
+    pub exit_ip: std::net::Ipv4Addr,
+}
+
+/// A successful CONNECT + TLS-handshake certificate probe.
+#[derive(Debug, Clone)]
+pub struct TlsProbeResult {
+    /// The certificate chain presented through the tunnel (leaf first).
+    pub chain: Vec<Certificate>,
+    /// Debug timeline (final zID identifies the exit node).
+    pub debug: TimelineDebug,
+    /// The exit node's public address as the service reports it.
+    pub exit_ip: std::net::Ipv4Addr,
+}
+
+/// Proxy-level failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProxyError {
+    /// The super proxy's own resolution of the request host failed — it
+    /// refuses to forward (the reason the d₂ trick needs a
+    /// source-conditional zone, §4.1).
+    SuperProxyDnsFailure,
+    /// No online exit node matches the requested country.
+    NoExitAvailable,
+    /// All retry attempts failed; the timeline lists each.
+    AllRetriesFailed(TimelineDebug),
+    /// The exit node received NXDOMAIN and could not connect. For the DNS
+    /// experiment this is the *good* outcome: no hijacking.
+    ExitDnsFailure(TimelineDebug),
+    /// CONNECT to a port other than 443 (Luminati only tunnels 443, §2.3).
+    PortNotAllowed(u16),
+    /// CONNECT target address has no listener.
+    ConnectionRefused,
+}
+
+impl fmt::Display for ProxyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProxyError::SuperProxyDnsFailure => write!(f, "super proxy DNS resolution failed"),
+            ProxyError::NoExitAvailable => write!(f, "no exit node available"),
+            ProxyError::AllRetriesFailed(d) => {
+                write!(f, "all {} attempts failed", d.attempts.len())
+            }
+            ProxyError::ExitDnsFailure(_) => write!(f, "exit node DNS resolution failed"),
+            ProxyError::PortNotAllowed(p) => write!(f, "CONNECT to port {p} not allowed"),
+            ProxyError::ConnectionRefused => write!(f, "connection refused"),
+        }
+    }
+}
+
+impl std::error::Error for ProxyError {}
+
+impl ProxyError {
+    /// The debug timeline attached to this error, if any.
+    pub fn debug(&self) -> Option<&TimelineDebug> {
+        match self {
+            ProxyError::AllRetriesFailed(d) | ProxyError::ExitDnsFailure(d) => Some(d),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timeline_header_roundtrip() {
+        let d = TimelineDebug {
+            attempts: vec![
+                Attempt {
+                    zid: ZId("zaaaa".into()),
+                    outcome: AttemptOutcome::Offline,
+                },
+                Attempt {
+                    zid: ZId("zbbbb".into()),
+                    outcome: AttemptOutcome::Success,
+                },
+            ],
+        };
+        let v = d.to_header_value();
+        assert_eq!(v, "zaaaa=offline,zbbbb=success");
+        assert_eq!(TimelineDebug::parse(&v).unwrap(), d);
+        assert_eq!(d.final_zid().unwrap().0, "zbbbb");
+    }
+
+    #[test]
+    fn timeline_parse_rejects_garbage() {
+        assert!(TimelineDebug::parse("zx=exploded").is_none());
+        assert!(TimelineDebug::parse("no-equals-here").is_none());
+        assert_eq!(TimelineDebug::parse("").unwrap(), TimelineDebug::default());
+    }
+
+    #[test]
+    fn error_debug_accessor() {
+        let d = TimelineDebug {
+            attempts: vec![Attempt {
+                zid: ZId("z1".into()),
+                outcome: AttemptOutcome::DnsError,
+            }],
+        };
+        assert!(ProxyError::ExitDnsFailure(d.clone()).debug().is_some());
+        assert!(ProxyError::SuperProxyDnsFailure.debug().is_none());
+        assert!(ProxyError::PortNotAllowed(80).debug().is_none());
+    }
+}

@@ -1,0 +1,634 @@
+//! Request processing: the end-to-end flows of Figures 1–4.
+//!
+//! Everything the proxy ecosystem *does* lives here — super-proxy DNS
+//! pre-checks, exit selection with sessions and retries, remote DNS
+//! resolution with hijack semantics, origin fetches with in-path
+//! modification, CONNECT tunnels with TLS interception, and monitor
+//! refetch scheduling.
+
+use crate::client::{
+    Attempt, AttemptOutcome, ProxyError, ProxyResponse, TimelineDebug, TlsProbeResult,
+};
+use crate::node::{NodeId, ResolverChoice};
+use crate::username::UsernameOptions;
+use crate::world::{World, WorldEvent};
+use dnswire::{DnsName, Message, QType};
+use httpwire::{Response, Uri};
+use middlebox::RefetchOffset;
+use netsim::rng::RngExt;
+use netsim::{SimTime, TraceCategory};
+use std::net::Ipv4Addr;
+
+/// Maximum exit-node attempts per request (Luminati retries up to five
+/// times, §2.3).
+pub const MAX_ATTEMPTS: usize = 5;
+
+/// Outcome of resolution at the exit node.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum ExitResolve {
+    /// A real answer.
+    Answer(Ipv4Addr),
+    /// NXDOMAIN reached the node unmolested.
+    NxDomain,
+    /// Someone substituted an answer for NXDOMAIN.
+    Hijacked(Ipv4Addr),
+}
+
+impl World {
+    // -- DNS ---------------------------------------------------------------
+
+    /// The super proxy's pre-resolution through Google DNS. Returns the
+    /// resolved address, or None on NXDOMAIN (in which case the super proxy
+    /// refuses to forward the request).
+    fn resolve_for_super(&mut self, host: &str, at: SimTime) -> Option<Ipv4Addr> {
+        let src = self.super_proxy_dns_src();
+        self.trace.record(
+            at,
+            TraceCategory::SuperProxy,
+            format!("super proxy resolves {host} via Google DNS ({src})"),
+        );
+        self.resolve_base(host, src, at)
+    }
+
+    /// Resolution as performed *by the ecosystem's authoritative side*:
+    /// queries for our probe zone hit our authoritative server (and are
+    /// logged, with `resolver_src` as the visible source); other known
+    /// hosts answer statically; everything else is NXDOMAIN.
+    /// Each resolver caches by `(name, qtype)` with real TTL semantics.
+    /// This is why the methodology insists on unique per-probe names — and
+    /// why footnote 8 must filter nodes sharing the super proxy's anycast
+    /// instance: the shared cache answers their d₂ query positively without
+    /// ever contacting the authority.
+    fn resolve_base(
+        &mut self,
+        host: &str,
+        resolver_src: Ipv4Addr,
+        at: SimTime,
+    ) -> Option<Ipv4Addr> {
+        let Ok(name) = DnsName::parse(host) else {
+            return None;
+        };
+        if name.is_subdomain_of(&self.auth_apex) {
+            if self.resolver_caching {
+                let cache = self.resolver_caches.entry(resolver_src).or_default();
+                match cache.get(&name, QType::A, at) {
+                    Some(dnswire::CachedAnswer::Records(rrs)) => {
+                        return rrs.iter().find_map(|r| match r.rdata {
+                            dnswire::RData::A(ip) => Some(ip),
+                            _ => None,
+                        });
+                    }
+                    Some(dnswire::CachedAnswer::Negative(_)) => return None,
+                    None => {}
+                }
+            }
+            // Full wire exercise: the query travels as RFC 1035 bytes.
+            let id: u16 = self.rng.random();
+            let query = Message::query(id, name.clone(), QType::A);
+            let wire = dnswire::encode(&query).expect("query encodes");
+            let query = dnswire::decode(&wire).expect("query decodes");
+            let resp = self.auth_server.handle(&query, resolver_src, at);
+            let wire = dnswire::encode(&resp).expect("response encodes");
+            let resp = dnswire::decode(&wire).expect("response decodes");
+            if self.resolver_caching {
+                let cache = self.resolver_caches.entry(resolver_src).or_default();
+                if resp.is_nxdomain() {
+                    cache.put_negative(name, QType::A, dnswire::Rcode::NxDomain, at);
+                } else if !resp.answers.is_empty() {
+                    cache.put(name, QType::A, resp.answers.clone(), at);
+                }
+            }
+            if resp.is_nxdomain() {
+                return None;
+            }
+            return resp.first_a();
+        }
+        if let Some(site) = self.origin_sites.get(host) {
+            return Some(site.ip);
+        }
+        None
+    }
+
+    /// Resolution at the exit node, through its configured resolver, with
+    /// the three hijack layers applied in network order: resolver, then
+    /// transparent in-path proxy, then end-host software.
+    pub(crate) fn resolve_at_exit(
+        &mut self,
+        node_id: NodeId,
+        host: &str,
+        at: SimTime,
+    ) -> ExitResolve {
+        let node = &self.nodes[node_id.0 as usize];
+        let (resolver_src, resolver_hijacker) = match node.resolver {
+            ResolverChoice::Isp(ip) | ResolverChoice::Public(ip) => {
+                let hij = self.resolvers.get(&ip).and_then(|def| def.hijacker.clone());
+                (ip, hij)
+            }
+            ResolverChoice::GoogleDns => (self.google_instance_for(node.country, node_id), None),
+        };
+        let asn = node.asn;
+        self.trace.record(
+            at,
+            TraceCategory::Dns,
+            format!("exit node resolves {host} via {resolver_src}"),
+        );
+        if let Some(ip) = self.resolve_base(host, resolver_src, at) {
+            return ExitResolve::Answer(ip);
+        }
+        // NXDOMAIN: the hijack layers get their chance.
+        if let Some(h) = resolver_hijacker {
+            self.trace.record(
+                at,
+                TraceCategory::Middlebox,
+                format!("resolver {resolver_src} hijacks NXDOMAIN for {host}"),
+            );
+            return ExitResolve::Hijacked(h.landing_ip);
+        }
+        if let Some(h) = self.transparent_dns.get(&asn) {
+            let ip = h.landing_ip;
+            self.trace.record(
+                at,
+                TraceCategory::Middlebox,
+                format!("transparent proxy in {asn} hijacks NXDOMAIN for {host}"),
+            );
+            return ExitResolve::Hijacked(ip);
+        }
+        let node = &self.nodes[node_id.0 as usize];
+        if let Some(h) = &node.software.dns_hijacker {
+            let ip = h.landing_ip;
+            self.trace.record(
+                at,
+                TraceCategory::Middlebox,
+                format!("end-host software hijacks NXDOMAIN for {host}"),
+            );
+            return ExitResolve::Hijacked(ip);
+        }
+        ExitResolve::NxDomain
+    }
+
+    // -- exit selection ------------------------------------------------------
+
+    /// Pick an exit node honoring `-country-XX`, excluding already-tried
+    /// nodes. Offline nodes *can* be picked — the failure then shows up in
+    /// the debug timeline, which is how the retry path gets exercised.
+    pub(crate) fn pick_exit(
+        &mut self,
+        opts: &UsernameOptions,
+        exclude: &[NodeId],
+    ) -> Option<NodeId> {
+        let pool: &[NodeId] = match opts.country {
+            Some(cc) => self.pool_by_country.get(&cc).map(|v| v.as_slice())?,
+            None => &self.pool_all,
+        };
+        if pool.is_empty() {
+            return None;
+        }
+        for _ in 0..64 {
+            let id = pool[self.rng.random_range(0..pool.len())];
+            if !exclude.contains(&id) {
+                return Some(id);
+            }
+        }
+        None
+    }
+
+    /// Session-aware selection for the first attempt.
+    pub(crate) fn pick_first(&mut self, opts: &UsernameOptions, now: SimTime) -> Option<NodeId> {
+        if let Some(sid) = opts.session {
+            if let Some(node) = self.sessions.lookup(&opts.customer, sid, now) {
+                return Some(node);
+            }
+        }
+        self.pick_exit(opts, &[])
+    }
+
+    fn touch_session(&mut self, opts: &UsernameOptions, node: NodeId, now: SimTime) {
+        if let Some(sid) = opts.session {
+            self.sessions.touch(&opts.customer, sid, node, now);
+        }
+    }
+
+    // -- origin fetch --------------------------------------------------------
+
+    /// Serve a request arriving at `ip` for `host`/`path` from `src`.
+    fn origin_response(
+        &mut self,
+        at: SimTime,
+        src: Ipv4Addr,
+        ip: Ipv4Addr,
+        host: &str,
+        path: &str,
+        user_agent: Option<&str>,
+    ) -> Response {
+        if ip == self.web_ip {
+            self.trace.record(
+                at,
+                TraceCategory::Origin,
+                format!("measurement web server serves http://{host}{path} to {src}"),
+            );
+            return self.web_server.handle(at, src, host, path, user_agent);
+        }
+        if let Some(h) = self.landing.get(&ip) {
+            self.trace.record(
+                at,
+                TraceCategory::Origin,
+                format!("hijack landing server at {ip} serves assist page for {host}"),
+            );
+            return Response::ok("text/html", h.hijack_page(host));
+        }
+        if let Some(site_host) = self.origin_by_ip.get(&ip) {
+            let body = self.origin_sites[site_host].http_body.clone();
+            return Response::ok("text/html", body);
+        }
+        Response::new(httpwire::StatusCode::BAD_GATEWAY, Vec::new())
+    }
+
+    /// Apply in-path and end-host response modification (§5).
+    fn apply_response_mods(&mut self, node_id: NodeId, resp: &mut Response) {
+        let node = &self.nodes[node_id.0 as usize];
+        let ctype = resp.content_type().unwrap_or_default();
+        let asn = node.asn;
+        let tethered = node.mobile_tethered;
+        // In-path ISP boxes first (closer to the origin than the host).
+        if let Some(cfg) = self.isp_http.get(&asn) {
+            if ctype == "image/jpeg" && tethered {
+                if let Some(t) = &cfg.transcoder {
+                    let mut rng = self.rng.fork_indexed("transcode", node_id.0 as u64);
+                    resp.body = t.transcode(&resp.body, &mut rng);
+                }
+            }
+            if ctype == "text/html" {
+                if let Some(inj) = &cfg.injector {
+                    resp.body = inj.inject(&resp.body);
+                }
+            }
+        }
+        // End-host software last (it sees what the browser would see).
+        let node = &self.nodes[node_id.0 as usize];
+        if ctype == "text/html" {
+            if let Some(inj) = &node.software.html_injector {
+                resp.body = inj.inject(&resp.body);
+            }
+        }
+        // Whole-object blockers replace rather than modify (§5.2's JS/CSS
+        // "bandwidth exceeded" pages).
+        if let Some(blocker) = &node.software.blocker {
+            if blocker.blocks(&ctype) {
+                resp.body = blocker.block_page(&ctype);
+            }
+        }
+    }
+
+    /// Schedule monitor refetches for a request the node just made to our
+    /// web server (§7). Refetches of third-party sites exist too but never
+    /// reach our logs, so they are not simulated.
+    fn schedule_monitors(&mut self, node_id: NodeId, host: &str, path: &str, t_origin: SimTime) {
+        let monitor_idxs = self.nodes[node_id.0 as usize].software.monitors.clone();
+        for idx in monitor_idxs {
+            let entity = &self.monitors[idx];
+            let mut rng = self
+                .rng
+                .fork_indexed(&format!("monitor-{idx}"), node_id.0 as u64 ^ fnv(host));
+            let plan = entity.plan(&mut rng);
+            let ua = entity.user_agent.clone();
+            for refetch in plan {
+                let at = match refetch.offset {
+                    RefetchOffset::After(d) => t_origin + d,
+                    // A prefetch would arrive before the user's own request;
+                    // we can schedule no earlier than "now", which still
+                    // lands it *before* the user's request reaches the
+                    // origin (negative observed delay, as in Figure 5).
+                    RefetchOffset::Before(d) => {
+                        let ideal_ms = t_origin.as_millis().saturating_sub(d.as_millis());
+                        let ideal = SimTime::from_millis(ideal_ms);
+                        if ideal >= self.sched.now() {
+                            ideal
+                        } else {
+                            self.sched.now()
+                        }
+                    }
+                };
+                self.sched.schedule_at(
+                    at,
+                    WorldEvent::MonitorRefetch {
+                        src: refetch.src,
+                        host: host.to_string(),
+                        path: path.to_string(),
+                        user_agent: ua.clone(),
+                    },
+                );
+            }
+        }
+    }
+
+    pub(crate) fn advance_to(&mut self, t: SimTime) {
+        if t <= self.sched.now() {
+            return;
+        }
+        let by = t.since(self.sched.now());
+        self.advance(by);
+    }
+
+    // -- the client-facing flows ----------------------------------------------
+
+    /// Proxied HTTP GET (Figure 1): client → super proxy → exit node →
+    /// origin and back.
+    pub fn proxy_get(
+        &mut self,
+        opts: &UsernameOptions,
+        url: &Uri,
+    ) -> Result<ProxyResponse, ProxyError> {
+        let t0 = self.admit_customer(&opts.customer, self.now());
+        let mut rng = self.rng.fork_indexed("latency", t0.as_millis());
+        let l = self.latencies;
+        self.trace.record(
+            t0,
+            TraceCategory::Client,
+            format!("client sends GET {url} to super proxy"),
+        );
+        let t_super = t0 + l.client_to_super.sample(&mut rng);
+
+        // ② super proxy DNS check.
+        let t_dnsq = t_super + l.super_to_dns.sample(&mut rng);
+        let super_ip = self.resolve_for_super(&url.host, t_dnsq);
+        let t_checked = t_dnsq + l.super_to_dns.sample(&mut rng);
+        let Some(super_ip) = super_ip else {
+            self.trace.record(
+                t_checked,
+                TraceCategory::SuperProxy,
+                format!("super proxy: {} does not resolve; refusing", url.host),
+            );
+            self.advance_to(t_checked + l.client_to_super.sample(&mut rng));
+            return Err(ProxyError::SuperProxyDnsFailure);
+        };
+
+        let mut debug = TimelineDebug::default();
+        let mut tried: Vec<NodeId> = Vec::new();
+        let mut t = t_checked;
+        for attempt in 0..self.max_attempts {
+            let node_id = if attempt == 0 {
+                match self.pick_first(opts, t) {
+                    Some(id) => id,
+                    None => return Err(ProxyError::NoExitAvailable),
+                }
+            } else {
+                match self.pick_exit(opts, &tried) {
+                    Some(id) => id,
+                    None => break,
+                }
+            };
+            tried.push(node_id);
+            let zid = self.nodes[node_id.0 as usize].zid.clone();
+            let t_exit = t + l.super_to_exit.sample(&mut rng);
+            self.trace.record(
+                t_exit,
+                TraceCategory::SuperProxy,
+                format!("super proxy forwards request to exit node {zid}"),
+            );
+
+            // Residential reality: offline nodes and flaky links.
+            let node = &self.nodes[node_id.0 as usize];
+            let flaked = {
+                let fate = self.fault.judge(&mut rng);
+                matches!(fate, netsim::FaultVerdict::Drop)
+                    || (node.flakiness > 0.0 && rng.random_bool(node.flakiness))
+            };
+            if !node.online {
+                debug.attempts.push(Attempt {
+                    zid,
+                    outcome: AttemptOutcome::Offline,
+                });
+                t = t_exit + l.super_to_exit.sample(&mut rng);
+                continue;
+            }
+            if flaked {
+                debug.attempts.push(Attempt {
+                    zid,
+                    outcome: AttemptOutcome::Flaked,
+                });
+                t = t_exit + l.super_to_exit.sample(&mut rng);
+                continue;
+            }
+
+            // ④ exit-node DNS, when `-dns-remote` moves resolution there.
+            let (effective_ip, t_resolved) = if opts.dns_remote {
+                let t_q = t_exit + l.exit_to_dns.sample(&mut rng);
+                match self.resolve_at_exit(node_id, &url.host, t_q) {
+                    ExitResolve::Answer(ip) => (ip, t_q + l.exit_to_dns.sample(&mut rng)),
+                    ExitResolve::Hijacked(ip) => (ip, t_q + l.exit_to_dns.sample(&mut rng)),
+                    ExitResolve::NxDomain => {
+                        debug.attempts.push(Attempt {
+                            zid,
+                            outcome: AttemptOutcome::DnsError,
+                        });
+                        self.touch_session(opts, node_id, t_q);
+                        self.advance_to(t_q + l.client_to_super.sample(&mut rng));
+                        // NXDOMAIN is an authoritative answer, not a node
+                        // failure: the super proxy reports it rather than
+                        // retrying.
+                        return Err(ProxyError::ExitDnsFailure(debug));
+                    }
+                }
+            } else {
+                (super_ip, t_exit)
+            };
+
+            // ⑤ the actual origin fetch.
+            let t_origin = t_resolved + l.exit_to_origin.sample(&mut rng);
+            let node = &self.nodes[node_id.0 as usize];
+            let observed_src = match &node.software.vpn_egress {
+                Some(pool) if !pool.is_empty() => {
+                    // VPN egress: the origin never sees the node's own IP.
+                    let head = pool.len().saturating_sub(1).max(1);
+                    pool[rng.random_range(0..head)]
+                }
+                _ => node.ip,
+            };
+            let mut resp = self.origin_response(
+                t_origin,
+                observed_src,
+                effective_ip,
+                &url.host,
+                &url.path,
+                Some("Hola/1.108"),
+            );
+            // The response travels as real HTTP/1.1 bytes.
+            let wire = resp.encode();
+            let (parsed, _) = Response::parse(&wire).expect("own encoding parses");
+            resp = parsed;
+            self.apply_response_mods(node_id, &mut resp);
+            if effective_ip == self.web_ip {
+                self.schedule_monitors(node_id, &url.host, &url.path, t_origin);
+            }
+
+            debug.attempts.push(Attempt {
+                zid: zid.clone(),
+                outcome: AttemptOutcome::Success,
+            });
+            let t_back = t_origin
+                + l.exit_to_origin.sample(&mut rng)
+                + l.super_to_exit.sample(&mut rng)
+                + l.client_to_super.sample(&mut rng);
+            self.touch_session(opts, node_id, t_back);
+            *self.bytes_billed.entry(opts.customer.clone()).or_insert(0) += resp.body.len() as u64;
+            self.trace.record(
+                t_back,
+                TraceCategory::Client,
+                format!(
+                    "client receives {} ({} bytes) via {zid}",
+                    resp.status,
+                    resp.body.len()
+                ),
+            );
+            self.advance_to(t_back);
+
+            let exit_ip = self.nodes[node_id.0 as usize].ip;
+            let mut headers = resp.headers.clone();
+            headers.set("X-Hola-Timeline-Debug", &debug.to_header_value());
+            headers.set("X-Hola-Unblocker-Debug", &format!("zid={zid} ip={exit_ip}"));
+            return Ok(ProxyResponse {
+                status: resp.status,
+                headers,
+                body: resp.body,
+                debug,
+                exit_ip,
+            });
+        }
+        self.advance_to(t + l.client_to_super.sample(&mut rng));
+        Err(ProxyError::AllRetriesFailed(debug))
+    }
+
+    /// CONNECT tunnel + TLS certificate collection (Figure 3): the client
+    /// tunnels TCP to `target:443` via an exit node, starts a handshake
+    /// with `sni`, records the presented chain, and tears down without
+    /// requesting content.
+    pub fn proxy_connect_tls(
+        &mut self,
+        opts: &UsernameOptions,
+        target: Ipv4Addr,
+        port: u16,
+        sni: &str,
+    ) -> Result<TlsProbeResult, ProxyError> {
+        if port != 443 {
+            return Err(ProxyError::PortNotAllowed(port));
+        }
+        let t0 = self.admit_customer(&opts.customer, self.now());
+        let mut rng = self.rng.fork_indexed("latency-tls", t0.as_millis());
+        let l = self.latencies;
+        self.trace.record(
+            t0,
+            TraceCategory::Client,
+            format!("client sends CONNECT {target}:443 to super proxy"),
+        );
+        let mut debug = TimelineDebug::default();
+        let mut tried: Vec<NodeId> = Vec::new();
+        let mut t = t0 + l.client_to_super.sample(&mut rng);
+        for attempt in 0..self.max_attempts {
+            let node_id = if attempt == 0 {
+                match self.pick_first(opts, t) {
+                    Some(id) => id,
+                    None => return Err(ProxyError::NoExitAvailable),
+                }
+            } else {
+                match self.pick_exit(opts, &tried) {
+                    Some(id) => id,
+                    None => break,
+                }
+            };
+            tried.push(node_id);
+            let zid = self.nodes[node_id.0 as usize].zid.clone();
+            let t_exit = t + l.super_to_exit.sample(&mut rng);
+            let node = &self.nodes[node_id.0 as usize];
+            if !node.online {
+                debug.attempts.push(Attempt {
+                    zid,
+                    outcome: AttemptOutcome::Offline,
+                });
+                t = t_exit + l.super_to_exit.sample(&mut rng);
+                continue;
+            }
+            if matches!(self.fault.judge(&mut rng), netsim::FaultVerdict::Drop)
+                || (node.flakiness > 0.0 && rng.random_bool(node.flakiness))
+            {
+                debug.attempts.push(Attempt {
+                    zid,
+                    outcome: AttemptOutcome::Flaked,
+                });
+                t = t_exit + l.super_to_exit.sample(&mut rng);
+                continue;
+            }
+
+            let t_origin = t_exit + l.exit_to_origin.sample(&mut rng);
+            let Some(site_host) = self.origin_by_ip.get(&target).cloned() else {
+                self.advance_to(t_origin + l.client_to_super.sample(&mut rng));
+                return Err(ProxyError::ConnectionRefused);
+            };
+            let site = &self.origin_sites[&site_host];
+            if site.chain.is_empty() {
+                self.advance_to(t_origin + l.client_to_super.sample(&mut rng));
+                return Err(ProxyError::ConnectionRefused);
+            }
+            let original = site.chain.clone();
+            let original_valid = site.chain_valid;
+            self.trace.record(
+                t_origin,
+                TraceCategory::Tls,
+                format!("exit node {zid} handshakes with {site_host} ({target}:443)"),
+            );
+            let now = self.now();
+            let node = &mut self.nodes[node_id.0 as usize];
+            let chain = node
+                .software
+                .tls_interceptor
+                .as_mut()
+                .and_then(|i| i.intercept(sni, &original, original_valid, now))
+                .unwrap_or(original);
+            if chain.len() != site.chain.len()
+                || chain.first().map(|c| c.fingerprint())
+                    != site.chain.first().map(|c| c.fingerprint())
+            {
+                self.trace.record(
+                    t_origin,
+                    TraceCategory::Middlebox,
+                    format!("certificate replaced for {sni} on {zid}"),
+                );
+            }
+
+            debug.attempts.push(Attempt {
+                zid: zid.clone(),
+                outcome: AttemptOutcome::Success,
+            });
+            let t_back = t_origin
+                + l.exit_to_origin.sample(&mut rng)
+                + l.super_to_exit.sample(&mut rng)
+                + l.client_to_super.sample(&mut rng);
+            self.touch_session(opts, node_id, t_back);
+            // Certificates travel in the handshake; bill a nominal size.
+            *self.bytes_billed.entry(opts.customer.clone()).or_insert(0) +=
+                chain.len() as u64 * 1500;
+            self.advance_to(t_back);
+            self.trace.record(
+                t_back,
+                TraceCategory::Client,
+                format!("client records {} certificate(s) and closes", chain.len()),
+            );
+            let exit_ip = self.nodes[node_id.0 as usize].ip;
+            return Ok(TlsProbeResult {
+                chain,
+                debug,
+                exit_ip,
+            });
+        }
+        self.advance_to(t + l.client_to_super.sample(&mut rng));
+        Err(ProxyError::AllRetriesFailed(debug))
+    }
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}

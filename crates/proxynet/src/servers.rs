@@ -1,0 +1,212 @@
+//! Server-side infrastructure: the measurement web server (with the request
+//! log that reveals exit-node IPs and monitor refetches), origin sites for
+//! the HTTPS experiment, and ISP landing servers for hijack pages.
+
+use certs::Certificate;
+use httpwire::{Response, StatusCode};
+use netsim::SimTime;
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// One logged HTTP request at the measurement web server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WebLogEntry {
+    /// Arrival time.
+    pub at: SimTime,
+    /// Source address (exit node, VPN egress, or monitor infrastructure).
+    pub src: Ipv4Addr,
+    /// `Host` header.
+    pub host: String,
+    /// Request path.
+    pub path: String,
+    /// `User-Agent` header, if any.
+    pub user_agent: Option<String>,
+}
+
+/// The study's web server: serves probe objects and logs every request.
+#[derive(Debug, Default)]
+pub struct WebServer {
+    routes: HashMap<(String, String), Response>,
+    log: Vec<WebLogEntry>,
+}
+
+impl WebServer {
+    /// An empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install content at `host`/`path`.
+    pub fn put(&mut self, host: &str, path: &str, response: Response) {
+        self.routes
+            .insert((host.to_ascii_lowercase(), path.to_string()), response);
+    }
+
+    /// Remove content. Returns true if it existed.
+    pub fn remove(&mut self, host: &str, path: &str) -> bool {
+        self.routes
+            .remove(&(host.to_ascii_lowercase(), path.to_string()))
+            .is_some()
+    }
+
+    /// Handle a request: log it and serve the route (404 on miss).
+    pub fn handle(
+        &mut self,
+        at: SimTime,
+        src: Ipv4Addr,
+        host: &str,
+        path: &str,
+        user_agent: Option<&str>,
+    ) -> Response {
+        self.log.push(WebLogEntry {
+            at,
+            src,
+            host: host.to_ascii_lowercase(),
+            path: path.to_string(),
+            user_agent: user_agent.map(|s| s.to_string()),
+        });
+        self.routes
+            .get(&(host.to_ascii_lowercase(), path.to_string()))
+            .cloned()
+            .unwrap_or_else(|| Response::new(StatusCode::NOT_FOUND, b"not found".to_vec()))
+    }
+
+    /// The request log, in arrival order of processing. Monitor refetches
+    /// are appended when their event fires, so entries are
+    /// chronologically ordered per run; [`WebServer::log_sorted`] guarantees
+    /// order when analysis needs it.
+    pub fn log(&self) -> &[WebLogEntry] {
+        &self.log
+    }
+
+    /// The log sorted by arrival time (stable).
+    pub fn log_sorted(&self) -> Vec<WebLogEntry> {
+        let mut v = self.log.clone();
+        v.sort_by_key(|e| e.at);
+        v
+    }
+
+    /// Requests whose `Host` matches, in log order.
+    pub fn requests_for_host<'a>(
+        &'a self,
+        host: &'a str,
+    ) -> impl Iterator<Item = &'a WebLogEntry> + 'a {
+        let host = host.to_ascii_lowercase();
+        self.log.iter().filter(move |e| e.host == host)
+    }
+
+    /// Clear the log.
+    pub fn clear_log(&mut self) {
+        self.log.clear();
+    }
+}
+
+/// A third-party origin site (popular site, university, or one of our
+/// intentionally-invalid HTTPS sites).
+#[derive(Debug, Clone)]
+pub struct OriginSite {
+    /// Hostname.
+    pub host: String,
+    /// Server address.
+    pub ip: Ipv4Addr,
+    /// HTTP body served on `/`.
+    pub http_body: Vec<u8>,
+    /// Certificate chain presented on :443 (leaf first); empty if the site
+    /// has no HTTPS.
+    pub chain: Vec<Certificate>,
+    /// Whether the chain validates against the public root store at world
+    /// build time (precomputed ground truth used by interceptor logic; the
+    /// measurement client recomputes its own verdicts).
+    pub chain_valid: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serves_installed_route_and_logs() {
+        let mut ws = WebServer::new();
+        ws.put(
+            "probe.example",
+            "/obj/page.html",
+            Response::ok("text/html", b"<html/>".to_vec()),
+        );
+        let r = ws.handle(
+            SimTime::from_millis(5),
+            Ipv4Addr::new(11, 0, 0, 9),
+            "Probe.Example",
+            "/obj/page.html",
+            Some("hola/1.0"),
+        );
+        assert_eq!(r.status, StatusCode::OK);
+        assert_eq!(ws.log().len(), 1);
+        assert_eq!(ws.log()[0].host, "probe.example");
+        assert_eq!(ws.log()[0].user_agent.as_deref(), Some("hola/1.0"));
+    }
+
+    #[test]
+    fn unknown_route_is_404_but_still_logged() {
+        let mut ws = WebServer::new();
+        let r = ws.handle(
+            SimTime::EPOCH,
+            Ipv4Addr::new(1, 1, 1, 1),
+            "x",
+            "/nope",
+            None,
+        );
+        assert_eq!(r.status, StatusCode::NOT_FOUND);
+        assert_eq!(ws.log().len(), 1);
+    }
+
+    #[test]
+    fn log_sorted_orders_by_time() {
+        let mut ws = WebServer::new();
+        ws.handle(
+            SimTime::from_millis(50),
+            Ipv4Addr::new(1, 1, 1, 1),
+            "h",
+            "/",
+            None,
+        );
+        ws.log.push(WebLogEntry {
+            at: SimTime::from_millis(10),
+            src: Ipv4Addr::new(2, 2, 2, 2),
+            host: "h".into(),
+            path: "/".into(),
+            user_agent: None,
+        });
+        let sorted = ws.log_sorted();
+        assert!(sorted[0].at < sorted[1].at);
+    }
+
+    #[test]
+    fn host_filter() {
+        let mut ws = WebServer::new();
+        ws.handle(
+            SimTime::EPOCH,
+            Ipv4Addr::new(1, 1, 1, 1),
+            "a.example",
+            "/",
+            None,
+        );
+        ws.handle(
+            SimTime::EPOCH,
+            Ipv4Addr::new(1, 1, 1, 1),
+            "b.example",
+            "/",
+            None,
+        );
+        assert_eq!(ws.requests_for_host("a.example").count(), 1);
+    }
+
+    #[test]
+    fn remove_route() {
+        let mut ws = WebServer::new();
+        ws.put("h", "/x", Response::ok("text/plain", b"y".to_vec()));
+        assert!(ws.remove("h", "/x"));
+        assert!(!ws.remove("h", "/x"));
+        let r = ws.handle(SimTime::EPOCH, Ipv4Addr::new(1, 1, 1, 1), "h", "/x", None);
+        assert_eq!(r.status, StatusCode::NOT_FOUND);
+    }
+}

@@ -1,0 +1,213 @@
+//! SMTP relayed through an arbitrary-traffic VPN — the paper's future-work
+//! extension (§3.4: "we could extend our methodologies for VPNs that allow
+//! arbitrary traffic to be sent, enabling us to capture end-to-end
+//! connectivity violations in protocols like SMTP").
+//!
+//! Luminati itself only tunnels port 443; this flow models the
+//! *hypothetical* VPN service the paper sketches: same peer population and
+//! session semantics, but raw TCP to port 25. In-path SMTP interceptors
+//! (STARTTLS strippers) operate per access AS, like the other in-path
+//! middleboxes.
+
+use crate::client::{Attempt, AttemptOutcome, ProxyError, TimelineDebug};
+use crate::node::NodeId;
+use crate::username::UsernameOptions;
+use crate::world::World;
+use certs::Certificate;
+use inetdb::Asn;
+use middlebox::SmtpInterceptor;
+use netsim::rng::RngExt;
+use netsim::TraceCategory;
+use smtpwire::{Capabilities, Command, MailServer, Reply};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A third-party mail server in the world.
+#[derive(Debug, Clone)]
+pub struct MailSite {
+    /// MX hostname.
+    pub host: String,
+    /// Server address (port 25).
+    pub ip: Ipv4Addr,
+    /// The server model.
+    pub server: MailServer,
+    /// Certificate chain presented after STARTTLS.
+    pub chain: Vec<Certificate>,
+}
+
+/// What one SMTP probe through one exit node observed.
+#[derive(Debug, Clone)]
+pub struct SmtpProbeResult {
+    /// The 220 banner as received (possibly rewritten in path).
+    pub banner: Reply,
+    /// The EHLO reply as received (possibly stripped in path).
+    pub ehlo: Reply,
+    /// Capabilities parsed from the received EHLO reply.
+    pub capabilities: Capabilities,
+    /// Reply to STARTTLS, when the probe attempted the upgrade.
+    pub starttls_reply: Option<Reply>,
+    /// Certificate chain observed after a successful upgrade.
+    pub tls_chain: Option<Vec<Certificate>>,
+    /// Debug timeline (final zID identifies the exit node).
+    pub debug: TimelineDebug,
+    /// The exit node's address as reported by the service.
+    pub exit_ip: Ipv4Addr,
+}
+
+/// World-side SMTP state, kept separate so the HTTP/S core stays untouched.
+#[derive(Debug, Default)]
+pub struct SmtpPlane {
+    pub(crate) sites_by_ip: HashMap<Ipv4Addr, MailSite>,
+    pub(crate) sites_by_host: HashMap<String, Ipv4Addr>,
+    pub(crate) isp_interceptors: HashMap<Asn, SmtpInterceptor>,
+}
+
+impl World {
+    /// Register a mail server.
+    pub fn add_mail_site(&mut self, site: MailSite) {
+        self.smtp.sites_by_host.insert(site.host.clone(), site.ip);
+        self.smtp.sites_by_ip.insert(site.ip, site);
+    }
+
+    /// The address of a registered mail host.
+    pub fn mail_site_address(&self, host: &str) -> Option<Ipv4Addr> {
+        self.smtp.sites_by_host.get(host).copied()
+    }
+
+    /// All registered mail hosts.
+    pub fn mail_hosts(&self) -> impl Iterator<Item = &str> {
+        self.smtp.sites_by_host.keys().map(|s| s.as_str())
+    }
+
+    /// Install an in-path SMTP interceptor for an AS.
+    pub fn set_isp_smtp(&mut self, asn: Asn, interceptor: SmtpInterceptor) {
+        self.smtp.isp_interceptors.insert(asn, interceptor);
+    }
+
+    /// Ground-truth SMTP interceptor lookup (scoring only).
+    pub fn isp_smtp_of(&self, asn: Asn) -> Option<&SmtpInterceptor> {
+        self.smtp.isp_interceptors.get(&asn)
+    }
+
+    /// Relay an SMTP capability probe to `target:25` through an exit node
+    /// of the hypothetical arbitrary-traffic VPN. Runs banner → EHLO →
+    /// (STARTTLS if advertised) → QUIT, all through the node's access
+    /// network and any interceptor sitting in it.
+    pub fn vpn_relay_smtp(
+        &mut self,
+        opts: &UsernameOptions,
+        target: Ipv4Addr,
+    ) -> Result<SmtpProbeResult, ProxyError> {
+        let t0 = self.now();
+        let mut rng = self.rng.fork_indexed("latency-smtp", t0.as_millis());
+        let l = self.latencies;
+        self.trace.record(
+            t0,
+            TraceCategory::Client,
+            format!("client relays SMTP probe to {target}:25 via VPN"),
+        );
+        let mut debug = TimelineDebug::default();
+        let mut tried: Vec<NodeId> = Vec::new();
+        let mut t = t0 + l.client_to_super.sample(&mut rng);
+        for attempt in 0..self.max_attempts {
+            let node_id = if attempt == 0 {
+                match self.pick_first(opts, t) {
+                    Some(id) => id,
+                    None => return Err(ProxyError::NoExitAvailable),
+                }
+            } else {
+                match self.pick_exit(opts, &tried) {
+                    Some(id) => id,
+                    None => break,
+                }
+            };
+            tried.push(node_id);
+            let node = &self.nodes[node_id.0 as usize];
+            let zid = node.zid.clone();
+            let t_exit = t + l.super_to_exit.sample(&mut rng);
+            if !node.online {
+                debug.attempts.push(Attempt {
+                    zid,
+                    outcome: AttemptOutcome::Offline,
+                });
+                t = t_exit + l.super_to_exit.sample(&mut rng);
+                continue;
+            }
+            if matches!(self.fault.judge(&mut rng), netsim::FaultVerdict::Drop)
+                || (node.flakiness > 0.0 && rng.random_bool(node.flakiness))
+            {
+                debug.attempts.push(Attempt {
+                    zid,
+                    outcome: AttemptOutcome::Flaked,
+                });
+                t = t_exit + l.super_to_exit.sample(&mut rng);
+                continue;
+            }
+            let asn = node.asn;
+            let exit_ip = node.ip;
+            let Some(site) = self.smtp.sites_by_ip.get(&target).cloned() else {
+                return Err(ProxyError::ConnectionRefused);
+            };
+            let mitm = self.smtp.isp_interceptors.get(&asn).cloned();
+            let t_origin = t_exit + l.exit_to_origin.sample(&mut rng);
+            self.trace.record(
+                t_origin,
+                TraceCategory::Origin,
+                format!("mail server {} answers SMTP probe", site.host),
+            );
+
+            // Banner.
+            let filter = |cmd: Option<&Command>, reply: Reply| -> Reply {
+                // Replies travel as real wire text either way.
+                let reply = Reply::parse(&reply.to_text()).expect("server replies are well-formed");
+                match &mitm {
+                    Some(m) => m.filter_reply(cmd, reply),
+                    None => reply,
+                }
+            };
+            let banner = filter(None, site.server.banner());
+            // EHLO.
+            let ehlo_cmd = Command::Ehlo("probe.tft.example".to_string());
+            let ehlo = filter(Some(&ehlo_cmd), site.server.handle(&ehlo_cmd));
+            let capabilities = Capabilities::from_ehlo(&ehlo);
+            // STARTTLS, if advertised end-to-end.
+            let (starttls_reply, tls_chain) = if capabilities.starttls {
+                let cmd = Command::StartTls;
+                let absorbed = mitm.as_ref().map(|m| m.absorbs(&cmd)).unwrap_or(false);
+                let reply = if absorbed {
+                    filter(Some(&cmd), Reply::new(220, "unused"))
+                } else {
+                    filter(Some(&cmd), site.server.handle(&cmd))
+                };
+                let chain = (reply.code == 220).then(|| site.chain.clone());
+                (Some(reply), chain)
+            } else {
+                (None, None)
+            };
+
+            debug.attempts.push(Attempt {
+                zid,
+                outcome: AttemptOutcome::Success,
+            });
+            let t_back = t_origin
+                + l.exit_to_origin.sample(&mut rng)
+                + l.super_to_exit.sample(&mut rng)
+                + l.client_to_super.sample(&mut rng);
+            if let Some(sid) = opts.session {
+                self.sessions.touch(&opts.customer, sid, node_id, t_back);
+            }
+            *self.bytes_billed.entry(opts.customer.clone()).or_insert(0) += 512;
+            self.advance_to(t_back);
+            return Ok(SmtpProbeResult {
+                banner,
+                ehlo,
+                capabilities,
+                starttls_reply,
+                tls_chain,
+                debug,
+                exit_ip,
+            });
+        }
+        Err(ProxyError::AllRetriesFailed(debug))
+    }
+}

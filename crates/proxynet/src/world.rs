@@ -1,0 +1,510 @@
+//! The world: every host, resolver, middlebox, origin server, and the
+//! measurement infrastructure, run on one deterministic clock.
+//!
+//! `World` is constructed by the world generator (`worldgen`), driven by the
+//! measurement client (`tft-core`) through the proxy-client API in
+//! [`crate::client`], and observed through the logs of the measurement
+//! servers — the same visibility boundary the paper's authors had.
+
+use crate::node::{ExitNode, NodeId};
+use crate::servers::{OriginSite, WebServer};
+use crate::session::SessionTable;
+use certs::RootStore;
+use dnswire::{AuthServer, DnsName};
+use inetdb::{Asn, CountryCode, InternetRegistry, Rankings};
+use middlebox::{HtmlInjector, ImageTranscoder, MonitorEntity, NxdomainHijacker};
+use netsim::{FaultInjector, PathLatencies, Scheduler, SimDuration, SimRng, SimTime, TraceLog};
+use std::collections::HashMap;
+use std::net::Ipv4Addr;
+
+/// A resolver a node can be configured to use.
+#[derive(Debug, Clone)]
+pub struct ResolverDef {
+    /// The resolver's address (what the authoritative server sees as the
+    /// query source).
+    pub ip: Ipv4Addr,
+    /// The AS the resolver lives in.
+    pub asn: Asn,
+    /// NXDOMAIN hijacker operating *at this resolver*, if any.
+    pub hijacker: Option<NxdomainHijacker>,
+}
+
+/// Per-AS in-path HTTP interference.
+#[derive(Debug, Clone, Default)]
+pub struct IspHttp {
+    /// In-path HTML injector (web-filtering appliance).
+    pub injector: Option<HtmlInjector>,
+    /// In-path image transcoder (mobile carriers; applies to tethered
+    /// nodes).
+    pub transcoder: Option<ImageTranscoder>,
+}
+
+/// Deferred work: a monitor's scheduled refetch arriving at our web server,
+/// or a peer joining/leaving the network.
+#[derive(Debug, Clone)]
+pub(crate) enum WorldEvent {
+    MonitorRefetch {
+        src: Ipv4Addr,
+        host: String,
+        path: String,
+        user_agent: String,
+    },
+    /// Flip a node's online state and reschedule the next flip (churn).
+    ChurnToggle { node: NodeId },
+}
+
+/// The simulated Internet plus the measurement infrastructure.
+pub struct World {
+    pub(crate) sched: Scheduler<WorldEvent>,
+    pub(crate) rng: SimRng,
+    /// The registry (RouteViews + CAIDA equivalent), public read access for
+    /// the analysis layer.
+    pub registry: InternetRegistry,
+    /// Per-country site rankings (Alexa equivalent), public read access.
+    pub rankings: Rankings,
+    pub(crate) latencies: PathLatencies,
+    pub(crate) fault: FaultInjector,
+    pub(crate) trace: TraceLog,
+
+    pub(crate) nodes: Vec<ExitNode>,
+    pub(crate) pool_by_country: HashMap<CountryCode, Vec<NodeId>>,
+    pub(crate) pool_all: Vec<NodeId>,
+
+    pub(crate) resolvers: HashMap<Ipv4Addr, ResolverDef>,
+    pub(crate) transparent_dns: HashMap<Asn, NxdomainHijacker>,
+    pub(crate) isp_http: HashMap<Asn, IspHttp>,
+    pub(crate) monitors: Vec<MonitorEntity>,
+
+    pub(crate) auth_server: AuthServer,
+    pub(crate) auth_apex: DnsName,
+    pub(crate) web_server: WebServer,
+    pub(crate) web_ip: Ipv4Addr,
+
+    pub(crate) origin_sites: HashMap<String, OriginSite>,
+    pub(crate) origin_by_ip: HashMap<Ipv4Addr, String>,
+    pub(crate) landing: HashMap<Ipv4Addr, NxdomainHijacker>,
+
+    /// The public root store (OS X 10.11-like).
+    pub root_store: RootStore,
+    pub(crate) sessions: SessionTable,
+    pub(crate) resolver_caches: HashMap<Ipv4Addr, dnswire::DnsCache>,
+    pub(crate) resolver_caching: bool,
+    pub(crate) customer_rate: Option<(u64, SimDuration)>,
+    pub(crate) customer_buckets: HashMap<String, netsim::TokenBucket>,
+    pub(crate) max_attempts: usize,
+    pub(crate) churn_mean: Option<SimDuration>,
+    pub(crate) smtp: crate::smtp_flow::SmtpPlane,
+    pub(crate) bytes_billed: HashMap<String, u64>,
+    pub(crate) google_anycast: Vec<Ipv4Addr>,
+}
+
+impl World {
+    /// Create an empty world.
+    ///
+    /// * `seed` — master determinism seed;
+    /// * `auth_apex` — the domain whose authoritative server we run (all
+    ///   probe names live under it);
+    /// * `web_ip` — our web server's address;
+    /// * `google_anycast` — the pool of Google anycast resolver instances
+    ///   (the super proxy uses the first; exit nodes configured with Google
+    ///   DNS hit one based on their location).
+    pub fn new(
+        seed: u64,
+        auth_apex: DnsName,
+        web_ip: Ipv4Addr,
+        google_anycast: Vec<Ipv4Addr>,
+        registry: InternetRegistry,
+        root_store: RootStore,
+    ) -> Self {
+        assert!(
+            !google_anycast.is_empty(),
+            "need at least one Google anycast instance"
+        );
+        let zone = dnswire::Zone::new(auth_apex.clone());
+        World {
+            sched: Scheduler::new(),
+            rng: SimRng::new(seed).fork("world"),
+            registry,
+            rankings: Rankings::new(),
+            latencies: PathLatencies::default(),
+            fault: FaultInjector::none(),
+            trace: TraceLog::disabled(),
+            nodes: Vec::new(),
+            pool_by_country: HashMap::new(),
+            pool_all: Vec::new(),
+            resolvers: HashMap::new(),
+            transparent_dns: HashMap::new(),
+            isp_http: HashMap::new(),
+            monitors: Vec::new(),
+            auth_server: AuthServer::new(zone),
+            auth_apex,
+            web_server: WebServer::new(),
+            web_ip,
+            origin_sites: HashMap::new(),
+            origin_by_ip: HashMap::new(),
+            landing: HashMap::new(),
+            root_store,
+            sessions: SessionTable::new(),
+            resolver_caches: HashMap::new(),
+            resolver_caching: true,
+            customer_rate: None,
+            customer_buckets: HashMap::new(),
+            max_attempts: crate::flows::MAX_ATTEMPTS,
+            churn_mean: None,
+            smtp: crate::smtp_flow::SmtpPlane::default(),
+            bytes_billed: HashMap::new(),
+            google_anycast,
+        }
+    }
+
+    // -- construction (used by worldgen) ------------------------------------
+
+    /// Add an exit node. Only exit-eligible platforms join the routing
+    /// pools; others exist but never receive traffic (§2.2).
+    pub fn add_node(&mut self, node: ExitNode) -> NodeId {
+        let id = node.id;
+        assert_eq!(
+            id.0 as usize,
+            self.nodes.len(),
+            "nodes must be added densely in id order"
+        );
+        if node.platform.exit_eligible() {
+            self.pool_by_country
+                .entry(node.country)
+                .or_default()
+                .push(id);
+            self.pool_all.push(id);
+        }
+        self.nodes.push(node);
+        id
+    }
+
+    /// Register a resolver.
+    pub fn add_resolver(&mut self, def: ResolverDef) {
+        self.resolvers.insert(def.ip, def);
+    }
+
+    /// Install a transparent in-path DNS hijacker for an AS.
+    pub fn set_transparent_dns(&mut self, asn: Asn, hijacker: NxdomainHijacker) {
+        self.transparent_dns.insert(asn, hijacker);
+    }
+
+    /// Install in-path HTTP interference for an AS.
+    pub fn set_isp_http(&mut self, asn: Asn, cfg: IspHttp) {
+        self.isp_http.insert(asn, cfg);
+    }
+
+    /// Register a monitor entity; returns its index for node wiring.
+    pub fn add_monitor(&mut self, entity: MonitorEntity) -> usize {
+        self.monitors.push(entity);
+        self.monitors.len() - 1
+    }
+
+    /// Register an origin site (popular / university / invalid-cert site).
+    pub fn add_origin_site(&mut self, site: OriginSite) {
+        self.origin_by_ip.insert(site.ip, site.host.clone());
+        self.origin_sites.insert(site.host.clone(), site);
+    }
+
+    /// Register a hijack landing server at `ip` serving `hijacker`'s page.
+    pub fn add_landing(&mut self, ip: Ipv4Addr, hijacker: NxdomainHijacker) {
+        self.landing.insert(ip, hijacker);
+    }
+
+    /// Replace the fault injector on the exit-node link.
+    pub fn set_fault_injector(&mut self, fault: FaultInjector) {
+        self.fault = fault;
+    }
+
+    /// Replace the latency model.
+    pub fn set_latencies(&mut self, latencies: PathLatencies) {
+        self.latencies = latencies;
+    }
+
+    /// Override the session stickiness window (ablation knob; 0 disables
+    /// sessions — the d1/d2 methodology depends on them).
+    pub fn set_session_ttl(&mut self, ttl: SimDuration) {
+        self.sessions.set_ttl(ttl);
+    }
+
+    /// Rate-limit each customer at the super proxy: at most `requests`
+    /// per `interval` (commercial proxy services throttle exactly like
+    /// this). Requests over the limit are not rejected but delayed to the
+    /// next bucket refill — visible as virtual-time stretch.
+    pub fn set_customer_rate_limit(&mut self, requests: u64, interval: SimDuration) {
+        self.customer_rate = Some((requests, interval));
+        self.customer_buckets.clear();
+    }
+
+    /// When rate limiting is active, the virtual time at which `customer`'s
+    /// next request may proceed (consuming one token). `now` otherwise.
+    pub(crate) fn admit_customer(&mut self, customer: &str, now: SimTime) -> SimTime {
+        let Some((cap, interval)) = self.customer_rate else {
+            return now;
+        };
+        let bucket = self
+            .customer_buckets
+            .entry(customer.to_string())
+            .or_insert_with(|| netsim::TokenBucket::new(cap, interval));
+        if bucket.try_take(now, 1) {
+            return now;
+        }
+        let at = bucket.next_available(now, 1).expect("capacity >= 1");
+        let ok = bucket.try_take(at, 1);
+        debug_assert!(ok, "token available at the refill boundary");
+        at
+    }
+
+    /// Enable or disable resolver caching (on by default; disabling it is
+    /// an ablation that shows the unique-name methodology would also have
+    /// worked against cacheless resolvers).
+    pub fn set_resolver_caching(&mut self, on: bool) {
+        self.resolver_caching = on;
+        if !on {
+            self.resolver_caches.clear();
+        }
+    }
+
+    /// Override the retry budget (ablation knob; the service default is 5).
+    pub fn set_max_attempts(&mut self, attempts: usize) {
+        assert!(attempts >= 1, "need at least one attempt");
+        self.max_attempts = attempts;
+    }
+
+    /// Enable or disable tracing (for the figure timelines).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace.set_enabled(on);
+    }
+
+    // -- accessors -----------------------------------------------------------
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now()
+    }
+
+    /// Advance the clock, firing any due monitor refetches.
+    pub fn advance(&mut self, by: SimDuration) {
+        let deadline = self.now() + by;
+        while let Some(fired) = self.sched.next_until(deadline) {
+            self.fire(fired.at, fired.payload);
+        }
+    }
+
+    /// Run until every scheduled event has fired (ends the observation
+    /// window of the monitoring experiment).
+    ///
+    /// # Panics
+    /// Panics when churn is enabled — churn reschedules itself forever, so
+    /// quiescence never arrives; use [`World::advance`] with an explicit
+    /// window instead.
+    pub fn run_to_quiescence(&mut self) {
+        assert!(
+            self.churn_mean.is_none(),
+            "run_to_quiescence never returns under churn; use advance()"
+        );
+        while let Some(fired) = self.sched.next() {
+            let at = fired.at;
+            self.fire(at, fired.payload);
+        }
+    }
+
+    fn fire(&mut self, at: SimTime, ev: WorldEvent) {
+        match ev {
+            WorldEvent::MonitorRefetch {
+                src,
+                host,
+                path,
+                user_agent,
+            } => {
+                self.trace.record(
+                    at,
+                    netsim::TraceCategory::Monitor,
+                    format!("unexpected request for http://{host}{path} from {src}"),
+                );
+                self.web_server
+                    .handle(at, src, &host, &path, Some(&user_agent));
+            }
+            WorldEvent::ChurnToggle { node } => {
+                let n = &mut self.nodes[node.0 as usize];
+                n.online = !n.online;
+                if let Some(mean) = self.churn_mean {
+                    let next = Self::churn_interval(&mut self.rng, mean);
+                    self.sched.schedule(next, WorldEvent::ChurnToggle { node });
+                }
+            }
+        }
+    }
+
+    /// Enable peer churn: every node toggles between online and offline at
+    /// exponentially distributed intervals with the given mean. The Hola
+    /// population is residential and "very dynamic" (§3.2, footnote 6);
+    /// churn exercises the session-pin + retry + zID-cross-check machinery
+    /// under realistic conditions.
+    pub fn enable_churn(&mut self, mean: SimDuration) {
+        assert!(!mean.is_zero(), "churn interval must be positive");
+        self.churn_mean = Some(mean);
+        for id in 0..self.nodes.len() as u32 {
+            let first = Self::churn_interval(&mut self.rng, mean);
+            self.sched
+                .schedule(first, WorldEvent::ChurnToggle { node: NodeId(id) });
+        }
+    }
+
+    fn churn_interval(rng: &mut SimRng, mean: SimDuration) -> SimDuration {
+        use netsim::rng::RngExt;
+        // Exponential inter-arrival via inverse transform; clamp away from
+        // zero so two toggles never collapse into the same instant.
+        let u: f64 = rng.random_range(1e-9..1.0);
+        let ms = (-(u.ln()) * mean.as_millis() as f64).max(1.0);
+        SimDuration::from_millis(ms as u64)
+    }
+
+    /// Mutable access to the authoritative DNS server (the measurement
+    /// client provisions probe names and reads the query log).
+    pub fn auth_server_mut(&mut self) -> &mut AuthServer {
+        &mut self.auth_server
+    }
+
+    /// Read access to the authoritative DNS server.
+    pub fn auth_server(&self) -> &AuthServer {
+        &self.auth_server
+    }
+
+    /// The apex of our authoritative zone.
+    pub fn auth_apex(&self) -> &DnsName {
+        &self.auth_apex
+    }
+
+    /// Mutable access to the measurement web server.
+    pub fn web_server_mut(&mut self) -> &mut WebServer {
+        &mut self.web_server
+    }
+
+    /// Read access to the measurement web server.
+    pub fn web_server(&self) -> &WebServer {
+        &self.web_server
+    }
+
+    /// Our web server's address.
+    pub fn web_ip(&self) -> Ipv4Addr {
+        self.web_ip
+    }
+
+    /// The trace log (figure rendering).
+    pub fn trace(&self) -> &TraceLog {
+        &self.trace
+    }
+
+    /// Clear the trace log.
+    pub fn clear_trace(&mut self) {
+        self.trace.clear();
+    }
+
+    /// Number of nodes in the world (eligible or not).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Ground-truth node access — **analysis code must not call this**; it
+    /// exists for world construction, scoring, and tests.
+    pub fn node(&self, id: NodeId) -> &ExitNode {
+        &self.nodes[id.0 as usize]
+    }
+
+    /// Ground-truth mutable node access (worldgen wiring, churn tests).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut ExitNode {
+        &mut self.nodes[id.0 as usize]
+    }
+
+    /// All node ids (ground truth / scoring).
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// The per-country exit counts Luminati reports to clients — public
+    /// API information the crawler uses for proportional sampling (§3.2).
+    pub fn reported_country_counts(&self) -> Vec<(CountryCode, usize)> {
+        let mut v: Vec<(CountryCode, usize)> = self
+            .pool_by_country
+            .iter()
+            .map(|(cc, pool)| (*cc, pool.len()))
+            .collect();
+        v.sort();
+        v
+    }
+
+    /// Public directory of HTTPS-capable sites: `(host, ip)` per country
+    /// rank plus the university and invalid sites. The measurement client
+    /// needs the IPs because CONNECT takes an address (§2.3).
+    pub fn site_address(&self, host: &str) -> Option<Ipv4Addr> {
+        self.origin_sites.get(host).map(|s| s.ip)
+    }
+
+    /// The certificate chain a site serves when reached *directly* (not
+    /// through an exit node). The measurement client may use this only for
+    /// the invalid sites it operates itself — it knows those certificates
+    /// because it created them (§6.1's exact-match check).
+    pub fn expected_chain(&self, host: &str) -> Option<&[certs::Certificate]> {
+        self.origin_sites.get(host).map(|s| s.chain.as_slice())
+    }
+
+    /// Total bytes billed to a customer (per-GB pricing, §2.3).
+    pub fn bytes_billed(&self, customer: &str) -> u64 {
+        self.bytes_billed.get(customer).copied().unwrap_or(0)
+    }
+
+    /// The monitor-entity table (ground truth / scoring).
+    pub fn monitor_entities(&self) -> &[MonitorEntity] {
+        &self.monitors
+    }
+
+    /// Ground-truth resolver lookup (scoring only).
+    pub fn resolver_def(&self, ip: Ipv4Addr) -> Option<&ResolverDef> {
+        self.resolvers.get(&ip)
+    }
+
+    /// All registered resolvers (for longitudinal world mutation and
+    /// scoring).
+    pub fn resolvers(&self) -> impl Iterator<Item = &ResolverDef> {
+        self.resolvers.values()
+    }
+
+    /// Remove a transparent DNS proxy (longitudinal scenarios: an ISP
+    /// turns its hijacking appliance off).
+    pub fn clear_transparent_dns(&mut self, asn: Asn) -> bool {
+        self.transparent_dns.remove(&asn).is_some()
+    }
+
+    /// Ground-truth transparent-DNS-proxy lookup (scoring only).
+    pub fn transparent_dns_of(&self, asn: Asn) -> Option<&NxdomainHijacker> {
+        self.transparent_dns.get(&asn)
+    }
+
+    /// Ground-truth in-path HTTP interference lookup (scoring only).
+    pub fn isp_http_of(&self, asn: Asn) -> Option<&IspHttp> {
+        self.isp_http.get(&asn)
+    }
+
+    /// All registered origin sites (used by the measurement client as the
+    /// public "site directory" — hostnames and addresses are public
+    /// knowledge, their behaviour is not).
+    pub fn origin_hosts(&self) -> impl Iterator<Item = &str> {
+        self.origin_sites.keys().map(|s| s.as_str())
+    }
+
+    /// The Google anycast instance the super proxy resolves through.
+    pub fn super_proxy_dns_src(&self) -> Ipv4Addr {
+        self.google_anycast[0]
+    }
+
+    /// The anycast instance a Google-DNS-configured node in `country` hits.
+    pub(crate) fn google_instance_for(&self, country: CountryCode, node: NodeId) -> Ipv4Addr {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in country.as_str().bytes().chain(node.0.to_be_bytes()) {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        self.google_anycast[(h % self.google_anycast.len() as u64) as usize]
+    }
+}

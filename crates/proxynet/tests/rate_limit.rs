@@ -1,0 +1,97 @@
+//! Per-customer rate limiting at the super proxy: over-limit requests are
+//! delayed to the next token refill, visible as virtual-time stretch.
+
+use dnswire::DnsName;
+use httpwire::{Response, Uri};
+use inetdb::{CountryCode, InternetRegistry};
+use netsim::{SimDuration, SimRng, SimTime};
+use proxynet::{ExitNode, NodeId, Platform, ResolverChoice, UsernameOptions, World};
+
+fn tiny_world() -> World {
+    let mut reg = InternetRegistry::new();
+    let google = reg.register_org("Google", CountryCode::new("US"));
+    let gasn = reg.register_as_with_prefix(google, inetdb::GOOGLE_ANYCAST_NET.parse().unwrap());
+    let isp = reg.register_org("ISP", CountryCode::new("US"));
+    let isp_asn = reg.register_as(isp, 1);
+    let lab = reg.register_org("Lab", CountryCode::new("US"));
+    let lab_asn = reg.register_as(lab, 1);
+    let web_ip = reg.alloc_ip(lab_asn);
+    let anycast = vec![reg.alloc_ip(gasn)];
+    let node_ip = reg.alloc_ip(isp_asn);
+    reg.snapshot_rib();
+    let mut rng = SimRng::new(4);
+    let (roots, _) = certs::RootStore::os_x_like(1, SimTime::EPOCH, &mut rng);
+    let mut w = World::new(
+        9,
+        DnsName::parse("probe.example").unwrap(),
+        web_ip,
+        anycast,
+        reg,
+        roots,
+    );
+    w.add_node(ExitNode::new(
+        NodeId(0),
+        node_ip,
+        isp_asn,
+        CountryCode::new("US"),
+        Platform::Windows,
+        ResolverChoice::GoogleDns,
+    ));
+    let apex = w.auth_apex().clone();
+    let web = w.web_ip();
+    w.auth_server_mut()
+        .zone_mut()
+        .add_a(apex.child("x").unwrap(), web);
+    w.web_server_mut().put(
+        "x.probe.example",
+        "/",
+        Response::ok("text/html", b"y".to_vec()),
+    );
+    w
+}
+
+fn burst(w: &mut World, n: u64) -> SimDuration {
+    let start = w.now();
+    for i in 0..n {
+        let opts = UsernameOptions::new("shaped").session(i);
+        w.proxy_get(&opts, &Uri::http("x.probe.example", "/"))
+            .unwrap();
+    }
+    w.now().since(start)
+}
+
+#[test]
+fn unshaped_bursts_run_at_link_speed() {
+    let mut w = tiny_world();
+    let elapsed = burst(&mut w, 20);
+    // ~20 requests at sub-second RTTs.
+    assert!(elapsed < SimDuration::from_secs(30), "elapsed {elapsed}");
+}
+
+#[test]
+fn shaping_delays_over_limit_requests() {
+    let mut w = tiny_world();
+    // 2 requests per 10 s.
+    w.set_customer_rate_limit(2, SimDuration::from_secs(10));
+    let elapsed = burst(&mut w, 20);
+    // 20 requests at 2 per 10 s need at least ~90 s of bucket time.
+    assert!(
+        elapsed >= SimDuration::from_secs(80),
+        "shaping should stretch the burst: {elapsed}"
+    );
+}
+
+#[test]
+fn shaping_is_per_customer() {
+    let mut w = tiny_world();
+    w.set_customer_rate_limit(1, SimDuration::from_secs(60));
+    let opts_a = UsernameOptions::new("alice").session(1);
+    let opts_b = UsernameOptions::new("bob").session(1);
+    let start = w.now();
+    w.proxy_get(&opts_a, &Uri::http("x.probe.example", "/"))
+        .unwrap();
+    w.proxy_get(&opts_b, &Uri::http("x.probe.example", "/"))
+        .unwrap();
+    // Two different customers each have their own bucket: no 60 s stall.
+    assert!(w.now().since(start) < SimDuration::from_secs(30));
+}

@@ -1,0 +1,118 @@
+//! Client commands.
+
+use std::fmt;
+
+/// The SMTP commands the probe uses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `EHLO <domain>` — extended hello; the reply advertises capabilities.
+    Ehlo(String),
+    /// `HELO <domain>` — legacy hello.
+    Helo(String),
+    /// `STARTTLS` — request the TLS upgrade.
+    StartTls,
+    /// `NOOP`.
+    Noop,
+    /// `QUIT`.
+    Quit,
+}
+
+/// Errors parsing a command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CommandError {
+    /// Verb not recognized.
+    UnknownVerb(String),
+    /// EHLO/HELO missing its domain argument.
+    MissingArgument,
+}
+
+impl fmt::Display for CommandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommandError::UnknownVerb(v) => write!(f, "unknown SMTP verb {v:?}"),
+            CommandError::MissingArgument => write!(f, "missing argument"),
+        }
+    }
+}
+
+impl std::error::Error for CommandError {}
+
+impl Command {
+    /// Render as a wire line (without CRLF).
+    pub fn to_line(&self) -> String {
+        match self {
+            Command::Ehlo(d) => format!("EHLO {d}"),
+            Command::Helo(d) => format!("HELO {d}"),
+            Command::StartTls => "STARTTLS".to_string(),
+            Command::Noop => "NOOP".to_string(),
+            Command::Quit => "QUIT".to_string(),
+        }
+    }
+
+    /// Parse a wire line (CRLF already stripped). Verbs are
+    /// case-insensitive per RFC 5321.
+    pub fn parse(line: &str) -> Result<Command, CommandError> {
+        let line = line.trim_end();
+        let (verb, rest) = match line.split_once(' ') {
+            Some((v, r)) => (v, Some(r.trim())),
+            None => (line, None),
+        };
+        match verb.to_ascii_uppercase().as_str() {
+            "EHLO" => rest
+                .filter(|r| !r.is_empty())
+                .map(|r| Command::Ehlo(r.to_string()))
+                .ok_or(CommandError::MissingArgument),
+            "HELO" => rest
+                .filter(|r| !r.is_empty())
+                .map(|r| Command::Helo(r.to_string()))
+                .ok_or(CommandError::MissingArgument),
+            "STARTTLS" => Ok(Command::StartTls),
+            "NOOP" => Ok(Command::Noop),
+            "QUIT" => Ok(Command::Quit),
+            other => Err(CommandError::UnknownVerb(other.to_string())),
+        }
+    }
+}
+
+impl fmt::Display for Command {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_line())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_commands() {
+        for cmd in [
+            Command::Ehlo("probe.example".into()),
+            Command::Helo("probe.example".into()),
+            Command::StartTls,
+            Command::Noop,
+            Command::Quit,
+        ] {
+            assert_eq!(Command::parse(&cmd.to_line()).unwrap(), cmd);
+        }
+    }
+
+    #[test]
+    fn verbs_are_case_insensitive() {
+        assert_eq!(
+            Command::parse("ehlo mail.example").unwrap(),
+            Command::Ehlo("mail.example".into())
+        );
+        assert_eq!(Command::parse("starttls").unwrap(), Command::StartTls);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(Command::parse("EHLO"), Err(CommandError::MissingArgument));
+        assert_eq!(Command::parse("EHLO  "), Err(CommandError::MissingArgument));
+        assert!(matches!(
+            Command::parse("VRFY user"),
+            Err(CommandError::UnknownVerb(_))
+        ));
+    }
+}

@@ -1,0 +1,28 @@
+//! # smtpwire — minimal SMTP (RFC 5321 subset)
+//!
+//! The paper closes §3.4 with: *"we could extend our methodologies for VPNs
+//! that allow arbitrary traffic to be sent, enabling us to capture
+//! end-to-end connectivity violations in protocols like SMTP; we leave
+//! exploring this further to future work."* This crate is that future work's
+//! protocol plane: enough SMTP to run an EHLO capability exchange and probe
+//! the STARTTLS upgrade point — the part of SMTP middleboxes notoriously
+//! tamper with (STARTTLS stripping downgrades mail to plaintext).
+
+//!
+//! ```
+//! use smtpwire::{Capabilities, Command, MailServer};
+//! let server = MailServer::new("mx1.example");
+//! let reply = server.handle(&Command::Ehlo("probe.example".into()));
+//! assert!(Capabilities::from_ehlo(&reply).starttls);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod command;
+pub mod reply;
+pub mod server;
+
+pub use command::Command;
+pub use reply::{Capabilities, Reply};
+pub use server::MailServer;

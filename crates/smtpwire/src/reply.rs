@@ -1,0 +1,239 @@
+//! Server replies, including the multiline EHLO capability form.
+
+use std::fmt;
+
+/// An SMTP reply: a 3-digit code and one or more text lines.
+///
+/// Multiline form on the wire: every line but the last uses `code-text`,
+/// the last uses `code text` (RFC 5321 §4.2.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Reply {
+    /// Reply code (e.g. 220, 250, 454).
+    pub code: u16,
+    /// Text lines (at least one).
+    pub lines: Vec<String>,
+}
+
+/// Errors parsing a reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplyError {
+    /// Empty input.
+    Empty,
+    /// A line was shorter than the 4-character code prefix.
+    ShortLine,
+    /// The code was not three digits.
+    BadCode,
+    /// Continuation lines disagreed on the code.
+    MixedCodes,
+    /// A non-final line used the final-line separator.
+    EarlyTermination,
+}
+
+impl fmt::Display for ReplyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ReplyError::Empty => "empty reply",
+            ReplyError::ShortLine => "line shorter than code prefix",
+            ReplyError::BadCode => "malformed reply code",
+            ReplyError::MixedCodes => "mixed codes in multiline reply",
+            ReplyError::EarlyTermination => "final-form line before the end",
+        };
+        f.write_str(s)
+    }
+}
+
+impl std::error::Error for ReplyError {}
+
+impl Reply {
+    /// A single-line reply.
+    pub fn new(code: u16, text: &str) -> Reply {
+        Reply {
+            code,
+            lines: vec![text.to_string()],
+        }
+    }
+
+    /// A multiline reply.
+    ///
+    /// # Panics
+    /// Panics if `lines` is empty.
+    pub fn multiline(code: u16, lines: Vec<String>) -> Reply {
+        assert!(!lines.is_empty(), "a reply needs at least one line");
+        Reply { code, lines }
+    }
+
+    /// 2xx/3xx.
+    pub fn is_positive(&self) -> bool {
+        (200..400).contains(&self.code)
+    }
+
+    /// Render to wire text (CRLF line endings, trailing CRLF included).
+    pub fn to_text(&self) -> String {
+        let mut s = String::new();
+        for (i, line) in self.lines.iter().enumerate() {
+            let sep = if i + 1 == self.lines.len() { ' ' } else { '-' };
+            s.push_str(&format!("{}{}{}\r\n", self.code, sep, line));
+        }
+        s
+    }
+
+    /// Parse wire text (one complete reply).
+    pub fn parse(text: &str) -> Result<Reply, ReplyError> {
+        let mut code: Option<u16> = None;
+        let mut lines = Vec::new();
+        let mut terminated = false;
+        for raw in text.split("\r\n").filter(|l| !l.is_empty()) {
+            if terminated {
+                return Err(ReplyError::EarlyTermination);
+            }
+            let bytes = raw.as_bytes();
+            if bytes.len() < 4 {
+                return Err(ReplyError::ShortLine);
+            }
+            // Byte-wise prefix handling: the code and separator are ASCII
+            // by definition; anything else is malformed (and arbitrary
+            // UTF-8 must not panic the parser).
+            if !bytes[..3].iter().all(|b| b.is_ascii_digit()) {
+                return Err(ReplyError::BadCode);
+            }
+            let c: u16 = (bytes[0] - b'0') as u16 * 100
+                + (bytes[1] - b'0') as u16 * 10
+                + (bytes[2] - b'0') as u16;
+            if !(100..600).contains(&c) {
+                return Err(ReplyError::BadCode);
+            }
+            match code {
+                Some(existing) if existing != c => return Err(ReplyError::MixedCodes),
+                _ => code = Some(c),
+            }
+            match bytes[3] {
+                b' ' => terminated = true,
+                b'-' => {}
+                _ => return Err(ReplyError::BadCode),
+            }
+            lines.push(raw[4..].to_string());
+        }
+        if lines.is_empty() {
+            return Err(ReplyError::Empty);
+        }
+        if !terminated {
+            return Err(ReplyError::ShortLine);
+        }
+        Ok(Reply {
+            code: code.expect("lines non-empty"),
+            lines,
+        })
+    }
+}
+
+/// Parsed EHLO capabilities — the observable that STARTTLS stripping
+/// tampers with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Capabilities {
+    /// `STARTTLS` advertised.
+    pub starttls: bool,
+    /// `PIPELINING` advertised.
+    pub pipelining: bool,
+    /// `8BITMIME` advertised.
+    pub eightbitmime: bool,
+}
+
+impl Capabilities {
+    /// Extract capabilities from an EHLO reply (the first line is the
+    /// server's greeting domain, not a capability).
+    pub fn from_ehlo(reply: &Reply) -> Capabilities {
+        let mut caps = Capabilities::default();
+        for line in reply.lines.iter().skip(1) {
+            match line
+                .split_whitespace()
+                .next()
+                .unwrap_or("")
+                .to_ascii_uppercase()
+                .as_str()
+            {
+                "STARTTLS" => caps.starttls = true,
+                "PIPELINING" => caps.pipelining = true,
+                "8BITMIME" => caps.eightbitmime = true,
+                _ => {}
+            }
+        }
+        caps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_line_roundtrip() {
+        let r = Reply::new(220, "mx1.example ESMTP ready");
+        let text = r.to_text();
+        assert_eq!(text, "220 mx1.example ESMTP ready\r\n");
+        assert_eq!(Reply::parse(&text).unwrap(), r);
+    }
+
+    #[test]
+    fn multiline_roundtrip() {
+        let r = Reply::multiline(
+            250,
+            vec![
+                "mx1.example".into(),
+                "PIPELINING".into(),
+                "STARTTLS".into(),
+                "8BITMIME".into(),
+            ],
+        );
+        let text = r.to_text();
+        assert!(text.contains("250-STARTTLS\r\n"));
+        assert!(text.ends_with("250 8BITMIME\r\n"));
+        assert_eq!(Reply::parse(&text).unwrap(), r);
+    }
+
+    #[test]
+    fn capabilities_extraction() {
+        let r = Reply::multiline(
+            250,
+            vec!["mx1.example".into(), "STARTTLS".into(), "PIPELINING".into()],
+        );
+        let caps = Capabilities::from_ehlo(&r);
+        assert!(caps.starttls);
+        assert!(caps.pipelining);
+        assert!(!caps.eightbitmime);
+    }
+
+    #[test]
+    fn greeting_line_is_not_a_capability() {
+        // A server whose domain is literally "STARTTLS.example" must not
+        // count as advertising STARTTLS.
+        let r = Reply::multiline(250, vec!["STARTTLS.example greets you".into()]);
+        assert!(!Capabilities::from_ehlo(&r).starttls);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(Reply::parse(""), Err(ReplyError::Empty));
+        assert_eq!(Reply::parse("25\r\n"), Err(ReplyError::ShortLine));
+        assert_eq!(Reply::parse("abc hello\r\n"), Err(ReplyError::BadCode));
+        assert_eq!(
+            Reply::parse("250-a\r\n251 b\r\n"),
+            Err(ReplyError::MixedCodes)
+        );
+        assert_eq!(
+            Reply::parse("250 done\r\n250 again\r\n"),
+            Err(ReplyError::EarlyTermination)
+        );
+        assert_eq!(
+            Reply::parse("250-unfinished\r\n"),
+            Err(ReplyError::ShortLine)
+        );
+    }
+
+    #[test]
+    fn positivity() {
+        assert!(Reply::new(220, "x").is_positive());
+        assert!(Reply::new(250, "x").is_positive());
+        assert!(!Reply::new(454, "TLS not available").is_positive());
+        assert!(!Reply::new(554, "no").is_positive());
+    }
+}

@@ -1,0 +1,98 @@
+//! A mail server model: banner, EHLO capabilities, STARTTLS acceptance.
+
+use crate::command::Command;
+use crate::reply::Reply;
+
+/// A simple ESMTP server.
+#[derive(Debug, Clone)]
+pub struct MailServer {
+    /// The server's hostname (appears in banner and EHLO greeting).
+    pub host: String,
+    /// Whether the server supports STARTTLS.
+    pub supports_starttls: bool,
+}
+
+impl MailServer {
+    /// A STARTTLS-capable server.
+    pub fn new(host: &str) -> MailServer {
+        MailServer {
+            host: host.to_string(),
+            supports_starttls: true,
+        }
+    }
+
+    /// The 220 connection banner.
+    pub fn banner(&self) -> Reply {
+        Reply::new(220, &format!("{} ESMTP ready", self.host))
+    }
+
+    /// Handle one command.
+    pub fn handle(&self, cmd: &Command) -> Reply {
+        match cmd {
+            Command::Ehlo(_) => {
+                let mut lines = vec![
+                    format!("{} greets you", self.host),
+                    "PIPELINING".to_string(),
+                    "8BITMIME".to_string(),
+                ];
+                if self.supports_starttls {
+                    lines.push("STARTTLS".to_string());
+                }
+                Reply::multiline(250, lines)
+            }
+            Command::Helo(_) => Reply::new(250, &self.host),
+            Command::StartTls => {
+                if self.supports_starttls {
+                    Reply::new(220, "Ready to start TLS")
+                } else {
+                    Reply::new(454, "TLS not available")
+                }
+            }
+            Command::Noop => Reply::new(250, "OK"),
+            Command::Quit => Reply::new(221, &format!("{} closing", self.host)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reply::Capabilities;
+
+    #[test]
+    fn ehlo_advertises_starttls() {
+        let s = MailServer::new("mx1.us.example");
+        let reply = s.handle(&Command::Ehlo("probe.example".into()));
+        assert_eq!(reply.code, 250);
+        assert!(Capabilities::from_ehlo(&reply).starttls);
+    }
+
+    #[test]
+    fn starttls_accepted_when_supported() {
+        let s = MailServer::new("mx1.us.example");
+        assert_eq!(s.handle(&Command::StartTls).code, 220);
+    }
+
+    #[test]
+    fn starttls_refused_when_unsupported() {
+        let mut s = MailServer::new("legacy.example");
+        s.supports_starttls = false;
+        let ehlo = s.handle(&Command::Ehlo("probe.example".into()));
+        assert!(!Capabilities::from_ehlo(&ehlo).starttls);
+        assert_eq!(s.handle(&Command::StartTls).code, 454);
+    }
+
+    #[test]
+    fn banner_names_host() {
+        let s = MailServer::new("mx1.us.example");
+        assert!(s.banner().to_text().contains("mx1.us.example"));
+        assert_eq!(s.banner().code, 220);
+    }
+
+    #[test]
+    fn quit_and_noop() {
+        let s = MailServer::new("mx1.us.example");
+        assert_eq!(s.handle(&Command::Quit).code, 221);
+        assert_eq!(s.handle(&Command::Noop).code, 250);
+    }
+}

@@ -1,0 +1,365 @@
+//! HTTP modification analysis (§5.2): HTML injection signatures and their
+//! attribution, mobile image transcoding, and JS/CSS replacement.
+
+use crate::config::StudyConfig;
+use crate::obs::{HttpDataset, ProbeObject};
+use inetdb::{Asn, CountryCode};
+use middlebox::extract_urls;
+use proxynet::World;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// One injected-signature row (Table 6).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SignatureRow {
+    /// The signature (URL or keyword).
+    pub signature: String,
+    /// Nodes where it appeared.
+    pub nodes: usize,
+    /// Distinct node countries.
+    pub countries: usize,
+    /// Distinct node ASes.
+    pub ases: usize,
+}
+
+/// One image-transcoding AS row (Table 7).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImageRow {
+    /// AS number.
+    pub asn: Asn,
+    /// Operating ISP.
+    pub isp: String,
+    /// Country.
+    pub country: CountryCode,
+    /// Nodes with modified images.
+    pub modified: usize,
+    /// Nodes measured in the AS.
+    pub total: usize,
+    /// Distinct compression ratios observed (2 dp).
+    pub ratios: Vec<f64>,
+}
+
+impl ImageRow {
+    /// Modified share.
+    pub fn mod_ratio(&self) -> f64 {
+        self.modified as f64 / self.total as f64
+    }
+
+    /// True when the AS compresses at several operating points
+    /// (Table 7's "M").
+    pub fn multi_ratio(&self) -> bool {
+        self.ratios.len() > 1
+    }
+}
+
+/// Replaced-object summary (JS and CSS).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReplacedSummary {
+    /// Nodes with the object replaced.
+    pub nodes: usize,
+    /// …of which the replacement was an error/block page or empty.
+    pub error_or_empty: usize,
+}
+
+/// Full HTTP analysis output.
+#[derive(Debug, Default)]
+pub struct HttpAnalysis {
+    /// Nodes measured (with at least the HTML object).
+    pub nodes: usize,
+    /// Distinct node ASes.
+    pub ases: usize,
+    /// Distinct node countries.
+    pub countries: usize,
+    /// Nodes with modified HTML (before block-page filtering).
+    pub html_modified: usize,
+    /// …of which were block pages ("bandwidth exceeded", "blocked").
+    pub html_block_pages: usize,
+    /// …leaving genuine injections.
+    pub html_injected: usize,
+    /// Injection signatures, most common first (Table 6).
+    pub signatures: Vec<SignatureRow>,
+    /// ASes where essentially all nodes receive injected content (the
+    /// ISP-appliance case, e.g. NetSpark on Internet Rimon).
+    pub isp_level_injection_ases: Vec<(Asn, String, f64)>,
+    /// Nodes with modified images.
+    pub image_modified: usize,
+    /// Image rows (Table 7), sorted by modified share descending.
+    pub image_rows: Vec<ImageRow>,
+    /// JS replacement summary.
+    pub js: ReplacedSummary,
+    /// CSS replacement summary.
+    pub css: ReplacedSummary,
+}
+
+fn is_block_page(body: &[u8]) -> bool {
+    if body.is_empty() {
+        return true;
+    }
+    let text = String::from_utf8_lossy(body).to_ascii_lowercase();
+    text.contains("bandwidth") || text.contains("blocked") || text.contains("exceeded")
+}
+
+/// Extract candidate injection signatures from a modified HTML body: new
+/// script URLs, new `var NAME` declarations, and new meta names relative to
+/// the reference page.
+pub fn extract_signatures(original: &[u8], modified: &[u8]) -> Vec<String> {
+    let orig_urls: HashSet<String> = extract_urls(original).into_iter().collect();
+    let mut sigs = Vec::new();
+    for url in extract_urls(modified) {
+        if orig_urls.contains(&url) {
+            continue;
+        }
+        let stripped = url
+            .trim_start_matches("http://")
+            .trim_start_matches("https://")
+            .trim_end_matches("/inject.js")
+            .to_string();
+        if !stripped.is_empty() {
+            sigs.push(stripped);
+        }
+    }
+    let orig_text = String::from_utf8_lossy(original).into_owned();
+    let text = String::from_utf8_lossy(modified);
+    for token in find_tokens(&text, "var ", &[';', ' ', '=']) {
+        if !orig_text.contains(&format!("var {token}")) {
+            sigs.push(format!("var {token};"));
+        }
+    }
+    for token in find_tokens(&text, "<meta name=\"", &['"']) {
+        if !orig_text.contains(&format!("<meta name=\"{token}")) {
+            sigs.push(token);
+        }
+    }
+    sigs.sort();
+    sigs.dedup();
+    sigs
+}
+
+/// Find identifier-ish tokens following `prefix`, terminated by any byte in
+/// `stops`.
+fn find_tokens(text: &str, prefix: &str, stops: &[char]) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = text;
+    while let Some(pos) = rest.find(prefix) {
+        let after = &rest[pos + prefix.len()..];
+        let end = after
+            .char_indices()
+            .find(|(_, c)| stops.contains(c) || c.is_whitespace())
+            .map(|(i, _)| i)
+            .unwrap_or(after.len());
+        let token = &after[..end];
+        if !token.is_empty()
+            && token
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+        {
+            out.push(token.to_string());
+        }
+        rest = &rest[pos + prefix.len()..];
+    }
+    out
+}
+
+/// Run the analysis.
+pub fn analyze(data: &HttpDataset, world: &World, cfg: &StudyConfig) -> HttpAnalysis {
+    let reg = &world.registry;
+    let mut out = HttpAnalysis {
+        nodes: data.observations.len(),
+        ..Default::default()
+    };
+    let mut node_ases: HashSet<Asn> = HashSet::new();
+    let mut node_countries: HashSet<CountryCode> = HashSet::new();
+
+    struct SigAgg {
+        nodes: usize,
+        ases: HashSet<Asn>,
+        countries: HashSet<CountryCode>,
+    }
+    let mut sig_aggs: HashMap<String, SigAgg> = HashMap::new();
+    // AS → (injected nodes, measured nodes) for ISP-level attribution.
+    let mut as_injection: BTreeMap<Asn, (usize, usize)> = BTreeMap::new();
+    // AS → (modified, total, ratios) for images.
+    struct ImgAgg {
+        modified: usize,
+        total: usize,
+        ratios: HashSet<u64>,
+    }
+    let mut img_aggs: BTreeMap<Asn, ImgAgg> = BTreeMap::new();
+
+    for obs in &data.observations {
+        let asn = reg.ip_to_asn(obs.node_ip).unwrap_or(Asn(0));
+        let cc = reg.country_of_ip(obs.node_ip);
+        node_ases.insert(asn);
+        if let Some(cc) = cc {
+            node_countries.insert(cc);
+        }
+        let mut injected_here = false;
+        for r in &obs.results {
+            match r.object {
+                ProbeObject::Html => {
+                    as_injection.entry(asn).or_insert((0, 0)).1 += 1;
+                    if let Some(body) = &r.modified_body {
+                        out.html_modified += 1;
+                        if is_block_page(body) {
+                            out.html_block_pages += 1;
+                            continue;
+                        }
+                        out.html_injected += 1;
+                        injected_here = true;
+                        let original = crate::http_exp::object_body(ProbeObject::Html);
+                        for sig in extract_signatures(&original, body) {
+                            let agg = sig_aggs.entry(sig).or_insert(SigAgg {
+                                nodes: 0,
+                                ases: HashSet::new(),
+                                countries: HashSet::new(),
+                            });
+                            agg.nodes += 1;
+                            agg.ases.insert(asn);
+                            if let Some(cc) = cc {
+                                agg.countries.insert(cc);
+                            }
+                        }
+                    }
+                }
+                ProbeObject::Jpeg => {
+                    let agg = img_aggs.entry(asn).or_insert(ImgAgg {
+                        modified: 0,
+                        total: 0,
+                        ratios: HashSet::new(),
+                    });
+                    agg.total += 1;
+                    if r.modified_body.is_some() {
+                        agg.modified += 1;
+                        out.image_modified += 1;
+                        let ratio = r.received_len as f64 / r.original_len as f64;
+                        agg.ratios.insert((ratio * 100.0).round() as u64);
+                    }
+                }
+                ProbeObject::Js => {
+                    if let Some(body) = &r.modified_body {
+                        out.js.nodes += 1;
+                        if is_block_page(body) {
+                            out.js.error_or_empty += 1;
+                        }
+                    }
+                }
+                ProbeObject::Css => {
+                    if let Some(body) = &r.modified_body {
+                        out.css.nodes += 1;
+                        if is_block_page(body) {
+                            out.css.error_or_empty += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if injected_here {
+            as_injection.entry(asn).or_insert((0, 0)).0 += 1;
+        }
+    }
+    out.ases = node_ases.len();
+    out.countries = node_countries.len();
+
+    out.signatures = sig_aggs
+        .into_iter()
+        .map(|(signature, a)| SignatureRow {
+            signature,
+            nodes: a.nodes,
+            countries: a.countries.len(),
+            ases: a.ases.len(),
+        })
+        .collect();
+    out.signatures
+        .sort_by(|a, b| b.nodes.cmp(&a.nodes).then(a.signature.cmp(&b.signature)));
+
+    out.isp_level_injection_ases = as_injection
+        .iter()
+        .filter(|(_, (_inj, total))| *total >= cfg.min_nodes_per_as)
+        .filter(|(_, (inj, total))| *inj as f64 / *total as f64 > 0.9)
+        .map(|(&asn, (inj, total))| {
+            let name = reg
+                .asn_to_org(asn)
+                .map(|o| o.name.clone())
+                .unwrap_or_else(|| "unknown".into());
+            (asn, name, *inj as f64 / *total as f64)
+        })
+        .collect();
+
+    out.image_rows = img_aggs
+        .into_iter()
+        .filter(|(_, a)| a.modified > 0 && a.total >= cfg.min_nodes_per_as)
+        .map(|(asn, a)| {
+            let org = reg.asn_to_org(asn);
+            let mut ratios: Vec<f64> = a.ratios.iter().map(|&r| r as f64 / 100.0).collect();
+            ratios.sort_by(|x, y| x.partial_cmp(y).expect("finite"));
+            ImageRow {
+                asn,
+                isp: org
+                    .map(|o| o.name.clone())
+                    .unwrap_or_else(|| "unknown".into()),
+                country: org.map(|o| o.country).unwrap_or(CountryCode::new("ZZ")),
+                modified: a.modified,
+                total: a.total,
+                ratios,
+            }
+        })
+        .collect();
+    out.image_rows.sort_by(|a, b| {
+        b.mod_ratio()
+            .partial_cmp(&a.mod_ratio())
+            .expect("finite")
+            .then(a.asn.cmp(&b.asn))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_page_detection() {
+        assert!(is_block_page(b""));
+        assert!(is_block_page(b"<h1>509 Bandwidth Limit Exceeded</h1>"));
+        assert!(is_block_page(b"This site is BLOCKED by policy"));
+        assert!(!is_block_page(b"<html>regular page</html>"));
+    }
+
+    #[test]
+    fn signature_extraction_urls() {
+        let orig = b"<html><body><a href=\"http://ours.example/x\">x</a></body></html>";
+        let modified = b"<html><body><a href=\"http://ours.example/x\">x</a>\
+            <script src=\"http://d36mw5gp02ykm5.cloudfront.example/inject.js\"></script></body></html>";
+        let sigs = extract_signatures(orig, modified);
+        assert_eq!(sigs, vec!["d36mw5gp02ykm5.cloudfront.example"]);
+    }
+
+    #[test]
+    fn signature_extraction_keywords_and_meta() {
+        let orig = b"<html><head></head><body><script>var existing;</script></body></html>";
+        let modified = b"<html><head><meta name=\"NetsparkQuiltingResult\" content=\"f\"/></head>\
+            <body><script>var existing;</script><script>var oiasudoj; /*x*/</script></body></html>";
+        let sigs = extract_signatures(orig, modified);
+        assert!(sigs.contains(&"var oiasudoj;".to_string()), "{sigs:?}");
+        assert!(
+            sigs.contains(&"NetsparkQuiltingResult".to_string()),
+            "{sigs:?}"
+        );
+        assert!(!sigs.iter().any(|s| s.contains("existing")));
+    }
+
+    #[test]
+    fn signature_extraction_full_path_urls() {
+        let orig = b"<html></html>";
+        let modified = b"<html><script src=\"http://jswrite.example/script1.js\"></script></html>";
+        let sigs = extract_signatures(orig, modified);
+        assert_eq!(sigs, vec!["jswrite.example/script1.js"]);
+    }
+
+    #[test]
+    fn token_finder_rejects_non_identifiers() {
+        let toks = find_tokens("var a=1; var b ; var $bad;", "var ", &[';', ' ', '=']);
+        assert!(toks.contains(&"a".to_string()));
+        assert!(toks.contains(&"b".to_string()));
+        assert!(!toks.iter().any(|t| t.contains('$')));
+    }
+}

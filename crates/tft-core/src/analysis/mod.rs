@@ -1,0 +1,8 @@
+//! Attribution analyses over the four datasets — the inference half of the
+//! paper's contribution.
+
+pub mod dns;
+pub mod http;
+pub mod https;
+pub mod monitor;
+pub mod smtp;

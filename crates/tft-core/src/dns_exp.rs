@@ -1,0 +1,215 @@
+//! The DNS NXDOMAIN-hijacking experiment (§4.1, Figure 2).
+//!
+//! For each sampled exit node, two unique names under our authoritative
+//! zone:
+//!
+//! 1. **d₁** resolves for everyone. Fetching `http://d₁/` through the node
+//!    reveals (a) the node's resolver address in our DNS log, (b) the
+//!    node's IP in our web log, and (c) its zID in the debug header.
+//! 2. **d₂** answers NXDOMAIN to everyone *except* the super proxy's
+//!    Google resolver (so the super proxy agrees to forward). Fetching
+//!    `http://d₂/` with the same session then either fails with a DNS
+//!    error (no hijacking) or returns substituted content (hijacked).
+
+use crate::config::StudyConfig;
+use crate::crawl::Sampler;
+use crate::ethics::ByteBudget;
+use crate::obs::{DnsDataset, DnsObservation, DnsOutcome};
+use dnswire::{server::inetdb_net::Net, AnswerOverride};
+use httpwire::{Response, Uri};
+use netsim::SimRng;
+use proxynet::{ProxyError, UsernameOptions, World};
+use std::net::Ipv4Addr;
+
+/// The Google anycast range the super proxy's queries arrive from
+/// (74.125.0.0/16; the paper determined this empirically). Exposed so the
+/// analysis layer can recognize Google-DNS-configured nodes.
+pub fn google_anycast_net() -> Net {
+    Net::new(Ipv4Addr::new(74, 125, 0, 0), 16)
+}
+
+/// The d₂ allow-predicate must name the super proxy's *specific* anycast
+/// instance, not the whole Google range: exit nodes configured with Google
+/// DNS also query from 74.125.0.0/16, and a /16 predicate would hand them
+/// the valid answer — making every Google-DNS node look hijacked. The
+/// instance is determined empirically from the d₁ query log (footnote 8's
+/// remaining ambiguity — nodes behind the *same* instance — is filtered in
+/// step 2).
+fn super_proxy_net(observed_src: Ipv4Addr) -> Net {
+    Net::new(observed_src, 32)
+}
+
+/// Tiny page served on probe names (the DNS experiment needs content, not
+/// size).
+fn probe_page() -> Response {
+    Response::ok(
+        "text/html",
+        b"<html><body>tft dns probe</body></html>".to_vec(),
+    )
+}
+
+/// Methodology variants, for ablation studies.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DnsExpOptions {
+    /// Use the naive 74.125.0.0/16 allow-predicate for d₂ instead of the
+    /// super proxy's specific anycast instance. This reproduces the failure
+    /// mode footnote 8 warns about: every Google-DNS exit node then
+    /// resolves d₂ successfully and is misclassified as hijacked.
+    pub naive_google_predicate: bool,
+}
+
+/// Run the experiment until saturation or budget exhaustion.
+pub fn run(world: &mut World, cfg: &StudyConfig) -> DnsDataset {
+    run_with(world, cfg, DnsExpOptions::default())
+}
+
+/// Run with explicit methodology options (ablations).
+pub fn run_with(world: &mut World, cfg: &StudyConfig, exp_opts: DnsExpOptions) -> DnsDataset {
+    let mut sampler = Sampler::new(
+        &world.reported_country_counts(),
+        SimRng::new(world.now().as_millis() ^ 0xD45),
+        cfg.saturation_window,
+        cfg.saturation_min_new,
+    );
+    let mut budget = ByteBudget::new(cfg.per_node_byte_cap);
+    let mut data = DnsDataset::default();
+    let apex = world.auth_apex().clone();
+    let super_dns = world.super_proxy_dns_src();
+
+    for i in 0..cfg.max_samples {
+        if sampler.saturated() {
+            break;
+        }
+        let (country, session) = sampler.next_probe();
+        data.samples_issued += 1;
+        let dup_before = data.duplicates;
+        let d1 = apex.child(&format!("d1-{i}")).expect("valid label");
+        let d2 = apex.child(&format!("d2-{i}")).expect("valid label");
+        let d1s = d1.to_string();
+        let d2s = d2.to_string();
+
+        // Provision: d1 for everyone, d2 only for the super proxy's
+        // resolver.
+        let web_ip = world.web_ip();
+        {
+            let auth = world.auth_server_mut();
+            auth.zone_mut().add_a(d1.clone(), web_ip);
+            auth.zone_mut().add_a(d2.clone(), web_ip);
+            let predicate = if exp_opts.naive_google_predicate {
+                google_anycast_net()
+            } else {
+                super_proxy_net(super_dns)
+            };
+            auth.set_override(
+                d2.clone(),
+                AnswerOverride::NxdomainUnlessFrom(vec![predicate]),
+            );
+        }
+        world.web_server_mut().put(&d1s, "/", probe_page());
+        world.web_server_mut().put(&d2s, "/", probe_page());
+
+        let auth_cursor = world.auth_server().log().len();
+        let web_cursor = world.web_server().log().len();
+
+        let opts = UsernameOptions::new(&cfg.customer)
+            .country(country)
+            .session(session)
+            .dns_remote();
+
+        // Step d1: identify the node, its IP, and its resolver.
+        let outcome = (|| -> Option<DnsObservation> {
+            let resp = match world.proxy_get(&opts, &Uri::http(&d1s, "/")) {
+                Ok(r) => r,
+                Err(_) => {
+                    sampler.record_miss();
+                    return None;
+                }
+            };
+            let zid = resp.debug.final_zid()?.clone();
+            let fresh = sampler.record(&zid);
+            budget.charge(&zid, resp.body.len() as u64);
+            if !fresh {
+                data.duplicates += 1;
+                return None; // already measured this node
+            }
+            // Resolver: the d1 query that did NOT come from the super
+            // proxy's own resolver instance.
+            let resolver_ip = world.auth_server().log()[auth_cursor..]
+                .iter()
+                .filter(|q| q.qname == d1)
+                .map(|q| q.src)
+                .find(|src| *src != super_dns);
+            let Some(resolver_ip) = resolver_ip else {
+                // Same anycast instance as the super proxy: ambiguous,
+                // filtered (footnote 8).
+                data.filtered_same_anycast += 1;
+                return None;
+            };
+            let node_ip = world.web_server().log()[web_cursor..]
+                .iter()
+                .find(|e| e.host == d1s)
+                .map(|e| e.src)?;
+            if !budget.allows(&zid, 4096) {
+                return None; // ethics cap; do not issue d2
+            }
+
+            // Step d2: the hijack test, same session.
+            let d2_result = world.proxy_get(&opts, &Uri::http(&d2s, "/"));
+            let outcome = match d2_result {
+                Err(ProxyError::ExitDnsFailure(debug)) => {
+                    if debug.final_zid() != Some(&zid) {
+                        return None; // node churned mid-pair
+                    }
+                    DnsOutcome::NotHijacked
+                }
+                Ok(resp) => {
+                    if resp.debug.final_zid() != Some(&zid) {
+                        return None;
+                    }
+                    budget.charge(&zid, resp.body.len() as u64);
+                    DnsOutcome::Hijacked { content: resp.body }
+                }
+                Err(_) => return None,
+            };
+            Some(DnsObservation {
+                zid,
+                node_ip,
+                resolver_ip,
+                country,
+                outcome,
+            })
+        })();
+
+        match outcome {
+            Some(obs) => data.observations.push(obs),
+            None => data.discarded += 1,
+        }
+        // `duplicates` is informational; keep `discarded` as genuine losses.
+        if data.duplicates > dup_before {
+            data.discarded -= 1;
+        }
+
+        // Decommission the probe names; the logs retain the evidence.
+        {
+            let auth = world.auth_server_mut();
+            auth.zone_mut().remove(&d1);
+            auth.zone_mut().remove(&d2);
+            auth.clear_override(&d2);
+        }
+        world.web_server_mut().remove(&d1s, "/");
+        world.web_server_mut().remove(&d2s, "/");
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn google_net_covers_anycast_sources() {
+        let net = google_anycast_net();
+        assert!(net.contains(Ipv4Addr::new(74, 125, 200, 53)));
+        assert!(!net.contains(Ipv4Addr::new(8, 8, 8, 8)));
+    }
+}

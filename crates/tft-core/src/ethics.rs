@@ -1,0 +1,131 @@
+//! Ethics guardrails (§3.4).
+//!
+//! The paper's commitments: never download more than 1 MB through any one
+//! exit node, and only request domains the study controls or a small set of
+//! well-known sites (per-country Alexa top 20 and ten university domains).
+//! These are enforced *mechanically* — experiment code cannot bypass them
+//! without going through this module.
+
+use proxynet::ZId;
+use std::collections::HashMap;
+
+/// Per-node byte budget enforcement.
+#[derive(Debug, Default)]
+pub struct ByteBudget {
+    cap: u64,
+    used: HashMap<ZId, u64>,
+}
+
+impl ByteBudget {
+    /// A budget with the given per-node cap.
+    pub fn new(cap: u64) -> Self {
+        ByteBudget {
+            cap,
+            used: HashMap::new(),
+        }
+    }
+
+    /// True if `zid` can still receive `bytes` more.
+    pub fn allows(&self, zid: &ZId, bytes: u64) -> bool {
+        self.used.get(zid).copied().unwrap_or(0) + bytes <= self.cap
+    }
+
+    /// Record a transfer. Returns false (and records nothing) if it would
+    /// exceed the cap — callers must check [`ByteBudget::allows`] first and
+    /// treat a false here as a bug.
+    pub fn charge(&mut self, zid: &ZId, bytes: u64) -> bool {
+        let entry = self.used.entry(zid.clone()).or_insert(0);
+        if *entry + bytes > self.cap {
+            return false;
+        }
+        *entry += bytes;
+        true
+    }
+
+    /// Bytes already used by `zid`.
+    pub fn used(&self, zid: &ZId) -> u64 {
+        self.used.get(zid).copied().unwrap_or(0)
+    }
+
+    /// Number of nodes that have been charged.
+    pub fn nodes_touched(&self) -> usize {
+        self.used.len()
+    }
+}
+
+/// Domain allowlist: the probe zone, ranked sites, universities, and the
+/// study's invalid-cert sites.
+#[derive(Debug, Default)]
+pub struct DomainAllowlist {
+    suffixes: Vec<String>,
+    exact: std::collections::HashSet<String>,
+}
+
+impl DomainAllowlist {
+    /// An empty allowlist.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allow every subdomain of `apex` (and the apex itself).
+    pub fn allow_suffix(&mut self, apex: &str) {
+        self.suffixes.push(apex.to_ascii_lowercase());
+    }
+
+    /// Allow one exact host.
+    pub fn allow_exact(&mut self, host: &str) {
+        self.exact.insert(host.to_ascii_lowercase());
+    }
+
+    /// True if requests to `host` are permitted.
+    pub fn permits(&self, host: &str) -> bool {
+        let h = host.to_ascii_lowercase();
+        if self.exact.contains(&h) {
+            return true;
+        }
+        self.suffixes
+            .iter()
+            .any(|apex| h == *apex || h.ends_with(&format!(".{apex}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn z(i: u32) -> ZId {
+        ZId(format!("z{i}"))
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        let mut b = ByteBudget::new(1_000_000);
+        assert!(b.allows(&z(1), 900_000));
+        assert!(b.charge(&z(1), 900_000));
+        assert!(!b.allows(&z(1), 200_000));
+        assert!(!b.charge(&z(1), 200_000));
+        assert_eq!(b.used(&z(1)), 900_000);
+        // Other nodes unaffected.
+        assert!(b.allows(&z(2), 1_000_000));
+    }
+
+    #[test]
+    fn exact_cap_boundary() {
+        let mut b = ByteBudget::new(100);
+        assert!(b.charge(&z(1), 100));
+        assert!(!b.allows(&z(1), 1));
+    }
+
+    #[test]
+    fn allowlist_suffix_and_exact() {
+        let mut a = DomainAllowlist::new();
+        a.allow_suffix("tft-probe.example");
+        a.allow_exact("top1.us.example");
+        assert!(a.permits("d1-99.tft-probe.example"));
+        assert!(a.permits("TFT-PROBE.example"));
+        assert!(a.permits("top1.us.example"));
+        assert!(!a.permits("top2.us.example"));
+        assert!(!a.permits("evil-tft-probe.example"), "no substring tricks");
+        assert!(!a.permits("sensitive-site.example"));
+    }
+}

@@ -1,0 +1,290 @@
+//! The HTTP content-modification experiment (§5.1).
+//!
+//! Four reference objects (9 KB HTML, 39 KB JPEG, 258 KB un-minified JS,
+//! 3 KB CSS) are fetched through exit nodes and compared byte-for-byte
+//! against what the study server sent. Bandwidth-aware sampling: three
+//! nodes per AS first; ASes where any modification shows up are revisited
+//! for more nodes (to separate ISP-level from end-host modification).
+
+use crate::config::StudyConfig;
+use crate::crawl::Sampler;
+use crate::ethics::ByteBudget;
+use crate::obs::{HttpDataset, HttpObservation, ObjectResult, ProbeObject};
+use httpwire::{Response, Uri};
+use inetdb::Asn;
+use netsim::SimRng;
+use proxynet::{UsernameOptions, World, ZId};
+use std::collections::{HashMap, HashSet};
+use std::net::Ipv4Addr;
+
+/// Host under the probe zone that serves the four objects.
+pub const OBJECT_HOST_LABEL: &str = "objects";
+
+/// Deterministic reference bodies. The paper found that objects under 1 KB
+/// see much less modification, so each object is full-size.
+pub fn object_body(obj: ProbeObject) -> Vec<u8> {
+    match obj {
+        ProbeObject::Html => {
+            let mut s = String::with_capacity(9 * 1024);
+            s.push_str(
+                "<!DOCTYPE html>\n<html><head><title>TFT reference page</title></head><body>\n",
+            );
+            let mut i = 0;
+            while s.len() < 9 * 1024 - 64 {
+                s.push_str(&format!(
+                    "<p id=\"para-{i}\">Reference paragraph {i}: the quick brown fox jumps over the lazy dog.</p>\n"
+                ));
+                i += 1;
+            }
+            s.push_str("</body></html>\n");
+            s.into_bytes()
+        }
+        ProbeObject::Jpeg => {
+            let mut v = vec![0xFF, 0xD8, 0xFF, 0xE0];
+            let mut x: u32 = 0x1234_5678;
+            while v.len() < 39 * 1024 {
+                // xorshift stream: incompressible-ish, deterministic.
+                x ^= x << 13;
+                x ^= x >> 17;
+                x ^= x << 5;
+                v.extend_from_slice(&x.to_be_bytes());
+            }
+            v.truncate(39 * 1024);
+            v
+        }
+        ProbeObject::Js => {
+            let mut s = String::with_capacity(258 * 1024);
+            s.push_str("/* TFT reference library (un-minified) */\n");
+            let mut i = 0;
+            while s.len() < 258 * 1024 - 128 {
+                s.push_str(&format!(
+                    "function referenceFunction{i}(argumentOne, argumentTwo) {{\n    // computes a reference value\n    var resultValue = argumentOne + argumentTwo + {i};\n    return resultValue;\n}}\n\n"
+                ));
+                i += 1;
+            }
+            s.into_bytes()
+        }
+        ProbeObject::Css => {
+            let mut s = String::with_capacity(3 * 1024);
+            s.push_str("/* TFT reference stylesheet (un-minified) */\n");
+            let mut i = 0;
+            while s.len() < 3 * 1024 - 64 {
+                s.push_str(&format!(
+                    ".reference-class-{i} {{\n    margin: {i}px;\n    padding: 2px;\n}}\n"
+                ));
+                i += 1;
+            }
+            s.into_bytes()
+        }
+    }
+}
+
+/// Install the object routes and the DNS name for the object host.
+fn provision(world: &mut World) -> String {
+    let apex = world.auth_apex().clone();
+    let host = apex
+        .child(OBJECT_HOST_LABEL)
+        .expect("valid label")
+        .to_string();
+    let web_ip = world.web_ip();
+    world
+        .auth_server_mut()
+        .zone_mut()
+        .add_a(apex.child(OBJECT_HOST_LABEL).expect("valid label"), web_ip);
+    for obj in ProbeObject::ALL {
+        world.web_server_mut().put(
+            &host,
+            obj.path(),
+            Response::ok(obj.content_type(), object_body(obj)),
+        );
+    }
+    host
+}
+
+struct Fetched {
+    zid: ZId,
+    node_ip: Ipv4Addr,
+    result: ObjectResult,
+}
+
+/// Fetch one object through a pinned session; None on proxy failure or
+/// node churn.
+fn fetch_object(
+    world: &mut World,
+    opts: &UsernameOptions,
+    host: &str,
+    obj: ProbeObject,
+    expect_zid: Option<&ZId>,
+) -> Option<Fetched> {
+    let web_cursor = world.web_server().log().len();
+    let resp = world.proxy_get(opts, &Uri::http(host, obj.path())).ok()?;
+    let zid = resp.debug.final_zid()?.clone();
+    if let Some(expected) = expect_zid {
+        if &zid != expected {
+            return None;
+        }
+    }
+    let node_ip = world.web_server().log()[web_cursor..]
+        .iter()
+        .find(|e| e.path == obj.path())
+        .map(|e| e.src)
+        .unwrap_or(resp.exit_ip);
+    let original = object_body(obj);
+    let modified = resp.body != original;
+    Some(Fetched {
+        zid,
+        node_ip,
+        result: ObjectResult {
+            object: obj,
+            original_len: original.len(),
+            received_len: resp.body.len(),
+            modified_body: modified.then_some(resp.body),
+        },
+    })
+}
+
+/// Measure the remaining three objects for a node whose HTML fetch is
+/// already in hand.
+fn measure_rest(
+    world: &mut World,
+    opts: &UsernameOptions,
+    host: &str,
+    budget: &mut ByteBudget,
+    first: Fetched,
+) -> Option<HttpObservation> {
+    let mut results = vec![first.result];
+    let zid = first.zid;
+    for obj in [ProbeObject::Jpeg, ProbeObject::Js, ProbeObject::Css] {
+        let need = object_body(obj).len() as u64;
+        if !budget.allows(&zid, need) {
+            break; // ethics cap: stop measuring this node
+        }
+        let f = fetch_object(world, opts, host, obj, Some(&zid))?;
+        budget.charge(&zid, f.result.received_len as u64);
+        results.push(f.result);
+    }
+    Some(HttpObservation {
+        zid,
+        node_ip: first.node_ip,
+        results,
+    })
+}
+
+/// Run the experiment: phase-1 AS coverage, then phase-2 revisits of
+/// flagged ASes.
+pub fn run(world: &mut World, cfg: &StudyConfig) -> HttpDataset {
+    let host = provision(world);
+    let mut sampler = Sampler::new(
+        &world.reported_country_counts(),
+        SimRng::new(world.now().as_millis() ^ 0x477),
+        cfg.saturation_window,
+        cfg.saturation_min_new,
+    );
+    let mut budget = ByteBudget::new(cfg.per_node_byte_cap);
+    let mut data = HttpDataset::default();
+    let mut per_as: HashMap<Asn, usize> = HashMap::new();
+    let mut flagged: HashSet<Asn> = HashSet::new();
+
+    // ---- phase 1: three nodes per AS ----------------------------------
+    for _ in 0..cfg.max_samples {
+        if sampler.saturated() {
+            break;
+        }
+        let (country, session) = sampler.next_probe();
+        data.samples_issued += 1;
+        let opts = UsernameOptions::new(&cfg.customer)
+            .country(country)
+            .session(session);
+        let Some(first) = fetch_object(world, &opts, &host, ProbeObject::Html, None) else {
+            sampler.record_miss();
+            continue;
+        };
+        let fresh = sampler.record(&first.zid);
+        budget.charge(&first.zid, first.result.received_len as u64);
+        if !fresh {
+            continue;
+        }
+        let asn = world.registry.ip_to_asn(first.node_ip).unwrap_or(Asn(0));
+        let count = per_as.entry(asn).or_insert(0);
+        if *count >= cfg.http_nodes_per_as && !flagged.contains(&asn) {
+            data.skipped_quota += 1;
+            continue;
+        }
+        *count += 1;
+        if let Some(obs) = measure_rest(world, &opts, &host, &mut budget, first) {
+            if obs.results.iter().any(|r| r.is_modified()) {
+                flagged.insert(asn);
+            }
+            data.observations.push(obs);
+        }
+    }
+
+    // ---- phase 2: revisit flagged ASes ----------------------------------
+    // Deterministic order: HashSet iteration order would leak the hasher's
+    // per-process randomness into the sampling stream.
+    let mut targets: Vec<Asn> = flagged.iter().copied().collect();
+    targets.sort();
+    for asn in targets {
+        let Some(country) = world.registry.country_of_asn(asn) else {
+            continue;
+        };
+        let mut extra = 0;
+        for _ in 0..cfg.http_phase2_budget {
+            if extra >= cfg.http_phase2_nodes {
+                break;
+            }
+            let session = sampler.next_probe().1;
+            data.samples_issued += 1;
+            let opts = UsernameOptions::new(&cfg.customer)
+                .country(country)
+                .session(session);
+            let Some(first) = fetch_object(world, &opts, &host, ProbeObject::Html, None) else {
+                continue;
+            };
+            let fresh = sampler.record(&first.zid);
+            budget.charge(&first.zid, first.result.received_len as u64);
+            if !fresh {
+                continue;
+            }
+            // Rejection sampling: country-targeted, AS-filtered.
+            if world.registry.ip_to_asn(first.node_ip) != Some(asn) {
+                continue;
+            }
+            if let Some(obs) = measure_rest(world, &opts, &host, &mut budget, first) {
+                data.observations.push(obs);
+                extra += 1;
+            }
+        }
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_bodies_have_specified_sizes() {
+        let sizes: Vec<usize> = ProbeObject::ALL
+            .iter()
+            .map(|o| object_body(*o).len())
+            .collect();
+        assert!((8_900..=9_400).contains(&sizes[0]), "html {}", sizes[0]);
+        assert_eq!(sizes[1], 39 * 1024);
+        assert!((257_000..=264_192).contains(&sizes[2]), "js {}", sizes[2]);
+        assert!((2_900..=3_072).contains(&sizes[3]), "css {}", sizes[3]);
+    }
+
+    #[test]
+    fn object_bodies_are_deterministic() {
+        for obj in ProbeObject::ALL {
+            assert_eq!(object_body(obj), object_body(obj));
+        }
+    }
+
+    #[test]
+    fn jpeg_body_carries_magic() {
+        let j = object_body(ProbeObject::Jpeg);
+        assert_eq!(&j[..3], &[0xFF, 0xD8, 0xFF]);
+    }
+}

@@ -1,0 +1,199 @@
+//! The SSL certificate-replacement experiment (§6.1, Figure 3).
+//!
+//! CONNECT tunnels to port 443 collect the certificate chains exit nodes
+//! are shown. Two phases per node: an initial probe of one site from each
+//! of three classes (popular, international, invalid); if any check fails,
+//! all 33 sites are probed. Popular/international chains are validated
+//! against the OS X-like root store; invalid-site chains are compared
+//! exactly, because the study operates those sites and knows their
+//! certificates.
+
+use crate::config::StudyConfig;
+use crate::crawl::Sampler;
+use crate::obs::{CertProbe, HttpsDataset, HttpsObservation, SiteClass};
+use certs::{exact_match, verify_chain};
+use netsim::rng::RngExt;
+use netsim::SimRng;
+use proxynet::{UsernameOptions, World, ZId};
+
+/// The study's three intentionally invalid sites.
+pub fn invalid_hosts(apex: &str) -> [String; 3] {
+    [
+        format!("invalid-selfsigned.{apex}"),
+        format!("invalid-expired.{apex}"),
+        format!("invalid-wrongname.{apex}"),
+    ]
+}
+
+/// Collect one chain through a pinned session; None on failure or churn.
+fn probe_site(
+    world: &mut World,
+    opts: &UsernameOptions,
+    host: &str,
+    class: SiteClass,
+    expect_zid: Option<&ZId>,
+) -> Option<(ZId, std::net::Ipv4Addr, CertProbe)> {
+    let ip = world.site_address(host)?;
+    let result = world.proxy_connect_tls(opts, ip, 443, host).ok()?;
+    let zid = result.debug.final_zid()?.clone();
+    if let Some(expected) = expect_zid {
+        if &zid != expected {
+            return None;
+        }
+    }
+    // CONNECT produces no web-log entry at our servers; the exit address
+    // comes from the service's own reporting (as in the real Luminati).
+    Some((
+        zid,
+        result.exit_ip,
+        CertProbe {
+            host: host.to_string(),
+            class,
+            chain: result.chain,
+        },
+    ))
+}
+
+/// Does this probe pass its class's check?
+fn probe_ok(world: &World, probe: &CertProbe) -> bool {
+    match probe.class {
+        SiteClass::Popular | SiteClass::International => {
+            verify_chain(&probe.chain, &probe.host, world.now(), &world.root_store).is_ok()
+        }
+        SiteClass::Invalid => {
+            let expected = world
+                .expected_chain(&probe.host)
+                .and_then(|c| c.first())
+                .expect("study-controlled site has a chain");
+            exact_match(&probe.chain, expected)
+        }
+    }
+}
+
+/// Run the experiment.
+pub fn run(world: &mut World, cfg: &StudyConfig) -> HttpsDataset {
+    let mut sampler = Sampler::new(
+        &world.reported_country_counts(),
+        SimRng::new(world.now().as_millis() ^ 0x995),
+        cfg.saturation_window,
+        cfg.saturation_min_new,
+    );
+    let mut pick_rng = SimRng::new(world.now().as_millis() ^ 0x5e1ec7);
+    let mut data = HttpsDataset::default();
+    let apex = world.auth_apex().to_string();
+    let invalid = invalid_hosts(&apex);
+    let universities: Vec<String> = world.rankings.universities().to_vec();
+
+    for _ in 0..cfg.max_samples {
+        if sampler.saturated() {
+            break;
+        }
+        let (country, session) = sampler.next_probe();
+        data.samples_issued += 1;
+        let Some(popular) = world.rankings.top_sites(country, 20).map(|s| s.to_vec()) else {
+            // No rankings for this country: out of scope, as in the paper.
+            data.skipped_unranked += 1;
+            sampler.record_miss();
+            continue;
+        };
+        let opts = UsernameOptions::new(&cfg.customer)
+            .country(country)
+            .session(session);
+
+        // Phase 1: one site per class.
+        let p1_popular = popular[pick_rng.random_range(0..popular.len())].clone();
+        let p1_uni = universities[pick_rng.random_range(0..universities.len())].clone();
+        let p1_invalid = invalid[pick_rng.random_range(0..invalid.len())].clone();
+
+        let Some((zid, exit_ip, first)) =
+            probe_site(world, &opts, &p1_popular, SiteClass::Popular, None)
+        else {
+            sampler.record_miss();
+            continue;
+        };
+        if !sampler.record(&zid) {
+            continue; // already measured
+        }
+        let mut probes = vec![first];
+        let mut churned = false;
+        for (host, class) in [
+            (p1_uni.as_str(), SiteClass::International),
+            (p1_invalid.as_str(), SiteClass::Invalid),
+        ] {
+            match probe_site(world, &opts, host, class, Some(&zid)) {
+                Some((_, _, p)) => probes.push(p),
+                None => {
+                    churned = true;
+                    break;
+                }
+            }
+        }
+        if churned {
+            continue;
+        }
+
+        let escalate = probes.iter().any(|p| !probe_ok(world, p));
+        if escalate {
+            // Phase 2: the full 33-site scan.
+            let mut full = Vec::with_capacity(33);
+            let mut ok = true;
+            for host in popular.iter() {
+                match probe_site(world, &opts, host, SiteClass::Popular, Some(&zid)) {
+                    Some((_, _, p)) => full.push(p),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                for host in universities.iter() {
+                    match probe_site(world, &opts, host, SiteClass::International, Some(&zid)) {
+                        Some((_, _, p)) => full.push(p),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if ok {
+                for host in invalid.iter() {
+                    match probe_site(world, &opts, host, SiteClass::Invalid, Some(&zid)) {
+                        Some((_, _, p)) => full.push(p),
+                        None => {
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+            }
+            if !ok {
+                continue; // churned mid-scan; discard the node
+            }
+            probes = full;
+        }
+        data.observations.push(HttpsObservation {
+            zid,
+            country,
+            exit_ip,
+            probes,
+            escalated: escalate,
+        });
+    }
+    data
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_hosts_are_under_the_apex() {
+        let hosts = invalid_hosts("tft-probe.example");
+        assert_eq!(hosts.len(), 3);
+        for h in &hosts {
+            assert!(h.ends_with(".tft-probe.example"));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Longitudinal measurement — the paper's closing point (§9): the approach
+//! is cheap enough to run **continuously**, "with the ability to see how
+//! various types of violations evolve over time."
+//!
+//! An epoch is one full DNS experiment; between epochs the world keeps
+//! living (and may change — ISPs deploy or retire hijacking appliances).
+//! The trend analysis compares per-country hijack ratios across epochs.
+
+use crate::analysis::dns::{analyze, DnsAnalysis};
+use crate::config::StudyConfig;
+use crate::dns_exp;
+use inetdb::CountryCode;
+use netsim::{SimDuration, SimTime};
+use proxynet::World;
+use std::collections::BTreeMap;
+
+/// One epoch's summary.
+#[derive(Debug)]
+pub struct EpochSummary {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Virtual time the epoch started.
+    pub started: SimTime,
+    /// Full DNS analysis for the epoch.
+    pub dns: DnsAnalysis,
+}
+
+impl EpochSummary {
+    /// The epoch's overall hijack rate.
+    pub fn hijack_rate(&self) -> f64 {
+        self.dns.hijacked as f64 / self.dns.nodes.max(1) as f64
+    }
+
+    /// Per-country hijack ratios (countries above the reporting threshold).
+    pub fn country_ratios(&self) -> BTreeMap<CountryCode, f64> {
+        self.dns
+            .by_country
+            .iter()
+            .map(|row| (row.country, row.ratio()))
+            .collect()
+    }
+}
+
+/// A detected change between the first and last epoch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trend {
+    /// Country.
+    pub country: CountryCode,
+    /// First-epoch hijack ratio.
+    pub first: f64,
+    /// Last-epoch hijack ratio.
+    pub last: f64,
+}
+
+impl Trend {
+    /// Signed change.
+    pub fn delta(&self) -> f64 {
+        self.last - self.first
+    }
+}
+
+/// Run `epochs` DNS campaigns separated by `gap` of virtual time. After
+/// each epoch (except the last), `between` may mutate the world — that is
+/// where scenario scripts model operators changing behaviour.
+pub fn run(
+    world: &mut World,
+    cfg: &StudyConfig,
+    epochs: usize,
+    gap: SimDuration,
+    mut between: impl FnMut(&mut World, usize),
+) -> Vec<EpochSummary> {
+    assert!(epochs >= 1, "need at least one epoch");
+    let mut out = Vec::with_capacity(epochs);
+    for epoch in 0..epochs {
+        let started = world.now();
+        let data = dns_exp::run(world, cfg);
+        let dns = analyze(&data, world, cfg);
+        out.push(EpochSummary {
+            epoch,
+            started,
+            dns,
+        });
+        if epoch + 1 < epochs {
+            between(world, epoch);
+            world.advance(gap);
+        }
+    }
+    out
+}
+
+/// Countries whose hijack ratio moved by more than `threshold` between the
+/// first and last epoch, largest absolute change first.
+pub fn trends(epochs: &[EpochSummary], threshold: f64) -> Vec<Trend> {
+    let (Some(first), Some(last)) = (epochs.first(), epochs.last()) else {
+        return Vec::new();
+    };
+    let a = first.country_ratios();
+    let b = last.country_ratios();
+    let mut out: Vec<Trend> = a
+        .iter()
+        .filter_map(|(cc, &ra)| {
+            let rb = *b.get(cc)?;
+            ((rb - ra).abs() > threshold).then_some(Trend {
+                country: *cc,
+                first: ra,
+                last: rb,
+            })
+        })
+        .collect();
+    out.sort_by(|x, y| {
+        y.delta()
+            .abs()
+            .partial_cmp(&x.delta().abs())
+            .expect("finite deltas")
+    });
+    out
+}
+
+/// Render an epoch series as a small report.
+pub fn render(epochs: &[EpochSummary]) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::from("\n=== Longitudinal DNS hijacking (§9: violations over time) ===\n");
+    for e in epochs {
+        writeln!(
+            s,
+            "epoch {:>2} @ {:>12}: {:>6} nodes, {:>5} hijacked ({:.2}%)",
+            e.epoch,
+            e.started.to_string(),
+            e.dns.nodes,
+            e.dns.hijacked,
+            e.hijack_rate() * 100.0
+        )
+        .unwrap();
+    }
+    for t in trends(epochs, 0.05) {
+        writeln!(
+            s,
+            "trend: {} moved {:+.1} points ({:.1}% → {:.1}%)",
+            t.country,
+            t.delta() * 100.0,
+            t.first * 100.0,
+            t.last * 100.0
+        )
+        .unwrap();
+    }
+    s
+}

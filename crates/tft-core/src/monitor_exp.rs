@@ -1,0 +1,125 @@
+//! The content-monitoring experiment (§7.1, Figure 4).
+//!
+//! Each sampled node fetches a domain generated uniquely for it. Exactly
+//! one request should ever arrive at our web server for that domain; any
+//! additional request — from a different address, possibly hours later —
+//! means a middlebox or end-host software observed the URL and refetched
+//! the content.
+
+use crate::config::StudyConfig;
+use crate::crawl::Sampler;
+use crate::obs::{MonitorDataset, MonitorObservation};
+use httpwire::{Response, Uri};
+use netsim::{SimDuration, SimRng};
+use proxynet::{UsernameOptions, World, ZId};
+use std::collections::HashMap;
+
+/// User agent our own proxied requests carry (refetches carry the
+/// monitoring product's own UA, an attribution signal).
+const OWN_UA: &str = "Hola/1.108";
+
+/// Run the experiment: probe, then hold the observation window open.
+pub fn run(world: &mut World, cfg: &StudyConfig) -> MonitorDataset {
+    let mut sampler = Sampler::new(
+        &world.reported_country_counts(),
+        SimRng::new(world.now().as_millis() ^ 0x303),
+        cfg.saturation_window,
+        cfg.saturation_min_new,
+    );
+    let mut data = MonitorDataset {
+        window_hours: cfg.monitor_window_hours,
+        ..Default::default()
+    };
+    let apex = world.auth_apex().clone();
+    let web_ip = world.web_ip();
+    // zid → (domain, reported exit ip, probe issue time)
+    let mut probed: HashMap<ZId, (String, std::net::Ipv4Addr)> = HashMap::new();
+
+    for i in 0..cfg.max_samples {
+        if sampler.saturated() {
+            break;
+        }
+        let (country, session) = sampler.next_probe();
+        data.samples_issued += 1;
+        let name = apex.child(&format!("m{i}")).expect("valid label");
+        let host = name.to_string();
+        world
+            .auth_server_mut()
+            .zone_mut()
+            .add_a(name.clone(), web_ip);
+        world.web_server_mut().put(
+            &host,
+            "/",
+            Response::ok(
+                "text/html",
+                b"<html><body>tft monitor probe</body></html>".to_vec(),
+            ),
+        );
+        let opts = UsernameOptions::new(&cfg.customer)
+            .country(country)
+            .session(session);
+        match world.proxy_get(&opts, &Uri::http(&host, "/")) {
+            Ok(resp) => {
+                let Some(zid) = resp.debug.final_zid().cloned() else {
+                    sampler.record_miss();
+                    continue;
+                };
+                if sampler.record(&zid) {
+                    probed.insert(zid, (host.clone(), resp.exit_ip));
+                } else {
+                    // Duplicate node: withdraw the unused probe name.
+                    world.auth_server_mut().zone_mut().remove(&name);
+                    world.web_server_mut().remove(&host, "/");
+                }
+            }
+            Err(_) => {
+                sampler.record_miss();
+                world.auth_server_mut().zone_mut().remove(&name);
+                world.web_server_mut().remove(&host, "/");
+            }
+        }
+    }
+
+    // Hold the observation window open (the paper watched for 24 hours).
+    world.advance(SimDuration::from_hours(cfg.monitor_window_hours));
+
+    // Assemble observations from the web log.
+    let log = world.web_server().log_sorted();
+    let mut by_host: HashMap<&str, Vec<&proxynet::WebLogEntry>> = HashMap::new();
+    for e in &log {
+        by_host.entry(e.host.as_str()).or_default().push(e);
+    }
+    for (zid, (host, exit_ip)) in probed {
+        let entries = by_host.remove(host.as_str()).unwrap_or_default();
+        // The node's own request: matches the reported exit address, or —
+        // when a VPN hides it — the earliest request carrying our proxy
+        // client's UA.
+        let own = entries
+            .iter()
+            .find(|e| e.src == exit_ip)
+            .or_else(|| {
+                entries
+                    .iter()
+                    .find(|e| e.user_agent.as_deref() == Some(OWN_UA))
+            })
+            .map(|e| (*e).clone());
+        let unexpected: Vec<proxynet::WebLogEntry> = entries
+            .iter()
+            .filter(|e| {
+                own.as_ref()
+                    .map(|o| e.at != o.at || e.src != o.src)
+                    .unwrap_or(true)
+            })
+            .map(|e| (*e).clone())
+            .collect();
+        data.observations.push(MonitorObservation {
+            zid,
+            reported_exit_ip: exit_ip,
+            domain: host,
+            own_request: own,
+            unexpected,
+        });
+    }
+    data.observations.sort_by(|a, b| a.domain.cmp(&b.domain));
+    data
+}

@@ -1,0 +1,230 @@
+//! Machine-readable exports: every table and the Figure 5 series as CSV,
+//! for replotting outside this crate.
+
+use crate::analysis::{
+    dns::DnsAnalysis, http::HttpAnalysis, https::HttpsAnalysis, monitor::MonitorAnalysis,
+    smtp::SmtpAnalysis,
+};
+use std::fmt::Write as _;
+
+/// Quote a CSV field when needed (commas, quotes, newlines).
+fn field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Table 3 as CSV: `country,hijacked,total,ratio`.
+pub fn table3(dns: &DnsAnalysis) -> String {
+    let mut s = String::from("country,hijacked,total,ratio\n");
+    for row in &dns.by_country {
+        writeln!(
+            s,
+            "{},{},{},{:.4}",
+            row.country,
+            row.hijacked,
+            row.total,
+            row.ratio()
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Table 4 as CSV: `country,isp,servers,nodes`.
+pub fn table4(dns: &DnsAnalysis) -> String {
+    let mut s = String::from("country,isp,servers,nodes\n");
+    for row in &dns.isp_rows {
+        writeln!(
+            s,
+            "{},{},{},{}",
+            row.country,
+            field(&row.isp),
+            row.servers,
+            row.nodes
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Table 5 as CSV: `domain,nodes,ases,countries,verdict`.
+pub fn table5(dns: &DnsAnalysis) -> String {
+    let mut s = String::from("domain,nodes,ases,countries,verdict\n");
+    for row in &dns.google_domains {
+        writeln!(
+            s,
+            "{},{},{},{},{}",
+            field(&row.domain),
+            row.nodes,
+            row.ases,
+            row.countries,
+            if row.likely_endhost {
+                "end-host"
+            } else {
+                "isp"
+            }
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Table 6 as CSV: `signature,nodes,countries,ases`.
+pub fn table6(http: &HttpAnalysis) -> String {
+    let mut s = String::from("signature,nodes,countries,ases\n");
+    for row in &http.signatures {
+        writeln!(
+            s,
+            "{},{},{},{}",
+            field(&row.signature),
+            row.nodes,
+            row.countries,
+            row.ases
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Table 7 as CSV: `asn,isp,country,modified,total,mod_share,ratios`.
+pub fn table7(http: &HttpAnalysis) -> String {
+    let mut s = String::from("asn,isp,country,modified,total,mod_share,ratios\n");
+    for row in &http.image_rows {
+        let ratios = row
+            .ratios
+            .iter()
+            .map(|r| format!("{r:.2}"))
+            .collect::<Vec<_>>()
+            .join(";");
+        writeln!(
+            s,
+            "{},{},{},{},{},{:.4},{}",
+            row.asn.0,
+            field(&row.isp),
+            row.country,
+            row.modified,
+            row.total,
+            row.mod_ratio(),
+            ratios
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Table 8 as CSV: `issuer,nodes,shared_key_nodes,masks_invalid_nodes`.
+pub fn table8(https: &HttpsAnalysis) -> String {
+    let mut s = String::from("issuer,nodes,shared_key_nodes,masks_invalid_nodes\n");
+    for row in &https.issuers {
+        writeln!(
+            s,
+            "{},{},{},{}",
+            field(&row.issuer),
+            row.nodes,
+            row.shared_key_nodes,
+            row.masks_invalid_nodes
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Table 9 as CSV:
+/// `entity,source_ips,nodes,ases,countries,requests_per_node,prefetch_fraction,isp_level,isp_share,vpn_nodes`.
+pub fn table9(monitor: &MonitorAnalysis) -> String {
+    let mut s = String::from(
+        "entity,source_ips,nodes,ases,countries,requests_per_node,prefetch_fraction,isp_level,isp_share,vpn_nodes\n",
+    );
+    for e in &monitor.entities {
+        writeln!(
+            s,
+            "{},{},{},{},{},{:.2},{:.4},{},{:.4},{}",
+            field(&e.name),
+            e.source_ips,
+            e.nodes,
+            e.node_ases,
+            e.node_countries,
+            e.requests_per_node,
+            e.prefetch_fraction(),
+            e.isp_level,
+            e.isp_share,
+            e.vpn_nodes
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Figure 5 as CSV: one row per `(entity, delay)` sample —
+/// `entity,delay_secs` (negative = prefetch).
+pub fn figure5(monitor: &MonitorAnalysis) -> String {
+    let mut s = String::from("entity,delay_secs\n");
+    for e in &monitor.entities {
+        for d in &e.delays_secs {
+            writeln!(s, "{},{d:.3}", field(&e.name)).unwrap();
+        }
+    }
+    s
+}
+
+/// The SMTP extension as CSV: `asn,isp,country,stripped,total`.
+pub fn smtp(a: &SmtpAnalysis) -> String {
+    let mut s = String::from("asn,isp,country,stripped,total\n");
+    for row in &a.stripping_ases {
+        writeln!(
+            s,
+            "{},{},{},{},{}",
+            row.asn.0,
+            field(&row.isp),
+            row.country,
+            row.stripped,
+            row.total
+        )
+        .unwrap();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::dns::{CountryRow, DnsAnalysis, IspRow};
+    use inetdb::CountryCode;
+
+    #[test]
+    fn csv_quotes_fields_with_commas() {
+        assert_eq!(field("plain"), "plain");
+        assert_eq!(field("a,b"), "\"a,b\"");
+        assert_eq!(field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+
+    #[test]
+    fn table3_csv_shape() {
+        let mut a = DnsAnalysis::default();
+        a.by_country.push(CountryRow {
+            country: CountryCode::new("MY"),
+            hijacked: 10,
+            total: 20,
+        });
+        let csv = table3(&a);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("country,hijacked,total,ratio"));
+        assert_eq!(lines.next(), Some("MY,10,20,0.5000"));
+    }
+
+    #[test]
+    fn table4_csv_escapes_isp_names() {
+        let mut a = DnsAnalysis::default();
+        a.isp_rows.push(IspRow {
+            country: CountryCode::new("US"),
+            isp: "Acme, Inc".into(),
+            servers: 2,
+            nodes: 30,
+        });
+        let csv = table4(&a);
+        assert!(csv.contains("\"Acme, Inc\""));
+    }
+}

@@ -1,0 +1,491 @@
+//! Table renderers: the measured counterpart of every numbered table,
+//! printed side-by-side with the paper's published values.
+
+use crate::analysis::{
+    dns::DnsAnalysis, http::HttpAnalysis, https::HttpsAnalysis, monitor::MonitorAnalysis,
+};
+use crate::study::StudyReport;
+use std::fmt::Write as _;
+use worldgen::calibration;
+
+fn header(title: &str) -> String {
+    format!("\n=== {title} ===\n")
+}
+
+/// Table 1: the study at a glance, compared with the other approaches.
+pub fn table1(report: &StudyReport) -> String {
+    let mut s = header("Table 1 — measurement approaches (reproduction row measured live)");
+    let days = report.finished.since(report.started).as_secs_f64() / 86_400.0;
+    writeln!(
+        s,
+        "{:<22} {:>10} {:>8} {:>10} {:>12}  protocols",
+        "project", "nodes", "ASes", "countries", "period"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<22} {:>10} {:>8} {:>10} {:>11.2}d  DNS HTTP HTTPS",
+        "this reproduction",
+        report.unique_nodes(),
+        report.unique_ases(),
+        report.unique_countries(),
+        days
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<22} {:>10} {:>8} {:>10} {:>12}  DNS HTTP HTTPS (paper)",
+        "paper (Luminati)",
+        calibration::study::NODES,
+        calibration::study::ASES,
+        calibration::study::COUNTRIES,
+        format!("{}d", calibration::study::DAYS),
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<22} {:>10} {:>8} {:>10} {:>12}  ICMP DNS HTTP HTTPS",
+        "Netalyzr", 1_217_181, 14_375, 196, "6y"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<22} {:>10} {:>8} {:>10} {:>12}  ICMP DNS HTTP HTTPS",
+        "BISmark", 406, 118, 34, "2y"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<22} {:>10} {:>8} {:>10} {:>12}  ICMP DNS HTTP HTTPS",
+        "Dasu", 100_104, 1_802, 147, "6y"
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "{:<22} {:>10} {:>8} {:>10} {:>12}  ICMP DNS HTTP HTTPS",
+        "RIPE Atlas", 9_300, 3_333, 181, "6y"
+    )
+    .unwrap();
+    s
+}
+
+/// Table 2: per-experiment coverage.
+pub fn table2(report: &StudyReport) -> String {
+    let mut s =
+        header("Table 2 — exit nodes / ASes / countries per experiment (measured vs paper)");
+    writeln!(
+        s,
+        "{:<12} {:>9} {:>7} {:>10} | {:>9} {:>7} {:>10}",
+        "experiment", "nodes", "ASes", "countries", "paper", "ASes", "countries"
+    )
+    .unwrap();
+    let rows = [
+        (
+            "DNS",
+            report.dns.nodes,
+            report.dns.ases,
+            report.dns.countries,
+        ),
+        (
+            "HTTP",
+            report.http.nodes,
+            report.http.ases,
+            report.http.countries,
+        ),
+        (
+            "HTTPS",
+            report.https.nodes,
+            report.https.ases,
+            report.https.countries,
+        ),
+        (
+            "Monitoring",
+            report.monitor.nodes,
+            report.monitor.ases,
+            report.monitor.countries,
+        ),
+    ];
+    for ((name, n, a, c), (pname, pn, pa, pc)) in rows.iter().zip(calibration::table2::ROWS) {
+        debug_assert_eq!(*name, pname);
+        writeln!(
+            s,
+            "{name:<12} {n:>9} {a:>7} {c:>10} | {pn:>9} {pa:>7} {pc:>10}"
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Table 3: top-10 countries by NXDOMAIN hijack ratio.
+pub fn table3(dns: &DnsAnalysis) -> String {
+    let mut s = header("Table 3 — top countries by NXDOMAIN hijack ratio (measured | paper)");
+    writeln!(
+        s,
+        "{:<5} {:<8} {:>9} {:>8} {:>7} | {:>7}",
+        "rank", "country", "hijacked", "total", "ratio", "paper"
+    )
+    .unwrap();
+    let paper: std::collections::HashMap<&str, f64> = calibration::TABLE3
+        .iter()
+        .map(|(c, h, t)| (*c, *h as f64 / *t as f64))
+        .collect();
+    for (i, row) in dns.by_country.iter().take(10).enumerate() {
+        let p = paper
+            .get(row.country.as_str())
+            .map(|r| format!("{:>6.1}%", r * 100.0))
+            .unwrap_or_else(|| "     —".into());
+        writeln!(
+            s,
+            "{:<5} {:<8} {:>9} {:>8} {:>6.1}% | {}",
+            i + 1,
+            row.country,
+            row.hijacked,
+            row.total,
+            row.ratio() * 100.0,
+            p
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "overall hijack rate: {:.2}% (paper: {:.1}%)",
+        100.0 * dns.hijacked as f64 / dns.nodes.max(1) as f64,
+        100.0 * calibration::headline::DNS_HIJACK_RATE
+    )
+    .unwrap();
+    s
+}
+
+/// Table 4: hijacking ISP DNS servers aggregated by ISP.
+pub fn table4(dns: &DnsAnalysis) -> String {
+    let mut s =
+        header("Table 4 — ISP DNS servers hijacking ≥90% of their nodes (measured | paper)");
+    writeln!(
+        s,
+        "{:<8} {:<28} {:>8} {:>7} | {:>8} {:>7}",
+        "country", "ISP", "servers", "nodes", "servers", "nodes"
+    )
+    .unwrap();
+    let paper: std::collections::HashMap<&str, (u64, u64)> = calibration::TABLE4
+        .iter()
+        .map(|(_, isp, srv, nodes)| (*isp, (*srv, *nodes)))
+        .collect();
+    for row in &dns.isp_rows {
+        let (psrv, pnodes) = paper
+            .get(row.isp.as_str())
+            .map(|(a, b)| (a.to_string(), b.to_string()))
+            .unwrap_or(("—".into(), "—".into()));
+        writeln!(
+            s,
+            "{:<8} {:<28} {:>8} {:>7} | {:>8} {:>7}",
+            row.country.to_string(),
+            row.isp,
+            row.servers,
+            row.nodes,
+            psrv,
+            pnodes
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "ISP resolvers: {} identified, {} with enough nodes, {} hijacking",
+        dns.isp_resolvers_total, dns.isp_resolvers_qualified, dns.isp_resolvers_hijacking
+    )
+    .unwrap();
+    s
+}
+
+/// Table 5: domains in hijacked content served to Google-DNS users.
+pub fn table5(dns: &DnsAnalysis) -> String {
+    let mut s =
+        header("Table 5 — domains in hijacked pages of Google-DNS nodes (measured | paper nodes)");
+    writeln!(
+        s,
+        "{:<40} {:>6} {:>5} {:>4}  {:<8} | {:>6}",
+        "domain", "nodes", "ASes", "ctys", "verdict", "paper"
+    )
+    .unwrap();
+    let paper: std::collections::HashMap<&str, u64> = calibration::TABLE5
+        .iter()
+        .map(|(d, n, _, _)| (*d, *n))
+        .collect();
+    for row in &dns.google_domains {
+        let p = paper
+            .get(row.domain.as_str())
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "—".into());
+        writeln!(
+            s,
+            "{:<40} {:>6} {:>5} {:>4}  {:<8} | {:>6}",
+            row.domain,
+            row.nodes,
+            row.ases,
+            row.countries,
+            if row.likely_endhost {
+                "end-host"
+            } else {
+                "ISP"
+            },
+            p
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "Google-DNS nodes: {} measured, {} hijacked anyway",
+        dns.google_nodes, dns.google_hijacked
+    )
+    .unwrap();
+    writeln!(
+        s,
+        "attribution: ISP {:.1}% / public {:.1}% / other {:.1}%  (paper: 89.6 / 7.7 / 2.7)",
+        dns.attribution.shares().0 * 100.0,
+        dns.attribution.shares().1 * 100.0,
+        dns.attribution.shares().2 * 100.0
+    )
+    .unwrap();
+    for fam in &dns.shared_js_families {
+        writeln!(
+            s,
+            "shared hijack-page JavaScript (vendor appliance) across {} ISPs: {} ({} nodes)",
+            fam.isps.len(),
+            fam.isps.join(", "),
+            fam.nodes
+        )
+        .unwrap();
+    }
+    for g in dns.google_dominant_ases.iter().take(5) {
+        writeln!(
+            s,
+            "Google-DNS-dominant AS: {} ({}) — {:.1}% of {} nodes",
+            g.asn,
+            g.org,
+            g.google_share * 100.0,
+            g.nodes
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Table 6: injected-JavaScript signatures.
+pub fn table6(http: &HttpAnalysis) -> String {
+    let mut s = header("Table 6 — injected JavaScript signatures (measured | paper nodes)");
+    writeln!(
+        s,
+        "{:<36} {:>6} {:>5} {:>5} | {:>6}",
+        "signature", "nodes", "ctys", "ASes", "paper"
+    )
+    .unwrap();
+    let paper: std::collections::HashMap<String, u64> = calibration::TABLE6
+        .iter()
+        .map(|(sig, n, _, _, _)| (sig.to_string(), *n))
+        .collect();
+    for row in http.signatures.iter().take(12) {
+        let p = paper
+            .get(&row.signature)
+            .or_else(|| paper.get(row.signature.trim_end_matches(".example")))
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "—".into());
+        writeln!(
+            s,
+            "{:<36} {:>6} {:>5} {:>5} | {:>6}",
+            row.signature, row.nodes, row.countries, row.ases, p
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "HTML: {} modified ({} block pages filtered, {} injected) of {} nodes ({:.2}%; paper 0.95%)",
+        http.html_modified,
+        http.html_block_pages,
+        http.html_injected,
+        http.nodes,
+        100.0 * http.html_modified as f64 / http.nodes.max(1) as f64
+    )
+    .unwrap();
+    for (asn, name, ratio) in &http.isp_level_injection_ases {
+        writeln!(
+            s,
+            "ISP-level injection: {asn} ({name}) — {:.0}% of nodes",
+            ratio * 100.0
+        )
+        .unwrap();
+    }
+    s
+}
+
+/// Table 7: image-transcoding mobile ASes.
+pub fn table7(http: &HttpAnalysis) -> String {
+    let mut s = header("Table 7 — image-compressing ASes (measured | paper mod-share, ratio)");
+    writeln!(
+        s,
+        "{:<9} {:<20} {:<3} {:>5} {:>6} {:>7} {:<12} | {:>7} {:<6}",
+        "AS", "ISP", "cty", "mod", "total", "share", "ratios", "share", "ratio"
+    )
+    .unwrap();
+    let paper: std::collections::HashMap<u32, &calibration::Table7Row> =
+        calibration::TABLE7.iter().map(|r| (r.asn, r)).collect();
+    for row in &http.image_rows {
+        let ratios = if row.multi_ratio() {
+            "M".to_string()
+        } else {
+            row.ratios
+                .iter()
+                .map(|r| format!("{:.0}%", r * 100.0))
+                .collect::<Vec<_>>()
+                .join(",")
+        };
+        let (pshare, pratio) = paper
+            .get(&row.asn.0)
+            .map(|r| {
+                (
+                    format!("{:.0}%", 100.0 * r.modified as f64 / r.total as f64),
+                    if r.ratios.len() > 1 {
+                        "M".to_string()
+                    } else {
+                        format!("{:.0}%", r.ratios[0] * 100.0)
+                    },
+                )
+            })
+            .unwrap_or(("—".into(), "—".into()));
+        writeln!(
+            s,
+            "{:<9} {:<20} {:<3} {:>5} {:>6} {:>6.0}% {:<12} | {:>7} {:<6}",
+            row.asn.to_string(),
+            row.isp,
+            row.country.to_string(),
+            row.modified,
+            row.total,
+            row.mod_ratio() * 100.0,
+            ratios,
+            pshare,
+            pratio
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "images: {} of {} nodes modified ({:.2}%; paper 1.4%) | JS replaced: {} (all error/empty: {}) | CSS replaced: {} ",
+        http.image_modified,
+        http.nodes,
+        100.0 * http.image_modified as f64 / http.nodes.max(1) as f64,
+        http.js.nodes,
+        http.js.error_or_empty == http.js.nodes,
+        http.css.nodes,
+    )
+    .unwrap();
+    s
+}
+
+/// Table 8: issuers of replaced certificates.
+pub fn table8(https: &HttpsAnalysis) -> String {
+    let mut s = header("Table 8 — issuers of replaced certificates (measured | paper nodes)");
+    writeln!(
+        s,
+        "{:<40} {:>6} {:>10} {:>12} | {:>6}",
+        "issuer", "nodes", "shared-key", "masks-inval", "paper"
+    )
+    .unwrap();
+    let paper: std::collections::HashMap<&str, u64> = calibration::TABLE8
+        .iter()
+        .map(|r| {
+            (
+                if r.issuer.is_empty() {
+                    "Empty"
+                } else {
+                    r.issuer
+                },
+                r.nodes,
+            )
+        })
+        .collect();
+    for row in https.issuers.iter().take(13) {
+        let p = paper
+            .get(row.issuer.as_str())
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "—".into());
+        writeln!(
+            s,
+            "{:<40} {:>6} {:>10} {:>12} | {:>6}",
+            row.issuer, row.nodes, row.shared_key_nodes, row.masks_invalid_nodes, p
+        )
+        .unwrap();
+    }
+    writeln!(
+        s,
+        "replaced: {} of {} nodes ({:.2}%; paper {:.2}%), {} selective, {} issuers; ASes>10%: {:.1}%",
+        https.replaced_nodes,
+        https.nodes,
+        100.0 * https.replaced_nodes as f64 / https.nodes.max(1) as f64,
+        100.0 * calibration::headline::CERT_REPLACE_RATE,
+        https.selective_nodes,
+        https.unique_issuers,
+        https.ases_over_10pct * 100.0
+    )
+    .unwrap();
+    s
+}
+
+/// Table 9: monitoring entities.
+pub fn table9(monitor: &MonitorAnalysis) -> String {
+    let mut s = header("Table 9 — content-monitoring entities (measured | paper nodes)");
+    writeln!(
+        s,
+        "{:<26} {:>4} {:>6} {:>5} {:>5} {:>7} {:>5} {:>4} | {:>6}",
+        "entity", "IPs", "nodes", "ASes", "ctys", "req/nd", "pre%", "VPN", "paper"
+    )
+    .unwrap();
+    let paper: std::collections::HashMap<&str, u64> = calibration::TABLE9
+        .iter()
+        .map(|(n, _, nodes, _, _)| (*n, *nodes))
+        .collect();
+    for row in monitor.entities.iter().take(10) {
+        let p = paper
+            .iter()
+            .find(|(name, _)| normalized(name) == normalized(&row.name))
+            .map(|(_, n)| n.to_string())
+            .unwrap_or_else(|| "—".into());
+        writeln!(
+            s,
+            "{:<26} {:>4} {:>6} {:>5} {:>5} {:>7.2} {:>4.0}% {:>4} | {:>6}",
+            row.name,
+            row.source_ips,
+            row.nodes,
+            row.node_ases,
+            row.node_countries,
+            row.requests_per_node,
+            row.prefetch_fraction() * 100.0,
+            row.vpn_nodes,
+            p
+        )
+        .unwrap();
+        if row.isp_level {
+            writeln!(
+                s,
+                "    ISP-level monitoring: {:.1}% of the ISP's measured nodes",
+                row.isp_share * 100.0
+            )
+            .unwrap();
+        }
+    }
+    writeln!(
+        s,
+        "monitored: {} of {} nodes ({:.2}%; paper 1.5%), {} source IPs in {} source ASes",
+        monitor.monitored_nodes,
+        monitor.nodes,
+        100.0 * monitor.monitored_nodes as f64 / monitor.nodes.max(1) as f64,
+        monitor.unexpected_sources,
+        monitor.source_as_groups
+    )
+    .unwrap();
+    s
+}
+
+fn normalized(name: &str) -> String {
+    name.chars()
+        .filter(|c| c.is_ascii_alphanumeric())
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}

@@ -1,0 +1,159 @@
+//! Study orchestration: run all four experiments on a world and analyze
+//! the results.
+
+use crate::analysis;
+use crate::config::StudyConfig;
+use crate::obs::{DnsDataset, HttpDataset, HttpsDataset, MonitorDataset};
+use crate::{dns_exp, http_exp, https_exp, monitor_exp};
+use inetdb::{Asn, CountryCode};
+use netsim::SimTime;
+use proxynet::World;
+use std::collections::HashSet;
+
+/// Everything one full study run produces.
+pub struct StudyReport {
+    /// DNS experiment raw data.
+    pub dns_data: DnsDataset,
+    /// DNS analysis.
+    pub dns: analysis::dns::DnsAnalysis,
+    /// HTTP experiment raw data.
+    pub http_data: HttpDataset,
+    /// HTTP analysis.
+    pub http: analysis::http::HttpAnalysis,
+    /// HTTPS experiment raw data.
+    pub https_data: HttpsDataset,
+    /// HTTPS analysis.
+    pub https: analysis::https::HttpsAnalysis,
+    /// Monitoring experiment raw data.
+    pub monitor_data: MonitorDataset,
+    /// Monitoring analysis.
+    pub monitor: analysis::monitor::MonitorAnalysis,
+    /// Virtual time the study started.
+    pub started: SimTime,
+    /// Virtual time the study finished.
+    pub finished: SimTime,
+    /// Unique-node / AS / country tallies across experiments, computed
+    /// against the public registry at collection time.
+    pub coverage: Coverage,
+}
+
+/// Cross-experiment coverage (the Table 1 row).
+#[derive(Debug, Default)]
+pub struct Coverage {
+    /// Unique zIDs across all experiments.
+    pub nodes: usize,
+    /// Unique exit ASes.
+    pub ases: usize,
+    /// Unique exit countries.
+    pub countries: usize,
+}
+
+impl StudyReport {
+    /// Unique nodes across experiments.
+    pub fn unique_nodes(&self) -> usize {
+        self.coverage.nodes
+    }
+
+    /// Unique ASes across experiments.
+    pub fn unique_ases(&self) -> usize {
+        self.coverage.ases
+    }
+
+    /// Unique countries across experiments.
+    pub fn unique_countries(&self) -> usize {
+        self.coverage.countries
+    }
+}
+
+/// Run the full study: DNS, monitoring, HTTP, HTTPS (the paper overlapped
+/// DNS with monitoring and ran HTTP/HTTPS in adjacent windows), then all
+/// analyses.
+///
+/// ```
+/// let mut built = worldgen::build(&worldgen::smoke_spec(7));
+/// let cfg = tft_core::StudyConfig {
+///     min_nodes_per_country: 5,
+///     min_nodes_per_dns_server: 3,
+///     ..tft_core::StudyConfig::default()
+/// };
+/// let report = tft_core::run_study(&mut built.world, &cfg);
+/// assert!(report.dns.nodes > 100);
+/// assert!(report.dns.hijacked > 0, "the smoke world plants one hijacker");
+/// ```
+pub fn run_study(world: &mut World, cfg: &StudyConfig) -> StudyReport {
+    let started = world.now();
+
+    let dns_data = dns_exp::run(world, cfg);
+    let http_data = http_exp::run(world, cfg);
+    let https_data = https_exp::run(world, cfg);
+    let monitor_data = monitor_exp::run(world, cfg);
+
+    let dns = analysis::dns::analyze(&dns_data, world, cfg);
+    let http = analysis::http::analyze(&http_data, world, cfg);
+    let https = analysis::https::analyze(&https_data, world, cfg);
+    let monitor = analysis::monitor::analyze(&monitor_data, world, cfg);
+
+    let mut zids: HashSet<&str> = HashSet::new();
+    let mut ases: HashSet<Asn> = HashSet::new();
+    let mut countries: HashSet<CountryCode> = HashSet::new();
+    let add_ip =
+        |ip: std::net::Ipv4Addr, ases: &mut HashSet<Asn>, countries: &mut HashSet<CountryCode>| {
+            if let Some(a) = world.registry.ip_to_asn(ip) {
+                ases.insert(a);
+            }
+            if let Some(c) = world.registry.country_of_ip(ip) {
+                countries.insert(c);
+            }
+        };
+    for o in &dns_data.observations {
+        zids.insert(&o.zid.0);
+        add_ip(o.node_ip, &mut ases, &mut countries);
+    }
+    for o in &http_data.observations {
+        zids.insert(&o.zid.0);
+        add_ip(o.node_ip, &mut ases, &mut countries);
+    }
+    for o in &https_data.observations {
+        zids.insert(&o.zid.0);
+        add_ip(o.exit_ip, &mut ases, &mut countries);
+    }
+    for o in &monitor_data.observations {
+        zids.insert(&o.zid.0);
+        add_ip(o.reported_exit_ip, &mut ases, &mut countries);
+    }
+    let coverage = Coverage {
+        nodes: zids.len(),
+        ases: ases.len(),
+        countries: countries.len(),
+    };
+
+    StudyReport {
+        dns_data,
+        dns,
+        http_data,
+        http,
+        https_data,
+        https,
+        monitor_data,
+        monitor,
+        started,
+        finished: world.now(),
+        coverage,
+    }
+}
+
+/// Render every table into one report string.
+pub fn render_tables(report: &StudyReport) -> String {
+    use crate::report::tables;
+    let mut s = String::new();
+    s.push_str(&tables::table1(report));
+    s.push_str(&tables::table2(report));
+    s.push_str(&tables::table3(&report.dns));
+    s.push_str(&tables::table4(&report.dns));
+    s.push_str(&tables::table5(&report.dns));
+    s.push_str(&tables::table6(&report.http));
+    s.push_str(&tables::table7(&report.http));
+    s.push_str(&tables::table8(&report.https));
+    s.push_str(&tables::table9(&report.monitor));
+    s
+}

@@ -1,0 +1,440 @@
+//! The paper's published numbers, transcribed as constants.
+//!
+//! These drive two things: (a) the calibrated world generator plants
+//! violators at these rates, and (b) the experiment harness prints
+//! paper-vs-measured comparisons (EXPERIMENTS.md) against them.
+//! All counts are at **paper scale**; the builder multiplies by the world's
+//! scale factor.
+
+/// Headline rates (§1, §4–§7).
+pub mod headline {
+    /// Fraction of exit nodes with hijacked NXDOMAIN responses (§4.2).
+    pub const DNS_HIJACK_RATE: f64 = 0.048;
+    /// Fraction of HTML fetches modified (§5.2).
+    pub const HTML_MOD_RATE: f64 = 0.0095;
+    /// Fraction of image fetches transcoded (§5.2).
+    pub const IMAGE_MOD_RATE: f64 = 0.014;
+    /// Fraction of JS fetches replaced (§5.2).
+    pub const JS_MOD_RATE: f64 = 0.0009;
+    /// Fraction of CSS fetches replaced (§5.2).
+    pub const CSS_MOD_RATE: f64 = 0.00002;
+    /// Fraction of nodes with ≥1 replaced certificate (§6.2: 4,540 of
+    /// 807,910; the prose says 0.05% but the paper's own counts give
+    /// 0.56% — we target the counts).
+    pub const CERT_REPLACE_RATE: f64 = 4540.0 / 807_910.0;
+    /// Fraction of nodes with monitored requests (§7.2).
+    pub const MONITOR_RATE: f64 = 11_234.0 / 747_449.0;
+    /// DNS hijack attribution split (§4.4).
+    pub const DNS_ATTRIB_ISP: f64 = 0.896;
+    /// Public-resolver share of hijacks (§4.4).
+    pub const DNS_ATTRIB_PUBLIC: f64 = 0.077;
+    /// Path/end-host share of hijacks (§4.4).
+    pub const DNS_ATTRIB_OTHER: f64 = 0.027;
+}
+
+/// Table 2: exit nodes / ASes / countries per experiment.
+pub mod table2 {
+    /// (experiment, exit nodes, ASes, countries).
+    pub const ROWS: [(&str, u64, u64, u64); 4] = [
+        ("DNS", 753_111, 10_197, 167),
+        ("HTTP", 49_545, 12_658, 171),
+        ("HTTPS", 807_910, 10_007, 115),
+        ("Monitoring", 747_449, 11_638, 167),
+    ];
+}
+
+/// Table 3: top-10 countries by NXDOMAIN hijack ratio.
+/// (ISO code, hijacked nodes, total nodes).
+pub const TABLE3: [(&str, u64, u64); 10] = [
+    ("MY", 3_652, 6_983),
+    ("ID", 3_178, 8_568),
+    ("CN", 237, 671),
+    ("GB", 9_553, 37_156),
+    ("DE", 4_703, 19_076),
+    ("US", 6_108, 33_398),
+    ("IN", 1_127, 6_868),
+    ("BR", 3_190, 24_298),
+    ("BJ", 90, 716),
+    ("JO", 76, 1_117),
+];
+
+/// Table 4: ISP DNS servers hijacking ≥90% of their exit nodes.
+/// (country, ISP, DNS servers, exit nodes).
+pub const TABLE4: [(&str, &str, u64, u64); 19] = [
+    ("AR", "Telefonica de Argentina", 14, 276),
+    ("AU", "Dodo Australia", 21, 1_404),
+    ("BR", "Oi Fixo", 21, 2_558),
+    ("BR", "CTBC", 4, 290),
+    ("DE", "Deutsche Telekom AG", 8, 1_385),
+    ("IN", "Airtel Broadband", 9, 735),
+    ("IN", "BSNL", 2, 71),
+    ("IN", "Ntl. Int. Backbone", 8, 245),
+    ("MY", "TMnet", 8, 1_676),
+    ("ES", "ONO", 2, 71),
+    ("GB", "BT Internet", 6, 479),
+    ("GB", "Talk Talk", 46, 3_738),
+    ("US", "AT&T", 37, 561),
+    ("US", "Cable One", 4, 108),
+    ("US", "Cox Communications", 63, 1_789),
+    ("US", "Mediacom Cable", 6, 219),
+    ("US", "Suddenlink", 9, 98),
+    ("US", "Verizon", 98, 2_102),
+    ("US", "WideOpenWest", 1, 39),
+];
+
+/// Table 5: domains in hijacked content served to Google-DNS exit nodes.
+/// (domain, exit nodes, ASes, is_endhost_software).
+/// The top 12 rows are transparent ISP proxies; the last two are end-host
+/// anti-virus/malware.
+pub const TABLE5: [(&str, u64, u64, bool); 16] = [
+    ("navigationshilfe.t-online.de", 80, 1, false),
+    ("www.webaddresshelp.bt.com", 73, 1, false),
+    ("v3.mercusuar.uzone.id", 53, 1, false),
+    ("error.talktalk.co.uk", 46, 3, false),
+    ("dnserros.oi.com.br", 40, 2, false),
+    ("dnserrorassist.att.net", 32, 1, false),
+    ("searchassist.verizon.com", 30, 1, false),
+    ("finder.cox.net", 17, 1, false),
+    ("ayudaenlabusqueda.telefonica.com.ar", 16, 1, false),
+    ("google.dodo.com.au", 13, 1, false),
+    ("airtelforum.com", 14, 1, false),
+    ("nodomain.ctbc.com.br", 7, 1, false),
+    ("search.mediacomcable.com", 7, 1, false),
+    ("midascdn.nervesis.com", 68, 1, false),
+    ("nortonsafe.search.ask.com", 25, 18, true),
+    ("securedns.comodo.com", 9, 9, true),
+];
+
+/// §4.3.2: hijacking public resolver services.
+/// (service, hijacking servers, kind).
+pub const PUBLIC_HIJACKERS: [(&str, u64); 5] = [
+    ("Comodo DNS", 9),
+    ("UltraDNS", 4),
+    ("LookSafe", 2),
+    ("Level 3", 3),
+    ("Unidentified", 3),
+];
+/// §4.3.2: total public resolvers observed (≥10 exit nodes each) and total
+/// exit nodes behind the 21 hijacking ones.
+pub const PUBLIC_RESOLVER_COUNT: u64 = 1_110;
+/// Exit nodes using the 21 hijacking public servers.
+pub const PUBLIC_HIJACKED_NODES: u64 = 1_512;
+
+/// Table 6: injected-JavaScript signatures.
+/// (signature, exit nodes, countries, ASes, is_script_url).
+pub const TABLE6: [(&str, u64, u64, u64, bool); 7] = [
+    ("NetSparkQuiltingResult", 21, 1, 1, false),
+    ("d36mw5gp02ykm5.cloudfront.net", 201, 44, 99, true),
+    ("msmdzbsyrw.org", 97, 4, 76, true),
+    ("pgjs.me", 16, 1, 12, true),
+    ("jswrite.com/script1.js", 15, 9, 10, true),
+    ("var oiasudoj;", 11, 1, 11, false),
+    ("AdTaily_Widget_Container", 11, 8, 9, false),
+];
+
+/// Table 7: image-transcoding mobile ASes.
+/// (ASN, ISP, country, modified nodes, total nodes, ratios; empty ratio
+/// slot = single-ratio deployment).
+pub struct Table7Row {
+    /// AS number.
+    pub asn: u32,
+    /// ISP name.
+    pub isp: &'static str,
+    /// Country code.
+    pub country: &'static str,
+    /// Nodes observed with modified images.
+    pub modified: u64,
+    /// Nodes measured in the AS.
+    pub total: u64,
+    /// Compression operating points (output/input size).
+    pub ratios: &'static [f64],
+}
+
+/// The twelve Table 7 rows.
+pub const TABLE7: [Table7Row; 12] = [
+    Table7Row {
+        asn: 15_617,
+        isp: "Wind Hellas",
+        country: "GR",
+        modified: 10,
+        total: 10,
+        ratios: &[0.53],
+    },
+    Table7Row {
+        asn: 29_180,
+        isp: "Telefonica UK",
+        country: "GB",
+        modified: 17,
+        total: 17,
+        ratios: &[0.47],
+    },
+    Table7Row {
+        asn: 29_975,
+        isp: "Vodacom",
+        country: "ZA",
+        modified: 83,
+        total: 88,
+        ratios: &[0.35, 0.62],
+    },
+    Table7Row {
+        asn: 25_135,
+        isp: "Vodafone UK",
+        country: "GB",
+        modified: 15,
+        total: 18,
+        ratios: &[0.54],
+    },
+    Table7Row {
+        asn: 36_935,
+        isp: "Vodafone Egypt",
+        country: "EG",
+        modified: 62,
+        total: 81,
+        ratios: &[0.33, 0.58],
+    },
+    Table7Row {
+        asn: 36_925,
+        isp: "Meditelecom",
+        country: "MA",
+        modified: 87,
+        total: 128,
+        ratios: &[0.34],
+    },
+    Table7Row {
+        asn: 16_135,
+        isp: "Turkcell",
+        country: "TR",
+        modified: 44,
+        total: 65,
+        ratios: &[0.54],
+    },
+    Table7Row {
+        asn: 15_897,
+        isp: "Vodafone Turkey",
+        country: "TR",
+        modified: 14,
+        total: 25,
+        ratios: &[0.53],
+    },
+    Table7Row {
+        asn: 12_361,
+        isp: "Vodafone Greece",
+        country: "GR",
+        modified: 11,
+        total: 23,
+        ratios: &[0.52],
+    },
+    Table7Row {
+        asn: 37_492,
+        isp: "Orange Tunisia",
+        country: "TN",
+        modified: 97,
+        total: 331,
+        ratios: &[0.34],
+    },
+    Table7Row {
+        asn: 132_199,
+        isp: "Globe Telecom",
+        country: "PH",
+        modified: 197,
+        total: 1_374,
+        ratios: &[0.51],
+    },
+    Table7Row {
+        asn: 12_844,
+        isp: "Bouygues Telecom",
+        country: "FR",
+        modified: 34,
+        total: 615,
+        ratios: &[0.53],
+    },
+];
+
+/// Table 8: issuers of replaced certificates.
+/// (issuer CN, exit nodes, type, shared per-node key, masks invalid certs).
+pub struct Table8Row {
+    /// Issuer common name.
+    pub issuer: &'static str,
+    /// Exit nodes observed presenting this issuer.
+    pub nodes: u64,
+    /// Product category as the paper classifies it.
+    pub kind: &'static str,
+    /// Reuses one public key for all spoofed certs on a host.
+    pub shared_key: bool,
+    /// Replaces originally-invalid certificates with browser-trusted ones.
+    pub masks_invalid: bool,
+}
+
+/// The thirteen Table 8 rows.
+pub const TABLE8: [Table8Row; 13] = [
+    Table8Row {
+        issuer: "Avast Web/Mail Shield Root",
+        nodes: 3_283,
+        kind: "Anti-Virus/Security",
+        shared_key: false,
+        masks_invalid: false,
+    },
+    Table8Row {
+        issuer: "AVG Technologies",
+        nodes: 247,
+        kind: "Anti-Virus/Security",
+        shared_key: true,
+        masks_invalid: false,
+    },
+    Table8Row {
+        issuer: "BitDefender Personal CA",
+        nodes: 241,
+        kind: "Anti-Virus/Security",
+        shared_key: true,
+        masks_invalid: false,
+    },
+    Table8Row {
+        issuer: "ESET SSL Filter CA",
+        nodes: 217,
+        kind: "Anti-Virus/Security",
+        shared_key: true,
+        masks_invalid: true,
+    },
+    Table8Row {
+        issuer: "Kaspersky Anti-Virus Personal Root",
+        nodes: 68,
+        kind: "Anti-Virus/Security",
+        shared_key: true,
+        masks_invalid: true,
+    },
+    Table8Row {
+        issuer: "OpenDNS Root Certificate Authority",
+        nodes: 64,
+        kind: "Content filter",
+        shared_key: true,
+        masks_invalid: false,
+    },
+    Table8Row {
+        issuer: "Cyberoam SSL CA",
+        nodes: 35,
+        kind: "Anti-Virus/Security",
+        shared_key: true,
+        masks_invalid: true,
+    },
+    Table8Row {
+        issuer: "Sample CA 2",
+        nodes: 29,
+        kind: "N/A",
+        shared_key: true,
+        masks_invalid: false,
+    },
+    Table8Row {
+        issuer: "Fortigate CA",
+        nodes: 17,
+        kind: "Anti-Virus/Security",
+        shared_key: true,
+        masks_invalid: true,
+    },
+    Table8Row {
+        issuer: "",
+        nodes: 14,
+        kind: "N/A",
+        shared_key: true,
+        masks_invalid: false,
+    },
+    Table8Row {
+        issuer: "Cloudguard.me",
+        nodes: 14,
+        kind: "Malware",
+        shared_key: true,
+        masks_invalid: false,
+    },
+    Table8Row {
+        issuer: "Dr. Web",
+        nodes: 13,
+        kind: "Anti-Virus/Security",
+        shared_key: true,
+        masks_invalid: false,
+    },
+    Table8Row {
+        issuer: "McAfee Web Gateway",
+        nodes: 6,
+        kind: "Anti-Virus/Security",
+        shared_key: true,
+        masks_invalid: true,
+    },
+];
+
+/// HTTPS experiment population (Table 2 row).
+pub const HTTPS_NODES: u64 = 807_910;
+
+/// Table 9: content-monitoring entities.
+/// (name, source IPs, monitored exit nodes, ASes, countries).
+pub const TABLE9: [(&str, u64, u64, u64, u64); 6] = [
+    ("Trend Micro", 55, 6_571, 734, 13),
+    ("TalkTalk", 6, 2_233, 5, 1),
+    ("Commtouch", 20, 1_154, 371, 79),
+    ("AnchorFree", 223, 461, 225, 98),
+    ("Bluecoat", 12, 453, 162, 64),
+    ("Tiscali U.K.", 2, 363, 6, 1),
+];
+
+/// §7.2.2: share of the ISP's own nodes that are monitored.
+pub const TALKTALK_MONITORED_SHARE: f64 = 0.452;
+/// Tiscali's monitored share of its own nodes.
+pub const TISCALI_MONITORED_SHARE: f64 = 0.114;
+
+/// Table 1 / §3: the study overall.
+pub mod study {
+    /// Total unique exit nodes.
+    pub const NODES: u64 = 1_276_873;
+    /// Total ASes.
+    pub const ASES: u64 = 14_772;
+    /// Total countries.
+    pub const COUNTRIES: u64 = 172;
+    /// Collection period, days.
+    pub const DAYS: u64 = 5;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_ratios_match_paper() {
+        // Spot-check the transcription against the paper's printed ratios.
+        let ratio = |cc: &str| {
+            TABLE3
+                .iter()
+                .find(|(c, _, _)| *c == cc)
+                .map(|(_, h, t)| *h as f64 / *t as f64)
+                .unwrap()
+        };
+        assert!((ratio("MY") - 0.523).abs() < 0.001);
+        assert!((ratio("GB") - 0.257).abs() < 0.001);
+        assert!((ratio("JO") - 0.068).abs() < 0.01);
+    }
+
+    #[test]
+    fn attribution_split_sums_to_one() {
+        let s = headline::DNS_ATTRIB_ISP + headline::DNS_ATTRIB_PUBLIC + headline::DNS_ATTRIB_OTHER;
+        assert!((s - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn table7_ratios_sane() {
+        for row in &TABLE7 {
+            assert!(row.modified <= row.total, "{}", row.isp);
+            assert!(!row.ratios.is_empty());
+            assert!(row.ratios.iter().all(|r| (0.1..0.9).contains(r)));
+        }
+    }
+
+    #[test]
+    fn table8_total_near_paper_cert_count() {
+        let total: u64 = TABLE8.iter().map(|r| r.nodes).sum();
+        // The 13 issuers cover 93.6% of 4,540 replaced-cert nodes.
+        assert!((4_100..=4_540).contains(&total), "total {total}");
+    }
+
+    #[test]
+    fn table9_total_is_94_percent_of_monitored() {
+        let total: u64 = TABLE9.iter().map(|(_, _, n, _, _)| n).sum();
+        assert!((10_400..=11_500).contains(&total), "total {total}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Spec serialization: export and replay scenarios as JSON files.
+//!
+//! A spec file pins an entire reproducible world — `(spec, seed)` is the
+//! whole input. Exported specs let reviewers rerun exactly the population a
+//! result was produced on, and let users version their own scenarios.
+
+use crate::spec::WorldSpec;
+use crate::validate::{validate, SpecError};
+use std::fmt;
+use std::path::Path;
+
+/// Errors loading or saving a spec file.
+#[derive(Debug)]
+pub enum SpecIoError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// The file is not valid JSON for a [`WorldSpec`].
+    Format(serde_json::Error),
+    /// The spec parsed but failed validation.
+    Invalid(Vec<SpecError>),
+}
+
+impl fmt::Display for SpecIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecIoError::Io(e) => write!(f, "spec file I/O: {e}"),
+            SpecIoError::Format(e) => write!(f, "spec file format: {e}"),
+            SpecIoError::Invalid(errs) => {
+                write!(f, "spec invalid: ")?;
+                for (i, e) in errs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecIoError {}
+
+impl From<std::io::Error> for SpecIoError {
+    fn from(e: std::io::Error) -> Self {
+        SpecIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for SpecIoError {
+    fn from(e: serde_json::Error) -> Self {
+        SpecIoError::Format(e)
+    }
+}
+
+/// Serialize a spec to pretty JSON.
+pub fn to_json(spec: &WorldSpec) -> Result<String, SpecIoError> {
+    Ok(serde_json::to_string_pretty(spec)?)
+}
+
+/// Parse a spec from JSON and validate it.
+pub fn from_json(json: &str) -> Result<WorldSpec, SpecIoError> {
+    let spec: WorldSpec = serde_json::from_str(json)?;
+    validate(&spec).map_err(SpecIoError::Invalid)?;
+    Ok(spec)
+}
+
+/// Write a spec to a file.
+pub fn save(spec: &WorldSpec, path: impl AsRef<Path>) -> Result<(), SpecIoError> {
+    std::fs::write(path, to_json(spec)?)?;
+    Ok(())
+}
+
+/// Load and validate a spec from a file.
+pub fn load(path: impl AsRef<Path>) -> Result<WorldSpec, SpecIoError> {
+    from_json(&std::fs::read_to_string(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::paper_spec;
+    use crate::scenarios::smoke_spec;
+
+    #[test]
+    fn json_roundtrip_preserves_the_world() {
+        let spec = smoke_spec(11);
+        let json = to_json(&spec).unwrap();
+        let back = from_json(&json).unwrap();
+        // Same spec ⇒ same world ⇒ same ground truth.
+        let a = crate::build(&spec);
+        let b = crate::build(&back);
+        assert_eq!(a.truth.total_nodes, b.truth.total_nodes);
+        assert_eq!(
+            a.truth.dns_hijacked.keys().collect::<Vec<_>>(),
+            b.truth.dns_hijacked.keys().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn paper_spec_roundtrips() {
+        let spec = paper_spec(0.01, 3);
+        let back = from_json(&to_json(&spec).unwrap()).unwrap();
+        assert_eq!(back.countries.len(), spec.countries.len());
+        assert_eq!(back.monitors.len(), spec.monitors.len());
+        assert_eq!(back.seed, spec.seed);
+    }
+
+    #[test]
+    fn invalid_json_is_rejected() {
+        assert!(matches!(from_json("{"), Err(SpecIoError::Format(_))));
+        assert!(matches!(
+            from_json("{\"seed\": 1}"),
+            Err(SpecIoError::Format(_))
+        ));
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_after_parse() {
+        let mut spec = smoke_spec(1);
+        spec.scale = -3.0;
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(matches!(from_json(&json), Err(SpecIoError::Invalid(_))));
+    }
+
+    #[test]
+    fn file_save_and_load() {
+        let dir = std::env::temp_dir().join("tft-spec-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("smoke.json");
+        let spec = smoke_spec(2);
+        save(&spec, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_eq!(back.seed, spec.seed);
+        std::fs::remove_file(&path).ok();
+    }
+}

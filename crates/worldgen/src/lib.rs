@@ -1,0 +1,34 @@
+//! # worldgen — calibrated world scenarios
+//!
+//! Builds the simulated Internet population the measurement study runs
+//! against:
+//!
+//! - [`calibration`]: the paper's published numbers, transcribed;
+//! - [`spec`]: declarative, serde-able world descriptions with paper-scale
+//!   counts and a scale factor;
+//! - [`paper`]: [`paper::paper_spec`] — the calibrated default scenario
+//!   with every named ISP, injector, interceptor, and monitor from
+//!   Tables 3–9;
+//! - [`build`](mod@crate::build): deterministic spec → [`proxynet::World`]
+//!   construction;
+//! - [`truth`]: the planted [`truth::GroundTruth`], used only for scoring.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod build;
+pub mod calibration;
+pub mod io;
+pub mod paper;
+pub mod scenarios;
+pub mod spec;
+pub mod truth;
+pub mod validate;
+
+pub use build::{build, try_build, BuiltWorld};
+pub use io::{from_json, load, save, to_json, SpecIoError};
+pub use paper::{paper_spec, DEFAULT_SEED, PROBE_APEX};
+pub use scenarios::{clean_spec, smoke_spec};
+pub use spec::WorldSpec;
+pub use truth::{DnsHijackSource, GroundTruth};
+pub use validate::{validate, SpecError};

@@ -1,0 +1,967 @@
+//! The calibrated default scenario.
+//!
+//! [`paper_spec`] builds a [`WorldSpec`] whose planted population mirrors
+//! the paper's tables: the Table 3 countries at their hijack ratios, the
+//! Table 4 ISP resolvers, the Table 5 transparent proxies and end-host
+//! hijackers, the Table 6 injectors, the Table 7 mobile transcoders (with
+//! their real ASNs), the Table 8 TLS interceptor roster, and the Table 9
+//! monitoring entities with Figure 5's timing profiles.
+//!
+//! Counts are at paper scale; pass `scale` to shrink the population
+//! proportionally (0.08 ≈ 52k nodes builds in seconds and keeps every
+//! group above analysis thresholds).
+
+use crate::spec::*;
+
+/// Default deterministic seed for the calibrated world.
+pub const DEFAULT_SEED: u64 = 0x7F7_2016;
+
+/// The measurement study's probe zone apex.
+pub const PROBE_APEX: &str = "tft-probe.example";
+
+fn isp(name: &str, nodes: u64) -> IspSpec {
+    IspSpec::clean(name, nodes)
+}
+
+/// An ISP whose resolvers hijack NXDOMAIN.
+#[allow(clippy::too_many_arguments)]
+fn hijack_isp(
+    name: &str,
+    nodes: u64,
+    servers: u64,
+    landing: &str,
+    shared_js: bool,
+    transparent: bool,
+    google_share: f64,
+) -> IspSpec {
+    IspSpec {
+        resolver_servers: servers,
+        resolver_hijack: true,
+        landing_domain: Some(landing.to_string()),
+        shared_js,
+        transparent_proxy: transparent,
+        google_dns_share: google_share,
+        public_dns_share: 0.02,
+        ..IspSpec::clean(name, nodes)
+    }
+}
+
+/// A mobile carrier with an in-path transcoder on a real ASN.
+fn mobile_isp(name: &str, asn: u32, nodes: u64, ratios: &[f64], tethered: f64) -> IspSpec {
+    IspSpec {
+        explicit_asns: vec![asn],
+        auto_as_count: 0,
+        transcoder: Some(TranscoderSpec {
+            ratios: ratios.to_vec(),
+            tethered_share: tethered,
+        }),
+        ..IspSpec::clean(name, nodes)
+    }
+}
+
+fn country(code: &str, has_rankings: bool, isps: Vec<IspSpec>) -> CountrySpec {
+    CountrySpec {
+        code: code.to_string(),
+        has_rankings,
+        isps,
+    }
+}
+
+/// Build the calibrated paper scenario at the given scale.
+pub fn paper_spec(scale: f64, seed: u64) -> WorldSpec {
+    let mut countries = vec![
+        // ---- Table 3 countries -------------------------------------------
+        country(
+            "MY",
+            true,
+            vec![
+                hijack_isp(
+                    "TMnet",
+                    3_600,
+                    8,
+                    "midascdn.nervesis.com",
+                    false,
+                    true,
+                    0.019,
+                ),
+                isp("Maxis Broadband", 3_383),
+            ],
+        ),
+        country(
+            "ID",
+            true,
+            vec![
+                IspSpec {
+                    smtp_strip: true,
+                    ..hijack_isp(
+                        "Telkom Indonesia",
+                        3_100,
+                        12,
+                        "v3.mercusuar.uzone.id",
+                        false,
+                        true,
+                        0.017,
+                    )
+                },
+                isp("Indosat Ooredoo", 5_468),
+            ],
+        ),
+        country(
+            "CN",
+            false,
+            vec![
+                hijack_isp(
+                    "ChinaNet Backbone",
+                    240,
+                    4,
+                    "assist.chinanet.example",
+                    false,
+                    false,
+                    0.0,
+                ),
+                isp("China Unicom", 431),
+            ],
+        ),
+        country(
+            "GB",
+            true,
+            vec![
+                IspSpec {
+                    monitored_share: Some(("TalkTalk".to_string(), 0.452)),
+                    ..hijack_isp(
+                        "Talk Talk",
+                        3_900,
+                        46,
+                        "error.talktalk.co.uk",
+                        true,
+                        true,
+                        0.012,
+                    )
+                },
+                hijack_isp(
+                    "BT Internet",
+                    500,
+                    6,
+                    "www.webaddresshelp.bt.com",
+                    true,
+                    true,
+                    0.146,
+                ),
+                hijack_isp(
+                    "Breezenet UK",
+                    5_400,
+                    12,
+                    "assist.breezenet.example",
+                    false,
+                    false,
+                    0.05,
+                ),
+                IspSpec {
+                    monitored_share: Some(("Tiscali U.K.".to_string(), 0.114)),
+                    ..isp("Tiscali UK", 3_200)
+                },
+                mobile_isp("Telefonica UK", 29_180, 51, &[0.47], 1.0),
+                mobile_isp("Vodafone UK", 25_135, 54, &[0.54], 0.83),
+                isp("Virgin Media", 24_051),
+            ],
+        ),
+        country(
+            "DE",
+            true,
+            vec![
+                hijack_isp(
+                    "Deutsche Telekom AG",
+                    1_450,
+                    8,
+                    "navigationshilfe.t-online.de",
+                    false,
+                    true,
+                    0.055,
+                ),
+                hijack_isp(
+                    "Kabel Deutschland",
+                    3_300,
+                    10,
+                    "assist.kabel-de.example",
+                    false,
+                    false,
+                    0.05,
+                ),
+                isp("1und1 Internet", 14_326),
+            ],
+        ),
+        country(
+            "US",
+            true,
+            vec![
+                hijack_isp("AT&T", 610, 37, "dnserrorassist.att.net", false, true, 0.05),
+                hijack_isp(
+                    "Cable One",
+                    120,
+                    4,
+                    "assist.cableone.example",
+                    false,
+                    false,
+                    0.05,
+                ),
+                hijack_isp(
+                    "Cox Communications",
+                    1_950,
+                    63,
+                    "finder.cox.net",
+                    true,
+                    true,
+                    0.009,
+                ),
+                hijack_isp(
+                    "Mediacom Cable",
+                    240,
+                    6,
+                    "search.mediacomcable.com",
+                    false,
+                    true,
+                    0.03,
+                ),
+                hijack_isp(
+                    "Suddenlink",
+                    110,
+                    9,
+                    "assist.suddenlink.example",
+                    false,
+                    false,
+                    0.05,
+                ),
+                hijack_isp(
+                    "Verizon",
+                    2_290,
+                    98,
+                    "searchassist.verizon.com",
+                    true,
+                    true,
+                    0.013,
+                ),
+                hijack_isp(
+                    "WideOpenWest",
+                    45,
+                    1,
+                    "assist.wideopenwest.example",
+                    false,
+                    false,
+                    0.05,
+                ),
+                hijack_isp(
+                    "Frontier Communications",
+                    1_300,
+                    11,
+                    "assist.frontier.example",
+                    false,
+                    false,
+                    0.05,
+                ),
+                isp("Comcast", 26_733),
+            ],
+        ),
+        country(
+            "IN",
+            true,
+            vec![
+                hijack_isp(
+                    "Airtel Broadband",
+                    800,
+                    9,
+                    "airtelforum.com",
+                    false,
+                    true,
+                    0.018,
+                ),
+                hijack_isp("BSNL", 80, 2, "assist.bsnl.example", false, false, 0.05),
+                hijack_isp(
+                    "Ntl. Int. Backbone",
+                    270,
+                    8,
+                    "assist.nib.example",
+                    false,
+                    false,
+                    0.05,
+                ),
+                isp("Reliance Jio", 5_718),
+            ],
+        ),
+        country(
+            "BR",
+            true,
+            vec![
+                hijack_isp(
+                    "Oi Fixo",
+                    2_780,
+                    21,
+                    "dnserros.oi.com.br",
+                    true,
+                    true,
+                    0.015,
+                ),
+                hijack_isp("CTBC", 315, 4, "nodomain.ctbc.com.br", false, true, 0.022),
+                hijack_isp(
+                    "NET Virtua",
+                    1_000,
+                    7,
+                    "assist.netvirtua.example",
+                    false,
+                    false,
+                    0.05,
+                ),
+                isp("Vivo", 20_203),
+            ],
+        ),
+        country(
+            "BJ",
+            false,
+            vec![
+                IspSpec {
+                    google_dns_share: 0.99,
+                    public_dns_share: 0.0,
+                    ..isp("OPT Benin", 250)
+                },
+                hijack_isp(
+                    "Benin Telecom",
+                    100,
+                    2,
+                    "assist.benintelecom.example",
+                    false,
+                    false,
+                    0.02,
+                ),
+                isp("Isocel Telecom", 366),
+            ],
+        ),
+        country(
+            "JO",
+            true,
+            vec![
+                hijack_isp(
+                    "Orange Jordan",
+                    85,
+                    2,
+                    "assist.orangejo.example",
+                    false,
+                    false,
+                    0.02,
+                ),
+                isp("Zain Jordan", 1_032),
+            ],
+        ),
+        // ---- Table 4 / Table 7 countries ---------------------------------
+        country(
+            "AR",
+            true,
+            vec![
+                hijack_isp(
+                    "Telefonica de Argentina",
+                    300,
+                    14,
+                    "ayudaenlabusqueda.telefonica.com.ar",
+                    false,
+                    true,
+                    0.053,
+                ),
+                isp("Claro Argentina", 4_700),
+            ],
+        ),
+        country(
+            "AU",
+            true,
+            vec![
+                hijack_isp(
+                    "Dodo Australia",
+                    1_530,
+                    21,
+                    "google.dodo.com.au",
+                    false,
+                    true,
+                    0.0085,
+                ),
+                isp("Telstra", 6_470),
+            ],
+        ),
+        country(
+            "ES",
+            true,
+            vec![
+                hijack_isp("ONO", 80, 2, "assist.ono.example", false, false, 0.05),
+                isp("Movistar", 11_920),
+            ],
+        ),
+        country(
+            "GR",
+            true,
+            vec![
+                mobile_isp("Wind Hellas", 15_617, 30, &[0.53], 1.0),
+                mobile_isp("Vodafone Greece", 12_361, 69, &[0.52], 0.48),
+                isp("OTE", 3_901),
+            ],
+        ),
+        country(
+            "ZA",
+            true,
+            vec![
+                mobile_isp("Vodacom", 29_975, 264, &[0.35, 0.62], 0.94),
+                isp("MTN South Africa", 2_736),
+            ],
+        ),
+        country(
+            "EG",
+            false,
+            vec![
+                mobile_isp("Vodafone Egypt", 36_935, 243, &[0.33, 0.58], 0.77),
+                isp("TE Data", 3_757),
+            ],
+        ),
+        country(
+            "MA",
+            false,
+            vec![
+                IspSpec {
+                    smtp_strip: true,
+                    ..mobile_isp("Meditelecom", 36_925, 384, &[0.34], 0.68)
+                },
+                isp("Maroc Telecom", 1_616),
+            ],
+        ),
+        country(
+            "TR",
+            true,
+            vec![
+                mobile_isp("Turkcell", 16_135, 195, &[0.54], 0.68),
+                mobile_isp("Vodafone Turkey", 15_897, 75, &[0.53], 0.56),
+                isp("TTNet", 7_730),
+            ],
+        ),
+        country(
+            "TN",
+            false,
+            vec![
+                mobile_isp("Orange Tunisia", 37_492, 993, &[0.34], 0.29),
+                isp("Topnet", 507),
+            ],
+        ),
+        country(
+            "PH",
+            true,
+            vec![
+                IspSpec {
+                    smtp_strip: true,
+                    ..mobile_isp("Globe Telecom", 132_199, 4_122, &[0.51], 0.14)
+                },
+                isp("PLDT", 4_878),
+            ],
+        ),
+        country(
+            "FR",
+            true,
+            vec![
+                mobile_isp("Bouygues Telecom", 12_844, 1_845, &[0.53], 0.06),
+                isp("Orange France", 18_155),
+            ],
+        ),
+        country(
+            "IL",
+            true,
+            vec![
+                IspSpec {
+                    explicit_asns: vec![42_925],
+                    auto_as_count: 0,
+                    isp_injector_meta: Some("NetsparkQuiltingResult".to_string()),
+                    ..isp("Internet Rimon", 63)
+                },
+                isp("Bezeq International", 1_937),
+            ],
+        ),
+        country(
+            "RU",
+            true,
+            vec![isp("Rostelecom", 9_000), isp("MTS Russia", 6_000)],
+        ),
+    ];
+
+    // ---- filler countries ------------------------------------------------
+    // (code, nodes in thousands, has rankings). Half host a small hijacking
+    // "assist" ISP so hijacking remains globally widespread, matching §4.2.
+    const FILLER: [(&str, u64, bool); 40] = [
+        ("IT", 25, true),
+        ("CA", 18, true),
+        ("MX", 14, true),
+        ("NL", 16, true),
+        ("PL", 22, true),
+        ("SE", 12, true),
+        ("NO", 8, false),
+        ("FI", 7, true),
+        ("DK", 9, true),
+        ("PT", 10, true),
+        ("CZ", 11, true),
+        ("RO", 17, true),
+        ("HU", 9, false),
+        ("AT", 8, true),
+        ("CH", 9, true),
+        ("BE", 10, true),
+        ("IE", 6, false),
+        ("JP", 20, true),
+        ("KR", 12, true),
+        ("TW", 9, false),
+        ("TH", 14, true),
+        ("VN", 16, false),
+        ("SG", 5, true),
+        ("NZ", 4, true),
+        ("AE", 7, false),
+        ("SA", 11, true),
+        ("NG", 9, false),
+        ("KE", 5, false),
+        ("GH", 3, false),
+        ("UA", 18, true),
+        ("KZ", 6, false),
+        ("CL", 9, true),
+        ("CO", 12, true),
+        ("PE", 8, false),
+        ("VE", 7, false),
+        ("EC", 4, false),
+        ("BG", 8, true),
+        ("RS", 6, false),
+        ("HR", 4, false),
+        ("SK", 5, true),
+    ];
+    for (i, (code, knodes, ranked)) in FILLER.iter().enumerate() {
+        let n = knodes * 1_000;
+        let mut isps = vec![
+            isp(&format!("Telecom {code}"), n * 45 / 100),
+            isp(&format!("Net {code}"), n * 30 / 100),
+            isp(&format!("Broadband {code}"), n * 15 / 100),
+        ];
+        // African filler ISPs lean on Google DNS (cf. footnote 9 and the
+        // African-web study the paper cites).
+        let wireless = if matches!(*code, "NG" | "KE" | "GH") {
+            IspSpec {
+                google_dns_share: 0.85,
+                ..isp(&format!("Wireless {code}"), n * 10 / 100)
+            }
+        } else {
+            isp(&format!("Wireless {code}"), n * 10 / 100)
+        };
+        isps.push(wireless);
+        if i % 2 == 0 {
+            isps.push(hijack_isp(
+                &format!("Assist ISP {code}"),
+                (n * 15 / 1000).max(20),
+                2,
+                &format!("assist.{}.example", code.to_ascii_lowercase()),
+                false,
+                false,
+                0.02,
+            ));
+        }
+        countries.push(country(code, *ranked, isps));
+    }
+
+    WorldSpec {
+        seed,
+        scale,
+        probe_apex: PROBE_APEX.to_string(),
+        countries,
+        public_resolvers: PublicResolverSpec {
+            clean_servers: 1_089,
+            services: vec![
+                PublicServiceSpec {
+                    name: "Comodo DNS".into(),
+                    servers: 9,
+                    hijack: true,
+                    landing_domain: Some("comododns-assist.example".into()),
+                },
+                PublicServiceSpec {
+                    name: "UltraDNS".into(),
+                    servers: 4,
+                    hijack: true,
+                    landing_domain: Some("search.ultradns.example".into()),
+                },
+                PublicServiceSpec {
+                    name: "LookSafe".into(),
+                    servers: 2,
+                    hijack: true,
+                    landing_domain: Some("looksafe-search.example".into()),
+                },
+                PublicServiceSpec {
+                    name: "Level 3".into(),
+                    servers: 3,
+                    hijack: true,
+                    landing_domain: Some("assist.level3.example".into()),
+                },
+                PublicServiceSpec {
+                    name: "Unidentified DNS Service".into(),
+                    servers: 3,
+                    hijack: true,
+                    landing_domain: Some("assist-unknown.example".into()),
+                },
+            ],
+            hijacking_service_weight: 0.17,
+        },
+        endhost: EndhostSpec {
+            dns_hijackers: vec![
+                EndhostDnsSpec {
+                    name: "Norton ConnectSafe".into(),
+                    landing_domain: "nortonsafe.search.ask.com".into(),
+                    nodes: 25 * 15,
+                    google_dns_users_only: true,
+                },
+                EndhostDnsSpec {
+                    name: "Comodo SecureDNS".into(),
+                    landing_domain: "securedns.comodo.com".into(),
+                    nodes: 9 * 15,
+                    google_dns_users_only: true,
+                },
+            ],
+            html_injectors: vec![
+                HtmlInjectorSpec {
+                    signature: "d36mw5gp02ykm5.cloudfront.net".into(),
+                    is_script_url: true,
+                    nodes: 3_800,
+                    country: None,
+                    payload_bytes: 30 * 1024,
+                    ad_count: 25,
+                },
+                HtmlInjectorSpec {
+                    signature: "msmdzbsyrw.org".into(),
+                    is_script_url: true,
+                    nodes: 1_475,
+                    country: None,
+                    payload_bytes: 12 * 1024,
+                    ad_count: 12,
+                },
+                HtmlInjectorSpec {
+                    signature: "pgjs.me".into(),
+                    is_script_url: true,
+                    nodes: 243,
+                    country: Some("RU".into()),
+                    payload_bytes: 5 * 1024,
+                    ad_count: 6,
+                },
+                HtmlInjectorSpec {
+                    signature: "jswrite.com/script1.js".into(),
+                    is_script_url: true,
+                    nodes: 228,
+                    country: None,
+                    payload_bytes: 8 * 1024,
+                    ad_count: 9,
+                },
+                HtmlInjectorSpec {
+                    signature: "var oiasudoj;".into(),
+                    is_script_url: false,
+                    nodes: 167,
+                    country: Some("BR".into()),
+                    payload_bytes: 23 * 1024,
+                    ad_count: 170,
+                },
+                HtmlInjectorSpec {
+                    signature: "AdTaily_Widget_Container".into(),
+                    is_script_url: false,
+                    nodes: 167,
+                    country: None,
+                    payload_bytes: 335 * 1024,
+                    ad_count: 30,
+                },
+                HtmlInjectorSpec {
+                    signature: "stats-counter-tracker.example".into(),
+                    is_script_url: true,
+                    nodes: 800,
+                    country: None,
+                    payload_bytes: 4 * 1024,
+                    ad_count: 3,
+                },
+                HtmlInjectorSpec {
+                    signature: "adsrv-delivery.example".into(),
+                    is_script_url: true,
+                    nodes: 600,
+                    country: None,
+                    payload_bytes: 6 * 1024,
+                    ad_count: 8,
+                },
+            ],
+            tls_interceptors: vec![
+                TlsInterceptorSpec {
+                    issuer: "Avast Web/Mail Shield Root".into(),
+                    nodes: 3_283,
+                    shared_key: false,
+                    invalid: InvalidPolicySpec::AltUntrustedRoot,
+                    copy_fields: false,
+                    per_site_fraction: 0.95,
+                    country: None,
+                },
+                TlsInterceptorSpec {
+                    issuer: "AVG Technologies".into(),
+                    nodes: 247,
+                    shared_key: true,
+                    invalid: InvalidPolicySpec::AltUntrustedRoot,
+                    copy_fields: false,
+                    per_site_fraction: 1.0,
+                    country: None,
+                },
+                TlsInterceptorSpec {
+                    issuer: "BitDefender Personal CA".into(),
+                    nodes: 241,
+                    shared_key: true,
+                    invalid: InvalidPolicySpec::AltUntrustedRoot,
+                    copy_fields: false,
+                    per_site_fraction: 1.0,
+                    country: None,
+                },
+                TlsInterceptorSpec {
+                    issuer: "ESET SSL Filter CA".into(),
+                    nodes: 217,
+                    shared_key: true,
+                    invalid: InvalidPolicySpec::MaskWithTrustedRoot,
+                    copy_fields: false,
+                    per_site_fraction: 1.0,
+                    country: None,
+                },
+                TlsInterceptorSpec {
+                    issuer: "Kaspersky Anti-Virus Personal Root".into(),
+                    nodes: 68,
+                    shared_key: true,
+                    invalid: InvalidPolicySpec::MaskWithTrustedRoot,
+                    copy_fields: false,
+                    per_site_fraction: 1.0,
+                    country: None,
+                },
+                TlsInterceptorSpec {
+                    issuer: "OpenDNS Root Certificate Authority".into(),
+                    nodes: 64,
+                    shared_key: true,
+                    invalid: InvalidPolicySpec::PassThrough,
+                    copy_fields: false,
+                    per_site_fraction: 0.25,
+                    country: None,
+                },
+                TlsInterceptorSpec {
+                    issuer: "Cyberoam SSL CA".into(),
+                    nodes: 35,
+                    shared_key: true,
+                    invalid: InvalidPolicySpec::MaskWithTrustedRoot,
+                    copy_fields: false,
+                    per_site_fraction: 1.0,
+                    country: None,
+                },
+                TlsInterceptorSpec {
+                    issuer: "Sample CA 2".into(),
+                    nodes: 29,
+                    shared_key: true,
+                    invalid: InvalidPolicySpec::PassThrough,
+                    copy_fields: false,
+                    per_site_fraction: 1.0,
+                    country: None,
+                },
+                TlsInterceptorSpec {
+                    issuer: "Fortigate CA".into(),
+                    nodes: 17,
+                    shared_key: true,
+                    invalid: InvalidPolicySpec::MaskWithTrustedRoot,
+                    copy_fields: false,
+                    per_site_fraction: 1.0,
+                    country: None,
+                },
+                TlsInterceptorSpec {
+                    issuer: "".into(),
+                    nodes: 14,
+                    shared_key: true,
+                    invalid: InvalidPolicySpec::PassThrough,
+                    copy_fields: false,
+                    per_site_fraction: 1.0,
+                    country: None,
+                },
+                TlsInterceptorSpec {
+                    issuer: "Cloudguard.me".into(),
+                    nodes: 14,
+                    shared_key: true,
+                    invalid: InvalidPolicySpec::MaskWithTrustedRoot,
+                    copy_fields: true,
+                    per_site_fraction: 1.0,
+                    country: Some("RU".into()),
+                },
+                TlsInterceptorSpec {
+                    issuer: "Dr. Web".into(),
+                    nodes: 13,
+                    shared_key: true,
+                    invalid: InvalidPolicySpec::AltUntrustedRoot,
+                    copy_fields: false,
+                    per_site_fraction: 1.0,
+                    country: None,
+                },
+                TlsInterceptorSpec {
+                    issuer: "McAfee Web Gateway".into(),
+                    nodes: 6,
+                    shared_key: true,
+                    invalid: InvalidPolicySpec::MaskWithTrustedRoot,
+                    copy_fields: false,
+                    per_site_fraction: 1.0,
+                    country: None,
+                },
+            ],
+            monitor_attach: vec![
+                MonitorAttachSpec {
+                    entity: "Trend Micro".into(),
+                    nodes: 6_571,
+                    country_limit: Some(13),
+                    vpn: false,
+                },
+                MonitorAttachSpec {
+                    entity: "Commtouch".into(),
+                    nodes: 1_154,
+                    country_limit: None,
+                    vpn: false,
+                },
+                MonitorAttachSpec {
+                    entity: "AnchorFree".into(),
+                    nodes: 461,
+                    country_limit: None,
+                    vpn: true,
+                },
+                MonitorAttachSpec {
+                    entity: "Bluecoat".into(),
+                    nodes: 453,
+                    country_limit: None,
+                    vpn: false,
+                },
+            ],
+            blockers: vec![
+                BlockerSpec {
+                    html: false,
+                    js: true,
+                    css: false,
+                    nodes: 685,
+                },
+                BlockerSpec {
+                    html: false,
+                    js: false,
+                    css: true,
+                    nodes: 167,
+                },
+                BlockerSpec {
+                    html: true,
+                    js: false,
+                    css: false,
+                    nodes: 487,
+                },
+            ],
+        },
+        monitors: vec![
+            MonitorSpec {
+                name: "Trend Micro".into(),
+                home_country: "US".into(),
+                source_ips: 55,
+                profile: MonitorProfile::TrendMicro,
+                fixed_second_source: false,
+                user_agent: "TMUFE/1.0 (Web Reputation Service)".into(),
+            },
+            MonitorSpec {
+                name: "TalkTalk".into(),
+                home_country: "GB".into(),
+                source_ips: 6,
+                profile: MonitorProfile::TalkTalk,
+                fixed_second_source: false,
+                user_agent: "TalkTalk-WebSafe/2.0".into(),
+            },
+            MonitorSpec {
+                name: "Commtouch".into(),
+                home_country: "US".into(),
+                source_ips: 20,
+                profile: MonitorProfile::Commtouch,
+                fixed_second_source: false,
+                user_agent: "Commtouch-GlobalView/4.2".into(),
+            },
+            MonitorSpec {
+                name: "AnchorFree".into(),
+                home_country: "US".into(),
+                source_ips: 223,
+                profile: MonitorProfile::AnchorFree,
+                fixed_second_source: true,
+                user_agent: "HotspotShield-MalwareProtect/1.3".into(),
+            },
+            MonitorSpec {
+                name: "Bluecoat".into(),
+                home_country: "US".into(),
+                source_ips: 12,
+                profile: MonitorProfile::Bluecoat,
+                fixed_second_source: false,
+                user_agent: "BlueCoat-WebPulse/5.1".into(),
+            },
+            MonitorSpec {
+                name: "Tiscali U.K.".into(),
+                home_country: "GB".into(),
+                source_ips: 2,
+                profile: MonitorProfile::Tiscali,
+                fixed_second_source: false,
+                user_agent: "Tiscali-SafeNet/1.0".into(),
+            },
+        ],
+        sites: SiteSpec::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_spec_population_is_near_target() {
+        let spec = paper_spec(1.0, DEFAULT_SEED);
+        let total = spec.paper_node_total();
+        assert!(
+            (600_000..800_000).contains(&total),
+            "paper-scale population {total}"
+        );
+        assert!(
+            spec.countries.len() >= 60,
+            "{} countries",
+            spec.countries.len()
+        );
+    }
+
+    #[test]
+    fn ranked_country_share_matches_https_limitation() {
+        let spec = paper_spec(1.0, DEFAULT_SEED);
+        let ranked = spec.countries.iter().filter(|c| c.has_rankings).count();
+        let frac = ranked as f64 / spec.countries.len() as f64;
+        // The paper could only cover 115 of 172 countries (~2/3).
+        assert!((0.55..0.85).contains(&frac), "ranked fraction {frac}");
+    }
+
+    #[test]
+    fn table3_countries_present() {
+        let spec = paper_spec(1.0, DEFAULT_SEED);
+        for (code, _, _) in crate::calibration::TABLE3 {
+            assert!(
+                spec.countries.iter().any(|c| c.code == code),
+                "missing {code}"
+            );
+        }
+    }
+
+    #[test]
+    fn hijack_isps_have_landing_domains() {
+        let spec = paper_spec(1.0, DEFAULT_SEED);
+        for c in &spec.countries {
+            for i in &c.isps {
+                if i.resolver_hijack {
+                    assert!(i.landing_domain.is_some(), "{} lacks landing", i.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn monitor_attach_references_exist() {
+        let spec = paper_spec(1.0, DEFAULT_SEED);
+        for att in &spec.endhost.monitor_attach {
+            assert!(
+                spec.monitors.iter().any(|m| m.name == att.entity),
+                "dangling entity {}",
+                att.entity
+            );
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Additional prebuilt scenarios beyond the calibrated paper world.
+
+use crate::paper::{paper_spec, PROBE_APEX};
+use crate::spec::*;
+
+/// The negative control: the paper-shaped population with **every violator
+/// removed** — honest resolvers, no transparent proxies, no injectors, no
+/// transcoders, no TLS interceptors, no monitors, no strippers.
+///
+/// A measurement system is only trustworthy if it reports *nothing* here;
+/// the real study could never run this control (there is no clean
+/// Internet), but a simulation can.
+pub fn clean_spec(scale: f64, seed: u64) -> WorldSpec {
+    let mut spec = paper_spec(scale, seed);
+    for country in &mut spec.countries {
+        for isp in &mut country.isps {
+            isp.resolver_hijack = false;
+            isp.landing_domain = None;
+            isp.shared_js = false;
+            isp.transparent_proxy = false;
+            isp.transcoder = None;
+            isp.isp_injector_meta = None;
+            isp.monitored_share = None;
+            isp.smtp_strip = false;
+        }
+    }
+    for svc in &mut spec.public_resolvers.services {
+        svc.hijack = false;
+        svc.landing_domain = None;
+    }
+    spec.endhost = EndhostSpec::default();
+    spec.monitors.clear();
+    spec
+}
+
+/// A minimal smoke-test world: two countries, a few hundred nodes, one of
+/// each violator class. Builds in milliseconds; useful for doctests and
+/// quick iteration.
+pub fn smoke_spec(seed: u64) -> WorldSpec {
+    WorldSpec {
+        seed,
+        scale: 1.0,
+        probe_apex: PROBE_APEX.to_string(),
+        countries: vec![
+            CountrySpec {
+                code: "AA".into(),
+                has_rankings: true,
+                isps: vec![
+                    IspSpec {
+                        resolver_hijack: true,
+                        landing_domain: Some("assist.smoke.example".into()),
+                        ..IspSpec::clean("Smoke Hijack ISP", 80)
+                    },
+                    IspSpec::clean("Smoke Clean ISP", 200),
+                ],
+            },
+            CountrySpec {
+                code: "BB".into(),
+                has_rankings: true,
+                isps: vec![IspSpec::clean("Smoke ISP B", 150)],
+            },
+        ],
+        public_resolvers: PublicResolverSpec {
+            clean_servers: 5,
+            services: vec![],
+            hijacking_service_weight: 0.0,
+        },
+        endhost: EndhostSpec {
+            tls_interceptors: vec![TlsInterceptorSpec {
+                issuer: "Smoke Shield Root".into(),
+                nodes: 10,
+                shared_key: true,
+                invalid: InvalidPolicySpec::MaskWithTrustedRoot,
+                copy_fields: false,
+                per_site_fraction: 1.0,
+                country: None,
+            }],
+            monitor_attach: vec![MonitorAttachSpec {
+                entity: "Smoke Monitor".into(),
+                nodes: 15,
+                country_limit: None,
+                vpn: false,
+            }],
+            ..EndhostSpec::default()
+        },
+        monitors: vec![MonitorSpec {
+            name: "Smoke Monitor".into(),
+            home_country: "AA".into(),
+            source_ips: 2,
+            profile: MonitorProfile::Commtouch,
+            fixed_second_source: false,
+            user_agent: "Smoke/1.0".into(),
+        }],
+        sites: SiteSpec::default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build;
+
+    #[test]
+    fn clean_spec_plants_nothing() {
+        let built = build(&clean_spec(0.004, 5));
+        assert!(built.truth.dns_hijacked.is_empty());
+        assert!(built.truth.html_injected.is_empty());
+        assert!(built.truth.image_transcoded.is_empty());
+        assert!(built.truth.tls_intercepted.is_empty());
+        assert!(built.truth.monitored.is_empty());
+        assert!(built.truth.smtp_stripped.is_empty());
+        assert!(built.truth.total_nodes > 1000);
+    }
+
+    #[test]
+    fn smoke_spec_builds_fast_with_one_of_each() {
+        let built = build(&smoke_spec(6));
+        assert!(!built.truth.dns_hijacked.is_empty());
+        assert!(!built.truth.tls_intercepted.is_empty());
+        assert!(!built.truth.monitored.is_empty());
+        assert_eq!(built.truth.total_nodes, 430);
+    }
+}

@@ -1,0 +1,205 @@
+//! Ground truth: what was actually planted, derived from the built world.
+//!
+//! The analysis pipeline never touches this; the scorer compares the
+//! pipeline's *inferences* (from proxy responses and server logs) against
+//! these facts to produce the paper-vs-measured record in EXPERIMENTS.md.
+
+use inetdb::CountryCode;
+use middlebox::url_domain;
+use proxynet::{NodeId, ResolverChoice, World};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Where a node's NXDOMAIN hijack actually happens.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DnsHijackSource {
+    /// The ISP's resolver (label = ISP organization name).
+    IspResolver(String),
+    /// A public resolver service (label = service organization name).
+    PublicResolver(String),
+    /// A transparent in-path proxy (label = ISP organization name).
+    TransparentProxy(String),
+    /// End-host software (label = its landing domain).
+    EndHost(String),
+}
+
+/// The planted facts.
+#[derive(Debug, Default)]
+pub struct GroundTruth {
+    /// Total nodes in the world.
+    pub total_nodes: usize,
+    /// Per-country node counts.
+    pub nodes_per_country: BTreeMap<CountryCode, usize>,
+    /// Nodes whose NXDOMAIN responses get hijacked, with the true source.
+    pub dns_hijacked: BTreeMap<NodeId, DnsHijackSource>,
+    /// Nodes whose HTML fetches get injected, with the signature needle.
+    pub html_injected: BTreeMap<NodeId, String>,
+    /// Nodes whose JPEG fetches get transcoded (tethered behind a
+    /// transcoding carrier).
+    pub image_transcoded: BTreeSet<NodeId>,
+    /// Nodes whose JS fetches get replaced by block pages.
+    pub js_blocked: BTreeSet<NodeId>,
+    /// Nodes whose CSS fetches get replaced.
+    pub css_blocked: BTreeSet<NodeId>,
+    /// Nodes whose HTML fetches get replaced by block pages.
+    pub html_blocked: BTreeSet<NodeId>,
+    /// Nodes with a TLS interceptor, with the issuer common name.
+    pub tls_intercepted: BTreeMap<NodeId, String>,
+    /// Nodes monitored, with the entity names.
+    pub monitored: BTreeMap<NodeId, Vec<String>>,
+    /// Nodes whose access network strips STARTTLS (SMTP extension).
+    pub smtp_stripped: BTreeSet<NodeId>,
+}
+
+impl GroundTruth {
+    /// Derive the planted facts from a built world.
+    pub fn from_world(world: &World) -> GroundTruth {
+        let mut truth = GroundTruth {
+            total_nodes: world.node_count(),
+            ..Default::default()
+        };
+        for id in world.node_ids() {
+            let node = world.node(id);
+            *truth.nodes_per_country.entry(node.country).or_insert(0) += 1;
+
+            // DNS: mirror the flow order — resolver, transparent proxy,
+            // end-host software.
+            let resolver_hijack = match node.resolver {
+                ResolverChoice::Isp(ip) => world
+                    .resolver_def(ip)
+                    .and_then(|d| d.hijacker.as_ref())
+                    .map(|_| {
+                        DnsHijackSource::IspResolver(
+                            world
+                                .registry
+                                .org_of_ip(ip)
+                                .map(|o| o.name.clone())
+                                .unwrap_or_else(|| "unknown".into()),
+                        )
+                    }),
+                ResolverChoice::Public(ip) => world
+                    .resolver_def(ip)
+                    .and_then(|d| d.hijacker.as_ref())
+                    .map(|_| {
+                        DnsHijackSource::PublicResolver(
+                            world
+                                .registry
+                                .org_of_ip(ip)
+                                .map(|o| o.name.clone())
+                                .unwrap_or_else(|| "unknown".into()),
+                        )
+                    }),
+                ResolverChoice::GoogleDns => None,
+            };
+            let source = resolver_hijack
+                .or_else(|| {
+                    world.transparent_dns_of(node.asn).map(|_| {
+                        DnsHijackSource::TransparentProxy(
+                            world
+                                .registry
+                                .asn_to_org(node.asn)
+                                .map(|o| o.name.clone())
+                                .unwrap_or_else(|| "unknown".into()),
+                        )
+                    })
+                })
+                .or_else(|| {
+                    node.software.dns_hijacker.as_ref().map(|h| {
+                        DnsHijackSource::EndHost(
+                            url_domain(&h.landing_urls[0]).unwrap_or_else(|| "unknown".into()),
+                        )
+                    })
+                });
+            if let Some(src) = source {
+                truth.dns_hijacked.insert(id, src);
+            }
+
+            // HTTP.
+            let isp = world.isp_http_of(node.asn);
+            if let Some(sig) = node
+                .software
+                .html_injector
+                .as_ref()
+                .map(|i| i.signature.needle().to_string())
+                .or_else(|| {
+                    isp.and_then(|c| c.injector.as_ref())
+                        .map(|i| i.signature.needle().to_string())
+                })
+            {
+                truth.html_injected.insert(id, sig);
+            }
+            if node.mobile_tethered && isp.map(|c| c.transcoder.is_some()).unwrap_or(false) {
+                truth.image_transcoded.insert(id);
+            }
+            if let Some(b) = &node.software.blocker {
+                if b.js {
+                    truth.js_blocked.insert(id);
+                }
+                if b.css {
+                    truth.css_blocked.insert(id);
+                }
+                if b.html {
+                    truth.html_blocked.insert(id);
+                }
+            }
+
+            // HTTPS.
+            if let Some(mitm) = &node.software.tls_interceptor {
+                truth
+                    .tls_intercepted
+                    .insert(id, mitm.issuer().common_name.clone());
+            }
+
+            // SMTP extension.
+            if world
+                .isp_smtp_of(node.asn)
+                .map(|m| m.strip_starttls)
+                .unwrap_or(false)
+            {
+                truth.smtp_stripped.insert(id);
+            }
+
+            // Monitoring.
+            if !node.software.monitors.is_empty() {
+                let names: Vec<String> = node
+                    .software
+                    .monitors
+                    .iter()
+                    .map(|&i| world.monitor_entities()[i].name.clone())
+                    .collect();
+                truth.monitored.insert(id, names);
+            }
+        }
+        truth
+    }
+
+    /// Fraction of nodes with hijacked DNS.
+    pub fn dns_hijack_rate(&self) -> f64 {
+        self.dns_hijacked.len() as f64 / self.total_nodes as f64
+    }
+
+    /// Attribution mix `(isp, public, other)` over hijacked nodes.
+    pub fn dns_attribution_mix(&self) -> (f64, f64, f64) {
+        let total = self.dns_hijacked.len().max(1) as f64;
+        let mut isp = 0.0;
+        let mut public = 0.0;
+        let mut other = 0.0;
+        for src in self.dns_hijacked.values() {
+            match src {
+                DnsHijackSource::IspResolver(_) => isp += 1.0,
+                DnsHijackSource::PublicResolver(_) => public += 1.0,
+                DnsHijackSource::TransparentProxy(_) | DnsHijackSource::EndHost(_) => other += 1.0,
+            }
+        }
+        (isp / total, public / total, other / total)
+    }
+
+    /// Fraction of nodes monitored.
+    pub fn monitor_rate(&self) -> f64 {
+        self.monitored.len() as f64 / self.total_nodes as f64
+    }
+
+    /// Fraction of nodes with a TLS interceptor.
+    pub fn tls_rate(&self) -> f64 {
+        self.tls_intercepted.len() as f64 / self.total_nodes as f64
+    }
+}

@@ -1,0 +1,203 @@
+//! Spec validation: catch inconsistent world descriptions with errors
+//! instead of panics deep inside the builder.
+
+use crate::spec::WorldSpec;
+use std::fmt;
+
+/// A problem found in a [`WorldSpec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SpecError {
+    /// `scale` must be positive and finite.
+    BadScale(f64),
+    /// A country code is not two ASCII letters.
+    BadCountryCode(String),
+    /// The same country appears twice.
+    DuplicateCountry(String),
+    /// An ISP has no nodes and no reason to exist.
+    EmptyIsp(String),
+    /// Per-node probability shares must sum to ≤ 1.
+    BadResolverShares {
+        /// The ISP.
+        isp: String,
+        /// google + public share.
+        sum: f64,
+    },
+    /// A transcoder ratio is outside (0,1), or the tethered share outside
+    /// \[0,1\].
+    BadTranscoder(String),
+    /// `monitored_share` / `monitor_attach` references an entity that is
+    /// not declared in `monitors`.
+    UnknownMonitorEntity(String),
+    /// Two ISPs claim the same explicit ASN.
+    DuplicateAsn(u32),
+    /// The probe apex does not parse as a DNS name.
+    BadProbeApex(String),
+    /// A TLS interceptor's per-site fraction is outside (0,1].
+    BadSelectivity(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::BadScale(s) => write!(f, "scale {s} must be positive and finite"),
+            SpecError::BadCountryCode(c) => write!(f, "bad country code {c:?}"),
+            SpecError::DuplicateCountry(c) => write!(f, "country {c} declared twice"),
+            SpecError::EmptyIsp(i) => write!(f, "ISP {i} has zero nodes"),
+            SpecError::BadResolverShares { isp, sum } => {
+                write!(f, "ISP {isp}: google+public share {sum} exceeds 1")
+            }
+            SpecError::BadTranscoder(i) => write!(f, "ISP {i}: invalid transcoder config"),
+            SpecError::UnknownMonitorEntity(e) => {
+                write!(f, "monitor entity {e:?} is referenced but not declared")
+            }
+            SpecError::DuplicateAsn(a) => write!(f, "ASN {a} claimed by two ISPs"),
+            SpecError::BadProbeApex(a) => write!(f, "probe apex {a:?} is not a valid name"),
+            SpecError::BadSelectivity(i) => {
+                write!(f, "interceptor {i}: per-site fraction outside (0,1]")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Validate a spec, returning every problem found.
+pub fn validate(spec: &WorldSpec) -> Result<(), Vec<SpecError>> {
+    let mut errors = Vec::new();
+    if !(spec.scale.is_finite() && spec.scale > 0.0) {
+        errors.push(SpecError::BadScale(spec.scale));
+    }
+    if dnswire::DnsName::parse(&spec.probe_apex).is_err() {
+        errors.push(SpecError::BadProbeApex(spec.probe_apex.clone()));
+    }
+    let entity_names: std::collections::HashSet<&str> =
+        spec.monitors.iter().map(|m| m.name.as_str()).collect();
+    let mut seen_countries = std::collections::HashSet::new();
+    let mut seen_asns = std::collections::HashSet::new();
+    for country in &spec.countries {
+        let code_ok =
+            country.code.len() == 2 && country.code.bytes().all(|b| b.is_ascii_alphabetic());
+        if !code_ok {
+            errors.push(SpecError::BadCountryCode(country.code.clone()));
+        }
+        if !seen_countries.insert(country.code.to_ascii_uppercase()) {
+            errors.push(SpecError::DuplicateCountry(country.code.clone()));
+        }
+        for isp in &country.isps {
+            if isp.nodes == 0 {
+                errors.push(SpecError::EmptyIsp(isp.name.clone()));
+            }
+            let share_sum = isp.google_dns_share + isp.public_dns_share;
+            if !(0.0..=1.0).contains(&share_sum)
+                || isp.google_dns_share < 0.0
+                || isp.public_dns_share < 0.0
+            {
+                errors.push(SpecError::BadResolverShares {
+                    isp: isp.name.clone(),
+                    sum: share_sum,
+                });
+            }
+            if let Some(t) = &isp.transcoder {
+                let ratios_ok = !t.ratios.is_empty()
+                    && t.ratios.iter().all(|r| (0.0..1.0).contains(r) && *r > 0.0);
+                if !ratios_ok || !(0.0..=1.0).contains(&t.tethered_share) {
+                    errors.push(SpecError::BadTranscoder(isp.name.clone()));
+                }
+            }
+            if let Some((entity, _)) = &isp.monitored_share {
+                if !entity_names.contains(entity.as_str()) {
+                    errors.push(SpecError::UnknownMonitorEntity(entity.clone()));
+                }
+            }
+            for &asn in &isp.explicit_asns {
+                if !seen_asns.insert(asn) {
+                    errors.push(SpecError::DuplicateAsn(asn));
+                }
+            }
+        }
+    }
+    for att in &spec.endhost.monitor_attach {
+        if !entity_names.contains(att.entity.as_str()) {
+            errors.push(SpecError::UnknownMonitorEntity(att.entity.clone()));
+        }
+    }
+    for t in &spec.endhost.tls_interceptors {
+        if !(t.per_site_fraction > 0.0 && t.per_site_fraction <= 1.0) {
+            errors.push(SpecError::BadSelectivity(t.issuer.clone()));
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper::paper_spec;
+    use crate::scenarios::{clean_spec, smoke_spec};
+    use crate::spec::*;
+
+    #[test]
+    fn builtin_scenarios_validate() {
+        assert_eq!(validate(&paper_spec(0.05, 1)), Ok(()));
+        assert_eq!(validate(&clean_spec(0.05, 1)), Ok(()));
+        assert_eq!(validate(&smoke_spec(1)), Ok(()));
+    }
+
+    fn broken() -> WorldSpec {
+        let mut spec = smoke_spec(1);
+        spec.scale = -1.0;
+        spec.probe_apex = "not a name!".into();
+        spec.countries[0].code = "USA".into();
+        spec.countries[0].isps[0].nodes = 0;
+        spec.countries[0].isps[0].google_dns_share = 0.9;
+        spec.countries[0].isps[0].public_dns_share = 0.8;
+        spec.countries[0].isps[1].monitored_share = Some(("Ghost".into(), 0.5));
+        spec.endhost.tls_interceptors[0].per_site_fraction = 0.0;
+        spec
+    }
+
+    #[test]
+    fn broken_spec_reports_every_problem() {
+        let errs = validate(&broken()).unwrap_err();
+        let has = |pred: fn(&SpecError) -> bool| errs.iter().any(pred);
+        assert!(has(|e| matches!(e, SpecError::BadScale(_))));
+        assert!(has(|e| matches!(e, SpecError::BadProbeApex(_))));
+        assert!(has(|e| matches!(e, SpecError::BadCountryCode(_))));
+        assert!(has(|e| matches!(e, SpecError::EmptyIsp(_))));
+        assert!(has(|e| matches!(e, SpecError::BadResolverShares { .. })));
+        assert!(has(|e| matches!(e, SpecError::UnknownMonitorEntity(_))));
+        assert!(has(|e| matches!(e, SpecError::BadSelectivity(_))));
+    }
+
+    #[test]
+    fn duplicate_asn_detected() {
+        let mut spec = smoke_spec(1);
+        spec.countries[0].isps[0].explicit_asns = vec![777];
+        spec.countries[1].isps[0].explicit_asns = vec![777];
+        let errs = validate(&spec).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, SpecError::DuplicateAsn(777))));
+    }
+
+    #[test]
+    fn duplicate_country_detected() {
+        let mut spec = smoke_spec(1);
+        spec.countries[1].code = "aa".into();
+        let errs = validate(&spec).unwrap_err();
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, SpecError::DuplicateCountry(_))));
+    }
+
+    #[test]
+    fn errors_render() {
+        for e in validate(&broken()).unwrap_err() {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! Builds the calibrated world at a test scale and checks the planted
+//! ground truth lands near the paper's headline rates.
+
+use worldgen::{build, calibration::headline, paper_spec, DnsHijackSource, DEFAULT_SEED};
+
+fn built() -> worldgen::BuiltWorld {
+    build(&paper_spec(0.02, DEFAULT_SEED))
+}
+
+#[test]
+fn population_scales_proportionally() {
+    let b = built();
+    let n = b.truth.total_nodes;
+    // 0.02 × ~645k ≈ 13k (clamping inflates small groups slightly).
+    assert!((9_000..20_000).contains(&n), "population {n}");
+    assert!(b.truth.nodes_per_country.len() >= 60);
+}
+
+#[test]
+fn planted_dns_hijack_rate_near_paper() {
+    let b = built();
+    let rate = b.truth.dns_hijack_rate();
+    assert!(
+        (headline::DNS_HIJACK_RATE * 0.6..headline::DNS_HIJACK_RATE * 1.6).contains(&rate),
+        "planted hijack rate {rate:.4} vs paper {:.4}",
+        headline::DNS_HIJACK_RATE
+    );
+}
+
+#[test]
+fn planted_attribution_mix_is_isp_dominated() {
+    let b = built();
+    let (isp, public, other) = b.truth.dns_attribution_mix();
+    assert!(isp > 0.75, "ISP share {isp:.3}");
+    assert!(public < 0.20, "public share {public:.3}");
+    assert!(other < 0.15, "other share {other:.3}");
+    assert!((isp + public + other - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn malaysia_hijack_ratio_dominates() {
+    let b = built();
+    let cc = inetdb::CountryCode::new("MY");
+    let total = b.truth.nodes_per_country[&cc] as f64;
+    let hijacked = b
+        .truth
+        .dns_hijacked
+        .iter()
+        .filter(|(id, _)| b.world.node(proxynet::NodeId(id.0)).country == cc)
+        .count() as f64;
+    let ratio = hijacked / total;
+    assert!((0.40..0.65).contains(&ratio), "MY ratio {ratio:.3}");
+}
+
+#[test]
+fn named_isp_resolvers_hijack() {
+    let b = built();
+    let named: std::collections::HashSet<&str> = b
+        .truth
+        .dns_hijacked
+        .values()
+        .filter_map(|s| match s {
+            DnsHijackSource::IspResolver(name) => Some(name.as_str()),
+            _ => None,
+        })
+        .collect();
+    for isp in [
+        "TMnet",
+        "Talk Talk",
+        "Verizon",
+        "Cox Communications",
+        "Oi Fixo",
+    ] {
+        assert!(named.contains(isp), "missing hijacking ISP {isp}");
+    }
+}
+
+#[test]
+fn tls_and_monitor_rates_near_paper() {
+    let b = built();
+    let tls = b.truth.tls_rate();
+    assert!(
+        (headline::CERT_REPLACE_RATE * 0.5..headline::CERT_REPLACE_RATE * 2.0).contains(&tls),
+        "tls rate {tls:.5}"
+    );
+    let mon = b.truth.monitor_rate();
+    assert!(
+        (headline::MONITOR_RATE * 0.5..headline::MONITOR_RATE * 2.0).contains(&mon),
+        "monitor rate {mon:.5}"
+    );
+}
+
+#[test]
+fn transcoding_ases_present_with_real_asns() {
+    let b = built();
+    // Every Table 7 ASN must exist and actually transcode.
+    for row in &worldgen::calibration::TABLE7 {
+        let asn = inetdb::Asn(row.asn);
+        assert!(
+            b.world
+                .isp_http_of(asn)
+                .map(|c| c.transcoder.is_some())
+                .unwrap_or(false),
+            "AS{} has no transcoder",
+            row.asn
+        );
+    }
+    assert!(!b.truth.image_transcoded.is_empty());
+}
+
+#[test]
+fn invalid_sites_exist_with_invalid_chains() {
+    let b = built();
+    for host in [
+        "invalid-selfsigned.tft-probe.example",
+        "invalid-expired.tft-probe.example",
+        "invalid-wrongname.tft-probe.example",
+    ] {
+        let ip = b.world.site_address(host).expect("site registered");
+        assert!(!ip.is_unspecified());
+    }
+}
+
+#[test]
+fn build_is_deterministic() {
+    let a = built();
+    let b = built();
+    assert_eq!(a.truth.total_nodes, b.truth.total_nodes);
+    assert_eq!(a.truth.dns_hijacked.len(), b.truth.dns_hijacked.len());
+    assert_eq!(a.truth.tls_intercepted, b.truth.tls_intercepted);
+    assert_eq!(
+        a.world.node(proxynet::NodeId(100)).ip,
+        b.world.node(proxynet::NodeId(100)).ip
+    );
+}
+
+#[test]
+fn different_seed_different_world() {
+    let a = build(&paper_spec(0.02, 1));
+    let b = build(&paper_spec(0.02, 2));
+    // Same structure…
+    assert_eq!(a.truth.total_nodes, b.truth.total_nodes);
+    // …different assignment.
+    assert_ne!(
+        a.truth.dns_hijacked.keys().collect::<Vec<_>>(),
+        b.truth.dns_hijacked.keys().collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,59 @@
+//! Certificate-replacement audit: the §6 pipeline plus a close-up of the
+//! invalid-certificate masking hazard on a single intercepted node.
+//!
+//! ```sh
+//! cargo run --release --example cert_mitm_audit [scale]
+//! ```
+
+use tft::certs::{verify_chain, CertError};
+use tft::prelude::*;
+use tft::tft_core::report::tables;
+
+fn main() {
+    let scale: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0.01);
+    println!("building calibrated world (scale {scale})…");
+    let mut built = build(&paper_spec(scale, 0x7715));
+    let cfg = StudyConfig::scaled(scale);
+
+    println!("running the two-phase HTTPS experiment…");
+    let data = tft::tft_core::https_exp::run(&mut built.world, &cfg);
+    println!(
+        "  {} sessions issued, {} nodes measured, {} skipped (no rankings for country)",
+        data.samples_issued,
+        data.observations.len(),
+        data.skipped_unranked
+    );
+    let analysis = tft::tft_core::analysis::https::analyze(&data, &built.world, &cfg);
+    print!("{}", tables::table8(&analysis));
+
+    // Close-up: find one node whose invalid-site certificate was masked.
+    println!("\nclose-up — the invalid-certificate masking hazard (§6.2):");
+    let apex = built.world.auth_apex().to_string();
+    let invalid_host = format!("invalid-selfsigned.{apex}");
+    let now = built.world.now();
+    for obs in &data.observations {
+        let Some(probe) = obs.probes.iter().find(|p| p.host == invalid_host) else {
+            continue;
+        };
+        let expected = built.world.expected_chain(&invalid_host).unwrap();
+        if tft::certs::exact_match(&probe.chain, &expected[0]) {
+            continue; // untouched
+        }
+        let leaf = &probe.chain[0];
+        let verdict = verify_chain(&probe.chain, &invalid_host, now, &built.world.root_store);
+        println!("  node {}:", obs.zid);
+        println!("    original: self-signed (browser would warn)");
+        println!("    presented issuer: {}", leaf.issuer);
+        match verdict {
+            Err(CertError::UnknownIssuer) => println!(
+                "    public roots reject it — but the product installed its own root,\n    \
+                 so THIS node's browser shows a clean padlock on an invalid site"
+            ),
+            other => println!("    public-root verdict: {other:?}"),
+        }
+        break;
+    }
+}

@@ -1,0 +1,139 @@
+//! Custom scenario: the library is not tied to the paper's population.
+//! This example builds a bespoke two-country world with one injecting ISP
+//! and one monitoring AV product, runs the HTTP and monitoring experiments,
+//! and shows the pipeline discovering exactly what was planted.
+//!
+//! ```sh
+//! cargo run --release --example custom_world
+//! ```
+
+use tft::prelude::*;
+use tft::worldgen::spec::*;
+
+fn main() {
+    let spec = WorldSpec {
+        seed: 2026,
+        scale: 1.0, // counts below are literal
+        probe_apex: "probe.lab.example".into(),
+        countries: vec![
+            CountrySpec {
+                code: "AA".into(),
+                has_rankings: true,
+                isps: vec![
+                    IspSpec {
+                        isp_injector_meta: Some("LabFilterResult".into()),
+                        ..IspSpec::clean("FilterNet", 400)
+                    },
+                    IspSpec::clean("CleanNet AA", 800),
+                ],
+            },
+            CountrySpec {
+                code: "BB".into(),
+                has_rankings: true,
+                // Many ASes: the experiment samples three nodes per AS, so
+                // sparse end-host malware is only visible when the infected
+                // population spans enough ASes (the paper notes this
+                // sampling "may underestimate content modification that
+                // ASes apply non-uniformly").
+                isps: vec![IspSpec {
+                    auto_as_count: 40,
+                    ..IspSpec::clean("CleanNet BB", 1_000)
+                }],
+            },
+        ],
+        public_resolvers: PublicResolverSpec {
+            clean_servers: 20,
+            services: vec![],
+            hijacking_service_weight: 0.0,
+        },
+        endhost: EndhostSpec {
+            html_injectors: vec![HtmlInjectorSpec {
+                signature: "lab-adware.example".into(),
+                is_script_url: true,
+                nodes: 30,
+                country: Some("BB".into()),
+                payload_bytes: 2048,
+                ad_count: 4,
+            }],
+            monitor_attach: vec![MonitorAttachSpec {
+                entity: "Lab AV".into(),
+                nodes: 60,
+                country_limit: None,
+                vpn: false,
+            }],
+            ..EndhostSpec::default()
+        },
+        monitors: vec![MonitorSpec {
+            name: "Lab AV".into(),
+            home_country: "AA".into(),
+            source_ips: 4,
+            profile: MonitorProfile::Commtouch,
+            fixed_second_source: false,
+            user_agent: "LabAV/0.1".into(),
+        }],
+        sites: SiteSpec::default(),
+    };
+
+    println!(
+        "building custom world ({} nodes at paper scale)…",
+        spec.paper_node_total()
+    );
+    let mut built = build(&spec);
+    let cfg = StudyConfig {
+        min_nodes_per_as: 3,
+        ..StudyConfig::default()
+    };
+
+    println!("running HTTP experiment…");
+    let http = tft::tft_core::http_exp::run(&mut built.world, &cfg);
+    let http_a = tft::tft_core::analysis::http::analyze(&http, &built.world, &cfg);
+    println!(
+        "  {} nodes measured, {} HTML modified",
+        http_a.nodes, http_a.html_modified
+    );
+    for sig in &http_a.signatures {
+        println!(
+            "  signature {:<24} on {} nodes in {} ASes",
+            sig.signature, sig.nodes, sig.ases
+        );
+    }
+    for (asn, name, ratio) in &http_a.isp_level_injection_ases {
+        println!(
+            "  ISP-level filter: {asn} ({name}) modifies {:.0}% of nodes",
+            ratio * 100.0
+        );
+    }
+
+    println!("running monitoring experiment…");
+    let mon = tft::tft_core::monitor_exp::run(&mut built.world, &cfg);
+    let mon_a = tft::tft_core::analysis::monitor::analyze(&mon, &built.world, &cfg);
+    for e in &mon_a.entities {
+        println!(
+            "  entity {:<12} monitors {} nodes from {} source IPs",
+            e.name, e.nodes, e.source_ips
+        );
+    }
+
+    println!(
+        "\nNote: per-AS sampling (3 nodes/AS, revisit on detection) finds the\n\
+         uniformly-injecting ISP reliably; sparse end-host adware is caught\n\
+         only in ASes where an infected node landed in the sample — the\n\
+         sampling bias §5.1 acknowledges.\n"
+    );
+    println!(
+        "planted: {} injected nodes, {} ISP-filtered nodes, {} monitored nodes",
+        built
+            .truth
+            .html_injected
+            .values()
+            .filter(|s| s.contains("lab-adware"))
+            .count(),
+        built
+            .truth
+            .html_injected
+            .values()
+            .filter(|s| s.contains("LabFilter"))
+            .count(),
+        built.truth.monitored.len()
+    );
+}

@@ -1,0 +1,109 @@
+//! Longitudinal watch: the §9 vision — continuous campaigns over a world
+//! whose operators change behaviour. Between epoch 0 and 1, TMnet retires
+//! its hijacking appliance; between 1 and 2, a previously clean German ISP
+//! deploys one.
+//!
+//! ```sh
+//! cargo run --release --example longitudinal_watch
+//! ```
+
+use tft::middlebox::{HijackVector, JsFamily, NxdomainHijacker};
+use tft::netsim::SimDuration;
+use tft::prelude::*;
+use tft::tft_core::longitudinal;
+
+fn main() {
+    let scale = 0.006;
+    println!("building calibrated world (scale {scale})…");
+    let mut built = build(&paper_spec(scale, 0x10f6));
+    let cfg = StudyConfig::scaled(scale);
+
+    println!("running three weekly DNS campaigns with operator changes in between…");
+    let epochs = longitudinal::run(
+        &mut built.world,
+        &cfg,
+        3,
+        SimDuration::from_days(7),
+        |world, epoch| match epoch {
+            0 => {
+                // TMnet retires hijacking.
+                let defs: Vec<_> = world
+                    .resolvers()
+                    .filter(|d| {
+                        world
+                            .registry
+                            .asn_to_org(d.asn)
+                            .map(|o| o.name == "TMnet")
+                            .unwrap_or(false)
+                    })
+                    .cloned()
+                    .collect();
+                for mut d in defs {
+                    d.hijacker = None;
+                    world.add_resolver(d);
+                }
+                let asns: Vec<_> = world
+                    .registry
+                    .asns()
+                    .filter(|a| {
+                        world
+                            .registry
+                            .asn_to_org(*a)
+                            .map(|o| o.name == "TMnet")
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                for a in asns {
+                    world.clear_transparent_dns(a);
+                }
+                println!("  [between epochs 0→1] TMnet retired its hijacking appliance");
+            }
+            1 => {
+                // 1und1 deploys hijacking on its resolvers.
+                let defs: Vec<_> = world
+                    .resolvers()
+                    .filter(|d| {
+                        world
+                            .registry
+                            .asn_to_org(d.asn)
+                            .map(|o| o.name == "1und1 Internet")
+                            .unwrap_or(false)
+                    })
+                    .cloned()
+                    .collect();
+                if let Some(landing_ip) = defs.first().map(|d| {
+                    // Reuse an address in the ISP's space for the landing
+                    // server (the registry allocator is closed post-build).
+                    d.ip
+                }) {
+                    let hijacker = NxdomainHijacker::new(
+                        HijackVector::IspResolver,
+                        vec!["http://suchhilfe.1und1.example".into()],
+                        landing_ip,
+                        JsFamily::Custom,
+                    );
+                    world.add_landing(landing_ip, hijacker.clone());
+                    for mut d in defs {
+                        d.hijacker = Some(hijacker.clone());
+                        world.add_resolver(d);
+                    }
+                    println!("  [between epochs 1→2] 1und1 deployed a hijacking appliance");
+                }
+            }
+            _ => {}
+        },
+    );
+
+    println!("{}", longitudinal::render(&epochs));
+    println!("per-epoch Malaysia / Germany detail:");
+    for e in &epochs {
+        let ratios = e.country_ratios();
+        let get = |c: &str| {
+            ratios
+                .get(&inetdb::CountryCode::new(c))
+                .map(|r| format!("{:.1}%", r * 100.0))
+                .unwrap_or_else(|| "—".into())
+        };
+        println!("  epoch {}: MY {}  DE {}", e.epoch, get("MY"), get("DE"));
+    }
+}

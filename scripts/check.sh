@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full local CI: format, lints, tests, docs, and a smoke reproduction run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== rustfmt =="
+cargo fmt --all -- --check
+
+echo "== clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tests =="
+cargo test --workspace
+
+echo "== docs =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+echo "== smoke reproduction =="
+cargo run -p tft-bench --bin repro --release -- --scale 0.01 --markdown
+
+echo "all checks passed"

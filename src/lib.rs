@@ -1,0 +1,61 @@
+//! # tft — Tunneling for Transparency, reproduced
+//!
+//! A full Rust reproduction of *"Tunneling for Transparency: A Large-Scale
+//! Analysis of End-to-End Violations in the Internet"* (Chung, Choffnes,
+//! Mislove — IMC 2016): the measurement methodology, the attribution
+//! analyses, and — because the paper's substrate (the Luminati proxy
+//! network and the 2016 Internet) is not rentable from a test suite — a
+//! deterministic simulation of that substrate, calibrated to the paper's
+//! published tables.
+//!
+//! ## Crate map
+//!
+//! | crate | role |
+//! |---|---|
+//! | [`netsim`] | discrete-event kernel: virtual time, scheduler, seeded RNG, fault injection |
+//! | [`inetdb`] | prefix→AS→org→country registry (RouteViews + CAIDA equivalents) |
+//! | [`dnswire`] | DNS wire format, zones, authoritative server with source-conditional answers |
+//! | [`httpwire`] | HTTP/1.1 requests/responses, chunked coding, proxy request forms |
+//! | [`certs`] | certificate model, chains, root stores, validation |
+//! | [`middlebox`] | the violators: hijackers, injectors, transcoders, TLS MITM, monitors |
+//! | [`proxynet`] | the Luminati-like proxy service and the world runtime |
+//! | [`worldgen`] | calibrated world scenarios + planted ground truth |
+//! | [`tft_core`] | the paper's contribution: experiments, analyses, reports, scoring |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tft::prelude::*;
+//!
+//! // Build a small calibrated world and run the DNS experiment.
+//! let mut built = worldgen::build(&worldgen::paper_spec(0.002, 42));
+//! let cfg = StudyConfig::scaled(0.002);
+//! let data = tft_core::dns_exp::run(&mut built.world, &cfg);
+//! let analysis = tft_core::analysis::dns::analyze(&data, &built.world, &cfg);
+//! assert!(analysis.nodes > 100);
+//! assert!(analysis.hijacked > 0, "the calibrated world plants hijackers");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use certs;
+pub use dnswire;
+pub use httpwire;
+pub use inetdb;
+pub use middlebox;
+pub use netsim;
+pub use proxynet;
+pub use tft_core;
+pub use worldgen;
+
+/// Common imports for examples and downstream users.
+pub mod prelude {
+    pub use crate::tft_core::{
+        self, render_tables, run_study, score_report, StudyConfig, StudyReport,
+    };
+    pub use crate::worldgen::{self, build, paper_spec, BuiltWorld, GroundTruth};
+    pub use httpwire::Uri;
+    pub use inetdb::CountryCode;
+    pub use proxynet::{ProxyError, UsernameOptions, World};
+}

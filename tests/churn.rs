@@ -1,0 +1,66 @@
+//! The study must survive a dynamic peer population: nodes joining and
+//! leaving at residential timescales while the campaign runs.
+
+use tft::netsim::SimDuration;
+use tft::prelude::*;
+use tft::tft_core::obs::DnsOutcome;
+
+#[test]
+fn study_survives_residential_churn() {
+    let scale = 0.004;
+    let mut built = build(&paper_spec(scale, 0xC403));
+    // Mean 10 minutes between toggles: each node flaps several times over
+    // the campaign's simulated days.
+    built.world.enable_churn(SimDuration::from_mins(10));
+    let cfg = StudyConfig::scaled(scale);
+    let data = tft::tft_core::dns_exp::run(&mut built.world, &cfg);
+
+    assert!(
+        data.observations.len() > 800,
+        "only {} observations under churn",
+        data.observations.len()
+    );
+    // Churn raises discards (node flips between d1 and d2, zID mismatch on
+    // retry) but the completed pairs stay sound: hijack outcomes still
+    // match the planted truth exactly.
+    for obs in &data.observations {
+        let node = built
+            .world
+            .node_ids()
+            .find(|id| built.world.node(*id).zid == obs.zid)
+            .expect("zid resolves");
+        let planted = built.truth.dns_hijacked.contains_key(&node);
+        let detected = matches!(obs.outcome, DnsOutcome::Hijacked { .. });
+        assert_eq!(
+            planted, detected,
+            "churn corrupted a measurement on {}",
+            obs.zid
+        );
+    }
+    assert!(
+        data.discarded > 0,
+        "with this much churn some pairs must be discarded"
+    );
+}
+
+#[test]
+fn churn_actually_toggles_nodes() {
+    let mut built = build(&tft::worldgen::smoke_spec(9));
+    let before: usize = built
+        .world
+        .node_ids()
+        .filter(|id| built.world.node(*id).online)
+        .count();
+    built.world.enable_churn(SimDuration::from_mins(5));
+    built.world.advance(SimDuration::from_mins(7));
+    let after: usize = built
+        .world
+        .node_ids()
+        .filter(|id| built.world.node(*id).online)
+        .count();
+    assert_eq!(before, built.world.node_count());
+    assert!(
+        after < before,
+        "after a churn interval some nodes must be offline ({after}/{before})"
+    );
+}

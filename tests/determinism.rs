@@ -1,0 +1,31 @@
+//! Workspace invariant: the entire stack — world construction, four
+//! experiments, analysis, rendering — is a pure function of (spec, seed).
+
+use tft::prelude::*;
+
+fn run_once(seed: u64) -> (String, usize, u64) {
+    let mut built = build(&paper_spec(0.004, seed));
+    let cfg = StudyConfig::scaled(0.004);
+    let report = run_study(&mut built.world, &cfg);
+    (
+        render_tables(&report),
+        report.unique_nodes(),
+        built.world.bytes_billed(&cfg.customer),
+    )
+}
+
+#[test]
+fn identical_seeds_produce_identical_reports() {
+    let a = run_once(0xD00D);
+    let b = run_once(0xD00D);
+    assert_eq!(a.1, b.1, "node counts differ");
+    assert_eq!(a.2, b.2, "billing differs");
+    assert_eq!(a.0, b.0, "rendered tables differ");
+}
+
+#[test]
+fn different_seeds_produce_different_measurements() {
+    let a = run_once(1);
+    let b = run_once(2);
+    assert_ne!(a.0, b.0, "different seeds should not collide");
+}

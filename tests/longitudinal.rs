@@ -1,0 +1,84 @@
+//! The longitudinal mode detects an operator changing behaviour between
+//! measurement epochs: TMnet turns its hijacking appliance off, Malaysia's
+//! ratio collapses, everyone else stays flat.
+
+use tft::netsim::SimDuration;
+use tft::prelude::*;
+use tft::tft_core::longitudinal;
+
+#[test]
+fn operator_change_shows_up_as_a_trend() {
+    let scale = 0.006;
+    let mut built = build(&paper_spec(scale, 0x1057));
+    let cfg = StudyConfig::scaled(scale);
+
+    let epochs = longitudinal::run(
+        &mut built.world,
+        &cfg,
+        2,
+        SimDuration::from_days(7),
+        |world, epoch| {
+            if epoch == 0 {
+                // TMnet retires its hijacking: resolvers answer honestly and
+                // the transparent proxy is unplugged.
+                let tmnet_resolvers: Vec<_> = world
+                    .resolvers()
+                    .filter(|def| {
+                        world
+                            .registry
+                            .asn_to_org(def.asn)
+                            .map(|o| o.name == "TMnet")
+                            .unwrap_or(false)
+                    })
+                    .cloned()
+                    .collect();
+                let tmnet_asns: Vec<_> = world
+                    .registry
+                    .asns()
+                    .filter(|a| {
+                        world
+                            .registry
+                            .asn_to_org(*a)
+                            .map(|o| o.name == "TMnet")
+                            .unwrap_or(false)
+                    })
+                    .collect();
+                assert!(!tmnet_resolvers.is_empty(), "TMnet resolvers exist");
+                for mut def in tmnet_resolvers {
+                    def.hijacker = None;
+                    world.add_resolver(def);
+                }
+                for asn in tmnet_asns {
+                    world.clear_transparent_dns(asn);
+                }
+            }
+        },
+    );
+
+    assert_eq!(epochs.len(), 2);
+    let my = inetdb::CountryCode::new("MY");
+    let before = epochs[0].country_ratios()[&my];
+    let after = epochs[1].country_ratios().get(&my).copied().unwrap_or(0.0);
+    assert!(before > 0.35, "epoch 0 MY ratio {before:.3}");
+    assert!(
+        after < before / 3.0,
+        "after retirement MY should collapse: {after:.3} vs {before:.3}"
+    );
+
+    // The trend report names Malaysia as the mover.
+    let trends = longitudinal::trends(&epochs, 0.05);
+    assert!(
+        trends.first().map(|t| t.country) == Some(my),
+        "top trend should be MY, got {trends:?}"
+    );
+    // A control country without changes stays flat.
+    let de = inetdb::CountryCode::new("DE");
+    let de_before = epochs[0].country_ratios().get(&de).copied();
+    let de_after = epochs[1].country_ratios().get(&de).copied();
+    if let (Some(x), Some(y)) = (de_before, de_after) {
+        assert!((x - y).abs() < 0.1, "DE drifted: {x:.3} → {y:.3}");
+    }
+
+    let report = longitudinal::render(&epochs);
+    assert!(report.contains("trend: MY"));
+}

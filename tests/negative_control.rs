@@ -1,0 +1,88 @@
+//! The negative control the real study could never run: a violator-free
+//! Internet. Every detector must report **nothing** — any finding here is a
+//! false positive manufactured by the methodology itself.
+
+use tft::prelude::*;
+use tft::tft_core::obs::DnsOutcome;
+use tft::worldgen::clean_spec;
+
+struct Run {
+    report: StudyReport,
+    smtp: tft::tft_core::analysis::smtp::SmtpAnalysis,
+}
+
+fn run() -> &'static Run {
+    use std::sync::OnceLock;
+    static RUN: OnceLock<Run> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let scale = 0.004;
+        let mut built = build(&clean_spec(scale, 0xC1EA));
+        let cfg = StudyConfig::scaled(scale);
+        let report = run_study(&mut built.world, &cfg);
+        let smtp_data = tft::tft_core::smtp_exp::run(&mut built.world, &cfg);
+        let smtp = tft::tft_core::analysis::smtp::analyze(&smtp_data, &built.world, &cfg);
+        Run { report, smtp }
+    })
+}
+
+#[test]
+fn clean_world_measures_plenty_of_nodes() {
+    let r = run();
+    assert!(r.report.dns.nodes > 1_500, "{}", r.report.dns.nodes);
+    assert!(r.report.https.nodes > 800, "{}", r.report.https.nodes);
+}
+
+#[test]
+fn no_dns_hijacks_are_fabricated() {
+    let r = run();
+    assert_eq!(r.report.dns.hijacked, 0);
+    assert!(r
+        .report
+        .dns_data
+        .observations
+        .iter()
+        .all(|o| matches!(o.outcome, DnsOutcome::NotHijacked)));
+    assert!(r.report.dns.isp_rows.is_empty());
+    assert!(r.report.dns.public_services.is_empty());
+    assert_eq!(r.report.dns.attribution.total(), 0);
+}
+
+#[test]
+fn no_http_modifications_are_fabricated() {
+    let r = run();
+    assert_eq!(r.report.http.html_modified, 0);
+    assert_eq!(r.report.http.image_modified, 0);
+    assert_eq!(r.report.http.js.nodes, 0);
+    assert_eq!(r.report.http.css.nodes, 0);
+    assert!(r.report.http.signatures.is_empty());
+    assert!(r.report.http.image_rows.is_empty());
+}
+
+#[test]
+fn no_cert_replacements_are_fabricated() {
+    let r = run();
+    assert_eq!(r.report.https.replaced_nodes, 0);
+    assert!(r.report.https.issuers.is_empty());
+    // No node ever escalated to the 33-site scan.
+    assert!(r
+        .report
+        .https_data
+        .observations
+        .iter()
+        .all(|o| !o.escalated));
+}
+
+#[test]
+fn no_monitoring_is_fabricated() {
+    let r = run();
+    assert_eq!(r.report.monitor.monitored_nodes, 0);
+    assert!(r.report.monitor.entities.is_empty());
+    assert_eq!(r.report.monitor.unexpected_sources, 0);
+}
+
+#[test]
+fn no_smtp_stripping_is_fabricated() {
+    let r = run();
+    assert_eq!(r.smtp.starttls_missing, 0);
+    assert!(r.smtp.stripping_ases.is_empty());
+}

@@ -1,0 +1,118 @@
+//! End-to-end test of the SMTP future-work extension: STARTTLS stripping
+//! planted on three ISPs must be recovered by the comparative analysis,
+//! with clean networks untouched.
+
+use tft::prelude::*;
+
+struct Run {
+    built: BuiltWorld,
+    data: tft::tft_core::smtp_exp::SmtpDataset,
+    analysis: tft::tft_core::analysis::smtp::SmtpAnalysis,
+}
+
+fn run() -> &'static Run {
+    use std::sync::OnceLock;
+    static RUN: OnceLock<Run> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let scale = 0.01;
+        let mut built = build(&paper_spec(scale, 0x5271));
+        let cfg = StudyConfig::scaled(scale);
+        let data = tft::tft_core::smtp_exp::run(&mut built.world, &cfg);
+        let analysis = tft::tft_core::analysis::smtp::analyze(&data, &built.world, &cfg);
+        Run {
+            built,
+            data,
+            analysis,
+        }
+    })
+}
+
+#[test]
+fn most_of_the_world_sees_starttls() {
+    let r = run();
+    assert!(r.analysis.nodes > 3_000, "{} nodes", r.analysis.nodes);
+    let rate = r.analysis.starttls_seen as f64 / r.analysis.nodes as f64;
+    assert!(rate > 0.95, "STARTTLS visibility {rate:.3}");
+}
+
+#[test]
+fn stripping_isps_are_recovered() {
+    let r = run();
+    let isps: Vec<&str> = r
+        .analysis
+        .stripping_ases
+        .iter()
+        .map(|row| row.isp.as_str())
+        .collect();
+    // Three ISPs were planted with strippers.
+    for want in ["Globe Telecom", "Meditelecom", "Telkom Indonesia"] {
+        assert!(isps.contains(&want), "{want} missing from {isps:?}");
+    }
+    // And nothing else qualifies.
+    for isp in &isps {
+        assert!(
+            ["Globe Telecom", "Meditelecom", "Telkom Indonesia"].contains(isp),
+            "false positive: {isp}"
+        );
+    }
+}
+
+#[test]
+fn stripping_matches_ground_truth_per_node() {
+    let r = run();
+    for obs in &r.data.observations {
+        let node = r
+            .built
+            .world
+            .node_ids()
+            .find(|id| r.built.world.node(*id).zid == obs.zid)
+            .expect("zid resolves");
+        let planted = r.built.truth.smtp_stripped.contains(&node);
+        let observed_missing = !obs.result.capabilities.starttls;
+        assert_eq!(
+            planted, observed_missing,
+            "node {} planted={planted} observed_missing={observed_missing}",
+            obs.zid
+        );
+    }
+}
+
+#[test]
+fn clean_paths_complete_the_tls_upgrade() {
+    let r = run();
+    let upgraded = r
+        .data
+        .observations
+        .iter()
+        .filter(|o| o.result.tls_chain.is_some())
+        .count();
+    assert!(
+        upgraded > 0 && upgraded == r.analysis.starttls_seen - r.analysis.upgrade_refused,
+        "upgraded={upgraded} seen={} refused={}",
+        r.analysis.starttls_seen,
+        r.analysis.upgrade_refused
+    );
+    // Upgraded chains validate against the public store.
+    let now = r.built.world.now();
+    for obs in r
+        .data
+        .observations
+        .iter()
+        .filter(|o| o.result.tls_chain.is_some())
+    {
+        let chain = obs.result.tls_chain.as_ref().unwrap();
+        assert!(
+            tft::certs::verify_chain(chain, &obs.mail_host, now, &r.built.world.root_store).is_ok(),
+            "mail chain for {} should validate",
+            obs.mail_host
+        );
+    }
+}
+
+#[test]
+fn render_mentions_stripping_ases() {
+    let r = run();
+    let text = tft::tft_core::analysis::smtp::render(&r.analysis);
+    assert!(text.contains("STARTTLS stripping"));
+    assert!(text.contains("Globe Telecom"));
+}

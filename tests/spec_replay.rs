@@ -1,0 +1,39 @@
+//! Scenario files round-trip: a spec exported to JSON and replayed must
+//! reproduce the original run byte-for-byte.
+
+use tft::prelude::*;
+
+#[test]
+fn exported_spec_replays_identically() {
+    let spec = paper_spec(0.003, 0x5EC);
+    let json = tft::worldgen::to_json(&spec).expect("serializes");
+    let replayed_spec = tft::worldgen::from_json(&json).expect("parses and validates");
+
+    let run_tables = |spec: &tft::worldgen::WorldSpec| -> String {
+        let mut built = build(spec);
+        let cfg = StudyConfig::scaled(spec.scale);
+        let report = run_study(&mut built.world, &cfg);
+        render_tables(&report)
+    };
+    assert_eq!(
+        run_tables(&spec),
+        run_tables(&replayed_spec),
+        "replayed spec must reproduce the exact tables"
+    );
+}
+
+#[test]
+fn spec_files_survive_disk() {
+    let dir = std::env::temp_dir().join("tft-replay-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("paper-0003.json");
+    let spec = paper_spec(0.003, 7);
+    tft::worldgen::save(&spec, &path).unwrap();
+    let loaded = tft::worldgen::load(&path).unwrap();
+    assert_eq!(loaded.seed, spec.seed);
+    assert_eq!(loaded.countries.len(), spec.countries.len());
+    let a = build(&spec);
+    let b = build(&loaded);
+    assert_eq!(a.truth.dns_hijacked.len(), b.truth.dns_hijacked.len());
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,243 @@
+//! Cross-crate end-to-end checks on a purpose-built mini world: every
+//! violator class planted exactly once per category, every detector must
+//! find exactly it.
+
+use tft::prelude::*;
+use tft::tft_core::obs::DnsOutcome;
+use tft::worldgen::spec::*;
+
+fn mini_spec() -> WorldSpec {
+    WorldSpec {
+        seed: 99,
+        scale: 1.0,
+        probe_apex: "lab.example".into(),
+        countries: vec![
+            CountrySpec {
+                code: "XA".into(),
+                has_rankings: true,
+                isps: vec![
+                    IspSpec {
+                        resolver_hijack: true,
+                        landing_domain: Some("assist.hijack-isp.example".into()),
+                        google_dns_share: 0.0,
+                        public_dns_share: 0.0,
+                        ..IspSpec::clean("Hijack ISP", 120)
+                    },
+                    IspSpec {
+                        transcoder: Some(TranscoderSpec {
+                            ratios: vec![0.5],
+                            tethered_share: 1.0,
+                        }),
+                        ..IspSpec::clean("Mobile Carrier", 60)
+                    },
+                    IspSpec::clean("Clean ISP", 400),
+                ],
+            },
+            CountrySpec {
+                code: "XB".into(),
+                has_rankings: true,
+                isps: vec![IspSpec {
+                    auto_as_count: 10,
+                    ..IspSpec::clean("Clean ISP B", 300)
+                }],
+            },
+        ],
+        public_resolvers: PublicResolverSpec {
+            clean_servers: 10,
+            services: vec![],
+            hijacking_service_weight: 0.0,
+        },
+        endhost: EndhostSpec {
+            html_injectors: vec![HtmlInjectorSpec {
+                signature: "evil-cdn.example".into(),
+                is_script_url: true,
+                nodes: 40,
+                country: Some("XB".into()),
+                payload_bytes: 4096,
+                ad_count: 5,
+            }],
+            tls_interceptors: vec![TlsInterceptorSpec {
+                issuer: "Lab Shield Root".into(),
+                nodes: 30,
+                shared_key: true,
+                invalid: InvalidPolicySpec::MaskWithTrustedRoot,
+                copy_fields: false,
+                per_site_fraction: 1.0,
+                country: None,
+            }],
+            monitor_attach: vec![MonitorAttachSpec {
+                entity: "Lab Monitor".into(),
+                nodes: 50,
+                country_limit: None,
+                vpn: false,
+            }],
+            ..EndhostSpec::default()
+        },
+        monitors: vec![MonitorSpec {
+            name: "Lab Monitor".into(),
+            home_country: "XA".into(),
+            source_ips: 3,
+            profile: MonitorProfile::Tiscali,
+            fixed_second_source: false,
+            user_agent: "LabMon/1".into(),
+        }],
+        sites: SiteSpec::default(),
+    }
+}
+
+struct Run {
+    built: BuiltWorld,
+    report: StudyReport,
+}
+
+fn run() -> &'static Run {
+    use std::sync::OnceLock;
+    static RUN: OnceLock<Run> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let mut built = build(&mini_spec());
+        let cfg = StudyConfig {
+            min_nodes_per_country: 10,
+            min_nodes_per_dns_server: 3,
+            min_nodes_per_domain: 2,
+            min_nodes_per_as: 3,
+            ..StudyConfig::default()
+        };
+        let report = run_study(&mut built.world, &cfg);
+        Run { built, report }
+    })
+}
+
+#[test]
+fn hijacking_isp_is_attributed_by_name() {
+    let r = run();
+    assert!(
+        r.report
+            .dns
+            .isp_rows
+            .iter()
+            .any(|row| row.isp == "Hijack ISP"),
+        "Hijack ISP missing from {:?}",
+        r.report.dns.isp_rows
+    );
+    // Every hijacked observation links to the hijack landing page.
+    for obs in &r.report.dns_data.observations {
+        if let DnsOutcome::Hijacked { content } = &obs.outcome {
+            let urls = tft::middlebox::extract_urls(content);
+            assert!(
+                urls.iter().any(|u| u.contains("assist.hijack-isp.example")),
+                "hijack content missing landing URL: {urls:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn clean_isps_have_no_hijacks() {
+    let r = run();
+    // No false positives anywhere: every detected hijack is a planted one.
+    let detected = r
+        .report
+        .dns_data
+        .observations
+        .iter()
+        .filter(|o| matches!(o.outcome, DnsOutcome::Hijacked { .. }))
+        .count();
+    assert_eq!(detected, r.report.dns.hijacked);
+    for obs in &r.report.dns_data.observations {
+        if matches!(obs.outcome, DnsOutcome::Hijacked { .. }) {
+            let org = r
+                .built
+                .world
+                .registry
+                .org_of_ip(obs.node_ip)
+                .expect("node has org");
+            assert_eq!(org.name, "Hijack ISP", "false positive in {}", org.name);
+        }
+    }
+}
+
+#[test]
+fn transcoder_as_found_with_correct_ratio() {
+    let r = run();
+    let row = r
+        .report
+        .http
+        .image_rows
+        .iter()
+        .find(|row| row.isp == "Mobile Carrier")
+        .expect("mobile carrier detected");
+    assert_eq!(row.ratios.len(), 1);
+    assert!((row.ratios[0] - 0.5).abs() < 0.02, "ratio {:?}", row.ratios);
+    assert!(row.mod_ratio() > 0.9, "tethered share 1.0 ⇒ ~all modified");
+}
+
+#[test]
+fn injector_signature_recovered() {
+    let r = run();
+    assert!(
+        r.report
+            .http
+            .signatures
+            .iter()
+            .any(|s| s.signature.contains("evil-cdn.example")),
+        "signatures: {:?}",
+        r.report.http.signatures
+    );
+}
+
+#[test]
+fn tls_issuer_recovered_with_masking_flag() {
+    let r = run();
+    let row = r
+        .report
+        .https
+        .issuers
+        .iter()
+        .find(|row| row.issuer == "Lab Shield Root")
+        .expect("issuer found");
+    assert!(row.nodes > 0);
+    assert!(
+        row.masks_invalid_nodes > 0,
+        "MaskWithTrustedRoot product must be flagged as masking"
+    );
+}
+
+#[test]
+fn monitor_entity_with_exact_thirty_second_delay() {
+    let r = run();
+    let e = r
+        .report
+        .monitor
+        .entities
+        .iter()
+        .find(|e| e.name.contains("Lab Monitor"))
+        .expect("entity found");
+    assert!(e.nodes > 10, "found {} nodes", e.nodes);
+    let cdf = e.delay_cdf().expect("has positive delays");
+    // Tiscali profile: exactly one refetch at 30 s (plus ~ms origin skew).
+    assert!(
+        (29.0..32.0).contains(&cdf.quantile(0.5)),
+        "median {}",
+        cdf.quantile(0.5)
+    );
+    assert!((29.0..32.0).contains(&cdf.quantile(0.99)));
+}
+
+#[test]
+fn scorecard_is_clean_on_mini_world() {
+    let r = run();
+    let card = score_report(&r.report, &r.built.truth);
+    assert!(
+        card.dns.precision() == 1.0 && card.dns.recall() == 1.0,
+        "{}",
+        card.dns
+    );
+    assert!(card.http_html.precision() == 1.0, "{}", card.http_html);
+    assert!(card.http_image.precision() == 1.0, "{}", card.http_image);
+    assert!(card.https.precision() == 1.0, "{}", card.https);
+    assert!(
+        card.monitor.precision() == 1.0 && card.monitor.recall() == 1.0,
+        "{}",
+        card.monitor
+    );
+}
