@@ -2,29 +2,25 @@
 //! longest-prefix matching, scheduling, and the monitor delay models —
 //! the costs that bound how large a simulated campaign can run.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use httpwire::{Response, Uri};
 use inetdb::{Ipv4Net, PrefixTrie};
 use middlebox::monitor::profiles;
+use netsim::rng::RngExt;
 use netsim::{Scheduler, SimDuration, SimRng};
 use proxynet::UsernameOptions;
 use std::hint::black_box;
 use std::net::Ipv4Addr;
+use substrate::bench::Harness;
 
-fn bench_world_build(c: &mut Criterion) {
-    let mut g = c.benchmark_group("worldgen");
-    g.sample_size(10);
+fn bench_world_build(h: &mut Harness) {
     for scale in [0.005, 0.02] {
-        g.bench_with_input(
-            BenchmarkId::new("build_paper_world", scale),
-            &scale,
-            |b, &scale| b.iter(|| black_box(worldgen::build(&worldgen::paper_spec(scale, 7)))),
-        );
+        h.bench(&format!("worldgen/build_paper_world/{scale}"), || {
+            black_box(worldgen::build(&worldgen::paper_spec(scale, 7)))
+        });
     }
-    g.finish();
 }
 
-fn bench_proxy_throughput(c: &mut Criterion) {
+fn bench_proxy_throughput(h: &mut Harness) {
     let mut built = worldgen::build(&worldgen::paper_spec(0.01, 9));
     // Provision one object to fetch repeatedly.
     let apex = built.world.auth_apex().clone();
@@ -41,21 +37,15 @@ fn bench_proxy_throughput(c: &mut Criterion) {
         .put(&host, "/", Response::ok("text/html", vec![b'x'; 1024]));
     let uri = Uri::http(&host, "/");
     let mut session = 0u64;
-    let mut g = c.benchmark_group("proxynet");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("proxy_get_fresh_session", |b| {
-        b.iter(|| {
-            session += 1;
-            let opts = UsernameOptions::new("bench").session(session).dns_remote();
-            black_box(built.world.proxy_get(&opts, &uri)).ok();
-        })
+    h.bench("proxynet/proxy_get_fresh_session", || {
+        session += 1;
+        let opts = UsernameOptions::new("bench").session(session).dns_remote();
+        black_box(built.world.proxy_get(&opts, &uri)).ok();
     });
-    g.finish();
 }
 
-fn bench_trie(c: &mut Criterion) {
+fn bench_trie(h: &mut Harness) {
     let mut rng = SimRng::new(3);
-    use netsim::rng::RngExt;
     let mut trie = PrefixTrie::new();
     for i in 0..10_000u32 {
         let addr = Ipv4Addr::from(rng.random::<u32>());
@@ -64,57 +54,46 @@ fn bench_trie(c: &mut Criterion) {
     let probes: Vec<Ipv4Addr> = (0..1024)
         .map(|_| Ipv4Addr::from(rng.random::<u32>()))
         .collect();
-    let mut g = c.benchmark_group("inetdb");
-    g.throughput(Throughput::Elements(probes.len() as u64));
-    g.bench_function("lpm_lookup_10k_routes", |b| {
-        let mut i = 0;
-        b.iter(|| {
-            i = (i + 1) % probes.len();
-            black_box(trie.lookup(probes[i]))
-        })
+    let mut i = 0;
+    h.bench("inetdb/lpm_lookup_10k_routes", || {
+        i = (i + 1) % probes.len();
+        black_box(trie.lookup(probes[i]))
     });
-    g.finish();
 }
 
-fn bench_scheduler(c: &mut Criterion) {
-    let mut g = c.benchmark_group("netsim");
-    g.bench_function("schedule_and_drain_1k_events", |b| {
-        b.iter(|| {
-            let mut s: Scheduler<u32> = Scheduler::new();
-            for i in 0..1000u32 {
-                s.schedule(SimDuration::from_millis((i as u64 * 37) % 1000), i);
-            }
-            let mut acc = 0u64;
-            while let Some(f) = s.next() {
-                acc += f.payload as u64;
-            }
-            black_box(acc)
-        })
+fn bench_scheduler(h: &mut Harness) {
+    h.bench("netsim/schedule_and_drain_1k_events", || {
+        let mut s: Scheduler<u32> = Scheduler::new();
+        for i in 0..1000u32 {
+            s.schedule(SimDuration::from_millis((i as u64 * 37) % 1000), i);
+        }
+        let mut acc = 0u64;
+        while let Some(f) = s.next() {
+            acc += f.payload as u64;
+        }
+        black_box(acc)
     });
-    g.bench_function("monitor_delay_models_sample", |b| {
-        let models = [
-            profiles::trend_micro(),
-            profiles::talktalk(),
-            profiles::commtouch(),
-            profiles::anchorfree(),
-            profiles::bluecoat(),
-            profiles::tiscali(),
-        ];
-        let mut rng = SimRng::new(11);
-        b.iter(|| {
-            for m in &models {
-                black_box(m.sample(&mut rng));
-            }
-        })
+    let models = [
+        profiles::trend_micro(),
+        profiles::talktalk(),
+        profiles::commtouch(),
+        profiles::anchorfree(),
+        profiles::bluecoat(),
+        profiles::tiscali(),
+    ];
+    let mut rng = SimRng::new(11);
+    h.bench("netsim/monitor_delay_models_sample", || {
+        for m in &models {
+            black_box(m.sample(&mut rng));
+        }
     });
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_world_build,
-    bench_proxy_throughput,
-    bench_trie,
-    bench_scheduler
-);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("substrate");
+    bench_world_build(&mut h);
+    bench_proxy_throughput(&mut h);
+    bench_trie(&mut h);
+    bench_scheduler(&mut h);
+    h.finish();
+}

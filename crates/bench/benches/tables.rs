@@ -6,8 +6,8 @@
 //! measure the per-table inference work, which is the part a user re-runs
 //! while exploring data.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use substrate::bench::Harness;
 use tft_core::report::{figures, tables};
 use tft_core::{analysis, StudyConfig};
 
@@ -33,92 +33,71 @@ fn fixture() -> &'static Fixture {
     })
 }
 
-fn bench_study(c: &mut Criterion) {
-    let mut g = c.benchmark_group("study");
-    g.sample_size(10);
-    g.bench_function("end_to_end_scale_0.004", |b| {
-        b.iter(|| black_box(tft_bench::run_full(0.004, 0xEE)))
+fn bench_study(h: &mut Harness) {
+    h.bench("study/end_to_end_scale_0.004", || {
+        black_box(tft_bench::run_full(0.004, 0xEE))
     });
-    g.finish();
 }
 
-fn bench_tables(c: &mut Criterion) {
+fn bench_tables(h: &mut Harness) {
     let f = fixture();
-    let mut g = c.benchmark_group("tables");
-    g.bench_function("table1_coverage", |b| {
-        b.iter(|| black_box(tables::table1(&f.run.report)))
+    h.bench("tables/table1_coverage", || {
+        black_box(tables::table1(&f.run.report))
     });
-    g.bench_function("table2_experiments", |b| {
-        b.iter(|| black_box(tables::table2(&f.run.report)))
+    h.bench("tables/table2_experiments", || {
+        black_box(tables::table2(&f.run.report))
     });
-    g.bench_function("table3_dns_country", |b| {
-        b.iter(|| {
-            let a = analysis::dns::analyze(&f.run.report.dns_data, &f.world, &f.cfg);
-            black_box(tables::table3(&a))
-        })
+    h.bench("tables/table3_dns_country", || {
+        let a = analysis::dns::analyze(&f.run.report.dns_data, &f.world, &f.cfg);
+        black_box(tables::table3(&a))
     });
-    g.bench_function("table4_isp_dns", |b| {
-        b.iter(|| {
-            let a = analysis::dns::analyze(&f.run.report.dns_data, &f.world, &f.cfg);
-            black_box(tables::table4(&a))
-        })
+    h.bench("tables/table4_isp_dns", || {
+        let a = analysis::dns::analyze(&f.run.report.dns_data, &f.world, &f.cfg);
+        black_box(tables::table4(&a))
     });
-    g.bench_function("table5_google_dns", |b| {
-        b.iter(|| {
-            let a = analysis::dns::analyze(&f.run.report.dns_data, &f.world, &f.cfg);
-            black_box(tables::table5(&a))
-        })
+    h.bench("tables/table5_google_dns", || {
+        let a = analysis::dns::analyze(&f.run.report.dns_data, &f.world, &f.cfg);
+        black_box(tables::table5(&a))
     });
-    g.bench_function("table6_js_injection", |b| {
-        b.iter(|| {
-            let a = analysis::http::analyze(&f.run.report.http_data, &f.world, &f.cfg);
-            black_box(tables::table6(&a))
-        })
+    h.bench("tables/table6_js_injection", || {
+        let a = analysis::http::analyze(&f.run.report.http_data, &f.world, &f.cfg);
+        black_box(tables::table6(&a))
     });
-    g.bench_function("table7_image", |b| {
-        b.iter(|| {
-            let a = analysis::http::analyze(&f.run.report.http_data, &f.world, &f.cfg);
-            black_box(tables::table7(&a))
-        })
+    h.bench("tables/table7_image", || {
+        let a = analysis::http::analyze(&f.run.report.http_data, &f.world, &f.cfg);
+        black_box(tables::table7(&a))
     });
-    g.bench_function("table8_issuers", |b| {
-        b.iter(|| {
-            let a = analysis::https::analyze(&f.run.report.https_data, &f.world, &f.cfg);
-            black_box(tables::table8(&a))
-        })
+    h.bench("tables/table8_issuers", || {
+        let a = analysis::https::analyze(&f.run.report.https_data, &f.world, &f.cfg);
+        black_box(tables::table8(&a))
     });
-    g.bench_function("table9_monitors", |b| {
-        b.iter(|| {
-            let a = analysis::monitor::analyze(&f.run.report.monitor_data, &f.world, &f.cfg);
-            black_box(tables::table9(&a))
-        })
+    h.bench("tables/table9_monitors", || {
+        let a = analysis::monitor::analyze(&f.run.report.monitor_data, &f.world, &f.cfg);
+        black_box(tables::table9(&a))
     });
-    g.finish();
 }
 
-fn bench_figures(c: &mut Criterion) {
+fn bench_figures(h: &mut Harness) {
     let f = fixture();
-    let mut g = c.benchmark_group("figures");
-    g.bench_function("figure5_delay_cdf", |b| {
-        b.iter(|| {
-            let a = analysis::monitor::analyze(&f.run.report.monitor_data, &f.world, &f.cfg);
-            black_box(figures::figure5(&a))
-        })
+    h.bench("figures/figure5_delay_cdf", || {
+        let a = analysis::monitor::analyze(&f.run.report.monitor_data, &f.world, &f.cfg);
+        black_box(figures::figure5(&a))
     });
-    g.sample_size(20);
-    g.bench_function("figures_1_to_4_timelines", |b| {
-        b.iter(|| {
-            let mut world = figures::demo_world();
-            black_box((
-                figures::figure1(&mut world),
-                figures::figure2(&mut world),
-                figures::figure3(&mut world),
-                figures::figure4(&mut world),
-            ))
-        })
+    h.bench("figures/figures_1_to_4_timelines", || {
+        let mut world = figures::demo_world();
+        black_box((
+            figures::figure1(&mut world),
+            figures::figure2(&mut world),
+            figures::figure3(&mut world),
+            figures::figure4(&mut world),
+        ))
     });
-    g.finish();
 }
 
-criterion_group!(benches, bench_study, bench_tables, bench_figures);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("tables");
+    bench_study(&mut h);
+    bench_tables(&mut h);
+    bench_figures(&mut h);
+    h.finish();
+}

@@ -2,12 +2,12 @@
 //! proxied request in the simulation (and in any real deployment of these
 //! protocol crates).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use dnswire::{DnsName, Message, QType, RData, Rcode, Record};
 use httpwire::{Request, Response, Uri};
 use netsim::{SimRng, SimTime};
 use std::hint::black_box;
 use std::net::Ipv4Addr;
+use substrate::bench::Harness;
 
 fn dns_response() -> Message {
     let q = Message::query(
@@ -34,54 +34,44 @@ fn dns_response() -> Message {
     resp
 }
 
-fn bench_dns(c: &mut Criterion) {
+fn bench_dns(h: &mut Harness) {
     let msg = dns_response();
     let wire = dnswire::encode(&msg).expect("encodes");
-    let mut g = c.benchmark_group("dnswire");
-    g.throughput(Throughput::Bytes(wire.len() as u64));
-    g.bench_function("encode_typical_response", |b| {
-        b.iter(|| black_box(dnswire::encode(black_box(&msg)).unwrap()))
+    h.bench("dnswire/encode_typical_response", || {
+        black_box(dnswire::encode(black_box(&msg)).unwrap())
     });
-    g.bench_function("decode_typical_response", |b| {
-        b.iter(|| black_box(dnswire::decode(black_box(&wire)).unwrap()))
+    h.bench("dnswire/decode_typical_response", || {
+        black_box(dnswire::decode(black_box(&wire)).unwrap())
     });
-    g.bench_function("roundtrip", |b| {
-        b.iter(|| {
-            let w = dnswire::encode(black_box(&msg)).unwrap();
-            black_box(dnswire::decode(&w).unwrap())
-        })
+    h.bench("dnswire/roundtrip", || {
+        let w = dnswire::encode(black_box(&msg)).unwrap();
+        black_box(dnswire::decode(&w).unwrap())
     });
-    g.finish();
 }
 
-fn bench_http(c: &mut Criterion) {
+fn bench_http(h: &mut Harness) {
     let req =
         Request::proxy_get(Uri::parse("http://objects.tft-probe.example/obj/page.html").unwrap());
     let req_wire = req.encode();
     let body = tft_core::http_exp::object_body(tft_core::obs::ProbeObject::Html);
     let resp = Response::ok("text/html", body);
     let resp_wire = resp.encode();
-    let mut g = c.benchmark_group("httpwire");
-    g.throughput(Throughput::Bytes(resp_wire.len() as u64));
-    g.bench_function("request_parse", |b| {
-        b.iter(|| black_box(Request::parse(black_box(&req_wire)).unwrap()))
+    h.bench("httpwire/request_parse", || {
+        black_box(Request::parse(black_box(&req_wire)).unwrap())
     });
-    g.bench_function("response_encode_9k", |b| {
-        b.iter(|| black_box(black_box(&resp).encode()))
+    h.bench("httpwire/response_encode_9k", || {
+        black_box(black_box(&resp).encode())
     });
-    g.bench_function("response_parse_9k", |b| {
-        b.iter(|| black_box(Response::parse(black_box(&resp_wire)).unwrap()))
+    h.bench("httpwire/response_parse_9k", || {
+        black_box(Response::parse(black_box(&resp_wire)).unwrap())
     });
-    g.bench_function("chunked_roundtrip_9k", |b| {
-        b.iter(|| {
-            let enc = httpwire::chunked::encode(black_box(&resp.body), 1024);
-            black_box(httpwire::chunked::decode(&enc).unwrap())
-        })
+    h.bench("httpwire/chunked_roundtrip_9k", || {
+        let enc = httpwire::chunked::encode(black_box(&resp.body), 1024);
+        black_box(httpwire::chunked::decode(&enc).unwrap())
     });
-    g.finish();
 }
 
-fn bench_certs(c: &mut Criterion) {
+fn bench_certs(h: &mut Harness) {
     let mut rng = SimRng::new(5);
     let (store, mut cas) = certs::RootStore::os_x_like(187, SimTime::EPOCH, &mut rng);
     let mut inter = cas[0].issue_intermediate(
@@ -92,22 +82,21 @@ fn bench_certs(c: &mut Criterion) {
     let leaf = inter.issue_leaf("www.example.com", SimTime::EPOCH, &mut rng);
     let chain = vec![leaf, inter.cert.clone()];
     let now = SimTime::from_millis(86_400_000);
-    let mut g = c.benchmark_group("certs");
-    g.bench_function("verify_chain_with_intermediate", |b| {
-        b.iter(|| {
-            black_box(certs::verify_chain(
-                black_box(&chain),
-                "www.example.com",
-                now,
-                &store,
-            ))
-        })
+    h.bench("certs/verify_chain_with_intermediate", || {
+        black_box(certs::verify_chain(
+            black_box(&chain),
+            "www.example.com",
+            now,
+            &store,
+        ))
     });
-    g.bench_function("fingerprint", |b| {
-        b.iter(|| black_box(chain[0].fingerprint()))
-    });
-    g.finish();
+    h.bench("certs/fingerprint", || black_box(chain[0].fingerprint()));
 }
 
-criterion_group!(benches, bench_dns, bench_http, bench_certs);
-criterion_main!(benches);
+fn main() {
+    let mut h = Harness::new("wire");
+    bench_dns(&mut h);
+    bench_http(&mut h);
+    bench_certs(&mut h);
+    h.finish();
+}

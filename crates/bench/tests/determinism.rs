@@ -1,0 +1,24 @@
+//! Determinism regression for the bench harness entry point: two
+//! `run_full(scale, seed)` invocations must render byte-identical Markdown
+//! tables. This is the contract `BENCH_substrate.json` trend tracking and
+//! every pinned regression value rely on.
+
+#[test]
+fn run_full_is_deterministic() {
+    let a = tft_bench::run_full(0.004, 0xBE7C);
+    let b = tft_bench::run_full(0.004, 0xBE7C);
+    let ra = tft_bench::render_all(&a);
+    let rb = tft_bench::render_all(&b);
+    assert!(!ra.is_empty());
+    assert_eq!(
+        ra, rb,
+        "same (scale, seed) must render byte-identical output"
+    );
+}
+
+#[test]
+fn run_full_seed_changes_output() {
+    let a = tft_bench::render_all(&tft_bench::run_full(0.004, 1));
+    let b = tft_bench::render_all(&tft_bench::run_full(0.004, 2));
+    assert_ne!(a, b, "different seeds should not collide");
+}

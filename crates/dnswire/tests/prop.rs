@@ -1,42 +1,48 @@
 //! Property-based tests: wire-format roundtrips and decoder robustness.
 
 use dnswire::{decode, encode, DnsName, Message, QType, RData, Rcode, Record};
-use proptest::prelude::*;
 use std::net::{Ipv4Addr, Ipv6Addr};
+use substrate::qc::{self, alphabet, Config, Gen};
+use substrate::qc_assert_eq;
 
-fn arb_label() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-z0-9]([a-z0-9-]{0,14})").expect("valid regex")
+fn cfg() -> Config {
+    Config::with_cases(256)
 }
 
-fn arb_name() -> impl Strategy<Value = DnsName> {
-    proptest::collection::vec(arb_label(), 1..5)
-        .prop_map(|labels| DnsName::parse(&labels.join(".")).expect("generated labels are valid"))
+/// `[a-z0-9][a-z0-9-]{0,14}` — one DNS label.
+fn labels() -> Gen<String> {
+    qc::tuple2(
+        qc::string_of(alphabet::LOWER_ALNUM, 1..=1),
+        qc::string_of("abcdefghijklmnopqrstuvwxyz0123456789-", 0..15),
+    )
+    .map(|(head, tail)| head + &tail)
 }
 
-fn arb_qtype() -> impl Strategy<Value = QType> {
-    prop_oneof![
-        Just(QType::A),
-        Just(QType::Ns),
-        Just(QType::Cname),
-        Just(QType::Txt),
-        Just(QType::Aaaa),
-        Just(QType::Soa),
-    ]
+fn names() -> Gen<DnsName> {
+    qc::vec_of(labels(), 1..5)
+        .map(|labels| DnsName::parse(&labels.join(".")).expect("generated labels are valid"))
 }
 
-fn arb_rdata() -> impl Strategy<Value = RData> {
-    prop_oneof![
-        any::<u32>().prop_map(|v| RData::A(Ipv4Addr::from(v))),
-        any::<u128>().prop_map(|v| RData::Aaaa(Ipv6Addr::from(v))),
-        arb_name().prop_map(RData::Ns),
-        arb_name().prop_map(RData::Cname),
-        arb_name().prop_map(RData::Ptr),
-        proptest::collection::vec(
-            proptest::string::string_regex("[ -~]{0,40}").expect("regex"),
-            0..3
-        )
-        .prop_map(RData::Txt),
-        (arb_name(), arb_name(), any::<u32>(), any::<u32>()).prop_map(
+fn qtypes() -> Gen<QType> {
+    qc::one_of(vec![
+        qc::just(QType::A),
+        qc::just(QType::Ns),
+        qc::just(QType::Cname),
+        qc::just(QType::Txt),
+        qc::just(QType::Aaaa),
+        qc::just(QType::Soa),
+    ])
+}
+
+fn rdatas() -> Gen<RData> {
+    qc::one_of(vec![
+        qc::any_u32().map(|v| RData::A(Ipv4Addr::from(v))),
+        qc::any_u128().map(|v| RData::Aaaa(Ipv6Addr::from(v))),
+        names().map(RData::Ns),
+        names().map(RData::Cname),
+        names().map(RData::Ptr),
+        qc::vec_of(qc::string_of(alphabet::PRINTABLE, 0..41), 0..3).map(RData::Txt),
+        qc::tuple4(names(), names(), qc::any_u32(), qc::any_u32()).map(
             |(mname, rname, serial, t)| RData::Soa {
                 mname,
                 rname,
@@ -45,82 +51,108 @@ fn arb_rdata() -> impl Strategy<Value = RData> {
                 retry: t / 2,
                 expire: t.saturating_mul(2),
                 minimum: 300,
-            }
+            },
         ),
-    ]
+    ])
 }
 
-fn arb_record() -> impl Strategy<Value = Record> {
-    (arb_name(), any::<u32>(), arb_rdata()).prop_map(|(name, ttl, rdata)| Record {
+fn records() -> Gen<Record> {
+    qc::tuple3(names(), qc::any_u32(), rdatas()).map(|(name, ttl, rdata)| Record {
         name,
         ttl,
         rdata,
     })
 }
 
-fn arb_message() -> impl Strategy<Value = Message> {
-    (
-        any::<u16>(),
-        arb_name(),
-        arb_qtype(),
-        proptest::collection::vec(arb_record(), 0..6),
-        proptest::collection::vec(arb_record(), 0..3),
-        prop_oneof![
-            Just(Rcode::NoError),
-            Just(Rcode::NxDomain),
-            Just(Rcode::ServFail)
-        ],
+fn messages() -> Gen<Message> {
+    let rcodes = qc::one_of(vec![
+        qc::just(Rcode::NoError),
+        qc::just(Rcode::NxDomain),
+        qc::just(Rcode::ServFail),
+    ]);
+    qc::tuple5(
+        qc::any_u16(),
+        qc::tuple2(names(), qtypes()),
+        qc::vec_of(records(), 0..6),
+        qc::vec_of(records(), 0..3),
+        rcodes,
     )
-        .prop_map(|(id, qname, qtype, answers, authority, rcode)| {
-            let q = Message::query(id, qname, qtype);
-            let mut m = Message::respond(&q, rcode, answers);
-            m.authority = authority;
-            m
-        })
+    .map(|(id, (qname, qtype), answers, authority, rcode)| {
+        let q = Message::query(id, qname, qtype);
+        let mut m = Message::respond(&q, rcode, answers);
+        m.authority = authority;
+        m
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// encode → decode is the identity on well-formed messages, including
-    /// through the name-compression path.
-    #[test]
-    fn roundtrip(msg in arb_message()) {
-        let bytes = encode(&msg).expect("encodable");
+/// encode → decode is the identity on well-formed messages, including
+/// through the name-compression path.
+#[test]
+fn roundtrip() {
+    qc::check("dns message roundtrip", &cfg(), &messages(), |msg| {
+        let bytes = encode(msg).expect("encodable");
         let back = decode(&bytes).expect("decodable");
-        prop_assert_eq!(back, msg);
-    }
+        qc_assert_eq!(&back, msg);
+        qc::pass()
+    });
+}
 
-    /// The decoder never panics on arbitrary bytes.
-    #[test]
-    fn decoder_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
-        let _ = decode(&bytes);
-    }
+/// The decoder never panics on arbitrary bytes.
+#[test]
+fn decoder_total_on_garbage() {
+    qc::check(
+        "decoder totality on garbage",
+        &cfg(),
+        &qc::bytes(0..512),
+        |bytes| {
+            let _ = decode(bytes);
+            qc::pass()
+        },
+    );
+}
 
-    /// The decoder never panics on corrupted valid messages (single-octet
-    /// mutations, the fault-injector model).
-    #[test]
-    fn decoder_total_on_corruption(msg in arb_message(), idx in any::<usize>(), flip in 1u8..) {
-        let mut bytes = encode(&msg).expect("encodable");
-        if !bytes.is_empty() {
-            let i = idx % bytes.len();
-            bytes[i] ^= flip;
-            let _ = decode(&bytes);
-        }
-    }
+/// The decoder never panics on corrupted valid messages (single-octet
+/// mutations, the fault-injector model).
+#[test]
+fn decoder_total_on_corruption() {
+    qc::check(
+        "decoder totality on corruption",
+        &cfg(),
+        &qc::tuple3(messages(), qc::any_usize(), qc::ints(1u8..)),
+        |(msg, idx, flip)| {
+            let mut bytes = encode(msg).expect("encodable");
+            if !bytes.is_empty() {
+                let i = idx % bytes.len();
+                bytes[i] ^= flip;
+                let _ = decode(&bytes);
+            }
+            qc::pass()
+        },
+    );
+}
 
-    /// Truncation at every length errors or yields a message, never panics.
-    #[test]
-    fn decoder_total_on_truncation(msg in arb_message(), cut in 0.0f64..1.0) {
-        let bytes = encode(&msg).expect("encodable");
-        let cut = (bytes.len() as f64 * cut) as usize;
-        let _ = decode(&bytes[..cut]);
-    }
+/// Truncation at every length errors or yields a message, never panics.
+#[test]
+fn decoder_total_on_truncation() {
+    qc::check(
+        "decoder totality on truncation",
+        &cfg(),
+        &qc::tuple2(messages(), qc::floats(0.0..1.0)),
+        |(msg, cut)| {
+            let bytes = encode(msg).expect("encodable");
+            let cut = (bytes.len() as f64 * cut) as usize;
+            let _ = decode(&bytes[..cut]);
+            qc::pass()
+        },
+    );
+}
 
-    /// Name parse/display roundtrip.
-    #[test]
-    fn name_roundtrip(name in arb_name()) {
+/// Name parse/display roundtrip.
+#[test]
+fn name_roundtrip() {
+    qc::check("dns name roundtrip", &cfg(), &names(), |name| {
         let s = name.to_string();
-        prop_assert_eq!(DnsName::parse(&s).unwrap(), name);
-    }
+        qc_assert_eq!(&DnsName::parse(&s).unwrap(), name);
+        qc::pass()
+    });
 }

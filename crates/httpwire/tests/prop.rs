@@ -1,20 +1,41 @@
 //! Property-based tests: HTTP parse/serialize roundtrips and parser totality.
 
 use httpwire::{chunked, Headers, Method, Request, Response, StatusCode, Target, Uri};
-use proptest::prelude::*;
+use substrate::qc::{self, alphabet, Config, Gen};
+use substrate::{qc_assert, qc_assert_eq};
 
-fn arb_token() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[A-Za-z][A-Za-z0-9-]{0,15}").expect("regex")
+const ALPHA: &str = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz";
+const TOKEN_TAIL: &str = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789-";
+
+fn cfg() -> Config {
+    Config::with_cases(192)
 }
 
-fn arb_header_value() -> impl Strategy<Value = String> {
-    // Visible ASCII without leading/trailing space (values are trimmed on
-    // parse) and without CR/LF.
-    proptest::string::string_regex("[!-~]([ -~]{0,30}[!-~])?").expect("regex")
+/// `[A-Za-z][A-Za-z0-9-]{0,15}` — a header field name.
+fn tokens() -> Gen<String> {
+    qc::tuple2(
+        qc::string_of(ALPHA, 1..=1),
+        qc::string_of(TOKEN_TAIL, 0..16),
+    )
+    .map(|(head, tail)| head + &tail)
 }
 
-fn arb_headers() -> impl Strategy<Value = Headers> {
-    proptest::collection::vec((arb_token(), arb_header_value()), 0..8).prop_map(|pairs| {
+/// Visible ASCII at the edges, printable ASCII inside — values are trimmed
+/// on parse, so no leading/trailing space; never CR/LF.
+fn header_values() -> Gen<String> {
+    qc::one_of(vec![
+        qc::string_of(alphabet::VISIBLE, 1..=1),
+        qc::tuple3(
+            qc::string_of(alphabet::VISIBLE, 1..=1),
+            qc::string_of(alphabet::PRINTABLE, 0..31),
+            qc::string_of(alphabet::VISIBLE, 1..=1),
+        )
+        .map(|(a, mid, z)| a + &mid + &z),
+    ])
+}
+
+fn headers() -> Gen<Headers> {
+    qc::vec_of(qc::tuple2(tokens(), header_values()), 0..8).map(|pairs| {
         let mut h = Headers::new();
         for (n, v) in pairs {
             // Avoid framing headers; encode() manages those.
@@ -28,94 +49,177 @@ fn arb_headers() -> impl Strategy<Value = Headers> {
     })
 }
 
-fn arb_host() -> impl Strategy<Value = String> {
-    proptest::string::string_regex("[a-z0-9]([a-z0-9.-]{0,20}[a-z0-9])?").expect("regex")
+/// `[a-z0-9]([a-z0-9.-]{0,20}[a-z0-9])?` — a hostname.
+fn hosts() -> Gen<String> {
+    qc::one_of(vec![
+        qc::string_of(alphabet::LOWER_ALNUM, 1..=1),
+        qc::tuple3(
+            qc::string_of(alphabet::LOWER_ALNUM, 1..=1),
+            qc::string_of("abcdefghijklmnopqrstuvwxyz0123456789.-", 0..21),
+            qc::string_of(alphabet::LOWER_ALNUM, 1..=1),
+        )
+        .map(|(a, mid, z)| a + &mid + &z),
+    ])
 }
 
-fn arb_body() -> impl Strategy<Value = Vec<u8>> {
-    proptest::collection::vec(any::<u8>(), 0..256)
+fn bodies() -> Gen<Vec<u8>> {
+    qc::bytes(0..256)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(192))]
+/// Visible ASCII without space — path characters after the leading `/`.
+fn paths() -> Gen<String> {
+    qc::string_of(alphabet::VISIBLE, 0..31).map(|tail| format!("/{tail}"))
+}
 
-    #[test]
-    fn request_roundtrip_origin_form(
-        host in arb_host(),
-        path in proptest::string::string_regex("/[!-~&&[^ ]]{0,30}").expect("regex"),
-        headers in arb_headers(),
-        body in arb_body(),
-    ) {
-        let mut req = Request::origin_get(&host, &path);
-        for (n, v) in headers.iter() {
-            req.headers.append(n, v);
-        }
-        if !body.is_empty() {
-            req.method = Method::Post;
-            req.body = body;
-        }
-        let wire = req.encode();
-        let (parsed, consumed) = Request::parse(&wire).unwrap();
-        prop_assert_eq!(consumed, wire.len());
-        prop_assert_eq!(parsed.method, req.method);
-        prop_assert_eq!(parsed.target, req.target);
-        prop_assert_eq!(parsed.body, req.body);
-    }
-
-    #[test]
-    fn request_roundtrip_absolute_form(host in arb_host(), port in 1u16.., body in arb_body()) {
-        let uri = Uri::parse(&format!("http://{host}:{port}/probe")).unwrap();
-        let mut req = Request::proxy_get(uri.clone());
-        req.body = body;
-        let (parsed, _) = Request::parse(&req.encode()).unwrap();
-        match parsed.target {
-            Target::Absolute(u) => {
-                prop_assert_eq!(u.effective_port(), uri.effective_port());
-                prop_assert_eq!(u.host, uri.host);
+#[test]
+fn request_roundtrip_origin_form() {
+    qc::check(
+        "request origin-form roundtrip",
+        &cfg(),
+        &qc::tuple4(hosts(), paths(), headers(), bodies()),
+        |(host, path, headers, body)| {
+            let mut req = Request::origin_get(host, path);
+            for (n, v) in headers.iter() {
+                req.headers.append(n, v);
             }
-            other => prop_assert!(false, "wrong target form: {:?}", other),
-        }
-    }
+            if !body.is_empty() {
+                req.method = Method::Post;
+                req.body = body.clone();
+            }
+            let wire = req.encode();
+            let (parsed, consumed) = match Request::parse(&wire) {
+                Ok(r) => r,
+                Err(e) => return qc::TestResult::Fail(format!("parse: {e:?}")),
+            };
+            qc_assert_eq!(consumed, wire.len());
+            qc_assert_eq!(parsed.method, req.method);
+            qc_assert_eq!(parsed.target, req.target);
+            qc_assert_eq!(parsed.body, req.body);
+            qc::pass()
+        },
+    );
+}
 
-    #[test]
-    fn response_roundtrip(status in 100u16..600, headers in arb_headers(), body in arb_body()) {
-        let mut resp = Response::new(StatusCode(status), body);
-        resp.headers = headers;
-        let wire = resp.encode();
-        let (parsed, consumed) = Response::parse(&wire).unwrap();
-        prop_assert_eq!(consumed, wire.len());
-        prop_assert_eq!(parsed.status, resp.status);
-        prop_assert_eq!(parsed.body, resp.body);
-    }
+#[test]
+fn request_roundtrip_absolute_form() {
+    qc::check(
+        "request absolute-form roundtrip",
+        &cfg(),
+        &qc::tuple3(hosts(), qc::ints(1u16..), bodies()),
+        |(host, port, body)| {
+            let uri = Uri::parse(&format!("http://{host}:{port}/probe")).unwrap();
+            let mut req = Request::proxy_get(uri.clone());
+            req.body = body.clone();
+            let (parsed, _) = match Request::parse(&req.encode()) {
+                Ok(r) => r,
+                Err(e) => return qc::TestResult::Fail(format!("parse: {e:?}")),
+            };
+            match parsed.target {
+                Target::Absolute(u) => {
+                    qc_assert_eq!(u.effective_port(), uri.effective_port());
+                    qc_assert_eq!(u.host, uri.host);
+                }
+                other => return qc::TestResult::Fail(format!("wrong target form: {other:?}")),
+            }
+            qc::pass()
+        },
+    );
+}
 
-    #[test]
-    fn parsers_total_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
-        let _ = Request::parse(&bytes);
-        let _ = Response::parse(&bytes);
-    }
+#[test]
+fn response_roundtrip() {
+    qc::check(
+        "response roundtrip",
+        &cfg(),
+        &qc::tuple3(qc::ints(100u16..600), headers(), bodies()),
+        |(status, headers, body)| {
+            let mut resp = Response::new(StatusCode(*status), body.clone());
+            resp.headers = headers.clone();
+            let wire = resp.encode();
+            let (parsed, consumed) = match Response::parse(&wire) {
+                Ok(r) => r,
+                Err(e) => return qc::TestResult::Fail(format!("parse: {e:?}")),
+            };
+            qc_assert_eq!(consumed, wire.len());
+            qc_assert_eq!(parsed.status, resp.status);
+            qc_assert_eq!(parsed.body, resp.body);
+            qc::pass()
+        },
+    );
+}
 
-    #[test]
-    fn parsers_total_on_corruption(body in arb_body(), idx in any::<usize>(), flip in 1u8..) {
-        let resp = Response::ok("application/octet-stream", body);
-        let mut wire = resp.encode();
-        let i = idx % wire.len();
-        wire[i] ^= flip;
-        let _ = Response::parse(&wire);
-    }
+#[test]
+fn parsers_total_on_garbage() {
+    qc::check(
+        "parser totality on garbage",
+        &cfg(),
+        &qc::bytes(0..512),
+        |bytes| {
+            let _ = Request::parse(bytes);
+            let _ = Response::parse(bytes);
+            qc::pass()
+        },
+    );
+}
 
-    #[test]
-    fn chunked_roundtrip(body in arb_body(), chunk in 1usize..64) {
-        let encoded = chunked::encode(&body, chunk);
-        let (decoded, consumed) = chunked::decode(&encoded).unwrap();
-        prop_assert_eq!(decoded, body);
-        prop_assert_eq!(consumed, encoded.len());
-    }
+#[test]
+fn parsers_total_on_corruption() {
+    qc::check(
+        "parser totality on corruption",
+        &cfg(),
+        &qc::tuple3(bodies(), qc::any_usize(), qc::ints(1u8..)),
+        |(body, idx, flip)| {
+            let resp = Response::ok("application/octet-stream", body.clone());
+            let mut wire = resp.encode();
+            let i = idx % wire.len();
+            wire[i] ^= flip;
+            let _ = Response::parse(&wire);
+            qc::pass()
+        },
+    );
+}
 
-    #[test]
-    fn uri_roundtrip(host in arb_host(), port in 1u16.., path in proptest::string::string_regex("/[a-z0-9/._-]{0,20}").expect("regex")) {
-        let s = format!("http://{host}:{port}{path}");
-        let uri = Uri::parse(&s).unwrap();
-        let again = Uri::parse(&uri.to_string()).unwrap();
-        prop_assert_eq!(&uri, &again);
-    }
+#[test]
+fn chunked_roundtrip() {
+    qc::check(
+        "chunked roundtrip",
+        &cfg(),
+        &qc::tuple2(bodies(), qc::ints(1usize..64)),
+        |(body, chunk)| {
+            let encoded = chunked::encode(body, *chunk);
+            let (decoded, consumed) = match chunked::decode(&encoded) {
+                Ok(r) => r,
+                Err(e) => return qc::TestResult::Fail(format!("decode: {e:?}")),
+            };
+            qc_assert_eq!(&decoded, body);
+            qc_assert_eq!(consumed, encoded.len());
+            qc::pass()
+        },
+    );
+}
+
+#[test]
+fn uri_roundtrip() {
+    qc::check(
+        "uri roundtrip",
+        &cfg(),
+        &qc::tuple3(
+            hosts(),
+            qc::ints(1u16..),
+            qc::string_of("abcdefghijklmnopqrstuvwxyz0123456789/._-", 0..21),
+        ),
+        |(host, port, tail)| {
+            let s = format!("http://{host}:{port}/{tail}");
+            let uri = match Uri::parse(&s) {
+                Ok(u) => u,
+                Err(e) => return qc::TestResult::Fail(format!("parse {s:?}: {e:?}")),
+            };
+            let again = Uri::parse(&uri.to_string()).unwrap();
+            qc_assert!(
+                uri == again,
+                "reparse changed the uri: {uri:?} vs {again:?}"
+            );
+            qc::pass()
+        },
+    );
 }

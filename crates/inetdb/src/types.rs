@@ -1,15 +1,25 @@
 //! Fundamental identifier types for the Internet registry.
 
-use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::net::Ipv4Addr;
 use std::str::FromStr;
+use substrate::json::{FromJson, Json, JsonError, ToJson};
 
 /// An Autonomous System Number.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Asn(pub u32);
+
+impl ToJson for Asn {
+    fn to_json(&self) -> Json {
+        Json::uint(self.0 as u64)
+    }
+}
+
+impl FromJson for Asn {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        u32::from_json(v).map(Asn)
+    }
+}
 
 impl fmt::Display for Asn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -19,10 +29,20 @@ impl fmt::Display for Asn {
 
 /// An organization (ISP) identifier, from the AS-organizations dataset.
 /// One organization may operate many ASes (the paper's ISP-level grouping).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct OrgId(pub u32);
+
+impl ToJson for OrgId {
+    fn to_json(&self) -> Json {
+        Json::uint(self.0 as u64)
+    }
+}
+
+impl FromJson for OrgId {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        u32::from_json(v).map(OrgId)
+    }
+}
 
 impl fmt::Display for OrgId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -31,8 +51,21 @@ impl fmt::Display for OrgId {
 }
 
 /// An ISO 3166-1 alpha-2 country code (e.g. `US`, `MY`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CountryCode([u8; 2]);
+
+impl ToJson for CountryCode {
+    fn to_json(&self) -> Json {
+        Json::str(self.as_str())
+    }
+}
+
+impl FromJson for CountryCode {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let s = String::from_json(v)?;
+        s.parse().map_err(JsonError::shape)
+    }
+}
 
 impl CountryCode {
     /// Construct from a two-letter code.
@@ -74,7 +107,7 @@ impl FromStr for CountryCode {
 }
 
 /// An IPv4 network prefix in CIDR form.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Ipv4Net {
     addr: u32,
     prefix_len: u8,
@@ -135,6 +168,19 @@ impl Ipv4Net {
 impl fmt::Display for Ipv4Net {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}/{}", self.network(), self.prefix_len)
+    }
+}
+
+impl ToJson for Ipv4Net {
+    fn to_json(&self) -> Json {
+        Json::str(self.to_string())
+    }
+}
+
+impl FromJson for Ipv4Net {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let s = String::from_json(v)?;
+        s.parse().map_err(JsonError::shape)
     }
 }
 

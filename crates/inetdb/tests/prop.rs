@@ -1,9 +1,10 @@
 //! Property-based tests for the prefix trie and CIDR types.
 
 use inetdb::{Ipv4Net, PrefixTrie};
-use proptest::prelude::*;
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use substrate::qc::{self, Config, Gen};
+use substrate::{qc_assert, qc_assert_eq};
 
 /// Reference longest-prefix match: scan all prefixes, keep the longest that
 /// contains the address.
@@ -15,52 +16,85 @@ fn reference_lpm(routes: &HashMap<Ipv4Net, u32>, ip: Ipv4Addr) -> Option<u32> {
         .map(|(_, v)| *v)
 }
 
-fn arb_net() -> impl Strategy<Value = Ipv4Net> {
-    (any::<u32>(), 0u8..=32).prop_map(|(addr, len)| Ipv4Net::new(Ipv4Addr::from(addr), len))
+fn nets() -> Gen<Ipv4Net> {
+    qc::tuple2(qc::any_u32(), qc::ints(0u8..=32))
+        .map(|(addr, len)| Ipv4Net::new(Ipv4Addr::from(addr), len))
 }
 
-proptest! {
-    #[test]
-    fn trie_matches_reference_lpm(
-        routes in proptest::collection::hash_map(arb_net(), any::<u32>(), 0..64),
-        probes in proptest::collection::vec(any::<u32>(), 1..64),
-    ) {
-        let mut trie = PrefixTrie::new();
-        for (&net, &v) in &routes {
-            trie.insert(net, v);
-        }
-        prop_assert_eq!(trie.len(), routes.len());
-        for p in probes {
-            let ip = Ipv4Addr::from(p);
-            prop_assert_eq!(trie.lookup(ip).copied(), reference_lpm(&routes, ip));
-        }
-    }
+/// A route table keyed by prefix (last duplicate wins, as with proptest's
+/// `hash_map` collection strategy).
+fn route_tables(max: usize) -> Gen<HashMap<Ipv4Net, u32>> {
+    qc::vec_of(qc::tuple2(nets(), qc::any_u32()), 0..max).map(|pairs| pairs.into_iter().collect())
+}
 
-    #[test]
-    fn cidr_display_parse_roundtrip(addr in any::<u32>(), len in 0u8..=32) {
-        let net = Ipv4Net::new(Ipv4Addr::from(addr), len);
-        let parsed: Ipv4Net = net.to_string().parse().unwrap();
-        prop_assert_eq!(net, parsed);
-    }
+#[test]
+fn trie_matches_reference_lpm() {
+    qc::check(
+        "trie vs reference LPM",
+        &Config::default(),
+        &qc::tuple2(route_tables(64), qc::vec_of(qc::any_u32(), 1..64)),
+        |(routes, probes)| {
+            let mut trie = PrefixTrie::new();
+            for (&net, &v) in routes {
+                trie.insert(net, v);
+            }
+            qc_assert_eq!(trie.len(), routes.len());
+            for &p in probes {
+                let ip = Ipv4Addr::from(p);
+                qc_assert_eq!(trie.lookup(ip).copied(), reference_lpm(routes, ip));
+            }
+            qc::pass()
+        },
+    );
+}
 
-    #[test]
-    fn cidr_contains_its_own_addresses(addr in any::<u32>(), len in 8u8..=32) {
-        let net = Ipv4Net::new(Ipv4Addr::from(addr), len);
-        // Probe first, last, and a middle address of the prefix.
-        let size = net.size();
-        for i in [0, size / 2, size - 1] {
-            prop_assert!(net.contains(net.nth(i)));
-        }
-    }
+#[test]
+fn cidr_display_parse_roundtrip() {
+    qc::check(
+        "cidr display/parse roundtrip",
+        &Config::default(),
+        &nets(),
+        |net| {
+            let parsed: Ipv4Net = net.to_string().parse().unwrap();
+            qc_assert_eq!(*net, parsed);
+            qc::pass()
+        },
+    );
+}
 
-    #[test]
-    fn exact_get_after_insert(routes in proptest::collection::hash_map(arb_net(), any::<u32>(), 1..32)) {
-        let mut trie = PrefixTrie::new();
-        for (&net, &v) in &routes {
-            trie.insert(net, v);
-        }
-        for (&net, &v) in &routes {
-            prop_assert_eq!(trie.get(net), Some(&v));
-        }
-    }
+#[test]
+fn cidr_contains_its_own_addresses() {
+    qc::check(
+        "cidr contains own addresses",
+        &Config::default(),
+        &qc::tuple2(qc::any_u32(), qc::ints(8u8..=32)),
+        |(addr, len)| {
+            let net = Ipv4Net::new(Ipv4Addr::from(*addr), *len);
+            // Probe first, last, and a middle address of the prefix.
+            let size = net.size();
+            for i in [0, size / 2, size - 1] {
+                qc_assert!(net.contains(net.nth(i)));
+            }
+            qc::pass()
+        },
+    );
+}
+
+#[test]
+fn exact_get_after_insert() {
+    qc::check(
+        "exact get after insert",
+        &Config::default(),
+        &route_tables(32),
+        |routes| {
+            let mut trie = PrefixTrie::new();
+            for (&net, &v) in routes {
+                trie.insert(net, v);
+            }
+            for (&net, &v) in routes {
+                qc_assert_eq!(trie.get(net), Some(&v));
+            }
+            qc::pass()
+        },
+    );
 }

@@ -4,91 +4,136 @@
 use middlebox::monitor::{profiles, RefetchOffset};
 use middlebox::{extract_urls, HtmlInjector, ImageTranscoder};
 use netsim::SimRng;
-use proptest::prelude::*;
+use substrate::qc::{self, alphabet, Config, Gen};
+use substrate::{qc_assert, qc_assert_eq};
 
-proptest! {
-    /// Every profile's samples stay inside its documented envelope.
-    #[test]
-    fn refetch_models_respect_envelopes(seed in any::<u64>()) {
-        let mut rng = SimRng::new(seed);
-        for _ in 0..20 {
-            for offs in [
-                profiles::trend_micro().sample(&mut rng),
-                profiles::talktalk().sample(&mut rng),
-                profiles::commtouch().sample(&mut rng),
-                profiles::anchorfree().sample(&mut rng),
-                profiles::bluecoat().sample(&mut rng),
-                profiles::tiscali().sample(&mut rng),
-            ] {
-                prop_assert!(!offs.is_empty() && offs.len() <= 2);
-                for o in offs {
-                    match o {
-                        RefetchOffset::After(d) => {
-                            prop_assert!(d.as_millis() >= 1);
-                            prop_assert!(d.as_millis() <= 12_500_000);
-                        }
-                        RefetchOffset::Before(d) => {
-                            prop_assert!(d.as_millis() <= 5_000, "prefetch lead {d}");
+/// Every profile's samples stay inside its documented envelope.
+#[test]
+fn refetch_models_respect_envelopes() {
+    qc::check(
+        "refetch envelopes",
+        &Config::default(),
+        &qc::any_u64(),
+        |&seed| {
+            let mut rng = SimRng::new(seed);
+            for _ in 0..20 {
+                for offs in [
+                    profiles::trend_micro().sample(&mut rng),
+                    profiles::talktalk().sample(&mut rng),
+                    profiles::commtouch().sample(&mut rng),
+                    profiles::anchorfree().sample(&mut rng),
+                    profiles::bluecoat().sample(&mut rng),
+                    profiles::tiscali().sample(&mut rng),
+                ] {
+                    qc_assert!(!offs.is_empty() && offs.len() <= 2);
+                    for o in offs {
+                        match o {
+                            RefetchOffset::After(d) => {
+                                qc_assert!(d.as_millis() >= 1);
+                                qc_assert!(d.as_millis() <= 12_500_000);
+                            }
+                            RefetchOffset::Before(d) => {
+                                qc_assert!(d.as_millis() <= 5_000, "prefetch lead {d}");
+                            }
                         }
                     }
                 }
             }
-        }
-    }
+            qc::pass()
+        },
+    );
+}
 
-    /// Injection preserves the original document: the modified body always
-    /// contains the original head and tail, plus the signature.
-    #[test]
-    fn injection_preserves_original(
-        body in proptest::string::string_regex("<html><head>[a-z ]{0,40}</head><body>[a-z ]{0,200}</body></html>").expect("regex"),
-        payload in 0usize..4096,
-    ) {
-        let inj = HtmlInjector::script("sig.example", payload, 3);
-        let out = inj.inject(body.as_bytes());
-        let text = String::from_utf8_lossy(&out);
-        prop_assert!(text.contains("sig.example"));
-        // Everything before </body> in the original is still present.
-        let head = body.split("</body>").next().unwrap();
-        prop_assert!(text.contains(head));
-        prop_assert!(text.ends_with("</body></html>"));
-        prop_assert!(out.len() >= body.len() + payload);
-    }
+/// `<html><head>[a-z ]*</head><body>[a-z ]*</body></html>` documents.
+fn html_bodies() -> Gen<String> {
+    qc::tuple2(
+        qc::string_of("abcdefghijklmnopqrstuvwxyz ", 0..41),
+        qc::string_of("abcdefghijklmnopqrstuvwxyz ", 0..201),
+    )
+    .map(|(head, body)| format!("<html><head>{head}</head><body>{body}</body></html>"))
+}
 
-    /// Transcoded JPEGs shrink to the configured ratio, for any input size
-    /// above the minimum and any ratio.
-    #[test]
-    fn transcoder_hits_ratio(len in 64usize..100_000, ratio in 0.1f64..0.9, seed in any::<u64>()) {
-        let mut img = vec![0xFF, 0xD8, 0xFF];
-        img.extend((0..len).map(|i| (i % 251) as u8));
-        let t = ImageTranscoder::single(ratio);
-        let mut rng = SimRng::new(seed);
-        let out = t.transcode(&img, &mut rng);
-        let actual = out.len() as f64 / img.len() as f64;
-        prop_assert!((actual - ratio).abs() < 0.02, "ratio {actual} vs {ratio}");
-        prop_assert_eq!(&out[..3], &[0xFF, 0xD8, 0xFF]);
-    }
+/// Injection preserves the original document: the modified body always
+/// contains the original head and tail, plus the signature.
+#[test]
+fn injection_preserves_original() {
+    qc::check(
+        "injection preserves original",
+        &Config::default(),
+        &qc::tuple2(html_bodies(), qc::ints(0usize..4096)),
+        |(body, payload)| {
+            let inj = HtmlInjector::script("sig.example", *payload, 3);
+            let out = inj.inject(body.as_bytes());
+            let text = String::from_utf8_lossy(&out);
+            qc_assert!(text.contains("sig.example"));
+            // Everything before </body> in the original is still present.
+            let head = body.split("</body>").next().unwrap();
+            qc_assert!(text.contains(head));
+            qc_assert!(text.ends_with("</body></html>"));
+            qc_assert!(out.len() >= body.len() + payload);
+            qc::pass()
+        },
+    );
+}
 
-    /// URL extraction finds every URL planted into arbitrary surrounding
-    /// text.
-    #[test]
-    fn extract_urls_finds_planted(
-        hosts in proptest::collection::vec(
-            proptest::string::string_regex("[a-z]{3,12}\\.example").expect("regex"),
-            1..5,
+/// Transcoded JPEGs shrink to the configured ratio, for any input size
+/// above the minimum and any ratio.
+#[test]
+fn transcoder_hits_ratio() {
+    qc::check(
+        "transcoder hits ratio",
+        &Config::default(),
+        &qc::tuple3(
+            qc::ints(64usize..100_000),
+            qc::floats(0.1..0.9),
+            qc::any_u64(),
         ),
-        filler in proptest::string::string_regex("[a-zA-Z <>/]{0,60}").expect("regex"),
-    ) {
-        let mut doc = String::new();
-        for h in &hosts {
-            doc.push_str(&filler);
-            doc.push_str(&format!(" <a href=\"http://{h}/x\">l</a> "));
-        }
-        let urls = extract_urls(doc.as_bytes());
-        for h in &hosts {
-            prop_assert!(
-                urls.iter().any(|u| u.contains(h.as_str())),
-                "missing {h} in {urls:?}"
-            );
-        }
-    }
+        |(len, ratio, seed)| {
+            let mut img = vec![0xFF, 0xD8, 0xFF];
+            img.extend((0..*len).map(|i| (i % 251) as u8));
+            let t = ImageTranscoder::single(*ratio);
+            let mut rng = SimRng::new(*seed);
+            let out = t.transcode(&img, &mut rng);
+            let actual = out.len() as f64 / img.len() as f64;
+            qc_assert!((actual - ratio).abs() < 0.02, "ratio {actual} vs {ratio}");
+            qc_assert_eq!(&out[..3], &[0xFF, 0xD8, 0xFF]);
+            qc::pass()
+        },
+    );
+}
+
+/// URL extraction finds every URL planted into arbitrary surrounding
+/// text.
+#[test]
+fn extract_urls_finds_planted() {
+    let planted_hosts = qc::vec_of(
+        qc::string_of(alphabet::LOWER, 3..13).map(|h| h + ".example"),
+        1..5,
+    );
+    qc::check(
+        "extract_urls finds planted",
+        &Config::default(),
+        &qc::tuple2(
+            planted_hosts,
+            qc::string_of(
+                "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ <>/",
+                0..61,
+            ),
+        ),
+        |(hosts, filler)| {
+            let mut doc = String::new();
+            for h in hosts {
+                doc.push_str(filler);
+                doc.push_str(&format!(" <a href=\"http://{h}/x\">l</a> "));
+            }
+            let urls = extract_urls(doc.as_bytes());
+            for h in hosts {
+                qc_assert!(
+                    urls.iter().any(|u| u.contains(h.as_str())),
+                    "missing {h} in {urls:?}"
+                );
+            }
+            qc::pass()
+        },
+    );
 }

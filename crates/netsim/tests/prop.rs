@@ -1,99 +1,143 @@
 //! Property tests for the simulation kernel.
 
 use netsim::{Cdf, Scheduler, SimDuration, SimTime, TokenBucket};
-use proptest::prelude::*;
+use substrate::qc::{self, Config, Gen};
+use substrate::{qc_assert, qc_assert_eq};
 
-proptest! {
-    /// The scheduler fires events in (time, insertion) order regardless of
-    /// insertion order — checked against a reference sort.
-    #[test]
-    fn scheduler_matches_reference_order(delays in proptest::collection::vec(0u64..10_000, 1..200)) {
-        let mut s = Scheduler::new();
-        for (i, &d) in delays.iter().enumerate() {
-            s.schedule(SimDuration::from_millis(d), i);
-        }
-        let fired: Vec<(u64, usize)> = std::iter::from_fn(|| s.next())
-            .map(|f| (f.at.as_millis(), f.payload))
-            .collect();
-        let mut expected: Vec<(u64, usize)> = delays
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| (d, i))
-            .collect();
-        expected.sort();
-        prop_assert_eq!(fired, expected);
-    }
+fn delays(hi: u64, max: usize) -> Gen<Vec<u64>> {
+    qc::vec_of(qc::ints(0u64..hi), 1..max)
+}
 
-    /// Cancelling any subset suppresses exactly those events.
-    #[test]
-    fn cancellation_suppresses_exactly_the_cancelled(
-        delays in proptest::collection::vec(0u64..1_000, 1..100),
-        cancel_mask in proptest::collection::vec(any::<bool>(), 100),
-    ) {
-        let mut s = Scheduler::new();
-        let ids: Vec<_> = delays
-            .iter()
-            .enumerate()
-            .map(|(i, &d)| s.schedule(SimDuration::from_millis(d), i))
-            .collect();
-        let mut kept = Vec::new();
-        for (i, id) in ids.iter().enumerate() {
-            if cancel_mask[i % cancel_mask.len()] {
-                s.cancel(*id);
-            } else {
-                kept.push(i);
+/// The scheduler fires events in (time, insertion) order regardless of
+/// insertion order — checked against a reference sort.
+#[test]
+fn scheduler_matches_reference_order() {
+    qc::check(
+        "scheduler vs reference order",
+        &Config::default(),
+        &delays(10_000, 200),
+        |delays| {
+            let mut s = Scheduler::new();
+            for (i, &d) in delays.iter().enumerate() {
+                s.schedule(SimDuration::from_millis(d), i);
             }
-        }
-        let mut fired: Vec<usize> = std::iter::from_fn(|| s.next()).map(|f| f.payload).collect();
-        fired.sort();
-        kept.sort();
-        prop_assert_eq!(fired, kept);
-    }
+            let fired: Vec<(u64, usize)> = std::iter::from_fn(|| s.next())
+                .map(|f| (f.at.as_millis(), f.payload))
+                .collect();
+            let mut expected: Vec<(u64, usize)> =
+                delays.iter().enumerate().map(|(i, &d)| (d, i)).collect();
+            expected.sort();
+            qc_assert_eq!(fired, expected);
+            qc::pass()
+        },
+    );
+}
 
-    /// The clock never runs backwards.
-    #[test]
-    fn clock_is_monotone(delays in proptest::collection::vec(0u64..5_000, 1..100)) {
-        let mut s = Scheduler::new();
-        for (i, &d) in delays.iter().enumerate() {
-            s.schedule(SimDuration::from_millis(d), i);
-        }
-        let mut last = SimTime::EPOCH;
-        while let Some(f) = s.next() {
-            prop_assert!(f.at >= last);
-            last = f.at;
-        }
-    }
-
-    /// Token buckets never oversupply: in any window of N intervals the
-    /// grant count is at most (N+1) × capacity.
-    #[test]
-    fn token_bucket_rate_bound(cap in 1u64..16, interval_ms in 1u64..100, probes in proptest::collection::vec(0u64..10_000, 1..300)) {
-        let mut sorted = probes.clone();
-        sorted.sort();
-        let mut bucket = TokenBucket::new(cap, SimDuration::from_millis(interval_ms));
-        let mut granted = 0u64;
-        for &t in &sorted {
-            if bucket.try_take(SimTime::from_millis(t), 1) {
-                granted += 1;
+/// Cancelling any subset suppresses exactly those events.
+#[test]
+fn cancellation_suppresses_exactly_the_cancelled() {
+    qc::check(
+        "cancellation exactness",
+        &Config::default(),
+        &qc::tuple2(delays(1_000, 100), qc::vec_of(qc::bools(), 100..=100)),
+        |(delays, cancel_mask)| {
+            let mut s = Scheduler::new();
+            let ids: Vec<_> = delays
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| s.schedule(SimDuration::from_millis(d), i))
+                .collect();
+            let mut kept = Vec::new();
+            for (i, id) in ids.iter().enumerate() {
+                if cancel_mask[i % cancel_mask.len()] {
+                    s.cancel(*id);
+                } else {
+                    kept.push(i);
+                }
             }
-        }
-        let span = sorted.last().unwrap() - sorted.first().unwrap();
-        let max_grants = (span / interval_ms + 2) * cap;
-        prop_assert!(granted <= max_grants, "granted {granted} > bound {max_grants}");
-    }
+            let mut fired: Vec<usize> =
+                std::iter::from_fn(|| s.next()).map(|f| f.payload).collect();
+            fired.sort();
+            kept.sort();
+            qc_assert_eq!(fired, kept);
+            qc::pass()
+        },
+    );
+}
 
-    /// CDF fraction_at is monotone and bounded in [0,1].
-    #[test]
-    fn cdf_monotone(samples in proptest::collection::vec(0.0f64..1e6, 1..200), probes in proptest::collection::vec(0.0f64..1e6, 1..50)) {
-        let cdf = Cdf::new(samples);
-        let mut sorted = probes.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let mut last = 0.0;
-        for p in sorted {
-            let f = cdf.fraction_at(p);
-            prop_assert!((0.0..=1.0).contains(&f));
-            prop_assert!(f >= last);
-            last = f;
-        }
-    }
+/// The clock never runs backwards.
+#[test]
+fn clock_is_monotone() {
+    qc::check(
+        "clock monotone",
+        &Config::default(),
+        &delays(5_000, 100),
+        |delays| {
+            let mut s = Scheduler::new();
+            for (i, &d) in delays.iter().enumerate() {
+                s.schedule(SimDuration::from_millis(d), i);
+            }
+            let mut last = SimTime::EPOCH;
+            while let Some(f) = s.next() {
+                qc_assert!(f.at >= last);
+                last = f.at;
+            }
+            qc::pass()
+        },
+    );
+}
+
+/// Token buckets never oversupply: in any window of N intervals the
+/// grant count is at most (N+1) × capacity.
+#[test]
+fn token_bucket_rate_bound() {
+    qc::check(
+        "token bucket rate bound",
+        &Config::default(),
+        &qc::tuple3(qc::ints(1u64..16), qc::ints(1u64..100), delays(10_000, 300)),
+        |(cap, interval_ms, probes)| {
+            let mut sorted = probes.clone();
+            sorted.sort();
+            let mut bucket = TokenBucket::new(*cap, SimDuration::from_millis(*interval_ms));
+            let mut granted = 0u64;
+            for &t in &sorted {
+                if bucket.try_take(SimTime::from_millis(t), 1) {
+                    granted += 1;
+                }
+            }
+            let span = sorted.last().unwrap() - sorted.first().unwrap();
+            let max_grants = (span / interval_ms + 2) * cap;
+            qc_assert!(
+                granted <= max_grants,
+                "granted {granted} > bound {max_grants}"
+            );
+            qc::pass()
+        },
+    );
+}
+
+/// CDF fraction_at is monotone and bounded in [0,1].
+#[test]
+fn cdf_monotone() {
+    qc::check(
+        "cdf monotone",
+        &Config::default(),
+        &qc::tuple2(
+            qc::vec_of(qc::floats(0.0..1e6), 1..200),
+            qc::vec_of(qc::floats(0.0..1e6), 1..50),
+        ),
+        |(samples, probes)| {
+            let cdf = Cdf::new(samples.clone());
+            let mut sorted = probes.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let mut last = 0.0;
+            for p in sorted {
+                let f = cdf.fraction_at(p);
+                qc_assert!((0.0..=1.0).contains(&f));
+                qc_assert!(f >= last);
+                last = f;
+            }
+            qc::pass()
+        },
+    );
 }

@@ -1,47 +1,78 @@
 //! Property tests: SMTP reply wire roundtrips and parser totality.
 
-use proptest::prelude::*;
 use smtpwire::{Capabilities, Command, Reply};
+use substrate::qc::{self, alphabet, Config, Gen};
+use substrate::{qc_assert, qc_assert_eq};
 
-fn arb_reply_line() -> impl Strategy<Value = String> {
-    // Printable ASCII without CR/LF.
-    proptest::string::string_regex("[ -~]{0,60}").expect("regex")
+/// Printable ASCII without CR/LF.
+fn reply_lines() -> Gen<String> {
+    qc::string_of(alphabet::PRINTABLE, 0..61)
 }
 
-proptest! {
-    #[test]
-    fn reply_roundtrip(code in 200u16..560, lines in proptest::collection::vec(arb_reply_line(), 1..6)) {
-        let reply = Reply::multiline(code, lines);
-        let text = reply.to_text();
-        prop_assert_eq!(Reply::parse(&text).unwrap(), reply);
-    }
+#[test]
+fn reply_roundtrip() {
+    qc::check(
+        "reply roundtrip",
+        &Config::default(),
+        &qc::tuple2(qc::ints(200u16..560), qc::vec_of(reply_lines(), 1..6)),
+        |(code, lines)| {
+            let reply = Reply::multiline(*code, lines.clone());
+            let text = reply.to_text();
+            qc_assert_eq!(Reply::parse(&text).unwrap(), reply);
+            qc::pass()
+        },
+    );
+}
 
-    #[test]
-    fn reply_parser_total(garbage in proptest::collection::vec(any::<u8>(), 0..256)) {
-        let text = String::from_utf8_lossy(&garbage).into_owned();
-        let _ = Reply::parse(&text);
-    }
+#[test]
+fn reply_parser_total() {
+    qc::check(
+        "reply parser totality",
+        &Config::default(),
+        &qc::bytes(0..256),
+        |garbage| {
+            let text = String::from_utf8_lossy(garbage).into_owned();
+            let _ = Reply::parse(&text);
+            qc::pass()
+        },
+    );
+}
 
-    #[test]
-    fn command_parser_total(line in proptest::string::string_regex("[ -~]{0,80}").expect("regex")) {
-        let _ = Command::parse(&line);
-    }
+#[test]
+fn command_parser_total() {
+    qc::check(
+        "command parser totality",
+        &Config::default(),
+        &qc::string_of(alphabet::PRINTABLE, 0..81),
+        |line| {
+            let _ = Command::parse(line);
+            qc::pass()
+        },
+    );
+}
 
-    /// Stripping the STARTTLS line from any EHLO reply always clears the
-    /// parsed capability — the invariant the stripping middlebox relies on.
-    #[test]
-    fn capability_stripping_invariant(extra in proptest::collection::vec(arb_reply_line(), 0..4)) {
-        let mut lines = vec!["mx.example".to_string(), "STARTTLS".to_string()];
-        lines.extend(extra);
-        let full = Reply::multiline(250, lines.clone());
-        prop_assert!(Capabilities::from_ehlo(&full).starttls);
-        let stripped_lines: Vec<String> = lines
-            .iter()
-            .enumerate()
-            .filter(|(i, l)| *i == 0 || !l.eq_ignore_ascii_case("STARTTLS"))
-            .map(|(_, l)| l.clone())
-            .collect();
-        let stripped = Reply::multiline(250, stripped_lines);
-        prop_assert!(!Capabilities::from_ehlo(&stripped).starttls);
-    }
+/// Stripping the STARTTLS line from any EHLO reply always clears the
+/// parsed capability — the invariant the stripping middlebox relies on.
+#[test]
+fn capability_stripping_invariant() {
+    qc::check(
+        "capability stripping invariant",
+        &Config::default(),
+        &qc::vec_of(reply_lines(), 0..4),
+        |extra| {
+            let mut lines = vec!["mx.example".to_string(), "STARTTLS".to_string()];
+            lines.extend(extra.iter().cloned());
+            let full = Reply::multiline(250, lines.clone());
+            qc_assert!(Capabilities::from_ehlo(&full).starttls);
+            let stripped_lines: Vec<String> = lines
+                .iter()
+                .enumerate()
+                .filter(|(i, l)| *i == 0 || !l.eq_ignore_ascii_case("STARTTLS"))
+                .map(|(_, l)| l.clone())
+                .collect();
+            let stripped = Reply::multiline(250, stripped_lines);
+            qc_assert!(!Capabilities::from_ehlo(&stripped).starttls);
+            qc::pass()
+        },
+    );
 }

@@ -1,0 +1,301 @@
+//! A micro-benchmark harness (the workspace's `criterion` replacement).
+//!
+//! Shape: each benchmark runs a **warmup** phase, auto-calibrates an
+//! iterations-per-sample count so one sample takes a target duration, then
+//! collects N timed samples and reports per-iteration min / median / p95 /
+//! mean. Results render as an aligned text table and as machine-readable
+//! JSON (one object per benchmark), which `scripts/check.sh` appends to the
+//! repo-root `BENCH_substrate.json` for the performance trajectory across
+//! PRs.
+//!
+//! Environment knobs:
+//! - `TFT_BENCH_QUICK=1` — one-iteration smoke mode, used by tests and CI
+//!   so bench binaries double as correctness checks;
+//! - `BENCH_JSON=<path>` — where [`Harness::finish`] writes the JSON report.
+
+use crate::json::{Json, ToJson};
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    /// Benchmark name (`group/name` by convention).
+    pub name: String,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+    /// Fastest sample.
+    pub min_ns: f64,
+    /// Median sample.
+    pub median_ns: f64,
+    /// 95th-percentile sample.
+    pub p95_ns: f64,
+    /// Mean over all samples.
+    pub mean_ns: f64,
+}
+
+impl ToJson for Stats {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::str(self.name.clone())),
+            ("iters_per_sample".into(), Json::uint(self.iters_per_sample)),
+            ("samples".into(), Json::uint(self.samples as u64)),
+            ("min_ns".into(), Json::float(self.min_ns)),
+            ("median_ns".into(), Json::float(self.median_ns)),
+            ("p95_ns".into(), Json::float(self.p95_ns)),
+            ("mean_ns".into(), Json::float(self.mean_ns)),
+        ])
+    }
+}
+
+/// Tuning for a [`Harness`].
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Wall-clock budget for the warmup phase.
+    pub warmup: Duration,
+    /// Target duration of one timed sample (iterations auto-calibrate).
+    pub sample_target: Duration,
+    /// Number of timed samples per benchmark.
+    pub samples: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            warmup: Duration::from_millis(150),
+            sample_target: Duration::from_millis(10),
+            samples: 30,
+        }
+    }
+}
+
+impl Options {
+    /// One-iteration smoke mode: every benchmark body runs a handful of
+    /// times, results are still produced but not meaningful.
+    pub fn quick() -> Options {
+        Options {
+            warmup: Duration::ZERO,
+            sample_target: Duration::ZERO,
+            samples: 3,
+        }
+    }
+}
+
+/// A benchmark collection: run closures, gather [`Stats`], render/emit.
+pub struct Harness {
+    label: String,
+    options: Options,
+    results: Vec<Stats>,
+}
+
+impl Harness {
+    /// A harness named `label` (e.g. the bench target name). Honors
+    /// `TFT_BENCH_QUICK=1` by switching to [`Options::quick`].
+    pub fn new(label: &str) -> Harness {
+        let options = if std::env::var_os("TFT_BENCH_QUICK").is_some_and(|v| v != "0") {
+            Options::quick()
+        } else {
+            Options::default()
+        };
+        Harness::with_options(label, options)
+    }
+
+    /// A harness with explicit tuning.
+    pub fn with_options(label: &str, options: Options) -> Harness {
+        Harness {
+            label: label.to_string(),
+            options,
+            results: Vec::new(),
+        }
+    }
+
+    /// Whether the harness is in quick (smoke) mode.
+    pub fn is_quick(&self) -> bool {
+        self.options.sample_target == Duration::ZERO
+    }
+
+    /// Benchmark `f`, auto-calibrating iterations per sample.
+    pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &Stats {
+        // Warmup: keep running until the budget is spent (at least once).
+        let warmup_end = Instant::now() + self.options.warmup;
+        let mut warmup_iters = 0u64;
+        let warmup_start = Instant::now();
+        loop {
+            black_box(f());
+            warmup_iters += 1;
+            if Instant::now() >= warmup_end {
+                break;
+            }
+        }
+        let per_iter = warmup_start.elapsed().as_nanos() as f64 / warmup_iters as f64;
+
+        // Calibrate: aim for sample_target per sample, at least 1 iteration.
+        let iters = if self.options.sample_target.is_zero() || per_iter <= 0.0 {
+            1
+        } else {
+            ((self.options.sample_target.as_nanos() as f64 / per_iter).round() as u64).max(1)
+        };
+
+        let mut sample_ns: Vec<f64> = Vec::with_capacity(self.options.samples);
+        for _ in 0..self.options.samples.max(1) {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            sample_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        sample_ns.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+
+        let stats = Stats {
+            name: format!("{}/{}", self.label, name),
+            iters_per_sample: iters,
+            samples: sample_ns.len(),
+            min_ns: sample_ns[0],
+            median_ns: percentile(&sample_ns, 0.50),
+            p95_ns: percentile(&sample_ns, 0.95),
+            mean_ns: sample_ns.iter().sum::<f64>() / sample_ns.len() as f64,
+        };
+        eprintln!("{}", render_row(&stats));
+        self.results.push(stats);
+        self.results.last().expect("just pushed")
+    }
+
+    /// All results so far.
+    pub fn results(&self) -> &[Stats] {
+        &self.results
+    }
+
+    /// The aligned text report.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:<44} {:>12} {:>12} {:>12} {:>8}\n",
+            format!("benchmark ({})", self.label),
+            "min",
+            "median",
+            "p95",
+            "samples"
+        );
+        for s in &self.results {
+            out.push_str(&render_row(s));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The machine-readable report.
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("label".into(), Json::str(self.label.clone())),
+            ("quick".into(), Json::Bool(self.is_quick())),
+            (
+                "benchmarks".into(),
+                Json::Arr(self.results.iter().map(ToJson::to_json).collect()),
+            ),
+        ])
+    }
+
+    /// Print the table to stdout and, if `BENCH_JSON` is set, write the
+    /// JSON report there. Call at the end of a bench binary's `main`.
+    pub fn finish(self) {
+        println!("{}", self.render());
+        if let Some(path) = std::env::var_os("BENCH_JSON") {
+            let doc = self.to_json().render_pretty();
+            if let Err(e) = std::fs::write(&path, doc + "\n") {
+                eprintln!("[bench] could not write {}: {e}", path.to_string_lossy());
+            } else {
+                eprintln!("[bench] wrote {}", path.to_string_lossy());
+            }
+        }
+    }
+}
+
+fn render_row(s: &Stats) -> String {
+    format!(
+        "{:<44} {:>12} {:>12} {:>12} {:>8}",
+        s.name,
+        fmt_ns(s.min_ns),
+        fmt_ns(s.median_ns),
+        fmt_ns(s.p95_ns),
+        s.samples
+    )
+}
+
+/// Format nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Harness {
+        Harness::with_options("test", Options::quick())
+    }
+
+    #[test]
+    fn smoke_run_produces_ordered_stats() {
+        let mut h = quick();
+        let s = h.bench("noop", || 1 + 1).clone();
+        assert_eq!(s.name, "test/noop");
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.median_ns <= s.p95_ns);
+        assert_eq!(s.samples, 3);
+    }
+
+    #[test]
+    fn json_report_contains_every_bench() {
+        let mut h = quick();
+        h.bench("a", || ());
+        h.bench("b", || ());
+        let doc = h.to_json();
+        let benches = doc.get("benchmarks").unwrap().as_arr().unwrap();
+        assert_eq!(benches.len(), 2);
+        assert_eq!(benches[0].get("name").unwrap().as_str(), Some("test/a"));
+        assert!(benches[0].get("median_ns").unwrap().as_f64().is_some());
+        // And the rendered document reparses.
+        assert!(crate::json::parse(&doc.render_pretty()).is_ok());
+    }
+
+    #[test]
+    fn render_is_one_row_per_bench() {
+        let mut h = quick();
+        h.bench("x", || ());
+        let table = h.render();
+        assert_eq!(table.lines().count(), 2, "header + one row:\n{table}");
+        assert!(table.contains("test/x"));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(12.3), "12.3 ns");
+        assert_eq!(fmt_ns(12_300.0), "12.30 µs");
+        assert_eq!(fmt_ns(12_300_000.0), "12.30 ms");
+        assert_eq!(fmt_ns(2_500_000_000.0), "2.500 s");
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&v, 0.50), 50.0);
+        assert_eq!(percentile(&v, 0.95), 95.0);
+        assert_eq!(percentile(&[7.0], 0.95), 7.0);
+    }
+}

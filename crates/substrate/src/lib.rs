@@ -1,0 +1,38 @@
+//! # substrate — first-party low-level infrastructure
+//!
+//! Everything below the simulation that would conventionally come from an
+//! external crate, rebuilt in-tree so the whole workspace compiles and tests
+//! **with zero network access**:
+//!
+//! - [`rng`]: deterministic randomness — splitmix64 seeding, a
+//!   xoshiro256++ core generator, and the [`rng::Rng`]/[`rng::RngExt`]
+//!   trait pair the rest of the workspace consumes (uniform ints/floats,
+//!   ranges, booleans, shuffling, weighted choice);
+//! - [`json`]: a small JSON value model, strict parser, compact/pretty
+//!   printers, and the [`json::ToJson`]/[`json::FromJson`] trait pair plus
+//!   the [`json_struct!`]/[`json_enum!`] derive macros;
+//! - [`qc`]: a seeded property-testing mini-framework — composable
+//!   generators, configurable case counts, input shrinking, and
+//!   failure-seed replay;
+//! - [`mod@bench`]: a warmup+samples micro-benchmark harness reporting
+//!   min/median/p95 per benchmark with machine-readable JSON output.
+//!
+//! ## Why first-party
+//!
+//! The reproduction's whole claim is *determinism from a single seed*
+//! (DESIGN.md §5). A build that needs a package registry cannot be replayed
+//! hermetically; this crate replaces `rand`, `serde`/`serde_json`,
+//! `proptest`, and `criterion` with implementations small enough to audit
+//! and stable enough to pin golden values against. `cargo tree` over this
+//! workspace shows path dependencies only.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bench;
+pub mod json;
+pub mod qc;
+pub mod rng;
+
+pub use json::{FromJson, Json, JsonError, Num, ToJson};
+pub use rng::{Rng, RngExt, SplitMix64, Xoshiro256pp};

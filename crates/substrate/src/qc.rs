@@ -1,0 +1,677 @@
+//! A seeded property-testing mini-framework (the workspace's `proptest`
+//! replacement).
+//!
+//! Design, in one paragraph: a [`Gen<T>`] couples a generation closure
+//! (drawing from a [`Xoshiro256pp`]) with a value-based shrinker in the
+//! QuickCheck style. [`check`] runs a property over `cases` generated
+//! inputs; each case's generator is seeded from `mix64(base_seed, case
+//! index)`, so runs are **fully deterministic by default** and any failure
+//! is replayable from the seed printed in the panic message. On failure the
+//! runner greedily walks shrink candidates (first candidate that still
+//! fails becomes the new witness) before reporting the minimal input found.
+//!
+//! Environment knobs:
+//! - `QC_SEED` — override the base seed (decimal or `0x…` hex) to explore
+//!   new inputs or replay a reported failure;
+//! - `QC_CASES` — override the per-property case count.
+
+use crate::rng::{mix64, usize_bounds, RngExt, SampleUniform, Xoshiro256pp};
+use std::fmt::Debug;
+use std::ops::RangeBounds;
+use std::rc::Rc;
+
+/// Outcome of one property evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestResult {
+    /// The property held for this input.
+    Pass,
+    /// The input did not satisfy the property's assumptions; generate a
+    /// replacement (does not count toward the case budget).
+    Discard,
+    /// The property failed, with an explanation.
+    Fail(String),
+}
+
+/// Shorthand for [`TestResult::Pass`], for use as a property's tail
+/// expression after `qc_assert!`-style macros.
+pub fn pass() -> TestResult {
+    TestResult::Pass
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of non-discarded inputs each property must pass.
+    pub cases: u32,
+    /// Base seed; per-case seeds are derived as `mix64(seed ^ case_index)`.
+    pub seed: u64,
+    /// Cap on successful shrink steps taken after a failure.
+    pub max_shrink_steps: u32,
+}
+
+/// Default base seed; any fixed value works, this one is greppable.
+const DEFAULT_SEED: u64 = 0x5EED_CA5E;
+
+impl Default for Config {
+    fn default() -> Self {
+        let seed = std::env::var("QC_SEED")
+            .ok()
+            .and_then(|s| parse_seed(&s))
+            .unwrap_or(DEFAULT_SEED);
+        let cases = std::env::var("QC_CASES")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(64);
+        Config {
+            cases,
+            seed,
+            max_shrink_steps: 1024,
+        }
+    }
+}
+
+impl Config {
+    /// The default configuration (environment overrides applied).
+    pub fn new() -> Config {
+        Config::default()
+    }
+
+    /// The default configuration with an explicit case count (`QC_CASES`
+    /// still wins, so a failing property can be re-examined cheaply).
+    pub fn with_cases(cases: u32) -> Config {
+        let mut c = Config::default();
+        if std::env::var_os("QC_CASES").is_none() {
+            c.cases = cases;
+        }
+        c
+    }
+}
+
+fn parse_seed(s: &str) -> Option<u64> {
+    let s = s.trim();
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+type GenerateFn<T> = Rc<dyn Fn(&mut Xoshiro256pp) -> T>;
+type ShrinkFn<T> = Rc<dyn Fn(&T) -> Vec<T>>;
+
+/// A value generator with an attached shrinker.
+///
+/// Shrinking is value-based (QuickCheck style): `shrink(v)` proposes a
+/// bounded list of strictly "smaller" candidates. Combinators built by
+/// [`Gen::map`] drop shrinking (there is no inverse); compose shrinking
+/// generators at the outermost tuple level where possible.
+pub struct Gen<T> {
+    generate: GenerateFn<T>,
+    shrink: ShrinkFn<T>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            generate: Rc::clone(&self.generate),
+            shrink: Rc::clone(&self.shrink),
+        }
+    }
+}
+
+impl<T: 'static> Gen<T> {
+    /// A generator from a raw closure, with no shrinking.
+    pub fn new(f: impl Fn(&mut Xoshiro256pp) -> T + 'static) -> Gen<T> {
+        Gen {
+            generate: Rc::new(f),
+            shrink: Rc::new(|_| Vec::new()),
+        }
+    }
+
+    /// Attach (or replace) the shrinker.
+    pub fn with_shrink(self, s: impl Fn(&T) -> Vec<T> + 'static) -> Gen<T> {
+        Gen {
+            generate: self.generate,
+            shrink: Rc::new(s),
+        }
+    }
+
+    /// Draw one value.
+    pub fn sample(&self, rng: &mut Xoshiro256pp) -> T {
+        (self.generate)(rng)
+    }
+
+    /// Propose shrink candidates for a failing value.
+    pub fn shrink(&self, value: &T) -> Vec<T> {
+        (self.shrink)(value)
+    }
+
+    /// Transform generated values. The result does not shrink.
+    pub fn map<U: 'static>(self, f: impl Fn(T) -> U + 'static) -> Gen<U> {
+        let g = self.generate;
+        Gen::new(move |rng| f(g(rng)))
+    }
+
+    /// Keep only values satisfying `pred`, retrying generation (up to 1000
+    /// attempts — a tighter predicate should be built into the generator).
+    /// Shrink candidates are filtered through the same predicate.
+    pub fn filter(self, pred: impl Fn(&T) -> bool + 'static) -> Gen<T> {
+        let pred = Rc::new(pred);
+        let g = self.generate;
+        let s = self.shrink;
+        let p2 = Rc::clone(&pred);
+        Gen {
+            generate: Rc::new(move |rng| {
+                for _ in 0..1000 {
+                    let v = g(rng);
+                    if pred(&v) {
+                        return v;
+                    }
+                }
+                panic!("[qc] Gen::filter: predicate rejected 1000 straight values")
+            }),
+            shrink: Rc::new(move |v| s(v).into_iter().filter(|c| p2(c)).collect()),
+        }
+    }
+}
+
+/// Always produce `value`.
+pub fn just<T: Clone + 'static>(value: T) -> Gen<T> {
+    Gen::new(move |_| value.clone())
+}
+
+/// Uniform integer in `range` (`lo..hi`, `lo..=hi`, or `lo..`); shrinks
+/// toward the lower bound by halving the distance.
+pub fn ints<T>(range: impl RangeBounds<T> + Clone + 'static) -> Gen<T>
+where
+    T: SampleUniform + Int + Copy + 'static,
+{
+    let (lo, hi) = int_bounds(&range);
+    Gen::new(move |rng| T::sample_inclusive(rng, lo, hi)).with_shrink(move |&v| {
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(lo);
+            let half = T::midpoint(lo, v);
+            if half != lo && half != v {
+                out.push(half);
+            }
+            if let Some(prev) = T::step_toward(v, lo) {
+                if prev != lo && Some(prev) != out.last().copied() {
+                    out.push(prev);
+                }
+            }
+        }
+        out
+    })
+}
+
+/// Integer helper operations needed by [`ints`] shrinking.
+pub trait Int: PartialOrd + Sized {
+    /// The midpoint of `lo` and `v` (rounded toward `lo`).
+    fn midpoint(lo: Self, v: Self) -> Self;
+    /// One unit from `v` toward `lo`, or `None` at the boundary.
+    fn step_toward(v: Self, lo: Self) -> Option<Self>;
+    /// The type's minimum and maximum (range-bound defaults).
+    const MIN: Self;
+    /// See [`Int::MIN`].
+    const MAX: Self;
+}
+
+macro_rules! impl_int {
+    ($($t:ty),+) => {$(
+        impl Int for $t {
+            fn midpoint(lo: Self, v: Self) -> Self {
+                // Never overflows: computed as lo + (v - lo)/2 in i128.
+                ((lo as i128) + ((v as i128) - (lo as i128)) / 2) as $t
+            }
+            fn step_toward(v: Self, lo: Self) -> Option<Self> {
+                if v > lo { Some(v - 1) } else { None }
+            }
+            const MIN: Self = <$t>::MIN;
+            const MAX: Self = <$t>::MAX;
+        }
+    )+};
+}
+impl_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+fn int_bounds<T: Int + Copy>(range: &impl RangeBounds<T>) -> (T, T) {
+    use std::ops::Bound;
+    let lo = match range.start_bound() {
+        Bound::Included(&v) => v,
+        Bound::Excluded(_) => unreachable!("no exclusive start ranges in Rust syntax"),
+        Bound::Unbounded => T::MIN,
+    };
+    let hi = match range.end_bound() {
+        Bound::Included(&v) => v,
+        Bound::Excluded(&v) => T::step_toward(v, lo).expect("empty range"),
+        Bound::Unbounded => T::MAX,
+    };
+    (lo, hi)
+}
+
+/// Uniform `f64` in `[lo, hi)`; shrinks toward `lo`.
+pub fn floats(range: std::ops::Range<f64>) -> Gen<f64> {
+    let (lo, hi) = (range.start, range.end);
+    Gen::new(move |rng| rng.random_range(lo..hi)).with_shrink(move |&v| {
+        let mut out = Vec::new();
+        if v > lo {
+            out.push(lo);
+            let mid = lo + (v - lo) / 2.0;
+            if mid > lo && mid < v {
+                out.push(mid);
+            }
+        }
+        out
+    })
+}
+
+/// Uniform `bool`; `true` shrinks to `false`.
+pub fn bools() -> Gen<bool> {
+    Gen::new(|rng| rng.random()).with_shrink(|&v| if v { vec![false] } else { vec![] })
+}
+
+/// Any `u8` (full domain).
+pub fn any_u8() -> Gen<u8> {
+    ints(0u8..=u8::MAX)
+}
+/// Any `u16` (full domain).
+pub fn any_u16() -> Gen<u16> {
+    ints(0u16..=u16::MAX)
+}
+/// Any `u32` (full domain).
+pub fn any_u32() -> Gen<u32> {
+    ints(0u32..=u32::MAX)
+}
+/// Any `u64` (full domain).
+pub fn any_u64() -> Gen<u64> {
+    ints(0u64..=u64::MAX)
+}
+/// Any `usize` (full domain).
+pub fn any_usize() -> Gen<usize> {
+    ints(0usize..=usize::MAX)
+}
+/// Any `u128` (full domain; no shrinking).
+pub fn any_u128() -> Gen<u128> {
+    Gen::new(|rng| rng.random())
+}
+
+/// A vector of `elem` with length drawn from `len` (`0..8`, `1..=4`, …).
+///
+/// Shrinks aggressively on length (empty, halves, drop-one) and then
+/// element-wise, always respecting the minimum length.
+pub fn vec_of<T: Clone + PartialEq + 'static>(
+    elem: Gen<T>,
+    len: impl RangeBounds<usize> + Clone + 'static,
+) -> Gen<Vec<T>> {
+    let (min_len, max_len) = usize_bounds(&len, 64);
+    let inner = elem.clone();
+    Gen::new(move |rng| {
+        let n = rng.random_range(min_len..=max_len);
+        (0..n).map(|_| inner.sample(rng)).collect()
+    })
+    .with_shrink(move |v: &Vec<T>| {
+        let mut out: Vec<Vec<T>> = Vec::new();
+        if v.len() > min_len {
+            out.push(v[..min_len].to_vec());
+            let half = (v.len() + min_len) / 2;
+            if half > min_len && half < v.len() {
+                out.push(v[..half].to_vec());
+            }
+            // Drop a single element at a few positions.
+            for i in [0, v.len() / 2, v.len() - 1] {
+                if v.len() > min_len {
+                    let mut w = v.clone();
+                    w.remove(i);
+                    if !out.contains(&w) {
+                        out.push(w);
+                    }
+                }
+            }
+        }
+        // Shrink individual elements (bounded fan-out).
+        for i in 0..v.len().min(8) {
+            for cand in elem.shrink(&v[i]).into_iter().take(2) {
+                let mut w = v.clone();
+                w[i] = cand;
+                out.push(w);
+            }
+        }
+        out
+    })
+}
+
+/// A `String` of characters drawn uniformly from `alphabet`, with length in
+/// `len`. Shrinks on length toward the minimum.
+pub fn string_of(alphabet: &str, len: impl RangeBounds<usize> + Clone + 'static) -> Gen<String> {
+    let chars: Vec<char> = alphabet.chars().collect();
+    assert!(!chars.is_empty(), "empty alphabet");
+    let (min_len, max_len) = usize_bounds(&len, 64);
+    let gen_chars = chars.clone();
+    Gen::new(move |rng| {
+        let n = rng.random_range(min_len..=max_len);
+        (0..n).map(|_| *rng.choose(&gen_chars).unwrap()).collect()
+    })
+    .with_shrink(move |s: &String| {
+        let mut out = Vec::new();
+        let v: Vec<char> = s.chars().collect();
+        if v.len() > min_len {
+            out.push(v[..min_len].iter().collect());
+            let half = (v.len() + min_len) / 2;
+            if half > min_len && half < v.len() {
+                out.push(v[..half].iter().collect());
+            }
+            out.push(v[..v.len() - 1].iter().collect());
+        }
+        out
+    })
+}
+
+/// Common character sets for [`string_of`].
+pub mod alphabet {
+    /// Lowercase letters.
+    pub const LOWER: &str = "abcdefghijklmnopqrstuvwxyz";
+    /// Lowercase letters and digits.
+    pub const LOWER_ALNUM: &str = "abcdefghijklmnopqrstuvwxyz0123456789";
+    /// Digits.
+    pub const DIGITS: &str = "0123456789";
+    /// Printable ASCII, space through `~` (0x20–0x7E).
+    pub const PRINTABLE: &str = " !\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~";
+    /// Visible ASCII, `!` through `~` (0x21–0x7E; no space).
+    pub const VISIBLE: &str = "!\"#$%&'()*+,-./0123456789:;<=>?@ABCDEFGHIJKLMNOPQRSTUVWXYZ[\\]^_`abcdefghijklmnopqrstuvwxyz{|}~";
+}
+
+/// Arbitrary bytes with length in `len` — the fuzz staple.
+pub fn bytes(len: impl RangeBounds<usize> + Clone + 'static) -> Gen<Vec<u8>> {
+    vec_of(any_u8(), len)
+}
+
+/// Choose uniformly among complete generators (the `prop_oneof!`
+/// replacement). Values do not shrink across branches.
+pub fn one_of<T: 'static>(branches: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!branches.is_empty(), "one_of with no branches");
+    Gen::new(move |rng| {
+        let i = rng.random_range(0..branches.len());
+        branches[i].sample(rng)
+    })
+}
+
+macro_rules! impl_tuple_gen {
+    ($fn_name:ident: $($g:ident $t:ident $idx:tt),+) => {
+        /// Generate a tuple component-wise; shrinks one component at a time.
+        pub fn $fn_name<$($t: Clone + 'static),+>($($g: Gen<$t>),+) -> Gen<($($t,)+)> {
+            let gens = ($($g,)+);
+            let sgens = gens.clone();
+            Gen::new(move |rng| ($(gens.$idx.sample(rng),)+))
+                .with_shrink(move |v| {
+                    let mut out = Vec::new();
+                    $(
+                        for cand in sgens.$idx.shrink(&v.$idx).into_iter().take(4) {
+                            let mut w = v.clone();
+                            w.$idx = cand;
+                            out.push(w);
+                        }
+                    )+
+                    out
+                })
+        }
+    };
+}
+
+impl_tuple_gen!(tuple2: a A 0, b B 1);
+impl_tuple_gen!(tuple3: a A 0, b B 1, c C 2);
+impl_tuple_gen!(tuple4: a A 0, b B 1, c C 2, d D 3);
+impl_tuple_gen!(tuple5: a A 0, b B 1, c C 2, d D 3, e E 4);
+
+/// Run `prop` over `cfg.cases` generated inputs; panic with a shrunk
+/// witness and replay instructions on the first failure.
+pub fn check<T: Debug + 'static>(
+    name: &str,
+    cfg: &Config,
+    gen: &Gen<T>,
+    prop: impl Fn(&T) -> TestResult,
+) {
+    let mut executed = 0u32;
+    let mut discarded = 0u32;
+    let mut case_index = 0u64;
+    while executed < cfg.cases {
+        if discarded > cfg.cases.saturating_mul(10) + 100 {
+            panic!(
+                "[qc] property '{name}': gave up after {discarded} discards \
+                 ({executed}/{} cases passed) — loosen the assumptions",
+                cfg.cases
+            );
+        }
+        let case_seed = mix64(cfg.seed ^ case_index);
+        case_index += 1;
+        let mut rng = Xoshiro256pp::seed_from_u64(case_seed);
+        let value = gen.sample(&mut rng);
+        match prop(&value) {
+            TestResult::Pass => executed += 1,
+            TestResult::Discard => discarded += 1,
+            TestResult::Fail(msg) => {
+                let (minimal, final_msg, steps) = shrink_failure(cfg, gen, &prop, value, msg);
+                panic!(
+                    "[qc] property '{name}' failed after {executed} passing case(s)\n\
+                     minimal input ({steps} shrink step(s)): {minimal:?}\n\
+                     error: {final_msg}\n\
+                     replay: QC_SEED={:#x} (base seed; failing case #{})",
+                    cfg.seed,
+                    case_index - 1,
+                )
+            }
+        }
+    }
+}
+
+fn shrink_failure<T: Debug + 'static>(
+    cfg: &Config,
+    gen: &Gen<T>,
+    prop: &impl Fn(&T) -> TestResult,
+    mut current: T,
+    mut msg: String,
+) -> (T, String, u32) {
+    let mut steps = 0u32;
+    'outer: while steps < cfg.max_shrink_steps {
+        for candidate in gen.shrink(&current) {
+            if let TestResult::Fail(m) = prop(&candidate) {
+                current = candidate;
+                msg = m;
+                steps += 1;
+                continue 'outer;
+            }
+        }
+        break;
+    }
+    (current, msg, steps)
+}
+
+/// Fail the surrounding property unless `cond` holds.
+#[macro_export]
+macro_rules! qc_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return $crate::qc::TestResult::Fail(
+                format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return $crate::qc::TestResult::Fail(format!($($fmt)+));
+        }
+    };
+}
+
+/// Fail the surrounding property unless the two expressions are equal.
+#[macro_export]
+macro_rules! qc_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left != right {
+            return $crate::qc::TestResult::Fail(format!(
+                "{} != {}\n  left: {:?}\n  right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                left,
+                right
+            ));
+        }
+    }};
+}
+
+/// Fail the surrounding property if the two expressions are equal.
+#[macro_export]
+macro_rules! qc_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (left, right) = (&$a, &$b);
+        if left == right {
+            return $crate::qc::TestResult::Fail(format!(
+                "{} == {} (both {:?})",
+                stringify!($a),
+                stringify!($b),
+                left
+            ));
+        }
+    }};
+}
+
+/// Discard the current input unless `cond` holds (does not count as a
+/// pass or failure).
+#[macro_export]
+macro_rules! qc_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return $crate::qc::TestResult::Discard;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> Config {
+        Config {
+            cases: 64,
+            seed: DEFAULT_SEED,
+            max_shrink_steps: 1024,
+        }
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        check("counts", &cfg(), &ints(0u32..100), |&v| {
+            counter.set(counter.get() + 1);
+            qc_assert!(v < 100);
+            pass()
+        });
+        assert_eq!(counter.get(), 64);
+    }
+
+    #[test]
+    fn failing_property_panics_with_replay_seed() {
+        let result = std::panic::catch_unwind(|| {
+            check("always-fails", &cfg(), &ints(0u32..10), |_| {
+                TestResult::Fail("nope".into())
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("QC_SEED="), "no replay seed in: {msg}");
+        assert!(msg.contains("always-fails"));
+    }
+
+    #[test]
+    fn shrinker_minimizes_integer_threshold() {
+        // Fails iff v >= 1000: the minimal witness is exactly 1000.
+        let result = std::panic::catch_unwind(|| {
+            check("threshold", &cfg(), &ints(0u64..1_000_000), |&v| {
+                qc_assert!(v < 1000, "too big: {v}");
+                pass()
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(
+            msg.contains("minimal input") && msg.contains(" 1000\n"),
+            "did not shrink to 1000: {msg}"
+        );
+    }
+
+    #[test]
+    fn shrinker_minimizes_vec_length() {
+        // Fails iff the vec has >= 5 elements; minimal witness has exactly 5.
+        let result = std::panic::catch_unwind(|| {
+            check(
+                "vec-len",
+                &cfg(),
+                &vec_of(ints(0u8..=255), 0..40),
+                |v: &Vec<u8>| {
+                    qc_assert!(v.len() < 5, "len {}", v.len());
+                    pass()
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("len 5"), "did not shrink to len 5: {msg}");
+    }
+
+    #[test]
+    fn discards_do_not_consume_cases() {
+        let passed = std::cell::Cell::new(0u32);
+        check("assume", &cfg(), &ints(0u32..100), |&v| {
+            qc_assume!(v % 2 == 0);
+            passed.set(passed.get() + 1);
+            pass()
+        });
+        assert_eq!(
+            passed.get(),
+            64,
+            "all counted cases satisfied the assumption"
+        );
+    }
+
+    #[test]
+    fn same_config_generates_identical_inputs() {
+        let collect = || {
+            let v = std::cell::RefCell::new(Vec::new());
+            check("det", &cfg(), &vec_of(ints(0u32..1000), 0..10), |x| {
+                v.borrow_mut().push(x.clone());
+                pass()
+            });
+            v.into_inner()
+        };
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn string_and_filter_generators_respect_constraints() {
+        check(
+            "strings",
+            &cfg(),
+            &string_of(alphabet::LOWER_ALNUM, 1..=8),
+            |s: &String| {
+                qc_assert!((1..=8).contains(&s.len()));
+                qc_assert!(s
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit()));
+                pass()
+            },
+        );
+        check(
+            "filter",
+            &cfg(),
+            &ints(0u32..100).filter(|v| v % 3 == 0),
+            |&v| {
+                qc_assert!(v % 3 == 0);
+                pass()
+            },
+        );
+    }
+
+    #[test]
+    fn tuples_shrink_componentwise() {
+        let g = tuple2(ints(0u32..100), ints(0u32..100));
+        let shrunk = g.shrink(&(50, 0));
+        assert!(shrunk.iter().any(|&(a, b)| a < 50 && b == 0));
+        assert!(shrunk.iter().all(|&(_, b)| b == 0), "second stays minimal");
+    }
+}

@@ -1,0 +1,481 @@
+//! Deterministic randomness: splitmix64 seeding, a xoshiro256++ core, and
+//! the `Rng`/`RngExt` trait pair the workspace samples through.
+//!
+//! The generator algorithms are the public-domain constructions of Blackman
+//! and Vigna. Two properties matter here more than statistical exotica:
+//!
+//! 1. **Stability.** The output stream for a given seed is part of this
+//!    workspace's compatibility contract — regression tests pin golden
+//!    values against it. Never change the constants.
+//! 2. **Cheap seeding.** `netsim::SimRng` derives thousands of child
+//!    generators by hashing `(seed, label)`; splitmix64 turns any `u64`
+//!    (including pathological ones like 0 or 1) into a well-spread
+//!    xoshiro256++ state.
+
+use std::ops::{Bound, RangeBounds};
+
+/// A splitmix64 generator: one `u64` of state, one multiply-xor-shift chain
+/// per output. Used to expand seeds into [`Xoshiro256pp`] state and as the
+/// mixing primitive for label-keyed forking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Create a generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Produce the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix64(self.state)
+    }
+}
+
+/// The splitmix64 finalizer: a full-avalanche bijection on `u64`.
+pub fn mix64(z: u64) -> u64 {
+    let z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    let z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// xoshiro256++: 256 bits of state, 64 bits out per step, period 2^256−1.
+///
+/// This is the workspace's only general-purpose generator; everything
+/// random ultimately draws from one of these, seeded through splitmix64.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Expand a `u64` seed into a full state via four splitmix64 outputs.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        let s = [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()];
+        // The all-zero state is the one fixed point; splitmix64 cannot
+        // produce four consecutive zeros, but guard against future callers
+        // constructing state directly.
+        debug_assert!(s.iter().any(|&w| w != 0));
+        Xoshiro256pp { s }
+    }
+
+    /// Advance and return the next 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// The core random source interface: raw 32/64-bit words and byte fill.
+///
+/// Mirrors the shape of the `rand` crate's core trait so call sites read
+/// idiomatically; all sampling conveniences live on [`RngExt`].
+pub trait Rng {
+    /// Next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fill `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+impl Rng for Xoshiro256pp {
+    fn next_u32(&mut self) -> u32 {
+        // Upper bits: xoshiro's low bits are its weakest.
+        (Xoshiro256pp::next_u64(self) >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        Xoshiro256pp::next_u64(self)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// An unbiased draw in `[0, bound)` via Lemire's widening-multiply method.
+fn bounded_u64<R: Rng + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    debug_assert!(bound > 0, "bounded_u64 with zero bound");
+    let mut m = (rng.next_u64() as u128).wrapping_mul(bound as u128);
+    let mut low = m as u64;
+    if low < bound {
+        let threshold = bound.wrapping_neg() % bound;
+        while low < threshold {
+            m = (rng.next_u64() as u128).wrapping_mul(bound as u128);
+            low = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// A type that can be sampled uniformly over its whole domain
+/// (`rng.random::<T>()`).
+pub trait Sample: Sized {
+    /// Draw one uniformly distributed value.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_from_u64 {
+    ($($t:ty),+) => {$(
+        impl Sample for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )+};
+}
+impl_sample_from_u64!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Sample for u128 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+impl Sample for i128 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        u128::sample(rng) as i128
+    }
+}
+impl Sample for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() >> 63 == 1
+    }
+}
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+impl Sample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// A scalar that supports uniform sampling over an arbitrary sub-range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Draw uniformly from `[lo, hi]` (both ends inclusive).
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self;
+    /// The largest representable value (used to translate `lo..` ranges).
+    const DOMAIN_MAX: Self;
+    /// Step `hi` down by one unit for exclusive upper bounds. Returns `None`
+    /// if the resulting range would be empty.
+    fn step_down(hi: Self) -> Option<Self>;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),+) => {$(
+        impl SampleUniform for $t {
+            fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "cannot sample empty range");
+                // Work in i128 so every 64-bit signed/unsigned span fits.
+                let span = (hi as i128) - (lo as i128) + 1;
+                if span > u64::MAX as i128 {
+                    // Only possible for a full 64-bit domain: raw draw.
+                    return rng.next_u64() as $t;
+                }
+                let r = bounded_u64(rng, span as u64);
+                ((lo as i128) + r as i128) as $t
+            }
+            const DOMAIN_MAX: Self = <$t>::MAX;
+            fn step_down(hi: Self) -> Option<Self> {
+                hi.checked_sub(1)
+            }
+        }
+    )+};
+}
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "cannot sample empty range");
+        assert!(lo.is_finite() && hi.is_finite(), "non-finite range bound");
+        let u = f64::sample(rng);
+        // lo + u*(hi-lo); clamp guards the rare rounding overshoot.
+        (lo + u * (hi - lo)).clamp(lo, hi)
+    }
+    const DOMAIN_MAX: Self = f64::MAX;
+    fn step_down(hi: Self) -> Option<Self> {
+        // `lo..hi` on floats excludes `hi` with probability ~1 already; the
+        // uniform draw in [0,1) cannot produce u == 1.
+        Some(hi)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_inclusive<R: Rng + ?Sized>(rng: &mut R, lo: Self, hi: Self) -> Self {
+        f64::sample_inclusive(rng, lo as f64, hi as f64) as f32
+    }
+    const DOMAIN_MAX: Self = f32::MAX;
+    fn step_down(hi: Self) -> Option<Self> {
+        Some(hi)
+    }
+}
+
+/// A range argument accepted by [`RngExt::random_range`]: `lo..hi`,
+/// `lo..=hi`, or `lo..` over any [`SampleUniform`] scalar.
+pub trait SampleRange<T> {
+    /// Draw a uniform value from this range. Panics on an empty range.
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let hi = T::step_down(self.end).expect("cannot sample empty range");
+        T::sample_inclusive(rng, self.start, hi)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeFrom<T> {
+    fn sample_from<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, self.start, T::DOMAIN_MAX)
+    }
+}
+
+/// Sampling conveniences over any [`Rng`]; blanket-implemented.
+pub trait RngExt: Rng {
+    /// A uniform draw over `T`'s whole domain (`f64`/`f32`: `[0,1)`).
+    fn random<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A uniform draw from `range` (`lo..hi`, `lo..=hi`, or `lo..`).
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn random_range<T, Rg>(&mut self, range: Rg) -> T
+    where
+        T: SampleUniform,
+        Rg: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn random_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability {p} outside [0, 1]");
+        f64::sample(self) < p
+    }
+
+    /// Fisher–Yates shuffle in place.
+    fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = bounded_u64(self, i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, or `None` on an empty slice.
+    fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[bounded_u64(self, slice.len() as u64) as usize])
+        }
+    }
+
+    /// An element chosen with probability proportional to `weight(item)`.
+    /// Returns `None` if the slice is empty or all weights are zero.
+    fn choose_weighted<'a, T>(
+        &mut self,
+        slice: &'a [T],
+        weight: impl Fn(&T) -> u64,
+    ) -> Option<&'a T> {
+        let total: u64 = slice.iter().map(&weight).sum();
+        if total == 0 {
+            return None;
+        }
+        let mut x = bounded_u64(self, total);
+        for item in slice {
+            let w = weight(item);
+            if x < w {
+                return Some(item);
+            }
+            x -= w;
+        }
+        unreachable!("weights summed to total")
+    }
+}
+
+impl<R: Rng + ?Sized> RngExt for R {}
+
+/// Normalize any `RangeBounds<usize>` into concrete `[lo, hi]` inclusive
+/// bounds (used by `qc` collection generators).
+pub(crate) fn usize_bounds(r: &impl RangeBounds<usize>, unbounded_hi: usize) -> (usize, usize) {
+    let lo = match r.start_bound() {
+        Bound::Included(&n) => n,
+        Bound::Excluded(&n) => n + 1,
+        Bound::Unbounded => 0,
+    };
+    let hi = match r.end_bound() {
+        Bound::Included(&n) => n,
+        Bound::Excluded(&n) => n.saturating_sub(1),
+        Bound::Unbounded => unbounded_hi,
+    };
+    assert!(lo <= hi, "empty length range");
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_reference_vector() {
+        // Reference values for seed 1234567 from the public-domain
+        // splitmix64.c reference implementation.
+        let mut sm = SplitMix64::new(1234567);
+        let got: Vec<u64> = (0..3).map(|_| sm.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                6457827717110365317,
+                3203168211198807973,
+                9817491932198370423
+            ]
+        );
+    }
+
+    #[test]
+    fn xoshiro_is_deterministic_and_distinct_by_seed() {
+        let mut a = Xoshiro256pp::seed_from_u64(42);
+        let mut b = Xoshiro256pp::seed_from_u64(42);
+        let mut c = Xoshiro256pp::seed_from_u64(43);
+        let av: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let bv: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let cv: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(av, bv);
+        assert_ne!(av, cv);
+    }
+
+    #[test]
+    fn bounded_draws_stay_in_bounds() {
+        let mut r = Xoshiro256pp::seed_from_u64(7);
+        for bound in [1u64, 2, 3, 10, 1000, u64::MAX] {
+            for _ in 0..200 {
+                assert!(bounded_u64(&mut r, bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn range_forms_all_work() {
+        let mut r = Xoshiro256pp::seed_from_u64(9);
+        for _ in 0..500 {
+            let a: u32 = r.random_range(10..20);
+            assert!((10..20).contains(&a));
+            let b: u8 = r.random_range(1..=255);
+            assert!(b >= 1);
+            let c: u16 = r.random_range(5..);
+            assert!(c >= 5);
+            let d: i64 = r.random_range(-50..=50);
+            assert!((-50..=50).contains(&d));
+            let e: f64 = r.random_range(1e-9..1.0);
+            assert!((1e-9..1.0).contains(&e));
+            let f: f64 = r.random_range(2.0..=3.0);
+            assert!((2.0..=3.0).contains(&f));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut r = Xoshiro256pp::seed_from_u64(1);
+        let _: u32 = r.random_range(5..5);
+    }
+
+    #[test]
+    fn unit_floats_live_in_unit_interval() {
+        let mut r = Xoshiro256pp::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let x: f64 = r.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn random_bool_extremes() {
+        let mut r = Xoshiro256pp::seed_from_u64(4);
+        for _ in 0..100 {
+            assert!(!r.random_bool(0.0));
+            assert!(r.random_bool(1.0));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Xoshiro256pp::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle virtually never fixes");
+    }
+
+    #[test]
+    fn choose_and_weighted_choose() {
+        let mut r = Xoshiro256pp::seed_from_u64(6);
+        assert_eq!(r.choose::<u8>(&[]), None);
+        assert_eq!(r.choose(&[9]), Some(&9));
+        let items = [("a", 0u64), ("b", 5), ("c", 0)];
+        for _ in 0..50 {
+            let picked = r.choose_weighted(&items, |(_, w)| *w).unwrap();
+            assert_eq!(picked.0, "b");
+        }
+        assert!(r.choose_weighted(&items, |_| 0).is_none());
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = Xoshiro256pp::seed_from_u64(8);
+        for len in [0usize, 1, 7, 8, 9, 31] {
+            let mut buf = vec![0u8; len];
+            r.fill_bytes(&mut buf);
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0), "64 zero bits is ~2^-64");
+            }
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Statistical sanity and stability tests for `substrate::rng`.
+//!
+//! These are not a PRNG test battery (xoshiro256++ has its own published
+//! analysis); they are guardrails that the *integration* is right — no
+//! truncated state, no biased range mapping, no accidental stream change.
+
+use substrate::rng::{mix64, RngExt, SplitMix64, Xoshiro256pp};
+
+/// The first outputs for seed 0 are pinned. If this test ever fails, the
+/// generator changed and every golden value in the workspace is invalid —
+/// that is a compatibility break, not a refactor.
+#[test]
+fn golden_stream_seed_zero() {
+    let mut r = Xoshiro256pp::seed_from_u64(0);
+    let got: Vec<u64> = (0..4).map(|_| r.next_u64()).collect();
+    let mut again = Xoshiro256pp::seed_from_u64(0);
+    let got2: Vec<u64> = (0..4).map(|_| again.next_u64()).collect();
+    assert_eq!(got, got2);
+    // Self-consistency golden: computed once at introduction, pinned forever.
+    let expected: Vec<u64> = vec![
+        5987356902031041503,
+        7051070477665621255,
+        6633766593972829180,
+        211316841551650330,
+    ];
+    assert_eq!(
+        got, expected,
+        "xoshiro256++ stream changed — compatibility break"
+    );
+}
+
+#[test]
+fn mix64_is_a_bijection_on_samples() {
+    // Distinct inputs must produce distinct outputs (injectivity spot check).
+    let mut seen = std::collections::HashSet::new();
+    for i in 0u64..10_000 {
+        assert!(seen.insert(mix64(i)));
+    }
+}
+
+#[test]
+fn splitmix_decorrelates_adjacent_seeds() {
+    // Even seed, seed+1 should share no outputs in a short window.
+    let a: Vec<u64> = {
+        let mut s = SplitMix64::new(1);
+        (0..64).map(|_| s.next_u64()).collect()
+    };
+    let b: Vec<u64> = {
+        let mut s = SplitMix64::new(2);
+        (0..64).map(|_| s.next_u64()).collect()
+    };
+    assert!(a.iter().all(|x| !b.contains(x)));
+}
+
+#[test]
+fn uniform_ints_hit_every_bucket() {
+    let mut r = Xoshiro256pp::seed_from_u64(0xB0);
+    const BUCKETS: usize = 16;
+    const DRAWS: usize = 32_000;
+    let mut counts = [0usize; BUCKETS];
+    for _ in 0..DRAWS {
+        counts[r.random_range(0..BUCKETS)] += 1;
+    }
+    let expected = DRAWS / BUCKETS; // 2000
+    for (i, &c) in counts.iter().enumerate() {
+        // ±25% is ~11 sigma for a binomial with n=32k, p=1/16: a real
+        // uniformity bug lands far outside, noise never does.
+        assert!(
+            (expected * 3 / 4..=expected * 5 / 4).contains(&c),
+            "bucket {i}: {c} vs expected {expected}"
+        );
+    }
+}
+
+#[test]
+fn unit_floats_mean_is_centered() {
+    let mut r = Xoshiro256pp::seed_from_u64(0xF0);
+    const DRAWS: usize = 100_000;
+    let sum: f64 = (0..DRAWS).map(|_| r.random::<f64>()).sum();
+    let mean = sum / DRAWS as f64;
+    assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+}
+
+#[test]
+fn random_bool_tracks_probability() {
+    let mut r = Xoshiro256pp::seed_from_u64(0xB001);
+    for p in [0.01, 0.25, 0.5, 0.9] {
+        const DRAWS: usize = 50_000;
+        let hits = (0..DRAWS).filter(|_| r.random_bool(p)).count();
+        let frac = hits as f64 / DRAWS as f64;
+        assert!((frac - p).abs() < 0.02, "p={p}: observed {frac}");
+    }
+}
+
+#[test]
+fn full_domain_range_is_not_truncated() {
+    // A `1u16..` range must reach the high half of the domain.
+    let mut r = Xoshiro256pp::seed_from_u64(0xCAFE);
+    let mut high = 0;
+    for _ in 0..1000 {
+        let v: u16 = r.random_range(1..);
+        if v > u16::MAX / 2 {
+            high += 1;
+        }
+    }
+    assert!(high > 300, "only {high}/1000 draws in the top half");
+}
+
+#[test]
+fn signed_ranges_cover_both_signs() {
+    let mut r = Xoshiro256pp::seed_from_u64(0x51);
+    let (mut neg, mut pos) = (0, 0);
+    for _ in 0..1000 {
+        let v: i64 = r.random_range(-1000..=1000);
+        assert!((-1000..=1000).contains(&v));
+        if v < 0 {
+            neg += 1;
+        }
+        if v > 0 {
+            pos += 1;
+        }
+    }
+    assert!(neg > 300 && pos > 300, "neg={neg} pos={pos}");
+}
+
+#[test]
+fn shuffle_moves_mass() {
+    // Across many shuffles of 0..8, each value should occupy each position
+    // roughly uniformly.
+    let mut r = Xoshiro256pp::seed_from_u64(0x5417);
+    const N: usize = 8;
+    const ROUNDS: usize = 8000;
+    let mut at = [[0usize; N]; N];
+    for _ in 0..ROUNDS {
+        let mut v: Vec<usize> = (0..N).collect();
+        r.shuffle(&mut v);
+        for (pos, &val) in v.iter().enumerate() {
+            at[val][pos] += 1;
+        }
+    }
+    let expected = ROUNDS / N;
+    for (val, row) in at.iter().enumerate() {
+        for (pos, &c) in row.iter().enumerate() {
+            assert!(
+                (expected / 2..=expected * 2).contains(&c),
+                "value {val} at position {pos}: {c} (expected ~{expected})"
+            );
+        }
+    }
+}

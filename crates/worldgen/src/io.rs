@@ -15,7 +15,7 @@ pub enum SpecIoError {
     /// Filesystem failure.
     Io(std::io::Error),
     /// The file is not valid JSON for a [`WorldSpec`].
-    Format(serde_json::Error),
+    Format(substrate::json::JsonError),
     /// The spec parsed but failed validation.
     Invalid(Vec<SpecError>),
 }
@@ -47,20 +47,23 @@ impl From<std::io::Error> for SpecIoError {
     }
 }
 
-impl From<serde_json::Error> for SpecIoError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<substrate::json::JsonError> for SpecIoError {
+    fn from(e: substrate::json::JsonError) -> Self {
         SpecIoError::Format(e)
     }
 }
 
 /// Serialize a spec to pretty JSON.
 pub fn to_json(spec: &WorldSpec) -> Result<String, SpecIoError> {
-    Ok(serde_json::to_string_pretty(spec)?)
+    Ok(substrate::json::to_string_pretty(spec))
 }
 
 /// Parse a spec from JSON and validate it.
+///
+/// Both lexical errors (bad JSON) and shape errors (valid JSON that is not a
+/// `WorldSpec`) surface as [`SpecIoError::Format`].
 pub fn from_json(json: &str) -> Result<WorldSpec, SpecIoError> {
-    let spec: WorldSpec = serde_json::from_str(json)?;
+    let spec: WorldSpec = substrate::json::from_str(json)?;
     validate(&spec).map_err(SpecIoError::Invalid)?;
     Ok(spec)
 }
@@ -119,7 +122,7 @@ mod tests {
     fn invalid_spec_is_rejected_after_parse() {
         let mut spec = smoke_spec(1);
         spec.scale = -3.0;
-        let json = serde_json::to_string(&spec).unwrap();
+        let json = to_json(&spec).unwrap();
         assert!(matches!(from_json(&json), Err(SpecIoError::Invalid(_))));
     }
 

@@ -4,7 +4,7 @@
 //! against:
 //!
 //! - [`calibration`]: the paper's published numbers, transcribed;
-//! - [`spec`]: declarative, serde-able world descriptions with paper-scale
+//! - [`spec`]: declarative, JSON-able world descriptions with paper-scale
 //!   counts and a scale factor;
 //! - [`paper`]: [`paper::paper_spec`] — the calibrated default scenario
 //!   with every named ISP, injector, interceptor, and monitor from

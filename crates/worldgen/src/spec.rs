@@ -2,13 +2,13 @@
 //!
 //! A [`WorldSpec`] describes a population — countries, ISPs, violators —
 //! with counts at **paper scale**; the builder multiplies by
-//! [`WorldSpec::scale`]. Specs are plain serde-able data so scenarios can be
-//! exported, tweaked, and replayed.
+//! [`WorldSpec::scale`]. Specs are plain JSON-able data (via `substrate`'s
+//! `ToJson`/`FromJson`) so scenarios can be exported, tweaked, and replayed.
 
-use serde::{Deserialize, Serialize};
+use substrate::{json_enum, json_struct};
 
 /// A full world description.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WorldSpec {
     /// Master determinism seed.
     pub seed: u64,
@@ -28,8 +28,19 @@ pub struct WorldSpec {
     pub sites: SiteSpec,
 }
 
+json_struct!(WorldSpec {
+    seed,
+    scale,
+    probe_apex,
+    countries,
+    public_resolvers,
+    endhost,
+    monitors,
+    sites,
+});
+
 /// One country's population.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct CountrySpec {
     /// ISO code.
     pub code: String,
@@ -40,8 +51,14 @@ pub struct CountrySpec {
     pub isps: Vec<IspSpec>,
 }
 
+json_struct!(CountrySpec {
+    code,
+    has_rankings,
+    isps
+});
+
 /// One ISP.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IspSpec {
     /// Organization name (CAIDA-style).
     pub name: String,
@@ -77,9 +94,27 @@ pub struct IspSpec {
     pub flakiness: f64,
     /// An in-path middlebox strips STARTTLS from SMTP sessions (the
     /// future-work extension's violation).
-    #[serde(default)]
     pub smtp_strip: bool,
 }
+
+json_struct!(IspSpec {
+    name,
+    explicit_asns,
+    auto_as_count,
+    nodes,
+    resolver_servers,
+    resolver_hijack,
+    landing_domain,
+    shared_js,
+    transparent_proxy,
+    google_dns_share,
+    public_dns_share,
+    transcoder,
+    isp_injector_meta,
+    monitored_share,
+    flakiness,
+    smtp_strip: false,
+});
 
 impl IspSpec {
     /// A clean ISP with `nodes` exit nodes and sensible defaults.
@@ -106,7 +141,7 @@ impl IspSpec {
 }
 
 /// Mobile-carrier image transcoding.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TranscoderSpec {
     /// Operating points (output/input size ratios).
     pub ratios: Vec<f64>,
@@ -116,8 +151,13 @@ pub struct TranscoderSpec {
     pub tethered_share: f64,
 }
 
+json_struct!(TranscoderSpec {
+    ratios,
+    tethered_share
+});
+
 /// The public-resolver ecosystem (§4.3.2).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PublicResolverSpec {
     /// Clean public resolvers, at paper scale.
     pub clean_servers: u64,
@@ -128,8 +168,14 @@ pub struct PublicResolverSpec {
     pub hijacking_service_weight: f64,
 }
 
+json_struct!(PublicResolverSpec {
+    clean_servers,
+    services,
+    hijacking_service_weight,
+});
+
 /// One public resolver service.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PublicServiceSpec {
     /// Service name ("Comodo DNS", "LookSafe", …).
     pub name: String,
@@ -141,8 +187,15 @@ pub struct PublicServiceSpec {
     pub landing_domain: Option<String>,
 }
 
+json_struct!(PublicServiceSpec {
+    name,
+    servers,
+    hijack,
+    landing_domain,
+});
+
 /// Globally-assigned end-host software.
-#[derive(Debug, Clone, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct EndhostSpec {
     /// End-host NXDOMAIN hijackers (Norton-style search assist, malware).
     pub dns_hijackers: Vec<EndhostDnsSpec>,
@@ -158,8 +211,16 @@ pub struct EndhostSpec {
     pub blockers: Vec<BlockerSpec>,
 }
 
+json_struct!(EndhostSpec {
+    dns_hijackers,
+    html_injectors,
+    tls_interceptors,
+    monitor_attach,
+    blockers,
+});
+
 /// An end-host NXDOMAIN hijacker roster entry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct EndhostDnsSpec {
     /// Product/malware name.
     pub name: String,
@@ -172,8 +233,15 @@ pub struct EndhostDnsSpec {
     pub google_dns_users_only: bool,
 }
 
+json_struct!(EndhostDnsSpec {
+    name,
+    landing_domain,
+    nodes,
+    google_dns_users_only,
+});
+
 /// A Table 6 injector roster entry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct HtmlInjectorSpec {
     /// The signature string.
     pub signature: String,
@@ -189,8 +257,17 @@ pub struct HtmlInjectorSpec {
     pub ad_count: usize,
 }
 
+json_struct!(HtmlInjectorSpec {
+    signature,
+    is_script_url,
+    nodes,
+    country,
+    payload_bytes,
+    ad_count,
+});
+
 /// A Table 8 interceptor roster entry.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TlsInterceptorSpec {
     /// Issuer common name stamped on spoofed certificates.
     pub issuer: String,
@@ -208,8 +285,18 @@ pub struct TlsInterceptorSpec {
     pub country: Option<String>,
 }
 
+json_struct!(TlsInterceptorSpec {
+    issuer,
+    nodes,
+    shared_key,
+    invalid,
+    copy_fields,
+    per_site_fraction,
+    country,
+});
+
 /// Serde-friendly invalid-cert policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum InvalidPolicySpec {
     /// Re-sign with the trusted product root (masks invalidity).
     MaskWithTrustedRoot,
@@ -219,8 +306,14 @@ pub enum InvalidPolicySpec {
     PassThrough,
 }
 
+json_enum!(InvalidPolicySpec {
+    MaskWithTrustedRoot,
+    AltUntrustedRoot,
+    PassThrough,
+});
+
 /// Monitoring-software attachment.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MonitorAttachSpec {
     /// Entity name (must match a [`MonitorSpec`]).
     pub entity: String,
@@ -232,8 +325,15 @@ pub struct MonitorAttachSpec {
     pub vpn: bool,
 }
 
+json_struct!(MonitorAttachSpec {
+    entity,
+    nodes,
+    country_limit,
+    vpn,
+});
+
 /// JS/CSS/HTML blocker roster entry.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct BlockerSpec {
     /// Replace HTML with a block page.
     pub html: bool,
@@ -245,8 +345,15 @@ pub struct BlockerSpec {
     pub nodes: u64,
 }
 
+json_struct!(BlockerSpec {
+    html,
+    js,
+    css,
+    nodes
+});
+
 /// A content-monitoring entity (Table 9).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MonitorSpec {
     /// Entity name.
     pub name: String,
@@ -262,8 +369,17 @@ pub struct MonitorSpec {
     pub user_agent: String,
 }
 
+json_struct!(MonitorSpec {
+    name,
+    home_country,
+    source_ips,
+    profile,
+    fixed_second_source,
+    user_agent,
+});
+
 /// Named timing profiles (Figure 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MonitorProfile {
     /// Two log-uniform windows: 12–120 s, then 200–12,500 s.
     TrendMicro,
@@ -279,13 +395,21 @@ pub enum MonitorProfile {
     Tiscali,
 }
 
+json_enum!(MonitorProfile {
+    TrendMicro,
+    TalkTalk,
+    Commtouch,
+    AnchorFree,
+    Bluecoat,
+    Tiscali,
+});
+
 /// HTTPS site population.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct SiteSpec {
     /// Popular sites per ranked country (the paper probes the top 20).
     pub sites_per_country: usize,
     /// Mail (MX) hosts per ranked country, for the SMTP extension.
-    #[serde(default = "default_mail_hosts")]
     pub mail_hosts_per_country: usize,
     /// University domains (the paper's 10 PC-member universities).
     pub universities: usize,
@@ -293,9 +417,12 @@ pub struct SiteSpec {
     pub root_store_size: usize,
 }
 
-fn default_mail_hosts() -> usize {
-    1
-}
+json_struct!(SiteSpec {
+    sites_per_country,
+    mail_hosts_per_country: 1,
+    universities,
+    root_store_size,
+});
 
 impl Default for SiteSpec {
     fn default() -> Self {
@@ -378,14 +505,36 @@ mod tests {
     }
 
     #[test]
-    fn spec_roundtrips_through_serde() {
+    fn spec_roundtrips_through_json() {
+        use substrate::json::{from_str, to_string_pretty, FromJson, ToJson};
         let spec = tiny_spec();
-        // serde_json is not among the approved offline crates; exercising
-        // the Serialize/Deserialize derives through a hand-rolled format
-        // would be pointless. Instead assert the derives exist by using the
-        // trait bounds.
-        fn assert_serde<T: serde::Serialize + for<'de> serde::Deserialize<'de>>() {}
-        assert_serde::<WorldSpec>();
-        let _ = spec;
+        let doc = to_string_pretty(&spec);
+        let back: WorldSpec = from_str(&doc).expect("re-parse");
+        // Specs don't derive PartialEq (f64 fields); compare re-rendering.
+        assert_eq!(to_string_pretty(&back), doc);
+        // Trait bounds hold for the root type.
+        fn assert_json<T: ToJson + FromJson>() {}
+        assert_json::<WorldSpec>();
+    }
+
+    #[test]
+    fn missing_defaulted_fields_fall_back() {
+        use substrate::json::FromJson;
+        // A SiteSpec without `mail_hosts_per_country` predates the SMTP
+        // extension; it must decode with the default of 1.
+        let doc = r#"{"sites_per_country": 20, "universities": 10, "root_store_size": 187}"#;
+        let v = substrate::json::parse(doc).unwrap();
+        let site = SiteSpec::from_json(&v).expect("decode");
+        assert_eq!(site.mail_hosts_per_country, 1);
+
+        // An IspSpec without `smtp_strip` decodes as false.
+        let isp = IspSpec::clean("X", 10);
+        let mut fields = match substrate::json::ToJson::to_json(&isp) {
+            substrate::json::Json::Obj(fields) => fields,
+            other => panic!("expected object, got {other:?}"),
+        };
+        fields.retain(|(k, _)| k != "smtp_strip");
+        let decoded = IspSpec::from_json(&substrate::json::Json::Obj(fields)).expect("decode");
+        assert!(!decoded.smtp_strip);
     }
 }

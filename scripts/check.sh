@@ -1,7 +1,11 @@
 #!/usr/bin/env bash
-# Full local CI: format, lints, tests, docs, and a smoke reproduction run.
+# Full local CI: format, lints, tests, docs, a smoke reproduction run, and
+# a quick bench pass emitting machine-readable results. Runs fully offline:
+# the workspace has path-only dependencies, so no registry access is needed.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+export CARGO_NET_OFFLINE=true
 
 echo "== rustfmt =="
 cargo fmt --all -- --check
@@ -17,5 +21,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
 echo "== smoke reproduction =="
 cargo run -p tft-bench --bin repro --release -- --scale 0.01 --markdown
+
+echo "== bench smoke (JSON to BENCH_substrate.json) =="
+# cargo bench runs with the package directory as cwd, so the output path
+# must be absolute to land at the repo root.
+BENCH_JSON="$PWD/BENCH_substrate.json" TFT_BENCH_QUICK=1 \
+  cargo bench -p tft-bench --bench substrate
 
 echo "all checks passed"

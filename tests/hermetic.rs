@@ -1,0 +1,110 @@
+//! Guard: the workspace must stay hermetic — every dependency in every
+//! `Cargo.toml` is a path dependency (directly or via `workspace = true`),
+//! never a registry or git dependency. The build must succeed with zero
+//! network access.
+
+use std::path::{Path, PathBuf};
+
+/// Collect every Cargo.toml in the workspace (root + crates/*).
+fn manifests() -> Vec<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut out = vec![root.join("Cargo.toml")];
+    for entry in std::fs::read_dir(root.join("crates")).expect("crates/ exists") {
+        let dir = entry.expect("readable entry").path();
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            out.push(manifest);
+        }
+    }
+    assert!(
+        out.len() >= 12,
+        "expected >= 12 manifests, found {}",
+        out.len()
+    );
+    out
+}
+
+/// The dependency-ish sections whose entries we must audit.
+fn is_dep_section(header: &str) -> bool {
+    let h = header.trim_start_matches('[').trim_end_matches(']').trim();
+    h == "dependencies"
+        || h == "dev-dependencies"
+        || h == "build-dependencies"
+        || h == "workspace.dependencies"
+        || h.starts_with("target.") && h.ends_with("dependencies")
+}
+
+#[test]
+fn every_dependency_is_a_path_dependency() {
+    let mut violations = Vec::new();
+    for manifest in manifests() {
+        let text = std::fs::read_to_string(&manifest).expect("readable manifest");
+        let mut in_dep_section = false;
+        for (lineno, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_dep_section = is_dep_section(line);
+                continue;
+            }
+            if !in_dep_section {
+                continue;
+            }
+            // Each entry must be `name = { path = ... }`, `name.workspace = true`,
+            // or `name = { workspace = true }`. Registry (`version =`) and
+            // `git =` forms are forbidden.
+            let ok = line.contains("path =")
+                || line.contains("path=")
+                || line.contains("workspace = true")
+                || line.contains("workspace=true");
+            let forbidden = line.contains("version =")
+                || line.contains("version=")
+                || line.contains("git =")
+                || line.contains("git=")
+                || line.contains("registry");
+            if !ok || forbidden {
+                violations.push(format!(
+                    "{}:{}: `{}`",
+                    manifest.display(),
+                    lineno + 1,
+                    raw.trim()
+                ));
+            }
+        }
+    }
+    assert!(
+        violations.is_empty(),
+        "non-hermetic dependency declarations (must be path-only):\n{}",
+        violations.join("\n")
+    );
+}
+
+#[test]
+fn no_proptest_regression_artifacts() {
+    // proptest is gone; its regression files would be dead weight that
+    // suggests the old framework is still in use.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut found = Vec::new();
+    let mut stack = vec![root.join("crates")];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = std::fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries.flatten() {
+            let p = entry.path();
+            if p.is_dir() {
+                if p.file_name().is_some_and(|n| n == "target") {
+                    continue;
+                }
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "proptest-regressions")
+                || p.to_string_lossy().ends_with(".proptest-regressions")
+            {
+                found.push(p);
+            }
+        }
+    }
+    assert!(found.is_empty(), "stale proptest artifacts: {found:?}");
+}
