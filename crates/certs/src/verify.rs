@@ -78,8 +78,7 @@ pub fn verify_chain(
             return Err(CertError::Expired);
         }
     }
-    for pair in chain.windows(2) {
-        let (child, parent) = (&pair[0], &pair[1]);
+    for (child, parent) in chain.iter().zip(chain.iter().skip(1)) {
         if !parent.is_ca {
             return Err(CertError::NotCa);
         }
@@ -87,7 +86,7 @@ pub fn verify_chain(
             return Err(CertError::BadSignature);
         }
     }
-    let last = chain.last().expect("chain non-empty");
+    let last = chain.last().ok_or(CertError::EmptyChain)?;
     if roots.contains(last) {
         return Ok(());
     }

@@ -73,6 +73,7 @@ impl DnsCache {
     /// instead.
     pub fn put(&mut self, name: DnsName, qtype: QType, records: Vec<Record>, now: SimTime) {
         assert!(!records.is_empty(), "positive entries need records");
+        // tft-lint: allow(no-panic-on-untrusted-bytes, reason = "documented API-contract panic: the assert above guarantees records is non-empty")
         let ttl = records.iter().map(|r| r.ttl).min().expect("non-empty");
         self.entries.insert(
             (name, qtype.code()),

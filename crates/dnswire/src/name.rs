@@ -110,22 +110,14 @@ impl DnsName {
 
     /// True if `self` is a subdomain of `ancestor` (proper or equal).
     pub fn is_subdomain_of(&self, ancestor: &DnsName) -> bool {
-        if ancestor.labels.len() > self.labels.len() {
-            return false;
-        }
-        let offset = self.labels.len() - ancestor.labels.len();
-        self.labels[offset..] == ancestor.labels[..]
+        self.labels.ends_with(&ancestor.labels)
     }
 
     /// The parent name (None at the root).
     pub fn parent(&self) -> Option<DnsName> {
-        if self.labels.is_empty() {
-            None
-        } else {
-            Some(DnsName {
-                labels: self.labels[1..].to_vec(),
-            })
-        }
+        self.labels.split_first().map(|(_, rest)| DnsName {
+            labels: rest.to_vec(),
+        })
     }
 
     /// Prepend a label, producing a child name.
@@ -150,6 +142,7 @@ impl DnsName {
     pub fn to_wildcard(&self) -> DnsName {
         assert!(!self.is_root(), "root has no wildcard form");
         let mut labels = self.labels.clone();
+        // tft-lint: allow(no-panic-on-untrusted-bytes, reason = "documented API-contract panic: the assert above guarantees a leftmost label")
         labels[0] = "*".to_string();
         DnsName { labels }
     }

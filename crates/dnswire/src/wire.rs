@@ -356,9 +356,9 @@ impl Encoder {
     /// Emit a (possibly compressed) name. Compression pointers may only
     /// reference offsets < 0x4000.
     fn name(&mut self, name: &DnsName) {
-        let labels = name.labels();
-        for i in 0..labels.len() {
-            let suffix = labels[i..].join(".");
+        let mut rest = name.labels();
+        while let Some((label, tail)) = rest.split_first() {
+            let suffix = rest.join(".");
             if let Some(&off) = self.seen.get(&suffix) {
                 self.u16(0xC000 | off as u16);
                 return;
@@ -366,9 +366,9 @@ impl Encoder {
             if self.buf.len() < 0x4000 {
                 self.seen.insert(suffix, self.buf.len());
             }
-            let label = &labels[i];
             self.buf.push(label.len() as u8);
             self.buf.extend_from_slice(label.as_bytes());
+            rest = tail;
         }
         self.buf.push(0);
     }
@@ -410,6 +410,7 @@ impl Encoder {
             RData::Other(_, bytes) => self.buf.extend_from_slice(bytes),
         }
         let rdlen = (self.buf.len() - len_pos - 2) as u16;
+        // tft-lint: allow(no-panic-on-untrusted-bytes, reason = "encoder-owned buffer: u16(0) above reserved exactly these two bytes")
         self.buf[len_pos..len_pos + 2].copy_from_slice(&rdlen.to_be_bytes());
         Ok(())
     }
@@ -491,11 +492,9 @@ impl<'a> Decoder<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
-        if self.pos + n > self.buf.len() {
-            return Err(WireError::Truncated);
-        }
-        let s = &self.buf[self.pos..self.pos + n];
-        self.pos += n;
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        let s = self.buf.get(self.pos..end).ok_or(WireError::Truncated)?;
+        self.pos = end;
         Ok(s)
     }
 
@@ -570,16 +569,16 @@ impl<'a> Decoder<'a> {
                 if rdlen != 4 {
                     return Err(WireError::BadRdata);
                 }
-                let o = self.take(4)?;
-                RData::A(Ipv4Addr::new(o[0], o[1], o[2], o[3]))
+                let &[a, b, c, d] = self.take(4)? else {
+                    return Err(WireError::BadRdata);
+                };
+                RData::A(Ipv4Addr::new(a, b, c, d))
             }
             QType::Aaaa => {
                 if rdlen != 16 {
                     return Err(WireError::BadRdata);
                 }
-                let o = self.take(16)?;
-                let mut b = [0u8; 16];
-                b.copy_from_slice(o);
+                let b: [u8; 16] = self.take(16)?.try_into().map_err(|_| WireError::BadRdata)?;
                 RData::Aaaa(Ipv6Addr::from(b))
             }
             QType::Ns => RData::Ns(self.name()?),
@@ -633,9 +632,9 @@ pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
         questions.push(Question { qname, qtype });
     }
     let mut sections = [Vec::new(), Vec::new(), Vec::new()];
-    for (i, count) in [an, ns, ar].into_iter().enumerate() {
+    for (section, count) in sections.iter_mut().zip([an, ns, ar]) {
         for _ in 0..count {
-            sections[i].push(d.record()?);
+            section.push(d.record()?);
         }
     }
     let [answers, authority, additional] = sections;

@@ -41,7 +41,9 @@ impl Zone {
             name: apex.clone(),
             ttl: 3600,
             rdata: RData::Soa {
+                // tft-lint: allow(no-panic-on-untrusted-bytes, reason = "literal label on an operator-validated apex, not wire input; only an over-long apex could fail")
                 mname: apex.child("ns1").expect("valid child label"),
+                // tft-lint: allow(no-panic-on-untrusted-bytes, reason = "literal label on an operator-validated apex, not wire input; only an over-long apex could fail")
                 rname: apex.child("hostmaster").expect("valid child label"),
                 serial: 1,
                 refresh: 7200,

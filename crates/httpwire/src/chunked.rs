@@ -45,8 +45,9 @@ pub fn decode(input: &[u8]) -> Result<(Vec<u8>, usize), ChunkError> {
     let mut body = Vec::new();
     let mut pos = 0;
     loop {
-        let line_end = find_crlf(&input[pos..]).ok_or(ChunkError::Truncated)? + pos;
-        let size_line = &input[pos..line_end];
+        let rest = input.get(pos..).ok_or(ChunkError::Truncated)?;
+        let line_len = find_crlf(rest).ok_or(ChunkError::Truncated)?;
+        let size_line = rest.get(..line_len).ok_or(ChunkError::Truncated)?;
         // Ignore chunk extensions after ';'.
         let size_str = size_line.split(|&b| b == b';').next().unwrap_or_default();
         let size_str = std::str::from_utf8(size_str)
@@ -55,26 +56,29 @@ pub fn decode(input: &[u8]) -> Result<(Vec<u8>, usize), ChunkError> {
         if size_str.is_empty() {
             return Err(ChunkError::BadSize);
         }
+        // The declared size is attacker-controlled: all offset arithmetic
+        // below is checked so `ffffffffffffffff\r\n` can't overflow.
         let size = usize::from_str_radix(size_str, 16).map_err(|_| ChunkError::BadSize)?;
-        pos = line_end + 2;
+        pos += line_len + 2;
         if size == 0 {
             // Trailer section: we support only the empty trailer.
-            if input.len() < pos + 2 {
-                return Err(ChunkError::Truncated);
-            }
-            if &input[pos..pos + 2] != b"\r\n" {
-                return Err(ChunkError::MissingCrlf);
-            }
-            return Ok((body, pos + 2));
+            let end = pos.checked_add(2).ok_or(ChunkError::Truncated)?;
+            return match input.get(pos..end) {
+                Some(b"\r\n") => Ok((body, end)),
+                Some(_) => Err(ChunkError::MissingCrlf),
+                None => Err(ChunkError::Truncated),
+            };
         }
-        if input.len() < pos + size + 2 {
-            return Err(ChunkError::Truncated);
+        let data_end = pos.checked_add(size).ok_or(ChunkError::Truncated)?;
+        let crlf_end = data_end.checked_add(2).ok_or(ChunkError::Truncated)?;
+        let chunk = input.get(pos..data_end).ok_or(ChunkError::Truncated)?;
+        match input.get(data_end..crlf_end) {
+            Some(b"\r\n") => {}
+            Some(_) => return Err(ChunkError::MissingCrlf),
+            None => return Err(ChunkError::Truncated),
         }
-        body.extend_from_slice(&input[pos..pos + size]);
-        if &input[pos + size..pos + size + 2] != b"\r\n" {
-            return Err(ChunkError::MissingCrlf);
-        }
-        pos += size + 2;
+        body.extend_from_slice(chunk);
+        pos = crlf_end;
     }
 }
 

@@ -39,7 +39,8 @@ pub(crate) fn head(input: &[u8]) -> Result<(&str, Headers, usize), ParseError> {
         .windows(4)
         .position(|w| w == b"\r\n\r\n")
         .ok_or(ParseError::Incomplete)?;
-    let head = std::str::from_utf8(&input[..head_end]).map_err(|_| ParseError::BadEncoding)?;
+    let head_bytes = input.get(..head_end).ok_or(ParseError::Incomplete)?;
+    let head = std::str::from_utf8(head_bytes).map_err(|_| ParseError::BadEncoding)?;
     let mut lines = head.split("\r\n");
     let start_line = lines.next().ok_or(ParseError::BadStartLine)?;
     if start_line.is_empty() {
@@ -68,28 +69,24 @@ pub(crate) fn body(
     body_start: usize,
     read_to_end: bool,
 ) -> Result<(Vec<u8>, usize), ParseError> {
+    let tail = input.get(body_start..).ok_or(ParseError::Incomplete)?;
     if headers.is_chunked() {
-        let (body, used) = chunked::decode(&input[body_start..]).map_err(|e| match e {
+        let (body, used) = chunked::decode(tail).map_err(|e| match e {
             chunked::ChunkError::Truncated => ParseError::Incomplete,
             _ => ParseError::BadBody,
         })?;
         return Ok((body, body_start + used));
     }
     if let Some(len) = headers.content_length() {
-        if input.len() < body_start + len {
-            return Err(ParseError::Incomplete);
-        }
-        return Ok((
-            input[body_start..body_start + len].to_vec(),
-            body_start + len,
-        ));
+        let body = tail.get(..len).ok_or(ParseError::Incomplete)?;
+        return Ok((body.to_vec(), body_start + len));
     }
     if headers.contains("content-length") {
         // Header present but unparseable.
         return Err(ParseError::BadBody);
     }
     if read_to_end {
-        Ok((input[body_start..].to_vec(), input.len()))
+        Ok((tail.to_vec(), input.len()))
     } else {
         Ok((Vec::new(), body_start))
     }

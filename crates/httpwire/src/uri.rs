@@ -111,7 +111,7 @@ impl Uri {
             return Err(UriError::BadScheme);
         };
         let (authority, path) = match rest.find('/') {
-            Some(i) => (&rest[..i], &rest[i..]),
+            Some(i) => rest.split_at(i),
             None => (rest, "/"),
         };
         let (host, port) = match authority.rsplit_once(':') {

@@ -86,19 +86,16 @@ impl Reply {
             if terminated {
                 return Err(ReplyError::EarlyTermination);
             }
-            let bytes = raw.as_bytes();
-            if bytes.len() < 4 {
-                return Err(ReplyError::ShortLine);
-            }
             // Byte-wise prefix handling: the code and separator are ASCII
             // by definition; anything else is malformed (and arbitrary
             // UTF-8 must not panic the parser).
-            if !bytes[..3].iter().all(|b| b.is_ascii_digit()) {
+            let &[d0, d1, d2, sep, ..] = raw.as_bytes() else {
+                return Err(ReplyError::ShortLine);
+            };
+            if ![d0, d1, d2].iter().all(|b| b.is_ascii_digit()) {
                 return Err(ReplyError::BadCode);
             }
-            let c: u16 = (bytes[0] - b'0') as u16 * 100
-                + (bytes[1] - b'0') as u16 * 10
-                + (bytes[2] - b'0') as u16;
+            let c: u16 = (d0 - b'0') as u16 * 100 + (d1 - b'0') as u16 * 10 + (d2 - b'0') as u16;
             if !(100..600).contains(&c) {
                 return Err(ReplyError::BadCode);
             }
@@ -106,23 +103,22 @@ impl Reply {
                 Some(existing) if existing != c => return Err(ReplyError::MixedCodes),
                 _ => code = Some(c),
             }
-            match bytes[3] {
+            match sep {
                 b' ' => terminated = true,
                 b'-' => {}
                 _ => return Err(ReplyError::BadCode),
             }
-            lines.push(raw[4..].to_string());
+            // The first four bytes are ASCII (checked above), so byte
+            // offset 4 is a char boundary; get() keeps this total anyway.
+            lines.push(raw.get(4..).unwrap_or("").to_string());
         }
-        if lines.is_empty() {
+        let Some(code) = code else {
             return Err(ReplyError::Empty);
-        }
+        };
         if !terminated {
             return Err(ReplyError::ShortLine);
         }
-        Ok(Reply {
-            code: code.expect("lines non-empty"),
-            lines,
-        })
+        Ok(Reply { code, lines })
     }
 }
 

@@ -15,7 +15,24 @@
 
 use crate::json::{Json, ToJson};
 use std::hint::black_box;
-use std::time::{Duration, Instant};
+use std::time::Duration;
+
+/// The bench clock: the workspace's only sanctioned wall-clock read.
+///
+/// Benchmarks measure real elapsed time by definition, so the single
+/// allowlisted `Instant::now` lives here; every timing in the harness goes
+/// through this shim. Simulated paths use `netsim`'s virtual `SimTime` and
+/// must never observe host time — `tft-lint`'s `no-wall-clock` pass
+/// enforces that workspace-wide.
+mod clock {
+    use std::time::Instant;
+
+    /// Read the wall clock once.
+    pub(super) fn now() -> Instant {
+        // tft-lint: allow(no-wall-clock, reason = "bench timing is wall-clock by definition; sole sanctioned read, everything else uses SimTime")
+        Instant::now()
+    }
+}
 
 /// Statistics for one benchmark, in nanoseconds per iteration.
 #[derive(Debug, Clone)]
@@ -119,13 +136,13 @@ impl Harness {
     /// Benchmark `f`, auto-calibrating iterations per sample.
     pub fn bench<R>(&mut self, name: &str, mut f: impl FnMut() -> R) -> &Stats {
         // Warmup: keep running until the budget is spent (at least once).
-        let warmup_end = Instant::now() + self.options.warmup;
+        let warmup_end = clock::now() + self.options.warmup;
         let mut warmup_iters = 0u64;
-        let warmup_start = Instant::now();
+        let warmup_start = clock::now();
         loop {
             black_box(f());
             warmup_iters += 1;
-            if Instant::now() >= warmup_end {
+            if clock::now() >= warmup_end {
                 break;
             }
         }
@@ -140,7 +157,7 @@ impl Harness {
 
         let mut sample_ns: Vec<f64> = Vec::with_capacity(self.options.samples);
         for _ in 0..self.options.samples.max(1) {
-            let start = Instant::now();
+            let start = clock::now();
             for _ in 0..iters {
                 black_box(f());
             }

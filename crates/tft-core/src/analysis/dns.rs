@@ -7,7 +7,7 @@ use crate::obs::{DnsDataset, DnsOutcome};
 use inetdb::{Asn, CountryCode};
 use middlebox::{extract_urls, url_domain};
 use proxynet::World;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 /// One Table 3 row.
@@ -221,12 +221,12 @@ pub fn analyze(data: &DnsDataset, world: &World, cfg: &StudyConfig) -> DnsAnalys
     struct ResolverGroup {
         nodes: usize,
         hijacked: usize,
-        node_orgs: HashSet<u32>,
-        node_countries: HashSet<CountryCode>,
+        node_orgs: BTreeSet<u32>,
+        node_countries: BTreeSet<CountryCode>,
     }
-    let mut groups: HashMap<Ipv4Addr, ResolverGroup> = HashMap::new();
-    let mut node_ases: HashSet<Asn> = HashSet::new();
-    let mut node_countries: HashSet<CountryCode> = HashSet::new();
+    let mut groups: BTreeMap<Ipv4Addr, ResolverGroup> = BTreeMap::new();
+    let mut node_ases: BTreeSet<Asn> = BTreeSet::new();
+    let mut node_countries: BTreeSet<CountryCode> = BTreeSet::new();
     let mut country_counts: BTreeMap<CountryCode, (usize, usize)> = BTreeMap::new();
 
     for obs in &data.observations {
@@ -247,8 +247,8 @@ pub fn analyze(data: &DnsDataset, world: &World, cfg: &StudyConfig) -> DnsAnalys
         let g = groups.entry(obs.resolver_ip).or_insert(ResolverGroup {
             nodes: 0,
             hijacked: 0,
-            node_orgs: HashSet::new(),
-            node_countries: HashSet::new(),
+            node_orgs: BTreeSet::new(),
+            node_countries: BTreeSet::new(),
         });
         g.nodes += 1;
         if hijacked {
@@ -277,11 +277,11 @@ pub fn analyze(data: &DnsDataset, world: &World, cfg: &StudyConfig) -> DnsAnalys
         .sort_by(|a, b| b.ratio().partial_cmp(&a.ratio()).expect("finite ratios"));
 
     // ---- resolver classification -------------------------------------------
-    let mut hijacking_isp_servers: HashMap<u32, (String, CountryCode, usize, usize)> =
-        HashMap::new();
-    let mut hijacking_public: HashMap<u32, (String, usize, usize)> = HashMap::new();
-    let mut isp_server_set: HashSet<Ipv4Addr> = HashSet::new();
-    let mut public_server_set: HashSet<Ipv4Addr> = HashSet::new();
+    let mut hijacking_isp_servers: BTreeMap<u32, (String, CountryCode, usize, usize)> =
+        BTreeMap::new();
+    let mut hijacking_public: BTreeMap<u32, (String, usize, usize)> = BTreeMap::new();
+    let mut isp_server_set: BTreeSet<Ipv4Addr> = BTreeSet::new();
+    let mut public_server_set: BTreeSet<Ipv4Addr> = BTreeSet::new();
 
     for (&ip, g) in &groups {
         if in_google_anycast(ip) {
@@ -352,10 +352,10 @@ pub fn analyze(data: &DnsDataset, world: &World, cfg: &StudyConfig) -> DnsAnalys
     // ---- Google-DNS users and content attribution (§4.3.3) -----------------
     struct DomainAgg {
         nodes: usize,
-        ases: HashSet<Asn>,
-        countries: HashSet<CountryCode>,
+        ases: BTreeSet<Asn>,
+        countries: BTreeSet<CountryCode>,
     }
-    let mut domains: HashMap<String, DomainAgg> = HashMap::new();
+    let mut domains: BTreeMap<String, DomainAgg> = BTreeMap::new();
     for obs in &data.observations {
         if !in_google_anycast(obs.resolver_ip) {
             continue;
@@ -365,7 +365,7 @@ pub fn analyze(data: &DnsDataset, world: &World, cfg: &StudyConfig) -> DnsAnalys
             continue;
         };
         out.google_hijacked += 1;
-        let mut seen_here: HashSet<String> = HashSet::new();
+        let mut seen_here: BTreeSet<String> = BTreeSet::new();
         for url in extract_urls(content) {
             if let Some(domain) = url_domain(&url) {
                 if !seen_here.insert(domain.clone()) {
@@ -373,8 +373,8 @@ pub fn analyze(data: &DnsDataset, world: &World, cfg: &StudyConfig) -> DnsAnalys
                 }
                 let agg = domains.entry(domain).or_insert(DomainAgg {
                     nodes: 0,
-                    ases: HashSet::new(),
-                    countries: HashSet::new(),
+                    ases: BTreeSet::new(),
+                    countries: BTreeSet::new(),
                 });
                 agg.nodes += 1;
                 if let Some(asn) = reg.ip_to_asn(obs.node_ip) {
@@ -429,10 +429,10 @@ pub fn analyze(data: &DnsDataset, world: &World, cfg: &StudyConfig) -> DnsAnalys
 
     // ---- shared-JavaScript families (§4.3.1) ---------------------------------
     struct JsFamilyAgg {
-        isps: HashSet<String>,
+        isps: BTreeSet<String>,
         nodes: usize,
     }
-    let mut js_families: HashMap<u64, JsFamilyAgg> = HashMap::new();
+    let mut js_families: BTreeMap<u64, JsFamilyAgg> = BTreeMap::new();
     for obs in &data.observations {
         let DnsOutcome::Hijacked { content } = &obs.outcome else {
             continue;
@@ -450,7 +450,7 @@ pub fn analyze(data: &DnsDataset, world: &World, cfg: &StudyConfig) -> DnsAnalys
         let agg = js_families
             .entry(fnv64(&normalized))
             .or_insert(JsFamilyAgg {
-                isps: HashSet::new(),
+                isps: BTreeSet::new(),
                 nodes: 0,
             });
         agg.isps.insert(isp);

@@ -6,7 +6,7 @@ use crate::obs::{HttpDataset, ProbeObject};
 use inetdb::{Asn, CountryCode};
 use middlebox::extract_urls;
 use proxynet::World;
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One injected-signature row (Table 6).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -102,7 +102,7 @@ fn is_block_page(body: &[u8]) -> bool {
 /// script URLs, new `var NAME` declarations, and new meta names relative to
 /// the reference page.
 pub fn extract_signatures(original: &[u8], modified: &[u8]) -> Vec<String> {
-    let orig_urls: HashSet<String> = extract_urls(original).into_iter().collect();
+    let orig_urls: BTreeSet<String> = extract_urls(original).into_iter().collect();
     let mut sigs = Vec::new();
     for url in extract_urls(modified) {
         if orig_urls.contains(&url) {
@@ -166,22 +166,22 @@ pub fn analyze(data: &HttpDataset, world: &World, cfg: &StudyConfig) -> HttpAnal
         nodes: data.observations.len(),
         ..Default::default()
     };
-    let mut node_ases: HashSet<Asn> = HashSet::new();
-    let mut node_countries: HashSet<CountryCode> = HashSet::new();
+    let mut node_ases: BTreeSet<Asn> = BTreeSet::new();
+    let mut node_countries: BTreeSet<CountryCode> = BTreeSet::new();
 
     struct SigAgg {
         nodes: usize,
-        ases: HashSet<Asn>,
-        countries: HashSet<CountryCode>,
+        ases: BTreeSet<Asn>,
+        countries: BTreeSet<CountryCode>,
     }
-    let mut sig_aggs: HashMap<String, SigAgg> = HashMap::new();
+    let mut sig_aggs: BTreeMap<String, SigAgg> = BTreeMap::new();
     // AS → (injected nodes, measured nodes) for ISP-level attribution.
     let mut as_injection: BTreeMap<Asn, (usize, usize)> = BTreeMap::new();
     // AS → (modified, total, ratios) for images.
     struct ImgAgg {
         modified: usize,
         total: usize,
-        ratios: HashSet<u64>,
+        ratios: BTreeSet<u64>,
     }
     let mut img_aggs: BTreeMap<Asn, ImgAgg> = BTreeMap::new();
 
@@ -209,8 +209,8 @@ pub fn analyze(data: &HttpDataset, world: &World, cfg: &StudyConfig) -> HttpAnal
                         for sig in extract_signatures(&original, body) {
                             let agg = sig_aggs.entry(sig).or_insert(SigAgg {
                                 nodes: 0,
-                                ases: HashSet::new(),
-                                countries: HashSet::new(),
+                                ases: BTreeSet::new(),
+                                countries: BTreeSet::new(),
                             });
                             agg.nodes += 1;
                             agg.ases.insert(asn);
@@ -224,7 +224,7 @@ pub fn analyze(data: &HttpDataset, world: &World, cfg: &StudyConfig) -> HttpAnal
                     let agg = img_aggs.entry(asn).or_insert(ImgAgg {
                         modified: 0,
                         total: 0,
-                        ratios: HashSet::new(),
+                        ratios: BTreeSet::new(),
                     });
                     agg.total += 1;
                     if r.modified_body.is_some() {

@@ -7,7 +7,7 @@ use crate::obs::{HttpsDataset, SiteClass};
 use certs::{exact_match, verify_chain, KeyId};
 use inetdb::{Asn, CountryCode};
 use proxynet::World;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One issuer row (Table 8).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -54,16 +54,16 @@ pub fn analyze(data: &HttpsDataset, world: &World, _cfg: &StudyConfig) -> HttpsA
         nodes: data.observations.len(),
         ..Default::default()
     };
-    let mut node_ases: HashSet<Asn> = HashSet::new();
-    let mut node_countries: HashSet<CountryCode> = HashSet::new();
-    let mut as_counts: HashMap<Asn, (usize, usize)> = HashMap::new();
+    let mut node_ases: BTreeSet<Asn> = BTreeSet::new();
+    let mut node_countries: BTreeSet<CountryCode> = BTreeSet::new();
+    let mut as_counts: BTreeMap<Asn, (usize, usize)> = BTreeMap::new();
 
     struct IssuerAgg {
         nodes: usize,
         shared_key_nodes: usize,
         masks_invalid_nodes: usize,
     }
-    let mut issuers: HashMap<String, IssuerAgg> = HashMap::new();
+    let mut issuers: BTreeMap<String, IssuerAgg> = BTreeMap::new();
 
     for obs in &data.observations {
         let asn = reg.ip_to_asn(obs.exit_ip).unwrap_or(Asn(0));
@@ -107,9 +107,9 @@ pub fn analyze(data: &HttpsDataset, world: &World, _cfg: &StudyConfig) -> HttpsA
         }
 
         // Issuer attribution: group by the leaf issuer CN.
-        let mut node_issuers: HashSet<String> = HashSet::new();
-        let mut keys_by_issuer: HashMap<String, HashSet<KeyId>> = HashMap::new();
-        let mut invalid_replaced_issuers: HashSet<String> = HashSet::new();
+        let mut node_issuers: BTreeSet<String> = BTreeSet::new();
+        let mut keys_by_issuer: BTreeMap<String, BTreeSet<KeyId>> = BTreeMap::new();
+        let mut invalid_replaced_issuers: BTreeSet<String> = BTreeSet::new();
         for p in &replaced_probes {
             let Some(leaf) = p.chain.first() else {
                 continue;

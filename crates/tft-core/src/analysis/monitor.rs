@@ -7,7 +7,7 @@ use crate::obs::MonitorDataset;
 use inetdb::{Asn, CountryCode};
 use netsim::Cdf;
 use proxynet::World;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
 /// One monitoring entity (Table 9 row).
@@ -100,7 +100,7 @@ pub fn discovery_scan<'a>(
     log: impl Iterator<Item = &'a proxynet::WebLogEntry>,
     is_probe_host: impl Fn(&str) -> bool,
 ) -> DiscoveryScan {
-    let mut sources: HashMap<&str, HashSet<Ipv4Addr>> = HashMap::new();
+    let mut sources: BTreeMap<&str, BTreeSet<Ipv4Addr>> = BTreeMap::new();
     for e in log {
         if is_probe_host(&e.host) {
             sources.entry(&e.host).or_default().insert(e.src);
@@ -119,26 +119,26 @@ pub fn analyze(data: &MonitorDataset, world: &World, _cfg: &StudyConfig) -> Moni
         nodes: data.observations.len(),
         ..Default::default()
     };
-    let mut node_ases: HashSet<Asn> = HashSet::new();
-    let mut node_countries: HashSet<CountryCode> = HashSet::new();
-    let mut all_sources: HashSet<Ipv4Addr> = HashSet::new();
-    let mut source_ases: HashSet<Asn> = HashSet::new();
+    let mut node_ases: BTreeSet<Asn> = BTreeSet::new();
+    let mut node_countries: BTreeSet<CountryCode> = BTreeSet::new();
+    let mut all_sources: BTreeSet<Ipv4Addr> = BTreeSet::new();
+    let mut source_ases: BTreeSet<Asn> = BTreeSet::new();
     // Measured nodes per organization (for the ISP-share denominators).
-    let mut measured_per_org: HashMap<u32, usize> = HashMap::new();
+    let mut measured_per_org: BTreeMap<u32, usize> = BTreeMap::new();
 
     struct EntityAgg {
         name: String,
         org: u32,
-        sources: HashSet<Ipv4Addr>,
-        nodes: HashSet<String>,
-        node_ases: HashSet<Asn>,
-        node_countries: HashSet<CountryCode>,
-        node_orgs: HashSet<u32>,
+        sources: BTreeSet<Ipv4Addr>,
+        nodes: BTreeSet<String>,
+        node_ases: BTreeSet<Asn>,
+        node_countries: BTreeSet<CountryCode>,
+        node_orgs: BTreeSet<u32>,
         delays: Vec<f64>,
         requests: usize,
         vpn_nodes: usize,
     }
-    let mut entities: HashMap<u32, EntityAgg> = HashMap::new();
+    let mut entities: BTreeMap<u32, EntityAgg> = BTreeMap::new();
 
     for obs in &data.observations {
         let node_asn = reg.ip_to_asn(obs.reported_exit_ip).unwrap_or(Asn(0));
@@ -175,11 +175,11 @@ pub fn analyze(data: &MonitorDataset, world: &World, _cfg: &StudyConfig) -> Moni
             let agg = entities.entry(org.id.0).or_insert_with(|| EntityAgg {
                 name: org.name.trim_end_matches(" Infrastructure").to_string(),
                 org: org.id.0,
-                sources: HashSet::new(),
-                nodes: HashSet::new(),
-                node_ases: HashSet::new(),
-                node_countries: HashSet::new(),
-                node_orgs: HashSet::new(),
+                sources: BTreeSet::new(),
+                nodes: BTreeSet::new(),
+                node_ases: BTreeSet::new(),
+                node_countries: BTreeSet::new(),
+                node_orgs: BTreeSet::new(),
                 delays: Vec::new(),
                 requests: 0,
                 vpn_nodes: 0,

@@ -9,7 +9,7 @@ use crate::config::StudyConfig;
 use crate::smtp_exp::SmtpDataset;
 use inetdb::{Asn, CountryCode};
 use proxynet::World;
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One stripping AS.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -51,7 +51,7 @@ pub fn analyze(data: &SmtpDataset, world: &World, cfg: &StudyConfig) -> SmtpAnal
         nodes: data.observations.len(),
         ..Default::default()
     };
-    let mut node_ases: HashSet<Asn> = HashSet::new();
+    let mut node_ases: BTreeSet<Asn> = BTreeSet::new();
     let mut per_as: BTreeMap<Asn, (usize, usize)> = BTreeMap::new();
     for obs in &data.observations {
         let asn = reg.ip_to_asn(obs.exit_ip).unwrap_or(Asn(0));

@@ -125,7 +125,7 @@ pub fn table3(dns: &DnsAnalysis) -> String {
         "rank", "country", "hijacked", "total", "ratio", "paper"
     )
     .unwrap();
-    let paper: std::collections::HashMap<&str, f64> = calibration::TABLE3
+    let paper: std::collections::BTreeMap<&str, f64> = calibration::TABLE3
         .iter()
         .map(|(c, h, t)| (*c, *h as f64 / *t as f64))
         .collect();
@@ -166,7 +166,7 @@ pub fn table4(dns: &DnsAnalysis) -> String {
         "country", "ISP", "servers", "nodes", "servers", "nodes"
     )
     .unwrap();
-    let paper: std::collections::HashMap<&str, (u64, u64)> = calibration::TABLE4
+    let paper: std::collections::BTreeMap<&str, (u64, u64)> = calibration::TABLE4
         .iter()
         .map(|(_, isp, srv, nodes)| (*isp, (*srv, *nodes)))
         .collect();
@@ -206,7 +206,7 @@ pub fn table5(dns: &DnsAnalysis) -> String {
         "domain", "nodes", "ASes", "ctys", "verdict", "paper"
     )
     .unwrap();
-    let paper: std::collections::HashMap<&str, u64> = calibration::TABLE5
+    let paper: std::collections::BTreeMap<&str, u64> = calibration::TABLE5
         .iter()
         .map(|(d, n, _, _)| (*d, *n))
         .collect();
@@ -278,7 +278,7 @@ pub fn table6(http: &HttpAnalysis) -> String {
         "signature", "nodes", "ctys", "ASes", "paper"
     )
     .unwrap();
-    let paper: std::collections::HashMap<String, u64> = calibration::TABLE6
+    let paper: std::collections::BTreeMap<String, u64> = calibration::TABLE6
         .iter()
         .map(|(sig, n, _, _, _)| (sig.to_string(), *n))
         .collect();
@@ -325,7 +325,7 @@ pub fn table7(http: &HttpAnalysis) -> String {
         "AS", "ISP", "cty", "mod", "total", "share", "ratios", "share", "ratio"
     )
     .unwrap();
-    let paper: std::collections::HashMap<u32, &calibration::Table7Row> =
+    let paper: std::collections::BTreeMap<u32, &calibration::Table7Row> =
         calibration::TABLE7.iter().map(|r| (r.asn, r)).collect();
     for row in &http.image_rows {
         let ratios = if row.multi_ratio() {
@@ -388,7 +388,7 @@ pub fn table8(https: &HttpsAnalysis) -> String {
         "issuer", "nodes", "shared-key", "masks-inval", "paper"
     )
     .unwrap();
-    let paper: std::collections::HashMap<&str, u64> = calibration::TABLE8
+    let paper: std::collections::BTreeMap<&str, u64> = calibration::TABLE8
         .iter()
         .map(|r| {
             (
@@ -437,7 +437,7 @@ pub fn table9(monitor: &MonitorAnalysis) -> String {
         "entity", "IPs", "nodes", "ASes", "ctys", "req/nd", "pre%", "VPN", "paper"
     )
     .unwrap();
-    let paper: std::collections::HashMap<&str, u64> = calibration::TABLE9
+    let paper: std::collections::BTreeMap<&str, u64> = calibration::TABLE9
         .iter()
         .map(|(n, _, nodes, _, _)| (*n, *nodes))
         .collect();

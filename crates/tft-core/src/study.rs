@@ -8,7 +8,7 @@ use crate::{dns_exp, http_exp, https_exp, monitor_exp};
 use inetdb::{Asn, CountryCode};
 use netsim::SimTime;
 use proxynet::World;
-use std::collections::HashSet;
+use std::collections::BTreeSet;
 
 /// Everything one full study run produces.
 pub struct StudyReport {
@@ -93,18 +93,19 @@ pub fn run_study(world: &mut World, cfg: &StudyConfig) -> StudyReport {
     let https = analysis::https::analyze(&https_data, world, cfg);
     let monitor = analysis::monitor::analyze(&monitor_data, world, cfg);
 
-    let mut zids: HashSet<&str> = HashSet::new();
-    let mut ases: HashSet<Asn> = HashSet::new();
-    let mut countries: HashSet<CountryCode> = HashSet::new();
-    let add_ip =
-        |ip: std::net::Ipv4Addr, ases: &mut HashSet<Asn>, countries: &mut HashSet<CountryCode>| {
-            if let Some(a) = world.registry.ip_to_asn(ip) {
-                ases.insert(a);
-            }
-            if let Some(c) = world.registry.country_of_ip(ip) {
-                countries.insert(c);
-            }
-        };
+    let mut zids: BTreeSet<&str> = BTreeSet::new();
+    let mut ases: BTreeSet<Asn> = BTreeSet::new();
+    let mut countries: BTreeSet<CountryCode> = BTreeSet::new();
+    let add_ip = |ip: std::net::Ipv4Addr,
+                  ases: &mut BTreeSet<Asn>,
+                  countries: &mut BTreeSet<CountryCode>| {
+        if let Some(a) = world.registry.ip_to_asn(ip) {
+            ases.insert(a);
+        }
+        if let Some(c) = world.registry.country_of_ip(ip) {
+            countries.insert(c);
+        }
+    };
     for o in &dns_data.observations {
         zids.insert(&o.zid.0);
         add_ip(o.node_ip, &mut ases, &mut countries);

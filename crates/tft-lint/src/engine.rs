@@ -1,0 +1,506 @@
+//! The pass framework: source-file model, diagnostics, inline suppression
+//! handling, the workspace walker, and the runner.
+//!
+//! A lint is a type implementing [`Pass`]: an id, a scope predicate over
+//! [`SourceFile`]s, and a per-file check emitting [`Diagnostic`]s with
+//! file:line:col spans. The runner applies every pass to every in-scope
+//! file, then resolves inline suppressions:
+//!
+//! ```text
+//! // tft-lint: allow(no-wall-clock, reason = "bench timing is wall-clock by definition")
+//! ```
+//!
+//! An allow comment suppresses matching diagnostics on its own line or the
+//! line directly below it. The `reason` is mandatory — an allow without one
+//! is itself a diagnostic (`allow-missing-reason`) — and allows are linted
+//! for staleness: one that suppresses nothing produces `stale-allow`, and
+//! one naming a pass that does not exist produces `unknown-lint-id`.
+
+use crate::lexer::{tokenize, TokKind, Token};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Engine-level diagnostic id: an allow comment without a written reason.
+pub const ALLOW_MISSING_REASON: &str = "allow-missing-reason";
+/// Engine-level diagnostic id: an allow comment that suppressed nothing.
+pub const STALE_ALLOW: &str = "stale-allow";
+/// Engine-level diagnostic id: an allow naming a pass that does not exist.
+pub const UNKNOWN_LINT_ID: &str = "unknown-lint-id";
+
+/// One finding, anchored to a file position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Id of the pass that produced it.
+    pub pass: String,
+    /// Workspace-relative path (unix separators).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based byte column.
+    pub col: u32,
+    /// Human-readable explanation ending in what to do about it.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: [{}] {}",
+            self.file, self.line, self.col, self.pass, self.message
+        )
+    }
+}
+
+/// What kind of file a [`SourceFile`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// A `.rs` file; `tokens` is populated.
+    Rust,
+    /// A `Cargo.toml` manifest; checked line-wise, `tokens` is empty.
+    Manifest,
+}
+
+/// One file presented to the passes.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (e.g.
+    /// `crates/dnswire/src/wire.rs`).
+    pub rel_path: String,
+    /// Owning crate name (`tft` for files of the root package).
+    pub crate_name: String,
+    /// File classification.
+    pub kind: FileKind,
+    /// Full text (lossy UTF-8).
+    pub text: String,
+    /// Token stream (empty for manifests).
+    pub tokens: Vec<Token>,
+}
+
+impl SourceFile {
+    /// Build a Rust source file from text, tokenizing it.
+    pub fn rust(rel_path: &str, crate_name: &str, text: &str) -> SourceFile {
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_name.to_string(),
+            kind: FileKind::Rust,
+            text: text.to_string(),
+            tokens: tokenize(text),
+        }
+    }
+
+    /// Build a manifest file from text.
+    pub fn manifest(rel_path: &str, crate_name: &str, text: &str) -> SourceFile {
+        SourceFile {
+            rel_path: rel_path.to_string(),
+            crate_name: crate_name.to_string(),
+            kind: FileKind::Manifest,
+            text: text.to_string(),
+            tokens: Vec::new(),
+        }
+    }
+
+    /// Token index ranges covered by `#[cfg(test)] mod … { … }` blocks, so
+    /// passes can exempt unit-test code (tests may unwrap freely).
+    pub fn test_mod_ranges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        let toks = &self.tokens;
+        let mut i = 0;
+        while i < toks.len() {
+            if self.match_texts(i, &["#", "[", "cfg", "(", "test", ")", "]"]) {
+                // Find the following `{` (skipping the `mod name` tokens)
+                // and its matching close brace.
+                let mut j = i + 7;
+                while j < toks.len() && self.tok_text(j) != "{" {
+                    j += 1;
+                }
+                if j < toks.len() {
+                    let close = self.matching_close(j, "{", "}");
+                    out.push((i, close));
+                    i = close;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+        out
+    }
+
+    /// The text of token `i` (empty string past the end).
+    pub fn tok_text(&self, i: usize) -> &str {
+        self.tokens.get(i).map(|t| t.text(&self.text)).unwrap_or("")
+    }
+
+    /// True if the code tokens starting at `i` match `texts` exactly
+    /// (comments are *not* skipped; callers operate on code-token indices).
+    pub fn match_texts(&self, i: usize, texts: &[&str]) -> bool {
+        texts
+            .iter()
+            .enumerate()
+            .all(|(k, want)| self.tok_text(i + k) == *want)
+    }
+
+    /// Index one past the token closing the bracket opened at `open_idx`
+    /// (which must hold `open`). Returns `tokens.len()` when unbalanced.
+    pub fn matching_close(&self, open_idx: usize, open: &str, close: &str) -> usize {
+        let mut depth = 0i64;
+        let mut i = open_idx;
+        while i < self.tokens.len() {
+            let t = self.tok_text(i);
+            if t == open {
+                depth += 1;
+            } else if t == close {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            i += 1;
+        }
+        self.tokens.len()
+    }
+}
+
+/// One parsed `tft-lint: allow(…)` comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The suppressed pass id.
+    pub id: String,
+    /// The mandatory written reason (None / empty ⇒ `allow-missing-reason`).
+    pub reason: Option<String>,
+    /// 1-based line of the comment.
+    pub line: u32,
+    /// 1-based column of the comment.
+    pub col: u32,
+}
+
+/// Parse the allow directives of a file. For Rust files, only comment
+/// tokens are inspected (an allow spelled inside a string literal is inert);
+/// manifests are scanned line-wise for `#` comments.
+pub fn parse_allows(file: &SourceFile) -> Vec<Allow> {
+    let mut out = Vec::new();
+    match file.kind {
+        FileKind::Rust => {
+            for t in &file.tokens {
+                if matches!(t.kind, TokKind::LineComment | TokKind::BlockComment) {
+                    let text = t.text(&file.text);
+                    // Doc comments (`///`, `//!`, `/**`, `/*!`) can't carry
+                    // directives — they describe the syntax, as this one does.
+                    let doc = text.starts_with("///")
+                        || text.starts_with("//!")
+                        || text.starts_with("/**")
+                        || text.starts_with("/*!");
+                    if doc {
+                        continue;
+                    }
+                    if let Some(a) = parse_allow_text(text, t.line, t.col) {
+                        out.push(a);
+                    }
+                }
+            }
+        }
+        FileKind::Manifest => {
+            for (i, raw) in file.text.lines().enumerate() {
+                if let Some(hash) = raw.find('#') {
+                    if let Some(a) = parse_allow_text(&raw[hash..], i as u32 + 1, hash as u32 + 1) {
+                        out.push(a);
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Parse `… tft-lint: allow(<id>, reason = "…") …` out of one comment.
+fn parse_allow_text(comment: &str, line: u32, col: u32) -> Option<Allow> {
+    let marker = comment.find("tft-lint:")?;
+    let rest = comment[marker..].strip_prefix("tft-lint:")?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let rest = rest.strip_prefix('(')?;
+    // The id runs to the first `,` or `)`; the reason is the first quoted
+    // string after `reason =`, so a `)` inside the reason text is fine.
+    let id_end = rest.find([',', ')'])?;
+    let id = rest.get(..id_end)?.trim();
+    let reason = rest
+        .get(id_end..)
+        .and_then(|t| t.strip_prefix(','))
+        .map(|t| t.trim_start())
+        .and_then(|t| t.strip_prefix("reason"))
+        .map(|t| t.trim_start())
+        .and_then(|t| t.strip_prefix('='))
+        .map(|t| t.trim_start())
+        .and_then(|t| t.strip_prefix('"'))
+        .and_then(|t| t.find('"').and_then(|q| t.get(..q)).map(str::to_string));
+    if id.is_empty() {
+        return None;
+    }
+    Some(Allow {
+        id: id.to_string(),
+        reason: reason.filter(|r| !r.trim().is_empty()),
+        line,
+        col,
+    })
+}
+
+/// A lint pass.
+pub trait Pass {
+    /// Stable kebab-case id, used in diagnostics and allow comments.
+    fn id(&self) -> &'static str;
+    /// One-line description for `--list` and the JSON report.
+    fn description(&self) -> &'static str;
+    /// Scope predicate: does this pass inspect `file` at all?
+    fn applies(&self, file: &SourceFile) -> bool;
+    /// Inspect one in-scope file.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>);
+    /// Inspect the workspace as a whole (after per-file checks); default
+    /// no-op. Used for invariants that span files, e.g. manifest counts.
+    fn check_workspace(&self, _files: &[SourceFile], _out: &mut Vec<Diagnostic>) {}
+}
+
+/// Result of a lint run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Surviving (non-suppressed) diagnostics, sorted by position.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Diagnostics silenced by a reasoned allow.
+    pub suppressed: usize,
+    /// Files inspected.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// True when the run found nothing.
+    pub fn is_clean(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+}
+
+/// The engine: a pass list plus the runner.
+pub struct Engine {
+    passes: Vec<Box<dyn Pass>>,
+}
+
+impl Engine {
+    /// An engine with an explicit pass list.
+    pub fn new(passes: Vec<Box<dyn Pass>>) -> Engine {
+        Engine { passes }
+    }
+
+    /// The standard pass set (all five workspace invariants).
+    pub fn with_default_passes() -> Engine {
+        Engine::new(crate::passes::default_passes())
+    }
+
+    /// The registered passes.
+    pub fn passes(&self) -> &[Box<dyn Pass>] {
+        &self.passes
+    }
+
+    /// Run over an explicit file set (the self-test entry point: fixtures
+    /// are in-memory [`SourceFile`]s, no disk layout required).
+    pub fn run_files(&self, files: &[SourceFile]) -> Report {
+        let mut report = Report {
+            files_scanned: files.len(),
+            ..Report::default()
+        };
+        let mut raw: Vec<Diagnostic> = Vec::new();
+        for pass in &self.passes {
+            for file in files {
+                if pass.applies(file) {
+                    pass.check(file, &mut raw);
+                }
+            }
+            pass.check_workspace(files, &mut raw);
+        }
+
+        // Suppression resolution, per file.
+        for file in files {
+            let allows = parse_allows(file);
+            let mut used = vec![false; allows.len()];
+            let known_id =
+                |id: &str| self.passes.iter().any(|p| p.id() == id) || id == ALLOW_MISSING_REASON;
+            for diag in raw.iter_mut().filter(|d| d.file == file.rel_path) {
+                for (k, a) in allows.iter().enumerate() {
+                    let anchored = a.line == diag.line || a.line + 1 == diag.line;
+                    if anchored && a.id == diag.pass && a.reason.is_some() {
+                        used[k] = true;
+                        // Mark by clearing the pass id; filtered below.
+                        diag.pass.clear();
+                        report.suppressed += 1;
+                        break;
+                    }
+                }
+            }
+            for (k, a) in allows.iter().enumerate() {
+                if a.reason.is_none() {
+                    raw.push(Diagnostic {
+                        pass: ALLOW_MISSING_REASON.into(),
+                        file: file.rel_path.clone(),
+                        line: a.line,
+                        col: a.col,
+                        message: format!(
+                            "allow({}) has no reason; write `tft-lint: allow({}, reason = \"…\")`",
+                            a.id, a.id
+                        ),
+                    });
+                } else if !known_id(&a.id) {
+                    raw.push(Diagnostic {
+                        pass: UNKNOWN_LINT_ID.into(),
+                        file: file.rel_path.clone(),
+                        line: a.line,
+                        col: a.col,
+                        message: format!("allow({}) names no registered pass", a.id),
+                    });
+                } else if !used[k] {
+                    raw.push(Diagnostic {
+                        pass: STALE_ALLOW.into(),
+                        file: file.rel_path.clone(),
+                        line: a.line,
+                        col: a.col,
+                        message: format!(
+                            "allow({}) suppresses nothing on this or the next line; delete it",
+                            a.id
+                        ),
+                    });
+                }
+            }
+        }
+
+        report.diagnostics = raw.into_iter().filter(|d| !d.pass.is_empty()).collect();
+        report.diagnostics.sort_by(|a, b| {
+            (&a.file, a.line, a.col, &a.pass).cmp(&(&b.file, b.line, b.col, &b.pass))
+        });
+        report
+    }
+
+    /// Walk the workspace rooted at `root` and run every pass.
+    pub fn run(&self, root: &Path) -> std::io::Result<Report> {
+        let files = workspace_files(root)?;
+        Ok(self.run_files(&files))
+    }
+}
+
+/// Collect the workspace's lintable files: the root and per-crate
+/// `Cargo.toml` manifests, and every `.rs` file under the conventional
+/// source roots (`src`, `tests`, `examples`, `benches`), skipping `target`
+/// and hidden directories.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut out = Vec::new();
+    let read = |p: &Path| -> std::io::Result<String> {
+        Ok(String::from_utf8_lossy(&std::fs::read(p)?).into_owned())
+    };
+
+    let push_manifest = |path: PathBuf, crate_name: String, out: &mut Vec<SourceFile>| {
+        if let Ok(text) = read(&path) {
+            out.push(SourceFile::manifest(&rel(root, &path), &crate_name, &text));
+        }
+    };
+    push_manifest(root.join("Cargo.toml"), "tft".into(), &mut out);
+
+    let mut crate_dirs: Vec<(PathBuf, String)> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        for entry in entries.flatten() {
+            let dir = entry.path();
+            if dir.join("Cargo.toml").is_file() {
+                let name = dir
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_default();
+                push_manifest(dir.join("Cargo.toml"), name.clone(), &mut out);
+                crate_dirs.push((dir, name));
+            }
+        }
+    }
+    crate_dirs.push((root.to_path_buf(), "tft".into()));
+
+    for (dir, name) in &crate_dirs {
+        for sub in ["src", "tests", "examples", "benches"] {
+            let top = dir.join(sub);
+            if !top.is_dir() {
+                continue;
+            }
+            let mut stack = vec![top];
+            while let Some(d) = stack.pop() {
+                let Ok(entries) = std::fs::read_dir(&d) else {
+                    continue;
+                };
+                let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+                paths.sort();
+                for p in paths {
+                    let fname = p.file_name().map(|n| n.to_string_lossy().into_owned());
+                    let hidden = fname.as_deref().is_some_and(|n| n.starts_with('.'));
+                    if p.is_dir() {
+                        if !hidden && fname.as_deref() != Some("target") {
+                            stack.push(p);
+                        }
+                    } else if !hidden && p.extension().is_some_and(|e| e == "rs") {
+                        if let Ok(text) = read(&p) {
+                            out.push(SourceFile::rust(&rel(root, &p), name, &text));
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| a.rel_path.cmp(&b.rel_path));
+    Ok(out)
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_parsing_full_form() {
+        let a = parse_allow_text(
+            r#"// tft-lint: allow(no-wall-clock, reason = "bench timing")"#,
+            7,
+            3,
+        )
+        .expect("parses");
+        assert_eq!(a.id, "no-wall-clock");
+        assert_eq!(a.reason.as_deref(), Some("bench timing"));
+        assert_eq!((a.line, a.col), (7, 3));
+    }
+
+    #[test]
+    fn allow_parsing_without_reason() {
+        let a = parse_allow_text("// tft-lint: allow(seed-discipline)", 1, 1).expect("parses");
+        assert_eq!(a.id, "seed-discipline");
+        assert_eq!(a.reason, None);
+        // An empty reason string counts as missing.
+        let b = parse_allow_text(r#"# tft-lint: allow(x, reason = "  ")"#, 1, 1).expect("parses");
+        assert_eq!(b.reason, None);
+    }
+
+    #[test]
+    fn non_allow_comments_are_ignored() {
+        assert_eq!(parse_allow_text("// plain comment", 1, 1), None);
+        assert_eq!(parse_allow_text("// tft-lint: allow()", 1, 1), None);
+    }
+
+    #[test]
+    fn test_mod_ranges_cover_the_block() {
+        let f = SourceFile::rust(
+            "x.rs",
+            "c",
+            "fn a() {}\n#[cfg(test)]\nmod tests {\n fn b() { x.unwrap(); }\n}\nfn c() {}",
+        );
+        let ranges = f.test_mod_ranges();
+        assert_eq!(ranges.len(), 1);
+        let (s, e) = ranges[0];
+        let covered: Vec<&str> = (s..e).map(|i| f.tok_text(i)).collect();
+        assert!(covered.contains(&"unwrap"));
+        assert!(!covered.contains(&"c"));
+    }
+}

@@ -1,0 +1,493 @@
+//! A small but real Rust lexer.
+//!
+//! Produces a flat token stream with byte spans and line/column positions —
+//! enough structure for the lint passes to distinguish code from comments
+//! and string literals (so the literal `"unwrap()"` inside a doc comment
+//! never fires a lint), to disambiguate lifetimes from char literals, and
+//! to match nesting-aware bracket structure.
+//!
+//! The lexer is total: it never panics, whatever the input. Unterminated
+//! strings and comments simply extend to end-of-file, and bytes that are
+//! not valid Rust lexemes become single-character [`TokKind::Punct`]
+//! tokens. Both properties are pinned by `substrate::qc` property tests in
+//! `tests/prop.rs`.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers like `r#type`).
+    Ident,
+    /// Lifetime (`'a`), including the leading quote.
+    Lifetime,
+    /// Integer literal (suffix included, e.g. `42u64`, `0xC0DE`).
+    Int,
+    /// Float literal (suffix included).
+    Float,
+    /// String literal `"…"`, escapes unresolved.
+    Str,
+    /// Raw string literal `r"…"` / `r#"…"#`.
+    RawStr,
+    /// Byte-string literal `b"…"` / raw byte string `br#"…"#`.
+    ByteStr,
+    /// Char literal `'x'`.
+    Char,
+    /// Byte literal `b'x'`.
+    Byte,
+    /// Line comment `// …` (doc comments included), newline excluded.
+    LineComment,
+    /// Block comment `/* … */`, nesting-aware.
+    BlockComment,
+    /// Any single punctuation character.
+    Punct,
+}
+
+/// One token: a classification plus its byte span and position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokKind,
+    /// Byte offset of the first byte, inclusive.
+    pub start: usize,
+    /// Byte offset one past the last byte, exclusive.
+    pub end: usize,
+    /// 1-based source line of the first byte.
+    pub line: u32,
+    /// 1-based byte column of the first byte within its line.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within `src` (the string it was lexed from).
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        src.get(self.start..self.end).unwrap_or("")
+    }
+}
+
+/// Character cursor with byte offsets and line/column tracking.
+struct Cursor {
+    /// `(byte_offset, char)` pairs for the whole input.
+    chars: Vec<(usize, char)>,
+    /// Index into `chars`.
+    idx: usize,
+    /// Total byte length of the input.
+    len: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn new(src: &str) -> Cursor {
+        Cursor {
+            chars: src.char_indices().collect(),
+            idx: 0,
+            len: src.len(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.idx + ahead).map(|&(_, c)| c)
+    }
+
+    /// Byte offset of the current position (input length at EOF).
+    fn offset(&self) -> usize {
+        self.chars
+            .get(self.idx)
+            .map(|&(o, _)| o)
+            .unwrap_or(self.len)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let &(_, c) = self.chars.get(self.idx)?;
+        self.idx += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    /// Consume characters while `pred` holds.
+    fn bump_while(&mut self, pred: impl Fn(char) -> bool) {
+        while self.peek(0).is_some_and(&pred) {
+            self.bump();
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+/// Tokenize `src`. Total: returns a token stream for any input.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    loop {
+        cur.bump_while(char::is_whitespace);
+        let (start, line, col) = (cur.offset(), cur.line, cur.col);
+        let Some(c) = cur.peek(0) else {
+            break;
+        };
+        let kind = lex_one(&mut cur, c);
+        // Defensive: guarantee forward progress even if a lexer branch
+        // consumed nothing, so the loop terminates on any input.
+        if cur.offset() == start {
+            cur.bump();
+        }
+        out.push(Token {
+            kind,
+            start,
+            end: cur.offset(),
+            line,
+            col,
+        });
+    }
+    out
+}
+
+/// Lex one token starting at `c`; consumes at least one character.
+fn lex_one(cur: &mut Cursor, c: char) -> TokKind {
+    match c {
+        '/' if cur.peek(1) == Some('/') => {
+            cur.bump_while(|c| c != '\n');
+            TokKind::LineComment
+        }
+        '/' if cur.peek(1) == Some('*') => {
+            cur.bump();
+            cur.bump();
+            let mut depth = 1u32;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        cur.bump();
+                        cur.bump();
+                        depth -= 1;
+                    }
+                    (Some(_), _) => {
+                        cur.bump();
+                    }
+                    (None, _) => break,
+                }
+            }
+            TokKind::BlockComment
+        }
+        '"' => lex_string(cur),
+        '\'' => lex_char_or_lifetime(cur),
+        'r' if matches!(cur.peek(1), Some('"') | Some('#')) => {
+            lex_raw_or_ident(cur, TokKind::RawStr)
+        }
+        'b' => lex_b_prefixed(cur),
+        _ if c.is_ascii_digit() => lex_number(cur),
+        _ if is_ident_start(c) => {
+            cur.bump_while(is_ident_continue);
+            TokKind::Ident
+        }
+        _ => {
+            cur.bump();
+            TokKind::Punct
+        }
+    }
+}
+
+/// A `"…"` string with escapes; unterminated extends to EOF.
+fn lex_string(cur: &mut Cursor) -> TokKind {
+    cur.bump(); // opening quote
+    loop {
+        match cur.bump() {
+            Some('\\') => {
+                cur.bump();
+            }
+            Some('"') | None => break,
+            Some(_) => {}
+        }
+    }
+    TokKind::Str
+}
+
+/// After a leading `'`: either a lifetime (`'a`) or a char literal (`'a'`,
+/// `'\n'`). The standard disambiguation: an identifier-shaped body followed
+/// by a closing quote is a char literal, otherwise a lifetime.
+fn lex_char_or_lifetime(cur: &mut Cursor) -> TokKind {
+    cur.bump(); // opening quote
+    match cur.peek(0) {
+        Some('\\') => {
+            // Escape ⇒ definitely a char literal; consume to closing quote.
+            cur.bump();
+            cur.bump();
+            while let Some(c) = cur.peek(0) {
+                cur.bump();
+                if c == '\'' {
+                    break;
+                }
+            }
+            TokKind::Char
+        }
+        Some(c) if is_ident_start(c) => {
+            cur.bump_while(is_ident_continue);
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+                TokKind::Char
+            } else {
+                TokKind::Lifetime
+            }
+        }
+        Some('\'') => {
+            // `''` — empty (invalid Rust, but we must not panic).
+            cur.bump();
+            TokKind::Char
+        }
+        Some(_) => {
+            // `'+'` etc.: single char then closing quote.
+            cur.bump();
+            if cur.peek(0) == Some('\'') {
+                cur.bump();
+            }
+            TokKind::Char
+        }
+        None => TokKind::Punct,
+    }
+}
+
+/// At `r` followed by `"` or `#`: a raw string `r"…"`, `r#"…"#`, a raw
+/// identifier `r#ident`, or just the identifier `r`.
+fn lex_raw_or_ident(cur: &mut Cursor, kind: TokKind) -> TokKind {
+    // Count `#` after the prefix.
+    let mut hashes = 0usize;
+    while cur.peek(1 + hashes) == Some('#') {
+        hashes += 1;
+    }
+    if cur.peek(1 + hashes) == Some('"') {
+        cur.bump(); // r
+        for _ in 0..hashes {
+            cur.bump();
+        }
+        cur.bump(); // opening quote
+                    // Scan for `"` followed by `hashes` hashes.
+        'scan: while let Some(c) = cur.bump() {
+            if c == '"' {
+                for i in 0..hashes {
+                    if cur.peek(i) != Some('#') {
+                        continue 'scan;
+                    }
+                }
+                for _ in 0..hashes {
+                    cur.bump();
+                }
+                break;
+            }
+        }
+        kind
+    } else if hashes >= 1 && cur.peek(1 + hashes).is_some_and(is_ident_start) {
+        // Raw identifier `r#type` (only one `#` is valid; be lenient).
+        cur.bump(); // r
+        cur.bump(); // #
+        cur.bump_while(is_ident_continue);
+        TokKind::Ident
+    } else {
+        cur.bump_while(is_ident_continue);
+        TokKind::Ident
+    }
+}
+
+/// At `b`: byte string `b"…"`, raw byte string `br"…"`, byte literal
+/// `b'x'`, or an ordinary identifier starting with `b`.
+fn lex_b_prefixed(cur: &mut Cursor) -> TokKind {
+    match cur.peek(1) {
+        Some('"') => {
+            cur.bump(); // b
+            lex_string(cur);
+            TokKind::ByteStr
+        }
+        Some('\'') => {
+            cur.bump(); // b
+            lex_char_or_lifetime(cur);
+            TokKind::Byte
+        }
+        Some('r') if matches!(cur.peek(2), Some('"') | Some('#')) => {
+            cur.bump(); // b — the raw-scan helper looks from position 0
+            lex_raw_or_ident(cur, TokKind::ByteStr)
+        }
+        _ => {
+            cur.bump_while(is_ident_continue);
+            TokKind::Ident
+        }
+    }
+}
+
+/// A numeric literal. `0..10` lexes as Int, Punct, Punct, Int; `1.5` and
+/// `1e3` as Float; suffixes (`42u64`) fold into the token.
+fn lex_number(cur: &mut Cursor) -> TokKind {
+    let mut kind = TokKind::Int;
+    if cur.peek(0) == Some('0')
+        && matches!(
+            cur.peek(1),
+            Some('x') | Some('X') | Some('o') | Some('O') | Some('b') | Some('B')
+        )
+    {
+        cur.bump();
+        cur.bump();
+        cur.bump_while(|c| c.is_ascii_alphanumeric() || c == '_');
+        return TokKind::Int;
+    }
+    cur.bump_while(|c| c.is_ascii_digit() || c == '_');
+    // Fractional part: `.` followed by a digit (so `0..10` and `x.0` and
+    // tuple access `t.0` stay separate tokens).
+    if cur.peek(0) == Some('.') && cur.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+        kind = TokKind::Float;
+        cur.bump();
+        cur.bump_while(|c| c.is_ascii_digit() || c == '_');
+    }
+    // Exponent.
+    if matches!(cur.peek(0), Some('e') | Some('E')) {
+        let sign = matches!(cur.peek(1), Some('+') | Some('-'));
+        let digit_at = if sign { 2 } else { 1 };
+        if cur.peek(digit_at).is_some_and(|c| c.is_ascii_digit()) {
+            kind = TokKind::Float;
+            cur.bump();
+            if sign {
+                cur.bump();
+            }
+            cur.bump_while(|c| c.is_ascii_digit() || c == '_');
+        }
+    }
+    // Suffix (`u64`, `f32`, …).
+    if cur.peek(0).is_some_and(is_ident_start) {
+        let float_suffix = cur.peek(0) == Some('f');
+        cur.bump_while(is_ident_continue);
+        if float_suffix {
+            kind = TokKind::Float;
+        }
+    }
+    kind
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        tokenize(src).iter().map(|t| t.kind).collect()
+    }
+
+    fn texts(src: &str) -> Vec<String> {
+        tokenize(src)
+            .iter()
+            .map(|t| t.text(src).to_string())
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        assert_eq!(
+            kinds("let x = 42;"),
+            vec![
+                TokKind::Ident,
+                TokKind::Ident,
+                TokKind::Punct,
+                TokKind::Int,
+                TokKind::Punct
+            ]
+        );
+        assert_eq!(texts("a.b(c)"), vec!["a", ".", "b", "(", "c", ")"]);
+    }
+
+    #[test]
+    fn comments_are_single_tokens() {
+        assert_eq!(kinds("// has unwrap() inside"), vec![TokKind::LineComment]);
+        assert_eq!(
+            kinds("/* outer /* nested */ still */ x"),
+            vec![TokKind::BlockComment, TokKind::Ident]
+        );
+        // Unterminated block comment must not loop or panic.
+        assert_eq!(kinds("/* open"), vec![TokKind::BlockComment]);
+    }
+
+    #[test]
+    fn strings_swallow_their_contents() {
+        assert_eq!(
+            kinds(r#"let s = "unwrap() \" HashMap";"#)
+                .iter()
+                .filter(|k| **k == TokKind::Str)
+                .count(),
+            1
+        );
+        assert_eq!(kinds(r##"r#"raw "quoted" body"#"##), vec![TokKind::RawStr]);
+        assert_eq!(kinds(r#"b"bytes""#), vec![TokKind::ByteStr]);
+        assert_eq!(kinds("\"unterminated"), vec![TokKind::Str]);
+    }
+
+    #[test]
+    fn char_vs_lifetime() {
+        assert_eq!(kinds("'a'"), vec![TokKind::Char]);
+        assert_eq!(kinds("'\\n'"), vec![TokKind::Char]);
+        assert_eq!(
+            kinds("&'a str"),
+            vec![TokKind::Punct, TokKind::Lifetime, TokKind::Ident]
+        );
+        assert_eq!(
+            kinds("<'static>"),
+            vec![TokKind::Punct, TokKind::Lifetime, TokKind::Punct]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        assert_eq!(kinds("r#type"), vec![TokKind::Ident]);
+        assert_eq!(texts("r#type"), vec!["r#type"]);
+        assert_eq!(kinds("radius"), vec![TokKind::Ident]);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        assert_eq!(
+            kinds("0..10"),
+            vec![TokKind::Int, TokKind::Punct, TokKind::Punct, TokKind::Int]
+        );
+        assert_eq!(kinds("1.5"), vec![TokKind::Float]);
+        assert_eq!(kinds("1e9"), vec![TokKind::Float]);
+        assert_eq!(kinds("0xC0DE"), vec![TokKind::Int]);
+        assert_eq!(kinds("42u64"), vec![TokKind::Int]);
+        assert_eq!(kinds("2f64"), vec![TokKind::Float]);
+        assert_eq!(
+            kinds("t.0"),
+            vec![TokKind::Ident, TokKind::Punct, TokKind::Int]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = tokenize("a\n  b");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn spans_cover_all_non_whitespace() {
+        let src = "fn f() { // c\n  \"s\" }";
+        let toks = tokenize(src);
+        let mut prev_end = 0usize;
+        for t in &toks {
+            assert!(t.start >= prev_end, "overlap at {t:?}");
+            assert!(src
+                .get(prev_end..t.start)
+                .is_some_and(|gap| gap.chars().all(char::is_whitespace)));
+            prev_end = t.end;
+        }
+        assert!(src
+            .get(prev_end..)
+            .is_some_and(|gap| gap.chars().all(char::is_whitespace)));
+    }
+}

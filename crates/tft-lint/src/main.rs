@@ -1,0 +1,132 @@
+//! The `tft-lint` binary: lint the workspace, print diagnostics, and
+//! optionally emit the JSON report consumed by `scripts/check.sh`.
+//!
+//! Exit codes: 0 clean, 1 diagnostics found, 2 usage or I/O error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use tft_lint::{report_to_json, Engine};
+
+const USAGE: &str = "usage: tft-lint [--root DIR] [--json] [--json-out PATH] [--list]
+
+  --root DIR       workspace root (default: auto-detect from cwd)
+  --json           print the JSON report to stdout instead of human output
+  --json-out PATH  additionally write the JSON report to PATH
+  --list           list registered passes and exit";
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut json_out: Option<PathBuf> = None;
+    let mut list = false;
+
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => match argv.next() {
+                Some(v) => root = Some(PathBuf::from(v)),
+                None => return usage_error("--root needs a value"),
+            },
+            "--json" => json = true,
+            "--json-out" => match argv.next() {
+                Some(v) => json_out = Some(PathBuf::from(v)),
+                None => return usage_error("--json-out needs a value"),
+            },
+            "--list" => list = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let engine = Engine::with_default_passes();
+    if list {
+        for pass in engine.passes() {
+            println!("{:28} {}", pass.id(), pass.description());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("tft-lint: no workspace root found (pass --root DIR)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match engine.run(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!(
+                "tft-lint: failed to read workspace at {}: {e}",
+                root.display()
+            );
+            return ExitCode::from(2);
+        }
+    };
+
+    let doc = report_to_json(&engine, &report);
+    if let Some(path) = &json_out {
+        if let Err(e) = std::fs::write(path, doc.render_pretty() + "\n") {
+            eprintln!("tft-lint: failed to write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+
+    if json {
+        emit(&doc.render_pretty());
+    } else {
+        for d in &report.diagnostics {
+            emit(&d.to_string());
+        }
+        emit(&format!(
+            "tft-lint: {} file(s) scanned, {} diagnostic(s), {} suppressed by reasoned allows",
+            report.files_scanned,
+            report.diagnostics.len(),
+            report.suppressed
+        ));
+    }
+
+    if report.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Print a line to stdout, tolerating a closed pipe (e.g. `tft-lint | head`);
+/// the exit code, not the stream, is the machine-readable contract.
+fn emit(line: &str) {
+    use std::io::Write;
+    let _ = writeln!(std::io::stdout(), "{line}");
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("tft-lint: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Ascend from the current directory to the first `Cargo.toml` declaring a
+/// `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if is_workspace_manifest(&manifest) {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn is_workspace_manifest(path: &Path) -> bool {
+    std::fs::read_to_string(path)
+        .map(|t| t.lines().any(|l| l.trim() == "[workspace]"))
+        .unwrap_or(false)
+}

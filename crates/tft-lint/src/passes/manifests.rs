@@ -1,0 +1,128 @@
+//! `hermetic-manifests`: the build must work with zero network access.
+//!
+//! Every entry in every dependency-ish section of every `Cargo.toml` must
+//! be a path dependency, directly (`path = "…"`) or via `workspace = true`
+//! resolving to the root's path-only `[workspace.dependencies]`. Registry
+//! (`version = "…"`) and `git = "…"` forms are forbidden. The workspace
+//! hook additionally asserts the walker saw a sane number of manifests, so
+//! a broken file walk can't silently pass the audit.
+//!
+//! This pass is the single implementation of the rule; `tests/hermetic.rs`
+//! is a thin wrapper over [`check_workspace_manifests`].
+
+use crate::engine::{Diagnostic, FileKind, Pass, SourceFile};
+use std::path::Path;
+
+/// The walker must find at least this many manifests (root + crates/*);
+/// fewer means the audit silently lost coverage.
+const MIN_MANIFESTS: usize = 12;
+
+/// Enforce path-only dependencies in every workspace manifest.
+pub struct HermeticManifests;
+
+/// Is this `[section]` header a dependency table we must audit?
+fn is_dep_section(header: &str) -> bool {
+    let h = header.trim_start_matches('[').trim_end_matches(']').trim();
+    h == "dependencies"
+        || h == "dev-dependencies"
+        || h == "build-dependencies"
+        || h == "workspace.dependencies"
+        || h.starts_with("target.") && h.ends_with("dependencies")
+}
+
+impl Pass for HermeticManifests {
+    fn id(&self) -> &'static str {
+        "hermetic-manifests"
+    }
+
+    fn description(&self) -> &'static str {
+        "every Cargo.toml dependency must be path-only (path = … or workspace = true); \
+         registry and git dependencies are forbidden"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        file.kind == FileKind::Manifest
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let mut in_dep_section = false;
+        for (lineno, raw) in file.text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            if line.starts_with('[') {
+                in_dep_section = is_dep_section(line);
+                continue;
+            }
+            if !in_dep_section {
+                continue;
+            }
+            // Each entry must be `name = { path = … }`, `name.workspace = true`,
+            // or `name = { workspace = true }`.
+            let ok = line.contains("path =")
+                || line.contains("path=")
+                || line.contains("workspace = true")
+                || line.contains("workspace=true");
+            let forbidden = line.contains("version =")
+                || line.contains("version=")
+                || line.contains("git =")
+                || line.contains("git=")
+                || line.contains("registry");
+            if !ok || forbidden {
+                out.push(Diagnostic {
+                    pass: self.id().into(),
+                    file: file.rel_path.clone(),
+                    line: lineno as u32 + 1,
+                    col: 1,
+                    message: format!(
+                        "non-hermetic dependency declaration `{}`; use a path dependency \
+                         or workspace = true",
+                        raw.trim()
+                    ),
+                });
+            }
+        }
+    }
+
+    fn check_workspace(&self, files: &[SourceFile], out: &mut Vec<Diagnostic>) {
+        let manifests = files
+            .iter()
+            .filter(|f| f.kind == FileKind::Manifest)
+            .count();
+        // Only meaningful on a real workspace walk; single-fixture runs
+        // (self-tests) pass a Rust file or one manifest and are exempt.
+        let is_workspace = files
+            .iter()
+            .any(|f| f.kind == FileKind::Manifest && f.rel_path == "Cargo.toml");
+        if is_workspace && manifests < MIN_MANIFESTS {
+            out.push(Diagnostic {
+                pass: self.id().into(),
+                file: "Cargo.toml".into(),
+                line: 1,
+                col: 1,
+                message: format!(
+                    "manifest walk found only {manifests} Cargo.toml files \
+                     (expected >= {MIN_MANIFESTS}); the audit lost coverage"
+                ),
+            });
+        }
+    }
+}
+
+/// Run the full manifest audit over the workspace at `root` and return the
+/// surviving diagnostics. This is the entry point `tests/hermetic.rs` uses,
+/// so the hermeticity rule has exactly one implementation.
+pub fn check_workspace_manifests(root: &Path) -> std::io::Result<Vec<Diagnostic>> {
+    let files = crate::engine::workspace_files(root)?;
+    let engine = crate::engine::Engine::new(vec![Box::new(HermeticManifests)]);
+    // Allows naming other passes live in the same workspace; with only this
+    // pass registered they would misread as unknown ids, so keep only the
+    // manifest findings.
+    Ok(engine
+        .run_files(&files)
+        .diagnostics
+        .into_iter()
+        .filter(|d| d.pass == "hermetic-manifests")
+        .collect())
+}

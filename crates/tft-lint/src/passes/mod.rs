@@ -1,0 +1,56 @@
+//! The lint passes. Each submodule holds one pass; [`default_passes`]
+//! assembles the standard set enforced by `scripts/check.sh`.
+
+mod manifests;
+mod panic_paths;
+mod seed;
+mod unordered;
+mod wall_clock;
+
+pub use manifests::{check_workspace_manifests, HermeticManifests};
+pub use panic_paths::NoPanicOnUntrustedBytes;
+pub use seed::SeedDiscipline;
+pub use unordered::NoUnorderedIteration;
+pub use wall_clock::NoWallClock;
+
+use crate::engine::{Pass, SourceFile};
+use crate::lexer::TokKind;
+
+/// The standard pass set, in diagnostic-id order.
+pub fn default_passes() -> Vec<Box<dyn Pass>> {
+    vec![
+        Box::new(HermeticManifests),
+        Box::new(NoPanicOnUntrustedBytes),
+        Box::new(NoUnorderedIteration),
+        Box::new(NoWallClock),
+        Box::new(SeedDiscipline),
+    ]
+}
+
+/// Indices of the code tokens of `file` — everything except comments.
+/// Passes walk these so that a forbidden pattern quoted in a doc comment
+/// (or spelled inside a string literal, which lexes as one `Str` token)
+/// never fires.
+pub(crate) fn code_indices(file: &SourceFile) -> Vec<usize> {
+    file.tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, TokKind::LineComment | TokKind::BlockComment))
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// True when token index `i` falls inside any of the `(start, end)` ranges.
+pub(crate) fn in_ranges(i: usize, ranges: &[(usize, usize)]) -> bool {
+    ranges.iter().any(|&(s, e)| i >= s && i < e)
+}
+
+/// True when the code tokens starting at position `w` of `code` spell
+/// `texts` exactly. The lexer emits single-character puncts, so a path
+/// separator is written `":", ":"` here, never `"::"`.
+pub(crate) fn code_matches(file: &SourceFile, code: &[usize], w: usize, texts: &[&str]) -> bool {
+    texts
+        .iter()
+        .enumerate()
+        .all(|(k, want)| code.get(w + k).map(|&j| file.tok_text(j)) == Some(*want))
+}

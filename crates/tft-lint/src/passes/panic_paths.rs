@@ -1,0 +1,109 @@
+//! `no-panic-on-untrusted-bytes`: wire parsers must be total.
+//!
+//! The parser crates (`dnswire`, `httpwire`, `smtpwire`, `certs`) model the
+//! paper's middlebox adversaries — their inputs are by definition
+//! attacker-shaped. A parser that can `unwrap`, `expect`, `panic!`, or
+//! index a slice on untrusted bytes turns malformed input into a crash.
+//! The pass bans those constructs in the crates' library code; unit-test
+//! modules (`#[cfg(test)] mod …`) and integration tests are exempt, since
+//! tests unwrap their own well-formed fixtures.
+
+use super::{code_indices, in_ranges};
+use crate::engine::{Diagnostic, FileKind, Pass, SourceFile};
+use crate::lexer::TokKind;
+
+const PARSER_CRATES: [&str; 4] = ["dnswire", "httpwire", "smtpwire", "certs"];
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Keywords that can legally precede `[` without it being an index
+/// expression (type positions like `&mut [u8]`, `for x in [..]`).
+const NON_INDEX_KEYWORDS: [&str; 16] = [
+    "mut", "dyn", "ref", "in", "as", "return", "break", "else", "match", "move", "if", "impl",
+    "where", "let", "const", "box",
+];
+
+/// Forbid panic paths in the public parse code of the wire crates.
+pub struct NoPanicOnUntrustedBytes;
+
+impl Pass for NoPanicOnUntrustedBytes {
+    fn id(&self) -> &'static str {
+        "no-panic-on-untrusted-bytes"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid unwrap/expect/panic!/slice-indexing in dnswire/httpwire/smtpwire/certs \
+         library code; parsers of untrusted bytes must return errors"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        file.kind == FileKind::Rust
+            && PARSER_CRATES.contains(&file.crate_name.as_str())
+            && file.rel_path.contains("/src/")
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let code = code_indices(file);
+        let tests = file.test_mod_ranges();
+        let mut diag = |idx: usize, msg: String| {
+            let t = &file.tokens[idx];
+            out.push(Diagnostic {
+                pass: "no-panic-on-untrusted-bytes".into(),
+                file: file.rel_path.clone(),
+                line: t.line,
+                col: t.col,
+                message: msg,
+            });
+        };
+        for w in 0..code.len() {
+            let idx = code[w];
+            if in_ranges(idx, &tests) {
+                continue;
+            }
+            let t = &file.tokens[idx];
+            let text = t.text(&file.text);
+            match t.kind {
+                TokKind::Ident => {
+                    let prev = w
+                        .checked_sub(1)
+                        .map(|p| file.tok_text(code[p]))
+                        .unwrap_or("");
+                    if (text == "unwrap" || text == "expect") && prev == "." {
+                        diag(
+                            idx,
+                            format!(
+                                ".{text}() panics on the error path; propagate a parse \
+                                 error instead (`?`, `ok_or`, `let … else`)"
+                            ),
+                        );
+                    } else if PANIC_MACROS.contains(&text)
+                        && code.get(w + 1).map(|&j| file.tok_text(j)) == Some("!")
+                    {
+                        diag(
+                            idx,
+                            format!("{text}! is reachable from untrusted input; return an error"),
+                        );
+                    }
+                }
+                TokKind::Punct if text == "[" => {
+                    let Some(p) = w.checked_sub(1) else { continue };
+                    let prev_idx = code[p];
+                    let prev = &file.tokens[prev_idx];
+                    let prev_text = prev.text(&file.text);
+                    let indexable = matches!(prev_text, ")" | "]")
+                        || (prev.kind == TokKind::Ident
+                            && !NON_INDEX_KEYWORDS.contains(&prev_text));
+                    if indexable {
+                        diag(
+                            idx,
+                            "slice indexing panics out of bounds; use .get()/.split_at_checked() \
+                             or slice patterns"
+                                .into(),
+                        );
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! `seed-discipline`: every `SimRng` must be seeded deterministically.
+//!
+//! A `SimRng::new(seed)` whose seed flows from ambient state (wall clock,
+//! hasher `RandomState`, environment, process/thread identity) silently
+//! re-randomises every run and voids the pinned renders. Seeds must come
+//! from literals, CLI arguments, or other deterministic values — `SimTime`
+//! from `netsim` is virtual and therefore fine. The pass lexically scans
+//! the argument span of each `SimRng::new(…)` (and `fork(…)` is exempt:
+//! forks derive from the parent seed by construction) for ambient sources.
+
+use super::{code_indices, code_matches};
+use crate::engine::{Diagnostic, FileKind, Pass, SourceFile};
+use crate::lexer::TokKind;
+
+/// Idents that mean the seed observes ambient state.
+const AMBIENT_TYPES: [&str; 4] = ["SystemTime", "Instant", "RandomState", "DefaultHasher"];
+
+/// Module idents that, followed by `::`, mean ambient state (`env::var`,
+/// `process::id`, `thread::current`).
+const AMBIENT_MODULES: [&str; 3] = ["env", "process", "thread"];
+
+/// Forbid ambient state in `SimRng` construction arguments.
+pub struct SeedDiscipline;
+
+impl Pass for SeedDiscipline {
+    fn id(&self) -> &'static str {
+        "seed-discipline"
+    }
+
+    fn description(&self) -> &'static str {
+        "SimRng::new seeds must be literals, CLI args, or other deterministic \
+         values — never wall clock, RandomState, env, or process identity"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        file.kind == FileKind::Rust
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        let code = code_indices(file);
+        for w in 0..code.len() {
+            if !code_matches(file, &code, w, &["SimRng", ":", ":", "new", "("]) {
+                continue;
+            }
+            let open = code[w + 4];
+            let close = file.matching_close(open, "(", ")");
+            let head = &file.tokens[code[w]];
+            for idx in open..close {
+                let t = &file.tokens[idx];
+                if t.kind != TokKind::Ident {
+                    continue;
+                }
+                let name = t.text(&file.text);
+                let next_is_path = file.tok_text(idx + 1) == ":" && file.tok_text(idx + 2) == ":";
+                let ambient = AMBIENT_TYPES.contains(&name)
+                    || (AMBIENT_MODULES.contains(&name) && next_is_path);
+                if ambient {
+                    out.push(Diagnostic {
+                        pass: self.id().into(),
+                        file: file.rel_path.clone(),
+                        line: head.line,
+                        col: head.col,
+                        message: format!(
+                            "SimRng::new seed flows from ambient `{name}`; seeds must be \
+                             literals or CLI-provided so runs replay byte-identically"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! `no-unordered-iteration`: hash containers are banned in code that feeds
+//! rendered output.
+//!
+//! `std::collections::HashMap`/`HashSet` use `RandomState`, so iteration
+//! order differs between instances even within one process. Any map that is
+//! ever iterated on the way to a report table therefore threatens the
+//! byte-identical-render guarantee. Rather than chase individual `.iter()`
+//! sites (easy to evade via `for`, `extend`, collect, …), the pass bans the
+//! *type names* outright in the scoped modules: `tft-core`'s `report/`,
+//! `analysis/`, and `study.rs`. Use `BTreeMap`/`BTreeSet` — every key type
+//! in those modules is `Ord` — or sort explicitly before rendering.
+
+use super::code_indices;
+use crate::engine::{Diagnostic, FileKind, Pass, SourceFile};
+use crate::lexer::TokKind;
+
+/// Forbid `HashMap`/`HashSet` in render-feeding modules of `tft-core`.
+pub struct NoUnorderedIteration;
+
+impl Pass for NoUnorderedIteration {
+    fn id(&self) -> &'static str {
+        "no-unordered-iteration"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid HashMap/HashSet in tft-core report/analysis/study modules; \
+         use BTreeMap/BTreeSet or an explicit sort before rendering"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        file.kind == FileKind::Rust
+            && file.crate_name == "tft-core"
+            && (file.rel_path.contains("/report/")
+                || file.rel_path.contains("/analysis/")
+                || file.rel_path.ends_with("/study.rs"))
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        for idx in code_indices(file) {
+            let t = &file.tokens[idx];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let name = t.text(&file.text);
+            if name == "HashMap" || name == "HashSet" {
+                let ordered = if name == "HashMap" {
+                    "BTreeMap"
+                } else {
+                    "BTreeSet"
+                };
+                out.push(Diagnostic {
+                    pass: self.id().into(),
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "{name} has per-instance random iteration order; this module \
+                         feeds rendered output — use {ordered} or sort before rendering"
+                    ),
+                });
+            }
+        }
+    }
+}

@@ -1,0 +1,58 @@
+//! `no-wall-clock`: ambient wall-clock reads are forbidden everywhere.
+//!
+//! The reproduction's pinned renders (`crates/bench/tests/determinism.rs`)
+//! only hold if simulated runs never observe host time. `netsim` provides
+//! virtual `SimTime`; the single legitimate wall-clock consumer is the
+//! bench harness's timing shim in `substrate`, which carries a reasoned
+//! allow.
+
+use super::{code_indices, code_matches};
+use crate::engine::{Diagnostic, Pass, SourceFile};
+use crate::lexer::TokKind;
+
+/// Forbid `Instant::now()` / `SystemTime::now()` outside allowlisted sites.
+pub struct NoWallClock;
+
+impl Pass for NoWallClock {
+    fn id(&self) -> &'static str {
+        "no-wall-clock"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid SystemTime::now/Instant::now; simulated paths must use SimTime, \
+         benches go through the substrate clock shim"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        matches!(file.kind, crate::engine::FileKind::Rust)
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {
+        // Test modules are still in scope: a wall-clock read in a unit test
+        // is a flake generator, not a convenience.
+        let code = code_indices(file);
+        for w in 0..code.len() {
+            let idx = code[w];
+            let t = &file.tokens[idx];
+            if t.kind != TokKind::Ident {
+                continue;
+            }
+            let name = t.text(&file.text);
+            if name != "Instant" && name != "SystemTime" {
+                continue;
+            }
+            if code_matches(file, &code, w + 1, &[":", ":", "now"]) {
+                out.push(Diagnostic {
+                    pass: self.id().into(),
+                    file: file.rel_path.clone(),
+                    line: t.line,
+                    col: t.col,
+                    message: format!(
+                        "{name}::now() reads ambient wall-clock time; use SimTime \
+                         (netsim) or the substrate bench clock shim"
+                    ),
+                });
+            }
+        }
+    }
+}

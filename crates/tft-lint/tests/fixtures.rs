@@ -1,0 +1,301 @@
+//! Self-tests: seed each forbidden pattern into an in-memory fixture and
+//! prove the corresponding pass fires — and that the clean variant doesn't.
+//! This is the acceptance demonstration that a PR reintroducing any banned
+//! construct makes `tft-lint` (and therefore `scripts/check.sh`) fail.
+
+use tft_lint::{Engine, SourceFile};
+
+fn lint(files: &[SourceFile]) -> Vec<String> {
+    Engine::with_default_passes()
+        .run_files(files)
+        .diagnostics
+        .iter()
+        .map(|d| format!("{}:{}", d.pass, d.file))
+        .collect()
+}
+
+#[test]
+fn hashmap_in_report_fires() {
+    let f = SourceFile::rust(
+        "crates/tft-core/src/report/tables.rs",
+        "tft-core",
+        r#"
+        use std::collections::HashMap;
+        pub fn table(rows: HashMap<u32, String>) -> Vec<String> {
+            rows.values().cloned().collect()
+        }
+        "#,
+    );
+    let hits = lint(&[f]);
+    assert!(
+        hits.iter()
+            .any(|h| h.starts_with("no-unordered-iteration:")),
+        "expected no-unordered-iteration, got {hits:?}"
+    );
+}
+
+#[test]
+fn hashmap_outside_render_scope_is_fine() {
+    let f = SourceFile::rust(
+        "crates/netsim/src/sched.rs",
+        "netsim",
+        "use std::collections::HashMap;\npub fn f(m: HashMap<u32, u32>) -> usize { m.len() }",
+    );
+    assert!(lint(&[f]).is_empty());
+}
+
+#[test]
+fn instant_now_in_netsim_fires() {
+    let f = SourceFile::rust(
+        "crates/netsim/src/sched.rs",
+        "netsim",
+        "pub fn now_ms() -> u128 { std::time::Instant::now().elapsed().as_millis() }",
+    );
+    let hits = lint(&[f]);
+    assert!(
+        hits.iter().any(|h| h.starts_with("no-wall-clock:")),
+        "expected no-wall-clock, got {hits:?}"
+    );
+}
+
+#[test]
+fn system_time_fires_anywhere() {
+    let f = SourceFile::rust(
+        "crates/worldgen/src/build.rs",
+        "worldgen",
+        "pub fn stamp() -> std::time::SystemTime { std::time::SystemTime::now() }",
+    );
+    assert!(lint(&[f]).iter().any(|h| h.starts_with("no-wall-clock:")));
+}
+
+#[test]
+fn unwrap_in_dnswire_parse_path_fires() {
+    let f = SourceFile::rust(
+        "crates/dnswire/src/wire.rs",
+        "dnswire",
+        "pub fn first(bytes: &[u8]) -> u8 { *bytes.first().unwrap() }",
+    );
+    let hits = lint(&[f]);
+    assert!(
+        hits.iter()
+            .any(|h| h.starts_with("no-panic-on-untrusted-bytes:")),
+        "expected no-panic-on-untrusted-bytes, got {hits:?}"
+    );
+}
+
+#[test]
+fn slice_indexing_in_parser_fires() {
+    let f = SourceFile::rust(
+        "crates/httpwire/src/parse.rs",
+        "httpwire",
+        "pub fn third(bytes: &[u8]) -> u8 { bytes[2] }",
+    );
+    assert!(lint(&[f])
+        .iter()
+        .any(|h| h.starts_with("no-panic-on-untrusted-bytes:")));
+}
+
+#[test]
+fn panic_macro_in_parser_fires() {
+    let f = SourceFile::rust(
+        "crates/smtpwire/src/reply.rs",
+        "smtpwire",
+        r#"pub fn parse(b: &[u8]) { if b.is_empty() { panic!("empty") } }"#,
+    );
+    assert!(lint(&[f])
+        .iter()
+        .any(|h| h.starts_with("no-panic-on-untrusted-bytes:")));
+}
+
+#[test]
+fn unwrap_outside_parser_crates_is_fine() {
+    let f = SourceFile::rust(
+        "crates/tft-core/src/crawl.rs",
+        "tft-core",
+        "pub fn f(v: Option<u8>) -> u8 { v.unwrap() }",
+    );
+    assert!(lint(&[f]).is_empty());
+}
+
+#[test]
+fn unwrap_in_parser_test_mod_is_exempt() {
+    let f = SourceFile::rust(
+        "crates/dnswire/src/wire.rs",
+        "dnswire",
+        r#"
+        pub fn ok() {}
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn round_trip() {
+                let v: Option<u8> = Some(1);
+                assert_eq!(v.unwrap(), 1);
+            }
+        }
+        "#,
+    );
+    assert!(lint(&[f]).is_empty());
+}
+
+#[test]
+fn trigger_inside_string_or_comment_does_not_fire() {
+    let f = SourceFile::rust(
+        "crates/dnswire/src/wire.rs",
+        "dnswire",
+        r#"
+        /// Docs may say `input[0]` and `.unwrap()` and even panic!(…).
+        // A comment mentioning Instant::now() is also inert.
+        pub fn describe() -> &'static str {
+            "call .unwrap() on bytes[0] after Instant::now()"
+        }
+        "#,
+    );
+    assert!(lint(&[f]).is_empty());
+}
+
+#[test]
+fn registry_dependency_in_manifest_fires() {
+    let f = SourceFile::manifest(
+        "crates/evil/Cargo.toml",
+        "evil",
+        "[package]\nname = \"evil\"\n\n[dependencies]\nserde = { version = \"1\" }\n",
+    );
+    let hits = lint(&[f]);
+    assert!(
+        hits.iter().any(|h| h.starts_with("hermetic-manifests:")),
+        "expected hermetic-manifests, got {hits:?}"
+    );
+}
+
+#[test]
+fn path_dependencies_are_fine() {
+    let f = SourceFile::manifest(
+        "crates/good/Cargo.toml",
+        "good",
+        "[package]\nname = \"good\"\n\n[dependencies]\nsubstrate.workspace = true\nnetsim = { path = \"../netsim\" }\n",
+    );
+    assert!(lint(&[f]).is_empty());
+}
+
+#[test]
+fn ambient_seed_fires() {
+    let f = SourceFile::rust(
+        "crates/proxynet/src/world.rs",
+        "proxynet",
+        r#"
+        use netsim::SimRng;
+        pub fn rng() -> SimRng {
+            SimRng::new(std::process::id() as u64)
+        }
+        "#,
+    );
+    let hits = lint(&[f]);
+    assert!(
+        hits.iter().any(|h| h.starts_with("seed-discipline:")),
+        "expected seed-discipline, got {hits:?}"
+    );
+}
+
+#[test]
+fn hasher_randomstate_seed_fires() {
+    let f = SourceFile::rust(
+        "crates/proxynet/src/world.rs",
+        "proxynet",
+        r#"
+        use netsim::SimRng;
+        use std::collections::hash_map::RandomState;
+        use std::hash::{BuildHasher, Hasher};
+        pub fn rng() -> SimRng {
+            SimRng::new(RandomState::new().build_hasher().finish())
+        }
+        "#,
+    );
+    assert!(lint(&[f]).iter().any(|h| h.starts_with("seed-discipline:")));
+}
+
+#[test]
+fn literal_seed_is_fine() {
+    let f = SourceFile::rust(
+        "crates/proxynet/src/world.rs",
+        "proxynet",
+        "use netsim::SimRng;\npub fn rng(seed: u64) -> SimRng { SimRng::new(seed ^ 0xBE7C) }",
+    );
+    let hits = lint(&[f]);
+    // The SystemTime::now above would also trip no-wall-clock; here nothing may.
+    assert!(hits.is_empty(), "expected clean, got {hits:?}");
+}
+
+#[test]
+fn reasoned_allow_suppresses_and_counts() {
+    let f = SourceFile::rust(
+        "crates/dnswire/src/wire.rs",
+        "dnswire",
+        r##"
+        pub fn f(v: Option<u8>) -> u8 {
+            // tft-lint: allow(no-panic-on-untrusted-bytes, reason = "fixture: value checked by caller")
+            v.unwrap()
+        }
+        "##,
+    );
+    let report = Engine::with_default_passes().run_files(&[f]);
+    assert!(
+        report.diagnostics.is_empty(),
+        "got {:?}",
+        report.diagnostics
+    );
+    assert_eq!(report.suppressed, 1);
+}
+
+#[test]
+fn allow_without_reason_is_itself_a_diagnostic() {
+    let f = SourceFile::rust(
+        "crates/dnswire/src/wire.rs",
+        "dnswire",
+        r#"
+        pub fn f(v: Option<u8>) -> u8 {
+            // tft-lint: allow(no-panic-on-untrusted-bytes)
+            v.unwrap()
+        }
+        "#,
+    );
+    let hits = lint(&[f]);
+    // The unreasoned allow does not suppress, and is flagged itself.
+    assert!(hits.iter().any(|h| h.starts_with("allow-missing-reason:")));
+    assert!(hits
+        .iter()
+        .any(|h| h.starts_with("no-panic-on-untrusted-bytes:")));
+}
+
+#[test]
+fn stale_allow_is_flagged() {
+    let f = SourceFile::rust(
+        "crates/netsim/src/sched.rs",
+        "netsim",
+        r##"
+        // tft-lint: allow(no-wall-clock, reason = "nothing here actually reads the clock")
+        pub fn f() {}
+        "##,
+    );
+    let hits = lint(&[f]);
+    assert!(
+        hits.iter().any(|h| h.starts_with("stale-allow:")),
+        "got {hits:?}"
+    );
+}
+
+#[test]
+fn unknown_lint_id_is_flagged() {
+    let f = SourceFile::rust(
+        "crates/netsim/src/sched.rs",
+        "netsim",
+        r##"
+        // tft-lint: allow(no-such-pass, reason = "typo'd id must not silently no-op")
+        pub fn f() {}
+        "##,
+    );
+    let hits = lint(&[f]);
+    assert!(
+        hits.iter().any(|h| h.starts_with("unknown-lint-id:")),
+        "got {hits:?}"
+    );
+}

@@ -1,0 +1,125 @@
+//! Property tests for the lexer and the pass framework, on the
+//! first-party `substrate::qc` harness.
+//!
+//! The lexer is the lint engine's foundation: it must be *total* (any byte
+//! string tokenizes without panicking), its spans must be well-formed and
+//! sliceable, and string/comment contents must be opaque to the passes —
+//! the literal `".unwrap()"` in a doc comment or string must never fire
+//! `no-panic-on-untrusted-bytes`.
+
+use substrate::qc::{self, Config};
+use substrate::qc_assert;
+use tft_lint::lexer::tokenize;
+use tft_lint::{Engine, SourceFile};
+
+#[test]
+fn tokenize_is_total_on_arbitrary_bytes() {
+    qc::check(
+        "lexer never panics on arbitrary bytes",
+        &Config::with_cases(400),
+        &qc::bytes(0..512),
+        |raw| {
+            let src = String::from_utf8_lossy(raw);
+            let toks = tokenize(&src);
+            // Total and bounded: token count can't exceed char count.
+            qc_assert!(toks.len() <= src.chars().count());
+            qc::pass()
+        },
+    );
+}
+
+#[test]
+fn spans_round_trip_offsets() {
+    // Code-shaped alphabet: quotes, slashes, braces, and prefix letters
+    // exercise every tricky lexer branch (raw strings, lifetimes, byte
+    // literals, nested comments, numeric suffixes).
+    let alphabet = "ab z_\"'/*#!().:;{}[]<>&|=+-%^0129xfre\n\t";
+    qc::check(
+        "token spans are ordered, in-bounds, and sliceable",
+        &Config::with_cases(400),
+        &qc::string_of(alphabet, 0..160),
+        |src| {
+            let toks = tokenize(src);
+            let mut prev_end = 0usize;
+            for t in &toks {
+                qc_assert!(t.start >= prev_end, "overlap at {}..{}", t.start, t.end);
+                qc_assert!(t.start < t.end, "empty span at {}", t.start);
+                qc_assert!(t.end <= src.len(), "span past the end");
+                qc_assert!(
+                    src.get(t.start..t.end).is_some(),
+                    "span not on char boundaries: {}..{}",
+                    t.start,
+                    t.end
+                );
+                // The gap before this token is whitespace only — nothing
+                // was silently dropped.
+                qc_assert!(
+                    src.get(prev_end..t.start)
+                        .is_some_and(|gap| gap.chars().all(char::is_whitespace)),
+                    "non-whitespace bytes skipped before {}",
+                    t.start
+                );
+                prev_end = t.end;
+            }
+            qc_assert!(
+                src.get(prev_end..)
+                    .is_some_and(|gap| gap.chars().all(char::is_whitespace)),
+                "non-whitespace tail skipped"
+            );
+            qc::pass()
+        },
+    );
+}
+
+#[test]
+fn triggers_inside_strings_and_comments_never_fire() {
+    // Every forbidden construct, spelled inside every opaque context, with
+    // random identifier padding around it. None may produce a diagnostic in
+    // any pass scope.
+    let payloads: &[&str] = &[
+        "Instant::now()",
+        "SystemTime::now()",
+        ".unwrap()",
+        ".expect(x)",
+        "panic!(boom)",
+        "bytes[0]",
+        "HashMap<u32, u32>",
+        "HashSet",
+        "SimRng::new(std::process::id() as u64)",
+    ];
+    let pad = qc::string_of("abcdefgh_", 1..12);
+    let gen = qc::tuple3(
+        qc::ints(0..payloads.len()),
+        qc::ints(0usize..4),
+        qc::tuple2(pad.clone(), pad),
+    );
+    qc::check(
+        "opaque contexts hide lint triggers",
+        &Config::with_cases(300),
+        &gen,
+        |(p, wrapper, (pre, post))| {
+            let payload = payloads[*p];
+            let body = match wrapper {
+                0 => format!("pub fn {pre}() -> &'static str {{ \"{payload}\" }}\n"),
+                1 => format!("// {pre} {payload} {post}\npub fn {pre}() {{}}\n"),
+                2 => format!("/* {pre} {payload} /* nested {post} */ */\npub fn {pre}() {{}}\n"),
+                _ => format!("/// docs: `{payload}` ({post})\npub fn {pre}() {{}}\n"),
+            };
+            // Lint the same content under every pass's scope: the wire
+            // crates (panic pass), tft-core report (unordered pass), and
+            // netsim (wall-clock/seed apply everywhere anyway).
+            let files = [
+                SourceFile::rust("crates/dnswire/src/wire.rs", "dnswire", &body),
+                SourceFile::rust("crates/tft-core/src/report/tables.rs", "tft-core", &body),
+                SourceFile::rust("crates/netsim/src/sched.rs", "netsim", &body),
+            ];
+            let report = Engine::with_default_passes().run_files(&files);
+            qc_assert!(
+                report.diagnostics.is_empty(),
+                "diagnostics fired on opaque payload {payload:?} in wrapper {wrapper}: {:?}",
+                report.diagnostics
+            );
+            qc::pass()
+        },
+    );
+}

@@ -10,6 +10,10 @@ export CARGO_NET_OFFLINE=true
 echo "== rustfmt =="
 cargo fmt --all -- --check
 
+echo "== tft-lint (workspace invariants, JSON to LINT_report.json) =="
+# Fails on any non-allowlisted diagnostic; the report is written either way.
+cargo run -q -p tft-lint -- --json-out "$PWD/LINT_report.json"
+
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -2,82 +2,26 @@
 //! `Cargo.toml` is a path dependency (directly or via `workspace = true`),
 //! never a registry or git dependency. The build must succeed with zero
 //! network access.
+//!
+//! The rule itself lives in `tft-lint`'s `hermetic-manifests` pass (which
+//! `scripts/check.sh` also runs); this test is a thin wrapper so `cargo
+//! test` enforces it too, with exactly one implementation of the audit.
 
-use std::path::{Path, PathBuf};
-
-/// Collect every Cargo.toml in the workspace (root + crates/*).
-fn manifests() -> Vec<PathBuf> {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let mut out = vec![root.join("Cargo.toml")];
-    for entry in std::fs::read_dir(root.join("crates")).expect("crates/ exists") {
-        let dir = entry.expect("readable entry").path();
-        let manifest = dir.join("Cargo.toml");
-        if manifest.is_file() {
-            out.push(manifest);
-        }
-    }
-    assert!(
-        out.len() >= 12,
-        "expected >= 12 manifests, found {}",
-        out.len()
-    );
-    out
-}
-
-/// The dependency-ish sections whose entries we must audit.
-fn is_dep_section(header: &str) -> bool {
-    let h = header.trim_start_matches('[').trim_end_matches(']').trim();
-    h == "dependencies"
-        || h == "dev-dependencies"
-        || h == "build-dependencies"
-        || h == "workspace.dependencies"
-        || h.starts_with("target.") && h.ends_with("dependencies")
-}
+use std::path::Path;
 
 #[test]
 fn every_dependency_is_a_path_dependency() {
-    let mut violations = Vec::new();
-    for manifest in manifests() {
-        let text = std::fs::read_to_string(&manifest).expect("readable manifest");
-        let mut in_dep_section = false;
-        for (lineno, raw) in text.lines().enumerate() {
-            let line = raw.split('#').next().unwrap_or("").trim();
-            if line.is_empty() {
-                continue;
-            }
-            if line.starts_with('[') {
-                in_dep_section = is_dep_section(line);
-                continue;
-            }
-            if !in_dep_section {
-                continue;
-            }
-            // Each entry must be `name = { path = ... }`, `name.workspace = true`,
-            // or `name = { workspace = true }`. Registry (`version =`) and
-            // `git =` forms are forbidden.
-            let ok = line.contains("path =")
-                || line.contains("path=")
-                || line.contains("workspace = true")
-                || line.contains("workspace=true");
-            let forbidden = line.contains("version =")
-                || line.contains("version=")
-                || line.contains("git =")
-                || line.contains("git=")
-                || line.contains("registry");
-            if !ok || forbidden {
-                violations.push(format!(
-                    "{}:{}: `{}`",
-                    manifest.display(),
-                    lineno + 1,
-                    raw.trim()
-                ));
-            }
-        }
-    }
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let violations =
+        tft_lint::passes::check_workspace_manifests(root).expect("workspace is readable");
     assert!(
         violations.is_empty(),
         "non-hermetic dependency declarations (must be path-only):\n{}",
-        violations.join("\n")
+        violations
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
     );
 }
 
