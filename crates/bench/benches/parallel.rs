@@ -1,0 +1,43 @@
+//! Scaling bench for the parallel study executor (`tft_core::exec`): the
+//! same scale-0.1 campaign at workers ∈ {1, 2, 4, 8}.
+//!
+//! Output is byte-identical at every worker count (asserted by the
+//! workspace determinism tests); this bench measures the only thing the
+//! knob is allowed to change — wall-clock. `scripts/check.sh` runs it in
+//! quick mode and archives `BENCH_parallel.json` so the speedup is tracked
+//! across PRs.
+
+use std::hint::black_box;
+use substrate::bench::Harness;
+use tft_core::{run_study_with, ExecOptions, StudyConfig};
+
+fn main() {
+    let mut h = Harness::new("parallel");
+    let scale = 0.1;
+    let cfg = StudyConfig::scaled(scale);
+    // One pristine world, cloned per run: world construction is cheap
+    // relative to the study, and every run must start from identical state.
+    let pristine = worldgen::build(&worldgen::paper_spec(scale, 0xBE7C)).world;
+    // One discarded run so the first measured worker count does not absorb
+    // process-lifetime warmup (page faults, allocator growth). Quick mode
+    // skips the harness's own warmup, so this keeps the comparison fair.
+    {
+        let mut world = pristine.clone();
+        black_box(run_study_with(
+            &mut world,
+            &cfg,
+            &ExecOptions::with_workers(1),
+        ));
+    }
+    for workers in [1usize, 2, 4, 8] {
+        h.bench(&format!("run_study/scale{scale}/workers{workers}"), || {
+            let mut world = pristine.clone();
+            black_box(run_study_with(
+                &mut world,
+                &cfg,
+                &ExecOptions::with_workers(workers),
+            ))
+        });
+    }
+    h.finish();
+}

@@ -28,7 +28,7 @@ struct Entry {
 }
 
 /// A `(name, qtype)`-keyed cache with per-record TTLs and a negative TTL.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DnsCache {
     entries: HashMap<(DnsName, u16), Entry>,
     hits: u64,

@@ -83,7 +83,7 @@ pub struct QueryLogEntry {
 }
 
 /// The authoritative server: a zone, per-name overrides, and a query log.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct AuthServer {
     zone: Zone,
     overrides: BTreeMap<DnsName, AnswerOverride>,
@@ -166,6 +166,11 @@ impl AuthServer {
     /// The full query log.
     pub fn log(&self) -> &[QueryLogEntry] {
         &self.log
+    }
+
+    /// Append log entries recorded elsewhere (shard evidence merging).
+    pub fn absorb_log(&mut self, entries: &[QueryLogEntry]) {
+        self.log.extend_from_slice(entries);
     }
 
     /// Queries for one name, in arrival order.

@@ -38,7 +38,7 @@ pub struct AsRecord {
 }
 
 /// Builder/owner of the simulated Internet's address space and registry.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct InternetRegistry {
     orgs: BTreeMap<OrgId, Organization>,
     ases: BTreeMap<Asn, AsRecord>,

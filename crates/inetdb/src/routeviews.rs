@@ -10,7 +10,7 @@ use crate::types::{Asn, Ipv4Net};
 use std::net::Ipv4Addr;
 
 /// An immutable RIB snapshot supporting longest-prefix-match origin lookup.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RibSnapshot {
     trie: PrefixTrie<Asn>,
     routes: Vec<(Ipv4Net, Asn)>,

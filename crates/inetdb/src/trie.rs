@@ -7,7 +7,7 @@
 use crate::types::Ipv4Net;
 use std::net::Ipv4Addr;
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Node<T> {
     value: Option<T>,
     children: [Option<Box<Node<T>>>; 2],
@@ -24,7 +24,7 @@ impl<T> Node<T> {
 
 /// A binary trie keyed by IPv4 prefixes, supporting exact insert and
 /// longest-prefix-match lookup.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct PrefixTrie<T> {
     root: Node<T>,
     len: usize,

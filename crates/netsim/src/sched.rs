@@ -12,6 +12,7 @@ use std::collections::BinaryHeap;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct EventId(u64);
 
+#[derive(Clone)]
 struct Entry<E> {
     at: SimTime,
     seq: u64,
@@ -50,6 +51,11 @@ pub struct Fired<E> {
 }
 
 /// Deterministic discrete-event scheduler with a virtual clock.
+///
+/// `Clone` (for `E: Clone`) snapshots the entire pending-event state; the
+/// parallel study executor uses this to give each shard an independent
+/// world copy whose future events replay identically.
+#[derive(Clone)]
 pub struct Scheduler<E> {
     now: SimTime,
     seq: u64,

@@ -70,23 +70,44 @@ impl SimDuration {
     }
 
     /// Construct from whole seconds.
+    ///
+    /// # Panics
+    /// Panics if the millisecond count overflows `u64` (release builds used
+    /// to wrap silently here).
     pub const fn from_secs(s: u64) -> Self {
-        SimDuration(s * 1000)
+        SimDuration(checked_scale(s, 1000, "SimDuration::from_secs overflow"))
     }
 
     /// Construct from whole minutes.
+    ///
+    /// # Panics
+    /// Panics if the millisecond count overflows `u64`.
     pub const fn from_mins(m: u64) -> Self {
-        SimDuration(m * 60_000)
+        SimDuration(checked_scale(m, 60_000, "SimDuration::from_mins overflow"))
     }
 
     /// Construct from whole hours.
+    ///
+    /// # Panics
+    /// Panics if the millisecond count overflows `u64`.
     pub const fn from_hours(h: u64) -> Self {
-        SimDuration(h * 3_600_000)
+        SimDuration(checked_scale(
+            h,
+            3_600_000,
+            "SimDuration::from_hours overflow",
+        ))
     }
 
     /// Construct from whole days.
+    ///
+    /// # Panics
+    /// Panics if the millisecond count overflows `u64`.
     pub const fn from_days(d: u64) -> Self {
-        SimDuration(d * 86_400_000)
+        SimDuration(checked_scale(
+            d,
+            86_400_000,
+            "SimDuration::from_days overflow",
+        ))
     }
 
     /// Milliseconds in this duration.
@@ -115,23 +136,49 @@ impl SimDuration {
     }
 }
 
+/// `base * factor`, or a compile-/run-time panic with `msg` on overflow.
+/// `const`-compatible so the `SimDuration::from_*` constructors stay `const`.
+const fn checked_scale(base: u64, factor: u64, msg: &'static str) -> u64 {
+    match base.checked_mul(factor) {
+        Some(ms) => ms,
+        None => panic!("{}", msg),
+    }
+}
+
+// Arithmetic below is *checked with a documented panic* (matching the
+// long-standing `Sub` idiom): in debug builds plain `+`/`*` already panics
+// on overflow, but release builds wrapped silently — a wrapped `SimTime`
+// jumps the simulation clock backwards across the entire epoch, which is a
+// logic error worth failing loudly on in every profile. Callers that want
+// saturation use [`SimTime::saturating_add`] / [`SimDuration::saturating_sub`].
+
 impl Add<SimDuration> for SimTime {
     type Output = SimTime;
+    /// # Panics
+    /// Panics if the sum overflows `u64` milliseconds.
     fn add(self, d: SimDuration) -> SimTime {
-        SimTime(self.0 + d.0)
+        SimTime(self.0.checked_add(d.0).expect("SimTime addition overflow"))
     }
 }
 
 impl AddAssign<SimDuration> for SimTime {
+    /// # Panics
+    /// Panics if the sum overflows `u64` milliseconds.
     fn add_assign(&mut self, d: SimDuration) {
-        self.0 += d.0;
+        *self = *self + d;
     }
 }
 
 impl Sub<SimDuration> for SimTime {
     type Output = SimTime;
+    /// # Panics
+    /// Panics if `d` is longer than the time since the epoch.
     fn sub(self, d: SimDuration) -> SimTime {
-        SimTime(self.0 - d.0)
+        SimTime(
+            self.0
+                .checked_sub(d.0)
+                .expect("SimTime subtraction underflow"),
+        )
     }
 }
 
@@ -144,14 +191,22 @@ impl Sub<SimTime> for SimTime {
 
 impl Add for SimDuration {
     type Output = SimDuration;
+    /// # Panics
+    /// Panics if the sum overflows `u64` milliseconds.
     fn add(self, other: SimDuration) -> SimDuration {
-        SimDuration(self.0 + other.0)
+        SimDuration(
+            self.0
+                .checked_add(other.0)
+                .expect("SimDuration addition overflow"),
+        )
     }
 }
 
 impl AddAssign for SimDuration {
+    /// # Panics
+    /// Panics if the sum overflows `u64` milliseconds.
     fn add_assign(&mut self, other: SimDuration) {
-        self.0 += other.0;
+        *self = *self + other;
     }
 }
 
@@ -168,15 +223,24 @@ impl Sub for SimDuration {
 
 impl Mul<u64> for SimDuration {
     type Output = SimDuration;
+    /// # Panics
+    /// Panics if the product overflows `u64` milliseconds.
     fn mul(self, k: u64) -> SimDuration {
-        SimDuration(self.0 * k)
+        SimDuration(
+            self.0
+                .checked_mul(k)
+                .expect("SimDuration multiplication overflow"),
+        )
     }
 }
 
 impl Div<u64> for SimDuration {
     type Output = SimDuration;
+    /// # Panics
+    /// Panics with a descriptive message if `k == 0` (instead of the bare
+    /// built-in divide-by-zero panic).
     fn div(self, k: u64) -> SimDuration {
-        SimDuration(self.0 / k)
+        SimDuration(self.0.checked_div(k).expect("SimDuration division by zero"))
     }
 }
 
@@ -249,6 +313,42 @@ mod tests {
         assert_eq!(SimDuration::from_mins(30).to_string(), "30m");
         assert_eq!(SimDuration::from_hours(24).to_string(), "1d");
         assert_eq!(SimDuration::ZERO.to_string(), "0ms");
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime addition overflow")]
+    fn time_add_overflow_panics() {
+        let _ = SimTime::from_millis(u64::MAX) + SimDuration::from_millis(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimTime subtraction underflow")]
+    fn time_sub_underflow_panics() {
+        let _ = SimTime::from_millis(0) - SimDuration::from_millis(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimDuration addition overflow")]
+    fn duration_add_overflow_panics() {
+        let _ = SimDuration::from_millis(u64::MAX) + SimDuration::from_millis(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "SimDuration multiplication overflow")]
+    fn duration_mul_overflow_panics() {
+        let _ = SimDuration::from_millis(u64::MAX / 2 + 1) * 2;
+    }
+
+    #[test]
+    #[should_panic(expected = "SimDuration division by zero")]
+    fn duration_div_by_zero_panics() {
+        let _ = SimDuration::from_secs(1) / 0;
+    }
+
+    #[test]
+    #[should_panic(expected = "SimDuration::from_days overflow")]
+    fn duration_constructor_overflow_panics() {
+        let _ = SimDuration::from_days(u64::MAX / 86_400_000 + 1);
     }
 
     #[test]

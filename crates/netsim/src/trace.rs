@@ -61,7 +61,7 @@ pub struct TraceEvent {
 /// Tracing is opt-in: the full-scale measurement campaigns would produce
 /// millions of events, so the log is disabled unless explicitly enabled for
 /// a figure rendering or a debugging session.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct TraceLog {
     enabled: bool,
     events: Vec<TraceEvent>,

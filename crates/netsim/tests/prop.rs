@@ -116,6 +116,54 @@ fn token_bucket_rate_bound() {
     );
 }
 
+/// Checked time arithmetic obeys the algebraic laws on non-overflowing
+/// inputs, and agrees with wide (u128) reference arithmetic — the release
+/// build used to wrap silently here, which breaks every one of these laws.
+#[test]
+fn time_arithmetic_laws() {
+    qc::check(
+        "time arithmetic laws",
+        &Config::default(),
+        &qc::tuple3(
+            qc::ints(0u64..1 << 40),
+            qc::ints(0u64..1 << 40),
+            qc::ints(1u64..1 << 20),
+        ),
+        |(t_ms, d_ms, k)| {
+            let t = SimTime::from_millis(*t_ms);
+            let d = SimDuration::from_millis(*d_ms);
+
+            // Add agrees with wide-integer reference arithmetic.
+            let wide = *t_ms as u128 + *d_ms as u128;
+            qc_assert_eq!((t + d).as_millis() as u128, wide);
+
+            // Round-trips: (t + d) - d == t, (t + d).since(t) == d.
+            qc_assert_eq!((t + d) - d, t);
+            qc_assert_eq!((t + d).since(t), d);
+            qc_assert_eq!((d + d) - d, d);
+
+            // AddAssign is Add.
+            let mut t2 = t;
+            t2 += d;
+            qc_assert_eq!(t2, t + d);
+            let mut d2 = d;
+            d2 += d;
+            qc_assert_eq!(d2, d + d);
+
+            // Mul agrees with wide arithmetic and Div inverts it (k > 0).
+            let wide_mul = *d_ms as u128 * *k as u128;
+            qc_assert_eq!((d * *k).as_millis() as u128, wide_mul);
+            qc_assert_eq!(d * *k / *k, d);
+
+            // Saturating forms agree with checked forms when nothing
+            // saturates.
+            qc_assert_eq!(t.saturating_add(d), t + d);
+            qc_assert_eq!((d + d).saturating_sub(d), d);
+            qc::pass()
+        },
+    );
+}
+
 /// CDF fraction_at is monotone and bounded in [0,1].
 #[test]
 fn cdf_monotone() {

@@ -24,7 +24,7 @@ pub struct WebLogEntry {
 }
 
 /// The study's web server: serves probe objects and logs every request.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct WebServer {
     routes: HashMap<(String, String), Response>,
     log: Vec<WebLogEntry>,
@@ -93,6 +93,12 @@ impl WebServer {
     ) -> impl Iterator<Item = &'a WebLogEntry> + 'a {
         let host = host.to_ascii_lowercase();
         self.log.iter().filter(move |e| e.host == host)
+    }
+
+    /// Append log entries recorded elsewhere (shard evidence merging —
+    /// see `World::absorb_evidence`).
+    pub fn absorb_log(&mut self, entries: &[WebLogEntry]) {
+        self.log.extend_from_slice(entries);
     }
 
     /// Clear the log.

@@ -15,7 +15,7 @@ struct SessionEntry {
 }
 
 /// Session table keyed by `(customer, session id)`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SessionTable {
     entries: HashMap<(String, u64), SessionEntry>,
     ttl: SimDuration,

@@ -55,7 +55,7 @@ pub struct SmtpProbeResult {
 }
 
 /// World-side SMTP state, kept separate so the HTTP/S core stays untouched.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct SmtpPlane {
     pub(crate) sites_by_ip: HashMap<Ipv4Addr, MailSite>,
     pub(crate) sites_by_host: HashMap<String, Ipv4Addr>,

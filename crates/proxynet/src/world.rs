@@ -53,7 +53,24 @@ pub(crate) enum WorldEvent {
     ChurnToggle { node: NodeId },
 }
 
+/// Snapshot of how much measurement evidence a world holds, taken with
+/// [`World::evidence_mark`] before cloning shards off it.
+#[derive(Debug, Clone)]
+pub struct EvidenceMark {
+    web_log_len: usize,
+    auth_log_len: usize,
+    bytes_billed: HashMap<String, u64>,
+}
+
 /// The simulated Internet plus the measurement infrastructure.
+///
+/// `Clone` snapshots the *entire* world — clock, pending events, RNG state,
+/// every server log. The parallel study executor clones one world per shard
+/// so disjoint node populations can be probed concurrently, then merges the
+/// measurement evidence back with [`World::absorb_evidence`]. There is no
+/// interior mutability anywhere in the world graph, so a clone shares
+/// nothing with its source.
+#[derive(Clone)]
 pub struct World {
     pub(crate) sched: Scheduler<WorldEvent>,
     pub(crate) rng: SimRng,
@@ -496,6 +513,50 @@ impl World {
     /// The Google anycast instance the super proxy resolves through.
     pub fn super_proxy_dns_src(&self) -> Ipv4Addr {
         self.google_anycast[0]
+    }
+
+    // -- shard evidence merging (parallel study executor) --------------------
+
+    /// A marker taken *before* cloning this world into shards, recording how
+    /// much measurement evidence already exists. [`World::absorb_evidence`]
+    /// uses it to copy back only what a shard added.
+    pub fn evidence_mark(&self) -> EvidenceMark {
+        EvidenceMark {
+            web_log_len: self.web_server.log().len(),
+            auth_log_len: self.auth_server.log().len(),
+            bytes_billed: self.bytes_billed.clone(),
+        }
+    }
+
+    /// Merge the measurement evidence a shard produced back into this world:
+    /// web-server and authoritative-DNS log entries beyond the mark are
+    /// appended (callers absorb shards in shard order, so the merged logs are
+    /// deterministic), per-customer billing deltas are added, and the clock
+    /// advances to the shard's finish time if it is ahead (firing any events
+    /// due in between).
+    ///
+    /// Only *evidence* merges; shard-local control state (sessions, resolver
+    /// caches, zone provisioning) stays in the shard, exactly as a real
+    /// measurement backend only ever sees its servers' logs and the bill.
+    pub fn absorb_evidence(&mut self, shard: &World, mark: &EvidenceMark) {
+        self.web_server
+            .absorb_log(&shard.web_server.log()[mark.web_log_len..]);
+        self.auth_server
+            .absorb_log(&shard.auth_server.log()[mark.auth_log_len..]);
+        for (customer, &billed) in &shard.bytes_billed {
+            let base = mark.bytes_billed.get(customer).copied().unwrap_or(0);
+            let delta = billed
+                .checked_sub(base)
+                .expect("shard billing went backwards");
+            if delta > 0 {
+                *self.bytes_billed.entry(customer.clone()).or_insert(0) += delta;
+            }
+        }
+        if let Some(ahead) = shard.now().checked_since(self.now()) {
+            if !ahead.is_zero() {
+                self.advance(ahead);
+            }
+        }
     }
 
     /// The anycast instance a Google-DNS-configured node in `country` hits.

@@ -15,7 +15,10 @@
 //!   generators, configurable case counts, input shrinking, and
 //!   failure-seed replay;
 //! - [`mod@bench`]: a warmup+samples micro-benchmark harness reporting
-//!   min/median/p95 per benchmark with machine-readable JSON output.
+//!   min/median/p95 per benchmark with machine-readable JSON output;
+//! - [`pool`]: a scoped worker pool with fixed worker count, panic
+//!   propagation, and deterministic in-order result collection, plus a
+//!   [`pool::par_map`] helper.
 //!
 //! ## Why first-party
 //!
@@ -31,8 +34,10 @@
 
 pub mod bench;
 pub mod json;
+pub mod pool;
 pub mod qc;
 pub mod rng;
 
 pub use json::{FromJson, Json, JsonError, Num, ToJson};
+pub use pool::{par_map, Pool};
 pub use rng::{Rng, RngExt, SplitMix64, Xoshiro256pp};

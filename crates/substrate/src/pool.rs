@@ -1,0 +1,239 @@
+//! A scoped worker pool with deterministic, in-order result collection.
+//!
+//! This is the concurrency primitive behind the parallel study executor:
+//! a fixed number of workers drain a shared queue of indexed tasks inside
+//! [`std::thread::scope`], so closures may borrow from the caller's stack
+//! (no `'static` bound, no `Arc` plumbing). Three properties matter more
+//! than raw speed here:
+//!
+//! 1. **In-order results.** [`Pool::run`]/[`par_map`] return results in
+//!    task-index order, regardless of which worker ran what when. Callers
+//!    never observe scheduling.
+//! 2. **Panic propagation.** If any task panics, the pool finishes joining
+//!    and then re-raises the panic of the *lowest-indexed* failed task via
+//!    [`std::panic::resume_unwind`] — deterministic even when several tasks
+//!    fail in the same run.
+//! 3. **Worker count is a pure throughput knob.** Tasks receive only their
+//!    index and payload — never a worker id — so nothing downstream can
+//!    accidentally key behaviour (or a seed) on thread identity.
+//!
+//! `workers == 1` executes inline on the calling thread: no threads are
+//! spawned, which keeps single-threaded runs trivially deterministic and
+//! makes the pool safe to use in environments where spawning is costly.
+
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::thread;
+
+/// A fixed-size scoped worker pool.
+///
+/// The pool itself is just a validated worker count; all threads live only
+/// for the duration of a single [`Pool::run`] call.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool with `workers` worker threads.
+    ///
+    /// # Panics
+    /// Panics if `workers == 0` — a pool that can run nothing is a
+    /// configuration bug, not a degenerate mode.
+    pub fn new(workers: usize) -> Self {
+        assert!(workers > 0, "Pool requires at least one worker");
+        Pool { workers }
+    }
+
+    /// The configured worker count.
+    pub fn workers(self) -> usize {
+        self.workers
+    }
+
+    /// Run `task` once per item of `items`, returning results in item order.
+    ///
+    /// `task` is called as `task(index, item)`. With one worker the tasks
+    /// run inline on the calling thread in index order; with more, workers
+    /// claim indices from a shared counter — the *assignment* of tasks to
+    /// workers is nondeterministic, but the returned `Vec` is always in
+    /// index order, so callers cannot observe it.
+    ///
+    /// # Panics
+    /// If one or more tasks panic, re-raises the payload of the
+    /// lowest-indexed panicking task after all workers have stopped.
+    pub fn run<T, R, F>(self, items: Vec<T>, task: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        if self.workers == 1 || items.len() <= 1 {
+            return items
+                .into_iter()
+                .enumerate()
+                .map(|(i, item)| task(i, item))
+                .collect();
+        }
+
+        let n = items.len();
+        // Each slot is claimed exactly once via the atomic cursor, then
+        // filled by the claiming worker. Slots hold Options so results can
+        // be moved out without `R: Default`.
+        let inputs: Vec<Mutex<Option<T>>> =
+            items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let outputs: Vec<Mutex<Option<thread::Result<R>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let task = &task;
+        let inputs = &inputs;
+        let outputs = &outputs;
+        let cursor = &cursor;
+
+        thread::scope(|s| {
+            for _ in 0..self.workers.min(n) {
+                s.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        return;
+                    }
+                    let item = inputs[i]
+                        .lock()
+                        .expect("pool input lock poisoned")
+                        .take()
+                        .expect("pool task claimed twice");
+                    // Tasks are required to be panic-safe by contract: a
+                    // panicking task's partial effects are confined to its
+                    // own inputs, which are dropped with the payload.
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| task(i, item)));
+                    *outputs[i].lock().expect("pool output lock poisoned") = Some(result);
+                });
+            }
+        });
+
+        let mut results = Vec::with_capacity(n);
+        let mut first_panic = None;
+        for (i, slot) in outputs.iter().enumerate() {
+            let result = slot
+                .lock()
+                .expect("pool output lock poisoned")
+                .take()
+                .unwrap_or_else(|| panic!("pool task {i} produced no result"));
+            match result {
+                Ok(r) => results.push(r),
+                Err(payload) => {
+                    if first_panic.is_none() {
+                        first_panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = first_panic {
+            panic::resume_unwind(payload);
+        }
+        results
+    }
+}
+
+/// Map `f` over `items` on a pool of `workers` threads, preserving order.
+///
+/// Convenience wrapper over [`Pool::run`] for the common case where the
+/// task doesn't need its index.
+///
+/// # Panics
+/// Propagates the lowest-indexed task panic, and panics if `workers == 0`.
+pub fn par_map<T, R, F>(workers: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    Pool::new(workers).run(items, |_, item| f(item))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_are_in_input_order() {
+        for workers in [1, 2, 3, 8] {
+            let out = par_map(workers, (0..100u64).collect(), |x| x * x);
+            let expected: Vec<u64> = (0..100).map(|x| x * x).collect();
+            assert_eq!(out, expected, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn borrows_from_the_caller_scope() {
+        let base = [10u64, 20, 30];
+        let out = par_map(4, vec![0usize, 1, 2], |i| base[i] + 1);
+        assert_eq!(out, vec![11, 21, 31]);
+    }
+
+    #[test]
+    fn run_passes_indices() {
+        let out = Pool::new(4).run(vec!["a", "b", "c"], |i, s| format!("{i}:{s}"));
+        assert_eq!(out, vec!["0:a", "1:b", "2:c"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(par_map(4, empty, |x| x).is_empty());
+        assert_eq!(par_map(4, vec![7u8], |x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_workers_than_tasks() {
+        let out = par_map(16, vec![1u8, 2], |x| x * 10);
+        assert_eq!(out, vec![10, 20]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Pool::new(0);
+    }
+
+    #[test]
+    fn panic_propagates_lowest_index() {
+        // Several tasks panic; the surfaced payload must be the
+        // lowest-indexed one regardless of scheduling.
+        for workers in [1, 2, 8] {
+            let err = std::panic::catch_unwind(|| {
+                par_map(workers, (0..32u32).collect(), |x| {
+                    if x % 5 == 3 {
+                        panic!("task {x} failed");
+                    }
+                    x
+                })
+            })
+            .expect_err("pool must propagate task panics");
+            let msg = err
+                .downcast_ref::<String>()
+                .cloned()
+                .unwrap_or_else(|| "non-string payload".into());
+            assert_eq!(msg, "task 3 failed", "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn all_tasks_still_complete_when_one_panics() {
+        // A panic must not wedge the queue: the remaining tasks run to
+        // completion (observable via a side counter) before propagation.
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let completed = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            par_map(4, (0..64u32).collect(), |x| {
+                if x == 10 {
+                    panic!("boom");
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+                x
+            })
+        }));
+        assert!(result.is_err());
+        assert_eq!(completed.load(Ordering::Relaxed), 63);
+    }
+}

@@ -64,6 +64,14 @@ impl Sampler {
         }
     }
 
+    /// Start session numbering at `base` instead of 1. The parallel
+    /// executor gives each shard a disjoint session range so merged
+    /// evidence logs never show two shards reusing one session id.
+    pub fn with_session_base(mut self, base: u64) -> Self {
+        self.next_session = base;
+        self
+    }
+
     /// Next `(country, session)` pair to probe.
     pub fn next_probe(&mut self) -> (CountryCode, u64) {
         let x = self.rng.random_range(0..self.total_weight);

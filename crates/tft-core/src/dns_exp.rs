@@ -14,12 +14,15 @@
 use crate::config::StudyConfig;
 use crate::crawl::Sampler;
 use crate::ethics::ByteBudget;
+use crate::exec::ProbeScope;
 use crate::obs::{DnsDataset, DnsObservation, DnsOutcome};
 use dnswire::{server::inetdb_net::Net, AnswerOverride};
 use httpwire::{Response, Uri};
-use netsim::SimRng;
 use proxynet::{ProxyError, UsernameOptions, World};
 use std::net::Ipv4Addr;
+
+/// Sampler-seed salt (XORed with virtual time at experiment start).
+const SEED_SALT: u64 = 0xD45;
 
 /// The Google anycast range the super proxy's queries arrive from
 /// (74.125.0.0/16; the paper determined this empirically). Exposed so the
@@ -65,12 +68,28 @@ pub fn run(world: &mut World, cfg: &StudyConfig) -> DnsDataset {
 
 /// Run with explicit methodology options (ablations).
 pub fn run_with(world: &mut World, cfg: &StudyConfig, exp_opts: DnsExpOptions) -> DnsDataset {
+    let scope = ProbeScope::full(world);
+    run_scoped(world, cfg, exp_opts, scope)
+}
+
+/// Run one population shard (parallel executor entry point).
+pub(crate) fn run_shard(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> DnsDataset {
+    run_scoped(world, cfg, DnsExpOptions::default(), scope)
+}
+
+fn run_scoped(
+    world: &mut World,
+    cfg: &StudyConfig,
+    exp_opts: DnsExpOptions,
+    scope: ProbeScope,
+) -> DnsDataset {
     let mut sampler = Sampler::new(
-        &world.reported_country_counts(),
-        SimRng::new(world.now().as_millis() ^ 0xD45),
+        &scope.counts,
+        scope.rng(world.now().as_millis(), SEED_SALT),
         cfg.saturation_window,
         cfg.saturation_min_new,
-    );
+    )
+    .with_session_base(scope.session_base);
     let mut budget = ByteBudget::new(cfg.per_node_byte_cap);
     let mut data = DnsDataset::default();
     let apex = world.auth_apex().clone();
@@ -83,8 +102,12 @@ pub fn run_with(world: &mut World, cfg: &StudyConfig, exp_opts: DnsExpOptions) -
         let (country, session) = sampler.next_probe();
         data.samples_issued += 1;
         let dup_before = data.duplicates;
-        let d1 = apex.child(&format!("d1-{i}")).expect("valid label");
-        let d2 = apex.child(&format!("d2-{i}")).expect("valid label");
+        let d1 = apex
+            .child(&format!("{}d1-{i}", scope.tag))
+            .expect("valid label");
+        let d2 = apex
+            .child(&format!("{}d2-{i}", scope.tag))
+            .expect("valid label");
         let d1s = d1.to_string();
         let d2s = d2.to_string();
 

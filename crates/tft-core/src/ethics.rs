@@ -26,20 +26,32 @@ impl ByteBudget {
     }
 
     /// True if `zid` can still receive `bytes` more.
+    ///
+    /// Overflow denies: a request so large that `used + bytes` exceeds
+    /// `u64::MAX` can never fit under any finite cap, so the guardrail must
+    /// not wrap around into permissiveness (debug builds would panic on the
+    /// wrap, but release builds silently wrapped before this used
+    /// `checked_add`).
     pub fn allows(&self, zid: &ZId, bytes: u64) -> bool {
-        self.used.get(zid).copied().unwrap_or(0) + bytes <= self.cap
+        match self.used.get(zid).copied().unwrap_or(0).checked_add(bytes) {
+            Some(total) => total <= self.cap,
+            None => false,
+        }
     }
 
     /// Record a transfer. Returns false (and records nothing) if it would
     /// exceed the cap — callers must check [`ByteBudget::allows`] first and
-    /// treat a false here as a bug.
+    /// treat a false here as a bug. Overflow of the running total denies,
+    /// exactly like [`ByteBudget::allows`].
     pub fn charge(&mut self, zid: &ZId, bytes: u64) -> bool {
         let entry = self.used.entry(zid.clone()).or_insert(0);
-        if *entry + bytes > self.cap {
-            return false;
+        match entry.checked_add(bytes) {
+            Some(total) if total <= self.cap => {
+                *entry = total;
+                true
+            }
+            _ => false,
         }
-        *entry += bytes;
-        true
     }
 
     /// Bytes already used by `zid`.
@@ -53,11 +65,20 @@ impl ByteBudget {
     }
 }
 
+/// One suffix rule with its dotted form precomputed: `permits` sits on the
+/// hot path of every probe admission, and allocating `".{apex}"` per rule
+/// per request added a measurable cost once the executor went parallel.
+#[derive(Debug)]
+struct SuffixRule {
+    apex: String,
+    dotted: String,
+}
+
 /// Domain allowlist: the probe zone, ranked sites, universities, and the
 /// study's invalid-cert sites.
 #[derive(Debug, Default)]
 pub struct DomainAllowlist {
-    suffixes: Vec<String>,
+    suffixes: Vec<SuffixRule>,
     exact: std::collections::HashSet<String>,
 }
 
@@ -69,7 +90,9 @@ impl DomainAllowlist {
 
     /// Allow every subdomain of `apex` (and the apex itself).
     pub fn allow_suffix(&mut self, apex: &str) {
-        self.suffixes.push(apex.to_ascii_lowercase());
+        let apex = apex.to_ascii_lowercase();
+        let dotted = format!(".{apex}");
+        self.suffixes.push(SuffixRule { apex, dotted });
     }
 
     /// Allow one exact host.
@@ -85,7 +108,7 @@ impl DomainAllowlist {
         }
         self.suffixes
             .iter()
-            .any(|apex| h == *apex || h.ends_with(&format!(".{apex}")))
+            .any(|rule| h == rule.apex || h.ends_with(&rule.dotted))
     }
 }
 
@@ -114,6 +137,26 @@ mod tests {
         let mut b = ByteBudget::new(100);
         assert!(b.charge(&z(1), 100));
         assert!(!b.allows(&z(1), 1));
+    }
+
+    /// Regression: `used + bytes` used to wrap in release mode, so a huge
+    /// request against a partially-used budget looked like it fit — the
+    /// ethics cap became *permissive* for exactly the requests it most
+    /// needed to deny.
+    #[test]
+    fn huge_request_denied_not_wrapped() {
+        let mut b = ByteBudget::new(1_000_000);
+        assert!(b.charge(&z(1), 500_000));
+        // 500_000 + u64::MAX wraps to 499_999 (< cap) under wrapping
+        // arithmetic; checked_add must deny instead.
+        assert!(!b.allows(&z(1), u64::MAX));
+        assert!(!b.charge(&z(1), u64::MAX));
+        assert_eq!(b.used(&z(1)), 500_000, "denied charge records nothing");
+        // Fresh node, zero used: still denied (u64::MAX > cap), and the
+        // boundary where the sum itself overflows is denied too.
+        assert!(!b.allows(&z(2), u64::MAX));
+        assert!(!b.charge(&z(2), u64::MAX));
+        assert_eq!(b.used(&z(2)), 0);
     }
 
     #[test]

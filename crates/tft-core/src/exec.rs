@@ -1,0 +1,353 @@
+//! Deterministic parallel study executor.
+//!
+//! The paper's selling point is scale — 1.2M vantage points measured "in
+//! days, not years" (§1) — and a real measurement backend runs crawler
+//! instances in parallel. This module makes [`crate::run_study`] parallel
+//! **without giving up byte-identical determinism**:
+//!
+//! - The exit-node population is partitioned by *country* into a fixed
+//!   number of shards ([`SHARD_COUNT`] — a semantic constant of the
+//!   campaign plan, never derived from the machine). A node belongs to
+//!   exactly one country, so shard populations are disjoint and the merged
+//!   datasets have no cross-shard interference.
+//! - Each shard runs an experiment on its own [`World`] clone, drawing
+//!   every random decision from a label-forked [`netsim::SimRng`]
+//!   (`fork_indexed("shard", k)`). Seeds derive from virtual time and the
+//!   shard index only — never from thread identity — so the worker count
+//!   of the underlying [`substrate::pool`] is a pure throughput knob.
+//! - Shard results are merged in canonical order (shard evidence in shard
+//!   order, observations re-sorted by zID / probe key), so `render_tables`
+//!   and every golden are bit-identical at any worker count.
+//!
+//! The partition itself is LPT greedy (largest country first onto the
+//! lightest shard, ties broken by country code and shard index), which is
+//! deterministic and keeps shard workloads balanced.
+
+use crate::config::StudyConfig;
+use crate::obs::{DnsDataset, HttpDataset, HttpsDataset, MonitorDataset};
+use inetdb::CountryCode;
+use netsim::SimRng;
+use proxynet::World;
+use substrate::pool;
+
+/// Number of population shards the study plan splits each experiment into.
+///
+/// Fixed (not machine-derived): the shard plan is part of the campaign's
+/// semantics, and the same plan must replay on any machine. Worker count —
+/// how many shards run *concurrently* — is the throughput knob.
+pub const SHARD_COUNT: usize = 8;
+
+/// Distance between the session-number ranges of adjacent shards, so a
+/// merged evidence log never shows two shards reusing one session id.
+const SESSION_STRIDE: u64 = 1 << 32;
+
+/// Execution options for [`crate::study::run_study_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExecOptions {
+    /// Worker threads used to run shards (and analyses) concurrently.
+    /// Output is byte-identical at any value; this only trades wall-clock
+    /// for cores.
+    pub workers: usize,
+}
+
+impl ExecOptions {
+    /// Run with an explicit worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        assert!(workers > 0, "need at least one worker");
+        ExecOptions { workers }
+    }
+}
+
+impl Default for ExecOptions {
+    /// Default to the machine's available parallelism, capped at
+    /// [`SHARD_COUNT`] (more workers than shards cannot help). Safe to
+    /// machine-derive precisely because output is worker-count-invariant.
+    fn default() -> Self {
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get().min(SHARD_COUNT))
+            .unwrap_or(1);
+        ExecOptions { workers }
+    }
+}
+
+/// The sampling scope an experiment runs under: which slice of the
+/// population it crawls, how its probe artifacts are namespaced, and where
+/// its randomness comes from.
+#[derive(Debug, Clone)]
+pub(crate) struct ProbeScope {
+    /// Reported per-country exit counts visible to this scope's sampler.
+    pub counts: Vec<(CountryCode, usize)>,
+    /// Prefix for per-probe DNS labels (empty for the unsharded path, so
+    /// direct `run()` callers keep their exact historical probe names).
+    pub tag: String,
+    /// First session number the sampler hands out.
+    pub session_base: u64,
+    /// Shard index, when sharded.
+    shard: Option<u64>,
+}
+
+impl ProbeScope {
+    /// The whole-population scope — reproduces the unsharded experiments
+    /// byte-for-byte.
+    pub fn full(world: &World) -> Self {
+        ProbeScope {
+            counts: world.reported_country_counts(),
+            tag: String::new(),
+            session_base: 1,
+            shard: None,
+        }
+    }
+
+    /// The scope for shard `index` covering `counts`.
+    pub fn shard(index: usize, counts: Vec<(CountryCode, usize)>) -> Self {
+        ProbeScope {
+            counts,
+            tag: format!("s{index}-"),
+            session_base: 1 + index as u64 * SESSION_STRIDE,
+            shard: Some(index as u64),
+        }
+    }
+
+    /// Derive an RNG for this scope from virtual time and an experiment
+    /// salt. Unsharded scopes get the experiment's historical stream;
+    /// shards get an independent label-fork of it. Thread identity never
+    /// enters the derivation.
+    pub fn rng(&self, t0_millis: u64, salt: u64) -> SimRng {
+        let rng = SimRng::new(t0_millis ^ salt);
+        match self.shard {
+            Some(k) => rng.fork_indexed("shard", k),
+            None => rng,
+        }
+    }
+}
+
+/// Partition the reported per-country counts into at most `shards` groups
+/// with balanced total weight (LPT greedy). Deterministic: countries are
+/// considered largest-first with code tie-breaks, and land on the lightest
+/// shard (lowest index on ties). Zero-count countries are dropped; the
+/// result has no empty shards.
+///
+/// # Panics
+/// Panics if no country reports any exit nodes (same contract as
+/// [`crate::crawl::Sampler::new`]).
+pub(crate) fn plan_shards(
+    counts: &[(CountryCode, usize)],
+    shards: usize,
+) -> Vec<Vec<(CountryCode, usize)>> {
+    let mut nonzero: Vec<(CountryCode, usize)> =
+        counts.iter().filter(|(_, n)| *n > 0).copied().collect();
+    assert!(!nonzero.is_empty(), "no exit nodes reported anywhere");
+    // Largest first; ties in canonical country order.
+    nonzero.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+
+    let k = shards.min(nonzero.len());
+    let mut plans: Vec<Vec<(CountryCode, usize)>> = vec![Vec::new(); k];
+    let mut weights = vec![0usize; k];
+    for (cc, n) in nonzero {
+        let lightest = weights
+            .iter()
+            .enumerate()
+            .min_by_key(|(i, w)| (**w, *i))
+            .map(|(i, _)| i)
+            .expect("k >= 1");
+        plans[lightest].push((cc, n));
+        weights[lightest] += n;
+    }
+    // Within a shard, canonical country order (the Sampler's cumulative
+    // weight table is order-sensitive).
+    for plan in &mut plans {
+        plan.sort();
+    }
+    plans
+}
+
+/// One unit of shard work: shard index, its country plan, its world clone.
+type ShardTask = (usize, Vec<(CountryCode, usize)>, World);
+
+/// Run one experiment across the shard plan, merging evidence back into
+/// the main world in shard order. `run_shard` receives the shard's private
+/// world clone and scope; it must not touch anything else.
+pub(crate) fn run_experiment<D, F>(world: &mut World, workers: usize, run_shard: F) -> Vec<D>
+where
+    D: Send,
+    F: Fn(&mut World, ProbeScope) -> D + Sync,
+{
+    let plans = plan_shards(&world.reported_country_counts(), SHARD_COUNT);
+    let mark = world.evidence_mark();
+    let tasks: Vec<ShardTask> = plans
+        .into_iter()
+        .enumerate()
+        .map(|(k, plan)| (k, plan, world.clone()))
+        .collect();
+    let finished = pool::par_map(workers, tasks, |(k, plan, mut shard_world)| {
+        let scope = ProbeScope::shard(k, plan);
+        let data = run_shard(&mut shard_world, scope);
+        (data, shard_world)
+    });
+    let mut datasets = Vec::with_capacity(finished.len());
+    for (data, shard_world) in finished {
+        world.absorb_evidence(&shard_world, &mark);
+        datasets.push(data);
+    }
+    datasets
+}
+
+/// Merge per-shard DNS datasets: counters sum, observations re-sorted into
+/// canonical zID order (shard populations are disjoint, so zIDs are unique
+/// across parts; any cross-shard duplicate — impossible by construction
+/// for DNS — would be dropped deterministically, keeping the lowest shard).
+pub(crate) fn merge_dns(parts: Vec<DnsDataset>) -> DnsDataset {
+    let mut merged = DnsDataset::default();
+    for part in parts {
+        merged.observations.extend(part.observations);
+        merged.filtered_same_anycast += part.filtered_same_anycast;
+        merged.duplicates += part.duplicates;
+        merged.discarded += part.discarded;
+        merged.samples_issued += part.samples_issued;
+    }
+    merged.observations.sort_by(|a, b| a.zid.cmp(&b.zid));
+    merged.observations.dedup_by(|a, b| a.zid == b.zid);
+    merged
+}
+
+/// Merge per-shard HTTP datasets (canonical zID order). Cross-shard zID
+/// duplicates are possible here — phase-2 revisits target an AS's home
+/// country, which may lie outside the shard's partition — and are dropped
+/// deterministically (stable sort keeps the lowest shard's observation).
+pub(crate) fn merge_http(parts: Vec<HttpDataset>) -> HttpDataset {
+    let mut merged = HttpDataset::default();
+    for part in parts {
+        merged.observations.extend(part.observations);
+        merged.samples_issued += part.samples_issued;
+        merged.skipped_quota += part.skipped_quota;
+    }
+    merged.observations.sort_by(|a, b| a.zid.cmp(&b.zid));
+    merged.observations.dedup_by(|a, b| a.zid == b.zid);
+    merged
+}
+
+/// Merge per-shard HTTPS datasets (canonical zID order).
+pub(crate) fn merge_https(parts: Vec<HttpsDataset>) -> HttpsDataset {
+    let mut merged = HttpsDataset::default();
+    for part in parts {
+        merged.observations.extend(part.observations);
+        merged.skipped_unranked += part.skipped_unranked;
+        merged.samples_issued += part.samples_issued;
+    }
+    merged.observations.sort_by(|a, b| a.zid.cmp(&b.zid));
+    merged.observations.dedup_by(|a, b| a.zid == b.zid);
+    merged
+}
+
+/// Merge per-shard monitoring datasets (canonical probe-domain order, the
+/// same invariant the unsharded experiment maintains).
+pub(crate) fn merge_monitor(parts: Vec<MonitorDataset>) -> MonitorDataset {
+    let mut merged = MonitorDataset::default();
+    for part in parts {
+        merged.observations.extend(part.observations);
+        merged.window_hours = part.window_hours;
+        merged.samples_issued += part.samples_issued;
+    }
+    merged.observations.sort_by(|a, b| a.domain.cmp(&b.domain));
+    merged
+}
+
+/// Convenience: run a full sharded experiment and merge with `merge`.
+pub(crate) fn sharded<D, F, M>(
+    world: &mut World,
+    cfg: &StudyConfig,
+    workers: usize,
+    run_shard: F,
+    merge: M,
+) -> D
+where
+    D: Send,
+    F: Fn(&mut World, &StudyConfig, ProbeScope) -> D + Sync,
+    M: FnOnce(Vec<D>) -> D,
+{
+    let parts = run_experiment(world, workers, |w, scope| run_shard(w, cfg, scope));
+    merge(parts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cc(s: &str) -> CountryCode {
+        CountryCode::new(s)
+    }
+
+    #[test]
+    fn plan_is_deterministic_and_balanced() {
+        let counts = vec![
+            (cc("US"), 900),
+            (cc("DE"), 300),
+            (cc("MY"), 300),
+            (cc("BR"), 200),
+            (cc("IN"), 100),
+        ];
+        let a = plan_shards(&counts, 2);
+        let b = plan_shards(&counts, 2);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 2);
+        // LPT: US alone on one shard, everything else on the other.
+        let weights: Vec<usize> = a
+            .iter()
+            .map(|p| p.iter().map(|(_, n)| n).sum::<usize>())
+            .collect();
+        assert_eq!(weights.iter().sum::<usize>(), 1800);
+        assert!(weights.iter().all(|&w| w >= 900 / 2));
+        // No shard is empty, no country dropped or duplicated.
+        let mut all: Vec<_> = a.iter().flatten().collect();
+        all.sort();
+        assert_eq!(all.len(), 5);
+    }
+
+    #[test]
+    fn fewer_countries_than_shards_yields_fewer_shards() {
+        let counts = vec![(cc("XA"), 10), (cc("XB"), 5)];
+        let plans = plan_shards(&counts, SHARD_COUNT);
+        assert_eq!(plans.len(), 2);
+        assert!(plans.iter().all(|p| !p.is_empty()));
+    }
+
+    #[test]
+    fn zero_count_countries_are_dropped() {
+        let counts = vec![(cc("US"), 10), (cc("KP"), 0)];
+        let plans = plan_shards(&counts, 4);
+        assert_eq!(plans, vec![vec![(cc("US"), 10)]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no exit nodes")]
+    fn all_zero_panics() {
+        plan_shards(&[(cc("US"), 0)], 4);
+    }
+
+    #[test]
+    fn scope_rngs_are_shard_stable() {
+        let a = ProbeScope::shard(3, vec![(cc("US"), 1)]);
+        let b = ProbeScope::shard(3, vec![(cc("US"), 1)]);
+        let mut ra = a.rng(1234, 0xD45);
+        let mut rb = b.rng(1234, 0xD45);
+        use netsim::rng::RngExt;
+        assert_eq!(
+            ra.random_range(0..u64::MAX),
+            rb.random_range(0..u64::MAX),
+            "same shard, same stream"
+        );
+        let mut rc = ProbeScope::shard(4, vec![(cc("US"), 1)]).rng(1234, 0xD45);
+        assert_ne!(
+            ra.random_range(0..u64::MAX),
+            rc.random_range(0..u64::MAX),
+            "different shards, independent streams"
+        );
+    }
+
+    #[test]
+    fn session_bases_are_disjoint() {
+        let a = ProbeScope::shard(0, vec![(cc("US"), 1)]);
+        let b = ProbeScope::shard(1, vec![(cc("US"), 1)]);
+        assert!(b.session_base - a.session_base >= SESSION_STRIDE);
+    }
+}

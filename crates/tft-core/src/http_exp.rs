@@ -9,13 +9,16 @@
 use crate::config::StudyConfig;
 use crate::crawl::Sampler;
 use crate::ethics::ByteBudget;
+use crate::exec::ProbeScope;
 use crate::obs::{HttpDataset, HttpObservation, ObjectResult, ProbeObject};
 use httpwire::{Response, Uri};
 use inetdb::Asn;
-use netsim::SimRng;
 use proxynet::{UsernameOptions, World, ZId};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
+
+/// Sampler-seed salt (XORed with virtual time at experiment start).
+const SEED_SALT: u64 = 0x477;
 
 /// Host under the probe zone that serves the four objects.
 pub const OBJECT_HOST_LABEL: &str = "objects";
@@ -173,13 +176,24 @@ fn measure_rest(
 /// Run the experiment: phase-1 AS coverage, then phase-2 revisits of
 /// flagged ASes.
 pub fn run(world: &mut World, cfg: &StudyConfig) -> HttpDataset {
+    let scope = ProbeScope::full(world);
+    run_scoped(world, cfg, scope)
+}
+
+/// Run one population shard (parallel executor entry point).
+pub(crate) fn run_shard(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> HttpDataset {
+    run_scoped(world, cfg, scope)
+}
+
+fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> HttpDataset {
     let host = provision(world);
     let mut sampler = Sampler::new(
-        &world.reported_country_counts(),
-        SimRng::new(world.now().as_millis() ^ 0x477),
+        &scope.counts,
+        scope.rng(world.now().as_millis(), SEED_SALT),
         cfg.saturation_window,
         cfg.saturation_min_new,
-    );
+    )
+    .with_session_base(scope.session_base);
     let mut budget = ByteBudget::new(cfg.per_node_byte_cap);
     let mut data = HttpDataset::default();
     let mut per_as: HashMap<Asn, usize> = HashMap::new();

@@ -10,11 +10,16 @@
 
 use crate::config::StudyConfig;
 use crate::crawl::Sampler;
+use crate::exec::ProbeScope;
 use crate::obs::{CertProbe, HttpsDataset, HttpsObservation, SiteClass};
 use certs::{exact_match, verify_chain};
 use netsim::rng::RngExt;
-use netsim::SimRng;
 use proxynet::{UsernameOptions, World, ZId};
+
+/// Sampler-seed salt (XORed with virtual time at experiment start).
+const SEED_SALT: u64 = 0x995;
+/// Salt for the independent site-pick stream.
+const PICK_SALT: u64 = 0x5e1ec7;
 
 /// The study's three intentionally invalid sites.
 pub fn invalid_hosts(apex: &str) -> [String; 3] {
@@ -72,13 +77,25 @@ fn probe_ok(world: &World, probe: &CertProbe) -> bool {
 
 /// Run the experiment.
 pub fn run(world: &mut World, cfg: &StudyConfig) -> HttpsDataset {
+    let scope = ProbeScope::full(world);
+    run_scoped(world, cfg, scope)
+}
+
+/// Run one population shard (parallel executor entry point).
+pub(crate) fn run_shard(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> HttpsDataset {
+    run_scoped(world, cfg, scope)
+}
+
+fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> HttpsDataset {
+    let t0 = world.now().as_millis();
     let mut sampler = Sampler::new(
-        &world.reported_country_counts(),
-        SimRng::new(world.now().as_millis() ^ 0x995),
+        &scope.counts,
+        scope.rng(t0, SEED_SALT),
         cfg.saturation_window,
         cfg.saturation_min_new,
-    );
-    let mut pick_rng = SimRng::new(world.now().as_millis() ^ 0x5e1ec7);
+    )
+    .with_session_base(scope.session_base);
+    let mut pick_rng = scope.rng(t0, PICK_SALT);
     let mut data = HttpsDataset::default();
     let apex = world.auth_apex().to_string();
     let invalid = invalid_hosts(&apex);

@@ -33,6 +33,7 @@ pub mod config;
 pub mod crawl;
 pub mod dns_exp;
 pub mod ethics;
+pub mod exec;
 pub mod http_exp;
 pub mod https_exp;
 pub mod longitudinal;
@@ -45,5 +46,6 @@ pub mod study;
 
 pub use config::StudyConfig;
 pub use crawl::Sampler;
+pub use exec::ExecOptions;
 pub use scoring::{score_report, ScoreCard};
-pub use study::{render_tables, run_study, StudyReport};
+pub use study::{render_tables, run_study, run_study_with, StudyReport};

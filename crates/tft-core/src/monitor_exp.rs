@@ -8,11 +8,15 @@
 
 use crate::config::StudyConfig;
 use crate::crawl::Sampler;
+use crate::exec::ProbeScope;
 use crate::obs::{MonitorDataset, MonitorObservation};
 use httpwire::{Response, Uri};
-use netsim::{SimDuration, SimRng};
+use netsim::SimDuration;
 use proxynet::{UsernameOptions, World, ZId};
 use std::collections::HashMap;
+
+/// Sampler-seed salt (XORed with virtual time at experiment start).
+const SEED_SALT: u64 = 0x303;
 
 /// User agent our own proxied requests carry (refetches carry the
 /// monitoring product's own UA, an attribution signal).
@@ -20,12 +24,23 @@ const OWN_UA: &str = "Hola/1.108";
 
 /// Run the experiment: probe, then hold the observation window open.
 pub fn run(world: &mut World, cfg: &StudyConfig) -> MonitorDataset {
+    let scope = ProbeScope::full(world);
+    run_scoped(world, cfg, scope)
+}
+
+/// Run one population shard (parallel executor entry point).
+pub(crate) fn run_shard(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> MonitorDataset {
+    run_scoped(world, cfg, scope)
+}
+
+fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> MonitorDataset {
     let mut sampler = Sampler::new(
-        &world.reported_country_counts(),
-        SimRng::new(world.now().as_millis() ^ 0x303),
+        &scope.counts,
+        scope.rng(world.now().as_millis(), SEED_SALT),
         cfg.saturation_window,
         cfg.saturation_min_new,
-    );
+    )
+    .with_session_base(scope.session_base);
     let mut data = MonitorDataset {
         window_hours: cfg.monitor_window_hours,
         ..Default::default()
@@ -41,7 +56,9 @@ pub fn run(world: &mut World, cfg: &StudyConfig) -> MonitorDataset {
         }
         let (country, session) = sampler.next_probe();
         data.samples_issued += 1;
-        let name = apex.child(&format!("m{i}")).expect("valid label");
+        let name = apex
+            .child(&format!("{}m{i}", scope.tag))
+            .expect("valid label");
         let host = name.to_string();
         world
             .auth_server_mut()

@@ -1,14 +1,22 @@
 //! Study orchestration: run all four experiments on a world and analyze
 //! the results.
+//!
+//! Execution is sharded and parallel (see [`crate::exec`]): each
+//! experiment's population is partitioned by country, shards run on worker
+//! threads from [`substrate::pool`], and the four analyses run
+//! concurrently. Output is byte-identical at any worker count — the worker
+//! knob trades wall-clock for cores, nothing else.
 
 use crate::analysis;
 use crate::config::StudyConfig;
+use crate::exec::{self, ExecOptions};
 use crate::obs::{DnsDataset, HttpDataset, HttpsDataset, MonitorDataset};
 use crate::{dns_exp, http_exp, https_exp, monitor_exp};
 use inetdb::{Asn, CountryCode};
 use netsim::SimTime;
 use proxynet::World;
 use std::collections::BTreeSet;
+use substrate::pool::Pool;
 
 /// Everything one full study run produces.
 pub struct StudyReport {
@@ -81,18 +89,94 @@ impl StudyReport {
 /// assert!(report.dns.hijacked > 0, "the smoke world plants one hijacker");
 /// ```
 pub fn run_study(world: &mut World, cfg: &StudyConfig) -> StudyReport {
+    run_study_with(world, cfg, &ExecOptions::default())
+}
+
+/// One analysis pass's output, so heterogeneous passes can share the pool.
+enum AnalysisOut {
+    Dns(analysis::dns::DnsAnalysis),
+    Http(analysis::http::HttpAnalysis),
+    Https(analysis::https::HttpsAnalysis),
+    Monitor(analysis::monitor::MonitorAnalysis),
+    Coverage(Coverage),
+}
+
+/// [`run_study`] with explicit execution options (worker count).
+///
+/// The report is byte-identical for any `exec.workers`: shards and their
+/// seeds are fixed by the campaign plan, and results merge in canonical
+/// order regardless of which worker ran what when.
+pub fn run_study_with(
+    world: &mut World,
+    cfg: &StudyConfig,
+    exec_opts: &ExecOptions,
+) -> StudyReport {
     let started = world.now();
+    let workers = exec_opts.workers;
 
-    let dns_data = dns_exp::run(world, cfg);
-    let http_data = http_exp::run(world, cfg);
-    let https_data = https_exp::run(world, cfg);
-    let monitor_data = monitor_exp::run(world, cfg);
+    let dns_data = exec::sharded(world, cfg, workers, dns_exp::run_shard, exec::merge_dns);
+    let http_data = exec::sharded(world, cfg, workers, http_exp::run_shard, exec::merge_http);
+    let https_data = exec::sharded(world, cfg, workers, https_exp::run_shard, exec::merge_https);
+    let monitor_data = exec::sharded(
+        world,
+        cfg,
+        workers,
+        monitor_exp::run_shard,
+        exec::merge_monitor,
+    );
 
-    let dns = analysis::dns::analyze(&dns_data, world, cfg);
-    let http = analysis::http::analyze(&http_data, world, cfg);
-    let https = analysis::https::analyze(&https_data, world, cfg);
-    let monitor = analysis::monitor::analyze(&monitor_data, world, cfg);
+    // All four analysis passes (plus the coverage tally) are read-only over
+    // the merged datasets and the world; run them concurrently. Pool::run
+    // returns in index order, so destructuring below is deterministic.
+    let world_ro: &World = world;
+    let mut outs =
+        Pool::new(workers.min(5)).run(vec![0usize, 1, 2, 3, 4], |_, which| match which {
+            0 => AnalysisOut::Dns(analysis::dns::analyze(&dns_data, world_ro, cfg)),
+            1 => AnalysisOut::Http(analysis::http::analyze(&http_data, world_ro, cfg)),
+            2 => AnalysisOut::Https(analysis::https::analyze(&https_data, world_ro, cfg)),
+            3 => AnalysisOut::Monitor(analysis::monitor::analyze(&monitor_data, world_ro, cfg)),
+            _ => AnalysisOut::Coverage(coverage(
+                world_ro,
+                &dns_data,
+                &http_data,
+                &https_data,
+                &monitor_data,
+            )),
+        });
+    let (
+        Some(AnalysisOut::Coverage(coverage)),
+        Some(AnalysisOut::Monitor(monitor)),
+        Some(AnalysisOut::Https(https)),
+        Some(AnalysisOut::Http(http)),
+        Some(AnalysisOut::Dns(dns)),
+    ) = (outs.pop(), outs.pop(), outs.pop(), outs.pop(), outs.pop())
+    else {
+        unreachable!("Pool::run returns results in index order");
+    };
 
+    StudyReport {
+        dns_data,
+        dns,
+        http_data,
+        http,
+        https_data,
+        https,
+        monitor_data,
+        monitor,
+        started,
+        finished: world.now(),
+        coverage,
+    }
+}
+
+/// Unique-node / AS / country tallies across all four datasets.
+fn coverage(
+    world: &World,
+    dns_data: &DnsDataset,
+    http_data: &HttpDataset,
+    https_data: &HttpsDataset,
+    monitor_data: &MonitorDataset,
+) -> Coverage {
     let mut zids: BTreeSet<&str> = BTreeSet::new();
     let mut ases: BTreeSet<Asn> = BTreeSet::new();
     let mut countries: BTreeSet<CountryCode> = BTreeSet::new();
@@ -122,24 +206,10 @@ pub fn run_study(world: &mut World, cfg: &StudyConfig) -> StudyReport {
         zids.insert(&o.zid.0);
         add_ip(o.reported_exit_ip, &mut ases, &mut countries);
     }
-    let coverage = Coverage {
+    Coverage {
         nodes: zids.len(),
         ases: ases.len(),
         countries: countries.len(),
-    };
-
-    StudyReport {
-        dns_data,
-        dns,
-        http_data,
-        http,
-        https_data,
-        https,
-        monitor_data,
-        monitor,
-        started,
-        finished: world.now(),
-        coverage,
     }
 }
 

@@ -7,8 +7,10 @@
 //! byte-identical-render guarantee. Rather than chase individual `.iter()`
 //! sites (easy to evade via `for`, `extend`, collect, …), the pass bans the
 //! *type names* outright in the scoped modules: `tft-core`'s `report/`,
-//! `analysis/`, and `study.rs`. Use `BTreeMap`/`BTreeSet` — every key type
-//! in those modules is `Ord` — or sort explicitly before rendering.
+//! `analysis/`, `study.rs`, and `exec.rs` (the parallel executor merges
+//! shard datasets on the way to the same tables). Use
+//! `BTreeMap`/`BTreeSet` — every key type in those modules is `Ord` — or
+//! sort explicitly before rendering.
 
 use super::code_indices;
 use crate::engine::{Diagnostic, FileKind, Pass, SourceFile};
@@ -23,7 +25,7 @@ impl Pass for NoUnorderedIteration {
     }
 
     fn description(&self) -> &'static str {
-        "forbid HashMap/HashSet in tft-core report/analysis/study modules; \
+        "forbid HashMap/HashSet in tft-core report/analysis/study/exec modules; \
          use BTreeMap/BTreeSet or an explicit sort before rendering"
     }
 
@@ -32,7 +34,8 @@ impl Pass for NoUnorderedIteration {
             && file.crate_name == "tft-core"
             && (file.rel_path.contains("/report/")
                 || file.rel_path.contains("/analysis/")
-                || file.rel_path.ends_with("/study.rs"))
+                || file.rel_path.ends_with("/study.rs")
+                || file.rel_path.ends_with("/exec.rs"))
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {

@@ -20,6 +20,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== tests =="
 cargo test --workspace
 
+echo "== tests (release) =="
+# Debug builds carry overflow-checks, which masks exactly the class of
+# release-only wrap bugs the checked arithmetic in netsim/ethics guards
+# against. Run the suite once with release semantics too.
+cargo test --workspace --release
+
 echo "== docs =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
@@ -31,5 +37,12 @@ echo "== bench smoke (JSON to BENCH_substrate.json) =="
 # must be absolute to land at the repo root.
 BENCH_JSON="$PWD/BENCH_substrate.json" TFT_BENCH_QUICK=1 \
   cargo bench -p tft-bench --bench substrate
+
+echo "== parallel executor scaling (JSON to BENCH_parallel.json) =="
+# Same study at workers 1/2/4/8; output is byte-identical at every count
+# (see tests/determinism.rs), so this only tracks wall-clock. On a
+# single-core host the counts tie within noise — scaling needs cores.
+BENCH_JSON="$PWD/BENCH_parallel.json" TFT_BENCH_QUICK=1 \
+  cargo bench -p tft-bench --bench parallel
 
 echo "all checks passed"

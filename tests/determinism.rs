@@ -29,3 +29,27 @@ fn different_seeds_produce_different_measurements() {
     let b = run_once(2);
     assert_ne!(a.0, b.0, "different seeds should not collide");
 }
+
+/// The parallel executor's core invariant: worker count is a pure
+/// throughput knob. The rendered tables, node counts, and billing must be
+/// byte-identical whether the shards run on 1, 2, or 8 workers.
+#[test]
+fn worker_count_never_changes_output() {
+    let run_with_workers = |workers: usize| {
+        let mut built = build(&paper_spec(0.004, 0x51AB));
+        let cfg = StudyConfig::scaled(0.004);
+        let report = run_study_with(&mut built.world, &cfg, &ExecOptions::with_workers(workers));
+        (
+            render_tables(&report),
+            report.unique_nodes(),
+            built.world.bytes_billed(&cfg.customer),
+            built.world.auth_server().log().len(),
+            built.world.web_server().log().len(),
+        )
+    };
+    let w1 = run_with_workers(1);
+    let w2 = run_with_workers(2);
+    let w8 = run_with_workers(8);
+    assert_eq!(w1, w2, "workers=1 vs workers=2 diverged");
+    assert_eq!(w1, w8, "workers=1 vs workers=8 diverged");
+}
