@@ -8,7 +8,10 @@
 //! - [`rng`]: splittable seeded randomness ([`SimRng`]) — one master `u64`
 //!   seed reproduces an entire measurement campaign;
 //! - [`latency`]: per-hop latency models for proxied request paths;
-//! - [`fault`]: drop/corrupt/delay fault injection (the smoltcp idiom);
+//! - [`fault`]: drop/corrupt/truncate/stall/delay fault injection (the
+//!   smoltcp idiom, extended for chaos campaigns);
+//! - [`campaign`]: scriptable fault campaigns — time-windowed regional
+//!   outages, per-ISP/per-node profiles, flapping links;
 //! - [`trace`]: structured event traces, rendered as the paper's
 //!   request-timeline figures;
 //! - [`stats`]: empirical CDFs and friends for the analysis layer.
@@ -25,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod fault;
 pub mod latency;
 pub mod rate;
@@ -34,7 +38,8 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use fault::{FaultInjector, FaultVerdict};
+pub use campaign::{FaultCampaign, FaultProfile, FaultRule, FaultScope, FaultTarget};
+pub use fault::{FaultConfigError, FaultInjector, FaultVerdict};
 pub use latency::{Latency, PathLatencies};
 pub use rate::TokenBucket;
 pub use rng::SimRng;

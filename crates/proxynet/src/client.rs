@@ -20,6 +20,15 @@ pub enum AttemptOutcome {
     /// experiment this *is* the signal that the node's resolver did not
     /// hijack (§4.1 step 3).
     DnsError,
+    /// The exchange stalled past the per-request deadline.
+    TimedOut,
+    /// The node (or its whole ISP) was skipped because its circuit breaker
+    /// was open.
+    CircuitOpen,
+    /// An outcome token this client version does not recognize. Produced
+    /// only by [`TimelineDebug::parse`]: a newer proxy version emitting a
+    /// new token must not erase the rest of the attempt evidence.
+    Unknown,
 }
 
 impl fmt::Display for AttemptOutcome {
@@ -29,6 +38,9 @@ impl fmt::Display for AttemptOutcome {
             AttemptOutcome::Offline => "offline",
             AttemptOutcome::Flaked => "conn_failed",
             AttemptOutcome::DnsError => "dns_error",
+            AttemptOutcome::TimedOut => "timeout",
+            AttemptOutcome::CircuitOpen => "circuit_open",
+            AttemptOutcome::Unknown => "unknown",
         };
         f.write_str(s)
     }
@@ -66,7 +78,10 @@ impl TimelineDebug {
             .join(",")
     }
 
-    /// Parse from a header value.
+    /// Parse from a header value. A structurally broken entry (no `=`)
+    /// still fails the whole parse, but an *unrecognized outcome token*
+    /// maps to [`AttemptOutcome::Unknown`]: one new token from a newer
+    /// proxy version must not erase the rest of the attempt evidence.
     pub fn parse(value: &str) -> Option<TimelineDebug> {
         let mut attempts = Vec::new();
         for part in value.split(',').filter(|p| !p.is_empty()) {
@@ -76,7 +91,9 @@ impl TimelineDebug {
                 "offline" => AttemptOutcome::Offline,
                 "conn_failed" => AttemptOutcome::Flaked,
                 "dns_error" => AttemptOutcome::DnsError,
-                _ => return None,
+                "timeout" => AttemptOutcome::TimedOut,
+                "circuit_open" => AttemptOutcome::CircuitOpen,
+                _ => AttemptOutcome::Unknown,
             };
             attempts.push(Attempt {
                 zid: ZId(zid.to_string()),
@@ -105,6 +122,18 @@ pub struct ProxyResponse {
     pub exit_ip: std::net::Ipv4Addr,
 }
 
+/// Client-observable transport damage to a TLS handshake: the handshake
+/// bytes arrived mangled, so the chain could not be decoded cleanly. The
+/// analysis layer quarantines damaged probes instead of scoring them as
+/// certificate replacement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainDamage {
+    /// Handshake bytes corrupted in flight; the chain failed to decode.
+    Garbled,
+    /// Handshake delivery stopped early; the chain is incomplete.
+    Truncated,
+}
+
 /// A successful CONNECT + TLS-handshake certificate probe.
 #[derive(Debug, Clone)]
 pub struct TlsProbeResult {
@@ -114,6 +143,9 @@ pub struct TlsProbeResult {
     pub debug: TimelineDebug,
     /// The exit node's public address as the service reports it.
     pub exit_ip: std::net::Ipv4Addr,
+    /// Transport damage observed while decoding the handshake, if any.
+    /// `Some` means `chain` is untrustworthy evidence.
+    pub damaged: Option<ChainDamage>,
 }
 
 /// Proxy-level failures.
@@ -134,6 +166,12 @@ pub enum ProxyError {
     PortNotAllowed(u16),
     /// CONNECT target address has no listener.
     ConnectionRefused,
+    /// The per-request deadline (the paper's 20 s budget) elapsed before
+    /// any attempt completed; the timeline lists what was tried.
+    DeadlineExceeded(TimelineDebug),
+    /// Every candidate exit had an open circuit breaker — the request
+    /// failed fast without burning the retry budget on a black hole.
+    CircuitOpen(TimelineDebug),
 }
 
 impl fmt::Display for ProxyError {
@@ -147,6 +185,20 @@ impl fmt::Display for ProxyError {
             ProxyError::ExitDnsFailure(_) => write!(f, "exit node DNS resolution failed"),
             ProxyError::PortNotAllowed(p) => write!(f, "CONNECT to port {p} not allowed"),
             ProxyError::ConnectionRefused => write!(f, "connection refused"),
+            ProxyError::DeadlineExceeded(d) => {
+                write!(
+                    f,
+                    "request deadline exceeded after {} attempt(s)",
+                    d.attempts.len()
+                )
+            }
+            ProxyError::CircuitOpen(d) => {
+                write!(
+                    f,
+                    "all exits circuit-open ({} candidate(s) skipped)",
+                    d.attempts.len()
+                )
+            }
         }
     }
 }
@@ -157,7 +209,10 @@ impl ProxyError {
     /// The debug timeline attached to this error, if any.
     pub fn debug(&self) -> Option<&TimelineDebug> {
         match self {
-            ProxyError::AllRetriesFailed(d) | ProxyError::ExitDnsFailure(d) => Some(d),
+            ProxyError::AllRetriesFailed(d)
+            | ProxyError::ExitDnsFailure(d)
+            | ProxyError::DeadlineExceeded(d)
+            | ProxyError::CircuitOpen(d) => Some(d),
             _ => None,
         }
     }
@@ -188,10 +243,48 @@ mod tests {
     }
 
     #[test]
-    fn timeline_parse_rejects_garbage() {
-        assert!(TimelineDebug::parse("zx=exploded").is_none());
+    fn timeline_parse_rejects_structural_garbage() {
         assert!(TimelineDebug::parse("no-equals-here").is_none());
+        assert!(TimelineDebug::parse("za=success,no-equals-here").is_none());
         assert_eq!(TimelineDebug::parse("").unwrap(), TimelineDebug::default());
+    }
+
+    #[test]
+    fn unknown_outcome_token_does_not_erase_the_timeline() {
+        // Regression: an unrecognized token used to bail the whole parse,
+        // discarding every attempt's evidence. It must map to Unknown and
+        // keep the rest of the timeline intact.
+        let parsed = TimelineDebug::parse("za=offline,zb=exploded,zc=success")
+            .expect("one new token must not erase attempt evidence");
+        assert_eq!(parsed.attempts.len(), 3);
+        assert_eq!(parsed.attempts[0].outcome, AttemptOutcome::Offline);
+        assert_eq!(parsed.attempts[1].outcome, AttemptOutcome::Unknown);
+        assert_eq!(parsed.attempts[2].outcome, AttemptOutcome::Success);
+        assert_eq!(parsed.final_zid().unwrap().0, "zc");
+        // Unknown re-renders as the literal "unknown" token and survives a
+        // second round trip.
+        let rendered = parsed.to_header_value();
+        assert_eq!(rendered, "za=offline,zb=unknown,zc=success");
+        assert_eq!(TimelineDebug::parse(&rendered).unwrap(), parsed);
+    }
+
+    #[test]
+    fn new_outcome_tokens_roundtrip() {
+        let d = TimelineDebug {
+            attempts: vec![
+                Attempt {
+                    zid: ZId("za".into()),
+                    outcome: AttemptOutcome::CircuitOpen,
+                },
+                Attempt {
+                    zid: ZId("zb".into()),
+                    outcome: AttemptOutcome::TimedOut,
+                },
+            ],
+        };
+        let v = d.to_header_value();
+        assert_eq!(v, "za=circuit_open,zb=timeout");
+        assert_eq!(TimelineDebug::parse(&v).unwrap(), d);
     }
 
     #[test]
@@ -203,6 +296,8 @@ mod tests {
             }],
         };
         assert!(ProxyError::ExitDnsFailure(d.clone()).debug().is_some());
+        assert!(ProxyError::DeadlineExceeded(d.clone()).debug().is_some());
+        assert!(ProxyError::CircuitOpen(d.clone()).debug().is_some());
         assert!(ProxyError::SuperProxyDnsFailure.debug().is_none());
         assert!(ProxyError::PortNotAllowed(80).debug().is_none());
     }

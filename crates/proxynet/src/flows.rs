@@ -7,7 +7,7 @@
 //! refetch scheduling.
 
 use crate::client::{
-    Attempt, AttemptOutcome, ProxyError, ProxyResponse, TimelineDebug, TlsProbeResult,
+    Attempt, AttemptOutcome, ChainDamage, ProxyError, ProxyResponse, TimelineDebug, TlsProbeResult,
 };
 use crate::node::{NodeId, ResolverChoice};
 use crate::username::UsernameOptions;
@@ -16,7 +16,7 @@ use dnswire::{DnsName, Message, QType};
 use httpwire::{Response, Uri};
 use middlebox::RefetchOffset;
 use netsim::rng::RngExt;
-use netsim::{SimTime, TraceCategory};
+use netsim::{FaultInjector, FaultTarget, FaultVerdict, SimRng, SimTime, TraceCategory};
 use std::net::Ipv4Addr;
 
 /// Maximum exit-node attempts per request (Luminati retries up to five
@@ -329,6 +329,46 @@ impl World {
         self.advance(by);
     }
 
+    // -- chaos machinery -----------------------------------------------------
+
+    /// Judge one exit-link delivery: the uniform injector first (the legacy
+    /// single knob), then the scripted campaign — first interference wins.
+    /// With no campaign installed this is byte-for-byte the legacy
+    /// judgement: the campaign branch draws nothing.
+    fn judge_link(&self, node_id: NodeId, at: SimTime, rng: &mut SimRng) -> FaultVerdict {
+        let verdict = self.fault.judge(rng);
+        if !verdict.is_clean() || self.campaign.is_none() {
+            return verdict;
+        }
+        let node = &self.nodes[node_id.0 as usize];
+        let target = FaultTarget {
+            region: node.country.as_str(),
+            isp: node.asn.0 as u64,
+            node: node_id.0 as u64,
+        };
+        self.campaign.judge(&target, at, rng)
+    }
+
+    /// Has the per-request budget elapsed by proxy-time `t`?
+    fn past_deadline(&self, t0: SimTime, t: SimTime) -> bool {
+        self.request_deadline.is_some_and(|dl| t >= t0 + dl)
+    }
+
+    /// When every recorded attempt was skipped on an open circuit, the
+    /// request failed fast rather than exhausting retries.
+    fn all_retries_error(debug: TimelineDebug) -> ProxyError {
+        if !debug.attempts.is_empty()
+            && debug
+                .attempts
+                .iter()
+                .all(|a| a.outcome == AttemptOutcome::CircuitOpen)
+        {
+            ProxyError::CircuitOpen(debug)
+        } else {
+            ProxyError::AllRetriesFailed(debug)
+        }
+    }
+
     // -- the client-facing flows ----------------------------------------------
 
     /// Proxied HTTP GET (Figure 1): client → super proxy → exit node →
@@ -366,6 +406,11 @@ impl World {
         let mut tried: Vec<NodeId> = Vec::new();
         let mut t = t_checked;
         for attempt in 0..self.max_attempts {
+            // The client hangs up once the request budget is spent (§2.3).
+            if self.past_deadline(t0, t) {
+                self.advance_to(t);
+                return Err(ProxyError::DeadlineExceeded(debug));
+            }
             let node_id = if attempt == 0 {
                 match self.pick_first(opts, t) {
                     Some(id) => id,
@@ -379,6 +424,16 @@ impl World {
             };
             tried.push(node_id);
             let zid = self.nodes[node_id.0 as usize].zid.clone();
+            let node_u = node_id.0 as u64;
+            let asn_u = self.nodes[node_id.0 as usize].asn.0 as u64;
+            // Skipping an open circuit costs neither time nor budget.
+            if self.breakers.enabled() && !self.breakers.allows(node_u, asn_u, t) {
+                debug.attempts.push(Attempt {
+                    zid,
+                    outcome: AttemptOutcome::CircuitOpen,
+                });
+                continue;
+            }
             let t_exit = t + l.super_to_exit.sample(&mut rng);
             self.trace.record(
                 t_exit,
@@ -386,19 +441,21 @@ impl World {
                 format!("super proxy forwards request to exit node {zid}"),
             );
 
-            // Residential reality: offline nodes and flaky links.
+            // Residential reality: offline nodes, flaky links, and whatever
+            // the fault campaign scripts for this link at this moment.
+            let verdict = self.judge_link(node_id, t_exit, &mut rng);
             let node = &self.nodes[node_id.0 as usize];
-            let flaked = {
-                let fate = self.fault.judge(&mut rng);
-                matches!(fate, netsim::FaultVerdict::Drop)
-                    || (node.flakiness > 0.0 && rng.random_bool(node.flakiness))
-            };
+            let flaked = matches!(verdict, FaultVerdict::Drop)
+                || (node.flakiness > 0.0 && rng.random_bool(node.flakiness));
+            let t_exit = t_exit + verdict.extra_delay();
             if !node.online {
                 debug.attempts.push(Attempt {
                     zid,
                     outcome: AttemptOutcome::Offline,
                 });
+                self.breakers.record_failure(node_u, asn_u, t_exit);
                 t = t_exit + l.super_to_exit.sample(&mut rng);
+                t += self.retry_policy.delay(attempt, &mut rng);
                 continue;
             }
             if flaked {
@@ -406,7 +463,24 @@ impl World {
                     zid,
                     outcome: AttemptOutcome::Flaked,
                 });
+                self.breakers.record_failure(node_u, asn_u, t_exit);
                 t = t_exit + l.super_to_exit.sample(&mut rng);
+                t += self.retry_policy.delay(attempt, &mut rng);
+                continue;
+            }
+            if matches!(verdict, FaultVerdict::Stall) {
+                // The exchange hangs: the super proxy's read times out, and
+                // the stalled wait burns the request budget.
+                debug.attempts.push(Attempt {
+                    zid,
+                    outcome: AttemptOutcome::TimedOut,
+                });
+                self.breakers.record_failure(node_u, asn_u, t_exit);
+                t = match self.request_deadline {
+                    Some(dl) => t0 + dl,
+                    None => t_exit + l.super_to_exit.sample(&mut rng),
+                };
+                t += self.retry_policy.delay(attempt, &mut rng);
                 continue;
             }
 
@@ -421,6 +495,9 @@ impl World {
                             zid,
                             outcome: AttemptOutcome::DnsError,
                         });
+                        // The link worked; NXDOMAIN is an answer, not a
+                        // failure, so the circuit stays closed.
+                        self.breakers.record_success(node_u, asn_u);
                         self.touch_session(opts, node_id, t_q);
                         self.advance_to(t_q + l.client_to_super.sample(&mut rng));
                         // NXDOMAIN is an authoritative answer, not a node
@@ -457,6 +534,18 @@ impl World {
             let (parsed, _) = Response::parse(&wire).expect("own encoding parses");
             resp = parsed;
             self.apply_response_mods(node_id, &mut resp);
+            // Transport damage scripted by the campaign lands *after* the
+            // in-path modifications: the client receives a mangled or
+            // cut-short copy of whatever actually travelled the tunnel.
+            match verdict {
+                FaultVerdict::CorruptAndDeliver { .. } => {
+                    FaultInjector::corrupt(&mut rng, &mut resp.body);
+                }
+                FaultVerdict::Truncate { .. } => {
+                    FaultInjector::truncate(&mut rng, &mut resp.body);
+                }
+                _ => {}
+            }
             if effective_ip == self.web_ip {
                 self.schedule_monitors(node_id, &url.host, &url.path, t_origin);
             }
@@ -465,6 +554,7 @@ impl World {
                 zid: zid.clone(),
                 outcome: AttemptOutcome::Success,
             });
+            self.breakers.record_success(node_u, asn_u);
             let t_back = t_origin
                 + l.exit_to_origin.sample(&mut rng)
                 + l.super_to_exit.sample(&mut rng)
@@ -495,7 +585,7 @@ impl World {
             });
         }
         self.advance_to(t + l.client_to_super.sample(&mut rng));
-        Err(ProxyError::AllRetriesFailed(debug))
+        Err(Self::all_retries_error(debug))
     }
 
     /// CONNECT tunnel + TLS certificate collection (Figure 3): the client
@@ -524,6 +614,10 @@ impl World {
         let mut tried: Vec<NodeId> = Vec::new();
         let mut t = t0 + l.client_to_super.sample(&mut rng);
         for attempt in 0..self.max_attempts {
+            if self.past_deadline(t0, t) {
+                self.advance_to(t);
+                return Err(ProxyError::DeadlineExceeded(debug));
+            }
             let node_id = if attempt == 0 {
                 match self.pick_first(opts, t) {
                     Some(id) => id,
@@ -537,6 +631,15 @@ impl World {
             };
             tried.push(node_id);
             let zid = self.nodes[node_id.0 as usize].zid.clone();
+            let node_u = node_id.0 as u64;
+            let asn_u = self.nodes[node_id.0 as usize].asn.0 as u64;
+            if self.breakers.enabled() && !self.breakers.allows(node_u, asn_u, t) {
+                debug.attempts.push(Attempt {
+                    zid,
+                    outcome: AttemptOutcome::CircuitOpen,
+                });
+                continue;
+            }
             let t_exit = t + l.super_to_exit.sample(&mut rng);
             let node = &self.nodes[node_id.0 as usize];
             if !node.online {
@@ -544,19 +647,39 @@ impl World {
                     zid,
                     outcome: AttemptOutcome::Offline,
                 });
+                self.breakers.record_failure(node_u, asn_u, t_exit);
                 t = t_exit + l.super_to_exit.sample(&mut rng);
+                t += self.retry_policy.delay(attempt, &mut rng);
                 continue;
             }
-            if matches!(self.fault.judge(&mut rng), netsim::FaultVerdict::Drop)
+            let verdict = self.judge_link(node_id, t_exit, &mut rng);
+            let node = &self.nodes[node_id.0 as usize];
+            if matches!(verdict, FaultVerdict::Drop)
                 || (node.flakiness > 0.0 && rng.random_bool(node.flakiness))
             {
                 debug.attempts.push(Attempt {
                     zid,
                     outcome: AttemptOutcome::Flaked,
                 });
+                self.breakers.record_failure(node_u, asn_u, t_exit);
                 t = t_exit + l.super_to_exit.sample(&mut rng);
+                t += self.retry_policy.delay(attempt, &mut rng);
                 continue;
             }
+            if matches!(verdict, FaultVerdict::Stall) {
+                debug.attempts.push(Attempt {
+                    zid,
+                    outcome: AttemptOutcome::TimedOut,
+                });
+                self.breakers.record_failure(node_u, asn_u, t_exit);
+                t = match self.request_deadline {
+                    Some(dl) => t0 + dl,
+                    None => t_exit + l.super_to_exit.sample(&mut rng),
+                };
+                t += self.retry_policy.delay(attempt, &mut rng);
+                continue;
+            }
+            let t_exit = t_exit + verdict.extra_delay();
 
             let t_origin = t_exit + l.exit_to_origin.sample(&mut rng);
             let Some(site_host) = self.origin_by_ip.get(&target).cloned() else {
@@ -577,7 +700,7 @@ impl World {
             );
             let now = self.now();
             let node = &mut self.nodes[node_id.0 as usize];
-            let chain = node
+            let mut chain = node
                 .software
                 .tls_interceptor
                 .as_mut()
@@ -594,10 +717,25 @@ impl World {
                 );
             }
 
+            // Campaign-scripted transport damage to the handshake bytes:
+            // the chain still arrives but is untrustworthy evidence, and the
+            // client can tell (decode failure) — the analysis layer
+            // quarantines it instead of scoring certificate replacement.
+            let damaged = match verdict {
+                FaultVerdict::CorruptAndDeliver { .. } => Some(ChainDamage::Garbled),
+                FaultVerdict::Truncate { .. } => {
+                    let keep = rng.random_range(0..chain.len());
+                    chain.truncate(keep);
+                    Some(ChainDamage::Truncated)
+                }
+                _ => None,
+            };
+
             debug.attempts.push(Attempt {
                 zid: zid.clone(),
                 outcome: AttemptOutcome::Success,
             });
+            self.breakers.record_success(node_u, asn_u);
             let t_back = t_origin
                 + l.exit_to_origin.sample(&mut rng)
                 + l.super_to_exit.sample(&mut rng)
@@ -617,10 +755,11 @@ impl World {
                 chain,
                 debug,
                 exit_ip,
+                damaged,
             });
         }
         self.advance_to(t + l.client_to_super.sample(&mut rng));
-        Err(ProxyError::AllRetriesFailed(debug))
+        Err(Self::all_retries_error(debug))
     }
 }
 

@@ -10,6 +10,8 @@
 //!   username parameters;
 //! - [`session`]: 60-second session stickiness;
 //! - [`client`]: responses, `X-Hola-Timeline-Debug` timelines, errors;
+//! - [`resilience`]: per-request deadlines, retry backoff, and per-node /
+//!   per-ISP circuit breakers (all off by default);
 //! - [`servers`]: the measurement web server (request log!), origin sites,
 //!   landing servers;
 //! - [`world`] / [`flows`]: the [`World`] runtime and the request flows of
@@ -33,6 +35,7 @@
 pub mod client;
 pub mod flows;
 pub mod node;
+pub mod resilience;
 pub mod servers;
 pub mod session;
 pub mod smtp_flow;
@@ -40,12 +43,13 @@ pub mod username;
 pub mod world;
 
 pub use client::{
-    Attempt, AttemptOutcome, ProxyError, ProxyResponse, TimelineDebug, TlsProbeResult,
+    Attempt, AttemptOutcome, ChainDamage, ProxyError, ProxyResponse, TimelineDebug, TlsProbeResult,
 };
 pub use flows::MAX_ATTEMPTS;
 pub use node::{ExitNode, HostSoftware, NodeId, Platform, ResolverChoice, ZId};
+pub use resilience::{CircuitBreakerConfig, CircuitBreakers, RetryPolicy};
 pub use servers::{OriginSite, WebLogEntry, WebServer};
 pub use session::{SessionTable, SESSION_TTL};
 pub use smtp_flow::{MailSite, SmtpProbeResult};
 pub use username::{UsernameError, UsernameOptions};
-pub use world::{EvidenceMark, IspHttp, ResolverDef, World};
+pub use world::{EvidenceMark, IspHttp, ResolverDef, World, DEFAULT_REQUEST_DEADLINE};

@@ -1,0 +1,276 @@
+//! Retry backoff and circuit breakers for the proxy request pipeline.
+//!
+//! Both mechanisms default to **off** so the historical request flows (and
+//! every pinned-seed golden) are untouched: a disabled policy draws no
+//! randomness and adds no virtual time. When enabled, every decision is a
+//! pure function of the request's own forked `SimRng` and virtual time, so
+//! a chaos campaign replays byte-identically at any worker count.
+//!
+//! The breaker state machine is the classic three-state one, keyed twice
+//! (per exit node and per ISP): `failure_threshold` consecutive failures
+//! open the circuit for `cooldown`; after the cooldown one trial request is
+//! allowed through (half-open) — success closes the circuit, failure
+//! re-opens it for a fresh cooldown.
+
+use netsim::rng::RngExt;
+use netsim::{SimDuration, SimRng, SimTime};
+use std::collections::BTreeMap;
+
+/// Exponential backoff with deterministic jitter between retry attempts.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Base delay before the first retry; zero disables backoff entirely
+    /// (no delay, **no RNG draws**).
+    pub backoff_base: SimDuration,
+    /// Upper bound on the exponential delay (jitter may add up to one
+    /// `backoff_base` on top).
+    pub backoff_cap: SimDuration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy::none()
+    }
+}
+
+impl RetryPolicy {
+    /// No backoff: retries go out immediately, as the historical flows did.
+    pub fn none() -> Self {
+        RetryPolicy {
+            backoff_base: SimDuration::ZERO,
+            backoff_cap: SimDuration::ZERO,
+        }
+    }
+
+    /// Exponential backoff: retry `n` (0-based) waits
+    /// `min(base · 2ⁿ, cap) + jitter`, with jitter uniform in
+    /// `[0, base]`.
+    pub fn exponential(base: SimDuration, cap: SimDuration) -> Self {
+        RetryPolicy {
+            backoff_base: base,
+            backoff_cap: cap,
+        }
+    }
+
+    /// True when this policy never delays (and never draws).
+    pub fn is_none(&self) -> bool {
+        self.backoff_base.is_zero()
+    }
+
+    /// The delay before retry `attempt` (0-based: the delay after the
+    /// first failure). Draws exactly one value from `rng` when enabled,
+    /// none when disabled.
+    pub fn delay(&self, attempt: usize, rng: &mut SimRng) -> SimDuration {
+        if self.is_none() {
+            return SimDuration::ZERO;
+        }
+        let base_ms = self.backoff_base.as_millis();
+        let factor = 1u64 << attempt.min(20) as u32;
+        let exp_ms = base_ms
+            .saturating_mul(factor)
+            .min(self.backoff_cap.as_millis().max(base_ms));
+        let jitter_ms = rng.random_range(0..=base_ms);
+        SimDuration::from_millis(exp_ms.saturating_add(jitter_ms))
+    }
+}
+
+/// Circuit-breaker tuning for one key space (node or ISP).
+#[derive(Debug, Clone, Copy)]
+pub struct CircuitBreakerConfig {
+    /// Consecutive failures that open the circuit.
+    pub failure_threshold: u32,
+    /// How long an open circuit rejects candidates before allowing a
+    /// half-open trial.
+    pub cooldown: SimDuration,
+}
+
+/// Per-key breaker state.
+#[derive(Debug, Clone, Default)]
+struct BreakerEntry {
+    /// Consecutive failures since the last success.
+    consecutive: u32,
+    /// While `Some(t)`, the circuit rejects candidates until virtual time
+    /// `t`; at or after `t` one half-open trial is allowed.
+    open_until: Option<SimTime>,
+}
+
+/// Breakers for both key spaces. Disabled (no configs) by default; a
+/// disabled breaker records nothing and rejects nothing.
+///
+/// State lives in `BTreeMap`s: the executor clones worlds per shard and
+/// never merges breaker state back (it is shard-local control state, like
+/// sessions), but deterministic iteration order keeps `Debug` output and
+/// any future merging stable.
+#[derive(Debug, Clone, Default)]
+pub struct CircuitBreakers {
+    node_cfg: Option<CircuitBreakerConfig>,
+    isp_cfg: Option<CircuitBreakerConfig>,
+    nodes: BTreeMap<u64, BreakerEntry>,
+    isps: BTreeMap<u64, BreakerEntry>,
+}
+
+impl CircuitBreakers {
+    /// Disabled breakers (the default).
+    pub fn disabled() -> Self {
+        CircuitBreakers::default()
+    }
+
+    /// Enable breaking per exit node and/or per ISP.
+    pub fn new(
+        node_cfg: Option<CircuitBreakerConfig>,
+        isp_cfg: Option<CircuitBreakerConfig>,
+    ) -> Self {
+        CircuitBreakers {
+            node_cfg,
+            isp_cfg,
+            nodes: BTreeMap::new(),
+            isps: BTreeMap::new(),
+        }
+    }
+
+    /// True when at least one key space is configured.
+    pub fn enabled(&self) -> bool {
+        self.node_cfg.is_some() || self.isp_cfg.is_some()
+    }
+
+    /// May a request try this (node, ISP) candidate at `now`?
+    pub fn allows(&self, node: u64, isp: u64, now: SimTime) -> bool {
+        fn entry_allows(e: Option<&BreakerEntry>, now: SimTime) -> bool {
+            match e.and_then(|e| e.open_until) {
+                Some(until) => now >= until, // half-open trial once cooled
+                None => true,
+            }
+        }
+        (self.node_cfg.is_none() || entry_allows(self.nodes.get(&node), now))
+            && (self.isp_cfg.is_none() || entry_allows(self.isps.get(&isp), now))
+    }
+
+    /// Record a failed exchange with this candidate at `now`.
+    pub fn record_failure(&mut self, node: u64, isp: u64, now: SimTime) {
+        fn fail(e: &mut BreakerEntry, cfg: &CircuitBreakerConfig, now: SimTime) {
+            e.consecutive = e.consecutive.saturating_add(1);
+            if e.consecutive >= cfg.failure_threshold {
+                e.open_until = Some(now + cfg.cooldown);
+            }
+        }
+        if let Some(cfg) = &self.node_cfg {
+            fail(self.nodes.entry(node).or_default(), cfg, now);
+        }
+        if let Some(cfg) = &self.isp_cfg {
+            fail(self.isps.entry(isp).or_default(), cfg, now);
+        }
+    }
+
+    /// Record a successful exchange with this candidate: the circuit
+    /// closes and the failure count resets.
+    pub fn record_success(&mut self, node: u64, isp: u64) {
+        if self.node_cfg.is_some() {
+            if let Some(e) = self.nodes.get_mut(&node) {
+                *e = BreakerEntry::default();
+            }
+        }
+        if self.isp_cfg.is_some() {
+            if let Some(e) = self.isps.get_mut(&isp) {
+                *e = BreakerEntry::default();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::from_millis(ms)
+    }
+
+    #[test]
+    fn disabled_policy_draws_nothing_and_waits_nothing() {
+        let p = RetryPolicy::none();
+        let mut rng = SimRng::new(1);
+        let probe = rng.clone();
+        assert!(p.delay(0, &mut rng).is_zero());
+        assert!(p.delay(4, &mut rng).is_zero());
+        use netsim::rng::Rng;
+        assert_eq!(rng.next_u64(), probe.clone().next_u64());
+    }
+
+    #[test]
+    fn exponential_backoff_grows_and_caps() {
+        let p = RetryPolicy::exponential(
+            SimDuration::from_millis(100),
+            SimDuration::from_millis(1000),
+        );
+        let mut rng = SimRng::new(2);
+        for attempt in 0..30 {
+            let d = p.delay(attempt, &mut rng).as_millis();
+            let exp = (100u64 << attempt.min(20)).min(1000);
+            assert!(d >= exp, "attempt {attempt}: {d} < {exp}");
+            assert!(d <= exp + 100, "attempt {attempt}: {d} > {exp}+100");
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let p =
+            RetryPolicy::exponential(SimDuration::from_millis(50), SimDuration::from_millis(800));
+        let mut a = SimRng::new(3);
+        let mut b = SimRng::new(3);
+        for attempt in 0..10 {
+            assert_eq!(p.delay(attempt, &mut a), p.delay(attempt, &mut b));
+        }
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_cools_down() {
+        let cfg = CircuitBreakerConfig {
+            failure_threshold: 3,
+            cooldown: SimDuration::from_secs(10),
+        };
+        let mut b = CircuitBreakers::new(Some(cfg), None);
+        assert!(b.enabled());
+        assert!(b.allows(1, 9, t(0)));
+        b.record_failure(1, 9, t(0));
+        b.record_failure(1, 9, t(1));
+        assert!(b.allows(1, 9, t(2)), "below threshold stays closed");
+        b.record_failure(1, 9, t(2));
+        assert!(!b.allows(1, 9, t(3)), "threshold reached: open");
+        assert!(!b.allows(1, 9, t(10_001)), "still cooling");
+        assert!(b.allows(1, 9, t(10_002)), "half-open trial after cooldown");
+        // A failed trial re-opens with a fresh cooldown.
+        b.record_failure(1, 9, t(10_002));
+        assert!(!b.allows(1, 9, t(15_000)));
+        assert!(b.allows(1, 9, t(20_002)));
+        // A successful trial closes the circuit and resets the count.
+        b.record_success(1, 9);
+        assert!(b.allows(1, 9, t(20_003)));
+        b.record_failure(1, 9, t(20_003));
+        assert!(b.allows(1, 9, t(20_004)), "count restarted after success");
+        // Other nodes were never affected.
+        assert!(b.allows(2, 9, t(3)));
+    }
+
+    #[test]
+    fn isp_breaker_covers_every_node_in_the_isp() {
+        let cfg = CircuitBreakerConfig {
+            failure_threshold: 2,
+            cooldown: SimDuration::from_secs(5),
+        };
+        let mut b = CircuitBreakers::new(None, Some(cfg));
+        b.record_failure(1, 40, t(0));
+        b.record_failure(2, 40, t(1));
+        assert!(!b.allows(3, 40, t(2)), "whole ISP open");
+        assert!(b.allows(3, 41, t(2)), "other ISPs unaffected");
+    }
+
+    #[test]
+    fn disabled_breakers_never_reject() {
+        let mut b = CircuitBreakers::disabled();
+        assert!(!b.enabled());
+        for i in 0..100 {
+            b.record_failure(1, 1, t(i));
+        }
+        assert!(b.allows(1, 1, t(100)));
+    }
+}

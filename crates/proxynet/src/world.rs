@@ -7,15 +7,23 @@
 //! servers — the same visibility boundary the paper's authors had.
 
 use crate::node::{ExitNode, NodeId};
+use crate::resilience::{CircuitBreakerConfig, CircuitBreakers, RetryPolicy};
 use crate::servers::{OriginSite, WebServer};
 use crate::session::SessionTable;
 use certs::RootStore;
 use dnswire::{AuthServer, DnsName};
 use inetdb::{Asn, CountryCode, InternetRegistry, Rankings};
 use middlebox::{HtmlInjector, ImageTranscoder, MonitorEntity, NxdomainHijacker};
-use netsim::{FaultInjector, PathLatencies, Scheduler, SimDuration, SimRng, SimTime, TraceLog};
+use netsim::{
+    FaultCampaign, FaultInjector, PathLatencies, Scheduler, SimDuration, SimRng, SimTime, TraceLog,
+};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+
+/// The service's per-request time budget: the paper reports the client
+/// gives up on a request after 20 seconds (§2.3). On by default; a fault
+/// campaign's stalls and outages burn against it.
+pub const DEFAULT_REQUEST_DEADLINE: SimDuration = SimDuration::from_secs(20);
 
 /// A resolver a node can be configured to use.
 #[derive(Debug, Clone)]
@@ -81,6 +89,10 @@ pub struct World {
     pub rankings: Rankings,
     pub(crate) latencies: PathLatencies,
     pub(crate) fault: FaultInjector,
+    pub(crate) campaign: FaultCampaign,
+    pub(crate) request_deadline: Option<SimDuration>,
+    pub(crate) retry_policy: RetryPolicy,
+    pub(crate) breakers: CircuitBreakers,
     pub(crate) trace: TraceLog,
 
     pub(crate) nodes: Vec<ExitNode>,
@@ -145,6 +157,10 @@ impl World {
             rankings: Rankings::new(),
             latencies: PathLatencies::default(),
             fault: FaultInjector::none(),
+            campaign: FaultCampaign::none(),
+            request_deadline: Some(DEFAULT_REQUEST_DEADLINE),
+            retry_policy: RetryPolicy::none(),
+            breakers: CircuitBreakers::disabled(),
             trace: TraceLog::disabled(),
             nodes: Vec::new(),
             pool_by_country: HashMap::new(),
@@ -231,6 +247,37 @@ impl World {
     /// Replace the fault injector on the exit-node link.
     pub fn set_fault_injector(&mut self, fault: FaultInjector) {
         self.fault = fault;
+    }
+
+    /// Install a scripted fault campaign on the exit-node link. Evaluated
+    /// after the uniform injector on each delivery attempt; an inert
+    /// campaign (the default) draws nothing and changes nothing.
+    pub fn set_fault_campaign(&mut self, campaign: FaultCampaign) {
+        self.campaign = campaign;
+    }
+
+    /// Set the per-request deadline (the paper's 20 s budget, §2.3). Once a
+    /// request's virtual clock passes admission + deadline, the attempt
+    /// loop stops with [`crate::ProxyError::DeadlineExceeded`]. `None`
+    /// disables the deadline.
+    pub fn set_request_deadline(&mut self, deadline: Option<SimDuration>) {
+        self.request_deadline = deadline;
+    }
+
+    /// Set the retry backoff policy. The default ([`RetryPolicy::none`])
+    /// retries immediately, as the service historically did.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry_policy = policy;
+    }
+
+    /// Configure circuit breakers for exit selection (per node and/or per
+    /// ISP). Disabled by default.
+    pub fn set_circuit_breaker(
+        &mut self,
+        node_cfg: Option<CircuitBreakerConfig>,
+        isp_cfg: Option<CircuitBreakerConfig>,
+    ) {
+        self.breakers = CircuitBreakers::new(node_cfg, isp_cfg);
     }
 
     /// Replace the latency model.

@@ -232,6 +232,7 @@ mod tests {
             }],
             skipped_unranked: 0,
             samples_issued: 1,
+            quality: Default::default(),
         };
         let a = analyze(&data, &world, &StudyConfig::default());
         assert_eq!(a.replaced_nodes, 0);
@@ -273,6 +274,7 @@ mod tests {
             }],
             skipped_unranked: 0,
             samples_issued: 1,
+            quality: Default::default(),
         };
         let a = analyze(&data, &world, &StudyConfig::default());
         assert_eq!(a.replaced_nodes, 1);
@@ -305,6 +307,7 @@ mod tests {
             }],
             skipped_unranked: 0,
             samples_issued: 1,
+            quality: Default::default(),
         };
         let a = analyze(&data, &world, &StudyConfig::default());
         assert_eq!(a.issuers[0].issuer, "Empty");

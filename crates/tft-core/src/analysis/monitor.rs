@@ -292,6 +292,7 @@ mod tests {
             }],
             window_hours: 24,
             samples_issued: 1,
+            quality: Default::default(),
         };
         let cfg = crate::config::StudyConfig::default();
         let a = analyze(&data, &world, &cfg);
@@ -332,6 +333,7 @@ mod tests {
             }],
             window_hours: 24,
             samples_issued: 1,
+            quality: Default::default(),
         };
         let cfg = crate::config::StudyConfig::default();
         let a = analyze(&data, &world, &cfg);
@@ -360,6 +362,7 @@ mod tests {
             }],
             window_hours: 24,
             samples_issued: 1,
+            quality: Default::default(),
         };
         let cfg = crate::config::StudyConfig::default();
         let a = analyze(&data, &world, &cfg);

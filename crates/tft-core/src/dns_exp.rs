@@ -16,8 +16,10 @@ use crate::crawl::Sampler;
 use crate::ethics::ByteBudget;
 use crate::exec::ProbeScope;
 use crate::obs::{DnsDataset, DnsObservation, DnsOutcome};
+use crate::quality::{DataQuality, ProbeOutcome};
 use dnswire::{server::inetdb_net::Net, AnswerOverride};
 use httpwire::{Response, Uri};
+use inetdb::CountryCode;
 use proxynet::{ProxyError, UsernameOptions, World};
 use std::net::Ipv4Addr;
 
@@ -40,6 +42,17 @@ pub fn google_anycast_net() -> Net {
 /// step 2).
 fn super_proxy_net(observed_src: Ipv4Addr) -> Net {
     Net::new(observed_src, 32)
+}
+
+/// Record a delivered probe pair: `Ok` when no attempt across the d₁/d₂
+/// fetches failed, `Retried(n)` otherwise.
+fn record_delivered(quality: &mut DataQuality, country: CountryCode, failed_attempts: usize) {
+    let outcome = if failed_attempts == 0 {
+        ProbeOutcome::Ok
+    } else {
+        ProbeOutcome::Retried(failed_attempts)
+    };
+    quality.record(country, outcome);
 }
 
 /// Tiny page served on probe names (the DNS experiment needs content, not
@@ -143,16 +156,23 @@ fn run_scoped(
         let outcome = (|| -> Option<DnsObservation> {
             let resp = match world.proxy_get(&opts, &Uri::http(&d1s, "/")) {
                 Ok(r) => r,
-                Err(_) => {
+                Err(e) => {
+                    data.quality.record_error(country, &e);
                     sampler.record_miss();
                     return None;
                 }
             };
-            let zid = resp.debug.final_zid()?.clone();
+            let d1_failed = resp.debug.attempts.len().saturating_sub(1);
+            let Some(zid) = resp.debug.final_zid().cloned() else {
+                data.quality.record_failure(country);
+                return None;
+            };
             let fresh = sampler.record(&zid);
             budget.charge(&zid, resp.body.len() as u64);
             if !fresh {
                 data.duplicates += 1;
+                // Transport delivered fine; dedup is methodology, not loss.
+                record_delivered(&mut data.quality, country, d1_failed);
                 return None; // already measured this node
             }
             // Resolver: the d1 query that did NOT come from the super
@@ -164,16 +184,23 @@ fn run_scoped(
                 .find(|src| *src != super_dns);
             let Some(resolver_ip) = resolver_ip else {
                 // Same anycast instance as the super proxy: ambiguous,
-                // filtered (footnote 8).
+                // filtered (footnote 8). The transport still delivered.
                 data.filtered_same_anycast += 1;
+                record_delivered(&mut data.quality, country, d1_failed);
                 return None;
             };
-            let node_ip = world.web_server().log()[web_cursor..]
+            let Some(node_ip) = world.web_server().log()[web_cursor..]
                 .iter()
                 .find(|e| e.host == d1s)
-                .map(|e| e.src)?;
+                .map(|e| e.src)
+            else {
+                data.quality.record_failure(country);
+                return None;
+            };
             if !budget.allows(&zid, 4096) {
-                return None; // ethics cap; do not issue d2
+                // Ethics cap, not a transport loss.
+                record_delivered(&mut data.quality, country, d1_failed);
+                return None; // do not issue d2
             }
 
             // Step d2: the hijack test, same session.
@@ -181,18 +208,33 @@ fn run_scoped(
             let outcome = match d2_result {
                 Err(ProxyError::ExitDnsFailure(debug)) => {
                     if debug.final_zid() != Some(&zid) {
+                        data.quality.record_failure(country);
                         return None; // node churned mid-pair
                     }
+                    record_delivered(
+                        &mut data.quality,
+                        country,
+                        d1_failed + debug.attempts.len().saturating_sub(1),
+                    );
                     DnsOutcome::NotHijacked
                 }
                 Ok(resp) => {
                     if resp.debug.final_zid() != Some(&zid) {
+                        data.quality.record_failure(country);
                         return None;
                     }
                     budget.charge(&zid, resp.body.len() as u64);
+                    record_delivered(
+                        &mut data.quality,
+                        country,
+                        d1_failed + resp.debug.attempts.len().saturating_sub(1),
+                    );
                     DnsOutcome::Hijacked { content: resp.body }
                 }
-                Err(_) => return None,
+                Err(e) => {
+                    data.quality.record_error(country, &e);
+                    return None;
+                }
             };
             Some(DnsObservation {
                 zid,

@@ -204,6 +204,7 @@ pub(crate) fn merge_dns(parts: Vec<DnsDataset>) -> DnsDataset {
         merged.duplicates += part.duplicates;
         merged.discarded += part.discarded;
         merged.samples_issued += part.samples_issued;
+        merged.quality.merge(&part.quality);
     }
     merged.observations.sort_by(|a, b| a.zid.cmp(&b.zid));
     merged.observations.dedup_by(|a, b| a.zid == b.zid);
@@ -220,6 +221,7 @@ pub(crate) fn merge_http(parts: Vec<HttpDataset>) -> HttpDataset {
         merged.observations.extend(part.observations);
         merged.samples_issued += part.samples_issued;
         merged.skipped_quota += part.skipped_quota;
+        merged.quality.merge(&part.quality);
     }
     merged.observations.sort_by(|a, b| a.zid.cmp(&b.zid));
     merged.observations.dedup_by(|a, b| a.zid == b.zid);
@@ -233,6 +235,7 @@ pub(crate) fn merge_https(parts: Vec<HttpsDataset>) -> HttpsDataset {
         merged.observations.extend(part.observations);
         merged.skipped_unranked += part.skipped_unranked;
         merged.samples_issued += part.samples_issued;
+        merged.quality.merge(&part.quality);
     }
     merged.observations.sort_by(|a, b| a.zid.cmp(&b.zid));
     merged.observations.dedup_by(|a, b| a.zid == b.zid);
@@ -247,6 +250,7 @@ pub(crate) fn merge_monitor(parts: Vec<MonitorDataset>) -> MonitorDataset {
         merged.observations.extend(part.observations);
         merged.window_hours = part.window_hours;
         merged.samples_issued += part.samples_issued;
+        merged.quality.merge(&part.quality);
     }
     merged.observations.sort_by(|a, b| a.domain.cmp(&b.domain));
     merged

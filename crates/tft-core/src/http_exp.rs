@@ -10,9 +10,10 @@ use crate::config::StudyConfig;
 use crate::crawl::Sampler;
 use crate::ethics::ByteBudget;
 use crate::exec::ProbeScope;
-use crate::obs::{HttpDataset, HttpObservation, ObjectResult, ProbeObject};
+use crate::obs::{HttpDataset, HttpObservation, ObjectResult, ProbeObject, Quarantine};
+use crate::quality::{delivery_outcome, DataQuality, ProbeOutcome};
 use httpwire::{Response, Uri};
-use inetdb::Asn;
+use inetdb::{Asn, CountryCode};
 use proxynet::{UsernameOptions, World, ZId};
 use std::collections::{HashMap, HashSet};
 use std::net::Ipv4Addr;
@@ -111,19 +112,35 @@ struct Fetched {
 }
 
 /// Fetch one object through a pinned session; None on proxy failure or
-/// node churn.
+/// node churn. Every issued fetch lands in the quality ledger; bodies
+/// failing the integrity checks come back quarantined, never as
+/// `modified_body`.
 fn fetch_object(
     world: &mut World,
     opts: &UsernameOptions,
     host: &str,
     obj: ProbeObject,
     expect_zid: Option<&ZId>,
+    country: CountryCode,
+    quality: &mut DataQuality,
 ) -> Option<Fetched> {
     let web_cursor = world.web_server().log().len();
-    let resp = world.proxy_get(opts, &Uri::http(host, obj.path())).ok()?;
-    let zid = resp.debug.final_zid()?.clone();
+    let uri = Uri::http(host, obj.path());
+    let resp = match world.proxy_get(opts, &uri) {
+        Ok(resp) => resp,
+        Err(e) => {
+            quality.record_error(country, &e);
+            return None;
+        }
+    };
+    let Some(zid) = resp.debug.final_zid().cloned() else {
+        quality.record_failure(country);
+        return None;
+    };
     if let Some(expected) = expect_zid {
         if &zid != expected {
+            // Node churn mid-pair: evidence unusable.
+            quality.record_failure(country);
             return None;
         }
     }
@@ -133,15 +150,40 @@ fn fetch_object(
         .map(|e| e.src)
         .unwrap_or(resp.exit_ip);
     let original = object_body(obj);
-    let modified = resp.body != original;
+    let received_len = resp.body.len();
+    let (modified_body, quarantine) = if resp.body == original {
+        quality.record(country, delivery_outcome(&resp.debug));
+        (None, None)
+    } else if received_len < original.len() && original.starts_with(&resp.body) {
+        // A strict prefix is transport truncation, not tampering.
+        quality.record(country, ProbeOutcome::Truncated);
+        (None, Some(Quarantine::Truncated))
+    } else {
+        // §5's "repeated consistent fetches" rule: a differing body only
+        // counts as modification when a second fetch through the same
+        // session returns the identical bytes. Disagreement means the
+        // payload was damaged in flight, so it is quarantined.
+        let confirmed = matches!(
+            world.proxy_get(opts, &uri),
+            Ok(second) if second.debug.final_zid() == Some(&zid) && second.body == resp.body
+        );
+        if confirmed {
+            quality.record(country, delivery_outcome(&resp.debug));
+            (Some(resp.body.clone()), None)
+        } else {
+            quality.record(country, ProbeOutcome::Quarantined);
+            (None, Some(Quarantine::Inconsistent))
+        }
+    };
     Some(Fetched {
         zid,
         node_ip,
         result: ObjectResult {
             object: obj,
             original_len: original.len(),
-            received_len: resp.body.len(),
-            modified_body: modified.then_some(resp.body),
+            received_len,
+            modified_body,
+            quarantine,
         },
     })
 }
@@ -154,6 +196,8 @@ fn measure_rest(
     host: &str,
     budget: &mut ByteBudget,
     first: Fetched,
+    country: CountryCode,
+    quality: &mut DataQuality,
 ) -> Option<HttpObservation> {
     let mut results = vec![first.result];
     let zid = first.zid;
@@ -162,7 +206,7 @@ fn measure_rest(
         if !budget.allows(&zid, need) {
             break; // ethics cap: stop measuring this node
         }
-        let f = fetch_object(world, opts, host, obj, Some(&zid))?;
+        let f = fetch_object(world, opts, host, obj, Some(&zid), country, quality)?;
         budget.charge(&zid, f.result.received_len as u64);
         results.push(f.result);
     }
@@ -209,7 +253,15 @@ fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> HttpDa
         let opts = UsernameOptions::new(&cfg.customer)
             .country(country)
             .session(session);
-        let Some(first) = fetch_object(world, &opts, &host, ProbeObject::Html, None) else {
+        let Some(first) = fetch_object(
+            world,
+            &opts,
+            &host,
+            ProbeObject::Html,
+            None,
+            country,
+            &mut data.quality,
+        ) else {
             sampler.record_miss();
             continue;
         };
@@ -225,7 +277,15 @@ fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> HttpDa
             continue;
         }
         *count += 1;
-        if let Some(obs) = measure_rest(world, &opts, &host, &mut budget, first) {
+        if let Some(obs) = measure_rest(
+            world,
+            &opts,
+            &host,
+            &mut budget,
+            first,
+            country,
+            &mut data.quality,
+        ) {
             if obs.results.iter().any(|r| r.is_modified()) {
                 flagged.insert(asn);
             }
@@ -252,7 +312,15 @@ fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> HttpDa
             let opts = UsernameOptions::new(&cfg.customer)
                 .country(country)
                 .session(session);
-            let Some(first) = fetch_object(world, &opts, &host, ProbeObject::Html, None) else {
+            let Some(first) = fetch_object(
+                world,
+                &opts,
+                &host,
+                ProbeObject::Html,
+                None,
+                country,
+                &mut data.quality,
+            ) else {
                 continue;
             };
             let fresh = sampler.record(&first.zid);
@@ -264,7 +332,15 @@ fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> HttpDa
             if world.registry.ip_to_asn(first.node_ip) != Some(asn) {
                 continue;
             }
-            if let Some(obs) = measure_rest(world, &opts, &host, &mut budget, first) {
+            if let Some(obs) = measure_rest(
+                world,
+                &opts,
+                &host,
+                &mut budget,
+                first,
+                country,
+                &mut data.quality,
+            ) {
                 data.observations.push(obs);
                 extra += 1;
             }

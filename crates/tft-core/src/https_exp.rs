@@ -12,9 +12,11 @@ use crate::config::StudyConfig;
 use crate::crawl::Sampler;
 use crate::exec::ProbeScope;
 use crate::obs::{CertProbe, HttpsDataset, HttpsObservation, SiteClass};
+use crate::quality::{delivery_outcome, DataQuality, ProbeOutcome};
 use certs::{exact_match, verify_chain};
+use inetdb::CountryCode;
 use netsim::rng::RngExt;
-use proxynet::{UsernameOptions, World, ZId};
+use proxynet::{ChainDamage, UsernameOptions, World, ZId};
 
 /// Sampler-seed salt (XORed with virtual time at experiment start).
 const SEED_SALT: u64 = 0x995;
@@ -31,26 +33,48 @@ pub fn invalid_hosts(apex: &str) -> [String; 3] {
 }
 
 /// Collect one chain through a pinned session; None on failure or churn.
+/// A chain the fault layer damaged in flight still returns (so the caller
+/// can keep the session alive) but carries its [`ChainDamage`] tag: the
+/// caller must quarantine it — a garbled or truncated handshake is not
+/// certificate-replacement evidence.
 fn probe_site(
     world: &mut World,
     opts: &UsernameOptions,
     host: &str,
     class: SiteClass,
     expect_zid: Option<&ZId>,
-) -> Option<(ZId, std::net::Ipv4Addr, CertProbe)> {
+    country: CountryCode,
+    quality: &mut DataQuality,
+) -> Option<(ZId, std::net::Ipv4Addr, Option<ChainDamage>, CertProbe)> {
     let ip = world.site_address(host)?;
-    let result = world.proxy_connect_tls(opts, ip, 443, host).ok()?;
-    let zid = result.debug.final_zid()?.clone();
-    if let Some(expected) = expect_zid {
-        if &zid != expected {
+    let result = match world.proxy_connect_tls(opts, ip, 443, host) {
+        Ok(r) => r,
+        Err(e) => {
+            quality.record_error(country, &e);
             return None;
         }
+    };
+    let Some(zid) = result.debug.final_zid().cloned() else {
+        quality.record_failure(country);
+        return None;
+    };
+    if let Some(expected) = expect_zid {
+        if &zid != expected {
+            quality.record_failure(country);
+            return None;
+        }
+    }
+    match result.damaged {
+        Some(ChainDamage::Truncated) => quality.record(country, ProbeOutcome::Truncated),
+        Some(ChainDamage::Garbled) => quality.record(country, ProbeOutcome::Quarantined),
+        None => quality.record(country, delivery_outcome(&result.debug)),
     }
     // CONNECT produces no web-log entry at our servers; the exit address
     // comes from the service's own reporting (as in the real Luminati).
     Some((
         zid,
         result.exit_ip,
+        result.damaged,
         CertProbe {
             host: host.to_string(),
             class,
@@ -122,23 +146,45 @@ fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> HttpsD
         let p1_uni = universities[pick_rng.random_range(0..universities.len())].clone();
         let p1_invalid = invalid[pick_rng.random_range(0..invalid.len())].clone();
 
-        let Some((zid, exit_ip, first)) =
-            probe_site(world, &opts, &p1_popular, SiteClass::Popular, None)
-        else {
+        let Some((zid, exit_ip, damage, first)) = probe_site(
+            world,
+            &opts,
+            &p1_popular,
+            SiteClass::Popular,
+            None,
+            country,
+            &mut data.quality,
+        ) else {
             sampler.record_miss();
             continue;
         };
         if !sampler.record(&zid) {
             continue; // already measured
         }
-        let mut probes = vec![first];
+        // Damaged chains are quarantined: never analysed, never escalate.
+        let mut probes = Vec::with_capacity(3);
+        if damage.is_none() {
+            probes.push(first);
+        }
         let mut churned = false;
         for (host, class) in [
             (p1_uni.as_str(), SiteClass::International),
             (p1_invalid.as_str(), SiteClass::Invalid),
         ] {
-            match probe_site(world, &opts, host, class, Some(&zid)) {
-                Some((_, _, p)) => probes.push(p),
+            match probe_site(
+                world,
+                &opts,
+                host,
+                class,
+                Some(&zid),
+                country,
+                &mut data.quality,
+            ) {
+                Some((_, _, dmg, p)) => {
+                    if dmg.is_none() {
+                        probes.push(p);
+                    }
+                }
                 None => {
                     churned = true;
                     break;
@@ -154,33 +200,30 @@ fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> HttpsD
             // Phase 2: the full 33-site scan.
             let mut full = Vec::with_capacity(33);
             let mut ok = true;
-            for host in popular.iter() {
-                match probe_site(world, &opts, host, SiteClass::Popular, Some(&zid)) {
-                    Some((_, _, p)) => full.push(p),
-                    None => {
-                        ok = false;
-                        break;
-                    }
-                }
-            }
-            if ok {
-                for host in universities.iter() {
-                    match probe_site(world, &opts, host, SiteClass::International, Some(&zid)) {
-                        Some((_, _, p)) => full.push(p),
-                        None => {
-                            ok = false;
-                            break;
+            let phase2: [(&[String], SiteClass); 3] = [
+                (&popular, SiteClass::Popular),
+                (&universities, SiteClass::International),
+                (&invalid, SiteClass::Invalid),
+            ];
+            'scan: for (hosts, class) in phase2 {
+                for host in hosts.iter() {
+                    match probe_site(
+                        world,
+                        &opts,
+                        host,
+                        class,
+                        Some(&zid),
+                        country,
+                        &mut data.quality,
+                    ) {
+                        Some((_, _, dmg, p)) => {
+                            if dmg.is_none() {
+                                full.push(p);
+                            }
                         }
-                    }
-                }
-            }
-            if ok {
-                for host in invalid.iter() {
-                    match probe_site(world, &opts, host, SiteClass::Invalid, Some(&zid)) {
-                        Some((_, _, p)) => full.push(p),
                         None => {
                             ok = false;
-                            break;
+                            break 'scan;
                         }
                     }
                 }

@@ -16,7 +16,11 @@
 //! - [`analysis`]: country/ISP/public-resolver attribution, injection
 //!   signatures, transcoding ratios, issuer grouping, entity
 //!   fingerprinting;
-//! - [`report`]: every table and figure, measured vs paper;
+//! - [`quality`]: probe-outcome taxonomy and the quarantine ledger —
+//!   payloads failing integrity checks are excluded from violation
+//!   analysis instead of miscounted as tampering;
+//! - [`report`]: every table and figure, measured vs paper, plus the
+//!   data-quality annex;
 //! - [`scoring`]: precision/recall of the whole pipeline against the
 //!   world's planted ground truth;
 //! - [`ethics`]: the §3.4 guardrails (1 MB per node, domain allowlist),
@@ -39,6 +43,7 @@ pub mod https_exp;
 pub mod longitudinal;
 pub mod monitor_exp;
 pub mod obs;
+pub mod quality;
 pub mod report;
 pub mod scoring;
 pub mod smtp_exp;
@@ -47,5 +52,7 @@ pub mod study;
 pub use config::StudyConfig;
 pub use crawl::Sampler;
 pub use exec::ExecOptions;
+pub use quality::{DataQuality, ProbeOutcome, QualityCounts};
+pub use report::annex::render_annex;
 pub use scoring::{score_report, ScoreCard};
 pub use study::{render_tables, run_study, run_study_with, StudyReport};

@@ -10,6 +10,7 @@ use crate::config::StudyConfig;
 use crate::crawl::Sampler;
 use crate::exec::ProbeScope;
 use crate::obs::{MonitorDataset, MonitorObservation};
+use crate::quality::delivery_outcome;
 use httpwire::{Response, Uri};
 use netsim::SimDuration;
 use proxynet::{UsernameOptions, World, ZId};
@@ -78,9 +79,11 @@ fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> Monito
         match world.proxy_get(&opts, &Uri::http(&host, "/")) {
             Ok(resp) => {
                 let Some(zid) = resp.debug.final_zid().cloned() else {
+                    data.quality.record_failure(country);
                     sampler.record_miss();
                     continue;
                 };
+                data.quality.record(country, delivery_outcome(&resp.debug));
                 if sampler.record(&zid) {
                     probed.insert(zid, (host.clone(), resp.exit_ip));
                 } else {
@@ -89,7 +92,8 @@ fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> Monito
                     world.web_server_mut().remove(&host, "/");
                 }
             }
-            Err(_) => {
+            Err(e) => {
+                data.quality.record_error(country, &e);
                 sampler.record_miss();
                 world.auth_server_mut().zone_mut().remove(&name);
                 world.web_server_mut().remove(&host, "/");

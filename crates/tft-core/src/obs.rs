@@ -6,6 +6,7 @@
 //! truth appears here; the analysis layer works from these records plus the
 //! public registry datasets (RouteViews / CAIDA / Alexa equivalents).
 
+use crate::quality::DataQuality;
 use certs::Certificate;
 use inetdb::CountryCode;
 use proxynet::{WebLogEntry, ZId};
@@ -54,6 +55,8 @@ pub struct DnsDataset {
     pub discarded: usize,
     /// Total proxy sessions issued.
     pub samples_issued: usize,
+    /// Per-country probe dispositions (the data-quality annex).
+    pub quality: DataQuality,
 }
 
 /// The four reference objects of the HTTP experiment (§5.1).
@@ -99,6 +102,18 @@ impl ProbeObject {
     }
 }
 
+/// Why one object fetch was excluded from the modification analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Quarantine {
+    /// The body arrived as a strict prefix of what was sent — transport
+    /// truncation, not modification.
+    Truncated,
+    /// The body differed but a confirming refetch disagreed with it — the
+    /// paper's "repeated consistent fetches" rule (§5) failed, so this is
+    /// transport corruption, not modification.
+    Inconsistent,
+}
+
 /// Result of fetching one object through one node.
 #[derive(Debug, Clone)]
 pub struct ObjectResult {
@@ -108,12 +123,16 @@ pub struct ObjectResult {
     pub original_len: usize,
     /// Bytes received through the tunnel.
     pub received_len: usize,
-    /// The received body, kept only when it differs from the original.
+    /// The received body, kept only when it differs from the original
+    /// *and* survived the consistency check. Quarantined fetches never set
+    /// this — damaged payloads must not count as tampering.
     pub modified_body: Option<Vec<u8>>,
+    /// Set when this fetch was excluded from analysis.
+    pub quarantine: Option<Quarantine>,
 }
 
 impl ObjectResult {
-    /// True if the body changed in flight.
+    /// True if the body changed in flight (confirmed, not quarantined).
     pub fn is_modified(&self) -> bool {
         self.modified_body.is_some()
     }
@@ -139,6 +158,8 @@ pub struct HttpDataset {
     pub samples_issued: usize,
     /// Nodes skipped because their AS already had its phase-1 quota.
     pub skipped_quota: usize,
+    /// Per-country object-fetch dispositions (the data-quality annex).
+    pub quality: DataQuality,
 }
 
 /// Site class in the HTTPS experiment (§6.1).
@@ -190,6 +211,8 @@ pub struct HttpsDataset {
     pub skipped_unranked: usize,
     /// Total proxy sessions issued.
     pub samples_issued: usize,
+    /// Per-country handshake dispositions (the data-quality annex).
+    pub quality: DataQuality,
 }
 
 /// One node's monitoring measurement (§7.1).
@@ -217,4 +240,6 @@ pub struct MonitorDataset {
     pub window_hours: u64,
     /// Total proxy sessions issued.
     pub samples_issued: usize,
+    /// Per-country probe dispositions (the data-quality annex).
+    pub quality: DataQuality,
 }

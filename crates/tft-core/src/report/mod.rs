@@ -1,6 +1,7 @@
 //! Rendering: every numbered table and figure of the paper, regenerated
 //! from measured data with the paper's values alongside.
 
+pub mod annex;
 pub mod csv;
 pub mod figures;
 pub mod tables;

@@ -7,10 +7,13 @@
 //! byte-identical-render guarantee. Rather than chase individual `.iter()`
 //! sites (easy to evade via `for`, `extend`, collect, …), the pass bans the
 //! *type names* outright in the scoped modules: `tft-core`'s `report/`,
-//! `analysis/`, `study.rs`, and `exec.rs` (the parallel executor merges
-//! shard datasets on the way to the same tables). Use
-//! `BTreeMap`/`BTreeSet` — every key type in those modules is `Ord` — or
-//! sort explicitly before rendering.
+//! `analysis/`, `study.rs`, `exec.rs` (the parallel executor merges shard
+//! datasets on the way to the same tables), and `quality.rs` (per-country
+//! ledgers rendered by the data-quality annex); `netsim`'s `campaign.rs`
+//! (scripted fault rules must fire in a stable order); and `proxynet`'s
+//! `resilience.rs` (circuit-breaker state shows up in `Debug` output and
+//! may be merged). Use `BTreeMap`/`BTreeSet` — every key type in those
+//! modules is `Ord` — or sort explicitly before rendering.
 
 use super::code_indices;
 use crate::engine::{Diagnostic, FileKind, Pass, SourceFile};
@@ -25,17 +28,27 @@ impl Pass for NoUnorderedIteration {
     }
 
     fn description(&self) -> &'static str {
-        "forbid HashMap/HashSet in tft-core report/analysis/study/exec modules; \
-         use BTreeMap/BTreeSet or an explicit sort before rendering"
+        "forbid HashMap/HashSet in tft-core report/analysis/study/exec/quality, \
+         netsim campaign, and proxynet resilience modules; use BTreeMap/BTreeSet \
+         or an explicit sort before rendering"
     }
 
     fn applies(&self, file: &SourceFile) -> bool {
-        file.kind == FileKind::Rust
-            && file.crate_name == "tft-core"
-            && (file.rel_path.contains("/report/")
-                || file.rel_path.contains("/analysis/")
-                || file.rel_path.ends_with("/study.rs")
-                || file.rel_path.ends_with("/exec.rs"))
+        if file.kind != FileKind::Rust {
+            return false;
+        }
+        match file.crate_name.as_str() {
+            "tft-core" => {
+                file.rel_path.contains("/report/")
+                    || file.rel_path.contains("/analysis/")
+                    || file.rel_path.ends_with("/study.rs")
+                    || file.rel_path.ends_with("/exec.rs")
+                    || file.rel_path.ends_with("/quality.rs")
+            }
+            "netsim" => file.rel_path.ends_with("/campaign.rs"),
+            "proxynet" => file.rel_path.ends_with("/resilience.rs"),
+            _ => false,
+        }
     }
 
     fn check(&self, file: &SourceFile, out: &mut Vec<Diagnostic>) {

@@ -35,6 +35,27 @@ fn hashmap_in_report_fires() {
 }
 
 #[test]
+fn hashmap_in_chaos_modules_fires() {
+    for (path, krate) in [
+        ("crates/tft-core/src/quality.rs", "tft-core"),
+        ("crates/netsim/src/campaign.rs", "netsim"),
+        ("crates/proxynet/src/resilience.rs", "proxynet"),
+    ] {
+        let f = SourceFile::rust(
+            path,
+            krate,
+            "use std::collections::HashMap;\npub fn f(m: HashMap<u64, u64>) -> usize { m.len() }",
+        );
+        let hits = lint(&[f]);
+        assert!(
+            hits.iter()
+                .any(|h| h.starts_with("no-unordered-iteration:")),
+            "expected no-unordered-iteration in {path}, got {hits:?}"
+        );
+    }
+}
+
+#[test]
 fn hashmap_outside_render_scope_is_fine() {
     let f = SourceFile::rust(
         "crates/netsim/src/sched.rs",

@@ -767,9 +767,67 @@ impl<'a> Builder<'a> {
         // expired relative to any post-build time).
         world.advance(SimDuration::from_hours(1));
 
+        // ---- fault campaign -------------------------------------------------
+        // Applied last so an inert campaign leaves the build (and every
+        // existing world's RNG stream) untouched.
+        if !spec.campaign.is_empty() {
+            world.set_fault_campaign(campaign_from_spec(&spec.campaign));
+        }
+
         let truth = GroundTruth::from_world(&world);
         BuiltWorld { world, truth }
     }
+}
+
+/// Convert the spec's flat fault rules into the runtime campaign. Callers
+/// are expected to have run [`crate::validate::validate`] first (the
+/// probability ranges re-checked here can only fail on unvalidated input).
+pub fn campaign_from_spec(rules: &[FaultRuleSpec]) -> netsim::FaultCampaign {
+    let mut campaign = netsim::FaultCampaign::none();
+    for r in rules {
+        let scope = netsim::FaultScope {
+            region: r.country.as_deref().map(str::to_ascii_uppercase),
+            isp: r.asn.map(u64::from),
+            node: None,
+        };
+        let window = if r.start_s.is_some() || r.end_s.is_some() {
+            let start = SimTime::EPOCH + SimDuration::from_secs(r.start_s.unwrap_or(0));
+            let end = match r.end_s {
+                Some(s) => SimTime::EPOCH + SimDuration::from_secs(s),
+                // "No end": far enough out that no simulated study reaches
+                // it, without overflowing millisecond arithmetic.
+                None => SimTime::EPOCH + SimDuration::from_secs(u64::MAX / 1_000_000),
+            };
+            Some((start, end))
+        } else {
+            None
+        };
+        let profile = if r.outage {
+            netsim::FaultProfile::Outage
+        } else if r.flap_down_s > 0 {
+            netsim::FaultProfile::Flap {
+                up: SimDuration::from_secs(r.flap_up_s),
+                down: SimDuration::from_secs(r.flap_down_s),
+            }
+        } else {
+            let injector = netsim::FaultInjector::validated(
+                r.drop_chance,
+                r.corrupt_chance,
+                r.truncate_chance,
+                r.stall_chance,
+                r.delay_chance,
+                netsim::Latency::fixed(r.delay_spike_ms),
+            )
+            .expect("campaign rule validated by validate()");
+            netsim::FaultProfile::Inject(injector)
+        };
+        campaign = campaign.with_rule(netsim::FaultRule {
+            scope,
+            window,
+            profile,
+        });
+    }
+    campaign
 }
 
 fn slug(s: &str) -> String {

@@ -25,10 +25,10 @@ pub mod spec;
 pub mod truth;
 pub mod validate;
 
-pub use build::{build, try_build, BuiltWorld};
+pub use build::{build, campaign_from_spec, try_build, BuiltWorld};
 pub use io::{from_json, load, save, to_json, SpecIoError};
 pub use paper::{paper_spec, DEFAULT_SEED, PROBE_APEX};
-pub use scenarios::{clean_spec, smoke_spec};
-pub use spec::WorldSpec;
+pub use scenarios::{chaos_campaign_spec, chaos_corruption_spec, clean_spec, smoke_spec};
+pub use spec::{FaultRuleSpec, WorldSpec};
 pub use truth::{DnsHijackSource, GroundTruth};
 pub use validate::{validate, SpecError};

@@ -899,6 +899,7 @@ pub fn paper_spec(scale: f64, seed: u64) -> WorldSpec {
             },
         ],
         sites: SiteSpec::default(),
+        campaign: Vec::new(),
     }
 }
 

@@ -33,6 +33,39 @@ pub fn clean_spec(scale: f64, seed: u64) -> WorldSpec {
     spec
 }
 
+/// The chaos negative control: the clean world under a corruption- and
+/// truncation-only campaign. Every violation class is absent but payloads
+/// are damaged in flight; a trustworthy pipeline must quarantine the
+/// damage and still report **zero** violations, with the data-quality
+/// annex accounting for every quarantined probe.
+pub fn chaos_corruption_spec(scale: f64, seed: u64) -> WorldSpec {
+    let mut spec = clean_spec(scale, seed);
+    spec.campaign = vec![FaultRuleSpec::corruption(0.06, 0.06)];
+    spec
+}
+
+/// A full chaos campaign over the calibrated paper world: a time-windowed
+/// regional outage (GB, during the study's first hour — worlds finish
+/// building at one virtual hour), a flapping mobile-carrier ISP, and
+/// global drop/stall/delay-spike noise.
+pub fn chaos_campaign_spec(scale: f64, seed: u64) -> WorldSpec {
+    let mut spec = paper_spec(scale, seed);
+    spec.campaign = vec![
+        FaultRuleSpec::regional_outage("GB", 3_600, 7_200),
+        FaultRuleSpec::flapping_isp(42_925, 300, 120),
+        FaultRuleSpec {
+            drop_chance: 0.02,
+            corrupt_chance: 0.01,
+            truncate_chance: 0.01,
+            stall_chance: 0.005,
+            delay_chance: 0.05,
+            delay_spike_ms: 900,
+            ..Default::default()
+        },
+    ];
+    spec
+}
+
 /// A minimal smoke-test world: two countries, a few hundred nodes, one of
 /// each violator class. Builds in milliseconds; useful for doctests and
 /// quick iteration.
@@ -92,6 +125,7 @@ pub fn smoke_spec(seed: u64) -> WorldSpec {
             user_agent: "Smoke/1.0".into(),
         }],
         sites: SiteSpec::default(),
+        campaign: Vec::new(),
     }
 }
 

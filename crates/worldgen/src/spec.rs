@@ -26,6 +26,9 @@ pub struct WorldSpec {
     pub monitors: Vec<MonitorSpec>,
     /// HTTPS site population.
     pub sites: SiteSpec,
+    /// Scripted fault campaign applied to exit-link traffic (empty = no
+    /// faults; specs predating chaos campaigns decode unchanged).
+    pub campaign: Vec<FaultRuleSpec>,
 }
 
 json_struct!(WorldSpec {
@@ -37,7 +40,93 @@ json_struct!(WorldSpec {
     endhost,
     monitors,
     sites,
+    campaign: Vec::new(),
 });
+
+/// One scripted fault rule, flat and JSON-able; the builder converts the
+/// spec's list into a [`netsim::FaultCampaign`]. Scope fields are
+/// conjunctive (`country` AND `asn`), `None` meaning "any"; the window is
+/// half-open `[start_s, end_s)` in virtual seconds. Exactly one of the
+/// behaviour groups should be set: `outage`, the flap phases, or the
+/// probabilistic chances.
+#[derive(Debug, Clone, Default)]
+pub struct FaultRuleSpec {
+    /// Restrict to one country (ISO code).
+    pub country: Option<String>,
+    /// Restrict to one ISP ASN.
+    pub asn: Option<u32>,
+    /// Window start in virtual seconds from the epoch (default 0).
+    pub start_s: Option<u64>,
+    /// Window end (exclusive) in virtual seconds (default: never ends).
+    pub end_s: Option<u64>,
+    /// Per-message drop probability.
+    pub drop_chance: f64,
+    /// Per-message payload-corruption probability.
+    pub corrupt_chance: f64,
+    /// Per-message payload-truncation probability.
+    pub truncate_chance: f64,
+    /// Per-message stall probability (the exchange hangs until the
+    /// request deadline).
+    pub stall_chance: f64,
+    /// Per-message latency-spike probability.
+    pub delay_chance: f64,
+    /// Latency-spike magnitude in milliseconds.
+    pub delay_spike_ms: u64,
+    /// Hard outage while active (every matching message is dropped).
+    pub outage: bool,
+    /// Flapping link: online phase length in seconds.
+    pub flap_up_s: u64,
+    /// Flapping link: offline phase length in seconds (0 = no flap).
+    pub flap_down_s: u64,
+}
+
+json_struct!(FaultRuleSpec {
+    country: None,
+    asn: None,
+    start_s: None,
+    end_s: None,
+    drop_chance: 0.0,
+    corrupt_chance: 0.0,
+    truncate_chance: 0.0,
+    stall_chance: 0.0,
+    delay_chance: 0.0,
+    delay_spike_ms: 0,
+    outage: false,
+    flap_up_s: 0,
+    flap_down_s: 0,
+});
+
+impl FaultRuleSpec {
+    /// A rule applying `corrupt`/`truncate` chances everywhere, always.
+    pub fn corruption(corrupt_chance: f64, truncate_chance: f64) -> Self {
+        FaultRuleSpec {
+            corrupt_chance,
+            truncate_chance,
+            ..Default::default()
+        }
+    }
+
+    /// A total outage for one country over `[start_s, end_s)`.
+    pub fn regional_outage(country: &str, start_s: u64, end_s: u64) -> Self {
+        FaultRuleSpec {
+            country: Some(country.to_string()),
+            start_s: Some(start_s),
+            end_s: Some(end_s),
+            outage: true,
+            ..Default::default()
+        }
+    }
+
+    /// A flapping-link profile for one ISP's ASN.
+    pub fn flapping_isp(asn: u32, up_s: u64, down_s: u64) -> Self {
+        FaultRuleSpec {
+            asn: Some(asn),
+            flap_up_s: up_s,
+            flap_down_s: down_s,
+            ..Default::default()
+        }
+    }
+}
 
 /// One country's population.
 #[derive(Debug, Clone)]
@@ -487,6 +576,7 @@ mod tests {
             endhost: EndhostSpec::default(),
             monitors: vec![],
             sites: SiteSpec::default(),
+            campaign: Vec::new(),
         }
     }
 

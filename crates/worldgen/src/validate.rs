@@ -34,6 +34,14 @@ pub enum SpecError {
     BadProbeApex(String),
     /// A TLS interceptor's per-site fraction is outside (0,1].
     BadSelectivity(String),
+    /// A campaign rule has a bad probability, an inverted time window, or
+    /// an invalid country scope.
+    BadFaultRule {
+        /// Index into `campaign`.
+        index: usize,
+        /// What was wrong.
+        reason: String,
+    },
 }
 
 impl fmt::Display for SpecError {
@@ -54,6 +62,9 @@ impl fmt::Display for SpecError {
             SpecError::BadProbeApex(a) => write!(f, "probe apex {a:?} is not a valid name"),
             SpecError::BadSelectivity(i) => {
                 write!(f, "interceptor {i}: per-site fraction outside (0,1]")
+            }
+            SpecError::BadFaultRule { index, reason } => {
+                write!(f, "campaign rule {index}: {reason}")
             }
         }
     }
@@ -124,6 +135,45 @@ pub fn validate(spec: &WorldSpec) -> Result<(), Vec<SpecError>> {
     for t in &spec.endhost.tls_interceptors {
         if !(t.per_site_fraction > 0.0 && t.per_site_fraction <= 1.0) {
             errors.push(SpecError::BadSelectivity(t.issuer.clone()));
+        }
+    }
+    for (index, rule) in spec.campaign.iter().enumerate() {
+        // The injector's own validating constructor is the authority on
+        // probability ranges (NaN, negatives, >1).
+        if let Err(e) = netsim::FaultInjector::validated(
+            rule.drop_chance,
+            rule.corrupt_chance,
+            rule.truncate_chance,
+            rule.stall_chance,
+            rule.delay_chance,
+            netsim::Latency::fixed(rule.delay_spike_ms),
+        ) {
+            errors.push(SpecError::BadFaultRule {
+                index,
+                reason: e.to_string(),
+            });
+        }
+        if let (Some(start), Some(end)) = (rule.start_s, rule.end_s) {
+            if end <= start {
+                errors.push(SpecError::BadFaultRule {
+                    index,
+                    reason: format!("window [{start}, {end}) is empty or inverted"),
+                });
+            }
+        }
+        if let Some(cc) = &rule.country {
+            if !(cc.len() == 2 && cc.bytes().all(|b| b.is_ascii_alphabetic())) {
+                errors.push(SpecError::BadFaultRule {
+                    index,
+                    reason: format!("bad country scope {cc:?}"),
+                });
+            }
+        }
+        if rule.flap_down_s > 0 && rule.flap_up_s == 0 {
+            errors.push(SpecError::BadFaultRule {
+                index,
+                reason: "flap with zero up-phase is a permanent outage; use `outage`".into(),
+            });
         }
     }
     if errors.is_empty() {

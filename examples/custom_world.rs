@@ -72,6 +72,7 @@ fn main() {
             user_agent: "LabAV/0.1".into(),
         }],
         sites: SiteSpec::default(),
+        campaign: Vec::new(),
     };
 
     println!(

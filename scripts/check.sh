@@ -26,6 +26,13 @@ echo "== tests (release) =="
 # against. Run the suite once with release semantics too.
 cargo test --workspace --release
 
+echo "== chaos campaign suite (release) =="
+# The scripted-fault campaigns, quarantine negative control, and chaos
+# determinism tests run in the debug and release workspace passes above;
+# this labeled stage re-runs the campaign suite alone so a chaos failure
+# is unmistakable in CI logs.
+cargo test -q --release --test chaos --test corruption_totality
+
 echo "== docs =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
@@ -44,5 +51,13 @@ echo "== parallel executor scaling (JSON to BENCH_parallel.json) =="
 # single-core host the counts tie within noise — scaling needs cores.
 BENCH_JSON="$PWD/BENCH_parallel.json" TFT_BENCH_QUICK=1 \
   cargo bench -p tft-bench --bench parallel
+
+echo "== chaos zero-fault fast path (JSON to BENCH_chaos.json) =="
+# Asserts the armed-but-idle resilience stack (campaign + deadline +
+# breakers + backoff) is *exact* — byte-identical responses, identical
+# virtual clock — and records its wall-clock overhead (budget: 2%; the
+# full run lands within noise of zero).
+BENCH_JSON="$PWD/BENCH_chaos.json" TFT_BENCH_QUICK=1 \
+  cargo bench -p tft-bench --bench chaos
 
 echo "all checks passed"

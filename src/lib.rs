@@ -52,8 +52,8 @@ pub use worldgen;
 /// Common imports for examples and downstream users.
 pub mod prelude {
     pub use crate::tft_core::{
-        self, render_tables, run_study, run_study_with, score_report, ExecOptions, StudyConfig,
-        StudyReport,
+        self, render_annex, render_tables, run_study, run_study_with, score_report, ExecOptions,
+        StudyConfig, StudyReport,
     };
     pub use crate::worldgen::{self, build, paper_spec, BuiltWorld, GroundTruth};
     pub use httpwire::Uri;

@@ -1,0 +1,280 @@
+//! Chaos campaigns against the full pipeline: scripted corruption must
+//! never fabricate violations, damaged evidence must land in quarantine,
+//! and the data-quality annex must account for every probe the study lost.
+//!
+//! This is the robustness counterpart of `negative_control.rs`: same clean
+//! world, but with a corruption- and truncation-only fault campaign
+//! running over every exit-node link.
+
+use std::sync::OnceLock;
+
+use tft::netsim::{FaultCampaign, FaultInjector, SimDuration};
+use tft::prelude::*;
+use tft::proxynet::{AttemptOutcome, CircuitBreakerConfig, RetryPolicy, DEFAULT_REQUEST_DEADLINE};
+use tft::tft_core::obs::DnsOutcome;
+use tft::worldgen::{chaos_corruption_spec, smoke_spec};
+
+struct Run {
+    report: StudyReport,
+    cfg: StudyConfig,
+}
+
+fn run() -> &'static Run {
+    static RUN: OnceLock<Run> = OnceLock::new();
+    RUN.get_or_init(|| {
+        let scale = 0.004;
+        let mut built = build(&chaos_corruption_spec(scale, 0xC405));
+        let cfg = StudyConfig::scaled(scale);
+        let report = run_study(&mut built.world, &cfg);
+        Run { report, cfg }
+    })
+}
+
+// -- the chaos negative control -------------------------------------------
+
+#[test]
+fn corruption_campaign_fabricates_no_violations() {
+    let r = run();
+    assert_eq!(r.report.dns.hijacked, 0);
+    assert!(r
+        .report
+        .dns_data
+        .observations
+        .iter()
+        .all(|o| matches!(o.outcome, DnsOutcome::NotHijacked)));
+    assert_eq!(r.report.http.html_modified, 0);
+    assert_eq!(r.report.http.image_modified, 0);
+    assert!(r.report.http.signatures.is_empty());
+    assert_eq!(r.report.https.replaced_nodes, 0);
+    assert!(r.report.https.issuers.is_empty());
+    assert_eq!(r.report.monitor.monitored_nodes, 0);
+    assert!(r.report.monitor.entities.is_empty());
+}
+
+#[test]
+fn corruption_campaign_still_measures_a_population() {
+    let r = run();
+    assert!(r.report.dns.nodes > 1_000, "{}", r.report.dns.nodes);
+    assert!(r.report.https.nodes > 500, "{}", r.report.https.nodes);
+}
+
+#[test]
+fn damaged_evidence_is_quarantined_not_analyzed() {
+    let r = run();
+    // The campaign corrupts and truncates 6% of deliveries each, so the
+    // HTTP experiment must have quarantined a visible amount of evidence.
+    let http = r.report.http_data.quality.totals();
+    assert!(
+        http.in_quarantine() > 0,
+        "a 12% corruption campaign quarantined nothing"
+    );
+    assert!(http.truncated > 0, "truncations must be classified as such");
+    assert!(
+        http.quarantined > 0,
+        "corruptions must fail the refetch check"
+    );
+
+    // Every quarantined object result carries no modified body, so the
+    // analysis layer (which keys off `modified_body`) cannot see it.
+    let mut retained = 0usize;
+    for obs in &r.report.http_data.observations {
+        for res in &obs.results {
+            if res.quarantine.is_some() {
+                retained += 1;
+                assert!(res.modified_body.is_none());
+                assert!(!res.is_modified());
+            }
+        }
+    }
+    assert!(
+        retained > 0,
+        "quarantined results should remain visible as data"
+    );
+    // The ledger counts every quarantined fetch, including ones whose
+    // observation was later discarded (churn, duplicates): it can only be
+    // larger than what the retained observations show.
+    assert!(http.in_quarantine() >= retained);
+}
+
+#[test]
+fn quality_ledger_accounts_for_losses_in_every_experiment() {
+    let r = run();
+    // Monitoring is the exception on loss: corrupted bait payloads still
+    // deliver, and monitor detection watches the web-server log rather
+    // than payload integrity, so its ledger stays loss-free here.
+    for (name, q, expect_loss) in [
+        ("dns", &r.report.dns_data.quality, true),
+        ("http", &r.report.http_data.quality, true),
+        ("https", &r.report.https_data.quality, true),
+        ("monitoring", &r.report.monitor_data.quality, false),
+    ] {
+        let t = q.totals();
+        assert!(t.total() > 0, "{name}: no dispositions recorded");
+        assert!(t.delivered() > 0, "{name}: nothing delivered");
+        if expect_loss {
+            assert!(
+                t.lost() > 0,
+                "{name}: a 12% corruption campaign must cost some probes"
+            );
+        }
+    }
+}
+
+#[test]
+fn annex_accounts_for_every_quarantined_probe() {
+    let r = run();
+    let annex = render_annex(&r.report, &r.cfg);
+    assert!(annex.contains("Annex A"), "{annex}");
+    for (section, q) in [
+        ("DNS", &r.report.dns_data.quality),
+        ("HTTP", &r.report.http_data.quality),
+        ("HTTPS", &r.report.https_data.quality),
+        ("monitoring", &r.report.monitor_data.quality),
+    ] {
+        assert!(
+            annex.contains(section),
+            "missing section {section}\n{annex}"
+        );
+        let n = q.totals().in_quarantine();
+        if n > 0 {
+            let line =
+                format!("quarantined evidence excluded from violation analysis: {n} probe(s)");
+            assert!(annex.contains(&line), "missing {line:?} in\n{annex}");
+        }
+    }
+}
+
+// -- transport-level chaos knobs, exercised directly ----------------------
+
+/// Register `host` on the study's own web server so `proxy_get` has a
+/// destination, mirroring the `fault_tolerance.rs` setup.
+fn register_probe_host(world: &mut World, label: &str) -> String {
+    let apex = world.auth_apex().clone();
+    let name = apex.child(label).expect("valid label");
+    let host = name.to_string();
+    let web_ip = world.web_ip();
+    world.auth_server_mut().zone_mut().add_a(name, web_ip);
+    world.web_server_mut().put(
+        &host,
+        "/",
+        tft::httpwire::Response::ok("text/html", b"chaos probe".to_vec()),
+    );
+    host
+}
+
+#[test]
+fn stalls_burn_the_request_deadline() {
+    let mut built = build(&smoke_spec(0x57A1));
+    let host = register_probe_host(&mut built.world, "stall-probe");
+    built
+        .world
+        .set_fault_campaign(FaultCampaign::uniform(FaultInjector {
+            stall_chance: 1.0,
+            ..FaultInjector::none()
+        }));
+
+    let before = built.world.now();
+    let opts = UsernameOptions::new("chaos-test").session(1);
+    match built.world.proxy_get(&opts, &Uri::http(&host, "/")) {
+        Err(ProxyError::DeadlineExceeded(debug)) => {
+            assert!(!debug.attempts.is_empty());
+            assert!(debug
+                .attempts
+                .iter()
+                .all(|a| a.outcome == AttemptOutcome::TimedOut));
+        }
+        other => panic!("a permanently stalled link must hit the deadline, got {other:?}"),
+    }
+    // The stalled wait consumed the whole 20 s budget in virtual time.
+    assert!(built.world.now() >= before + DEFAULT_REQUEST_DEADLINE);
+}
+
+#[test]
+fn circuit_breakers_fail_fast_after_an_outage() {
+    let mut built = build(&smoke_spec(0xB4EA));
+    let host = register_probe_host(&mut built.world, "breaker-probe");
+    let ids: Vec<_> = built.world.node_ids().collect();
+    for id in ids {
+        built.world.node_mut(id).online = false;
+    }
+    // Per-ISP breakers: the smoke world has only a handful of ASes, so one
+    // failed request trips them all and subsequent picks are skipped.
+    built.world.set_circuit_breaker(
+        None,
+        Some(CircuitBreakerConfig {
+            failure_threshold: 1,
+            cooldown: SimDuration::from_secs(3_600),
+        }),
+    );
+
+    // First request exhausts its retries against offline nodes, tripping
+    // one breaker per attempt.
+    let opts = UsernameOptions::new("chaos-test").session(2);
+    match built.world.proxy_get(&opts, &Uri::http(&host, "/")) {
+        Err(ProxyError::AllRetriesFailed(debug)) => {
+            // The breaker trips mid-request: the first pick fails offline,
+            // later picks from the same AS may already be skipped.
+            assert!(debug.attempts.iter().all(|a| matches!(
+                a.outcome,
+                AttemptOutcome::Offline | AttemptOutcome::CircuitOpen
+            )));
+            assert!(debug
+                .attempts
+                .iter()
+                .any(|a| a.outcome == AttemptOutcome::Offline));
+        }
+        other => panic!("expected AllRetriesFailed, got {other:?}"),
+    }
+
+    // Keep hammering: once every candidate the picker offers sits behind
+    // an open circuit, the request fails fast without touching the link.
+    let mut saw_fast_failure = false;
+    for session in 3..40 {
+        let opts = UsernameOptions::new("chaos-test").session(session);
+        match built.world.proxy_get(&opts, &Uri::http(&host, "/")) {
+            Err(ProxyError::CircuitOpen(debug)) => {
+                assert!(debug
+                    .attempts
+                    .iter()
+                    .all(|a| a.outcome == AttemptOutcome::CircuitOpen));
+                saw_fast_failure = true;
+                break;
+            }
+            Err(ProxyError::AllRetriesFailed(_)) => continue,
+            other => panic!("expected a failure, got {other:?}"),
+        }
+    }
+    assert!(saw_fast_failure, "breakers never produced a fast failure");
+}
+
+#[test]
+fn retry_backoff_stretches_virtual_time() {
+    let mut built = build(&smoke_spec(0xBACC));
+    let host = register_probe_host(&mut built.world, "backoff-probe");
+    built
+        .world
+        .set_fault_campaign(FaultCampaign::uniform(FaultInjector::lossy(1.0)));
+    built.world.set_request_deadline(None);
+    built.world.set_retry_policy(RetryPolicy::exponential(
+        SimDuration::from_secs(1),
+        SimDuration::from_secs(8),
+    ));
+
+    let before = built.world.now();
+    let opts = UsernameOptions::new("chaos-test").session(50);
+    match built.world.proxy_get(&opts, &Uri::http(&host, "/")) {
+        Err(ProxyError::AllRetriesFailed(debug)) => {
+            let failed = debug.attempts.len();
+            assert!(failed >= 2, "total loss must exhaust retries");
+            // Backoff sleeps at least base * 2^n before retry n+1; with
+            // every attempt dropped the request stretches virtual time by
+            // at least the sum of the floors.
+            let floor: u64 = (0..failed as u32).map(|n| (1u64 << n).min(8)).sum();
+            assert!(
+                built.world.now() >= before + SimDuration::from_secs(floor),
+                "backoff added less than its deterministic floor"
+            );
+        }
+        other => panic!("expected AllRetriesFailed under total loss, got {other:?}"),
+    }
+}

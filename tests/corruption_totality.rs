@@ -1,0 +1,212 @@
+//! Parser totality under the fault injector's own damage model.
+//!
+//! The chaos campaigns mutate in-flight payloads with exactly two
+//! primitives — [`FaultInjector::corrupt`] (one XORed octet) and
+//! [`FaultInjector::truncate`] (a strict prefix). The quarantine rule in
+//! `tft-core` is only sound if every wire parser in the stack survives
+//! that damage with a clean `Err` or a well-formed (if different) value:
+//! a panic anywhere turns line noise into a crashed study.
+
+use certs::{exact_match, verify_chain, DistinguishedName, RootStore};
+use dnswire::{decode, encode, DnsName, Message, QType, RData, Rcode, Record};
+use httpwire::{Request, Response};
+use netsim::{FaultInjector, SimDuration, SimRng, SimTime};
+use smtpwire::{Command, Reply};
+use substrate::qc::{self, alphabet, Config, Gen};
+use substrate::{qc_assert, RngExt};
+
+fn cfg() -> Config {
+    Config::with_cases(256)
+}
+
+/// `[a-z]{1,9}(\.[a-z]{1,9}){0,2}` — a hostname / DNS name.
+fn hosts() -> Gen<String> {
+    qc::vec_of(qc::string_of(alphabet::LOWER, 1..10), 1..4).map(|labels| labels.join("."))
+}
+
+/// A well-formed golden DNS response: question plus 0–3 A answers.
+fn messages() -> Gen<Message> {
+    qc::tuple3(
+        qc::any_u16(),
+        hosts(),
+        qc::vec_of(qc::tuple2(hosts(), qc::any_u32()), 0..4),
+    )
+    .map(|(id, qname, answers)| {
+        let qname = DnsName::parse(&qname).expect("generated labels are valid");
+        let q = Message::query(id, qname, QType::A);
+        let records = answers
+            .into_iter()
+            .map(|(name, v)| Record {
+                name: DnsName::parse(&name).expect("generated labels are valid"),
+                ttl: 300,
+                rdata: RData::A(std::net::Ipv4Addr::from(v)),
+            })
+            .collect();
+        Message::respond(&q, Rcode::NoError, records)
+    })
+}
+
+#[test]
+fn dns_decoder_survives_corrupted_goldens() {
+    qc::check(
+        "dns decode total under corruption",
+        &cfg(),
+        &qc::tuple2(qc::any_u64(), messages()),
+        |(seed, msg)| {
+            let bytes = encode(msg).expect("golden message encodes");
+            let mut rng = SimRng::new(*seed);
+            let mut damaged = bytes.clone();
+            FaultInjector::corrupt(&mut rng, &mut damaged);
+            // One flipped octet: the decoder may reject or reinterpret,
+            // but it must not panic.
+            let _ = decode(&damaged);
+            qc::pass()
+        },
+    );
+}
+
+#[test]
+fn dns_truncation_never_impersonates_the_original() {
+    qc::check(
+        "dns decode total under truncation",
+        &cfg(),
+        &qc::tuple2(qc::any_u64(), messages()),
+        |(seed, msg)| {
+            let bytes = encode(msg).expect("golden message encodes");
+            let mut rng = SimRng::new(*seed);
+            let mut damaged = bytes.clone();
+            FaultInjector::truncate(&mut rng, &mut damaged);
+            qc_assert!(
+                damaged.len() < bytes.len(),
+                "truncate keeps a strict prefix"
+            );
+            // Every encoded byte is load-bearing: a strict prefix either
+            // fails to decode or decodes to something else entirely.
+            if let Ok(back) = decode(&damaged) {
+                qc_assert!(&back != msg, "a truncated message decoded as the original");
+            }
+            qc::pass()
+        },
+    );
+}
+
+#[test]
+fn http_parsers_survive_damaged_goldens() {
+    qc::check(
+        "http parse total under damage",
+        &cfg(),
+        &qc::tuple3(qc::any_u64(), hosts(), qc::bytes(0..200)),
+        |(seed, host, body)| {
+            let mut rng = SimRng::new(*seed);
+            let goldens: [Vec<u8>; 2] = [
+                Response::ok("text/html", body.clone()).encode(),
+                Request::origin_get(host, "/probe").encode(),
+            ];
+            for bytes in goldens {
+                let mut corrupted = bytes.clone();
+                FaultInjector::corrupt(&mut rng, &mut corrupted);
+                let mut truncated = bytes.clone();
+                FaultInjector::truncate(&mut rng, &mut truncated);
+                for damaged in [corrupted, truncated] {
+                    if let Ok((_, used)) = Response::parse(&damaged) {
+                        qc_assert!(used <= damaged.len());
+                    }
+                    if let Ok((_, used)) = Request::parse(&damaged) {
+                        qc_assert!(used <= damaged.len());
+                    }
+                }
+            }
+            qc::pass()
+        },
+    );
+}
+
+#[test]
+fn smtp_parsers_survive_damaged_goldens() {
+    let commands = qc::one_of(vec![
+        hosts().map(Command::Ehlo),
+        hosts().map(Command::Helo),
+        qc::just(Command::StartTls),
+        qc::just(Command::Noop),
+        qc::just(Command::Quit),
+    ]);
+    qc::check(
+        "smtp parse total under damage",
+        &cfg(),
+        &qc::tuple3(
+            qc::any_u64(),
+            commands,
+            qc::tuple2(
+                qc::ints(200u16..600),
+                qc::string_of(alphabet::PRINTABLE, 0..40),
+            ),
+        ),
+        |(seed, cmd, (code, text))| {
+            let mut rng = SimRng::new(*seed);
+            let goldens = [
+                cmd.to_line().into_bytes(),
+                Reply::new(*code, text).to_text().into_bytes(),
+            ];
+            for bytes in goldens {
+                let mut corrupted = bytes.clone();
+                FaultInjector::corrupt(&mut rng, &mut corrupted);
+                let mut truncated = bytes;
+                FaultInjector::truncate(&mut rng, &mut truncated);
+                for damaged in [corrupted, truncated] {
+                    // Line protocols re-enter as (lossily decoded) text.
+                    let line = String::from_utf8_lossy(&damaged);
+                    let _ = Command::parse(&line);
+                    let _ = Reply::parse(&line);
+                }
+            }
+            qc::pass()
+        },
+    );
+}
+
+#[test]
+fn damaged_cert_chains_fail_closed() {
+    qc::check(
+        "cert verification total under damage",
+        &cfg(),
+        &qc::tuple2(qc::any_u64(), hosts()),
+        |(seed, host)| {
+            let mut rng = SimRng::new(*seed);
+            let now = SimTime::EPOCH + SimDuration::from_days(10);
+            let (store, mut cas) = RootStore::os_x_like(2, SimTime::EPOCH, &mut rng);
+            let mut inter =
+                cas[0].issue_intermediate(DistinguishedName::cn("Inter"), SimTime::EPOCH, &mut rng);
+            let leaf = inter.issue_leaf(host, SimTime::EPOCH, &mut rng);
+            let chain = vec![leaf.clone(), inter.cert.clone(), cas[0].cert.clone()];
+            qc_assert!(verify_chain(&chain, host, now, &store).is_ok());
+
+            // Truncation (mirroring FaultInjector::truncate's strict-prefix
+            // rule, applied to the chain itself): verification stays total,
+            // and exact-identity matching agrees with whether a leaf is
+            // still present.
+            let keep = rng.random_range(0..chain.len());
+            let mut truncated = chain.clone();
+            truncated.truncate(keep);
+            let _ = verify_chain(&truncated, host, now, &store);
+            qc_assert!(exact_match(&truncated, &leaf) == (keep >= 1));
+
+            // Corruption: one flipped octet inside the leaf's SAN. The
+            // mangled certificate must never pass the exact-identity check,
+            // and verification must reject or re-evaluate without panic.
+            let mut mangled = leaf.clone();
+            if let Some(san) = mangled.san.first_mut() {
+                let mut raw = san.clone().into_bytes();
+                FaultInjector::corrupt(&mut rng, &mut raw);
+                *san = String::from_utf8_lossy(&raw).into_owned();
+            }
+            let _ = verify_chain(
+                &[mangled.clone(), inter.cert.clone(), cas[0].cert.clone()],
+                host,
+                now,
+                &store,
+            );
+            qc_assert!(!exact_match(&[mangled], &leaf));
+            qc::pass()
+        },
+    );
+}

@@ -28,6 +28,7 @@ fn lossy_spec() -> WorldSpec {
         endhost: EndhostSpec::default(),
         monitors: vec![],
         sites: SiteSpec::default(),
+        campaign: Vec::new(),
     }
 }
 

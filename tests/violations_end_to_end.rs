@@ -82,6 +82,7 @@ fn mini_spec() -> WorldSpec {
             user_agent: "LabMon/1".into(),
         }],
         sites: SiteSpec::default(),
+        campaign: Vec::new(),
     }
 }
 
