@@ -1,0 +1,86 @@
+//! Serving bench for the `tft-serve` gateway: the same deterministic load
+//! trace (thousands of open-loop clients, hot/cold spec mix) replayed at
+//! workers ∈ {1, 2, 8}.
+//!
+//! Two jobs in one binary:
+//!
+//! 1. **Regression gate** — the concatenated-response digest must be
+//!    identical at every worker count. A mismatch panics, the bench exits
+//!    nonzero, and `scripts/check.sh` fails the tft-serve stage.
+//! 2. **Trajectory** — wall-clock per full trace, virtual requests/sec,
+//!    p95 virtual latency, and cache hit rate, written as
+//!    `BENCH_serve.json` and archived across PRs.
+//!
+//! The JSON report is written directly (not via `Harness::finish`) because
+//! the serving metrics live alongside — not inside — the timing stats.
+
+use std::hint::black_box;
+use substrate::bench::Harness;
+use substrate::json::{Json, ToJson};
+use tft_serve::loadgen::{self, LoadGenConfig};
+
+/// Master trace seed; changing it re-rolls every arrival and spec choice.
+const SEED: u64 = 0x5E12_BE7C;
+
+fn main() {
+    let mut h = Harness::new("serve");
+    let worker_counts = [1usize, 2, 8];
+
+    // One measured run per worker count for the serving metrics and the
+    // digest gate; the harness then times repeat runs of the same trace.
+    let reports: Vec<_> = worker_counts
+        .iter()
+        .map(|&w| loadgen::run(&LoadGenConfig::quick(w, SEED)))
+        .collect();
+    let digest = reports[0].response_digest;
+    for (&w, r) in worker_counts.iter().zip(&reports) {
+        assert_eq!(
+            r.response_digest, digest,
+            "response digest diverged at workers={w}: \
+             {:016x} != {:016x} — serving is no longer byte-identical",
+            r.response_digest, digest
+        );
+    }
+    eprintln!("[serve] digest {digest:016x} identical at workers {worker_counts:?}");
+
+    let mut rows = Vec::new();
+    for (&workers, report) in worker_counts.iter().zip(&reports) {
+        let cfg = LoadGenConfig::quick(workers, SEED);
+        let stats = h
+            .bench(&format!("loadgen/quick/workers{workers}"), || {
+                black_box(loadgen::run(&cfg).response_digest)
+            })
+            .clone();
+        // Throughput: the whole trace's requests over one run's wall-clock.
+        let requests_per_sec = report.requests as f64 / (stats.median_ns / 1e9);
+        let mut row = match report.to_json() {
+            Json::Obj(members) => members,
+            _ => unreachable!("LoadReport renders as an object"),
+        };
+        row.insert(0, ("workers".into(), Json::uint(workers as u64)));
+        row.push(("wall_median_ns".into(), Json::float(stats.median_ns)));
+        row.push(("requests_per_sec".into(), Json::float(requests_per_sec)));
+        rows.push(Json::Obj(row));
+    }
+
+    println!("{}", h.render());
+    let doc = Json::Obj(vec![
+        ("label".into(), Json::str("serve")),
+        ("quick".into(), Json::Bool(h.is_quick())),
+        ("seed".into(), Json::str(format!("{SEED:016x}"))),
+        (
+            "response_digest".into(),
+            Json::str(format!("{digest:016x}")),
+        ),
+        ("digest_identical_at_workers_1_2_8".into(), Json::Bool(true)),
+        ("runs".into(), Json::Arr(rows)),
+    ]);
+    if let Some(path) = std::env::var_os("BENCH_JSON") {
+        let rendered = doc.render_pretty() + "\n";
+        if let Err(e) = std::fs::write(&path, rendered) {
+            eprintln!("[serve] could not write {}: {e}", path.to_string_lossy());
+            std::process::exit(1);
+        }
+        eprintln!("[serve] wrote {}", path.to_string_lossy());
+    }
+}

@@ -40,6 +40,69 @@ pub fn encode(body: &[u8], chunk_size: usize) -> Vec<u8> {
     out
 }
 
+/// Streaming counterpart of [`encode`]: frame body pieces as they become
+/// available, without buffering the whole body first.
+///
+/// Each [`push`](Encoder::push) emits one chunk frame for the bytes handed
+/// to it (empty pushes emit nothing — a zero-sized chunk would read as the
+/// terminator); [`finish`](Encoder::finish) emits the `0\r\n\r\n`
+/// terminator. The concatenated output of any push segmentation decodes to
+/// the concatenated inputs, which the round-trip tests below pin against
+/// the hardened [`decode`].
+///
+/// ```
+/// use httpwire::chunked::{decode, Encoder};
+/// let mut enc = Encoder::new();
+/// let mut wire = enc.push(b"hel");
+/// wire.extend_from_slice(&enc.push(b"lo"));
+/// wire.extend_from_slice(&enc.finish());
+/// assert_eq!(decode(&wire).unwrap().0, b"hello");
+/// ```
+#[derive(Debug, Default)]
+pub struct Encoder {
+    finished: bool,
+}
+
+impl Encoder {
+    /// A fresh encoder with no frames emitted yet.
+    pub fn new() -> Encoder {
+        Encoder { finished: false }
+    }
+
+    /// Frame `piece` as a single chunk. Returns the wire bytes to append
+    /// to the stream; an empty `piece` produces no bytes.
+    ///
+    /// # Panics
+    /// Panics if called after [`finish`](Encoder::finish) — the terminator
+    /// is final, and bytes after it would corrupt the framing.
+    pub fn push(&mut self, piece: &[u8]) -> Vec<u8> {
+        assert!(!self.finished, "push after finish corrupts the stream");
+        if piece.is_empty() {
+            return Vec::new();
+        }
+        let mut out = Vec::with_capacity(piece.len() + 20);
+        out.extend_from_slice(format!("{:x}\r\n", piece.len()).as_bytes());
+        out.extend_from_slice(piece);
+        out.extend_from_slice(b"\r\n");
+        out
+    }
+
+    /// Emit the zero-size terminator chunk, ending the stream. Idempotent:
+    /// a second call returns no bytes.
+    pub fn finish(&mut self) -> Vec<u8> {
+        if self.finished {
+            return Vec::new();
+        }
+        self.finished = true;
+        b"0\r\n\r\n".to_vec()
+    }
+
+    /// Whether [`finish`](Encoder::finish) has been called.
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+}
+
 /// Decode a chunked body. Returns `(body, bytes_consumed)`.
 pub fn decode(input: &[u8]) -> Result<(Vec<u8>, usize), ChunkError> {
     let mut body = Vec::new();
@@ -147,5 +210,79 @@ mod tests {
     #[test]
     fn missing_crlf_rejected() {
         assert_eq!(decode(b"2\r\nhiXX0\r\n\r\n"), Err(ChunkError::MissingCrlf));
+    }
+
+    #[test]
+    fn streaming_encoder_roundtrips_any_segmentation() {
+        let body = b"incremental tables, then the annex, then done";
+        for step in [1, 2, 5, 11, body.len()] {
+            let mut enc = Encoder::new();
+            let mut wire = Vec::new();
+            for piece in body.chunks(step) {
+                wire.extend_from_slice(&enc.push(piece));
+            }
+            wire.extend_from_slice(&enc.finish());
+            let (decoded, consumed) = decode(&wire).unwrap();
+            assert_eq!(decoded, body, "step {step}");
+            assert_eq!(consumed, wire.len(), "step {step}");
+        }
+    }
+
+    #[test]
+    fn streaming_encoder_matches_whole_body_encode() {
+        // One push per fixed-size chunk is exactly the batch encoding.
+        let body = b"the two encoders agree on the wire";
+        let mut enc = Encoder::new();
+        let mut wire = Vec::new();
+        for piece in body.chunks(7) {
+            wire.extend_from_slice(&enc.push(piece));
+        }
+        wire.extend_from_slice(&enc.finish());
+        assert_eq!(wire, encode(body, 7));
+    }
+
+    #[test]
+    fn streaming_encoder_skips_empty_pieces() {
+        // A zero-length chunk frame would read as the terminator; empty
+        // pushes must emit nothing rather than end the stream early.
+        let mut enc = Encoder::new();
+        let mut wire = enc.push(b"");
+        assert!(wire.is_empty());
+        wire.extend_from_slice(&enc.push(b"tail"));
+        wire.extend_from_slice(&enc.push(b""));
+        wire.extend_from_slice(&enc.finish());
+        let (decoded, _) = decode(&wire).unwrap();
+        assert_eq!(decoded, b"tail");
+    }
+
+    #[test]
+    fn streaming_encoder_finish_is_idempotent() {
+        let mut enc = Encoder::new();
+        assert!(!enc.is_finished());
+        assert_eq!(enc.finish(), b"0\r\n\r\n");
+        assert!(enc.is_finished());
+        assert!(enc.finish().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "push after finish")]
+    fn streaming_encoder_rejects_push_after_finish() {
+        let mut enc = Encoder::new();
+        let _ = enc.finish();
+        let _ = enc.push(b"late");
+    }
+
+    #[test]
+    fn streaming_prefix_decodes_incrementally() {
+        // The serving pattern: a client that has only the frames emitted so
+        // far (no terminator) sees Truncated, and sees the full body the
+        // moment finish() lands.
+        let mut enc = Encoder::new();
+        let mut wire = enc.push(b"partial ");
+        assert_eq!(decode(&wire), Err(ChunkError::Truncated));
+        wire.extend_from_slice(&enc.push(b"results"));
+        assert_eq!(decode(&wire), Err(ChunkError::Truncated));
+        wire.extend_from_slice(&enc.finish());
+        assert_eq!(decode(&wire).unwrap().0, b"partial results");
     }
 }

@@ -9,7 +9,8 @@
 //!   port 443, origin servers receive origin-form GETs;
 //! - [`response`]: responses with content-length, chunked, and
 //!   close-delimited body framing;
-//! - [`chunked`]: the chunked transfer coding;
+//! - [`chunked`]: the chunked transfer coding, including a streaming
+//!   [`chunked::Encoder`] for serving bodies incrementally;
 //! - [`status`]: status codes.
 //!
 //! The HTTP-modification experiment (§5) compares bodies byte-for-byte, so

@@ -9,6 +9,8 @@ pub struct StatusCode(pub u16);
 impl StatusCode {
     /// 200 OK
     pub const OK: StatusCode = StatusCode(200);
+    /// 202 Accepted
+    pub const ACCEPTED: StatusCode = StatusCode(202);
     /// 204 No Content
     pub const NO_CONTENT: StatusCode = StatusCode(204);
     /// 301 Moved Permanently
@@ -21,6 +23,8 @@ impl StatusCode {
     pub const FORBIDDEN: StatusCode = StatusCode(403);
     /// 404 Not Found
     pub const NOT_FOUND: StatusCode = StatusCode(404);
+    /// 429 Too Many Requests
+    pub const TOO_MANY_REQUESTS: StatusCode = StatusCode(429);
     /// 502 Bad Gateway
     pub const BAD_GATEWAY: StatusCode = StatusCode(502);
     /// 503 Service Unavailable
@@ -32,12 +36,14 @@ impl StatusCode {
     pub fn reason(self) -> &'static str {
         match self.0 {
             200 => "OK",
+            202 => "Accepted",
             204 => "No Content",
             301 => "Moved Permanently",
             302 => "Found",
             400 => "Bad Request",
             403 => "Forbidden",
             404 => "Not Found",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             502 => "Bad Gateway",
             503 => "Service Unavailable",

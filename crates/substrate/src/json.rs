@@ -191,6 +191,44 @@ impl Json {
         out
     }
 
+    /// The canonical form of this document: object members sorted by key
+    /// (first occurrence wins on duplicates, matching [`Json::get`]),
+    /// numbers normalized to their minimal representation (integral
+    /// in-range floats collapse to [`Num::UInt`]/[`Num::Int`], `-0.0`
+    /// folds to `0`, non-finite floats become `null` exactly as
+    /// [`Json::render`] would emit them), arrays canonicalized
+    /// element-wise with order preserved.
+    ///
+    /// Canonicalization is idempotent, and `parse(render)` of a canonical
+    /// document is the identity — so [`Json::render_canonical`] is a
+    /// byte-stable fingerprint of the document's *content*, independent of
+    /// key order or number spelling in the source text (property-tested in
+    /// `tests/json_prop.rs`).
+    pub fn canonicalize(&self) -> Json {
+        match self {
+            Json::Null | Json::Bool(_) | Json::Str(_) => self.clone(),
+            Json::Num(n) => canonical_num(*n),
+            Json::Arr(items) => Json::Arr(items.iter().map(Json::canonicalize).collect()),
+            Json::Obj(members) => {
+                let mut out: Vec<(String, Json)> = Vec::with_capacity(members.len());
+                for (k, v) in members {
+                    // First occurrence wins, matching `get`'s lookup rule.
+                    if out.iter().all(|(seen, _)| seen != k) {
+                        out.push((k.clone(), v.canonicalize()));
+                    }
+                }
+                out.sort_by(|a, b| a.0.cmp(&b.0));
+                Json::Obj(out)
+            }
+        }
+    }
+
+    /// Compact rendering of [`Json::canonicalize`]: the byte-stable form
+    /// content-addressed keys (`spec_hash`) are computed over.
+    pub fn render_canonical(&self) -> String {
+        self.canonicalize().render()
+    }
+
     fn write(&self, out: &mut String, indent: Option<usize>, level: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -248,6 +286,35 @@ impl Json {
             }
         }
     }
+}
+
+/// Normalize a number to its minimal canonical representation.
+fn canonical_num(n: Num) -> Json {
+    match n {
+        Num::UInt(v) => Json::Num(Num::UInt(v)),
+        Num::Int(v) => match u64::try_from(v) {
+            Ok(u) => Json::Num(Num::UInt(u)),
+            Err(_) => Json::Num(Num::Int(v)),
+        },
+        Num::Float(v) if !v.is_finite() => Json::Null,
+        Num::Float(v) if v.fract() == 0.0 && v >= 0.0 && v < u64_exclusive_bound() => {
+            // Every integral f64 in [0, 2^64) is exactly representable as
+            // u64, so the cast is value-preserving (this also folds -0.0,
+            // which compares >= 0.0, into 0).
+            Json::Num(Num::UInt(v as u64))
+        }
+        Num::Float(v) if v.fract() == 0.0 && v < 0.0 && v >= i64::MIN as f64 => {
+            Json::Num(Num::Int(v as i64))
+        }
+        Num::Float(v) => Json::Num(Num::Float(v)),
+    }
+}
+
+/// `2^64` as f64 (exact): the smallest float *not* convertible to u64.
+/// `u64::MAX as f64` rounds up to exactly this value, so a plain
+/// `v <= u64::MAX as f64` bound would wrongly admit 2^64 itself.
+fn u64_exclusive_bound() -> f64 {
+    18446744073709551616.0
 }
 
 fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
@@ -1008,5 +1075,69 @@ mod tests {
     fn non_finite_floats_render_as_null() {
         assert_eq!(Json::float(f64::NAN).render(), "null");
         assert_eq!(Json::float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn canonicalize_sorts_keys_recursively() {
+        let doc = parse(r#"{"z":{"b":1,"a":2},"a":[{"y":1,"x":2}]}"#).unwrap();
+        assert_eq!(
+            doc.render_canonical(),
+            r#"{"a":[{"x":2,"y":1}],"z":{"a":2,"b":1}}"#
+        );
+    }
+
+    #[test]
+    fn canonicalize_normalizes_numbers() {
+        // Integral floats collapse to exact integers; spelling disappears.
+        assert_eq!(parse("1.0").unwrap().render_canonical(), "1");
+        assert_eq!(parse("1e3").unwrap().render_canonical(), "1000");
+        assert_eq!(parse("-2.0").unwrap().render_canonical(), "-2");
+        assert_eq!(parse("-0.0").unwrap().render_canonical(), "0");
+        assert_eq!(Json::Num(Num::Int(5)).render_canonical(), "5");
+        // Non-integral and out-of-range floats stay floats.
+        assert_eq!(parse("1.5").unwrap().render_canonical(), "1.5");
+        assert_eq!(parse("1e300").unwrap().render_canonical(), "1e300");
+        // The 2^64 boundary: u64::MAX survives, 2^64 itself stays a float.
+        assert_eq!(
+            Json::uint(u64::MAX).render_canonical(),
+            u64::MAX.to_string()
+        );
+        let two_pow_64 = Json::float(18446744073709551616.0).canonicalize();
+        assert!(matches!(two_pow_64, Json::Num(Num::Float(_))));
+        // Non-finite floats canonicalize to the null they would render as.
+        assert_eq!(Json::float(f64::NAN).canonicalize(), Json::Null);
+    }
+
+    #[test]
+    fn canonicalize_is_idempotent_and_value_preserving() {
+        let doc = parse(r#"{"b":2.0,"a":[1e2,true,"s",{"k":-0.0}],"c":null}"#).unwrap();
+        let canon = doc.canonicalize();
+        assert_eq!(canon.canonicalize(), canon, "idempotent");
+        // Value-preserving: every leaf still reads back the same number.
+        assert_eq!(canon.get("b").and_then(Json::as_u64), Some(2));
+        let first = match canon.get("a") {
+            Some(Json::Arr(items)) => items.first(),
+            _ => None,
+        };
+        assert_eq!(first.and_then(Json::as_u64), Some(100));
+        assert_eq!(
+            parse(&canon.render()).unwrap(),
+            canon,
+            "canonical forms survive a render/parse cycle exactly"
+        );
+    }
+
+    #[test]
+    fn canonicalize_keeps_first_duplicate_key() {
+        let doc = parse(r#"{"k":1,"k":2}"#).unwrap();
+        assert_eq!(doc.render_canonical(), r#"{"k":1}"#, "matches get()");
+    }
+
+    #[test]
+    fn canonical_rendering_is_key_order_independent() {
+        let a = parse(r#"{"seed":1,"scale":0.5}"#).unwrap();
+        let b = parse(r#"{"scale":0.5,"seed":1.0}"#).unwrap();
+        assert_eq!(a.render_canonical(), b.render_canonical());
+        assert_ne!(a.render(), b.render());
     }
 }

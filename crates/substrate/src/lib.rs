@@ -11,6 +11,8 @@
 //! - [`json`]: a small JSON value model, strict parser, compact/pretty
 //!   printers, and the [`json::ToJson`]/[`json::FromJson`] trait pair plus
 //!   the [`json_struct!`]/[`json_enum!`] derive macros;
+//! - [`hash`]: a stable 64-bit content hash (FNV-1a + splitmix64 finish)
+//!   with pinned golden values, for content-addressed cache keys;
 //! - [`qc`]: a seeded property-testing mini-framework — composable
 //!   generators, configurable case counts, input shrinking, and
 //!   failure-seed replay;
@@ -33,11 +35,13 @@
 #![warn(missing_docs)]
 
 pub mod bench;
+pub mod hash;
 pub mod json;
 pub mod pool;
 pub mod qc;
 pub mod rng;
 
+pub use hash::{stable64, Hasher64};
 pub use json::{FromJson, Json, JsonError, Num, ToJson};
 pub use pool::{par_map, Pool};
 pub use rng::{Rng, RngExt, SplitMix64, Xoshiro256pp};

@@ -101,6 +101,66 @@ fn prop_u64_numbers_roundtrip_exactly() {
 }
 
 #[test]
+fn prop_canonicalize_is_a_fixpoint_under_reparsing() {
+    // The contract content-addressing rests on: canonicalize once and the
+    // document is inert — parse(render_canonical(doc)) canonicalizes to
+    // itself, and its canonical rendering never changes again.
+    qc::check(
+        "canonicalize fixpoint",
+        &Config::with_cases(256),
+        &json_values(3),
+        |doc| {
+            let canon = doc.canonicalize();
+            qc_assert_eq!(&canon.canonicalize(), &canon);
+            let rendered = canon.render_canonical();
+            let back = match json::parse(&rendered) {
+                Ok(v) => v,
+                Err(e) => return TestResult::Fail(format!("parse failed: {e} on {rendered}")),
+            };
+            qc_assert_eq!(&back.canonicalize(), &canon);
+            qc_assert_eq!(back.render_canonical(), rendered);
+            qc::pass()
+        },
+    );
+}
+
+#[test]
+fn prop_canonical_rendering_ignores_object_key_order() {
+    // Shuffling top-level members must not change the canonical bytes —
+    // the property that makes `stable64(render_canonical(..))` a usable
+    // content address.
+    let objects = qc::vec_of(
+        qc::tuple2(qc::string_of(alphabet::LOWER_ALNUM, 1..8), json_values(1)),
+        2..6,
+    )
+    .map(|pairs| {
+        let mut seen = std::collections::HashSet::new();
+        pairs
+            .into_iter()
+            .filter(|(k, _)| seen.insert(k.clone()))
+            .collect::<Vec<_>>()
+    });
+    qc::check(
+        "canonical key-order independence",
+        &Config::with_cases(128),
+        &qc::tuple2(objects, qc::any_u64()),
+        |(members, salt)| {
+            if members.len() < 2 {
+                return TestResult::Discard;
+            }
+            let mut rotated = members.clone();
+            let k = (*salt as usize % (rotated.len() - 1)) + 1;
+            rotated.rotate_left(k);
+            qc_assert_eq!(
+                Json::Obj(rotated).render_canonical(),
+                Json::Obj(members.clone()).render_canonical()
+            );
+            qc::pass()
+        },
+    );
+}
+
+#[test]
 fn prop_parser_never_panics_on_garbage() {
     qc::check(
         "parser totality on garbage",

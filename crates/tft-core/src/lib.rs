@@ -55,4 +55,4 @@ pub use exec::ExecOptions;
 pub use quality::{DataQuality, ProbeOutcome, QualityCounts};
 pub use report::annex::render_annex;
 pub use scoring::{score_report, ScoreCard};
-pub use study::{render_tables, run_study, run_study_with, StudyReport};
+pub use study::{render_tables, run_study, run_study_with, StudyDriver, StudyReport, StudyStage};

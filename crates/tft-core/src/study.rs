@@ -125,18 +125,43 @@ pub fn run_study_with(
         exec::merge_monitor,
     );
 
+    analyze_into_report(
+        world,
+        cfg,
+        workers,
+        started,
+        dns_data,
+        http_data,
+        https_data,
+        monitor_data,
+    )
+}
+
+/// The shared back half of a study: run all analysis passes over the four
+/// merged datasets and assemble the report. Both [`run_study_with`] and
+/// [`StudyDriver`] end here, so the two entry points cannot drift.
+#[allow(clippy::too_many_arguments)]
+fn analyze_into_report(
+    world: &World,
+    cfg: &StudyConfig,
+    workers: usize,
+    started: SimTime,
+    dns_data: DnsDataset,
+    http_data: HttpDataset,
+    https_data: HttpsDataset,
+    monitor_data: MonitorDataset,
+) -> StudyReport {
     // All four analysis passes (plus the coverage tally) are read-only over
     // the merged datasets and the world; run them concurrently. Pool::run
     // returns in index order, so destructuring below is deterministic.
-    let world_ro: &World = world;
     let mut outs =
         Pool::new(workers.min(5)).run(vec![0usize, 1, 2, 3, 4], |_, which| match which {
-            0 => AnalysisOut::Dns(analysis::dns::analyze(&dns_data, world_ro, cfg)),
-            1 => AnalysisOut::Http(analysis::http::analyze(&http_data, world_ro, cfg)),
-            2 => AnalysisOut::Https(analysis::https::analyze(&https_data, world_ro, cfg)),
-            3 => AnalysisOut::Monitor(analysis::monitor::analyze(&monitor_data, world_ro, cfg)),
+            0 => AnalysisOut::Dns(analysis::dns::analyze(&dns_data, world, cfg)),
+            1 => AnalysisOut::Http(analysis::http::analyze(&http_data, world, cfg)),
+            2 => AnalysisOut::Https(analysis::https::analyze(&https_data, world, cfg)),
+            3 => AnalysisOut::Monitor(analysis::monitor::analyze(&monitor_data, world, cfg)),
             _ => AnalysisOut::Coverage(coverage(
-                world_ro,
+                world,
                 &dns_data,
                 &http_data,
                 &https_data,
@@ -166,6 +191,193 @@ pub fn run_study_with(
         started,
         finished: world.now(),
         coverage,
+    }
+}
+
+/// The stages of a study, in the order [`StudyDriver::step`] runs them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StudyStage {
+    /// The d₁/d₂ NXDOMAIN experiment.
+    Dns,
+    /// The four-object content-comparison experiment.
+    Http,
+    /// The two-phase CONNECT certificate experiment.
+    Https,
+    /// The unique-domain refetch experiment.
+    Monitor,
+    /// All analysis passes plus the coverage tally.
+    Analyze,
+    /// Nothing left to run; the report is available.
+    Done,
+}
+
+impl StudyStage {
+    /// A stable lowercase label for progress output.
+    pub fn label(self) -> &'static str {
+        match self {
+            StudyStage::Dns => "dns",
+            StudyStage::Http => "http",
+            StudyStage::Https => "https",
+            StudyStage::Monitor => "monitor",
+            StudyStage::Analyze => "analyze",
+            StudyStage::Done => "done",
+        }
+    }
+}
+
+/// [`run_study_with`], resumable one stage at a time.
+///
+/// A server that wants to stream progress while a study runs cannot call
+/// [`run_study_with`] — it blocks until the whole study finishes. The driver
+/// owns the world and exposes the same pipeline as an explicit state
+/// machine: each [`step`](StudyDriver::step) runs exactly one stage
+/// (experiment or analysis), and after the last one the report is ready.
+/// Stepping through all stages produces a report **byte-identical** to
+/// [`run_study_with`] at the same worker count — both funnel through the
+/// same stage functions, and the equivalence is pinned by a test.
+pub struct StudyDriver {
+    world: World,
+    cfg: StudyConfig,
+    workers: usize,
+    started: SimTime,
+    next: StudyStage,
+    dns_data: Option<DnsDataset>,
+    http_data: Option<HttpDataset>,
+    https_data: Option<HttpsDataset>,
+    monitor_data: Option<MonitorDataset>,
+    report: Option<StudyReport>,
+}
+
+impl StudyDriver {
+    /// Start a driver over `world`. No work happens until
+    /// [`step`](StudyDriver::step) is called.
+    pub fn new(world: World, cfg: StudyConfig, exec_opts: &ExecOptions) -> StudyDriver {
+        let started = world.now();
+        StudyDriver {
+            world,
+            cfg,
+            workers: exec_opts.workers,
+            started,
+            next: StudyStage::Dns,
+            dns_data: None,
+            http_data: None,
+            https_data: None,
+            monitor_data: None,
+            report: None,
+        }
+    }
+
+    /// The stage the next [`step`](StudyDriver::step) will run, or
+    /// [`StudyStage::Done`] if the study is complete.
+    pub fn next_stage(&self) -> StudyStage {
+        self.next
+    }
+
+    /// Whether every stage has run and the report is available.
+    pub fn is_done(&self) -> bool {
+        self.next == StudyStage::Done
+    }
+
+    /// Run the next pending stage and return it. Returns
+    /// [`StudyStage::Done`] (running nothing) once the study is complete.
+    pub fn step(&mut self) -> StudyStage {
+        let stage = self.next;
+        let (world, cfg, workers) = (&mut self.world, &self.cfg, self.workers);
+        match stage {
+            StudyStage::Dns => {
+                self.dns_data = Some(exec::sharded(
+                    world,
+                    cfg,
+                    workers,
+                    dns_exp::run_shard,
+                    exec::merge_dns,
+                ));
+                self.next = StudyStage::Http;
+            }
+            StudyStage::Http => {
+                self.http_data = Some(exec::sharded(
+                    world,
+                    cfg,
+                    workers,
+                    http_exp::run_shard,
+                    exec::merge_http,
+                ));
+                self.next = StudyStage::Https;
+            }
+            StudyStage::Https => {
+                self.https_data = Some(exec::sharded(
+                    world,
+                    cfg,
+                    workers,
+                    https_exp::run_shard,
+                    exec::merge_https,
+                ));
+                self.next = StudyStage::Monitor;
+            }
+            StudyStage::Monitor => {
+                self.monitor_data = Some(exec::sharded(
+                    world,
+                    cfg,
+                    workers,
+                    monitor_exp::run_shard,
+                    exec::merge_monitor,
+                ));
+                self.next = StudyStage::Analyze;
+            }
+            StudyStage::Analyze => {
+                let (Some(dns), Some(http), Some(https), Some(monitor)) = (
+                    self.dns_data.take(),
+                    self.http_data.take(),
+                    self.https_data.take(),
+                    self.monitor_data.take(),
+                ) else {
+                    unreachable!("experiment stages run before Analyze");
+                };
+                self.report = Some(analyze_into_report(
+                    &self.world,
+                    cfg,
+                    workers,
+                    self.started,
+                    dns,
+                    http,
+                    https,
+                    monitor,
+                ));
+                self.next = StudyStage::Done;
+            }
+            StudyStage::Done => {}
+        }
+        stage
+    }
+
+    /// Run every remaining stage.
+    pub fn run_to_completion(&mut self) {
+        while !self.is_done() {
+            self.step();
+        }
+    }
+
+    /// The finished report, once [`is_done`](StudyDriver::is_done).
+    pub fn report(&self) -> Option<&StudyReport> {
+        self.report.as_ref()
+    }
+
+    /// Read-only access to the driven world (e.g. for billing queries).
+    pub fn world(&self) -> &World {
+        &self.world
+    }
+
+    /// Consume the driver, returning the report and the mutated world.
+    ///
+    /// # Panics
+    /// Panics if the study has not run to completion — callers must drain
+    /// [`step`](StudyDriver::step) (or call
+    /// [`run_to_completion`](StudyDriver::run_to_completion)) first.
+    pub fn into_parts(self) -> (StudyReport, World) {
+        let report = self
+            .report
+            .expect("StudyDriver::into_parts before the study completed");
+        (report, self.world)
     }
 }
 

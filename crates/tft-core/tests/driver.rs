@@ -1,0 +1,91 @@
+//! `StudyDriver` is `run_study_with`, resumable: stepping through every
+//! stage must reproduce the monolithic entry point byte-for-byte, at any
+//! worker count, including the world-side effects (billing, server logs).
+
+use tft_core::{render_tables, run_study_with, ExecOptions, StudyConfig, StudyDriver, StudyStage};
+use worldgen::{build, smoke_spec};
+
+const SEED: u64 = 0x5E4E;
+
+fn monolithic(workers: usize) -> (String, usize, u64, usize) {
+    let mut built = build(&smoke_spec(SEED));
+    let cfg = smoke_cfg();
+    let report = run_study_with(&mut built.world, &cfg, &ExecOptions::with_workers(workers));
+    (
+        render_tables(&report),
+        report.unique_nodes(),
+        built.world.bytes_billed(&cfg.customer),
+        built.world.web_server().log().len(),
+    )
+}
+
+fn smoke_cfg() -> StudyConfig {
+    StudyConfig {
+        min_nodes_per_country: 5,
+        min_nodes_per_dns_server: 3,
+        ..StudyConfig::default()
+    }
+}
+
+#[test]
+fn driver_visits_every_stage_in_order() {
+    let built = build(&smoke_spec(SEED));
+    let mut driver = StudyDriver::new(built.world, smoke_cfg(), &ExecOptions::with_workers(2));
+    assert!(!driver.is_done());
+    assert!(driver.report().is_none());
+    let mut visited = Vec::new();
+    while !driver.is_done() {
+        assert_eq!(driver.next_stage(), {
+            let s = driver.step();
+            visited.push(s);
+            s
+        });
+    }
+    assert_eq!(
+        visited,
+        [
+            StudyStage::Dns,
+            StudyStage::Http,
+            StudyStage::Https,
+            StudyStage::Monitor,
+            StudyStage::Analyze,
+        ]
+    );
+    // A step past Done is a no-op, not a panic.
+    assert_eq!(driver.step(), StudyStage::Done);
+    assert!(driver.report().is_some());
+}
+
+#[test]
+fn driver_matches_run_study_with_exactly() {
+    for workers in [1, 4] {
+        let built = build(&smoke_spec(SEED));
+        let cfg = smoke_cfg();
+        let mut driver = StudyDriver::new(
+            built.world,
+            cfg.clone(),
+            &ExecOptions::with_workers(workers),
+        );
+        driver.run_to_completion();
+        let (report, world) = driver.into_parts();
+        let stepped = (
+            render_tables(&report),
+            report.unique_nodes(),
+            world.bytes_billed(&cfg.customer),
+            world.web_server().log().len(),
+        );
+        assert_eq!(
+            stepped,
+            monolithic(workers),
+            "driver diverged from run_study_with at workers={workers}"
+        );
+    }
+}
+
+#[test]
+#[should_panic(expected = "before the study completed")]
+fn into_parts_before_completion_panics() {
+    let built = build(&smoke_spec(SEED));
+    let driver = StudyDriver::new(built.world, smoke_cfg(), &ExecOptions::with_workers(1));
+    let _ = driver.into_parts();
+}

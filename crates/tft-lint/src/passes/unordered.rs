@@ -12,8 +12,11 @@
 //! ledgers rendered by the data-quality annex); `netsim`'s `campaign.rs`
 //! (scripted fault rules must fire in a stable order); and `proxynet`'s
 //! `resilience.rs` (circuit-breaker state shows up in `Debug` output and
-//! may be merged). Use `BTreeMap`/`BTreeSet` — every key type in those
-//! modules is `Ord` — or sort explicitly before rendering.
+//! may be merged). The whole of `tft-serve` is in scope too: every module
+//! there (cache eviction order, queue admission, gateway response bodies,
+//! load-generator digests) feeds byte-pinned responses. Use
+//! `BTreeMap`/`BTreeSet` — every key type in those modules is `Ord` — or
+//! sort explicitly before rendering.
 
 use super::code_indices;
 use crate::engine::{Diagnostic, FileKind, Pass, SourceFile};
@@ -29,8 +32,8 @@ impl Pass for NoUnorderedIteration {
 
     fn description(&self) -> &'static str {
         "forbid HashMap/HashSet in tft-core report/analysis/study/exec/quality, \
-         netsim campaign, and proxynet resilience modules; use BTreeMap/BTreeSet \
-         or an explicit sort before rendering"
+         netsim campaign, proxynet resilience, and all tft-serve modules; use \
+         BTreeMap/BTreeSet or an explicit sort before rendering"
     }
 
     fn applies(&self, file: &SourceFile) -> bool {
@@ -47,6 +50,9 @@ impl Pass for NoUnorderedIteration {
             }
             "netsim" => file.rel_path.ends_with("/campaign.rs"),
             "proxynet" => file.rel_path.ends_with("/resilience.rs"),
+            // Every tft-serve module feeds byte-pinned response bodies, so
+            // the whole crate is in scope, not a module allow-list.
+            "tft-serve" => true,
             _ => false,
         }
     }

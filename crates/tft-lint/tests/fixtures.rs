@@ -56,6 +56,42 @@ fn hashmap_in_chaos_modules_fires() {
 }
 
 #[test]
+fn hashmap_anywhere_in_tft_serve_fires() {
+    // The serving crate is scoped wholesale: any module, not an allow-list.
+    for path in [
+        "crates/tft-serve/src/cache.rs",
+        "crates/tft-serve/src/gateway.rs",
+        "crates/tft-serve/src/some/new/module.rs",
+    ] {
+        let f = SourceFile::rust(
+            path,
+            "tft-serve",
+            "use std::collections::HashSet;\npub fn f(s: HashSet<u64>) -> usize { s.len() }",
+        );
+        let hits = lint(&[f]);
+        assert!(
+            hits.iter()
+                .any(|h| h.starts_with("no-unordered-iteration:")),
+            "expected no-unordered-iteration in {path}, got {hits:?}"
+        );
+    }
+}
+
+#[test]
+fn instant_now_in_tft_serve_fires() {
+    let f = SourceFile::rust(
+        "crates/tft-serve/src/gateway.rs",
+        "tft-serve",
+        "pub fn latency_ms() -> u128 { std::time::Instant::now().elapsed().as_millis() }",
+    );
+    let hits = lint(&[f]);
+    assert!(
+        hits.iter().any(|h| h.starts_with("no-wall-clock:")),
+        "expected no-wall-clock in tft-serve, got {hits:?}"
+    );
+}
+
+#[test]
 fn hashmap_outside_render_scope_is_fine() {
     let f = SourceFile::rust(
         "crates/netsim/src/sched.rs",

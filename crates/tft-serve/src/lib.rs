@@ -1,0 +1,36 @@
+//! # tft-serve — study-as-a-service
+//!
+//! The serving layer over the reproduction: accept [`worldgen::WorldSpec`]
+//! JSON over [`httpwire`], execute studies on [`substrate::pool`] workers,
+//! and serve results — deduplicated, cached, and streamed — to simulated
+//! clients at scale.
+//!
+//! - [`cache`]: content-addressed two-tier caching — canonical-JSON spec
+//!   hashing ([`cache::StudyKey`]), pristine worlds (tier 1), rendered
+//!   reports (tier 2), insertion-order eviction;
+//! - [`queue`]: the bounded FIFO admission queue with explicit
+//!   backpressure;
+//! - [`gateway`]: the HTTP front end — `POST /studies`, incremental
+//!   `GET /studies/{id}` over chunked transfer, single-flight dedup,
+//!   `429 + Retry-After` when saturated — driven entirely by virtual time;
+//! - [`loadgen`]: a deterministic open-loop load generator simulating
+//!   thousands of clients, whose response digest pins byte-identical
+//!   serving at any worker count.
+//!
+//! Everything here keeps the workspace determinism contract (DESIGN.md §5):
+//! no wall clock, no unordered iteration, all randomness from forked
+//! [`netsim::SimRng`] streams. The `tft-lint` passes that enforce those
+//! rules cover this crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod gateway;
+pub mod loadgen;
+pub mod queue;
+
+pub use cache::{StudyCache, StudyKey, TierStats};
+pub use gateway::{Gateway, GatewayConfig, GatewayStats};
+pub use loadgen::{LoadGenConfig, LoadReport};
+pub use queue::{BoundedFifo, QueueFull};

@@ -1,0 +1,362 @@
+//! A deterministic load generator on virtual time.
+//!
+//! Simulates thousands of concurrent clients against one [`Gateway`]:
+//! **open-loop** arrivals (every client's arrival time is drawn up front
+//! from its own forked [`netsim::SimRng`] stream, independent of how the
+//! server responds) over a mixed **hot/cold** spec distribution — a small
+//! hot set most clients resubmit (exercising the cache and the
+//! single-flight guard) plus cold specs with unique seeds (forcing real
+//! executions and evictions).
+//!
+//! The entire request trace — arrival times, spec choices, poll and retry
+//! schedules — is a pure function of the config, and the gateway itself is
+//! deterministic, so the concatenated responses digest to the same 64-bit
+//! value at any worker count. `BENCH_serve.json` and the workspace e2e
+//! test both pin that digest across workers 1/2/8.
+
+use crate::cache::{StudyKey, TierStats};
+use crate::gateway::{Gateway, GatewayConfig, GatewayStats};
+use httpwire::{Request, Response};
+use netsim::rng::RngExt;
+use netsim::{SimDuration, SimRng, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap};
+use substrate::json::{Json, ToJson};
+use substrate::Hasher64;
+use worldgen::WorldSpec;
+
+/// Load-generator tuning.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Master seed for the whole trace.
+    pub seed: u64,
+    /// Number of clients; each submits one spec (plus polls/retries).
+    pub clients: usize,
+    /// Window over which arrivals spread.
+    pub window: SimDuration,
+    /// Distinct specs in the hot set.
+    pub hot_specs: usize,
+    /// Distinct cold specs (unique seeds, each a real execution).
+    pub cold_specs: usize,
+    /// Probability a client draws from the hot set.
+    pub hot_fraction: f64,
+    /// Gateway under test.
+    pub gateway: GatewayConfig,
+}
+
+impl LoadGenConfig {
+    /// A CI-sized run: thousands of requests, a handful of real
+    /// executions.
+    pub fn quick(workers: usize, seed: u64) -> LoadGenConfig {
+        LoadGenConfig {
+            seed,
+            clients: 2_000,
+            window: SimDuration::from_secs(120),
+            hot_specs: 2,
+            cold_specs: 2,
+            hot_fraction: 0.9,
+            gateway: GatewayConfig {
+                workers,
+                ..GatewayConfig::default()
+            },
+        }
+    }
+}
+
+/// What a load run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Total HTTP requests issued.
+    pub requests: u64,
+    /// `POST /studies` requests.
+    pub posts: u64,
+    /// `GET /studies/{id}` requests.
+    pub gets: u64,
+    /// Stable digest over every response, in trace order. Equal digests ⇒
+    /// byte-identical responses.
+    pub response_digest: u64,
+    /// 95th-percentile request latency, virtual milliseconds. Accepted
+    /// submissions are charged submission→completion; immediately-answered
+    /// requests (hits, polls, rejections) are charged 1 ms.
+    pub p95_latency_ms: u64,
+    /// Mean over the same latencies.
+    pub mean_latency_ms: f64,
+    /// Tier-2 hit rate over POST admissions.
+    pub cache_hit_rate: f64,
+    /// Gateway request counters.
+    pub stats: GatewayStats,
+    /// Tier-1 (world) cache counters.
+    pub world_cache: TierStats,
+    /// Tier-2 (report) cache counters.
+    pub report_cache: TierStats,
+    /// Virtual time of the last trace event.
+    pub virtual_end_ms: u64,
+}
+
+impl ToJson for LoadReport {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("requests".into(), Json::uint(self.requests)),
+            ("posts".into(), Json::uint(self.posts)),
+            ("gets".into(), Json::uint(self.gets)),
+            (
+                "response_digest".into(),
+                Json::str(format!("{:016x}", self.response_digest)),
+            ),
+            ("p95_latency_ms".into(), Json::uint(self.p95_latency_ms)),
+            ("mean_latency_ms".into(), Json::float(self.mean_latency_ms)),
+            ("cache_hit_rate".into(), Json::float(self.cache_hit_rate)),
+            ("accepted".into(), Json::uint(self.stats.accepted)),
+            ("joined".into(), Json::uint(self.stats.joined)),
+            ("cache_hits".into(), Json::uint(self.stats.cache_hits)),
+            ("rejected".into(), Json::uint(self.stats.rejected)),
+            (
+                "studies_executed".into(),
+                Json::uint(self.stats.studies_executed),
+            ),
+            ("worlds_built".into(), Json::uint(self.stats.worlds_built)),
+            ("virtual_end_ms".into(), Json::uint(self.virtual_end_ms)),
+        ])
+    }
+}
+
+/// Offsets (from submission) at which an accepted client polls its study.
+const POLL_OFFSETS_MS: [u64; 2] = [1_200, 3_600];
+/// Retries a client will attempt after `429` before giving up.
+const MAX_ATTEMPTS: u8 = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Kind {
+    Post { spec: usize, attempt: u8 },
+    Get { spec: usize },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    time_ms: u64,
+    seq: u64,
+    kind: Kind,
+}
+
+/// Run the trace described by `cfg` against a fresh gateway.
+pub fn run(cfg: &LoadGenConfig) -> LoadReport {
+    assert!(
+        cfg.hot_specs > 0 && cfg.cold_specs > 0,
+        "need both spec sets"
+    );
+    // The spec universe: hot set first, then cold. Seeds are disjoint by
+    // construction.
+    let specs: Vec<WorldSpec> = (0..cfg.hot_specs)
+        .map(|j| worldgen::smoke_spec(0x4070_0000 + j as u64))
+        .chain((0..cfg.cold_specs).map(|i| worldgen::smoke_spec(0xC01D_0000 + i as u64)))
+        .collect();
+    let keys: Vec<StudyKey> = specs.iter().map(StudyKey::for_spec).collect();
+    let post_wires: Vec<Vec<u8>> = specs.iter().map(encode_post).collect();
+    let get_wires: Vec<Vec<u8>> = keys.iter().map(encode_get).collect();
+
+    // Open-loop arrivals: one POST per client, spec and time drawn from the
+    // client's own forked stream.
+    let rng = SimRng::new(cfg.seed);
+    let window_ms = cfg.window.as_millis().max(1);
+    let mut events: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    for client in 0..cfg.clients {
+        let mut r = rng.fork_indexed("client", client as u64);
+        let time_ms: u64 = r.random_range(0..window_ms);
+        let spec = if r.random_bool(cfg.hot_fraction) {
+            r.random_range(0..cfg.hot_specs)
+        } else {
+            cfg.hot_specs + r.random_range(0..cfg.cold_specs)
+        };
+        events.push(Reverse(Event {
+            time_ms,
+            seq: client as u64,
+            kind: Kind::Post { spec, attempt: 1 },
+        }));
+    }
+
+    let mut gw = Gateway::new(cfg.gateway.clone());
+    let mut digest = Hasher64::new();
+    let mut seq = cfg.clients as u64;
+    let mut posts = 0u64;
+    let mut gets = 0u64;
+    // (arrival, key index) of every accepted/joined POST, for latency.
+    let mut awaiting: Vec<(u64, usize)> = Vec::new();
+    let mut immediate = 0u64; // requests answered on the spot (1 ms each)
+    let mut submitted: BTreeSet<usize> = BTreeSet::new();
+    let mut last_ms = 0u64;
+
+    while let Some(Reverse(ev)) = events.pop() {
+        last_ms = last_ms.max(ev.time_ms);
+        let now = SimTime::from_millis(ev.time_ms);
+        match ev.kind {
+            Kind::Post { spec, attempt } => {
+                posts += 1;
+                let raw = gw.handle(&post_wires[spec], now);
+                absorb(&mut digest, &raw);
+                let (resp, _) = Response::parse(&raw).expect("gateway responses parse");
+                match resp.status.0 {
+                    202 => {
+                        submitted.insert(spec);
+                        awaiting.push((ev.time_ms, spec));
+                        for (i, off) in POLL_OFFSETS_MS.iter().enumerate() {
+                            events.push(Reverse(Event {
+                                time_ms: ev.time_ms + off,
+                                seq: seq + i as u64,
+                                kind: Kind::Get { spec },
+                            }));
+                        }
+                        seq += POLL_OFFSETS_MS.len() as u64;
+                    }
+                    429 if attempt < MAX_ATTEMPTS => {
+                        // Honor Retry-After: terminal-vs-retry dispatch.
+                        immediate += 1;
+                        let secs: u64 = resp
+                            .headers
+                            .get("Retry-After")
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or(1);
+                        events.push(Reverse(Event {
+                            time_ms: ev.time_ms + secs * 1_000,
+                            seq,
+                            kind: Kind::Post {
+                                spec,
+                                attempt: attempt + 1,
+                            },
+                        }));
+                        seq += 1;
+                    }
+                    _ => immediate += 1, // cache hit, or gave up after 429s
+                }
+            }
+            Kind::Get { spec } => {
+                gets += 1;
+                let raw = gw.handle(&get_wires[spec], now);
+                absorb(&mut digest, &raw);
+                immediate += 1;
+            }
+        }
+    }
+
+    // Drain: step past the backlog and fetch every submitted study's final
+    // body, so completed tables/annexes enter the digest.
+    let drain_ms = last_ms.max(gw.busy_until().as_millis()) + 1_000;
+    last_ms = drain_ms;
+    for &spec in &submitted {
+        gets += 1;
+        let raw = gw.handle(&get_wires[spec], SimTime::from_millis(drain_ms));
+        absorb(&mut digest, &raw);
+        immediate += 1;
+    }
+
+    // Latencies: completion-time minus arrival for accepted/joined POSTs,
+    // 1 ms for everything answered immediately.
+    let mut latencies: Vec<u64> = Vec::with_capacity(awaiting.len() + immediate as usize);
+    for &(arrival, spec) in &awaiting {
+        let done = gw
+            .finished_at(&keys[spec])
+            .expect("drain completed every submitted study")
+            .as_millis();
+        latencies.push(done.saturating_sub(arrival).max(1));
+    }
+    latencies.extend(std::iter::repeat_n(1u64, immediate as usize));
+    latencies.sort_unstable();
+
+    let stats = gw.stats();
+    let (world_cache, report_cache) = gw.cache_stats();
+    LoadReport {
+        requests: posts + gets,
+        posts,
+        gets,
+        response_digest: digest.finish(),
+        p95_latency_ms: percentile(&latencies, 0.95),
+        mean_latency_ms: latencies.iter().sum::<u64>() as f64 / latencies.len().max(1) as f64,
+        cache_hit_rate: report_cache.hit_rate(),
+        stats,
+        world_cache,
+        report_cache,
+        virtual_end_ms: last_ms,
+    }
+}
+
+fn encode_post(spec: &WorldSpec) -> Vec<u8> {
+    let body = worldgen::to_json(spec).expect("specs render").into_bytes();
+    let mut req = Request::origin_get("gateway", "/studies");
+    req.method = httpwire::Method::Post;
+    req.headers.set("Content-Length", &body.len().to_string());
+    req.body = body;
+    req.encode()
+}
+
+fn encode_get(key: &StudyKey) -> Vec<u8> {
+    Request::origin_get("gateway", &format!("/studies/{}", key.study_id())).encode()
+}
+
+/// Length-prefix each response so frame boundaries are unambiguous.
+fn absorb(digest: &mut Hasher64, raw: &[u8]) {
+    digest.update(&(raw.len() as u64).to_le_bytes());
+    digest.update(raw);
+}
+
+/// Nearest-rank percentile over an ascending-sorted slice.
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len()) - 1;
+    sorted[idx]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A run small enough for a unit test: one hot spec, one cold, few
+    /// clients, real executions included.
+    fn tiny(workers: usize) -> LoadGenConfig {
+        LoadGenConfig {
+            seed: 0x10AD,
+            clients: 40,
+            window: SimDuration::from_secs(30),
+            hot_specs: 1,
+            cold_specs: 1,
+            hot_fraction: 0.8,
+            gateway: GatewayConfig {
+                workers,
+                ..GatewayConfig::default()
+            },
+        }
+    }
+
+    #[test]
+    fn trace_is_reproducible() {
+        let a = run(&tiny(2));
+        let b = run(&tiny(2));
+        assert_eq!(a.response_digest, b.response_digest);
+        assert_eq!(a.requests, b.requests);
+        assert_eq!(a.p95_latency_ms, b.p95_latency_ms);
+    }
+
+    #[test]
+    fn hot_traffic_hits_the_cache() {
+        let r = run(&tiny(1));
+        assert!(r.stats.cache_hits > 0, "hot set never hit: {r:?}");
+        assert!(
+            r.stats.studies_executed <= 2,
+            "at most one execution per distinct spec: {r:?}"
+        );
+        assert!(r.cache_hit_rate > 0.0);
+        assert_eq!(r.requests, r.posts + r.gets);
+    }
+
+    #[test]
+    fn report_renders_as_json() {
+        let r = run(&tiny(1));
+        let doc = r.to_json().render();
+        let back = substrate::json::parse(&doc).expect("report JSON parses");
+        assert_eq!(
+            back.get("requests").and_then(Json::as_u64),
+            Some(r.requests)
+        );
+        assert!(back.get("cache_hit_rate").is_some());
+    }
+}

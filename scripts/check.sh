@@ -60,4 +60,18 @@ echo "== chaos zero-fault fast path (JSON to BENCH_chaos.json) =="
 BENCH_JSON="$PWD/BENCH_chaos.json" TFT_BENCH_QUICK=1 \
   cargo bench -p tft-bench --bench chaos
 
+echo "== serve gateway e2e (release) =="
+# The study-as-a-service acceptance tests alone, labeled: byte-identical
+# response bodies at workers 1/2/8, cache hits serving without
+# re-execution, and 429 backpressure under a saturated queue.
+cargo test -q --release --test serve_gateway
+
+echo "== serve load generator (JSON to BENCH_serve.json) =="
+# Replays the same deterministic load trace at workers 1/2/8. The bench
+# binary asserts the response digests match — a divergence means serving
+# is no longer byte-identical and this stage fails — then records
+# requests/sec, p95 virtual latency, and cache hit rate.
+BENCH_JSON="$PWD/BENCH_serve.json" TFT_BENCH_QUICK=1 \
+  cargo bench -p tft-bench --bench serve
+
 echo "all checks passed"
