@@ -1,0 +1,65 @@
+//! Lint engine bench: the full workspace analysis (scan → parse → symbol
+//! table → call graph → passes) at workers ∈ {1, 2, 8}.
+//!
+//! Two jobs in one binary, mirroring the serve bench:
+//!
+//! 1. **Regression gate** — the rendered `LINT_report.json` must be
+//!    byte-identical at every worker count (the same guarantee
+//!    `tft-lint`'s own `tests/determinism.rs` pins; asserting it here too
+//!    means a violation fails the bench stage even if someone skips the
+//!    test suite).
+//! 2. **Trajectory** — wall-clock per full workspace lint, per worker
+//!    count, written as `BENCH_lint.json` and archived across PRs. The
+//!    call-graph engine made the lint meaningfully heavier than the v1
+//!    per-file passes; this is where we watch that cost.
+//!
+//! The filesystem scan is hoisted out of the timed body: the bench
+//! measures analysis, not directory walking.
+
+use std::hint::black_box;
+use std::path::Path;
+use substrate::bench::Harness;
+use substrate::json::Json;
+use tft_lint::{report_to_json, workspace_files, Engine};
+
+fn main() {
+    let mut h = Harness::new("lint");
+    // crates/bench → crates → workspace root
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = workspace_files(&root).expect("workspace scan");
+    assert!(
+        files.len() > 50,
+        "workspace scan looks truncated: {} files",
+        files.len()
+    );
+
+    let render = |workers: usize| {
+        let engine = Engine::with_default_passes().with_workers(workers);
+        let report = engine.run_files(&files);
+        report_to_json(&engine, &report).render_pretty()
+    };
+
+    let worker_counts = [1usize, 2, 8];
+    let baseline = render(1);
+    for &w in &worker_counts[1..] {
+        assert_eq!(
+            render(w),
+            baseline,
+            "LINT_report.json diverged at workers={w} — parallel lint is no \
+             longer deterministic"
+        );
+    }
+    eprintln!(
+        "[lint] report byte-identical at workers {worker_counts:?} \
+         ({} files)",
+        files.len()
+    );
+
+    for workers in worker_counts {
+        h.bench(&format!("workspace/workers{workers}"), || {
+            black_box(render(workers).len())
+        });
+    }
+    h.note("files_scanned", Json::uint(files.len() as u64));
+    h.finish();
+}

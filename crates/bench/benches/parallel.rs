@@ -6,10 +6,54 @@
 //! knob is allowed to change — wall-clock. `scripts/check.sh` runs it in
 //! quick mode and archives `BENCH_parallel.json` so the speedup is tracked
 //! across PRs.
+//!
+//! The binary also installs a counting `#[global_allocator]` and reports
+//! **allocations per probe** for a single-worker run in the JSON `notes`.
+//! That number is the ROADMAP allocation-overhaul metric: `tft-lint`'s
+//! `hot-path-alloc` pass pushes it down (lazy trace formatting, reused
+//! label scratch buffers), and this note pins each remediation's effect in
+//! the archived trajectory.
 
+use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
+use std::sync::atomic::{AtomicU64, Ordering};
 use substrate::bench::Harness;
-use tft_core::{run_study_with, ExecOptions, StudyConfig};
+use substrate::json::Json;
+use tft_core::{run_study_with, ExecOptions, StudyConfig, StudyReport};
+
+/// `System` with an allocation-event counter. Counts `alloc` and growth
+/// `realloc` calls — the events a hot-path `format!` or `.clone()` emits —
+/// not bytes, because per-probe churn is what the lint pass targets.
+struct CountingAlloc;
+
+static ALLOC_EVENTS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_EVENTS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Probes issued across all four experiments in one study run.
+fn probes_issued(report: &StudyReport) -> u64 {
+    (report.dns_data.samples_issued
+        + report.http_data.samples_issued
+        + report.https_data.samples_issued
+        + report.monitor_data.samples_issued) as u64
+}
 
 fn main() {
     let mut h = Harness::new("parallel");
@@ -28,6 +72,24 @@ fn main() {
             &cfg,
             &ExecOptions::with_workers(1),
         ));
+    }
+    // Allocation accounting: one dedicated single-worker run between the
+    // warmup and the timed loop, so the counter sees exactly one study
+    // (clone of the pristine world included — that cost recurs per run).
+    {
+        let mut world = pristine.clone();
+        ALLOC_EVENTS.store(0, Ordering::Relaxed);
+        let report = run_study_with(&mut world, &cfg, &ExecOptions::with_workers(1));
+        let allocs = ALLOC_EVENTS.load(Ordering::Relaxed);
+        let probes = probes_issued(&report);
+        drop(report);
+        h.note("alloc_events_single_worker_run", Json::uint(allocs));
+        h.note("probes_issued", Json::uint(probes));
+        if probes > 0 {
+            let per_probe = allocs as f64 / probes as f64;
+            h.note("allocs_per_probe", Json::float(per_probe));
+            eprintln!("[parallel] {allocs} allocation events / {probes} probes = {per_probe:.1} allocs/probe");
+        }
     }
     for workers in [1usize, 2, 4, 8] {
         h.bench(&format!("run_study/scale{scale}/workers{workers}"), || {

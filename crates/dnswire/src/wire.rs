@@ -425,6 +425,7 @@ impl Encoder {
 }
 
 /// Encode a message to wire bytes.
+// tft-lint: hot-root — runs once per DNS probe
 pub fn encode(msg: &Message) -> Result<Vec<u8>, WireError> {
     let mut e = Encoder::new();
     e.u16(msg.id);
@@ -616,6 +617,8 @@ impl<'a> Decoder<'a> {
 }
 
 /// Decode a wire message.
+// tft-lint: hot-root — runs once per DNS probe
+// tft-lint: wire-entry — parses untrusted bytes
 pub fn decode(buf: &[u8]) -> Result<Message, WireError> {
     let mut d = Decoder { buf, pos: 0 };
     let id = d.u16()?;

@@ -28,6 +28,7 @@ impl std::error::Error for ChunkError {}
 ///
 /// # Panics
 /// Panics if `chunk_size` is zero.
+// tft-lint: hot-root — runs on every chunked response body
 pub fn encode(body: &[u8], chunk_size: usize) -> Vec<u8> {
     assert!(chunk_size > 0, "chunk size must be positive");
     let mut out = Vec::with_capacity(body.len() + 32);
@@ -104,6 +105,8 @@ impl Encoder {
 }
 
 /// Decode a chunked body. Returns `(body, bytes_consumed)`.
+// tft-lint: hot-root — runs on every chunked response body
+// tft-lint: wire-entry — parses untrusted bytes
 pub fn decode(input: &[u8]) -> Result<(Vec<u8>, usize), ChunkError> {
     let mut body = Vec::new();
     let mut pos = 0;

@@ -140,6 +140,7 @@ impl Request {
 
     /// Serialize to wire bytes. A `Content-Length` header is added when a
     /// body is present and neither framing header exists.
+    // tft-lint: hot-root — runs once per HTTP probe
     pub fn encode(&self) -> Vec<u8> {
         let mut headers = self.headers.clone();
         if !self.body.is_empty() && headers.content_length().is_none() && !headers.is_chunked() {
@@ -155,6 +156,8 @@ impl Request {
 
     /// Parse a complete request from wire bytes. Returns the request and the
     /// number of bytes consumed.
+    // tft-lint: hot-root — runs once per HTTP probe
+    // tft-lint: wire-entry — parses untrusted bytes
     pub fn parse(input: &[u8]) -> Result<(Request, usize), ParseError> {
         let (start_line, headers, body_start) = parse::head(input)?;
         let mut parts = start_line.split(' ');

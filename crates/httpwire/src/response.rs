@@ -45,6 +45,7 @@ impl Response {
 
     /// Serialize to wire bytes, adding `Content-Length` unless chunked
     /// framing is declared.
+    // tft-lint: hot-root — runs once per HTTP probe
     pub fn encode(&self) -> Vec<u8> {
         let mut headers = self.headers.clone();
         if !headers.is_chunked() {
@@ -61,6 +62,8 @@ impl Response {
     /// Parse a complete response. Returns the response and bytes consumed.
     /// Responses without framing headers consume the rest of the input
     /// (HTTP/1.0-style close-delimited bodies).
+    // tft-lint: hot-root — runs once per HTTP probe
+    // tft-lint: wire-entry — parses untrusted bytes
     pub fn parse(input: &[u8]) -> Result<(Response, usize), ParseError> {
         let (start_line, headers, body_start) = parse::head(input)?;
         let mut parts = start_line.splitn(3, ' ');

@@ -105,6 +105,26 @@ impl TraceLog {
         }
     }
 
+    /// Record an event with a lazily built detail string (no-op when
+    /// disabled). The closure runs only when the log is enabled, so the
+    /// campaign default — tracing off — pays no formatting or allocation
+    /// cost on the per-probe path. Prefer this over [`TraceLog::record`]
+    /// whenever the detail involves `format!`.
+    pub fn record_with(
+        &mut self,
+        at: SimTime,
+        category: TraceCategory,
+        detail: impl FnOnce() -> String,
+    ) {
+        if self.enabled {
+            self.events.push(TraceEvent {
+                at,
+                category,
+                detail: detail(),
+            });
+        }
+    }
+
     /// All recorded events in order.
     pub fn events(&self) -> &[TraceEvent] {
         &self.events
@@ -146,6 +166,22 @@ mod tests {
         let mut log = TraceLog::disabled();
         log.record(SimTime::EPOCH, TraceCategory::Client, "x");
         assert!(log.events().is_empty());
+    }
+
+    #[test]
+    fn record_with_is_lazy_when_disabled() {
+        let mut log = TraceLog::disabled();
+        let mut ran = false;
+        log.record_with(SimTime::EPOCH, TraceCategory::Client, || {
+            ran = true;
+            String::from("x")
+        });
+        assert!(!ran, "detail closure must not run when tracing is off");
+        assert!(log.events().is_empty());
+
+        let mut log = TraceLog::enabled();
+        log.record_with(SimTime::EPOCH, TraceCategory::Client, || "on".to_string());
+        assert_eq!(log.events()[0].detail, "on");
     }
 
     #[test]

@@ -42,11 +42,9 @@ impl World {
     /// refuses to forward the request).
     fn resolve_for_super(&mut self, host: &str, at: SimTime) -> Option<Ipv4Addr> {
         let src = self.super_proxy_dns_src();
-        self.trace.record(
-            at,
-            TraceCategory::SuperProxy,
-            format!("super proxy resolves {host} via Google DNS ({src})"),
-        );
+        self.trace.record_with(at, TraceCategory::SuperProxy, || {
+            format!("super proxy resolves {host} via Google DNS ({src})")
+        });
         self.resolve_base(host, src, at)
     }
 
@@ -127,40 +125,32 @@ impl World {
             ResolverChoice::GoogleDns => (self.google_instance_for(node.country, node_id), None),
         };
         let asn = node.asn;
-        self.trace.record(
-            at,
-            TraceCategory::Dns,
-            format!("exit node resolves {host} via {resolver_src}"),
-        );
+        self.trace.record_with(at, TraceCategory::Dns, || {
+            format!("exit node resolves {host} via {resolver_src}")
+        });
         if let Some(ip) = self.resolve_base(host, resolver_src, at) {
             return ExitResolve::Answer(ip);
         }
         // NXDOMAIN: the hijack layers get their chance.
         if let Some(h) = resolver_hijacker {
-            self.trace.record(
-                at,
-                TraceCategory::Middlebox,
-                format!("resolver {resolver_src} hijacks NXDOMAIN for {host}"),
-            );
+            self.trace.record_with(at, TraceCategory::Middlebox, || {
+                format!("resolver {resolver_src} hijacks NXDOMAIN for {host}")
+            });
             return ExitResolve::Hijacked(h.landing_ip);
         }
         if let Some(h) = self.transparent_dns.get(&asn) {
             let ip = h.landing_ip;
-            self.trace.record(
-                at,
-                TraceCategory::Middlebox,
-                format!("transparent proxy in {asn} hijacks NXDOMAIN for {host}"),
-            );
+            self.trace.record_with(at, TraceCategory::Middlebox, || {
+                format!("transparent proxy in {asn} hijacks NXDOMAIN for {host}")
+            });
             return ExitResolve::Hijacked(ip);
         }
         let node = &self.nodes[node_id.0 as usize];
         if let Some(h) = &node.software.dns_hijacker {
             let ip = h.landing_ip;
-            self.trace.record(
-                at,
-                TraceCategory::Middlebox,
-                format!("end-host software hijacks NXDOMAIN for {host}"),
-            );
+            self.trace.record_with(at, TraceCategory::Middlebox, || {
+                format!("end-host software hijacks NXDOMAIN for {host}")
+            });
             return ExitResolve::Hijacked(ip);
         }
         ExitResolve::NxDomain
@@ -221,19 +211,15 @@ impl World {
         user_agent: Option<&str>,
     ) -> Response {
         if ip == self.web_ip {
-            self.trace.record(
-                at,
-                TraceCategory::Origin,
-                format!("measurement web server serves http://{host}{path} to {src}"),
-            );
+            self.trace.record_with(at, TraceCategory::Origin, || {
+                format!("measurement web server serves http://{host}{path} to {src}")
+            });
             return self.web_server.handle(at, src, host, path, user_agent);
         }
         if let Some(h) = self.landing.get(&ip) {
-            self.trace.record(
-                at,
-                TraceCategory::Origin,
-                format!("hijack landing server at {ip} serves assist page for {host}"),
-            );
+            self.trace.record_with(at, TraceCategory::Origin, || {
+                format!("hijack landing server at {ip} serves assist page for {host}")
+            });
             return Response::ok("text/html", h.hijack_page(host));
         }
         if let Some(site_host) = self.origin_by_ip.get(&ip) {
@@ -373,6 +359,7 @@ impl World {
 
     /// Proxied HTTP GET (Figure 1): client → super proxy → exit node →
     /// origin and back.
+    // tft-lint: hot-root — per-probe proxied GET flow
     pub fn proxy_get(
         &mut self,
         opts: &UsernameOptions,
@@ -381,11 +368,9 @@ impl World {
         let t0 = self.admit_customer(&opts.customer, self.now());
         let mut rng = self.rng.fork_indexed("latency", t0.as_millis());
         let l = self.latencies;
-        self.trace.record(
-            t0,
-            TraceCategory::Client,
-            format!("client sends GET {url} to super proxy"),
-        );
+        self.trace.record_with(t0, TraceCategory::Client, || {
+            format!("client sends GET {url} to super proxy")
+        });
         let t_super = t0 + l.client_to_super.sample(&mut rng);
 
         // ② super proxy DNS check.
@@ -393,11 +378,10 @@ impl World {
         let super_ip = self.resolve_for_super(&url.host, t_dnsq);
         let t_checked = t_dnsq + l.super_to_dns.sample(&mut rng);
         let Some(super_ip) = super_ip else {
-            self.trace.record(
-                t_checked,
-                TraceCategory::SuperProxy,
-                format!("super proxy: {} does not resolve; refusing", url.host),
-            );
+            self.trace
+                .record_with(t_checked, TraceCategory::SuperProxy, || {
+                    format!("super proxy: {} does not resolve; refusing", url.host)
+                });
             self.advance_to(t_checked + l.client_to_super.sample(&mut rng));
             return Err(ProxyError::SuperProxyDnsFailure);
         };
@@ -435,11 +419,10 @@ impl World {
                 continue;
             }
             let t_exit = t + l.super_to_exit.sample(&mut rng);
-            self.trace.record(
-                t_exit,
-                TraceCategory::SuperProxy,
-                format!("super proxy forwards request to exit node {zid}"),
-            );
+            self.trace
+                .record_with(t_exit, TraceCategory::SuperProxy, || {
+                    format!("super proxy forwards request to exit node {zid}")
+                });
 
             // Residential reality: offline nodes, flaky links, and whatever
             // the fault campaign scripts for this link at this moment.
@@ -561,15 +544,13 @@ impl World {
                 + l.client_to_super.sample(&mut rng);
             self.touch_session(opts, node_id, t_back);
             *self.bytes_billed.entry(opts.customer.clone()).or_insert(0) += resp.body.len() as u64;
-            self.trace.record(
-                t_back,
-                TraceCategory::Client,
+            self.trace.record_with(t_back, TraceCategory::Client, || {
                 format!(
                     "client receives {} ({} bytes) via {zid}",
                     resp.status,
                     resp.body.len()
-                ),
-            );
+                )
+            });
             self.advance_to(t_back);
 
             let exit_ip = self.nodes[node_id.0 as usize].ip;
@@ -592,6 +573,7 @@ impl World {
     /// tunnels TCP to `target:443` via an exit node, starts a handshake
     /// with `sni`, records the presented chain, and tears down without
     /// requesting content.
+    // tft-lint: hot-root — per-probe CONNECT+TLS flow
     pub fn proxy_connect_tls(
         &mut self,
         opts: &UsernameOptions,
@@ -605,11 +587,9 @@ impl World {
         let t0 = self.admit_customer(&opts.customer, self.now());
         let mut rng = self.rng.fork_indexed("latency-tls", t0.as_millis());
         let l = self.latencies;
-        self.trace.record(
-            t0,
-            TraceCategory::Client,
-            format!("client sends CONNECT {target}:443 to super proxy"),
-        );
+        self.trace.record_with(t0, TraceCategory::Client, || {
+            format!("client sends CONNECT {target}:443 to super proxy")
+        });
         let mut debug = TimelineDebug::default();
         let mut tried: Vec<NodeId> = Vec::new();
         let mut t = t0 + l.client_to_super.sample(&mut rng);
@@ -693,11 +673,9 @@ impl World {
             }
             let original = site.chain.clone();
             let original_valid = site.chain_valid;
-            self.trace.record(
-                t_origin,
-                TraceCategory::Tls,
-                format!("exit node {zid} handshakes with {site_host} ({target}:443)"),
-            );
+            self.trace.record_with(t_origin, TraceCategory::Tls, || {
+                format!("exit node {zid} handshakes with {site_host} ({target}:443)")
+            });
             let now = self.now();
             let node = &mut self.nodes[node_id.0 as usize];
             let mut chain = node
@@ -710,11 +688,10 @@ impl World {
                 || chain.first().map(|c| c.fingerprint())
                     != site.chain.first().map(|c| c.fingerprint())
             {
-                self.trace.record(
-                    t_origin,
-                    TraceCategory::Middlebox,
-                    format!("certificate replaced for {sni} on {zid}"),
-                );
+                self.trace
+                    .record_with(t_origin, TraceCategory::Middlebox, || {
+                        format!("certificate replaced for {sni} on {zid}")
+                    });
             }
 
             // Campaign-scripted transport damage to the handshake bytes:
@@ -745,11 +722,9 @@ impl World {
             *self.bytes_billed.entry(opts.customer.clone()).or_insert(0) +=
                 chain.len() as u64 * 1500;
             self.advance_to(t_back);
-            self.trace.record(
-                t_back,
-                TraceCategory::Client,
-                format!("client records {} certificate(s) and closes", chain.len()),
-            );
+            self.trace.record_with(t_back, TraceCategory::Client, || {
+                format!("client records {} certificate(s) and closes", chain.len())
+            });
             let exit_ip = self.nodes[node_id.0 as usize].ip;
             return Ok(TlsProbeResult {
                 chain,

@@ -101,11 +101,9 @@ impl World {
         let t0 = self.now();
         let mut rng = self.rng.fork_indexed("latency-smtp", t0.as_millis());
         let l = self.latencies;
-        self.trace.record(
-            t0,
-            TraceCategory::Client,
-            format!("client relays SMTP probe to {target}:25 via VPN"),
-        );
+        self.trace.record_with(t0, TraceCategory::Client, || {
+            format!("client relays SMTP probe to {target}:25 via VPN")
+        });
         let mut debug = TimelineDebug::default();
         let mut tried: Vec<NodeId> = Vec::new();
         let mut t = t0 + l.client_to_super.sample(&mut rng);
@@ -150,11 +148,9 @@ impl World {
             };
             let mitm = self.smtp.isp_interceptors.get(&asn).cloned();
             let t_origin = t_exit + l.exit_to_origin.sample(&mut rng);
-            self.trace.record(
-                t_origin,
-                TraceCategory::Origin,
-                format!("mail server {} answers SMTP probe", site.host),
-            );
+            self.trace.record_with(t_origin, TraceCategory::Origin, || {
+                format!("mail server {} answers SMTP probe", site.host)
+            });
 
             // Banner.
             let filter = |cmd: Option<&Command>, reply: Reply| -> Reply {

@@ -381,11 +381,10 @@ impl World {
                 path,
                 user_agent,
             } => {
-                self.trace.record(
-                    at,
-                    netsim::TraceCategory::Monitor,
-                    format!("unexpected request for http://{host}{path} from {src}"),
-                );
+                self.trace
+                    .record_with(at, netsim::TraceCategory::Monitor, || {
+                        format!("unexpected request for http://{host}{path} from {src}")
+                    });
                 self.web_server
                     .handle(at, src, &host, &path, Some(&user_agent));
             }

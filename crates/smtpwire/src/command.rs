@@ -51,6 +51,7 @@ impl Command {
 
     /// Parse a wire line (CRLF already stripped). Verbs are
     /// case-insensitive per RFC 5321.
+    // tft-lint: wire-entry — parses untrusted bytes
     pub fn parse(line: &str) -> Result<Command, CommandError> {
         let line = line.trim_end();
         let (verb, rest) = match line.split_once(' ') {

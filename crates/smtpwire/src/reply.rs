@@ -78,6 +78,7 @@ impl Reply {
     }
 
     /// Parse wire text (one complete reply).
+    // tft-lint: wire-entry — parses untrusted bytes
     pub fn parse(text: &str) -> Result<Reply, ReplyError> {
         let mut code: Option<u16> = None;
         let mut lines = Vec::new();

@@ -105,6 +105,7 @@ pub struct Harness {
     label: String,
     options: Options,
     results: Vec<Stats>,
+    notes: Vec<(String, Json)>,
 }
 
 impl Harness {
@@ -125,6 +126,18 @@ impl Harness {
             label: label.to_string(),
             options,
             results: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attach a side-channel measurement to the report (e.g. an allocation
+    /// count from a counting allocator). Notes land in the JSON document
+    /// under `"notes"`, in insertion order; a repeated key overwrites.
+    pub fn note(&mut self, key: &str, value: Json) {
+        if let Some(slot) = self.notes.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.notes.push((key.to_string(), value));
         }
     }
 
@@ -203,14 +216,18 @@ impl Harness {
 
     /// The machine-readable report.
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut members = vec![
             ("label".into(), Json::str(self.label.clone())),
             ("quick".into(), Json::Bool(self.is_quick())),
             (
                 "benchmarks".into(),
                 Json::Arr(self.results.iter().map(ToJson::to_json).collect()),
             ),
-        ])
+        ];
+        if !self.notes.is_empty() {
+            members.push(("notes".into(), Json::Obj(self.notes.clone())));
+        }
+        Json::Obj(members)
     }
 
     /// Print the table to stdout and, if `BENCH_JSON` is set, write the
@@ -289,6 +306,23 @@ mod tests {
         assert!(benches[0].get("median_ns").unwrap().as_f64().is_some());
         // And the rendered document reparses.
         assert!(crate::json::parse(&doc.render_pretty()).is_ok());
+    }
+
+    #[test]
+    fn notes_land_in_json_and_repeated_keys_overwrite() {
+        let mut h = quick();
+        h.bench("a", || ());
+        h.note("allocs_per_probe", Json::float(12.5));
+        h.note("allocs_per_probe", Json::float(11.0));
+        h.note("probes", Json::uint(400));
+        let doc = h.to_json();
+        let notes = doc.get("notes").unwrap();
+        assert_eq!(notes.get("allocs_per_probe").unwrap().as_f64(), Some(11.0));
+        assert_eq!(notes.get("probes").unwrap().as_f64(), Some(400.0));
+        assert!(crate::json::parse(&doc.render_pretty()).is_ok());
+        // No notes → no "notes" member (older reports stay stable).
+        let bare = quick().to_json();
+        assert!(bare.get("notes").is_none());
     }
 
     #[test]

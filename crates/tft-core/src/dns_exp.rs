@@ -90,6 +90,7 @@ pub(crate) fn run_shard(world: &mut World, cfg: &StudyConfig, scope: ProbeScope)
     run_scoped(world, cfg, DnsExpOptions::default(), scope)
 }
 
+// tft-lint: hot-root — per-probe DNS experiment loop
 fn run_scoped(
     world: &mut World,
     cfg: &StudyConfig,
@@ -107,6 +108,12 @@ fn run_scoped(
     let mut data = DnsDataset::default();
     let apex = world.auth_apex().clone();
     let super_dns = world.super_proxy_dns_src();
+    // Per-probe name scratch: cleared and rewritten each iteration so the
+    // loop stops allocating once the buffers reach steady-state capacity.
+    use std::fmt::Write as _;
+    let mut label = String::new();
+    let mut d1s = String::new();
+    let mut d2s = String::new();
 
     for i in 0..cfg.max_samples {
         if sampler.saturated() {
@@ -115,14 +122,16 @@ fn run_scoped(
         let (country, session) = sampler.next_probe();
         data.samples_issued += 1;
         let dup_before = data.duplicates;
-        let d1 = apex
-            .child(&format!("{}d1-{i}", scope.tag))
-            .expect("valid label");
-        let d2 = apex
-            .child(&format!("{}d2-{i}", scope.tag))
-            .expect("valid label");
-        let d1s = d1.to_string();
-        let d2s = d2.to_string();
+        label.clear();
+        let _ = write!(label, "{}d1-{i}", scope.tag);
+        let d1 = apex.child(&label).expect("valid label");
+        label.clear();
+        let _ = write!(label, "{}d2-{i}", scope.tag);
+        let d2 = apex.child(&label).expect("valid label");
+        d1s.clear();
+        let _ = write!(d1s, "{d1}");
+        d2s.clear();
+        let _ = write!(d2s, "{d2}");
 
         // Provision: d1 for everyone, d2 only for the super proxy's
         // resolver.

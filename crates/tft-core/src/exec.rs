@@ -167,6 +167,7 @@ type ShardTask = (usize, Vec<(CountryCode, usize)>, World);
 /// Run one experiment across the shard plan, merging evidence back into
 /// the main world in shard order. `run_shard` receives the shard's private
 /// world clone and scope; it must not touch anything else.
+// tft-lint: hot-root — shard bodies: every per-probe loop runs inside this
 pub(crate) fn run_experiment<D, F>(world: &mut World, workers: usize, run_shard: F) -> Vec<D>
 where
     D: Send,

@@ -229,6 +229,7 @@ pub(crate) fn run_shard(world: &mut World, cfg: &StudyConfig, scope: ProbeScope)
     run_scoped(world, cfg, scope)
 }
 
+// tft-lint: hot-root — per-probe HTTP experiment loop
 fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> HttpDataset {
     let host = provision(world);
     let mut sampler = Sampler::new(

@@ -110,6 +110,7 @@ pub(crate) fn run_shard(world: &mut World, cfg: &StudyConfig, scope: ProbeScope)
     run_scoped(world, cfg, scope)
 }
 
+// tft-lint: hot-root — per-probe HTTPS experiment loop
 fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> HttpsDataset {
     let t0 = world.now().as_millis();
     let mut sampler = Sampler::new(

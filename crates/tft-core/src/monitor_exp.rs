@@ -34,6 +34,7 @@ pub(crate) fn run_shard(world: &mut World, cfg: &StudyConfig, scope: ProbeScope)
     run_scoped(world, cfg, scope)
 }
 
+// tft-lint: hot-root — per-probe monitor experiment loop
 fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> MonitorDataset {
     let mut sampler = Sampler::new(
         &scope.counts,
@@ -50,6 +51,9 @@ fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> Monito
     let web_ip = world.web_ip();
     // zid → (domain, reported exit ip, probe issue time)
     let mut probed: HashMap<ZId, (String, std::net::Ipv4Addr)> = HashMap::new();
+    // Reused per-probe label scratch (see dns_exp.rs).
+    use std::fmt::Write as _;
+    let mut label = String::new();
 
     for i in 0..cfg.max_samples {
         if sampler.saturated() {
@@ -57,9 +61,9 @@ fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> Monito
         }
         let (country, session) = sampler.next_probe();
         data.samples_issued += 1;
-        let name = apex
-            .child(&format!("{}m{i}", scope.tag))
-            .expect("valid label");
+        label.clear();
+        let _ = write!(label, "{}m{i}", scope.tag);
+        let name = apex.child(&label).expect("valid label");
         let host = name.to_string();
         world
             .auth_server_mut()
@@ -85,7 +89,7 @@ fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> Monito
                 };
                 data.quality.record(country, delivery_outcome(&resp.debug));
                 if sampler.record(&zid) {
-                    probed.insert(zid, (host.clone(), resp.exit_ip));
+                    probed.insert(zid, (host, resp.exit_ip));
                 } else {
                     // Duplicate node: withdraw the unused probe name.
                     world.auth_server_mut().zone_mut().remove(&name);

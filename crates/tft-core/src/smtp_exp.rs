@@ -36,6 +36,7 @@ pub struct SmtpDataset {
 }
 
 /// Run the experiment until saturation or budget exhaustion.
+// tft-lint: hot-root — per-probe SMTP experiment loop
 pub fn run(world: &mut World, cfg: &StudyConfig) -> SmtpDataset {
     let mut sampler = Sampler::new(
         &world.reported_country_counts(),

@@ -1,0 +1,295 @@
+//! Pinned-baseline mode: triaged legacy findings don't fail CI, new ones do.
+//!
+//! A baseline file (`LINT_baseline.json`) commits the *accepted* finding
+//! counts, grouped by `(pass, file)` — line numbers churn with every edit,
+//! so pinning exact positions would make the baseline a merge-conflict
+//! factory. Each entry carries a mandatory written reason, mirroring the
+//! inline-allow discipline:
+//!
+//! ```json
+//! {
+//!   "version": 2,
+//!   "entries": [
+//!     {"pass": "hot-path-alloc", "file": "crates/x/src/y.rs",
+//!      "count": 3, "reason": "lazy: only allocates when tracing is enabled"}
+//!   ]
+//! }
+//! ```
+//!
+//! Application semantics (the ratchet):
+//!
+//! - actual == count → all findings of the group are absorbed (reported in
+//!   `baselined`, not `diagnostics`).
+//! - actual > count → **nothing** in the group is absorbed: every finding
+//!   surfaces, so the report shows full context for the regression, and CI
+//!   fails.
+//! - actual < count (including 0) → findings are absorbed, but the entry
+//!   itself produces a [`STALE_BASELINE`] diagnostic: the debt shrank, and
+//!   the committed count must be ratcheted down to match. A baseline can
+//!   therefore only ever shrink.
+//! - an entry without a reason produces [`BASELINE_MISSING_REASON`].
+
+use crate::engine::Diagnostic;
+use std::collections::BTreeMap;
+use substrate::json::{self, Json};
+
+/// Engine-level diagnostic id: a baseline entry whose accepted count
+/// exceeds the findings actually present.
+pub const STALE_BASELINE: &str = "stale-baseline";
+/// Engine-level diagnostic id: a baseline entry without a written reason.
+pub const BASELINE_MISSING_REASON: &str = "baseline-missing-reason";
+
+/// One accepted-debt entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Pass id the accepted findings belong to.
+    pub pass: String,
+    /// Workspace-relative file the findings live in.
+    pub file: String,
+    /// Accepted finding count for that (pass, file) group.
+    pub count: usize,
+    /// Mandatory written justification.
+    pub reason: String,
+}
+
+/// A parsed baseline document.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parse the `LINT_baseline.json` text.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = json::parse(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+        let version = doc.get("version").and_then(Json::as_u64).unwrap_or(0);
+        if version != 2 {
+            return Err(format!("baseline version {version} unsupported (want 2)"));
+        }
+        let mut entries = Vec::new();
+        for (i, e) in doc
+            .get("entries")
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+            .iter()
+            .enumerate()
+        {
+            let field = |k: &str| {
+                e.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("baseline entry {i}: missing string field `{k}`"))
+            };
+            entries.push(BaselineEntry {
+                pass: field("pass")?,
+                file: field("file")?,
+                count: e
+                    .get("count")
+                    .and_then(Json::as_u64)
+                    .ok_or_else(|| format!("baseline entry {i}: missing numeric `count`"))?
+                    as usize,
+                reason: e
+                    .get("reason")
+                    .and_then(Json::as_str)
+                    .unwrap_or("")
+                    .to_string(),
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Render a baseline document (used to regenerate the file after
+    /// remediation ratchets counts down).
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("version".into(), Json::uint(2)),
+            (
+                "entries".into(),
+                Json::Arr(
+                    self.entries
+                        .iter()
+                        .map(|e| {
+                            Json::Obj(vec![
+                                ("pass".into(), Json::str(e.pass.as_str())),
+                                ("file".into(), Json::str(e.file.as_str())),
+                                ("count".into(), Json::uint(e.count as u64)),
+                                ("reason".into(), Json::str(e.reason.as_str())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Apply the baseline to sorted diagnostics: absorb accepted groups,
+    /// emit ratchet/hygiene diagnostics for stale or unreasoned entries.
+    /// Returns the number of findings absorbed.
+    pub fn apply(&self, diagnostics: &mut Vec<Diagnostic>) -> usize {
+        let mut actual: BTreeMap<(&str, &str), usize> = BTreeMap::new();
+        for d in diagnostics.iter() {
+            *actual
+                .entry((d.pass.as_str(), d.file.as_str()))
+                .or_default() += 1;
+        }
+        let mut absorbed = 0usize;
+        let mut absorb_groups: Vec<(String, String)> = Vec::new();
+        let mut extra: Vec<Diagnostic> = Vec::new();
+        for e in &self.entries {
+            let found = actual
+                .get(&(e.pass.as_str(), e.file.as_str()))
+                .copied()
+                .unwrap_or(0);
+            if e.reason.trim().is_empty() {
+                extra.push(Diagnostic {
+                    pass: BASELINE_MISSING_REASON.into(),
+                    file: e.file.clone(),
+                    line: 0,
+                    col: 0,
+                    message: format!(
+                        "baseline entry for {} has no reason; accepted debt must be justified",
+                        e.pass
+                    ),
+                });
+            }
+            if found > e.count {
+                // Regression: surface the whole group (no absorption) so
+                // the report shows all findings, old and new.
+                extra.push(Diagnostic {
+                    pass: e.pass.clone(),
+                    file: e.file.clone(),
+                    line: 0,
+                    col: 0,
+                    message: format!(
+                        "baseline accepts {} finding(s) here but {} present; new findings \
+                         must be fixed, not baselined",
+                        e.count, found
+                    ),
+                });
+                continue;
+            }
+            if found < e.count {
+                extra.push(Diagnostic {
+                    pass: STALE_BASELINE.into(),
+                    file: e.file.clone(),
+                    line: 0,
+                    col: 0,
+                    message: format!(
+                        "baseline accepts {} {} finding(s) but only {} remain; ratchet the \
+                         committed count down to {}",
+                        e.count, e.pass, found, found
+                    ),
+                });
+            }
+            if found > 0 {
+                absorb_groups.push((e.pass.clone(), e.file.clone()));
+            }
+        }
+        diagnostics.retain(|d| {
+            let keep = !absorb_groups
+                .iter()
+                .any(|(p, f)| *p == d.pass && *f == d.file);
+            if !keep {
+                absorbed += 1;
+            }
+            keep
+        });
+        diagnostics.extend(extra);
+        diagnostics.sort_by(|a, b| {
+            (&a.file, a.line, a.col, &a.pass).cmp(&(&b.file, b.line, b.col, &b.pass))
+        });
+        absorbed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(pass: &str, file: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            pass: pass.into(),
+            file: file.into(),
+            line,
+            col: 1,
+            message: "m".into(),
+        }
+    }
+
+    fn baseline(entries: &[(&str, &str, usize, &str)]) -> Baseline {
+        Baseline {
+            entries: entries
+                .iter()
+                .map(|&(pass, file, count, reason)| BaselineEntry {
+                    pass: pass.into(),
+                    file: file.into(),
+                    count,
+                    reason: reason.into(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn exact_match_absorbs_all() {
+        let mut diags = vec![diag("p", "a.rs", 1), diag("p", "a.rs", 9)];
+        let b = baseline(&[("p", "a.rs", 2, "legacy")]);
+        assert_eq!(b.apply(&mut diags), 2);
+        assert!(diags.is_empty());
+    }
+
+    #[test]
+    fn excess_findings_surface_the_whole_group() {
+        let mut diags = vec![
+            diag("p", "a.rs", 1),
+            diag("p", "a.rs", 2),
+            diag("p", "a.rs", 3),
+        ];
+        let b = baseline(&[("p", "a.rs", 2, "legacy")]);
+        assert_eq!(b.apply(&mut diags), 0);
+        // Three original findings plus the regression note.
+        assert_eq!(diags.len(), 4);
+    }
+
+    #[test]
+    fn shrunk_debt_is_a_stale_baseline_ratchet() {
+        let mut diags = vec![diag("p", "a.rs", 1)];
+        let b = baseline(&[("p", "a.rs", 3, "legacy")]);
+        assert_eq!(b.apply(&mut diags), 1);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].pass, STALE_BASELINE);
+    }
+
+    #[test]
+    fn vanished_group_is_stale() {
+        let mut diags = vec![];
+        let b = baseline(&[("p", "gone.rs", 1, "legacy")]);
+        assert_eq!(b.apply(&mut diags), 0);
+        assert_eq!(diags[0].pass, STALE_BASELINE);
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        let mut diags = vec![diag("p", "a.rs", 1)];
+        let b = baseline(&[("p", "a.rs", 1, "  ")]);
+        b.apply(&mut diags);
+        assert!(diags.iter().any(|d| d.pass == BASELINE_MISSING_REASON));
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        let b = baseline(&[("hot-path-alloc", "crates/x/src/y.rs", 3, "lazy path")]);
+        let text = b.to_json().render_pretty();
+        let back = Baseline::parse(&text).expect("parses");
+        assert_eq!(back.entries, b.entries);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_version_and_shape() {
+        assert!(Baseline::parse("{}").is_err());
+        assert!(Baseline::parse(r#"{"version": 1, "entries": []}"#).is_err());
+        assert!(Baseline::parse(r#"{"version": 2, "entries": [{"pass": "p"}]}"#).is_err());
+        assert!(Baseline::parse("not json").is_err());
+    }
+}

@@ -1,0 +1,341 @@
+//! A conservative workspace call graph over the [`SymbolTable`], with
+//! reachability queries from annotated roots.
+//!
+//! ## Resolution rules (the over-approximation contract)
+//!
+//! The engine has no type information, so edges are resolved by name:
+//!
+//! - **Qualified calls** `Type::method(…)` (any path whose second-to-last
+//!   segment names a workspace `impl` type) resolve *exactly* to that
+//!   type's methods.
+//! - **Free calls** `f(…)` / `module::f(…)` resolve by last-segment name
+//!   to every workspace fn with that name — suffix matching stands in for
+//!   `use`-resolution. May connect same-named fns across crates:
+//!   over-approximation, safe (reachability can only grow).
+//! - **Method calls** `.m(…)` resolve by name to every workspace method
+//!   named `m` — *except* names on [`UBIQUITOUS_METHODS`], where a
+//!   name-only match would wire virtually every fn to every std container
+//!   call site (`new`, `len`, `get`, …) and drown the hot-path passes in
+//!   noise. This is the one deliberate **under**-approximation: a
+//!   workspace method that shadows a ubiquitous std name is invisible to
+//!   reachability unless called with `Type::method` syntax. Passes that
+//!   ride the graph check leaf triggers (e.g. allocation macros) per
+//!   function body, so the trigger itself is never missed — only the
+//!   *propagation* through such a call is.
+//! - **Crate boundary**: every candidate edge is filtered by the manifest
+//!   dependency graph — a fn in crate `a` can only call into crate `b` if
+//!   `a`'s `Cargo.toml` declares `b` (or `a == b`). Such a call couldn't
+//!   compile otherwise, so this refines the name-matching without losing
+//!   real edges; it is what keeps same-named fns in unrelated crates from
+//!   wiring the whole workspace together.
+//!
+//! Reachability is a forward BFS from annotated roots (`// tft-lint:
+//! hot-root`, `// tft-lint: wire-entry` — see [`crate::ast`]), recording a
+//! *witness root* per reached fn so diagnostics can say which root makes a
+//! finding hot. Deterministic by construction: fn ids are assigned in
+//! path-sorted file order and neighbor lists are sorted and deduped.
+
+use crate::ast::FnNode;
+use crate::engine::SourceFile;
+use crate::symbols::{FnId, SymbolTable};
+
+/// Method names excluded from name-only `.m(…)` resolution because the
+/// name is ubiquitous on std types (every `Vec::len` call would otherwise
+/// pick up any workspace `len`). Sorted; binary-searched.
+pub const UBIQUITOUS_METHODS: [&str; 42] = [
+    "as_bytes",
+    "as_ref",
+    "as_slice",
+    "as_str",
+    "clear",
+    "clone",
+    "cloned",
+    "cmp",
+    "collect",
+    "contains",
+    "contains_key",
+    "default",
+    "entry",
+    "eq",
+    "extend",
+    "find",
+    "flush",
+    "fmt",
+    "get",
+    "get_mut",
+    "hash",
+    "insert",
+    "into_iter",
+    "is_empty",
+    "iter",
+    "iter_mut",
+    "join",
+    "len",
+    "map",
+    "new",
+    "next",
+    "parse",
+    "pop",
+    "push",
+    "read",
+    "remove",
+    "sort",
+    "split",
+    "to_owned",
+    "to_string",
+    "trim",
+    "write",
+];
+
+/// The workspace call graph: adjacency over [`FnId`]s.
+#[derive(Debug, Default)]
+pub struct CallGraph {
+    /// `callees[id]` — sorted, deduped callee ids.
+    pub callees: Vec<Vec<FnId>>,
+}
+
+impl CallGraph {
+    /// Build the graph from a symbol table. Name-resolved candidate edges
+    /// are kept only when the callee's crate is reachable from the caller's
+    /// crate per the manifests ([`SymbolTable::edge_allowed`]) — a
+    /// cross-crate call without a declared dependency cannot compile, so
+    /// dropping it is a refinement, not an under-approximation.
+    pub fn build(table: &SymbolTable, files: &[SourceFile]) -> CallGraph {
+        let mut callees: Vec<Vec<FnId>> = vec![Vec::new(); table.len()];
+        for id in 0..table.len() {
+            let node = table.node(id);
+            let caller_crate = &files[table.fns[id].file].crate_name;
+            let mut out = Vec::new();
+            for call in &node.calls {
+                resolve(table, call.method, &call.path, &mut out);
+            }
+            out.retain(|&cand| {
+                table.edge_allowed(caller_crate, &files[table.fns[cand].file].crate_name)
+            });
+            out.sort_unstable();
+            out.dedup();
+            callees[id] = out;
+        }
+        CallGraph { callees }
+    }
+
+    /// Forward BFS from `roots`; returns, per fn, the witness root id it
+    /// was first reached from (`None` ⇒ unreachable). Roots witness
+    /// themselves. Deterministic: roots are visited in ascending id order
+    /// and neighbor lists are pre-sorted.
+    pub fn reach_from(&self, roots: &[FnId]) -> Vec<Option<FnId>> {
+        let mut witness: Vec<Option<FnId>> = vec![None; self.callees.len()];
+        let mut queue = std::collections::VecDeque::new();
+        let mut sorted_roots: Vec<FnId> = roots.to_vec();
+        sorted_roots.sort_unstable();
+        sorted_roots.dedup();
+        for &r in &sorted_roots {
+            if r < witness.len() && witness[r].is_none() {
+                witness[r] = Some(r);
+                queue.push_back(r);
+            }
+        }
+        while let Some(u) = queue.pop_front() {
+            let w = witness[u];
+            for &v in &self.callees[u] {
+                if witness[v].is_none() {
+                    witness[v] = w;
+                    queue.push_back(v);
+                }
+            }
+        }
+        witness
+    }
+}
+
+/// Append resolution candidates for one call site to `out`.
+fn resolve(table: &SymbolTable, method: bool, path: &[String], out: &mut Vec<FnId>) {
+    let Some(name) = path.last() else {
+        return;
+    };
+    if method {
+        // `.m(…)`: name-only, minus the ubiquitous std names.
+        if UBIQUITOUS_METHODS.binary_search(&name.as_str()).is_ok() {
+            return;
+        }
+        if let Some(ids) = table.by_name.get(name) {
+            out.extend(
+                ids.iter()
+                    .copied()
+                    .filter(|&id| table.node(id).impl_ty.is_some()),
+            );
+        }
+        return;
+    }
+    // `A::…::Type::name(…)`: if the penultimate segment names a workspace
+    // impl type, resolve exactly to its methods.
+    if path.len() >= 2 {
+        let ty = &path[path.len() - 2];
+        let key = (ty.clone(), name.clone());
+        if let Some(ids) = table.by_type_method.get(&key) {
+            out.extend(ids.iter().copied());
+            return;
+        }
+    }
+    // Free call: suffix match by name. Methods are excluded here — plain
+    // `name(…)` syntax cannot invoke a method without a receiver (UFCS is
+    // covered by the qualified arm above).
+    if let Some(ids) = table.by_name.get(name) {
+        out.extend(
+            ids.iter()
+                .copied()
+                .filter(|&id| table.node(id).impl_ty.is_none()),
+        );
+    }
+}
+
+/// Reachability bundle the passes consume: per-fn witness roots for the
+/// hot-path and wire-entry domains.
+#[derive(Debug, Default)]
+pub struct Reachability {
+    /// Per [`FnId`]: witness hot root, if hot-reachable.
+    pub hot: Vec<Option<FnId>>,
+    /// Per [`FnId`]: witness wire entry, if wire-reachable.
+    pub wire: Vec<Option<FnId>>,
+}
+
+impl Reachability {
+    /// Compute both domains from the annotated roots in the table.
+    pub fn compute(table: &SymbolTable, graph: &CallGraph) -> Reachability {
+        let roots_with = |pred: fn(&FnNode) -> bool| -> Vec<FnId> {
+            (0..table.len())
+                .filter(|&id| pred(table.node(id)))
+                .collect()
+        };
+        Reachability {
+            hot: graph.reach_from(&roots_with(|n| n.hot_root)),
+            wire: graph.reach_from(&roots_with(|n| n.wire_entry)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::SourceFile;
+
+    fn setup(srcs: &[(&str, &str)]) -> (Vec<SourceFile>, SymbolTable) {
+        let files: Vec<SourceFile> = srcs
+            .iter()
+            .map(|(path, src)| SourceFile::rust(path, "x", src))
+            .collect();
+        let table = SymbolTable::build(&files);
+        (files, table)
+    }
+
+    fn id_of(t: &SymbolTable, name: &str) -> FnId {
+        t.by_name[name][0]
+    }
+
+    #[test]
+    fn free_call_chain_is_reachable() {
+        let (files, t) = setup(&[(
+            "crates/x/src/a.rs",
+            "fn root() { mid(); }\nfn mid() { leaf(); }\nfn leaf() {}\nfn island() {}",
+        )]);
+        let g = CallGraph::build(&t, &files);
+        let reach = g.reach_from(&[id_of(&t, "root")]);
+        assert!(reach[id_of(&t, "leaf")].is_some());
+        assert!(reach[id_of(&t, "island")].is_none());
+        // Witness attribution points at the root.
+        assert_eq!(reach[id_of(&t, "leaf")], Some(id_of(&t, "root")));
+    }
+
+    #[test]
+    fn qualified_call_resolves_exactly() {
+        let (files, t) = setup(&[(
+            "crates/x/src/a.rs",
+            "impl Alpha { fn go(&self) {} }\nimpl Beta { fn go(&self) {} }\nfn root() { Alpha::go(); }",
+        )]);
+        let g = CallGraph::build(&t, &files);
+        let reach = g.reach_from(&[id_of(&t, "root")]);
+        let key_a = ("Alpha".to_string(), "go".to_string());
+        let key_b = ("Beta".to_string(), "go".to_string());
+        assert!(reach[t.by_type_method[&key_a][0]].is_some());
+        assert!(reach[t.by_type_method[&key_b][0]].is_none());
+    }
+
+    #[test]
+    fn method_call_over_approximates_by_name() {
+        let (files, t) = setup(&[(
+            "crates/x/src/a.rs",
+            "impl Alpha { fn churn(&self) {} }\nimpl Beta { fn churn(&self) {} }\nfn root(a: Alpha) { a.churn(); }",
+        )]);
+        let g = CallGraph::build(&t, &files);
+        let reach = g.reach_from(&[id_of(&t, "root")]);
+        // Both impls reached: name-only resolution over-approximates.
+        for ty in ["Alpha", "Beta"] {
+            let key = (ty.to_string(), "churn".to_string());
+            assert!(reach[t.by_type_method[&key][0]].is_some(), "{ty} missed");
+        }
+    }
+
+    #[test]
+    fn ubiquitous_method_names_do_not_propagate() {
+        let (files, t) = setup(&[(
+            "crates/x/src/a.rs",
+            "impl Alpha { fn len(&self) { secret(); } }\nfn secret() {}\nfn root(v: Vec<u8>) { v.len(); }",
+        )]);
+        let g = CallGraph::build(&t, &files);
+        let reach = g.reach_from(&[id_of(&t, "root")]);
+        assert!(reach[id_of(&t, "secret")].is_none());
+    }
+
+    #[test]
+    fn ubiquitous_list_is_sorted_for_binary_search() {
+        let mut sorted = UBIQUITOUS_METHODS;
+        sorted.sort_unstable();
+        assert_eq!(sorted, UBIQUITOUS_METHODS);
+    }
+
+    #[test]
+    fn crate_boundary_filters_undeclared_edges() {
+        // `alpha` declares no dependency on `beta`, so the name-matched
+        // edge alpha::root → beta::helper must be dropped; `gamma` declares
+        // beta, so its edge survives.
+        let files = vec![
+            SourceFile::manifest(
+                "crates/alpha/Cargo.toml",
+                "alpha",
+                "[package]\nname = \"alpha\"\n[dependencies]\n",
+            ),
+            SourceFile::manifest(
+                "crates/gamma/Cargo.toml",
+                "gamma",
+                "[package]\nname = \"gamma\"\n[dependencies]\nbeta = { path = \"../beta\" }\n",
+            ),
+            SourceFile::rust(
+                "crates/alpha/src/lib.rs",
+                "alpha",
+                "fn root() { helper(); }",
+            ),
+            SourceFile::rust("crates/beta/src/lib.rs", "beta", "pub fn helper() {}"),
+            SourceFile::rust("crates/gamma/src/lib.rs", "gamma", "fn go() { helper(); }"),
+        ];
+        let t = SymbolTable::build(&files);
+        let g = CallGraph::build(&t, &files);
+        let reach_alpha = g.reach_from(&[id_of(&t, "root")]);
+        assert!(reach_alpha[id_of(&t, "helper")].is_none());
+        let reach_gamma = g.reach_from(&[id_of(&t, "go")]);
+        assert!(reach_gamma[id_of(&t, "helper")].is_some());
+    }
+
+    #[test]
+    fn reachability_roots_come_from_annotations() {
+        let (files, t) = setup(&[(
+            "crates/x/src/a.rs",
+            "// tft-lint: hot-root\nfn probe() { helper(); }\nfn helper() {}\n// tft-lint: wire-entry\nfn decode() { scan(); }\nfn scan() {}",
+        )]);
+        let g = CallGraph::build(&t, &files);
+        let r = Reachability::compute(&t, &g);
+        assert!(r.hot[id_of(&t, "helper")].is_some());
+        assert!(r.hot[id_of(&t, "scan")].is_none());
+        assert!(r.wire[id_of(&t, "scan")].is_some());
+        assert!(r.wire[id_of(&t, "helper")].is_none());
+    }
+}

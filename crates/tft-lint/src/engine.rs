@@ -16,9 +16,14 @@
 //! for staleness: one that suppresses nothing produces `stale-allow`, and
 //! one naming a pass that does not exist produces `unknown-lint-id`.
 
+use crate::ast::{self, Ast};
+use crate::baseline::Baseline;
+use crate::callgraph::{CallGraph, Reachability};
 use crate::lexer::{tokenize, TokKind, Token};
+use crate::symbols::SymbolTable;
 use std::fmt;
 use std::path::{Path, PathBuf};
+use substrate::pool;
 
 /// Engine-level diagnostic id: an allow comment without a written reason.
 pub const ALLOW_MISSING_REASON: &str = "allow-missing-reason";
@@ -26,6 +31,10 @@ pub const ALLOW_MISSING_REASON: &str = "allow-missing-reason";
 pub const STALE_ALLOW: &str = "stale-allow";
 /// Engine-level diagnostic id: an allow naming a pass that does not exist.
 pub const UNKNOWN_LINT_ID: &str = "unknown-lint-id";
+/// Engine-level diagnostic id: an allow naming a real pass that cannot
+/// fire in this file at all (its scope predicate excludes the file), so
+/// the allow is dead on arrival.
+pub const INAPPLICABLE_ALLOW: &str = "inapplicable-allow";
 
 /// One finding, anchored to a file position.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -243,8 +252,45 @@ fn parse_allow_text(comment: &str, line: u32, col: u32) -> Option<Allow> {
     })
 }
 
-/// A lint pass.
-pub trait Pass {
+/// The workspace-wide analysis bundle the call-graph passes consume:
+/// per-file ASTs, the symbol table over them, the conservative call graph,
+/// and reachability from the annotated roots. Built once per run.
+#[derive(Debug, Default)]
+pub struct Analysis {
+    /// Symbol table (owns the per-file [`Ast`]s, parallel to the file list).
+    pub table: SymbolTable,
+    /// Call graph over the table's fn ids.
+    pub graph: CallGraph,
+    /// Hot-root / wire-entry reachability with witness attribution.
+    pub reach: Reachability,
+}
+
+impl Analysis {
+    /// Parse every Rust file (in parallel on `workers` threads — parsing
+    /// dominates analysis cost) and build the graph layers on top.
+    pub fn build(files: &[SourceFile], workers: usize) -> Analysis {
+        let asts: Vec<Ast> = pool::par_map(workers.max(1), (0..files.len()).collect(), |i| {
+            if files[i].kind == FileKind::Rust {
+                ast::parse(&files[i])
+            } else {
+                Ast::default()
+            }
+        });
+        let table = SymbolTable::from_asts(files, asts);
+        let graph = CallGraph::build(&table, files);
+        let reach = Reachability::compute(&table, &graph);
+        Analysis {
+            table,
+            graph,
+            reach,
+        }
+    }
+}
+
+/// A lint pass. `Sync` because the engine shares the pass list across the
+/// parallel per-file workers; passes are stateless unit structs in
+/// practice.
+pub trait Pass: Sync {
     /// Stable kebab-case id, used in diagnostics and allow comments.
     fn id(&self) -> &'static str;
     /// One-line description for `--list` and the JSON report.
@@ -256,15 +302,28 @@ pub trait Pass {
     /// Inspect the workspace as a whole (after per-file checks); default
     /// no-op. Used for invariants that span files, e.g. manifest counts.
     fn check_workspace(&self, _files: &[SourceFile], _out: &mut Vec<Diagnostic>) {}
+    /// Inspect the call-graph analysis (after per-file checks); default
+    /// no-op. The graph passes (`hot-path-alloc`, `pool-shared-mut`,
+    /// `unchecked-arith-reachable`) live here.
+    fn check_analysis(
+        &self,
+        _files: &[SourceFile],
+        _analysis: &Analysis,
+        _out: &mut Vec<Diagnostic>,
+    ) {
+    }
 }
 
 /// Result of a lint run.
 #[derive(Debug, Default)]
 pub struct Report {
-    /// Surviving (non-suppressed) diagnostics, sorted by position.
+    /// Surviving (non-suppressed, non-baselined) diagnostics, sorted by
+    /// position.
     pub diagnostics: Vec<Diagnostic>,
     /// Diagnostics silenced by a reasoned allow.
     pub suppressed: usize,
+    /// Diagnostics absorbed by the pinned baseline.
+    pub baselined: usize,
     /// Files inspected.
     pub files_scanned: usize,
 }
@@ -276,25 +335,51 @@ impl Report {
     }
 }
 
-/// The engine: a pass list plus the runner.
+/// The engine: a pass list, a worker count, an optional baseline, and the
+/// runner.
 pub struct Engine {
     passes: Vec<Box<dyn Pass>>,
+    workers: usize,
+    baseline: Option<Baseline>,
 }
 
 impl Engine {
-    /// An engine with an explicit pass list.
+    /// An engine with an explicit pass list (single-worker, no baseline).
     pub fn new(passes: Vec<Box<dyn Pass>>) -> Engine {
-        Engine { passes }
+        Engine {
+            passes,
+            workers: 1,
+            baseline: None,
+        }
     }
 
-    /// The standard pass set (all five workspace invariants).
+    /// The standard pass set (all eight workspace invariants).
     pub fn with_default_passes() -> Engine {
         Engine::new(crate::passes::default_passes())
+    }
+
+    /// Set the worker count for the parallel per-file stages. A pure
+    /// throughput knob: the report is byte-identical for any value
+    /// (`tests/determinism.rs` pins workers 1/2/8).
+    pub fn with_workers(mut self, workers: usize) -> Engine {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Attach a pinned baseline (see [`crate::baseline`]).
+    pub fn with_baseline(mut self, baseline: Baseline) -> Engine {
+        self.baseline = Some(baseline);
+        self
     }
 
     /// The registered passes.
     pub fn passes(&self) -> &[Box<dyn Pass>] {
         &self.passes
+    }
+
+    /// The configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
     }
 
     /// Run over an explicit file set (the self-test entry point: fixtures
@@ -304,14 +389,27 @@ impl Engine {
             files_scanned: files.len(),
             ..Report::default()
         };
-        let mut raw: Vec<Diagnostic> = Vec::new();
-        for pass in &self.passes {
-            for file in files {
-                if pass.applies(file) {
-                    pass.check(file, &mut raw);
+
+        // Workspace analysis (parallel parse), then per-file passes in
+        // parallel. par_map returns results in item order, so flattening
+        // yields the same diagnostic sequence at any worker count; the
+        // final position sort makes the order canonical regardless.
+        let analysis = Analysis::build(files, self.workers);
+        let per_file: Vec<Vec<Diagnostic>> =
+            pool::par_map(self.workers, (0..files.len()).collect(), |i| {
+                let file = &files[i];
+                let mut out = Vec::new();
+                for pass in &self.passes {
+                    if pass.applies(file) {
+                        pass.check(file, &mut out);
+                    }
                 }
-            }
+                out
+            });
+        let mut raw: Vec<Diagnostic> = per_file.into_iter().flatten().collect();
+        for pass in &self.passes {
             pass.check_workspace(files, &mut raw);
+            pass.check_analysis(files, &analysis, &mut raw);
         }
 
         // Suppression resolution, per file.
@@ -353,24 +451,51 @@ impl Engine {
                         message: format!("allow({}) names no registered pass", a.id),
                     });
                 } else if !used[k] {
-                    raw.push(Diagnostic {
-                        pass: STALE_ALLOW.into(),
-                        file: file.rel_path.clone(),
-                        line: a.line,
-                        col: a.col,
-                        message: format!(
-                            "allow({}) suppresses nothing on this or the next line; delete it",
-                            a.id
-                        ),
-                    });
+                    // Dead allow. Distinguish "the pass can never fire
+                    // here" (scope predicate excludes the file) from "in
+                    // scope but no trigger on the anchored lines".
+                    let inapplicable = self
+                        .passes
+                        .iter()
+                        .find(|p| p.id() == a.id)
+                        .is_some_and(|p| !p.applies(file));
+                    if inapplicable {
+                        raw.push(Diagnostic {
+                            pass: INAPPLICABLE_ALLOW.into(),
+                            file: file.rel_path.clone(),
+                            line: a.line,
+                            col: a.col,
+                            message: format!(
+                                "allow({}) names a pass whose scope excludes this file; \
+                                 it can never fire here — delete the allow",
+                                a.id
+                            ),
+                        });
+                    } else {
+                        raw.push(Diagnostic {
+                            pass: STALE_ALLOW.into(),
+                            file: file.rel_path.clone(),
+                            line: a.line,
+                            col: a.col,
+                            message: format!(
+                                "allow({}) suppresses nothing on this or the next line; delete it",
+                                a.id
+                            ),
+                        });
+                    }
                 }
             }
         }
 
-        report.diagnostics = raw.into_iter().filter(|d| !d.pass.is_empty()).collect();
-        report.diagnostics.sort_by(|a, b| {
+        let mut diagnostics: Vec<Diagnostic> =
+            raw.into_iter().filter(|d| !d.pass.is_empty()).collect();
+        diagnostics.sort_by(|a, b| {
             (&a.file, a.line, a.col, &a.pass).cmp(&(&b.file, b.line, b.col, &b.pass))
         });
+        if let Some(baseline) = &self.baseline {
+            report.baselined = baseline.apply(&mut diagnostics);
+        }
+        report.diagnostics = diagnostics;
         report
     }
 

@@ -11,12 +11,18 @@
 //! cargo run -p tft-lint -- --json  # machine-readable report on stdout
 //! ```
 
+pub mod ast;
+pub mod baseline;
+pub mod callgraph;
 pub mod engine;
 pub mod lexer;
 pub mod passes;
+pub mod symbols;
 
+pub use baseline::{Baseline, BaselineEntry};
 pub use engine::{
-    parse_allows, workspace_files, Allow, Diagnostic, Engine, FileKind, Pass, Report, SourceFile,
+    parse_allows, workspace_files, Allow, Analysis, Diagnostic, Engine, FileKind, Pass, Report,
+    SourceFile,
 };
 
 use substrate::json::Json;
@@ -48,12 +54,14 @@ pub fn report_to_json(engine: &Engine, report: &Report) -> Json {
         .collect();
     Json::Obj(vec![
         ("tool".into(), Json::str("tft-lint")),
+        ("version".into(), Json::uint(2)),
         ("clean".into(), Json::Bool(report.is_clean())),
         (
             "files_scanned".into(),
             Json::uint(report.files_scanned as u64),
         ),
         ("suppressed".into(), Json::uint(report.suppressed as u64)),
+        ("baselined".into(), Json::uint(report.baselined as u64)),
         ("passes".into(), Json::Arr(passes)),
         ("diagnostics".into(), Json::Arr(diagnostics)),
     ])

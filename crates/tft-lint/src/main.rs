@@ -6,19 +6,26 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use tft_lint::{report_to_json, Engine};
+use tft_lint::{report_to_json, Baseline, Engine};
 
-const USAGE: &str = "usage: tft-lint [--root DIR] [--json] [--json-out PATH] [--list]
+const USAGE: &str = "usage: tft-lint [--root DIR] [--json] [--json-out PATH] [--workers N] \
+[--baseline PATH] [--list]
 
   --root DIR       workspace root (default: auto-detect from cwd)
   --json           print the JSON report to stdout instead of human output
   --json-out PATH  additionally write the JSON report to PATH
+  --workers N      worker threads for the parallel stages (default: 1;
+                   output is byte-identical at any worker count)
+  --baseline PATH  pinned baseline: absorb triaged legacy findings, fail
+                   on anything new or on stale baseline entries
   --list           list registered passes and exit";
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut json = false;
     let mut json_out: Option<PathBuf> = None;
+    let mut workers: usize = 1;
+    let mut baseline_path: Option<PathBuf> = None;
     let mut list = false;
 
     let mut argv = std::env::args().skip(1);
@@ -33,6 +40,14 @@ fn main() -> ExitCode {
                 Some(v) => json_out = Some(PathBuf::from(v)),
                 None => return usage_error("--json-out needs a value"),
             },
+            "--workers" => match argv.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => workers = n,
+                _ => return usage_error("--workers needs a positive integer"),
+            },
+            "--baseline" => match argv.next() {
+                Some(v) => baseline_path = Some(PathBuf::from(v)),
+                None => return usage_error("--baseline needs a value"),
+            },
             "--list" => list = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -42,7 +57,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let engine = Engine::with_default_passes();
+    let mut engine = Engine::with_default_passes().with_workers(workers);
     if list {
         for pass in engine.passes() {
             println!("{:28} {}", pass.id(), pass.description());
@@ -57,6 +72,23 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if let Some(path) = &baseline_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("tft-lint: failed to read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        match Baseline::parse(&text) {
+            Ok(b) => engine = engine.with_baseline(b),
+            Err(e) => {
+                eprintln!("tft-lint: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     let report = match engine.run(&root) {
         Ok(r) => r,
@@ -84,10 +116,12 @@ fn main() -> ExitCode {
             emit(&d.to_string());
         }
         emit(&format!(
-            "tft-lint: {} file(s) scanned, {} diagnostic(s), {} suppressed by reasoned allows",
+            "tft-lint: {} file(s) scanned, {} diagnostic(s), {} suppressed by reasoned allows, \
+             {} absorbed by baseline",
             report.files_scanned,
             report.diagnostics.len(),
-            report.suppressed
+            report.suppressed,
+            report.baselined
         ));
     }
 

@@ -1,0 +1,168 @@
+//! `unchecked-arith-reachable`: overflow discipline propagated through the
+//! call graph from wire-parser entry points.
+//!
+//! PR 3 made the wire parsers overflow-safe at their surface (the chunked
+//! decoder bug). But a helper three calls deep still does `len * count`
+//! on attacker-influenced lengths, and a per-file pass cannot see that the
+//! helper is reachable from `decode(&[u8])`. This pass can: any function
+//! reachable from a `// tft-lint: wire-entry` annotation is *tainted*, and
+//! inside it the pass flags
+//!
+//! - bare binary `+` / `*` (and `+=` / `*=`) — use `checked_add` /
+//!   `checked_mul` / `saturating_*` / `wrapping_*` as appropriate;
+//! - `as` casts to narrowing integer targets (`u8`/`u16`/`u32` and signed
+//!   counterparts) — use `try_from` so truncation is an error, not a
+//!   silent wrap.
+//!
+//! Over-approximation note: the engine has no types, so float math,
+//! pointer-sized indexing arithmetic, and provably-in-range sums fire too.
+//! Keep wire-reachable helpers small and checked, or carry a reasoned
+//! allow explaining the range argument.
+
+use super::in_src;
+use crate::ast::value_ending;
+use crate::engine::{Analysis, Diagnostic, FileKind, Pass, SourceFile};
+use crate::lexer::TokKind;
+
+/// Flag unchecked arithmetic in wire-entry-reachable functions.
+pub struct UncheckedArithReachable;
+
+/// Integer types an `as` cast can silently truncate into.
+const NARROW_TARGETS: [&str; 6] = ["i16", "i32", "i8", "u16", "u32", "u8"];
+
+impl Pass for UncheckedArithReachable {
+    fn id(&self) -> &'static str {
+        "unchecked-arith-reachable"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid bare +/* and narrowing `as` casts in functions reachable from a \
+         `// tft-lint: wire-entry` annotation; use checked/saturating ops and try_from"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        file.kind == FileKind::Rust && in_src(file)
+    }
+
+    fn check(&self, _file: &SourceFile, _out: &mut Vec<Diagnostic>) {}
+
+    fn check_analysis(&self, files: &[SourceFile], analysis: &Analysis, out: &mut Vec<Diagnostic>) {
+        let table = &analysis.table;
+        for id in 0..table.len() {
+            let Some(root) = analysis.reach.wire[id] else {
+                continue;
+            };
+            let node = table.node(id);
+            let file = &files[table.fns[id].file];
+            if node.in_test_mod || !self.applies(file) {
+                continue;
+            }
+            let Some((body_start, body_end)) = node.body else {
+                continue;
+            };
+            let via = if root == id {
+                "is an annotated wire entry".to_string()
+            } else {
+                format!("is reachable from wire entry {}", table.label(files, root))
+            };
+            let body: Vec<usize> = (body_start..body_end.min(file.tokens.len()))
+                .filter(|&i| {
+                    !matches!(
+                        file.tokens[i].kind,
+                        TokKind::LineComment | TokKind::BlockComment
+                    )
+                })
+                .collect();
+            let text = |w: usize| -> &str {
+                body.get(w)
+                    .map(|&i| file.tokens[i].text(&file.text))
+                    .unwrap_or("")
+            };
+            for w in 0..body.len() {
+                let t = &file.tokens[body[w]];
+                let cur = t.text(&file.text);
+                match cur {
+                    "+" | "*" => {
+                        // Binary iff the previous token can end a value
+                        // (separates `a * b` from deref `*p`, `a + b` from
+                        // unary plus-less paths, and `use x::*`). Compound
+                        // assignment (`+=`) is caught one token earlier,
+                        // so skip when `=` follows.
+                        if text(w + 1) == "=" {
+                            let prev_ident = w > 0
+                                && body
+                                    .get(w - 1)
+                                    .is_some_and(|&i| file.tokens[i].kind == TokKind::Ident);
+                            if prev_ident {
+                                out.push(self.diag(
+                                    file,
+                                    t.line,
+                                    t.col,
+                                    &format!(
+                                    "unchecked `{cur}=` and `{}` {via}; lengths and counts from \
+                                     the wire overflow — use checked_{} / saturating_{}",
+                                    node.name, op_name(cur), op_name(cur)
+                                ),
+                                ));
+                            }
+                            continue;
+                        }
+                        let prev_ends_value = w > 0
+                            && body.get(w - 1).is_some_and(|&i| {
+                                let p = &file.tokens[i];
+                                value_ending(p.kind, p.text(&file.text))
+                            });
+                        if prev_ends_value {
+                            out.push(self.diag(
+                                file,
+                                t.line,
+                                t.col,
+                                &format!(
+                                "unchecked `{cur}` and `{}` {via}; lengths and counts from the \
+                                 wire overflow — use checked_{} / saturating_{}",
+                                node.name, op_name(cur), op_name(cur)
+                            ),
+                            ));
+                        }
+                    }
+                    "as" => {
+                        let target = text(w + 1);
+                        if NARROW_TARGETS.contains(&target) {
+                            out.push(self.diag(
+                                file,
+                                t.line,
+                                t.col,
+                                &format!(
+                                    "`as {target}` narrows silently and `{}` {via}; use \
+                                 {target}::try_from so truncation is an error",
+                                    node.name
+                                ),
+                            ));
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+}
+
+fn op_name(op: &str) -> &'static str {
+    if op == "+" {
+        "add"
+    } else {
+        "mul"
+    }
+}
+
+impl UncheckedArithReachable {
+    fn diag(&self, file: &SourceFile, line: u32, col: u32, message: &str) -> Diagnostic {
+        Diagnostic {
+            pass: self.id().into(),
+            file: file.rel_path.clone(),
+            line,
+            col,
+            message: message.to_string(),
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! `hot-path-alloc`: no per-probe allocation churn in functions reachable
+//! from an annotated hot root.
+//!
+//! ROADMAP open item 1 is the allocation/memory overhaul: at scale 0.1 a
+//! study run makes ~45M allocations, and the per-probe loops are where
+//! they multiply. A `format!` that looks harmless in isolation runs four
+//! million times in a full study. This pass rides the call graph: any
+//! function reachable from a `// tft-lint: hot-root` annotation is *hot*,
+//! and known allocation idioms inside it are findings:
+//!
+//! - `format!(…)` — builds a fresh `String` every call,
+//! - `.to_string()` / `.to_owned()` — ditto,
+//! - `.clone()` — deep-copies sized containers (over-approximate: the
+//!   engine has no types, so scalar `Copy`-ish clones are flagged too and
+//!   belong in an allow or the baseline),
+//! - `String::new(…)` / `String::from(…)` / `Vec::new(…)` — fresh heap
+//!   containers per call.
+//!
+//! The fix is a reusable scratch buffer (`String::clear` + `write!`), a
+//! `&'static str` label, or hoisting the allocation out of the loop. One
+//! structural exemption: allocations inside a closure passed to a `*_with`
+//! callee (lazy-evaluation convention, e.g. `TraceLog::record_with`) are
+//! skipped — the closure only runs when the guarded feature is enabled.
+//! Other findings that are genuinely cold carry a reasoned entry in
+//! `LINT_baseline.json`.
+
+use super::in_src;
+use crate::engine::{Analysis, Diagnostic, FileKind, Pass, SourceFile};
+
+/// Flag allocation idioms in hot-root-reachable functions.
+pub struct HotPathAlloc;
+
+/// Method names that allocate on every call.
+const ALLOC_METHODS: [&str; 3] = ["clone", "to_owned", "to_string"];
+/// `Type::fn` pairs that allocate a fresh container.
+const ALLOC_CTORS: [(&str, &str); 3] = [("String", "from"), ("String", "new"), ("Vec", "new")];
+
+impl Pass for HotPathAlloc {
+    fn id(&self) -> &'static str {
+        "hot-path-alloc"
+    }
+
+    fn description(&self) -> &'static str {
+        "forbid format!/to_string/to_owned/clone/String::new/Vec::new in functions \
+         reachable from a `// tft-lint: hot-root` annotation; reuse scratch \
+         buffers or &'static str labels"
+    }
+
+    fn applies(&self, file: &SourceFile) -> bool {
+        file.kind == FileKind::Rust && in_src(file)
+    }
+
+    fn check(&self, _file: &SourceFile, _out: &mut Vec<Diagnostic>) {}
+
+    fn check_analysis(&self, files: &[SourceFile], analysis: &Analysis, out: &mut Vec<Diagnostic>) {
+        let table = &analysis.table;
+        for id in 0..table.len() {
+            let Some(root) = analysis.reach.hot[id] else {
+                continue;
+            };
+            let node = table.node(id);
+            let file = &files[table.fns[id].file];
+            if node.in_test_mod || !self.applies(file) {
+                continue;
+            }
+            let root_label = table.label(files, root);
+            let via = if root == id {
+                "is an annotated hot root".to_string()
+            } else {
+                format!("is reachable from hot root {root_label}")
+            };
+            // Lazy-evaluation exemption: a closure passed to a `*_with`
+            // callee (`TraceLog::record_with`, `unwrap_or_else`-style
+            // deferral APIs named by convention) only runs when the guarded
+            // feature is active, so allocations inside it are not per-probe
+            // costs. This is exactly the remediation this pass recommends
+            // for trace formatting — flagging the fixed form would force
+            // every fix into the baseline.
+            let lazy: Vec<(usize, usize)> = node
+                .closures
+                .iter()
+                .filter(|cl| {
+                    node.calls.iter().any(|c| {
+                        c.path.last().is_some_and(|n| n.ends_with("_with"))
+                            && c.args.0 <= cl.body.0
+                            && cl.body.1 <= c.args.1
+                    })
+                })
+                .map(|cl| cl.body)
+                .collect();
+            let in_lazy = |tok: usize| lazy.iter().any(|&(a, b)| a <= tok && tok < b);
+            for m in &node.macros {
+                if m.name == "format" && !in_lazy(m.name_tok) {
+                    out.push(self.diag(
+                        file,
+                        m.line,
+                        m.col,
+                        &format!(
+                            "format! allocates a fresh String per call and `{}` {via}; \
+                             write into a reused scratch buffer or use a &'static str label",
+                            node.name
+                        ),
+                    ));
+                }
+            }
+            for c in &node.calls {
+                if in_lazy(c.name_tok) {
+                    continue;
+                }
+                let name = c.path.last().map(String::as_str).unwrap_or("");
+                if c.method && ALLOC_METHODS.contains(&name) {
+                    out.push(self.diag(
+                        file,
+                        c.line,
+                        c.col,
+                        &format!(
+                            ".{name}() allocates per call and `{}` {via}; hoist the copy \
+                             out of the hot path or borrow instead",
+                            node.name
+                        ),
+                    ));
+                } else if !c.method && c.path.len() >= 2 {
+                    let ty = &c.path[c.path.len() - 2];
+                    if ALLOC_CTORS.iter().any(|&(t, f)| t == ty && f == name) {
+                        out.push(self.diag(
+                            file,
+                            c.line,
+                            c.col,
+                            &format!(
+                                "{ty}::{name} builds a fresh container per call and `{}` {via}; \
+                                 allocate once outside the loop and reuse it",
+                                node.name
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl HotPathAlloc {
+    fn diag(&self, file: &SourceFile, line: u32, col: u32, message: &str) -> Diagnostic {
+        Diagnostic {
+            pass: self.id().into(),
+            file: file.rel_path.clone(),
+            line,
+            col,
+            message: message.to_string(),
+        }
+    }
+}

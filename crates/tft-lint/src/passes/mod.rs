@@ -1,30 +1,48 @@
 //! The lint passes. Each submodule holds one pass; [`default_passes`]
 //! assembles the standard set enforced by `scripts/check.sh`.
 
+mod arith;
+mod hot_alloc;
 mod manifests;
 mod panic_paths;
+mod pool_mut;
 mod seed;
 mod unordered;
 mod wall_clock;
 
+pub use arith::UncheckedArithReachable;
+pub use hot_alloc::HotPathAlloc;
 pub use manifests::{check_workspace_manifests, HermeticManifests};
 pub use panic_paths::NoPanicOnUntrustedBytes;
+pub use pool_mut::PoolSharedMut;
 pub use seed::SeedDiscipline;
 pub use unordered::NoUnorderedIteration;
 pub use wall_clock::NoWallClock;
 
-use crate::engine::{Pass, SourceFile};
+use crate::engine::{FileKind, Pass, SourceFile};
 use crate::lexer::TokKind;
 
 /// The standard pass set, in diagnostic-id order.
 pub fn default_passes() -> Vec<Box<dyn Pass>> {
     vec![
         Box::new(HermeticManifests),
+        Box::new(HotPathAlloc),
         Box::new(NoPanicOnUntrustedBytes),
         Box::new(NoUnorderedIteration),
         Box::new(NoWallClock),
+        Box::new(PoolSharedMut),
         Box::new(SeedDiscipline),
+        Box::new(UncheckedArithReachable),
     ]
+}
+
+/// True for production source files: anything under a crate's `src/` tree
+/// (root-package files have no crate prefix, so a bare `src/` counts too).
+/// The graph passes skip `tests/`, `benches/`, and `examples/` — test and
+/// bench code may allocate and clone freely.
+pub(crate) fn in_src(file: &SourceFile) -> bool {
+    file.kind == FileKind::Rust
+        && (file.rel_path.starts_with("src/") || file.rel_path.contains("/src/"))
 }
 
 /// Indices of the code tokens of `file` — everything except comments.

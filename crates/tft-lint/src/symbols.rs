@@ -1,0 +1,211 @@
+//! Workspace symbol table: every recognized `fn` across every crate,
+//! indexed for the call-graph resolver.
+//!
+//! Resolution here is *name-based*, not type-based — the engine has no type
+//! checker. The table therefore answers two deliberately coarse questions:
+//! "which fns are named `m`?" and "which fns are methods `m` on a type
+//! named `T`?". The resolver in [`crate::callgraph`] layers its
+//! over-approximation rules on top.
+
+use crate::ast::{self, Ast};
+use crate::engine::{FileKind, SourceFile};
+use std::collections::BTreeMap;
+
+/// Globally unique function id: an index into [`SymbolTable::fns`].
+pub type FnId = usize;
+
+/// One function's location: which file (index into the engine's file list)
+/// and which node in that file's [`Ast`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FnLoc {
+    /// Index into the `SourceFile` slice the table was built from.
+    pub file: usize,
+    /// Index into that file's `Ast::fns`.
+    pub fn_idx: usize,
+}
+
+/// The workspace symbol table: per-file ASTs plus name indices over every
+/// recognized function.
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    /// Per-file parse results, parallel to the engine's file list
+    /// (manifests get an empty [`Ast`]).
+    pub asts: Vec<Ast>,
+    /// Flat fn list; the index is the [`FnId`].
+    pub fns: Vec<FnLoc>,
+    /// Name → ids of every fn with that name (free fns and methods alike).
+    pub by_name: BTreeMap<String, Vec<FnId>>,
+    /// (impl type name, method name) → ids. Only fns inside `impl` blocks
+    /// appear here.
+    pub by_type_method: BTreeMap<(String, String), Vec<FnId>>,
+    /// Crate name → declared dependency crate names (normalized `-`→`_`,
+    /// sorted), parsed from each crate's `Cargo.toml`. Crates without a
+    /// scanned manifest are absent.
+    pub crate_deps: BTreeMap<String, Vec<String>>,
+}
+
+/// Normalize a crate name for comparison (`-` and `_` are interchangeable
+/// in Cargo).
+fn norm_crate(name: &str) -> String {
+    name.replace('-', "_")
+}
+
+/// Extract `(package name, dependency names)` from manifest text. Line-wise:
+/// tracks `[section]` headers; `name = "…"` under `[package]`, keys under
+/// any `…dependencies]` section (covers dev-, build-, and target tables).
+fn manifest_deps(text: &str) -> (Option<String>, Vec<String>) {
+    let mut name = None;
+    let mut deps = Vec::new();
+    let mut in_package = false;
+    let mut in_deps = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            let section = line.trim_start_matches('[').trim_end_matches(']');
+            in_package = section == "package";
+            in_deps = section.ends_with("dependencies");
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            continue;
+        };
+        // Dotted keys (`foo.workspace = true`) name the dep before the dot.
+        let key = key.trim().trim_matches('"').split('.').next().unwrap_or("");
+        if key.is_empty() {
+            continue;
+        }
+        if in_package && key == "name" {
+            name = Some(value.trim().trim_matches('"').to_string());
+        } else if in_deps {
+            deps.push(norm_crate(key));
+        }
+    }
+    deps.sort_unstable();
+    deps.dedup();
+    (name, deps)
+}
+
+impl SymbolTable {
+    /// Build the table from pre-parsed ASTs (parallel to `files`).
+    pub fn from_asts(files: &[SourceFile], asts: Vec<Ast>) -> SymbolTable {
+        let mut table = SymbolTable {
+            asts,
+            ..SymbolTable::default()
+        };
+        debug_assert_eq!(files.len(), table.asts.len());
+        for file in files {
+            if file.kind == FileKind::Manifest {
+                let (name, deps) = manifest_deps(&file.text);
+                let name = name.unwrap_or_else(|| file.crate_name.clone());
+                table.crate_deps.insert(norm_crate(&name), deps);
+            }
+        }
+        for (file_idx, ast) in table.asts.iter().enumerate() {
+            for (fn_idx, f) in ast.fns.iter().enumerate() {
+                let id: FnId = table.fns.len();
+                table.fns.push(FnLoc {
+                    file: file_idx,
+                    fn_idx,
+                });
+                table.by_name.entry(f.name.clone()).or_default().push(id);
+                if let Some(ty) = &f.impl_ty {
+                    table
+                        .by_type_method
+                        .entry((ty.clone(), f.name.clone()))
+                        .or_default()
+                        .push(id);
+                }
+            }
+        }
+        table
+    }
+
+    /// Build the table by parsing every Rust file serially (test helper;
+    /// the engine parses in parallel and calls [`SymbolTable::from_asts`]).
+    pub fn build(files: &[SourceFile]) -> SymbolTable {
+        let asts = files
+            .iter()
+            .map(|f| {
+                if f.kind == FileKind::Rust {
+                    ast::parse(f)
+                } else {
+                    Ast::default()
+                }
+            })
+            .collect();
+        SymbolTable::from_asts(files, asts)
+    }
+
+    /// Whether a call edge from `caller_crate` into `callee_crate` is
+    /// possible: same crate, or the callee appears in the caller's declared
+    /// dependencies. A caller crate with no scanned manifest keeps the full
+    /// over-approximation (edges to everything) — refinement only ever uses
+    /// facts the manifests actually state.
+    pub fn edge_allowed(&self, caller_crate: &str, callee_crate: &str) -> bool {
+        if caller_crate == callee_crate {
+            return true;
+        }
+        match self.crate_deps.get(&norm_crate(caller_crate)) {
+            Some(deps) => deps.binary_search(&norm_crate(callee_crate)).is_ok(),
+            None => true,
+        }
+    }
+
+    /// The AST node behind `id`.
+    pub fn node(&self, id: FnId) -> &ast::FnNode {
+        let loc = self.fns[id];
+        &self.asts[loc.file].fns[loc.fn_idx]
+    }
+
+    /// Total recognized fns.
+    pub fn len(&self) -> usize {
+        self.fns.len()
+    }
+
+    /// True when no fns were recognized.
+    pub fn is_empty(&self) -> bool {
+        self.fns.is_empty()
+    }
+
+    /// A `file.rs:name` label for diagnostics (short file name only — the
+    /// full rel_path is on the diagnostic itself).
+    pub fn label(&self, files: &[SourceFile], id: FnId) -> String {
+        let loc = self.fns[id];
+        let node = self.node(id);
+        let short = files[loc.file]
+            .rel_path
+            .rsplit('/')
+            .next()
+            .unwrap_or(&files[loc.file].rel_path);
+        match &node.impl_ty {
+            Some(ty) => format!("{short}:{ty}::{}", node.name),
+            None => format!("{short}:{}", node.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexes_free_fns_and_methods() {
+        let files = vec![
+            SourceFile::rust(
+                "crates/a/src/lib.rs",
+                "a",
+                "pub fn free() {}\nimpl Gadget { pub fn spin(&self) {} }",
+            ),
+            SourceFile::rust("crates/b/src/lib.rs", "b", "pub fn spin() {}"),
+        ];
+        let t = SymbolTable::build(&files);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.by_name["spin"].len(), 2);
+        assert_eq!(t.by_name["free"].len(), 1);
+        let key = ("Gadget".to_string(), "spin".to_string());
+        assert_eq!(t.by_type_method[&key].len(), 1);
+        let gadget_spin = t.by_type_method[&key][0];
+        assert_eq!(t.node(gadget_spin).impl_ty.as_deref(), Some("Gadget"));
+        assert_eq!(t.label(&files, gadget_spin), "lib.rs:Gadget::spin");
+    }
+}

@@ -1,0 +1,35 @@
+//! Parallel-lint determinism: the rendered `LINT_report.json` must be
+//! byte-identical at workers 1, 2, and 8.
+//!
+//! The engine parallelizes over files with `substrate::pool::par_map`,
+//! which returns results in submission order; the merge then sorts
+//! diagnostics. This test pins the end-to-end guarantee over the *real*
+//! workspace — the largest, most branch-diverse input we have — so any
+//! ordering regression (a `HashMap` sneaking into the merge, a worker-id
+//! leaking into a message) fails loudly.
+
+use std::path::Path;
+use tft_lint::{report_to_json, workspace_files, Engine};
+
+#[test]
+fn report_is_byte_identical_across_worker_counts() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let files = workspace_files(&root).expect("workspace scan");
+    assert!(
+        files.len() > 50,
+        "workspace scan looks truncated: {} files",
+        files.len()
+    );
+
+    let render = |workers: usize| {
+        let engine = Engine::with_default_passes().with_workers(workers);
+        let report = engine.run_files(&files);
+        report_to_json(&engine, &report).render_pretty()
+    };
+
+    let w1 = render(1);
+    let w2 = render(2);
+    let w8 = render(8);
+    assert_eq!(w1, w2, "workers 1 vs 2 diverge");
+    assert_eq!(w1, w8, "workers 1 vs 8 diverge");
+}

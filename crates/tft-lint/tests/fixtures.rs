@@ -356,3 +356,277 @@ fn unknown_lint_id_is_flagged() {
         "got {hits:?}"
     );
 }
+
+// -- the call-graph passes ---------------------------------------------------
+
+#[test]
+fn hot_path_alloc_fires_transitively() {
+    // The allocation is two calls below the annotated root.
+    let f = SourceFile::rust(
+        "crates/x/src/lib.rs",
+        "x",
+        r#"
+        // tft-lint: hot-root — fixture probe loop
+        pub fn probe_loop() { step(); }
+        fn step() { leaf(); }
+        fn leaf() -> String { format!("per-probe {}", 1) }
+        "#,
+    );
+    let hits = lint(&[f]);
+    assert!(
+        hits.iter().any(|h| h.starts_with("hot-path-alloc:")),
+        "got {hits:?}"
+    );
+}
+
+#[test]
+fn hot_path_alloc_silent_without_root_and_on_clean_variant() {
+    // Same allocation, no hot-root annotation anywhere: unreachable, silent.
+    let unrooted = SourceFile::rust(
+        "crates/x/src/lib.rs",
+        "x",
+        r#"
+        pub fn cold() -> String { format!("setup {}", 1) }
+        "#,
+    );
+    assert!(!lint(&[unrooted])
+        .iter()
+        .any(|h| h.starts_with("hot-path-alloc:")),);
+    // Hot, but using the recommended scratch-buffer idiom: silent.
+    let clean = SourceFile::rust(
+        "crates/x/src/lib.rs",
+        "x",
+        r#"
+        // tft-lint: hot-root — fixture probe loop
+        pub fn probe_loop(scratch: &mut String, i: u32) {
+            use std::fmt::Write as _;
+            scratch.clear();
+            let _ = write!(scratch, "probe-{i}");
+        }
+        "#,
+    );
+    assert!(!lint(&[clean])
+        .iter()
+        .any(|h| h.starts_with("hot-path-alloc:")),);
+}
+
+#[test]
+fn hot_path_alloc_exempts_lazy_with_closures() {
+    // format! inside a closure handed to a `*_with` callee only runs when
+    // the guarded feature (tracing) is on — the remediated form must not
+    // itself be a finding.
+    let f = SourceFile::rust(
+        "crates/x/src/lib.rs",
+        "x",
+        r#"
+        // tft-lint: hot-root — fixture probe loop
+        pub fn probe_loop(log: &mut Log, host: &str) {
+            log.record_with(1, || format!("resolved {host}"));
+        }
+        "#,
+    );
+    assert!(!lint(&[f]).iter().any(|h| h.starts_with("hot-path-alloc:")),);
+}
+
+#[test]
+fn pool_shared_mut_fires_on_shared_state_in_task_closure() {
+    let f = SourceFile::rust(
+        "crates/x/src/lib.rs",
+        "x",
+        r#"
+        pub fn run() {
+            let out = pool::par_map(4, vec![1u64, 2], |i| {
+                STATS.with(|s: &RefCell<u64>| *s.borrow_mut() += i);
+                i
+            });
+        }
+        "#,
+    );
+    let hits = lint(&[f]);
+    assert!(
+        hits.iter().any(|h| h.starts_with("pool-shared-mut:")),
+        "got {hits:?}"
+    );
+}
+
+#[test]
+fn pool_shared_mut_fires_on_unforked_rng_and_captured_mut() {
+    let rng = SourceFile::rust(
+        "crates/x/src/lib.rs",
+        "x",
+        r#"
+        pub fn run(rng: &mut SimRng) {
+            let out = pool::par_map(4, vec![1u64, 2], |i| {
+                rng.random_range(0..i)
+            });
+        }
+        "#,
+    );
+    assert!(lint(&[rng])
+        .iter()
+        .any(|h| h.starts_with("pool-shared-mut:")),);
+    let cap = SourceFile::rust(
+        "crates/x/src/lib.rs",
+        "x",
+        r#"
+        pub fn run(mut acc: Vec<u64>) {
+            let out = pool::par_map(4, vec![1u64, 2], |i| {
+                merge(&mut acc, i);
+                i
+            });
+        }
+        "#,
+    );
+    assert!(lint(&[cap])
+        .iter()
+        .any(|h| h.starts_with("pool-shared-mut:")),);
+}
+
+#[test]
+fn pool_shared_mut_silent_on_forked_rng_and_owned_state() {
+    // The disciplined form: per-task state moves in, RNG is forked per
+    // shard — nothing crosses the boundary mutably.
+    let f = SourceFile::rust(
+        "crates/x/src/lib.rs",
+        "x",
+        r#"
+        pub fn run(rng: &SimRng, worlds: Vec<(u64, World)>) {
+            let out = pool::par_map(4, worlds, |(k, mut shard_world)| {
+                let mut rng = rng.fork_indexed("shard", k);
+                shard_world.step(rng.random_range(0..k));
+                shard_world
+            });
+        }
+        "#,
+    );
+    let hits = lint(&[f]);
+    assert!(
+        !hits.iter().any(|h| h.starts_with("pool-shared-mut:")),
+        "got {hits:?}"
+    );
+}
+
+#[test]
+fn unchecked_arith_fires_in_wire_reachable_fn() {
+    let f = SourceFile::rust(
+        "crates/x/src/lib.rs",
+        "x",
+        r#"
+        // tft-lint: wire-entry — fixture decoder
+        pub fn decode(buf: &[u8]) -> usize { advance(buf.len()) }
+        fn advance(pos: usize) -> usize { pos + 2 }
+        "#,
+    );
+    let hits = lint(&[f]);
+    assert!(
+        hits.iter()
+            .any(|h| h.starts_with("unchecked-arith-reachable:")),
+        "got {hits:?}"
+    );
+}
+
+#[test]
+fn unchecked_arith_fires_on_narrowing_cast() {
+    let f = SourceFile::rust(
+        "crates/x/src/lib.rs",
+        "x",
+        r#"
+        // tft-lint: wire-entry — fixture decoder
+        pub fn decode(len: usize) -> u16 { len as u16 }
+        "#,
+    );
+    let hits = lint(&[f]);
+    assert!(
+        hits.iter()
+            .any(|h| h.starts_with("unchecked-arith-reachable:")),
+        "got {hits:?}"
+    );
+}
+
+#[test]
+fn unchecked_arith_silent_on_checked_forms_and_cold_fns() {
+    // checked_add + u64 widening: nothing to flag even though reachable.
+    let clean = SourceFile::rust(
+        "crates/x/src/lib.rs",
+        "x",
+        r#"
+        // tft-lint: wire-entry — fixture decoder
+        pub fn decode(pos: usize, len: usize) -> Option<u64> {
+            let end = pos.checked_add(len)?;
+            Some(end as u64)
+        }
+        "#,
+    );
+    assert!(!lint(&[clean])
+        .iter()
+        .any(|h| h.starts_with("unchecked-arith-reachable:")),);
+    // Unchecked arithmetic in a fn NOT reachable from any wire entry.
+    let cold = SourceFile::rust(
+        "crates/x/src/lib.rs",
+        "x",
+        r#"
+        pub fn score(a: usize, b: usize) -> usize { a + b * 2 }
+        "#,
+    );
+    assert!(!lint(&[cold])
+        .iter()
+        .any(|h| h.starts_with("unchecked-arith-reachable:")),);
+}
+
+#[test]
+fn crate_boundary_confines_reachability() {
+    // The hot root in crate `a` calls a same-named fn that exists in both a
+    // dependency and an unrelated crate; only the dependency's fn is hot.
+    let files = [
+        SourceFile::manifest(
+            "crates/a/Cargo.toml",
+            "a",
+            "[package]\nname = \"a\"\n[dependencies]\nb = { path = \"../b\" }\n",
+        ),
+        SourceFile::manifest("crates/b/Cargo.toml", "b", "[package]\nname = \"b\"\n"),
+        SourceFile::manifest("crates/c/Cargo.toml", "c", "[package]\nname = \"c\"\n"),
+        SourceFile::rust(
+            "crates/a/src/lib.rs",
+            "a",
+            "// tft-lint: hot-root — fixture\npub fn probe_loop() { helper(); }",
+        ),
+        SourceFile::rust(
+            "crates/b/src/lib.rs",
+            "b",
+            "pub fn helper() -> String { format!(\"dep {}\", 1) }",
+        ),
+        SourceFile::rust(
+            "crates/c/src/lib.rs",
+            "c",
+            "pub fn helper() -> String { format!(\"unrelated {}\", 1) }",
+        ),
+    ];
+    let hits = lint(&files);
+    assert!(
+        hits.contains(&"hot-path-alloc:crates/b/src/lib.rs".to_string()),
+        "dependency edge must propagate heat, got {hits:?}"
+    );
+    assert!(
+        !hits.contains(&"hot-path-alloc:crates/c/src/lib.rs".to_string()),
+        "undeclared crate must stay cold, got {hits:?}"
+    );
+}
+
+#[test]
+fn inapplicable_allow_is_flagged() {
+    // `hot-path-alloc` only applies under src/; an allow naming it in a
+    // tests/ file can never fire there and is itself a diagnostic.
+    let f = SourceFile::rust(
+        "crates/x/tests/integration.rs",
+        "x",
+        r##"
+        // tft-lint: allow(hot-path-alloc, reason = "test fixture strings")
+        pub fn f() -> String { format!("x {}", 1) }
+        "##,
+    );
+    let hits = lint(&[f]);
+    assert!(
+        hits.iter().any(|h| h.starts_with("inapplicable-allow:")),
+        "got {hits:?}"
+    );
+}

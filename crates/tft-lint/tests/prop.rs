@@ -9,6 +9,7 @@
 
 use substrate::qc::{self, Config};
 use substrate::qc_assert;
+use tft_lint::ast;
 use tft_lint::lexer::tokenize;
 use tft_lint::{Engine, SourceFile};
 
@@ -66,6 +67,74 @@ fn spans_round_trip_offsets() {
                     .is_some_and(|gap| gap.chars().all(char::is_whitespace)),
                 "non-whitespace tail skipped"
             );
+            qc::pass()
+        },
+    );
+}
+
+#[test]
+fn ast_parse_is_total_on_arbitrary_bytes() {
+    // The recursive-descent parser sits on the total lexer and must share
+    // its guarantee: any byte soup parses to *some* AST without panicking.
+    qc::check(
+        "AST parser never panics on arbitrary bytes",
+        &Config::with_cases(400),
+        &qc::bytes(0..512),
+        |raw| {
+            let src = String::from_utf8_lossy(raw);
+            let file = SourceFile::rust("crates/x/src/lib.rs", "x", &src);
+            let ast = ast::parse(&file);
+            // Bounded: a fn item needs at least the `fn` keyword token.
+            qc_assert!(ast.fns.len() <= file.tokens.len());
+            qc::pass()
+        },
+    );
+}
+
+#[test]
+fn ast_spans_are_well_formed_on_code_shaped_input() {
+    // Code-shaped alphabet, heavy on item/call/closure syntax: every span
+    // the parser records must be an ordered, in-bounds token range, and
+    // nested constructs (body ⊆ item, call/closure/macro ∈ body) must
+    // respect containment — the reachability passes rely on exactly these
+    // invariants when they test "is this allocation inside that closure".
+    let alphabet = "fn impl mod pub x y | ( ) { } [ ] < > :: . , ; ! = + \" ' # _0 \n";
+    qc::check(
+        "AST token spans are ordered, in-bounds, and properly nested",
+        &Config::with_cases(400),
+        &qc::string_of(alphabet, 0..200),
+        |src| {
+            let file = SourceFile::rust("crates/x/src/lib.rs", "x", src);
+            let n = file.tokens.len();
+            let ast = ast::parse(&file);
+            for f in &ast.fns {
+                qc_assert!(
+                    f.span.0 <= f.span.1 && f.span.1 <= n,
+                    "fn span out of bounds"
+                );
+                if let Some(body) = f.body {
+                    qc_assert!(body.0 <= body.1 && body.1 <= n, "body span out of bounds");
+                    qc_assert!(
+                        f.span.0 <= body.0 && body.1 <= f.span.1,
+                        "body escapes the fn span"
+                    );
+                    for c in &f.calls {
+                        qc_assert!(c.name_tok >= body.0 && c.name_tok < body.1);
+                        qc_assert!(c.args.0 <= c.args.1 && c.args.1 <= n);
+                        qc_assert!(!c.path.is_empty(), "call with empty path");
+                    }
+                    for m in &f.macros {
+                        qc_assert!(m.name_tok >= body.0 && m.name_tok < body.1);
+                    }
+                    for cl in &f.closures {
+                        qc_assert!(cl.body.0 <= cl.body.1 && cl.body.1 <= n);
+                        qc_assert!(
+                            body.0 <= cl.body.0 && cl.body.1 <= body.1,
+                            "closure escapes the fn body"
+                        );
+                    }
+                }
+            }
             qc::pass()
         },
     );

@@ -1,10 +1,11 @@
-//! End-to-end acceptance: the real workspace lints clean, every
-//! suppression carries a written reason, and the walker saw the whole
-//! tree. This is the `cargo run -p tft-lint` exits-0 criterion in test
-//! form.
+//! End-to-end acceptance: the real workspace lints clean modulo the
+//! committed `LINT_baseline.json`, every suppression carries a written
+//! reason, and the walker saw the whole tree. This is the
+//! `cargo run -p tft-lint -- --baseline LINT_baseline.json` exits-0
+//! criterion in test form.
 
 use std::path::Path;
-use tft_lint::Engine;
+use tft_lint::{Baseline, Engine};
 
 fn workspace_root() -> &'static Path {
     // crates/tft-lint -> crates -> workspace root
@@ -16,12 +17,17 @@ fn workspace_root() -> &'static Path {
 
 #[test]
 fn workspace_is_lint_clean() {
+    let root = workspace_root();
+    let baseline_text =
+        std::fs::read_to_string(root.join("LINT_baseline.json")).expect("LINT_baseline.json");
+    let baseline = Baseline::parse(&baseline_text).expect("baseline parses");
     let report = Engine::with_default_passes()
-        .run(workspace_root())
+        .with_baseline(baseline)
+        .run(root)
         .expect("workspace is readable");
     assert!(
         report.diagnostics.is_empty(),
-        "workspace has non-allowlisted lint diagnostics:\n{}",
+        "workspace has diagnostics not covered by allows or the baseline:\n{}",
         report
             .diagnostics
             .iter()
@@ -42,5 +48,12 @@ fn workspace_is_lint_clean() {
     assert!(
         report.suppressed >= 1,
         "expected at least the bench clock shim suppression"
+    );
+    // The baseline is a ratchet, not a dumping ground: it must absorb
+    // exactly the findings it pins (a drop would have surfaced as a
+    // stale-baseline diagnostic above; growth as the raw finding).
+    assert!(
+        report.baselined >= 1,
+        "baseline absorbed nothing — entries are stale or the file is empty"
     );
 }

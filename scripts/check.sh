@@ -11,8 +11,11 @@ echo "== rustfmt =="
 cargo fmt --all -- --check
 
 echo "== tft-lint (workspace invariants, JSON to LINT_report.json) =="
-# Fails on any non-allowlisted diagnostic; the report is written either way.
-cargo run -q -p tft-lint -- --json-out "$PWD/LINT_report.json"
+# Fails on any diagnostic not covered by a reasoned inline allow or the
+# committed baseline; the report is written either way. The baseline is a
+# ratchet: counts may only go down (a drop flags the stale entry).
+cargo run -q -p tft-lint -- --baseline "$PWD/LINT_baseline.json" \
+  --json-out "$PWD/LINT_report.json"
 
 echo "== clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
@@ -65,6 +68,13 @@ echo "== serve gateway e2e (release) =="
 # response bodies at workers 1/2/8, cache hits serving without
 # re-execution, and 429 backpressure under a saturated queue.
 cargo test -q --release --test serve_gateway
+
+echo "== lint engine scaling (JSON to BENCH_lint.json) =="
+# Full workspace lint at workers 1/2/8. The bench binary asserts the
+# rendered report is byte-identical at every count (parallel lint must be
+# deterministic), then records wall-clock per worker count.
+BENCH_JSON="$PWD/BENCH_lint.json" TFT_BENCH_QUICK=1 \
+  cargo bench -p tft-bench --bench lint
 
 echo "== serve load generator (JSON to BENCH_serve.json) =="
 # Replays the same deterministic load trace at workers 1/2/8. The bench
