@@ -673,20 +673,22 @@ impl World {
             }
             let original = site.chain.clone();
             let original_valid = site.chain_valid;
+            let original_len = original.len();
+            let original_fp = original.first().map(|c| c.fingerprint());
             self.trace.record_with(t_origin, TraceCategory::Tls, || {
                 format!("exit node {zid} handshakes with {site_host} ({target}:443)")
             });
             let now = self.now();
-            let node = &mut self.nodes[node_id.0 as usize];
+            // Copy-on-write: issuing a spoofed cert advances the
+            // interceptor's key stream, so the touched node unshares.
+            let node = self.node_cow(node_id);
             let mut chain = node
                 .software
                 .tls_interceptor
                 .as_mut()
                 .and_then(|i| i.intercept(sni, &original, original_valid, now))
                 .unwrap_or(original);
-            if chain.len() != site.chain.len()
-                || chain.first().map(|c| c.fingerprint())
-                    != site.chain.first().map(|c| c.fingerprint())
+            if chain.len() != original_len || chain.first().map(|c| c.fingerprint()) != original_fp
             {
                 self.trace
                     .record_with(t_origin, TraceCategory::Middlebox, || {

@@ -19,6 +19,7 @@ use netsim::{
 };
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use std::sync::Arc;
 
 /// The service's per-request time budget: the paper reports the client
 /// gives up on a request after 20 seconds (§2.3). On by default; a fault
@@ -72,21 +73,37 @@ pub struct EvidenceMark {
 
 /// The simulated Internet plus the measurement infrastructure.
 ///
-/// `Clone` snapshots the *entire* world — clock, pending events, RNG state,
-/// every server log. The parallel study executor clones one world per shard
-/// so disjoint node populations can be probed concurrently, then merges the
-/// measurement evidence back with [`World::absorb_evidence`]. There is no
-/// interior mutability anywhere in the world graph, so a clone shares
-/// nothing with its source.
+/// `Clone` snapshots the world — clock, pending events, RNG state, every
+/// server log. The parallel study executor clones one world per shard so
+/// disjoint node populations can be probed concurrently, then merges the
+/// measurement evidence back with [`World::absorb_evidence`].
+///
+/// ## Shared-immutable sections (the overlay contract)
+///
+/// The construction-time bulk of the world — the Internet registry, the
+/// rankings, the node population, routing pools, resolver/middlebox/origin
+/// directories, the root store — is held behind `Arc` and **shared** between
+/// a world and its clones; only the small mutable overlay (scheduler, RNG,
+/// server logs, sessions, caches, billing, breakers) is deep-copied. A
+/// shard clone is therefore a handful of reference-count bumps rather than
+/// tens of millions of allocations (this removed a 1.7× *slow-down* at 8
+/// workers — see DESIGN.md's bench section). The sharing is copy-on-write:
+/// every mutator goes through [`Arc::make_mut`], so a world that does write
+/// a shared section (worldgen wiring, churn toggles, per-node TLS
+/// interceptor state) privately unshares exactly that section first —
+/// clones still share nothing *observable*, pinned by the overlay
+/// determinism tests. No section is behind a lock and there is no interior
+/// mutability: two clones can never see each other's writes.
 #[derive(Clone)]
 pub struct World {
     pub(crate) sched: Scheduler<WorldEvent>,
     pub(crate) rng: SimRng,
     /// The registry (RouteViews + CAIDA equivalent), public read access for
-    /// the analysis layer.
-    pub registry: InternetRegistry,
+    /// the analysis layer. Shared-immutable across clones.
+    pub registry: Arc<InternetRegistry>,
     /// Per-country site rankings (Alexa equivalent), public read access.
-    pub rankings: Rankings,
+    /// Shared-immutable across clones.
+    pub rankings: Arc<Rankings>,
     pub(crate) latencies: PathLatencies,
     pub(crate) fault: FaultInjector,
     pub(crate) campaign: FaultCampaign,
@@ -95,26 +112,30 @@ pub struct World {
     pub(crate) breakers: CircuitBreakers,
     pub(crate) trace: TraceLog,
 
-    pub(crate) nodes: Vec<ExitNode>,
-    pub(crate) pool_by_country: HashMap<CountryCode, Vec<NodeId>>,
-    pub(crate) pool_all: Vec<NodeId>,
+    /// Per-node `Arc` inside a shared `Arc`: a write to one node (TLS
+    /// interceptor issuing a cert, a churn toggle) copies that node and the
+    /// pointer vector, never the whole population.
+    pub(crate) nodes: Arc<Vec<Arc<ExitNode>>>,
+    pub(crate) pool_by_country: Arc<HashMap<CountryCode, Vec<NodeId>>>,
+    pub(crate) pool_all: Arc<Vec<NodeId>>,
 
-    pub(crate) resolvers: HashMap<Ipv4Addr, ResolverDef>,
-    pub(crate) transparent_dns: HashMap<Asn, NxdomainHijacker>,
-    pub(crate) isp_http: HashMap<Asn, IspHttp>,
-    pub(crate) monitors: Vec<MonitorEntity>,
+    pub(crate) resolvers: Arc<HashMap<Ipv4Addr, ResolverDef>>,
+    pub(crate) transparent_dns: Arc<HashMap<Asn, NxdomainHijacker>>,
+    pub(crate) isp_http: Arc<HashMap<Asn, IspHttp>>,
+    pub(crate) monitors: Arc<Vec<MonitorEntity>>,
 
     pub(crate) auth_server: AuthServer,
     pub(crate) auth_apex: DnsName,
     pub(crate) web_server: WebServer,
     pub(crate) web_ip: Ipv4Addr,
 
-    pub(crate) origin_sites: HashMap<String, OriginSite>,
-    pub(crate) origin_by_ip: HashMap<Ipv4Addr, String>,
-    pub(crate) landing: HashMap<Ipv4Addr, NxdomainHijacker>,
+    pub(crate) origin_sites: Arc<HashMap<String, OriginSite>>,
+    pub(crate) origin_by_ip: Arc<HashMap<Ipv4Addr, String>>,
+    pub(crate) landing: Arc<HashMap<Ipv4Addr, NxdomainHijacker>>,
 
-    /// The public root store (OS X 10.11-like).
-    pub root_store: RootStore,
+    /// The public root store (OS X 10.11-like). Shared-immutable across
+    /// clones.
+    pub root_store: Arc<RootStore>,
     pub(crate) sessions: SessionTable,
     pub(crate) resolver_caches: HashMap<Ipv4Addr, dnswire::DnsCache>,
     pub(crate) resolver_caching: bool,
@@ -153,8 +174,8 @@ impl World {
         World {
             sched: Scheduler::new(),
             rng: SimRng::new(seed).fork("world"),
-            registry,
-            rankings: Rankings::new(),
+            registry: Arc::new(registry),
+            rankings: Arc::new(Rankings::new()),
             latencies: PathLatencies::default(),
             fault: FaultInjector::none(),
             campaign: FaultCampaign::none(),
@@ -162,21 +183,21 @@ impl World {
             retry_policy: RetryPolicy::none(),
             breakers: CircuitBreakers::disabled(),
             trace: TraceLog::disabled(),
-            nodes: Vec::new(),
-            pool_by_country: HashMap::new(),
-            pool_all: Vec::new(),
-            resolvers: HashMap::new(),
-            transparent_dns: HashMap::new(),
-            isp_http: HashMap::new(),
-            monitors: Vec::new(),
+            nodes: Arc::new(Vec::new()),
+            pool_by_country: Arc::new(HashMap::new()),
+            pool_all: Arc::new(Vec::new()),
+            resolvers: Arc::new(HashMap::new()),
+            transparent_dns: Arc::new(HashMap::new()),
+            isp_http: Arc::new(HashMap::new()),
+            monitors: Arc::new(Vec::new()),
             auth_server: AuthServer::new(zone),
             auth_apex,
             web_server: WebServer::new(),
             web_ip,
-            origin_sites: HashMap::new(),
-            origin_by_ip: HashMap::new(),
-            landing: HashMap::new(),
-            root_store,
+            origin_sites: Arc::new(HashMap::new()),
+            origin_by_ip: Arc::new(HashMap::new()),
+            landing: Arc::new(HashMap::new()),
+            root_store: Arc::new(root_store),
             sessions: SessionTable::new(),
             resolver_caches: HashMap::new(),
             resolver_caching: true,
@@ -202,46 +223,52 @@ impl World {
             "nodes must be added densely in id order"
         );
         if node.platform.exit_eligible() {
-            self.pool_by_country
+            Arc::make_mut(&mut self.pool_by_country)
                 .entry(node.country)
                 .or_default()
                 .push(id);
-            self.pool_all.push(id);
+            Arc::make_mut(&mut self.pool_all).push(id);
         }
-        self.nodes.push(node);
+        Arc::make_mut(&mut self.nodes).push(Arc::new(node));
         id
+    }
+
+    /// Replace the rankings directory (worldgen wiring).
+    pub fn set_rankings(&mut self, rankings: Rankings) {
+        self.rankings = Arc::new(rankings);
     }
 
     /// Register a resolver.
     pub fn add_resolver(&mut self, def: ResolverDef) {
-        self.resolvers.insert(def.ip, def);
+        Arc::make_mut(&mut self.resolvers).insert(def.ip, def);
     }
 
     /// Install a transparent in-path DNS hijacker for an AS.
     pub fn set_transparent_dns(&mut self, asn: Asn, hijacker: NxdomainHijacker) {
-        self.transparent_dns.insert(asn, hijacker);
+        Arc::make_mut(&mut self.transparent_dns).insert(asn, hijacker);
     }
 
     /// Install in-path HTTP interference for an AS.
     pub fn set_isp_http(&mut self, asn: Asn, cfg: IspHttp) {
-        self.isp_http.insert(asn, cfg);
+        Arc::make_mut(&mut self.isp_http).insert(asn, cfg);
     }
 
     /// Register a monitor entity; returns its index for node wiring.
     pub fn add_monitor(&mut self, entity: MonitorEntity) -> usize {
-        self.monitors.push(entity);
-        self.monitors.len() - 1
+        let monitors = Arc::make_mut(&mut self.monitors);
+        monitors.push(entity);
+        monitors.len() - 1
     }
 
     /// Register an origin site (popular / university / invalid-cert site).
     pub fn add_origin_site(&mut self, site: OriginSite) {
-        self.origin_by_ip.insert(site.ip, site.host.clone());
-        self.origin_sites.insert(site.host.clone(), site);
+        Arc::make_mut(&mut self.origin_by_ip).insert(site.ip, site.host.clone());
+        Arc::make_mut(&mut self.origin_sites).insert(site.host.clone(), site);
     }
 
     /// Register a hijack landing server at `ip` serving `hijacker`'s page.
     pub fn add_landing(&mut self, ip: Ipv4Addr, hijacker: NxdomainHijacker) {
-        self.landing.insert(ip, hijacker);
+        Arc::make_mut(&mut self.landing).insert(ip, hijacker);
     }
 
     /// Replace the fault injector on the exit-node link.
@@ -389,7 +416,7 @@ impl World {
                     .handle(at, src, &host, &path, Some(&user_agent));
             }
             WorldEvent::ChurnToggle { node } => {
-                let n = &mut self.nodes[node.0 as usize];
+                let n = self.node_cow(node);
                 n.online = !n.online;
                 if let Some(mean) = self.churn_mean {
                     let next = Self::churn_interval(&mut self.rng, mean);
@@ -476,8 +503,15 @@ impl World {
     }
 
     /// Ground-truth mutable node access (worldgen wiring, churn tests).
+    /// Copy-on-write: unshares the pointer vector and the touched node if
+    /// they are shared with a clone — never the rest of the population.
     pub fn node_mut(&mut self, id: NodeId) -> &mut ExitNode {
-        &mut self.nodes[id.0 as usize]
+        self.node_cow(id)
+    }
+
+    /// Copy-on-write mutable access to one node (see [`World::node_mut`]).
+    pub(crate) fn node_cow(&mut self, id: NodeId) -> &mut ExitNode {
+        Arc::make_mut(&mut Arc::make_mut(&mut self.nodes)[id.0 as usize])
     }
 
     /// All node ids (ground truth / scoring).
@@ -536,7 +570,9 @@ impl World {
     /// Remove a transparent DNS proxy (longitudinal scenarios: an ISP
     /// turns its hijacking appliance off).
     pub fn clear_transparent_dns(&mut self, asn: Asn) -> bool {
-        self.transparent_dns.remove(&asn).is_some()
+        Arc::make_mut(&mut self.transparent_dns)
+            .remove(&asn)
+            .is_some()
     }
 
     /// Ground-truth transparent-DNS-proxy lookup (scoring only).
@@ -559,6 +595,39 @@ impl World {
     /// The Google anycast instance the super proxy resolves through.
     pub fn super_proxy_dns_src(&self) -> Ipv4Addr {
         self.google_anycast[0]
+    }
+
+    /// Force a private deep copy of every shared-immutable section, so this
+    /// world shares no memory with any clone it was forked from.
+    ///
+    /// Test support: the overlay determinism tests run a study on an
+    /// unshared world and on a normally-forked one and assert byte-identical
+    /// output — proving the `Arc` sharing is a pure allocation optimization
+    /// (the historical whole-clone executor and the shared-world executor
+    /// cannot diverge). Not used on any production path.
+    pub fn unshare(&mut self) {
+        macro_rules! deep_copy {
+            ($($field:ident),+ $(,)?) => {$(
+                // tft-lint: allow(hot-path-alloc, reason = "unshare IS the deep copy - it exists so tests can force the historical whole-clone executor; no production wave calls it")
+                self.$field = Arc::new((*self.$field).clone());
+            )+};
+        }
+        deep_copy!(
+            registry,
+            rankings,
+            pool_by_country,
+            pool_all,
+            resolvers,
+            transparent_dns,
+            isp_http,
+            monitors,
+            origin_sites,
+            origin_by_ip,
+            landing,
+            root_store,
+        );
+        // tft-lint: allow(hot-path-alloc, reason = "unshare IS the deep copy - it exists so tests can force the historical whole-clone executor; no production wave calls it")
+        self.nodes = Arc::new(self.nodes.iter().map(|n| Arc::new((**n).clone())).collect());
     }
 
     // -- shard evidence merging (parallel study executor) --------------------

@@ -11,6 +11,9 @@
 //! Environment knobs:
 //! - `TFT_BENCH_QUICK=1` — one-iteration smoke mode, used by tests and CI
 //!   so bench binaries double as correctness checks;
+//! - `TFT_BENCH_SAMPLES=<n>` — override the timed-sample count (applies on
+//!   top of quick mode; ignored if unparsable or zero). CI uses this to
+//!   buy regression-guard confidence without full calibrated runs;
 //! - `BENCH_JSON=<path>` — where [`Harness::finish`] writes the JSON report.
 
 use crate::json::{Json, ToJson};
@@ -110,13 +113,22 @@ pub struct Harness {
 
 impl Harness {
     /// A harness named `label` (e.g. the bench target name). Honors
-    /// `TFT_BENCH_QUICK=1` by switching to [`Options::quick`].
+    /// `TFT_BENCH_QUICK=1` by switching to [`Options::quick`], then
+    /// `TFT_BENCH_SAMPLES=<n>` as a sample-count override on whichever
+    /// mode applies (ignored unless it parses to a positive integer).
     pub fn new(label: &str) -> Harness {
-        let options = if std::env::var_os("TFT_BENCH_QUICK").is_some_and(|v| v != "0") {
+        let mut options = if std::env::var_os("TFT_BENCH_QUICK").is_some_and(|v| v != "0") {
             Options::quick()
         } else {
             Options::default()
         };
+        if let Some(samples) = std::env::var("TFT_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+        {
+            options.samples = samples;
+        }
         Harness::with_options(label, options)
     }
 

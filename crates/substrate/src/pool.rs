@@ -21,10 +21,52 @@
 //! spawned, which keeps single-threaded runs trivially deterministic and
 //! makes the pool safe to use in environments where spawning is costly.
 
+use std::cell::UnsafeCell;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::thread;
+
+/// A slot owned by exactly one claimant at a time.
+///
+/// The pool's atomic cursor hands out each slot index exactly once, so the
+/// claiming worker has exclusive access to its input slot, and only that
+/// worker ever writes the matching output slot. That claim discipline is
+/// what makes the raw `UnsafeCell` sound — there is no lock because there
+/// is no contention to arbitrate: the cursor's `fetch_add` is the unique
+/// point of synchronization, and `thread::scope`'s join provides the
+/// happens-before edge for the collector's reads. The previous
+/// implementation paid a `Mutex` lock/unlock per slot per task purely to
+/// satisfy the type system; with fine-grained work units (hundreds of tiny
+/// tasks) that overhead was measurable.
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: a Slot is only ever accessed by the worker that claimed its index
+// from the cursor (exactly once), or by the collector after all workers have
+// been joined.
+#[allow(unsafe_code)]
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+#[allow(unsafe_code)]
+impl<T> Slot<T> {
+    fn filled(value: T) -> Self {
+        Slot(UnsafeCell::new(Some(value)))
+    }
+
+    fn empty() -> Self {
+        Slot(UnsafeCell::new(None))
+    }
+
+    /// Take the value out. Caller must be the slot's unique claimant (or
+    /// the post-join collector).
+    unsafe fn take(&self) -> Option<T> {
+        (*self.0.get()).take()
+    }
+
+    /// Fill the slot. Caller must be the slot's unique claimant.
+    unsafe fn fill(&self, value: T) {
+        *self.0.get() = Some(value);
+    }
+}
 
 /// A fixed-size scoped worker pool.
 ///
@@ -62,6 +104,7 @@ impl Pool {
     /// # Panics
     /// If one or more tasks panic, re-raises the payload of the
     /// lowest-indexed panicking task after all workers have stopped.
+    #[allow(unsafe_code)]
     pub fn run<T, R, F>(self, items: Vec<T>, task: F) -> Vec<R>
     where
         T: Send,
@@ -77,13 +120,12 @@ impl Pool {
         }
 
         let n = items.len();
-        // Each slot is claimed exactly once via the atomic cursor, then
-        // filled by the claiming worker. Slots hold Options so results can
-        // be moved out without `R: Default`.
-        let inputs: Vec<Mutex<Option<T>>> =
-            items.into_iter().map(|t| Mutex::new(Some(t))).collect();
-        let outputs: Vec<Mutex<Option<thread::Result<R>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        // Each slot index is claimed exactly once via the atomic cursor,
+        // then drained/filled lock-free by the claiming worker (see
+        // [`Slot`]). Slots hold Options so results can be moved out without
+        // `R: Default`.
+        let inputs: Vec<Slot<T>> = items.into_iter().map(Slot::filled).collect();
+        let outputs: Vec<Slot<thread::Result<R>>> = (0..n).map(|_| Slot::empty()).collect();
         let cursor = AtomicUsize::new(0);
         let task = &task;
         let inputs = &inputs;
@@ -97,16 +139,15 @@ impl Pool {
                     if i >= n {
                         return;
                     }
-                    let item = inputs[i]
-                        .lock()
-                        .expect("pool input lock poisoned")
-                        .take()
-                        .expect("pool task claimed twice");
+                    // SAFETY: `fetch_add` handed index `i` to this worker
+                    // alone, so it is the unique accessor of both slots
+                    // until the scope joins.
+                    let item = unsafe { inputs[i].take() }.expect("pool task claimed twice");
                     // Tasks are required to be panic-safe by contract: a
                     // panicking task's partial effects are confined to its
                     // own inputs, which are dropped with the payload.
                     let result = panic::catch_unwind(AssertUnwindSafe(|| task(i, item)));
-                    *outputs[i].lock().expect("pool output lock poisoned") = Some(result);
+                    unsafe { outputs[i].fill(result) };
                 });
             }
         });
@@ -114,10 +155,9 @@ impl Pool {
         let mut results = Vec::with_capacity(n);
         let mut first_panic = None;
         for (i, slot) in outputs.iter().enumerate() {
-            let result = slot
-                .lock()
-                .expect("pool output lock poisoned")
-                .take()
+            // SAFETY: every worker has been joined by `thread::scope`, so
+            // the collector is the only accessor left.
+            let result = unsafe { slot.take() }
                 .unwrap_or_else(|| panic!("pool task {i} produced no result"));
             match result {
                 Ok(r) => results.push(r),
@@ -194,6 +234,36 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = Pool::new(0);
+    }
+
+    #[test]
+    fn contention_stress_many_tiny_tasks() {
+        // The per-task overhead path: thousands of near-empty tasks hammer
+        // the claim cursor from every worker. Every task must run exactly
+        // once, every result must land in index order, and nothing may be
+        // lost — at every worker count, including oversubscribed ones.
+        use std::sync::atomic::{AtomicU64, Ordering};
+        const N: u64 = 10_000;
+        for workers in [1usize, 2, 8, 16] {
+            let executed = AtomicU64::new(0);
+            let out = par_map(workers, (0..N).collect(), |x| {
+                executed.fetch_add(1, Ordering::Relaxed);
+                x.wrapping_mul(2654435761).rotate_left(7)
+            });
+            assert_eq!(out.len() as u64, N, "workers={workers}: task lost");
+            assert_eq!(
+                executed.load(Ordering::Relaxed),
+                N,
+                "workers={workers}: execution count off"
+            );
+            for (i, &v) in out.iter().enumerate() {
+                assert_eq!(
+                    v,
+                    (i as u64).wrapping_mul(2654435761).rotate_left(7),
+                    "workers={workers}: result {i} out of order"
+                );
+            }
+        }
     }
 
     #[test]

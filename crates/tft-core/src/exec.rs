@@ -10,14 +10,23 @@
 //!   campaign plan, never derived from the machine). A node belongs to
 //!   exactly one country, so shard populations are disjoint and the merged
 //!   datasets have no cross-shard interference.
-//! - Each shard runs an experiment on its own [`World`] clone, drawing
-//!   every random decision from a label-forked [`netsim::SimRng`]
-//!   (`fork_indexed("shard", k)`). Seeds derive from virtual time and the
+//! - Each (experiment × shard) pair runs on its own fork of the
+//!   study-start [`World`] snapshot, drawing every random decision from a
+//!   label-forked [`netsim::SimRng`] (`fork_indexed("shard", k)`). Seeds
+//!   derive from the study-start clock, a per-experiment salt, and the
 //!   shard index only — never from thread identity — so the worker count
 //!   of the underlying [`substrate::pool`] is a pure throughput knob.
-//! - Shard results are merged in canonical order (shard evidence in shard
-//!   order, observations re-sorted by zID / probe key), so `render_tables`
-//!   and every golden are bit-identical at any worker count.
+//!   Forks are cheap: the world's bulk data sits behind shared `Arc`s and
+//!   copies on first write, so a shard pays only for what it mutates.
+//! - All experiments of a study flow through **one work queue**
+//!   (`run_wave`) rather than one pool barrier per experiment: a worker
+//!   that drains the last DNS shard immediately starts an HTTP shard. The
+//!   paper's experiments ran in overlapping windows (§3), so the overlap
+//!   is faithful, not a shortcut.
+//! - Shard results are merged in canonical experiment-major / shard-minor
+//!   order (shard evidence in task order, observations re-sorted by zID /
+//!   probe key), so `render_tables` and every golden are bit-identical at
+//!   any worker count.
 //!
 //! The partition itself is LPT greedy (largest country first onto the
 //! lightest shard, ties broken by country code and shard index), which is
@@ -25,9 +34,10 @@
 
 use crate::config::StudyConfig;
 use crate::obs::{DnsDataset, HttpDataset, HttpsDataset, MonitorDataset};
+use crate::{dns_exp, http_exp, https_exp, monitor_exp};
 use inetdb::CountryCode;
 use netsim::SimRng;
-use proxynet::World;
+use proxynet::{EvidenceMark, World};
 use substrate::pool;
 
 /// Number of population shards the study plan splits each experiment into.
@@ -59,12 +69,16 @@ impl ExecOptions {
 }
 
 impl Default for ExecOptions {
-    /// Default to the machine's available parallelism, capped at
-    /// [`SHARD_COUNT`] (more workers than shards cannot help). Safe to
-    /// machine-derive precisely because output is worker-count-invariant.
+    /// Default to the machine's available parallelism, uncapped. A full
+    /// study wave queues `experiments × SHARD_COUNT` tasks (32 for the
+    /// four-experiment study), and [`substrate::pool::Pool::run`] already
+    /// clamps workers to the task count per call, so there is no benefit to
+    /// capping here — the old `min(SHARD_COUNT)` cap silently threw away
+    /// cores once waves grew past one experiment. Safe to machine-derive
+    /// precisely because output is worker-count-invariant.
     fn default() -> Self {
         let workers = std::thread::available_parallelism()
-            .map(|n| n.get().min(SHARD_COUNT))
+            .map(|n| n.get())
             .unwrap_or(1);
         ExecOptions { workers }
     }
@@ -161,36 +175,157 @@ pub(crate) fn plan_shards(
     plans
 }
 
-/// One unit of shard work: shard index, its country plan, its world clone.
-type ShardTask = (usize, Vec<(CountryCode, usize)>, World);
+/// One experiment of the study, as a wave-schedulable unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Experiment {
+    /// The d₁/d₂ NXDOMAIN experiment.
+    Dns,
+    /// The four-object content-comparison experiment.
+    Http,
+    /// The two-phase CONNECT certificate experiment.
+    Https,
+    /// The unique-domain refetch experiment.
+    Monitor,
+}
 
-/// Run one experiment across the shard plan, merging evidence back into
-/// the main world in shard order. `run_shard` receives the shard's private
-/// world clone and scope; it must not touch anything else.
+/// One experiment's merged dataset, so a heterogeneous wave can return
+/// through a single channel.
+pub(crate) enum ExpData {
+    /// Merged DNS dataset.
+    Dns(DnsDataset),
+    /// Merged HTTP dataset.
+    Http(HttpDataset),
+    /// Merged HTTPS dataset.
+    Https(HttpsDataset),
+    /// Merged monitoring dataset.
+    Monitor(MonitorDataset),
+}
+
+/// Per-shard output of one wave task.
+enum ShardData {
+    Dns(DnsDataset),
+    Http(HttpDataset),
+    Https(HttpsDataset),
+    Monitor(MonitorDataset),
+}
+
+/// One unit of wave work: experiment, shard index, its country plan, its
+/// world fork.
+type WaveTask = (Experiment, usize, Vec<(CountryCode, usize)>, World);
+
+/// Run `experiments` as **one wave**: every (experiment × shard) pair
+/// becomes a task in a single work queue, all forked from the same
+/// study-start snapshot `base`, and the results are absorbed into `live`
+/// in canonical experiment-major / shard-minor order against `mark`.
+///
+/// Compared to the old one-queue-per-experiment design this removes three
+/// full pool barriers from a four-experiment study: a worker that finishes
+/// its last DNS shard immediately picks up an HTTP shard instead of idling
+/// until the slowest DNS shard lands. It is also what the paper actually
+/// did — the experiments ran in *overlapping* windows (§3), not serial
+/// phases.
+///
+/// Determinism: every task forks `base` (cheap — the world's bulk data is
+/// behind shared `Arc`s and copies on first write, see
+/// [`proxynet::World`]), seeds from `base`'s clock plus a per-experiment
+/// salt and the shard index, and never sees another task's effects.
+/// Absorb/merge order is fixed by the task list, not by scheduling, so the
+/// returned datasets and `live`'s evidence log are byte-identical at any
+/// worker count.
+///
+/// `deep_fork` is a test seam: when set, every shard world is deeply
+/// unshared after forking ([`World::unshare`]), which reproduces the old
+/// whole-clone execution exactly and pins the copy-on-write overlay to it.
 // tft-lint: hot-root — shard bodies: every per-probe loop runs inside this
-pub(crate) fn run_experiment<D, F>(world: &mut World, workers: usize, run_shard: F) -> Vec<D>
-where
-    D: Send,
-    F: Fn(&mut World, ProbeScope) -> D + Sync,
-{
-    let plans = plan_shards(&world.reported_country_counts(), SHARD_COUNT);
-    let mark = world.evidence_mark();
-    let tasks: Vec<ShardTask> = plans
-        .into_iter()
-        .enumerate()
-        .map(|(k, plan)| (k, plan, world.clone()))
+pub(crate) fn run_wave(
+    live: &mut World,
+    base: &World,
+    mark: &EvidenceMark,
+    cfg: &StudyConfig,
+    workers: usize,
+    experiments: &[Experiment],
+    deep_fork: bool,
+) -> Vec<ExpData> {
+    let plans = plan_shards(&base.reported_country_counts(), SHARD_COUNT);
+    let tasks: Vec<WaveTask> = experiments
+        .iter()
+        .flat_map(|&exp| {
+            plans
+                .iter()
+                .enumerate()
+                // tft-lint: allow(hot-path-alloc, reason = "per-wave forks, not per-probe: plan is a handful of country codes and base.clone() only bumps the shared world's Arcs")
+                .map(move |(k, plan)| (exp, k, plan.clone(), base.clone()))
+        })
         .collect();
-    let finished = pool::par_map(workers, tasks, |(k, plan, mut shard_world)| {
+    let finished = pool::par_map(workers, tasks, |(exp, k, plan, mut shard_world)| {
+        if deep_fork {
+            shard_world.unshare();
+        }
         let scope = ProbeScope::shard(k, plan);
-        let data = run_shard(&mut shard_world, scope);
+        let data = match exp {
+            Experiment::Dns => ShardData::Dns(dns_exp::run_shard(&mut shard_world, cfg, scope)),
+            Experiment::Http => ShardData::Http(http_exp::run_shard(&mut shard_world, cfg, scope)),
+            Experiment::Https => {
+                ShardData::Https(https_exp::run_shard(&mut shard_world, cfg, scope))
+            }
+            Experiment::Monitor => {
+                ShardData::Monitor(monitor_exp::run_shard(&mut shard_world, cfg, scope))
+            }
+        };
         (data, shard_world)
     });
-    let mut datasets = Vec::with_capacity(finished.len());
+
+    // Absorb in task order (experiment-major, shard-minor) — the same
+    // canonical order regardless of worker count, and the same order a
+    // stage-at-a-time driver produces across separate waves.
+    let mut datas = Vec::with_capacity(finished.len());
     for (data, shard_world) in finished {
-        world.absorb_evidence(&shard_world, &mark);
-        datasets.push(data);
+        live.absorb_evidence(&shard_world, mark);
+        datas.push(data);
     }
-    datasets
+
+    let shard_count = plans.len();
+    let mut parts = datas.into_iter();
+    experiments
+        .iter()
+        .map(|&exp| {
+            let chunk = parts.by_ref().take(shard_count);
+            match exp {
+                Experiment::Dns => ExpData::Dns(merge_dns(
+                    chunk
+                        .map(|d| match d {
+                            ShardData::Dns(d) => d,
+                            _ => unreachable!("task order is experiment-major"),
+                        })
+                        .collect(),
+                )),
+                Experiment::Http => ExpData::Http(merge_http(
+                    chunk
+                        .map(|d| match d {
+                            ShardData::Http(d) => d,
+                            _ => unreachable!("task order is experiment-major"),
+                        })
+                        .collect(),
+                )),
+                Experiment::Https => ExpData::Https(merge_https(
+                    chunk
+                        .map(|d| match d {
+                            ShardData::Https(d) => d,
+                            _ => unreachable!("task order is experiment-major"),
+                        })
+                        .collect(),
+                )),
+                Experiment::Monitor => ExpData::Monitor(merge_monitor(
+                    chunk
+                        .map(|d| match d {
+                            ShardData::Monitor(d) => d,
+                            _ => unreachable!("task order is experiment-major"),
+                        })
+                        .collect(),
+                )),
+            }
+        })
+        .collect()
 }
 
 /// Merge per-shard DNS datasets: counters sum, observations re-sorted into
@@ -247,31 +382,29 @@ pub(crate) fn merge_https(parts: Vec<HttpsDataset>) -> HttpsDataset {
 /// same invariant the unsharded experiment maintains).
 pub(crate) fn merge_monitor(parts: Vec<MonitorDataset>) -> MonitorDataset {
     let mut merged = MonitorDataset::default();
+    let mut window: Option<u64> = None;
     for part in parts {
+        // The window length is a config-derived property of the experiment,
+        // not additive shard data: every shard that actually ran probes
+        // reports the same value. Take it from the first such shard (not
+        // the last — a trailing empty shard would otherwise zero it out)
+        // and check the rest agree.
+        if !part.observations.is_empty() || part.samples_issued > 0 {
+            match window {
+                None => window = Some(part.window_hours),
+                Some(w) => debug_assert_eq!(
+                    w, part.window_hours,
+                    "shards disagree on the monitoring window length"
+                ),
+            }
+        }
         merged.observations.extend(part.observations);
-        merged.window_hours = part.window_hours;
         merged.samples_issued += part.samples_issued;
         merged.quality.merge(&part.quality);
     }
+    merged.window_hours = window.unwrap_or_default();
     merged.observations.sort_by(|a, b| a.domain.cmp(&b.domain));
     merged
-}
-
-/// Convenience: run a full sharded experiment and merge with `merge`.
-pub(crate) fn sharded<D, F, M>(
-    world: &mut World,
-    cfg: &StudyConfig,
-    workers: usize,
-    run_shard: F,
-    merge: M,
-) -> D
-where
-    D: Send,
-    F: Fn(&mut World, &StudyConfig, ProbeScope) -> D + Sync,
-    M: FnOnce(Vec<D>) -> D,
-{
-    let parts = run_experiment(world, workers, |w, scope| run_shard(w, cfg, scope));
-    merge(parts)
 }
 
 #[cfg(test)]
@@ -347,6 +480,55 @@ mod tests {
             rc.random_range(0..u64::MAX),
             "different shards, independent streams"
         );
+    }
+
+    #[test]
+    fn overlay_forks_match_deep_clones_at_any_worker_count() {
+        // The shared-`Arc` world fork is a pure allocation optimization:
+        // running every experiment wave on deeply-unshared shard worlds
+        // (the historical whole-clone executor) must produce byte-identical
+        // datasets AND byte-identical absorbed evidence, at every worker
+        // count. `deep_fork` flips the seam inside `run_wave` itself, so
+        // the two paths differ only in how shard worlds are materialized.
+        let cfg = StudyConfig {
+            min_nodes_per_country: 5,
+            min_nodes_per_dns_server: 3,
+            ..StudyConfig::default()
+        };
+        let all = [
+            Experiment::Dns,
+            Experiment::Http,
+            Experiment::Https,
+            Experiment::Monitor,
+        ];
+        let run = |workers: usize, deep_fork: bool| {
+            let mut world = worldgen::build(&worldgen::smoke_spec(7)).world;
+            let base = world.clone();
+            let mark = world.evidence_mark();
+            let out = run_wave(&mut world, &base, &mark, &cfg, workers, &all, deep_fork);
+            let data: Vec<String> = out
+                .iter()
+                .map(|d| match d {
+                    ExpData::Dns(d) => format!("{d:?}"),
+                    ExpData::Http(d) => format!("{d:?}"),
+                    ExpData::Https(d) => format!("{d:?}"),
+                    ExpData::Monitor(d) => format!("{d:?}"),
+                })
+                .collect();
+            (
+                data,
+                format!("{:?}", world.now()),
+                world.bytes_billed(&cfg.customer),
+            )
+        };
+        let reference = run(1, true);
+        for workers in [1usize, 2, 8, 16, 32] {
+            let overlay = run(workers, false);
+            assert_eq!(
+                overlay, reference,
+                "workers={workers}: overlay fork diverged from deep clone"
+            );
+        }
     }
 
     #[test]

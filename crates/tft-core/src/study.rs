@@ -2,19 +2,20 @@
 //! the results.
 //!
 //! Execution is sharded and parallel (see [`crate::exec`]): each
-//! experiment's population is partitioned by country, shards run on worker
-//! threads from [`substrate::pool`], and the four analyses run
-//! concurrently. Output is byte-identical at any worker count — the worker
-//! knob trades wall-clock for cores, nothing else.
+//! experiment's population is partitioned by country, every
+//! (experiment × shard) pair forks the study-start world snapshot, and all
+//! of them drain through **one** work queue on [`substrate::pool`] worker
+//! threads — no barrier between experiments. The five analysis passes run
+//! concurrently afterwards. Output is byte-identical at any worker count —
+//! the worker knob trades wall-clock for cores, nothing else.
 
 use crate::analysis;
 use crate::config::StudyConfig;
-use crate::exec::{self, ExecOptions};
+use crate::exec::{self, ExecOptions, ExpData, Experiment};
 use crate::obs::{DnsDataset, HttpDataset, HttpsDataset, MonitorDataset};
-use crate::{dns_exp, http_exp, https_exp, monitor_exp};
 use inetdb::{Asn, CountryCode};
 use netsim::SimTime;
-use proxynet::World;
+use proxynet::{EvidenceMark, World};
 use std::collections::BTreeSet;
 use substrate::pool::Pool;
 
@@ -73,8 +74,9 @@ impl StudyReport {
     }
 }
 
-/// Run the full study: DNS, monitoring, HTTP, HTTPS (the paper overlapped
-/// DNS with monitoring and ran HTTP/HTTPS in adjacent windows), then all
+/// Run the full study: the DNS, HTTP, HTTPS, and monitoring experiments as
+/// one overlapping wave (the paper likewise overlapped its measurement
+/// windows rather than running the experiments back-to-back), then all
 /// analyses.
 ///
 /// ```
@@ -114,16 +116,35 @@ pub fn run_study_with(
     let started = world.now();
     let workers = exec_opts.workers;
 
-    let dns_data = exec::sharded(world, cfg, workers, dns_exp::run_shard, exec::merge_dns);
-    let http_data = exec::sharded(world, cfg, workers, http_exp::run_shard, exec::merge_http);
-    let https_data = exec::sharded(world, cfg, workers, https_exp::run_shard, exec::merge_https);
-    let monitor_data = exec::sharded(
+    // Fork point for every shard of every experiment: the study-start
+    // snapshot. The clone is cheap (shared-`Arc` world, see
+    // [`proxynet::World`]); `mark` is where absorbed shard evidence starts.
+    let base = world.clone();
+    let mark = world.evidence_mark();
+    let mut waves = exec::run_wave(
         world,
+        &base,
+        &mark,
         cfg,
         workers,
-        monitor_exp::run_shard,
-        exec::merge_monitor,
-    );
+        &[
+            Experiment::Dns,
+            Experiment::Http,
+            Experiment::Https,
+            Experiment::Monitor,
+        ],
+        false,
+    )
+    .into_iter();
+    let (
+        Some(ExpData::Dns(dns_data)),
+        Some(ExpData::Http(http_data)),
+        Some(ExpData::Https(https_data)),
+        Some(ExpData::Monitor(monitor_data)),
+    ) = (waves.next(), waves.next(), waves.next(), waves.next())
+    else {
+        unreachable!("run_wave returns one dataset per requested experiment, in order");
+    };
 
     analyze_into_report(
         world,
@@ -153,21 +174,21 @@ fn analyze_into_report(
 ) -> StudyReport {
     // All four analysis passes (plus the coverage tally) are read-only over
     // the merged datasets and the world; run them concurrently. Pool::run
-    // returns in index order, so destructuring below is deterministic.
-    let mut outs =
-        Pool::new(workers.min(5)).run(vec![0usize, 1, 2, 3, 4], |_, which| match which {
-            0 => AnalysisOut::Dns(analysis::dns::analyze(&dns_data, world, cfg)),
-            1 => AnalysisOut::Http(analysis::http::analyze(&http_data, world, cfg)),
-            2 => AnalysisOut::Https(analysis::https::analyze(&https_data, world, cfg)),
-            3 => AnalysisOut::Monitor(analysis::monitor::analyze(&monitor_data, world, cfg)),
-            _ => AnalysisOut::Coverage(coverage(
-                world,
-                &dns_data,
-                &http_data,
-                &https_data,
-                &monitor_data,
-            )),
-        });
+    // clamps workers to the task count itself and returns in index order,
+    // so destructuring below is deterministic.
+    let mut outs = Pool::new(workers).run(vec![0usize, 1, 2, 3, 4], |_, which| match which {
+        0 => AnalysisOut::Dns(analysis::dns::analyze(&dns_data, world, cfg)),
+        1 => AnalysisOut::Http(analysis::http::analyze(&http_data, world, cfg)),
+        2 => AnalysisOut::Https(analysis::https::analyze(&https_data, world, cfg)),
+        3 => AnalysisOut::Monitor(analysis::monitor::analyze(&monitor_data, world, cfg)),
+        _ => AnalysisOut::Coverage(coverage(
+            world,
+            &dns_data,
+            &http_data,
+            &https_data,
+            &monitor_data,
+        )),
+    });
     let (
         Some(AnalysisOut::Coverage(coverage)),
         Some(AnalysisOut::Monitor(monitor)),
@@ -233,10 +254,17 @@ impl StudyStage {
 /// machine: each [`step`](StudyDriver::step) runs exactly one stage
 /// (experiment or analysis), and after the last one the report is ready.
 /// Stepping through all stages produces a report **byte-identical** to
-/// [`run_study_with`] at the same worker count — both funnel through the
-/// same stage functions, and the equivalence is pinned by a test.
+/// [`run_study_with`] at the same worker count — every stage forks its
+/// shards from the same study-start snapshot the batch path uses and
+/// absorbs them in the same canonical order, so splitting the wave across
+/// steps cannot change a byte. The equivalence is pinned by a test.
 pub struct StudyDriver {
     world: World,
+    /// The study-start snapshot every stage's shards fork from — the same
+    /// fork point [`run_study_with`]'s single wave uses.
+    base: World,
+    /// Evidence high-water mark at study start, for shard absorption.
+    mark: EvidenceMark,
     cfg: StudyConfig,
     workers: usize,
     started: SimTime,
@@ -253,8 +281,12 @@ impl StudyDriver {
     /// [`step`](StudyDriver::step) is called.
     pub fn new(world: World, cfg: StudyConfig, exec_opts: &ExecOptions) -> StudyDriver {
         let started = world.now();
+        let base = world.clone();
+        let mark = world.evidence_mark();
         StudyDriver {
             world,
+            base,
+            mark,
             cfg,
             workers: exec_opts.workers,
             started,
@@ -282,46 +314,33 @@ impl StudyDriver {
     /// [`StudyStage::Done`] (running nothing) once the study is complete.
     pub fn step(&mut self) -> StudyStage {
         let stage = self.next;
-        let (world, cfg, workers) = (&mut self.world, &self.cfg, self.workers);
         match stage {
             StudyStage::Dns => {
-                self.dns_data = Some(exec::sharded(
-                    world,
-                    cfg,
-                    workers,
-                    dns_exp::run_shard,
-                    exec::merge_dns,
-                ));
+                let ExpData::Dns(d) = self.run_stage(Experiment::Dns) else {
+                    unreachable!("run_wave returns the requested experiment");
+                };
+                self.dns_data = Some(d);
                 self.next = StudyStage::Http;
             }
             StudyStage::Http => {
-                self.http_data = Some(exec::sharded(
-                    world,
-                    cfg,
-                    workers,
-                    http_exp::run_shard,
-                    exec::merge_http,
-                ));
+                let ExpData::Http(d) = self.run_stage(Experiment::Http) else {
+                    unreachable!("run_wave returns the requested experiment");
+                };
+                self.http_data = Some(d);
                 self.next = StudyStage::Https;
             }
             StudyStage::Https => {
-                self.https_data = Some(exec::sharded(
-                    world,
-                    cfg,
-                    workers,
-                    https_exp::run_shard,
-                    exec::merge_https,
-                ));
+                let ExpData::Https(d) = self.run_stage(Experiment::Https) else {
+                    unreachable!("run_wave returns the requested experiment");
+                };
+                self.https_data = Some(d);
                 self.next = StudyStage::Monitor;
             }
             StudyStage::Monitor => {
-                self.monitor_data = Some(exec::sharded(
-                    world,
-                    cfg,
-                    workers,
-                    monitor_exp::run_shard,
-                    exec::merge_monitor,
-                ));
+                let ExpData::Monitor(d) = self.run_stage(Experiment::Monitor) else {
+                    unreachable!("run_wave returns the requested experiment");
+                };
+                self.monitor_data = Some(d);
                 self.next = StudyStage::Analyze;
             }
             StudyStage::Analyze => {
@@ -335,8 +354,8 @@ impl StudyDriver {
                 };
                 self.report = Some(analyze_into_report(
                     &self.world,
-                    cfg,
-                    workers,
+                    &self.cfg,
+                    self.workers,
                     self.started,
                     dns,
                     http,
@@ -348,6 +367,23 @@ impl StudyDriver {
             StudyStage::Done => {}
         }
         stage
+    }
+
+    /// Run one experiment as a single-entry wave: shards fork from the
+    /// study-start snapshot and absorb into the live world exactly as the
+    /// batch path's combined wave would.
+    fn run_stage(&mut self, exp: Experiment) -> ExpData {
+        exec::run_wave(
+            &mut self.world,
+            &self.base,
+            &self.mark,
+            &self.cfg,
+            self.workers,
+            &[exp],
+            false,
+        )
+        .pop()
+        .expect("run_wave returns one dataset per requested experiment")
     }
 
     /// Run every remaining stage.

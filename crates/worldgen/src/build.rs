@@ -421,7 +421,7 @@ impl<'a> Builder<'a> {
             std::mem::replace(&mut self.registry, InternetRegistry::new()),
             self.roots.clone(),
         );
-        world.rankings = rankings;
+        world.set_rankings(rankings);
 
         for def in pending_resolvers {
             world.add_resolver(def);

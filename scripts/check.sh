@@ -49,11 +49,40 @@ BENCH_JSON="$PWD/BENCH_substrate.json" TFT_BENCH_QUICK=1 \
   cargo bench -p tft-bench --bench substrate
 
 echo "== parallel executor scaling (JSON to BENCH_parallel.json) =="
-# Same study at workers 1/2/4/8; output is byte-identical at every count
-# (see tests/determinism.rs), so this only tracks wall-clock. On a
-# single-core host the counts tie within noise — scaling needs cores.
-BENCH_JSON="$PWD/BENCH_parallel.json" TFT_BENCH_QUICK=1 \
+# Same study at workers 1/2/4/8/16/32; output is byte-identical at every
+# count (see tests/determinism.rs), so this only tracks wall-clock.
+# TFT_BENCH_SAMPLES=5 buys the regression guard below enough samples for a
+# stable median without a full calibrated run.
+BENCH_JSON="$PWD/BENCH_parallel.json" TFT_BENCH_QUICK=1 TFT_BENCH_SAMPLES=5 \
   cargo bench -p tft-bench --bench parallel
+
+echo "== parallel scaling regression guard =="
+# Inverted scaling is a bug, not a tuning matter: with the executor's
+# shards and single wave queue, adding workers must never *cost* wall-clock
+# on a machine with cores to use them. Enforced from the just-written
+# BENCH_parallel.json: fail if the workers-8 median exceeds the workers-1
+# median on an 8-plus-core host; on smaller hosts parallelism can't
+# genuinely be measured, so only warn (loudly) there.
+python3 - <<'EOF'
+import json, os, sys
+
+cores = os.cpu_count() or 1
+doc = json.load(open("BENCH_parallel.json"))
+medians = {b["name"]: b["median_ns"] for b in doc["benchmarks"]}
+w1 = next(v for k, v in medians.items() if k.endswith("workers1"))
+w8 = next(v for k, v in medians.items() if k.endswith("workers8"))
+ratio = w8 / w1
+line = f"workers-8 median / workers-1 median = {ratio:.2f} ({w8/1e9:.1f}s vs {w1/1e9:.1f}s, {cores} cores)"
+if w8 > w1:
+    if cores >= 8:
+        print(f"FAIL: inverted parallel scaling: {line}", file=sys.stderr)
+        sys.exit(1)
+    print(f"WARNING: {line}", file=sys.stderr)
+    print(f"WARNING: workers-8 slower than workers-1, but this host has only {cores} core(s);", file=sys.stderr)
+    print("WARNING: treat as a real scaling regression on any 8-core machine.", file=sys.stderr)
+else:
+    print(f"ok: {line}")
+EOF
 
 echo "== chaos zero-fault fast path (JSON to BENCH_chaos.json) =="
 # Asserts the armed-but-idle resilience stack (campaign + deadline +

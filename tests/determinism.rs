@@ -31,8 +31,10 @@ fn different_seeds_produce_different_measurements() {
 }
 
 /// The parallel executor's core invariant: worker count is a pure
-/// throughput knob. The rendered tables, node counts, and billing must be
-/// byte-identical whether the shards run on 1, 2, or 8 workers.
+/// throughput knob. The rendered tables, data-quality annex, node counts,
+/// and billing must be byte-identical whether the study's wave runs on 1
+/// worker or 32 — including counts far beyond the machine's cores and
+/// beyond the 32 tasks of a full four-experiment wave.
 #[test]
 fn worker_count_never_changes_output() {
     let run_with_workers = |workers: usize| {
@@ -41,6 +43,7 @@ fn worker_count_never_changes_output() {
         let report = run_study_with(&mut built.world, &cfg, &ExecOptions::with_workers(workers));
         (
             render_tables(&report),
+            render_annex(&report, &cfg),
             report.unique_nodes(),
             built.world.bytes_billed(&cfg.customer),
             built.world.auth_server().log().len(),
@@ -48,10 +51,10 @@ fn worker_count_never_changes_output() {
         )
     };
     let w1 = run_with_workers(1);
-    let w2 = run_with_workers(2);
-    let w8 = run_with_workers(8);
-    assert_eq!(w1, w2, "workers=1 vs workers=2 diverged");
-    assert_eq!(w1, w8, "workers=1 vs workers=8 diverged");
+    for workers in [2usize, 8, 16, 32] {
+        let w = run_with_workers(workers);
+        assert_eq!(w1, w, "workers=1 vs workers={workers} diverged");
+    }
 }
 
 /// Chaos does not erode determinism: a scripted fault campaign (regional
@@ -88,8 +91,8 @@ fn chaos_campaign_replays_identically_across_worker_counts() {
         )
     };
     let w1 = run_with_workers(1);
-    let w2 = run_with_workers(2);
-    let w8 = run_with_workers(8);
-    assert_eq!(w1, w2, "chaos workers=1 vs workers=2 diverged");
-    assert_eq!(w1, w8, "chaos workers=1 vs workers=8 diverged");
+    for workers in [2usize, 8, 16] {
+        let w = run_with_workers(workers);
+        assert_eq!(w1, w, "chaos workers=1 vs workers={workers} diverged");
+    }
 }
