@@ -8,117 +8,29 @@
 //! across PRs, and fails the build if the workers-8 median regresses past
 //! the workers-1 median on a machine with the cores to know better.
 //!
-//! The binary also installs a counting `#[global_allocator]` and reports
-//! **allocations per probe** in the JSON `notes`. That number is the
-//! ROADMAP allocation-overhaul metric: `tft-lint`'s `hot-path-alloc` pass
-//! pushes it down, and this note pins each remediation's effect in the
-//! archived trajectory.
-//!
-//! ## The observer effect, and why counting is gated
-//!
-//! The first version of this bench counted every allocation event into a
-//! single `AtomicU64` — including during the timed runs. One shared,
-//! contended cache line hit ~230M times per study run taxes precisely the
-//! configurations the bench exists to showcase: with 8 workers on 8 cores,
-//! every allocation bounces the counter line across cores, and the
-//! "scaling" curve measured the *instrument*, not the executor. The
-//! counter is therefore (a) **gated** — timed runs pay one relaxed load of
-//! a read-shared flag, never a write — and (b) **sharded** into
-//! cache-line-padded per-thread slots for the dedicated accounting runs,
-//! so even those don't serialize on one line. Accounting runs are separate
-//! from timed runs and record their per-worker-count event totals in the
-//! notes (`alloc_events_workers{N}`), which doubles as evidence that the
-//! work itself is worker-count-invariant.
+//! The binary also installs the shared counting `#[global_allocator]`
+//! (see `alloc_stats`) and reports **allocations per probe** plus the
+//! **live-bytes high-water mark** in the JSON `notes`. Allocs/probe is
+//! the ROADMAP allocation-overhaul metric: `tft-lint`'s `hot-path-alloc`
+//! pass pushes it down, `scripts/check.sh` guards it against regression,
+//! and this note pins each remediation's effect in the archived
+//! trajectory. Accounting runs are separate from timed runs and record
+//! their per-worker-count event totals in the notes
+//! (`alloc_events_workers{N}`), which doubles as evidence that the work
+//! itself is worker-count-invariant — pool-internal setup is excluded
+//! from the window via the `substrate::pool` setup observer, so the
+//! totals do not drift with the worker knob.
 
-use std::alloc::{GlobalAlloc, Layout, System};
-use std::cell::Cell;
+#[path = "alloc_stats/mod.rs"]
+mod alloc_stats;
+
 use std::hint::black_box;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use substrate::bench::Harness;
 use substrate::json::Json;
 use tft_core::{run_study_with, ExecOptions, StudyConfig, StudyReport};
 
-/// Shard count for the event counter. More than any worker count the bench
-/// drives *cores* at (threads share slots round-robin beyond this), enough
-/// that concurrent counting threads virtually never share a line.
-const COUNTER_SHARDS: usize = 16;
-
-/// One counter alone on its cache line, so shards never false-share.
-#[repr(align(64))]
-struct PaddedCounter(AtomicU64);
-
-/// Whether allocation events are being counted. Off during timed runs:
-/// the only cost the instrument may impose there is a relaxed load of
-/// this flag — a read-shared line, never written mid-run.
-static COUNTING: AtomicBool = AtomicBool::new(false);
-
-/// Per-thread-assigned counter shards (see [`COUNTER_SHARDS`]).
-static SHARDS: [PaddedCounter; COUNTER_SHARDS] =
-    [const { PaddedCounter(AtomicU64::new(0)) }; COUNTER_SHARDS];
-
-/// Next shard to hand to a counting thread that doesn't have one yet.
-static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
-
-std::thread_local! {
-    /// This thread's shard index; `usize::MAX` until first counted event.
-    /// Const-initialized `Cell` so the TLS access itself never allocates
-    /// (the allocator must not re-enter itself).
-    static MY_SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
-}
-
-/// Count one allocation event into this thread's shard.
-#[inline]
-fn count_event() {
-    MY_SHARD.with(|slot| {
-        let mut k = slot.get();
-        if k == usize::MAX {
-            k = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
-            slot.set(k);
-        }
-        SHARDS[k].0.fetch_add(1, Ordering::Relaxed);
-    });
-}
-
-/// Sum of all shards. Only meaningful while no one is counting.
-fn total_events() -> u64 {
-    SHARDS.iter().map(|c| c.0.load(Ordering::Relaxed)).sum()
-}
-
-/// Zero all shards.
-fn reset_events() {
-    for c in &SHARDS {
-        c.0.store(0, Ordering::Relaxed);
-    }
-}
-
-/// `System` with a gated, sharded allocation-event counter. Counts `alloc`
-/// and growth `realloc` calls — the events a hot-path `format!` or
-/// `.clone()` emits — not bytes, because per-probe churn is what the lint
-/// pass targets.
-struct CountingAlloc;
-
-unsafe impl GlobalAlloc for CountingAlloc {
-    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
-            count_event();
-        }
-        System.alloc(layout)
-    }
-
-    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
-    }
-
-    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
-            count_event();
-        }
-        System.realloc(ptr, layout, new_size)
-    }
-}
-
 #[global_allocator]
-static GLOBAL: CountingAlloc = CountingAlloc;
+static GLOBAL: alloc_stats::CountingAlloc = alloc_stats::CountingAlloc;
 
 /// Worker counts the bench sweeps, for both accounting and timing.
 const WORKER_COUNTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
@@ -151,23 +63,27 @@ fn main() {
     }
     // Allocation accounting: one dedicated counted run per worker count,
     // all before the timed loop. The per-worker totals land in the notes —
-    // near-identical numbers across worker counts are direct evidence the
+    // identical numbers across worker counts are direct evidence the
     // parallel executor does the same work regardless of the knob.
+    alloc_stats::install_pool_observer();
     for workers in WORKER_COUNTS {
         let mut world = pristine.clone();
-        reset_events();
-        COUNTING.store(true, Ordering::Relaxed);
+        alloc_stats::reset();
+        alloc_stats::counting_on();
         let report = run_study_with(&mut world, &cfg, &ExecOptions::with_workers(workers));
-        COUNTING.store(false, Ordering::Relaxed);
-        let allocs = total_events();
+        alloc_stats::counting_off();
+        let allocs = alloc_stats::total_events();
+        let peak = alloc_stats::peak_bytes();
         h.note(
             &format!("alloc_events_workers{workers}"),
             Json::uint(allocs),
         );
+        h.note(&format!("peak_bytes_workers{workers}"), Json::uint(peak));
         if workers == 1 {
             let probes = probes_issued(&report);
             h.note("alloc_events_single_worker_run", Json::uint(allocs));
             h.note("probes_issued", Json::uint(probes));
+            h.note("peak_bytes", Json::uint(peak));
             if probes > 0 {
                 let per_probe = allocs as f64 / probes as f64;
                 h.note("allocs_per_probe", Json::float(per_probe));

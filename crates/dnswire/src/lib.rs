@@ -29,5 +29,7 @@ pub mod zone;
 pub use cache::{CachedAnswer, DnsCache};
 pub use name::{DnsName, NameError};
 pub use server::{AnswerOverride, AuthServer, QueryLogEntry};
-pub use wire::{decode, encode, Flags, Message, QType, Question, RData, Rcode, Record, WireError};
+pub use wire::{
+    decode, encode, encode_into, Flags, Message, QType, Question, RData, Rcode, Record, WireError,
+};
 pub use zone::{Zone, ZoneAnswer};

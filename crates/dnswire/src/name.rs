@@ -3,6 +3,7 @@
 
 use std::fmt;
 use std::str::FromStr;
+use std::sync::Arc;
 
 /// Maximum length of one label (RFC 1035 §2.3.4).
 pub const MAX_LABEL_LEN: usize = 63;
@@ -14,9 +15,15 @@ pub const MAX_NAME_LEN: usize = 255;
 /// DNS names compare case-insensitively; we canonicalize to lowercase at
 /// construction so `Eq`/`Hash`/`Ord` behave correctly everywhere (zone maps,
 /// query logs, dedup sets).
+///
+/// Labels live behind an `Arc`: names are built once (parse, decode) and
+/// then copied into queries, cache keys, zone lookups, and log entries —
+/// a `clone` is a refcount bump, not a per-label string copy. All derived
+/// comparisons delegate to the label slice, so ordering and hashing are
+/// identical to the owned representation.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct DnsName {
-    labels: Vec<String>,
+    labels: Arc<[String]>,
 }
 
 /// Errors constructing a [`DnsName`].
@@ -48,7 +55,9 @@ impl std::error::Error for NameError {}
 impl DnsName {
     /// The root name (zero labels).
     pub fn root() -> Self {
-        DnsName { labels: Vec::new() }
+        DnsName {
+            labels: Arc::from([]),
+        }
     }
 
     /// Parse from dotted notation ("www.example.com", trailing dot allowed).
@@ -74,7 +83,9 @@ impl DnsName {
             }
             labels.push(label.to_ascii_lowercase());
         }
-        let name = DnsName { labels };
+        let name = DnsName {
+            labels: labels.into(),
+        };
         if name.wire_len() > MAX_NAME_LEN {
             return Err(NameError::NameTooLong);
         }
@@ -84,7 +95,9 @@ impl DnsName {
     /// Construct from labels (already validated elsewhere, e.g. the wire
     /// decoder, which enforces limits itself).
     pub(crate) fn from_labels(labels: Vec<String>) -> Self {
-        DnsName { labels }
+        DnsName {
+            labels: labels.into(),
+        }
     }
 
     /// The labels, most-specific first.
@@ -116,7 +129,7 @@ impl DnsName {
     /// The parent name (None at the root).
     pub fn parent(&self) -> Option<DnsName> {
         self.labels.split_first().map(|(_, rest)| DnsName {
-            labels: rest.to_vec(),
+            labels: rest.to_vec().into(),
         })
     }
 
@@ -141,10 +154,12 @@ impl DnsName {
     /// Panics on the root name.
     pub fn to_wildcard(&self) -> DnsName {
         assert!(!self.is_root(), "root has no wildcard form");
-        let mut labels = self.labels.clone();
+        let mut labels = self.labels.to_vec();
         // tft-lint: allow(no-panic-on-untrusted-bytes, reason = "documented API-contract panic: the assert above guarantees a leftmost label")
         labels[0] = "*".to_string();
-        DnsName { labels }
+        DnsName {
+            labels: labels.into(),
+        }
     }
 }
 

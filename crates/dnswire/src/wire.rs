@@ -2,7 +2,6 @@
 //! with pointer-loop protection.
 
 use crate::name::{DnsName, MAX_NAME_LEN};
-use std::collections::HashMap;
 use std::fmt;
 use std::net::{Ipv4Addr, Ipv6Addr};
 
@@ -331,17 +330,23 @@ impl std::error::Error for WireError {}
 // Encoding
 // ---------------------------------------------------------------------------
 
-struct Encoder {
-    buf: Vec<u8>,
-    /// Offset of each name suffix already emitted, for compression pointers.
-    seen: HashMap<String, usize>,
+struct Encoder<'a> {
+    buf: &'a mut Vec<u8>,
+    /// Start offsets (< 0x4000) of each distinct name suffix already
+    /// emitted, in emission order, for compression pointers. A linear scan
+    /// over a handful of offsets replaces the old `HashMap<String, usize>`
+    /// keyed by joined suffix strings, which allocated per label; suffix
+    /// equality is checked against the wire bytes themselves.
+    seen: Vec<u16>,
 }
 
-impl Encoder {
-    fn new() -> Self {
+impl<'a> Encoder<'a> {
+    fn new(buf: &'a mut Vec<u8>) -> Self {
+        buf.clear();
+        buf.reserve(512);
         Encoder {
-            buf: Vec::with_capacity(512),
-            seen: HashMap::new(),
+            buf,
+            seen: Vec::with_capacity(8),
         }
     }
 
@@ -353,18 +358,58 @@ impl Encoder {
         self.buf.extend_from_slice(&v.to_be_bytes());
     }
 
+    /// Does the (possibly pointer-compressed) name starting at `off` spell
+    /// exactly `labels`? Reads the already-written wire, chasing pointers.
+    fn suffix_matches(&self, mut off: usize, labels: &[String]) -> bool {
+        let mut idx = 0;
+        loop {
+            let Some(&len) = self.buf.get(off) else {
+                return false;
+            };
+            if len & 0xC0 == 0xC0 {
+                let Some(&lo) = self.buf.get(off.saturating_add(1)) else {
+                    return false;
+                };
+                off = usize::from(len & 0x3F) << 8 | usize::from(lo);
+                continue;
+            }
+            if len == 0 {
+                return idx == labels.len();
+            }
+            let Some(label) = labels.get(idx) else {
+                return false;
+            };
+            let start = off.saturating_add(1);
+            let Some(end) = start.checked_add(usize::from(len)) else {
+                return false;
+            };
+            let Some(bytes) = self.buf.get(start..end) else {
+                return false;
+            };
+            if bytes != label.as_bytes() {
+                return false;
+            }
+            off = end;
+            idx = idx.saturating_add(1);
+        }
+    }
+
     /// Emit a (possibly compressed) name. Compression pointers may only
-    /// reference offsets < 0x4000.
+    /// reference offsets < 0x4000. First-emitted suffix wins, exactly as
+    /// the old map's vacant-only insert did.
     fn name(&mut self, name: &DnsName) {
         let mut rest = name.labels();
         while let Some((label, tail)) = rest.split_first() {
-            let suffix = rest.join(".");
-            if let Some(&off) = self.seen.get(&suffix) {
-                self.u16(0xC000 | off as u16);
+            if let Some(&off) = self
+                .seen
+                .iter()
+                .find(|&&off| self.suffix_matches(usize::from(off), rest))
+            {
+                self.u16(0xC000 | off);
                 return;
             }
             if self.buf.len() < 0x4000 {
-                self.seen.insert(suffix, self.buf.len());
+                self.seen.push(self.buf.len() as u16);
             }
             self.buf.push(label.len() as u8);
             self.buf.extend_from_slice(label.as_bytes());
@@ -424,10 +469,20 @@ impl Encoder {
     }
 }
 
-/// Encode a message to wire bytes.
-// tft-lint: hot-root — runs once per DNS probe
+/// Encode a message to wire bytes. Thin owned wrapper over [`encode_into`].
 pub fn encode(msg: &Message) -> Result<Vec<u8>, WireError> {
-    let mut e = Encoder::new();
+    let mut out = Vec::new();
+    encode_into(msg, &mut out)?;
+    Ok(out)
+}
+
+/// Encode a message into `out` (cleared first): the scratch-buffer variant
+/// of [`encode`]. A caller-owned buffer reused across probes makes the
+/// steady-state encode path allocation-free apart from the small
+/// compression-offset list. Byte-identical to `encode`.
+// tft-lint: hot-root — runs once per DNS probe
+pub fn encode_into(msg: &Message, out: &mut Vec<u8>) -> Result<(), WireError> {
+    let mut e = Encoder::new(out);
     e.u16(msg.id);
     let f = &msg.flags;
     let mut flags: u16 = 0;
@@ -465,7 +520,7 @@ pub fn encode(msg: &Message) -> Result<Vec<u8>, WireError> {
     {
         e.record(r)?;
     }
-    Ok(e.buf)
+    Ok(())
 }
 
 // ---------------------------------------------------------------------------
@@ -751,6 +806,50 @@ mod tests {
         // answer's owner name is a 2-octet pointer: 12 + 34 + 5 × 16 = 126.
         assert_eq!(encoded.len(), 126, "compression not applied");
         assert_eq!(decode(&encoded).unwrap(), resp);
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        // The scratch-buffer path must be byte-identical to the owned path,
+        // including compression pointers into partially-shared suffixes
+        // (ns1/hostmaster share `example.com` with the qname's tail) and
+        // when the scratch buffer carries garbage from a previous probe.
+        let q = Message::query(7, name("x.sub.example.com"), QType::Any);
+        let mut resp = Message::respond(
+            &q,
+            Rcode::NoError,
+            vec![
+                Record {
+                    name: name("x.sub.example.com"),
+                    ttl: 60,
+                    rdata: RData::Cname(name("y.sub.example.com")),
+                },
+                Record {
+                    name: name("y.sub.example.com"),
+                    ttl: 60,
+                    rdata: RData::A(Ipv4Addr::new(192, 0, 2, 7)),
+                },
+            ],
+        );
+        resp.authority.push(Record {
+            name: name("example.com"),
+            ttl: 3600,
+            rdata: RData::Soa {
+                mname: name("ns1.example.com"),
+                rname: name("hostmaster.example.com"),
+                serial: 2016041301,
+                refresh: 7200,
+                retry: 3600,
+                expire: 1209600,
+                minimum: 300,
+            },
+        });
+        let mut scratch = b"garbage from a previous probe".to_vec();
+        for msg in [&q, &resp] {
+            encode_into(msg, &mut scratch).unwrap();
+            assert_eq!(scratch, encode(msg).unwrap());
+            assert_eq!(decode(&scratch).unwrap(), *msg);
+        }
     }
 
     #[test]

@@ -44,19 +44,38 @@ impl Response {
     }
 
     /// Serialize to wire bytes, adding `Content-Length` unless chunked
-    /// framing is declared.
-    // tft-lint: hot-root — runs once per HTTP probe
+    /// framing is declared. Thin owned wrapper over
+    /// [`Response::encode_into`].
     pub fn encode(&self) -> Vec<u8> {
-        let mut headers = self.headers.clone();
-        if !headers.is_chunked() {
-            headers.set("Content-Length", &self.body.len().to_string());
-        }
         let mut out = Vec::with_capacity(128 + self.body.len());
-        out.extend_from_slice(
-            format!("HTTP/1.1 {} {}\r\n{headers}\r\n", self.status, self.reason).as_bytes(),
-        );
-        out.extend_from_slice(&self.body);
+        self.encode_into(&mut out);
         out
+    }
+
+    /// Serialize into `out` (cleared first): the scratch-buffer variant of
+    /// [`Response::encode`]. No header clone, no owned status line — a
+    /// caller-owned buffer reused across probes makes encoding
+    /// allocation-free in steady state. Byte-identical to `encode`: any
+    /// stale `Content-Length` is dropped where it stood and the computed
+    /// one appended last, exactly where `Headers::set` would put it.
+    // tft-lint: hot-root — runs once per HTTP probe
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        use std::io::Write as _;
+        out.clear();
+        out.reserve(128 + self.body.len());
+        let _ = write!(out, "HTTP/1.1 {} {}\r\n", self.status, self.reason);
+        let chunked = self.headers.is_chunked();
+        for (n, v) in self.headers.iter() {
+            if !chunked && n.eq_ignore_ascii_case("content-length") {
+                continue;
+            }
+            let _ = write!(out, "{n}: {v}\r\n");
+        }
+        if !chunked {
+            let _ = write!(out, "Content-Length: {}\r\n", self.body.len());
+        }
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
     }
 
     /// Parse a complete response. Returns the response and bytes consumed.
@@ -102,6 +121,28 @@ mod tests {
         assert!(wire.starts_with("HTTP/1.1 200 OK\r\n"));
         assert!(wire.contains("Content-Length: 13\r\n"));
         assert!(wire.ends_with("<html></html>"));
+    }
+
+    #[test]
+    fn encode_into_matches_encode() {
+        // Plain, stale-Content-Length, and chunked responses must render
+        // identically through both paths (the scratch buffer is reused).
+        let mut scratch = b"garbage from a previous probe".to_vec();
+        let mut stale = Response::ok("text/html", b"abcdef".to_vec());
+        stale.headers.append("Content-Length", "999");
+        stale.headers.append("X-After", "kept");
+        let mut chunked = Response::new(StatusCode::OK, Vec::new());
+        chunked.headers.set("Transfer-Encoding", "chunked");
+        chunked.headers.set("Content-Length", "7");
+        for r in [
+            Response::ok("image/jpeg", vec![0xFF, 0xD8]),
+            Response::new(StatusCode::NOT_FOUND, b"not found".to_vec()),
+            stale,
+            chunked,
+        ] {
+            r.encode_into(&mut scratch);
+            assert_eq!(scratch, r.encode());
+        }
     }
 
     #[test]

@@ -69,19 +69,26 @@ impl TimelineDebug {
         self.attempts.last().map(|a| &a.zid)
     }
 
-    /// Render as the header value.
+    /// Render as the header value: one `String` built in place, not a
+    /// per-attempt `format!` pile joined at the end.
     pub fn to_header_value(&self) -> String {
-        self.attempts
-            .iter()
-            .map(|a| format!("{}={}", a.zid, a.outcome))
-            .collect::<Vec<_>>()
-            .join(",")
+        use std::fmt::Write as _;
+        // "z" + 16 hex digits + "=" + outcome token + separator.
+        let mut out = String::with_capacity(self.attempts.len() * 32);
+        for (i, a) in self.attempts.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}={}", a.zid, a.outcome);
+        }
+        out
     }
 
-    /// Parse from a header value. A structurally broken entry (no `=`)
-    /// still fails the whole parse, but an *unrecognized outcome token*
-    /// maps to [`AttemptOutcome::Unknown`]: one new token from a newer
-    /// proxy version must not erase the rest of the attempt evidence.
+    /// Parse from a header value. A structurally broken entry (no `=`, or
+    /// a zID spelled in anything but the proxy's canonical form) still
+    /// fails the whole parse, but an *unrecognized outcome token* maps to
+    /// [`AttemptOutcome::Unknown`]: one new token from a newer proxy
+    /// version must not erase the rest of the attempt evidence.
     pub fn parse(value: &str) -> Option<TimelineDebug> {
         let mut attempts = Vec::new();
         for part in value.split(',').filter(|p| !p.is_empty()) {
@@ -96,7 +103,7 @@ impl TimelineDebug {
                 _ => AttemptOutcome::Unknown,
             };
             attempts.push(Attempt {
-                zid: ZId(zid.to_string()),
+                zid: ZId::parse(zid)?,
                 outcome,
             });
         }
@@ -227,25 +234,27 @@ mod tests {
         let d = TimelineDebug {
             attempts: vec![
                 Attempt {
-                    zid: ZId("zaaaa".into()),
+                    zid: ZId(0xaaaa),
                     outcome: AttemptOutcome::Offline,
                 },
                 Attempt {
-                    zid: ZId("zbbbb".into()),
+                    zid: ZId(0xbbbb),
                     outcome: AttemptOutcome::Success,
                 },
             ],
         };
         let v = d.to_header_value();
-        assert_eq!(v, "zaaaa=offline,zbbbb=success");
+        assert_eq!(v, "z000000000000aaaa=offline,z000000000000bbbb=success");
         assert_eq!(TimelineDebug::parse(&v).unwrap(), d);
-        assert_eq!(d.final_zid().unwrap().0, "zbbbb");
+        assert_eq!(d.final_zid(), Some(&ZId(0xbbbb)));
     }
 
     #[test]
     fn timeline_parse_rejects_structural_garbage() {
         assert!(TimelineDebug::parse("no-equals-here").is_none());
-        assert!(TimelineDebug::parse("za=success,no-equals-here").is_none());
+        assert!(TimelineDebug::parse("z000000000000000a=success,no-equals-here").is_none());
+        // A zID spelled in anything but the canonical form is garbage too.
+        assert!(TimelineDebug::parse("za=success").is_none());
         assert_eq!(TimelineDebug::parse("").unwrap(), TimelineDebug::default());
     }
 
@@ -254,17 +263,31 @@ mod tests {
         // Regression: an unrecognized token used to bail the whole parse,
         // discarding every attempt's evidence. It must map to Unknown and
         // keep the rest of the timeline intact.
-        let parsed = TimelineDebug::parse("za=offline,zb=exploded,zc=success")
-            .expect("one new token must not erase attempt evidence");
+        let header = format!(
+            "{}=offline,{}=exploded,{}=success",
+            ZId(0xa),
+            ZId(0xb),
+            ZId(0xc)
+        );
+        let parsed =
+            TimelineDebug::parse(&header).expect("one new token must not erase attempt evidence");
         assert_eq!(parsed.attempts.len(), 3);
         assert_eq!(parsed.attempts[0].outcome, AttemptOutcome::Offline);
         assert_eq!(parsed.attempts[1].outcome, AttemptOutcome::Unknown);
         assert_eq!(parsed.attempts[2].outcome, AttemptOutcome::Success);
-        assert_eq!(parsed.final_zid().unwrap().0, "zc");
+        assert_eq!(parsed.final_zid(), Some(&ZId(0xc)));
         // Unknown re-renders as the literal "unknown" token and survives a
         // second round trip.
         let rendered = parsed.to_header_value();
-        assert_eq!(rendered, "za=offline,zb=unknown,zc=success");
+        assert_eq!(
+            rendered,
+            format!(
+                "{}=offline,{}=unknown,{}=success",
+                ZId(0xa),
+                ZId(0xb),
+                ZId(0xc)
+            )
+        );
         assert_eq!(TimelineDebug::parse(&rendered).unwrap(), parsed);
     }
 
@@ -273,17 +296,17 @@ mod tests {
         let d = TimelineDebug {
             attempts: vec![
                 Attempt {
-                    zid: ZId("za".into()),
+                    zid: ZId(0xa),
                     outcome: AttemptOutcome::CircuitOpen,
                 },
                 Attempt {
-                    zid: ZId("zb".into()),
+                    zid: ZId(0xb),
                     outcome: AttemptOutcome::TimedOut,
                 },
             ],
         };
         let v = d.to_header_value();
-        assert_eq!(v, "za=circuit_open,zb=timeout");
+        assert_eq!(v, format!("{}=circuit_open,{}=timeout", ZId(0xa), ZId(0xb)));
         assert_eq!(TimelineDebug::parse(&v).unwrap(), d);
     }
 
@@ -291,7 +314,7 @@ mod tests {
     fn error_debug_accessor() {
         let d = TimelineDebug {
             attempts: vec![Attempt {
-                zid: ZId("z1".into()),
+                zid: ZId(1),
                 outcome: AttemptOutcome::DnsError,
             }],
         };

@@ -23,6 +23,22 @@ use std::net::Ipv4Addr;
 /// times, §2.3).
 pub const MAX_ATTEMPTS: usize = 5;
 
+/// Reusable wire-codec buffers owned by the world (DESIGN.md §10).
+///
+/// Every shard fork carries its own set, so the flow layer's encode
+/// round-trips (`Response::encode_into`, `dnswire::encode_into`) are
+/// allocation-free in steady state: the buffers grow to the largest
+/// message once and are recycled across that shard's probes.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WireScratch {
+    /// HTTP response bytes for the origin → client round trip.
+    pub http_wire: Vec<u8>,
+    /// DNS message bytes for the query/response round trips.
+    pub dns_wire: Vec<u8>,
+    /// SMTP reply text for the server → client round trips.
+    pub smtp_text: String,
+}
+
 /// Outcome of resolution at the exit node.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub(crate) enum ExitResolve {
@@ -80,14 +96,17 @@ impl World {
                     None => {}
                 }
             }
-            // Full wire exercise: the query travels as RFC 1035 bytes.
+            // Full wire exercise: the query travels as RFC 1035 bytes,
+            // through the shard's reused scratch buffer.
+            let mut wire = std::mem::take(&mut self.scratch.dns_wire);
             let id: u16 = self.rng.random();
             let query = Message::query(id, name.clone(), QType::A);
-            let wire = dnswire::encode(&query).expect("query encodes");
+            dnswire::encode_into(&query, &mut wire).expect("query encodes");
             let query = dnswire::decode(&wire).expect("query decodes");
             let resp = self.auth_server.handle(&query, resolver_src, at);
-            let wire = dnswire::encode(&resp).expect("response encodes");
+            dnswire::encode_into(&resp, &mut wire).expect("response encodes");
             let resp = dnswire::decode(&wire).expect("response decodes");
+            self.scratch.dns_wire = wire;
             if self.resolver_caching {
                 let cache = self.resolver_caches.entry(resolver_src).or_default();
                 if resp.is_nxdomain() {
@@ -200,8 +219,14 @@ impl World {
 
     // -- origin fetch --------------------------------------------------------
 
-    /// Serve a request arriving at `ip` for `host`/`path` from `src`.
-    fn origin_response(
+    /// Serve a request arriving at `ip` for `host`/`path` from `src`,
+    /// encoding the response's HTTP/1.1 wire bytes into `out` (cleared
+    /// first). Web-server routes encode straight from the borrowed route
+    /// entry, so the multi-KB probe objects are never cloned per request.
+    // Eight arguments is the honest shape of one logged origin hit:
+    // time, addressing (src/ip/host/path), UA, and the output buffer.
+    #[allow(clippy::too_many_arguments)]
+    fn origin_response_into(
         &mut self,
         at: SimTime,
         src: Ipv4Addr,
@@ -209,24 +234,32 @@ impl World {
         host: &str,
         path: &str,
         user_agent: Option<&str>,
-    ) -> Response {
+        out: &mut Vec<u8>,
+    ) {
         if ip == self.web_ip {
             self.trace.record_with(at, TraceCategory::Origin, || {
                 format!("measurement web server serves http://{host}{path} to {src}")
             });
-            return self.web_server.handle(at, src, host, path, user_agent);
+            match self.web_server.handle_ref(at, src, host, path, user_agent) {
+                Some(r) => r.encode_into(out),
+                None => Response::new(httpwire::StatusCode::NOT_FOUND, b"not found".to_vec())
+                    .encode_into(out),
+            }
+            return;
         }
         if let Some(h) = self.landing.get(&ip) {
             self.trace.record_with(at, TraceCategory::Origin, || {
                 format!("hijack landing server at {ip} serves assist page for {host}")
             });
-            return Response::ok("text/html", h.hijack_page(host));
+            Response::ok("text/html", h.hijack_page(host)).encode_into(out);
+            return;
         }
         if let Some(site_host) = self.origin_by_ip.get(&ip) {
             let body = self.origin_sites[site_host].http_body.clone();
-            return Response::ok("text/html", body);
+            Response::ok("text/html", body).encode_into(out);
+            return;
         }
-        Response::new(httpwire::StatusCode::BAD_GATEWAY, Vec::new())
+        Response::new(httpwire::StatusCode::BAD_GATEWAY, Vec::new()).encode_into(out);
     }
 
     /// Apply in-path and end-host response modification (§5).
@@ -272,9 +305,12 @@ impl World {
         let monitor_idxs = self.nodes[node_id.0 as usize].software.monitors.clone();
         for idx in monitor_idxs {
             let entity = &self.monitors[idx];
+            // Same label bytes as the historical `format!("monitor-{idx}")`,
+            // pre-rendered at registration so the seed derivation (and the
+            // goldens pinning it) is untouched.
             let mut rng = self
                 .rng
-                .fork_indexed(&format!("monitor-{idx}"), node_id.0 as u64 ^ fnv(host));
+                .fork_indexed(&self.monitor_fork_labels[idx], node_id.0 as u64 ^ fnv(host));
             let plan = entity.plan(&mut rng);
             let ua = entity.user_agent.clone();
             for refetch in plan {
@@ -407,7 +443,7 @@ impl World {
                 }
             };
             tried.push(node_id);
-            let zid = self.nodes[node_id.0 as usize].zid.clone();
+            let zid = self.nodes[node_id.0 as usize].zid;
             let node_u = node_id.0 as u64;
             let asn_u = self.nodes[node_id.0 as usize].asn.0 as u64;
             // Skipping an open circuit costs neither time nor budget.
@@ -504,18 +540,20 @@ impl World {
                 }
                 _ => node.ip,
             };
-            let mut resp = self.origin_response(
+            // The response travels as real HTTP/1.1 bytes, through the
+            // shard's reused scratch buffer.
+            let mut wire = std::mem::take(&mut self.scratch.http_wire);
+            self.origin_response_into(
                 t_origin,
                 observed_src,
                 effective_ip,
                 &url.host,
                 &url.path,
                 Some("Hola/1.108"),
+                &mut wire,
             );
-            // The response travels as real HTTP/1.1 bytes.
-            let wire = resp.encode();
-            let (parsed, _) = Response::parse(&wire).expect("own encoding parses");
-            resp = parsed;
+            let (mut resp, _) = Response::parse(&wire).expect("own encoding parses");
+            self.scratch.http_wire = wire;
             self.apply_response_mods(node_id, &mut resp);
             // Transport damage scripted by the campaign lands *after* the
             // in-path modifications: the client receives a mangled or
@@ -534,7 +572,7 @@ impl World {
             }
 
             debug.attempts.push(Attempt {
-                zid: zid.clone(),
+                zid,
                 outcome: AttemptOutcome::Success,
             });
             self.breakers.record_success(node_u, asn_u);
@@ -543,7 +581,15 @@ impl World {
                 + l.super_to_exit.sample(&mut rng)
                 + l.client_to_super.sample(&mut rng);
             self.touch_session(opts, node_id, t_back);
-            *self.bytes_billed.entry(opts.customer.clone()).or_insert(0) += resp.body.len() as u64;
+            let billed = resp.body.len() as u64;
+            // Point-lookup first: the entry API would clone the customer
+            // key on every request, hit or miss.
+            match self.bytes_billed.get_mut(&opts.customer) {
+                Some(v) => *v += billed,
+                None => {
+                    self.bytes_billed.insert(opts.customer.clone(), billed);
+                }
+            }
             self.trace.record_with(t_back, TraceCategory::Client, || {
                 format!(
                     "client receives {} ({} bytes) via {zid}",
@@ -554,7 +600,7 @@ impl World {
             self.advance_to(t_back);
 
             let exit_ip = self.nodes[node_id.0 as usize].ip;
-            let mut headers = resp.headers.clone();
+            let mut headers = std::mem::take(&mut resp.headers);
             headers.set("X-Hola-Timeline-Debug", &debug.to_header_value());
             headers.set("X-Hola-Unblocker-Debug", &format!("zid={zid} ip={exit_ip}"));
             return Ok(ProxyResponse {
@@ -610,7 +656,7 @@ impl World {
                 }
             };
             tried.push(node_id);
-            let zid = self.nodes[node_id.0 as usize].zid.clone();
+            let zid = self.nodes[node_id.0 as usize].zid;
             let node_u = node_id.0 as u64;
             let asn_u = self.nodes[node_id.0 as usize].asn.0 as u64;
             if self.breakers.enabled() && !self.breakers.allows(node_u, asn_u, t) {
@@ -711,7 +757,7 @@ impl World {
             };
 
             debug.attempts.push(Attempt {
-                zid: zid.clone(),
+                zid,
                 outcome: AttemptOutcome::Success,
             });
             self.breakers.record_success(node_u, asn_u);

@@ -12,8 +12,15 @@ pub struct NodeId(pub u32);
 
 /// The persistent per-installation identifier Luminati exposes in its debug
 /// headers. Stable across IP changes — the paper's dedup key (§2.3).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ZId(pub String);
+///
+/// Held as the raw 64-bit value (a `Copy` key: dedup sets, billing maps,
+/// and per-attempt timelines never clone a string). The wire rendering is
+/// canonical `z` + 16 lowercase hex digits; because that form is
+/// fixed-width, the derived numeric [`Ord`] agrees byte-for-byte with the
+/// rendered strings' lexicographic order, so sorted output is unchanged
+/// from the string-keyed representation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ZId(pub u64);
 
 impl ZId {
     /// Derive the zID for a node index (stable, matching the on-disk
@@ -26,13 +33,24 @@ impl ZId {
         x ^= x >> 27;
         x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
         x ^= x >> 31;
-        ZId(format!("z{x:016x}"))
+        ZId(x)
+    }
+
+    /// Parse the canonical rendering (`z` + exactly 16 lowercase hex
+    /// digits). Anything else — wrong width, uppercase, stray characters —
+    /// is not a zID this proxy ever emitted.
+    pub fn parse(s: &str) -> Option<ZId> {
+        let hex = s.strip_prefix('z')?;
+        if hex.len() != 16 || !hex.bytes().all(|b| matches!(b, b'0'..=b'9' | b'a'..=b'f')) {
+            return None;
+        }
+        u64::from_str_radix(hex, 16).ok().map(ZId)
     }
 }
 
 impl fmt::Display for ZId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        write!(f, "z{:016x}", self.0)
     }
 }
 
@@ -156,7 +174,31 @@ mod tests {
         let c = ZId::for_node(NodeId(8));
         assert_eq!(a, b);
         assert_ne!(a, c);
-        assert!(a.0.starts_with('z'));
+        assert!(a.to_string().starts_with('z'));
+    }
+
+    #[test]
+    fn zid_parse_round_trips_canonical_form_only() {
+        let a = ZId::for_node(NodeId(7));
+        let rendered = a.to_string();
+        assert_eq!(rendered.len(), 17);
+        assert_eq!(ZId::parse(&rendered), Some(a));
+        // Non-canonical spellings a real proxy never emits are rejected.
+        for bad in ["", "z", "zaaaa", "Z0000000000000007", "z000000000000000G"] {
+            assert_eq!(ZId::parse(bad), None, "{bad:?} accepted");
+        }
+    }
+
+    #[test]
+    fn zid_numeric_order_matches_rendered_order() {
+        // The report sorts by ZId; fixed-width lowercase hex keeps the
+        // derived numeric order identical to the rendered strings'.
+        let mut ids: Vec<ZId> = (0..64u32).map(|i| ZId::for_node(NodeId(i))).collect();
+        let mut strings: Vec<String> = ids.iter().map(|z| z.to_string()).collect();
+        ids.sort();
+        strings.sort();
+        let rendered: Vec<String> = ids.iter().map(|z| z.to_string()).collect();
+        assert_eq!(rendered, strings);
     }
 
     #[test]

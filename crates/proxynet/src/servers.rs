@@ -26,8 +26,12 @@ pub struct WebLogEntry {
 /// The study's web server: serves probe objects and logs every request.
 #[derive(Debug, Clone, Default)]
 pub struct WebServer {
-    routes: HashMap<(String, String), Response>,
+    /// host → path → response; host keys are stored lowercase.
+    routes: HashMap<String, HashMap<String, Response>>,
     log: Vec<WebLogEntry>,
+    /// Reused lowercase-host scratch: route lookups need no owned key
+    /// (only the retained log entry owns its copy of the host).
+    host_scratch: String,
 }
 
 impl WebServer {
@@ -36,20 +40,40 @@ impl WebServer {
         Self::default()
     }
 
+    /// Lowercase `s` into `scratch` without allocating in steady state.
+    fn lower_into(scratch: &mut String, s: &str) {
+        scratch.clear();
+        scratch.push_str(s);
+        scratch.make_ascii_lowercase();
+    }
+
     /// Install content at `host`/`path`.
     pub fn put(&mut self, host: &str, path: &str, response: Response) {
         self.routes
-            .insert((host.to_ascii_lowercase(), path.to_string()), response);
+            .entry(host.to_ascii_lowercase())
+            .or_default()
+            .insert(path.to_string(), response);
     }
 
     /// Remove content. Returns true if it existed.
     pub fn remove(&mut self, host: &str, path: &str) -> bool {
-        self.routes
-            .remove(&(host.to_ascii_lowercase(), path.to_string()))
-            .is_some()
+        Self::lower_into(&mut self.host_scratch, host);
+        let Some(paths) = self.routes.get_mut(self.host_scratch.as_str()) else {
+            return false;
+        };
+        let hit = paths.remove(path).is_some();
+        if paths.is_empty() {
+            // Probe hosts are unique per probe; dropping the emptied inner
+            // map keeps a long run's route table from accumulating husks.
+            self.routes.remove(self.host_scratch.as_str());
+        }
+        hit
     }
 
-    /// Handle a request: log it and serve the route (404 on miss).
+    /// Handle a request: log it and serve the route (owned 404 on miss).
+    ///
+    /// Thin cloning wrapper over [`WebServer::handle_ref`] for callers
+    /// that need an owned response.
     pub fn handle(
         &mut self,
         at: SimTime,
@@ -58,17 +82,34 @@ impl WebServer {
         path: &str,
         user_agent: Option<&str>,
     ) -> Response {
+        match self.handle_ref(at, src, host, path, user_agent) {
+            // tft-lint: allow(hot-path-alloc, reason = "cold wrapper: the per-probe delivery path calls handle_ref and encodes from the borrow; only monitor refetch events and tests take the owned copy")
+            Some(r) => r.clone(),
+            None => Response::new(StatusCode::NOT_FOUND, b"not found".to_vec()),
+        }
+    }
+
+    /// Handle a request: log it and return the matching route *borrowed*
+    /// (`None` on a miss; the caller renders its 404). The hot delivery
+    /// path encodes straight from this reference instead of cloning
+    /// multi-KB probe objects per request.
+    pub fn handle_ref(
+        &mut self,
+        at: SimTime,
+        src: Ipv4Addr,
+        host: &str,
+        path: &str,
+        user_agent: Option<&str>,
+    ) -> Option<&Response> {
+        Self::lower_into(&mut self.host_scratch, host);
         self.log.push(WebLogEntry {
             at,
             src,
-            host: host.to_ascii_lowercase(),
+            host: self.host_scratch.clone(),
             path: path.to_string(),
             user_agent: user_agent.map(|s| s.to_string()),
         });
-        self.routes
-            .get(&(host.to_ascii_lowercase(), path.to_string()))
-            .cloned()
-            .unwrap_or_else(|| Response::new(StatusCode::NOT_FOUND, b"not found".to_vec()))
+        self.routes.get(self.host_scratch.as_str())?.get(path)
     }
 
     /// The request log, in arrival order of processing. Monitor refetches

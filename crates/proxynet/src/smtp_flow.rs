@@ -121,7 +121,7 @@ impl World {
             };
             tried.push(node_id);
             let node = &self.nodes[node_id.0 as usize];
-            let zid = node.zid.clone();
+            let zid = node.zid;
             let t_exit = t + l.super_to_exit.sample(&mut rng);
             if !node.online {
                 debug.attempts.push(Attempt {
@@ -152,34 +152,41 @@ impl World {
                 format!("mail server {} answers SMTP probe", site.host)
             });
 
-            // Banner.
-            let filter = |cmd: Option<&Command>, reply: Reply| -> Reply {
-                // Replies travel as real wire text either way.
-                let reply = Reply::parse(&reply.to_text()).expect("server replies are well-formed");
-                match &mitm {
-                    Some(m) => m.filter_reply(cmd, reply),
-                    None => reply,
-                }
-            };
-            let banner = filter(None, site.server.banner());
-            // EHLO.
-            let ehlo_cmd = Command::Ehlo("probe.tft.example".to_string());
-            let ehlo = filter(Some(&ehlo_cmd), site.server.handle(&ehlo_cmd));
-            let capabilities = Capabilities::from_ehlo(&ehlo);
-            // STARTTLS, if advertised end-to-end.
-            let (starttls_reply, tls_chain) = if capabilities.starttls {
-                let cmd = Command::StartTls;
-                let absorbed = mitm.as_ref().map(|m| m.absorbs(&cmd)).unwrap_or(false);
-                let reply = if absorbed {
-                    filter(Some(&cmd), Reply::new(220, "unused"))
-                } else {
-                    filter(Some(&cmd), site.server.handle(&cmd))
+            // Banner. Replies travel as real wire text either way: each is
+            // rendered through the shard's reused scratch buffer and
+            // re-parsed, exercising the codec without a per-reply String.
+            let mut text = std::mem::take(&mut self.scratch.smtp_text);
+            let (banner, ehlo, capabilities, starttls_reply, tls_chain) = {
+                let mut filter = |cmd: Option<&Command>, reply: Reply| -> Reply {
+                    reply.to_text_into(&mut text);
+                    let reply = Reply::parse(&text).expect("server replies are well-formed");
+                    match &mitm {
+                        Some(m) => m.filter_reply(cmd, reply),
+                        None => reply,
+                    }
                 };
-                let chain = (reply.code == 220).then(|| site.chain.clone());
-                (Some(reply), chain)
-            } else {
-                (None, None)
+                let banner = filter(None, site.server.banner());
+                // EHLO.
+                let ehlo_cmd = Command::Ehlo("probe.tft.example".to_string());
+                let ehlo = filter(Some(&ehlo_cmd), site.server.handle(&ehlo_cmd));
+                let capabilities = Capabilities::from_ehlo(&ehlo);
+                // STARTTLS, if advertised end-to-end.
+                let (starttls_reply, tls_chain) = if capabilities.starttls {
+                    let cmd = Command::StartTls;
+                    let absorbed = mitm.as_ref().map(|m| m.absorbs(&cmd)).unwrap_or(false);
+                    let reply = if absorbed {
+                        filter(Some(&cmd), Reply::new(220, "unused"))
+                    } else {
+                        filter(Some(&cmd), site.server.handle(&cmd))
+                    };
+                    let chain = (reply.code == 220).then(|| site.chain.clone());
+                    (Some(reply), chain)
+                } else {
+                    (None, None)
+                };
+                (banner, ehlo, capabilities, starttls_reply, tls_chain)
             };
+            self.scratch.smtp_text = text;
 
             debug.attempts.push(Attempt {
                 zid,

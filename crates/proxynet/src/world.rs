@@ -20,6 +20,7 @@ use netsim::{
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
 use std::sync::Arc;
+use substrate::intern::SymbolTable;
 
 /// The service's per-request time budget: the paper reports the client
 /// gives up on a request after 20 seconds (§2.3). On by default; a fault
@@ -104,6 +105,12 @@ pub struct World {
     /// Per-country site rankings (Alexa equivalent), public read access.
     /// Shared-immutable across clones.
     pub rankings: Arc<Rankings>,
+    /// Deterministic site-symbol table: every probe-able origin hostname,
+    /// interned once at world construction in site-plan order (DESIGN.md
+    /// §10). Probe loops and the analysis layer only *look up* and
+    /// *resolve* — they never insert, so shard execution order cannot
+    /// perturb ids. Shared-immutable across clones.
+    pub site_symbols: Arc<SymbolTable>,
     pub(crate) latencies: PathLatencies,
     pub(crate) fault: FaultInjector,
     pub(crate) campaign: FaultCampaign,
@@ -123,6 +130,10 @@ pub struct World {
     pub(crate) transparent_dns: Arc<HashMap<Asn, NxdomainHijacker>>,
     pub(crate) isp_http: Arc<HashMap<Asn, IspHttp>>,
     pub(crate) monitors: Arc<Vec<MonitorEntity>>,
+    /// Pre-rendered RNG fork labels, one per monitor entity
+    /// (`monitor-{idx}`): the per-request refetch scheduler forks its RNG
+    /// by label and must not `format!` one on every request.
+    pub(crate) monitor_fork_labels: Arc<Vec<String>>,
 
     pub(crate) auth_server: AuthServer,
     pub(crate) auth_apex: DnsName,
@@ -146,6 +157,10 @@ pub struct World {
     pub(crate) smtp: crate::smtp_flow::SmtpPlane,
     pub(crate) bytes_billed: HashMap<String, u64>,
     pub(crate) google_anycast: Vec<Ipv4Addr>,
+    /// Reused wire-codec scratch buffers (DESIGN.md §10). Per-clone, so
+    /// every shard fork owns its own set; recycled across that shard's
+    /// probes by the flow layer.
+    pub(crate) scratch: crate::flows::WireScratch,
 }
 
 impl World {
@@ -176,6 +191,7 @@ impl World {
             rng: SimRng::new(seed).fork("world"),
             registry: Arc::new(registry),
             rankings: Arc::new(Rankings::new()),
+            site_symbols: Arc::new(SymbolTable::new()),
             latencies: PathLatencies::default(),
             fault: FaultInjector::none(),
             campaign: FaultCampaign::none(),
@@ -190,6 +206,7 @@ impl World {
             transparent_dns: Arc::new(HashMap::new()),
             isp_http: Arc::new(HashMap::new()),
             monitors: Arc::new(Vec::new()),
+            monitor_fork_labels: Arc::new(Vec::new()),
             auth_server: AuthServer::new(zone),
             auth_apex,
             web_server: WebServer::new(),
@@ -208,6 +225,7 @@ impl World {
             smtp: crate::smtp_flow::SmtpPlane::default(),
             bytes_billed: HashMap::new(),
             google_anycast,
+            scratch: crate::flows::WireScratch::default(),
         }
     }
 
@@ -238,6 +256,13 @@ impl World {
         self.rankings = Arc::new(rankings);
     }
 
+    /// Replace the site-symbol table (worldgen wiring). The table must be
+    /// complete before the first probe: experiments look symbols up by
+    /// hostname and treat a miss as a world-construction bug.
+    pub fn set_site_symbols(&mut self, table: SymbolTable) {
+        self.site_symbols = Arc::new(table);
+    }
+
     /// Register a resolver.
     pub fn add_resolver(&mut self, def: ResolverDef) {
         Arc::make_mut(&mut self.resolvers).insert(def.ip, def);
@@ -257,11 +282,17 @@ impl World {
     pub fn add_monitor(&mut self, entity: MonitorEntity) -> usize {
         let monitors = Arc::make_mut(&mut self.monitors);
         monitors.push(entity);
-        monitors.len() - 1
+        let idx = monitors.len() - 1;
+        Arc::make_mut(&mut self.monitor_fork_labels).push(format!("monitor-{idx}"));
+        idx
     }
 
     /// Register an origin site (popular / university / invalid-cert site).
     pub fn add_origin_site(&mut self, site: OriginSite) {
+        // Every origin host is probe-able, so it must be in the
+        // site-symbol table; interning here (idempotent after worldgen's
+        // canonical-order pass) keeps hand-built test worlds complete too.
+        Arc::make_mut(&mut self.site_symbols).intern(&site.host);
         Arc::make_mut(&mut self.origin_by_ip).insert(site.ip, site.host.clone());
         Arc::make_mut(&mut self.origin_sites).insert(site.host.clone(), site);
     }
@@ -615,12 +646,14 @@ impl World {
         deep_copy!(
             registry,
             rankings,
+            site_symbols,
             pool_by_country,
             pool_all,
             resolvers,
             transparent_dns,
             isp_http,
             monitors,
+            monitor_fork_labels,
             origin_sites,
             origin_by_ip,
             landing,

@@ -145,7 +145,7 @@ fn d1_reveals_exit_node_resolver_and_ip() {
         .expect("d1 fetch succeeds");
     assert_eq!(resp.status, StatusCode::OK);
     assert_eq!(resp.body, b"<html>probe</html>");
-    let zid = resp.debug.final_zid().unwrap().clone();
+    let zid = *resp.debug.final_zid().unwrap();
 
     // Our DNS log shows two queries: the super proxy's (from Google
     // anycast) and the exit node's resolver.
@@ -183,7 +183,7 @@ fn d2_unhijacked_node_reports_dns_error() {
         .session(7)
         .dns_remote();
     let first = m.world.proxy_get(&opts, &Uri::http(&d1, "/")).unwrap();
-    let zid1 = first.debug.final_zid().unwrap().clone();
+    let zid1 = *first.debug.final_zid().unwrap();
 
     match m.world.proxy_get(&opts, &Uri::http(&d2, "/")) {
         Err(ProxyError::ExitDnsFailure(debug)) => {
@@ -265,7 +265,7 @@ fn offline_node_triggers_retry_with_debug_trail() {
     // Pin a session to a node, then take it offline.
     let opts = UsernameOptions::new("lab").country(cc("US")).session(5);
     let first = m.world.proxy_get(&opts, &Uri::http(&d1, "/")).unwrap();
-    let zid1 = first.debug.final_zid().unwrap().clone();
+    let zid1 = *first.debug.final_zid().unwrap();
     let node_id = m
         .world
         .node_ids()
@@ -295,7 +295,7 @@ fn country_selection_is_honored() {
     for _ in 0..10 {
         let opts = UsernameOptions::new("lab").country(cc("MY"));
         let resp = m.world.proxy_get(&opts, &Uri::http(&d1, "/")).unwrap();
-        let zid = resp.debug.final_zid().unwrap().clone();
+        let zid = *resp.debug.final_zid().unwrap();
         let node = m
             .world
             .node_ids()
@@ -481,11 +481,7 @@ fn deterministic_across_identical_worlds() {
             .dns_remote();
         let r1 = m.world.proxy_get(&opts, &Uri::http(&d1, "/")).unwrap();
         let r2 = m.world.proxy_get(&opts, &Uri::http(&d2, "/")).unwrap();
-        (
-            r1.debug.final_zid().unwrap().clone(),
-            r2.body,
-            m.world.now(),
-        )
+        (*r1.debug.final_zid().unwrap(), r2.body, m.world.now())
     };
     assert_eq!(run(), run());
 }

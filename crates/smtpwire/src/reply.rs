@@ -68,13 +68,26 @@ impl Reply {
     }
 
     /// Render to wire text (CRLF line endings, trailing CRLF included).
+    ///
+    /// Thin allocating wrapper over [`Reply::to_text_into`].
     pub fn to_text(&self) -> String {
         let mut s = String::new();
+        self.to_text_into(&mut s);
+        s
+    }
+
+    /// Render to wire text into a caller-owned scratch buffer (cleared
+    /// first). The per-probe SMTP flow renders every reply through the
+    /// shard's reused buffer, so steady-state rendering is allocation-free
+    /// once the buffer has grown to the longest reply.
+    // tft-lint: hot-root — runs several times per SMTP probe
+    pub fn to_text_into(&self, out: &mut String) {
+        use std::fmt::Write;
+        out.clear();
         for (i, line) in self.lines.iter().enumerate() {
             let sep = if i + 1 == self.lines.len() { ' ' } else { '-' };
-            s.push_str(&format!("{}{}{}\r\n", self.code, sep, line));
+            let _ = write!(out, "{}{}{}\r\n", self.code, sep, line);
         }
-        s
     }
 
     /// Parse wire text (one complete reply).
@@ -168,6 +181,19 @@ mod tests {
         let text = r.to_text();
         assert_eq!(text, "220 mx1.example ESMTP ready\r\n");
         assert_eq!(Reply::parse(&text).unwrap(), r);
+    }
+
+    #[test]
+    fn to_text_into_matches_to_text_and_clears_dirty_scratch() {
+        let mut scratch = String::from("STALE BYTES FROM THE LAST REPLY\r\n");
+        for r in [
+            Reply::new(220, "mx1.example ESMTP ready"),
+            Reply::multiline(250, vec!["mx1.example".into(), "STARTTLS".into()]),
+        ] {
+            r.to_text_into(&mut scratch);
+            assert_eq!(scratch, r.to_text());
+            assert_eq!(Reply::parse(&scratch).unwrap(), r);
+        }
     }
 
     #[test]

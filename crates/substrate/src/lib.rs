@@ -41,6 +41,7 @@
 
 pub mod bench;
 pub mod hash;
+pub mod intern;
 pub mod json;
 pub mod pool;
 pub mod qc;

@@ -24,7 +24,27 @@
 use std::cell::UnsafeCell;
 use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::thread;
+
+/// Hooks bracketing the pool's own setup work: slot-vector construction
+/// and worker spawning, which run on the calling thread and scale with the
+/// worker count. Instrumentation (the bench allocator's accounting run)
+/// registers these to exclude pool-internal bookkeeping from per-run
+/// measurements — the study's work is worker-count-invariant, the pool's
+/// scaffolding is not, and conflating them turns the invariance evidence
+/// into noise. Process-wide, set once; `None` costs one relaxed load.
+static SETUP_OBSERVER: OnceLock<SetupObserver> = OnceLock::new();
+
+/// An `(enter, exit)` hook pair bracketing pool setup.
+type SetupObserver = (fn(), fn());
+
+/// Register the setup observer (`enter` fires before pool setup on the
+/// calling thread, `exit` after the last worker is spawned, before the
+/// join). Returns false if an observer was already registered.
+pub fn set_setup_observer(enter: fn(), exit: fn()) -> bool {
+    SETUP_OBSERVER.set((enter, exit)).is_ok()
+}
 
 /// A slot owned by exactly one claimant at a time.
 ///
@@ -120,6 +140,10 @@ impl Pool {
         }
 
         let n = items.len();
+        let observer = SETUP_OBSERVER.get().copied();
+        if let Some((enter, _)) = observer {
+            enter();
+        }
         // Each slot index is claimed exactly once via the atomic cursor,
         // then drained/filled lock-free by the claiming worker (see
         // [`Slot`]). Slots hold Options so results can be moved out without
@@ -149,6 +173,11 @@ impl Pool {
                     let result = panic::catch_unwind(AssertUnwindSafe(|| task(i, item)));
                     unsafe { outputs[i].fill(result) };
                 });
+            }
+            // Setup ends here: every worker is spawned and the calling
+            // thread only blocks on the implicit join from this point.
+            if let Some((_, exit)) = observer {
+                exit();
             }
         });
 
@@ -234,6 +263,39 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = Pool::new(0);
+    }
+
+    #[test]
+    fn setup_observer_brackets_setup_on_the_calling_thread() {
+        use std::sync::atomic::AtomicU32;
+        static ENTERS: AtomicU32 = AtomicU32::new(0);
+        static EXITS: AtomicU32 = AtomicU32::new(0);
+        fn enter() {
+            ENTERS.fetch_add(1, Ordering::SeqCst);
+        }
+        fn exit() {
+            EXITS.fetch_add(1, Ordering::SeqCst);
+        }
+        // First registration wins; the process-wide hook stays set.
+        let first = set_setup_observer(enter, exit);
+        let second = set_setup_observer(enter, exit);
+        assert!(!second || first, "second registration must not override");
+        let before_e = ENTERS.load(Ordering::SeqCst);
+        let before_x = EXITS.load(Ordering::SeqCst);
+        // Inline path (single worker): no setup, observer must not fire.
+        let out = Pool::new(1).run(vec![1, 2, 3], |_, x| x * 2);
+        assert_eq!(out, vec![2, 4, 6]);
+        if first {
+            assert_eq!(ENTERS.load(Ordering::SeqCst), before_e);
+            assert_eq!(EXITS.load(Ordering::SeqCst), before_x);
+        }
+        // Threaded path: exactly one enter/exit pair per run.
+        let out = Pool::new(4).run(vec![1, 2, 3, 4], |_, x| x + 1);
+        assert_eq!(out, vec![2, 3, 4, 5]);
+        if first {
+            assert_eq!(ENTERS.load(Ordering::SeqCst), before_e + 1);
+            assert_eq!(EXITS.load(Ordering::SeqCst), before_x + 1);
+        }
     }
 
     #[test]

@@ -523,7 +523,7 @@ mod tests {
                 None => DnsOutcome::NotHijacked,
             };
             data.observations.push(DnsObservation {
-                zid: node.zid.clone(),
+                zid: node.zid,
                 node_ip: node.ip,
                 resolver_ip,
                 country: node.country,

@@ -205,8 +205,8 @@ pub fn analyze(data: &HttpDataset, world: &World, cfg: &StudyConfig) -> HttpAnal
                         }
                         out.html_injected += 1;
                         injected_here = true;
-                        let original = crate::http_exp::object_body(ProbeObject::Html);
-                        for sig in extract_signatures(&original, body) {
+                        let original = crate::http_exp::object_body_ref(ProbeObject::Html);
+                        for sig in extract_signatures(original, body) {
                             let agg = sig_aggs.entry(sig).or_insert(SigAgg {
                                 nodes: 0,
                                 ases: BTreeSet::new(),

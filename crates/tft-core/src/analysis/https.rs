@@ -79,13 +79,14 @@ pub fn analyze(data: &HttpsDataset, world: &World, _cfg: &StudyConfig) -> HttpsA
         let mut replaced_probes = Vec::new();
         let mut untouched = 0usize;
         for p in &obs.probes {
+            let host = world.site_symbols.resolve(p.host);
             let replaced = match p.class {
                 SiteClass::Popular | SiteClass::International => {
-                    verify_chain(&p.chain, &p.host, now, &world.root_store).is_err()
+                    verify_chain(&p.chain, host, now, &world.root_store).is_err()
                 }
                 SiteClass::Invalid => {
                     let expected = world
-                        .expected_chain(&p.host)
+                        .expected_chain(host)
                         .and_then(|c| c.first())
                         .expect("own site");
                     !exact_match(&p.chain, expected)
@@ -220,11 +221,11 @@ mod tests {
         let chain = world.expected_chain("demo-site.example").unwrap().to_vec();
         let data = HttpsDataset {
             observations: vec![HttpsObservation {
-                zid: node.zid.clone(),
+                zid: node.zid,
                 country: node.country,
                 exit_ip: node.ip,
                 probes: vec![CertProbe {
-                    host: "demo-site.example".into(),
+                    host: world.site_symbols.lookup("demo-site.example").unwrap(),
                     class: SiteClass::Popular,
                     chain,
                 }],
@@ -255,17 +256,17 @@ mod tests {
         let spoof_b = av.issue_spoof(&original[0], key, world.now(), false);
         let data = HttpsDataset {
             observations: vec![HttpsObservation {
-                zid: node.zid.clone(),
+                zid: node.zid,
                 country: node.country,
                 exit_ip: node.ip,
                 probes: vec![
                     CertProbe {
-                        host: "demo-site.example".into(),
+                        host: world.site_symbols.lookup("demo-site.example").unwrap(),
                         class: SiteClass::Popular,
                         chain: vec![spoof_a, av.cert.clone()],
                     },
                     CertProbe {
-                        host: "demo-site.example".into(),
+                        host: world.site_symbols.lookup("demo-site.example").unwrap(),
                         class: SiteClass::International,
                         chain: vec![spoof_b, av.cert.clone()],
                     },
@@ -295,11 +296,11 @@ mod tests {
         let spoof = anon.issue_spoof(&original[0], certs::KeyId(1), world.now(), false);
         let data = HttpsDataset {
             observations: vec![HttpsObservation {
-                zid: node.zid.clone(),
+                zid: node.zid,
                 country: node.country,
                 exit_ip: node.ip,
                 probes: vec![CertProbe {
-                    host: "demo-site.example".into(),
+                    host: world.site_symbols.lookup("demo-site.example").unwrap(),
                     class: SiteClass::Popular,
                     chain: vec![spoof, anon.cert.clone()],
                 }],

@@ -6,7 +6,7 @@ use crate::config::StudyConfig;
 use crate::obs::MonitorDataset;
 use inetdb::{Asn, CountryCode};
 use netsim::Cdf;
-use proxynet::World;
+use proxynet::{World, ZId};
 use std::collections::{BTreeMap, BTreeSet};
 use std::net::Ipv4Addr;
 
@@ -130,7 +130,7 @@ pub fn analyze(data: &MonitorDataset, world: &World, _cfg: &StudyConfig) -> Moni
         name: String,
         org: u32,
         sources: BTreeSet<Ipv4Addr>,
-        nodes: BTreeSet<String>,
+        nodes: BTreeSet<ZId>,
         node_ases: BTreeSet<Asn>,
         node_countries: BTreeSet<CountryCode>,
         node_orgs: BTreeSet<u32>,
@@ -186,7 +186,7 @@ pub fn analyze(data: &MonitorDataset, world: &World, _cfg: &StudyConfig) -> Moni
             });
             agg.sources.insert(e.src);
             agg.requests += 1;
-            let newly = agg.nodes.insert(obs.zid.0.clone());
+            let newly = agg.nodes.insert(obs.zid);
             agg.node_ases.insert(node_asn);
             if let Some(cc) = node_cc {
                 agg.node_countries.insert(cc);
@@ -266,7 +266,7 @@ mod tests {
         let node = world.node(proxynet::NodeId(1));
         let data = MonitorDataset {
             observations: vec![MonitorObservation {
-                zid: node.zid.clone(),
+                zid: node.zid,
                 reported_exit_ip: node.ip,
                 domain: "m1.tft-probe.example".into(),
                 own_request: Some(entry(
@@ -317,7 +317,7 @@ mod tests {
         let node = world.node(proxynet::NodeId(1));
         let data = MonitorDataset {
             observations: vec![MonitorObservation {
-                zid: node.zid.clone(),
+                zid: node.zid,
                 reported_exit_ip: node.ip,
                 domain: "m2.tft-probe.example".into(),
                 own_request: Some(entry(
@@ -349,7 +349,7 @@ mod tests {
         let node = world.node(proxynet::NodeId(0));
         let data = MonitorDataset {
             observations: vec![MonitorObservation {
-                zid: node.zid.clone(),
+                zid: node.zid,
                 reported_exit_ip: node.ip,
                 domain: "m3.tft-probe.example".into(),
                 own_request: Some(entry(

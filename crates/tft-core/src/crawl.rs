@@ -84,7 +84,7 @@ impl Sampler {
 
     /// Record the zID a probe reached. Returns true if it was new.
     pub fn record(&mut self, zid: &ZId) -> bool {
-        let new = self.seen.insert(zid.clone());
+        let new = self.seen.insert(*zid);
         self.window.push_back(new);
         if self.window.len() > self.window_size {
             self.window.pop_front();
@@ -171,11 +171,11 @@ mod tests {
         let mut s = sampler(&[("US", 10)]);
         // Discover 10 distinct nodes, then keep hitting them.
         for i in 0..10 {
-            assert!(s.record(&ZId(format!("z{i}"))));
+            assert!(s.record(&ZId(i as u64)));
         }
         assert!(!s.saturated(), "window not yet full");
         for i in 0..60 {
-            s.record(&ZId(format!("z{}", i % 10)));
+            s.record(&ZId((i % 10) as u64));
         }
         assert!(s.saturated());
         assert_eq!(s.unique_nodes(), 10);
@@ -185,7 +185,7 @@ mod tests {
     fn fresh_discoveries_defer_saturation() {
         let mut s = sampler(&[("US", 10)]);
         for i in 0..200 {
-            s.record(&ZId(format!("z{i}")));
+            s.record(&ZId(i as u64));
         }
         assert!(!s.saturated(), "constant discovery never saturates");
     }

@@ -106,6 +106,9 @@ fn run_scoped(
     .with_session_base(scope.session_base);
     let mut budget = ByteBudget::new(cfg.per_node_byte_cap);
     let mut data = DnsDataset::default();
+    // One reusable option set per shard: the customer string is owned
+    // once, not re-allocated per sample (DESIGN.md §10).
+    let mut opts = UsernameOptions::new(&cfg.customer).dns_remote();
     let apex = world.auth_apex().clone();
     let super_dns = world.super_proxy_dns_src();
     // Per-probe name scratch: cleared and rewritten each iteration so the
@@ -156,10 +159,8 @@ fn run_scoped(
         let auth_cursor = world.auth_server().log().len();
         let web_cursor = world.web_server().log().len();
 
-        let opts = UsernameOptions::new(&cfg.customer)
-            .country(country)
-            .session(session)
-            .dns_remote();
+        opts.country = Some(country);
+        opts.session = Some(session);
 
         // Step d1: identify the node, its IP, and its resolver.
         let outcome = (|| -> Option<DnsObservation> {

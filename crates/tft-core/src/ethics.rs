@@ -44,7 +44,7 @@ impl ByteBudget {
     /// treat a false here as a bug. Overflow of the running total denies,
     /// exactly like [`ByteBudget::allows`].
     pub fn charge(&mut self, zid: &ZId, bytes: u64) -> bool {
-        let entry = self.used.entry(zid.clone()).or_insert(0);
+        let entry = self.used.entry(*zid).or_insert(0);
         match entry.checked_add(bytes) {
             Some(total) if total <= self.cap => {
                 *entry = total;
@@ -117,7 +117,7 @@ mod tests {
     use super::*;
 
     fn z(i: u32) -> ZId {
-        ZId(format!("z{i}"))
+        ZId(i as u64)
     }
 
     #[test]

@@ -342,7 +342,7 @@ pub(crate) fn merge_dns(parts: Vec<DnsDataset>) -> DnsDataset {
         merged.samples_issued += part.samples_issued;
         merged.quality.merge(&part.quality);
     }
-    merged.observations.sort_by(|a, b| a.zid.cmp(&b.zid));
+    merged.observations.sort_by_key(|a| a.zid);
     merged.observations.dedup_by(|a, b| a.zid == b.zid);
     merged
 }
@@ -359,7 +359,7 @@ pub(crate) fn merge_http(parts: Vec<HttpDataset>) -> HttpDataset {
         merged.skipped_quota += part.skipped_quota;
         merged.quality.merge(&part.quality);
     }
-    merged.observations.sort_by(|a, b| a.zid.cmp(&b.zid));
+    merged.observations.sort_by_key(|a| a.zid);
     merged.observations.dedup_by(|a, b| a.zid == b.zid);
     merged
 }
@@ -373,7 +373,7 @@ pub(crate) fn merge_https(parts: Vec<HttpsDataset>) -> HttpsDataset {
         merged.samples_issued += part.samples_issued;
         merged.quality.merge(&part.quality);
     }
-    merged.observations.sort_by(|a, b| a.zid.cmp(&b.zid));
+    merged.observations.sort_by_key(|a| a.zid);
     merged.observations.dedup_by(|a, b| a.zid == b.zid);
     merged
 }

@@ -26,7 +26,40 @@ pub const OBJECT_HOST_LABEL: &str = "objects";
 
 /// Deterministic reference bodies. The paper found that objects under 1 KB
 /// see much less modification, so each object is full-size.
+///
+/// Thin owned wrapper over [`object_body_ref`] — callers that only compare
+/// or measure should take the borrowed form; the bodies are immutable
+/// study constants, built once per process.
 pub fn object_body(obj: ProbeObject) -> Vec<u8> {
+    object_body_ref(obj).to_vec()
+}
+
+/// The reference body as a borrowed slice, built once per process.
+///
+/// The JS body alone is 258 KB assembled from ~1300 `format!` fragments;
+/// rebuilding it per fetch (as `fetch_object` once did) dominated the
+/// study's allocation profile. The cache is keyed by object and filled on
+/// first use — contents are a pure function of the object, so process-wide
+/// sharing cannot perturb determinism.
+pub fn object_body_ref(obj: ProbeObject) -> &'static [u8] {
+    use std::sync::OnceLock;
+    static CACHE: [OnceLock<Vec<u8>>; 4] = [
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+        OnceLock::new(),
+    ];
+    let slot = match obj {
+        ProbeObject::Html => &CACHE[0],
+        ProbeObject::Jpeg => &CACHE[1],
+        ProbeObject::Js => &CACHE[2],
+        ProbeObject::Css => &CACHE[3],
+    };
+    slot.get_or_init(|| build_object_body(obj))
+}
+
+/// Build one reference body from scratch (cold path behind the cache).
+fn build_object_body(obj: ProbeObject) -> Vec<u8> {
     match obj {
         ProbeObject::Html => {
             let mut s = String::with_capacity(9 * 1024);
@@ -149,7 +182,7 @@ fn fetch_object(
         .find(|e| e.path == obj.path())
         .map(|e| e.src)
         .unwrap_or(resp.exit_ip);
-    let original = object_body(obj);
+    let original = object_body_ref(obj);
     let received_len = resp.body.len();
     let (modified_body, quarantine) = if resp.body == original {
         quality.record(country, delivery_outcome(&resp.debug));
@@ -202,7 +235,7 @@ fn measure_rest(
     let mut results = vec![first.result];
     let zid = first.zid;
     for obj in [ProbeObject::Jpeg, ProbeObject::Js, ProbeObject::Css] {
-        let need = object_body(obj).len() as u64;
+        let need = object_body_ref(obj).len() as u64;
         if !budget.allows(&zid, need) {
             break; // ethics cap: stop measuring this node
         }
@@ -241,6 +274,9 @@ fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> HttpDa
     .with_session_base(scope.session_base);
     let mut budget = ByteBudget::new(cfg.per_node_byte_cap);
     let mut data = HttpDataset::default();
+    // One reusable option set per shard: the customer string is owned
+    // once, not re-allocated per sample (DESIGN.md §10).
+    let mut opts = UsernameOptions::new(&cfg.customer);
     let mut per_as: HashMap<Asn, usize> = HashMap::new();
     let mut flagged: HashSet<Asn> = HashSet::new();
 
@@ -251,9 +287,8 @@ fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> HttpDa
         }
         let (country, session) = sampler.next_probe();
         data.samples_issued += 1;
-        let opts = UsernameOptions::new(&cfg.customer)
-            .country(country)
-            .session(session);
+        opts.country = Some(country);
+        opts.session = Some(session);
         let Some(first) = fetch_object(
             world,
             &opts,
@@ -310,9 +345,8 @@ fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> HttpDa
             }
             let session = sampler.next_probe().1;
             data.samples_issued += 1;
-            let opts = UsernameOptions::new(&cfg.customer)
-                .country(country)
-                .session(session);
+            opts.country = Some(country);
+            opts.session = Some(session);
             let Some(first) = fetch_object(
                 world,
                 &opts,

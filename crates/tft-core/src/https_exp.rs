@@ -47,6 +47,10 @@ fn probe_site(
     quality: &mut DataQuality,
 ) -> Option<(ZId, std::net::Ipv4Addr, Option<ChainDamage>, CertProbe)> {
     let ip = world.site_address(host)?;
+    let host_sym = world
+        .site_symbols
+        .lookup(host)
+        .expect("site-symbol table covers every probe target");
     let result = match world.proxy_connect_tls(opts, ip, 443, host) {
         Ok(r) => r,
         Err(e) => {
@@ -76,7 +80,7 @@ fn probe_site(
         result.exit_ip,
         result.damaged,
         CertProbe {
-            host: host.to_string(),
+            host: host_sym,
             class,
             chain: result.chain,
         },
@@ -85,13 +89,14 @@ fn probe_site(
 
 /// Does this probe pass its class's check?
 fn probe_ok(world: &World, probe: &CertProbe) -> bool {
+    let host = world.site_symbols.resolve(probe.host);
     match probe.class {
         SiteClass::Popular | SiteClass::International => {
-            verify_chain(&probe.chain, &probe.host, world.now(), &world.root_store).is_ok()
+            verify_chain(&probe.chain, host, world.now(), &world.root_store).is_ok()
         }
         SiteClass::Invalid => {
             let expected = world
-                .expected_chain(&probe.host)
+                .expected_chain(host)
                 .and_then(|c| c.first())
                 .expect("study-controlled site has a chain");
             exact_match(&probe.chain, expected)
@@ -122,9 +127,16 @@ fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> HttpsD
     .with_session_base(scope.session_base);
     let mut pick_rng = scope.rng(t0, PICK_SALT);
     let mut data = HttpsDataset::default();
+    // One reusable option set per shard: the customer string is owned
+    // once, not re-allocated per sample (DESIGN.md §10).
+    let mut opts = UsernameOptions::new(&cfg.customer);
     let apex = world.auth_apex().to_string();
     let invalid = invalid_hosts(&apex);
-    let universities: Vec<String> = world.rankings.universities().to_vec();
+    // Site lists are read straight out of the shared rankings: the `Arc`
+    // clone is a refcount bump that frees `world` for `&mut` probe calls
+    // without copying a single hostname (DESIGN.md §10).
+    let rankings = world.rankings.clone();
+    let universities: &[String] = rankings.universities();
 
     for _ in 0..cfg.max_samples {
         if sampler.saturated() {
@@ -132,25 +144,24 @@ fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> HttpsD
         }
         let (country, session) = sampler.next_probe();
         data.samples_issued += 1;
-        let Some(popular) = world.rankings.top_sites(country, 20).map(|s| s.to_vec()) else {
+        let Some(popular) = rankings.top_sites(country, 20) else {
             // No rankings for this country: out of scope, as in the paper.
             data.skipped_unranked += 1;
             sampler.record_miss();
             continue;
         };
-        let opts = UsernameOptions::new(&cfg.customer)
-            .country(country)
-            .session(session);
+        opts.country = Some(country);
+        opts.session = Some(session);
 
         // Phase 1: one site per class.
-        let p1_popular = popular[pick_rng.random_range(0..popular.len())].clone();
-        let p1_uni = universities[pick_rng.random_range(0..universities.len())].clone();
-        let p1_invalid = invalid[pick_rng.random_range(0..invalid.len())].clone();
+        let p1_popular = &popular[pick_rng.random_range(0..popular.len())];
+        let p1_uni = &universities[pick_rng.random_range(0..universities.len())];
+        let p1_invalid = &invalid[pick_rng.random_range(0..invalid.len())];
 
         let Some((zid, exit_ip, damage, first)) = probe_site(
             world,
             &opts,
-            &p1_popular,
+            p1_popular,
             SiteClass::Popular,
             None,
             country,
@@ -202,8 +213,8 @@ fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> HttpsD
             let mut full = Vec::with_capacity(33);
             let mut ok = true;
             let phase2: [(&[String], SiteClass); 3] = [
-                (&popular, SiteClass::Popular),
-                (&universities, SiteClass::International),
+                (popular, SiteClass::Popular),
+                (universities, SiteClass::International),
                 (&invalid, SiteClass::Invalid),
             ];
             'scan: for (hosts, class) in phase2 {

@@ -47,6 +47,9 @@ fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> Monito
         window_hours: cfg.monitor_window_hours,
         ..Default::default()
     };
+    // One reusable option set per shard: the customer string is owned
+    // once, not re-allocated per sample (DESIGN.md §10).
+    let mut opts = UsernameOptions::new(&cfg.customer);
     let apex = world.auth_apex().clone();
     let web_ip = world.web_ip();
     // zid → (domain, reported exit ip, probe issue time)
@@ -77,9 +80,8 @@ fn run_scoped(world: &mut World, cfg: &StudyConfig, scope: ProbeScope) -> Monito
                 b"<html><body>tft monitor probe</body></html>".to_vec(),
             ),
         );
-        let opts = UsernameOptions::new(&cfg.customer)
-            .country(country)
-            .session(session);
+        opts.country = Some(country);
+        opts.session = Some(session);
         match world.proxy_get(&opts, &Uri::http(&host, "/")) {
             Ok(resp) => {
                 let Some(zid) = resp.debug.final_zid().cloned() else {

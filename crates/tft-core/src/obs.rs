@@ -11,6 +11,7 @@ use certs::Certificate;
 use inetdb::CountryCode;
 use proxynet::{WebLogEntry, ZId};
 use std::net::Ipv4Addr;
+use substrate::intern::Symbol;
 
 /// Outcome of one node's d₂ probe.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -176,8 +177,11 @@ pub enum SiteClass {
 /// One TLS certificate collection.
 #[derive(Debug, Clone)]
 pub struct CertProbe {
-    /// Hostname (SNI).
-    pub host: String,
+    /// Hostname (SNI), interned in the world's site-symbol table. An
+    /// escalated node records 33 of these; a `Symbol` is a u32 copy where
+    /// an owned hostname was a per-probe allocation. Resolve against
+    /// `world.site_symbols` at the verification/report boundary.
+    pub host: Symbol,
     /// Site class.
     pub class: SiteClass,
     /// The chain presented through the tunnel, leaf first.

@@ -180,7 +180,7 @@ mod tests {
                 .iter()
                 .enumerate()
                 .map(|(i, o)| Attempt {
-                    zid: ZId(format!("z{i}")),
+                    zid: ZId(i as u64),
                     outcome: *o,
                 })
                 .collect(),

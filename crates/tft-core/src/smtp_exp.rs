@@ -51,6 +51,9 @@ pub fn run(world: &mut World, cfg: &StudyConfig) -> SmtpDataset {
         v
     };
     let mut data = SmtpDataset::default();
+    // One reusable option set per shard: the customer string is owned
+    // once, not re-allocated per sample (DESIGN.md §10).
+    let mut opts = UsernameOptions::new(&cfg.customer);
     if mail_hosts.is_empty() {
         return data;
     }
@@ -65,9 +68,8 @@ pub fn run(world: &mut World, cfg: &StudyConfig) -> SmtpDataset {
         let Some(target) = world.mail_site_address(&mail_host) else {
             continue;
         };
-        let opts = UsernameOptions::new(&cfg.customer)
-            .country(country)
-            .session(session);
+        opts.country = Some(country);
+        opts.session = Some(session);
         match world.vpn_relay_smtp(&opts, target) {
             Ok(result) => {
                 let Some(zid) = result.debug.final_zid().cloned() else {

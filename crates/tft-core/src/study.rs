@@ -15,7 +15,7 @@ use crate::exec::{self, ExecOptions, ExpData, Experiment};
 use crate::obs::{DnsDataset, HttpDataset, HttpsDataset, MonitorDataset};
 use inetdb::{Asn, CountryCode};
 use netsim::SimTime;
-use proxynet::{EvidenceMark, World};
+use proxynet::{EvidenceMark, World, ZId};
 use std::collections::BTreeSet;
 use substrate::pool::Pool;
 
@@ -425,7 +425,7 @@ fn coverage(
     https_data: &HttpsDataset,
     monitor_data: &MonitorDataset,
 ) -> Coverage {
-    let mut zids: BTreeSet<&str> = BTreeSet::new();
+    let mut zids: BTreeSet<ZId> = BTreeSet::new();
     let mut ases: BTreeSet<Asn> = BTreeSet::new();
     let mut countries: BTreeSet<CountryCode> = BTreeSet::new();
     let add_ip = |ip: std::net::Ipv4Addr,
@@ -439,19 +439,19 @@ fn coverage(
         }
     };
     for o in &dns_data.observations {
-        zids.insert(&o.zid.0);
+        zids.insert(o.zid);
         add_ip(o.node_ip, &mut ases, &mut countries);
     }
     for o in &http_data.observations {
-        zids.insert(&o.zid.0);
+        zids.insert(o.zid);
         add_ip(o.node_ip, &mut ases, &mut countries);
     }
     for o in &https_data.observations {
-        zids.insert(&o.zid.0);
+        zids.insert(o.zid);
         add_ip(o.exit_ip, &mut ases, &mut countries);
     }
     for o in &monitor_data.observations {
-        zids.insert(&o.zid.0);
+        zids.insert(o.zid);
         add_ip(o.reported_exit_ip, &mut ases, &mut countries);
     }
     Coverage {

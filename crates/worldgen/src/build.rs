@@ -19,6 +19,7 @@ use netsim::{SimDuration, SimRng, SimTime};
 use proxynet::{ExitNode, IspHttp, NodeId, Platform, ResolverChoice, ResolverDef, World};
 use std::collections::HashMap;
 use std::net::Ipv4Addr;
+use substrate::intern::SymbolTable;
 
 /// A built world plus the planted ground truth.
 pub struct BuiltWorld {
@@ -422,6 +423,15 @@ impl<'a> Builder<'a> {
             self.roots.clone(),
         );
         world.set_rankings(rankings);
+        // Site-symbol table: every probe-able origin hostname, interned in
+        // site-plan order (ranked sites by country, universities, then the
+        // three invalid hosts). Probe loops look these up; a miss there is
+        // a bug here.
+        let mut site_symbols = SymbolTable::new();
+        for sp in &site_plans {
+            site_symbols.intern(&sp.host);
+        }
+        world.set_site_symbols(site_symbols);
 
         for def in pending_resolvers {
             world.add_resolver(def);

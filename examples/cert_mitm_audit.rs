@@ -33,9 +33,14 @@ fn main() {
     println!("\nclose-up — the invalid-certificate masking hazard (§6.2):");
     let apex = built.world.auth_apex().to_string();
     let invalid_host = format!("invalid-selfsigned.{apex}");
+    let invalid_sym = built
+        .world
+        .site_symbols
+        .lookup(&invalid_host)
+        .expect("study site is interned at world build");
     let now = built.world.now();
     for obs in &data.observations {
-        let Some(probe) = obs.probes.iter().find(|p| p.host == invalid_host) else {
+        let Some(probe) = obs.probes.iter().find(|p| p.host == invalid_sym) else {
             continue;
         };
         let expected = built.world.expected_chain(&invalid_host).unwrap();

@@ -56,8 +56,7 @@ fn http_experiment_stays_under_per_node_cap() {
     let cfg = StudyConfig::scaled(0.004);
     let data = tft::tft_core::http_exp::run(&mut built.world, &cfg);
     let billed = built.world.bytes_billed(&cfg.customer);
-    let measured: std::collections::HashSet<_> =
-        data.observations.iter().map(|o| o.zid.0.as_str()).collect();
+    let measured: std::collections::HashSet<_> = data.observations.iter().map(|o| o.zid).collect();
     assert!(
         billed <= (measured.len() as u64 + data.samples_issued as u64) * cfg.per_node_byte_cap,
         "billing {billed} exceeds cap envelope"

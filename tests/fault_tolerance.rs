@@ -123,8 +123,7 @@ fn offline_population_shrinks_but_does_not_break_sampling() {
         ..StudyConfig::default()
     };
     let data = tft::tft_core::dns_exp::run(&mut built.world, &cfg);
-    let unique: std::collections::HashSet<_> =
-        data.observations.iter().map(|o| o.zid.0.as_str()).collect();
+    let unique: std::collections::HashSet<_> = data.observations.iter().map(|o| o.zid).collect();
     assert!(
         unique.len() <= ids.len() / 2 + 1,
         "measured {} nodes but only {} are online",
