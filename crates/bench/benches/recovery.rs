@@ -1,0 +1,204 @@
+//! Recovery bench: what crash-recoverability costs and what it buys.
+//!
+//! Two jobs in one binary:
+//!
+//! 1. **Regression gate** — the study rendered from a checkpoint restored
+//!    at *every* stage boundary must digest identically to the
+//!    uninterrupted run, at workers 1 and 8, and the serialized
+//!    checkpoints themselves must be byte-identical across worker counts.
+//!    A mismatch panics, the bench exits nonzero, and `scripts/check.sh`
+//!    fails the recovery stage.
+//! 2. **Trajectory** — per-boundary checkpoint serialization cost,
+//!    parse+restore cost, and time-to-recover (restore, then finish the
+//!    study) against time-to-recompute (rerun from scratch), written as
+//!    `BENCH_recovery.json` and archived across PRs.
+//!
+//! The JSON report is written directly (not via `Harness::finish`) because
+//! the per-boundary byte sizes and recover/recompute ratios live alongside
+//! — not inside — the timing stats.
+
+use std::hint::black_box;
+use substrate::bench::Harness;
+use substrate::hash::stable64;
+use substrate::json::Json;
+use tft_core::{
+    render_annex, render_tables, ExecOptions, StudyCheckpoint, StudyConfig, StudyDriver, StudyStage,
+};
+use worldgen::{build, smoke_spec};
+
+/// Master seed; the same study the recovery test sweep pins.
+const SEED: u64 = 0x5E4E;
+
+fn cfg() -> StudyConfig {
+    StudyConfig {
+        min_nodes_per_country: 5,
+        min_nodes_per_dns_server: 3,
+        ..StudyConfig::default()
+    }
+}
+
+fn rendered(driver: StudyDriver) -> String {
+    let config = cfg();
+    let (report, _world) = driver.into_parts();
+    let mut out = render_tables(&report);
+    out.push('\n');
+    out.push_str(&render_annex(&report, &config));
+    out
+}
+
+/// Uninterrupted run at `workers`, collecting the serialized checkpoint at
+/// every stage boundary along the way plus the final rendered digest.
+fn reference(workers: usize) -> (u64, Vec<(StudyStage, String)>) {
+    let spec = smoke_spec(SEED);
+    let mut driver = StudyDriver::new(
+        build(&spec).world,
+        cfg(),
+        &ExecOptions::with_workers(workers),
+    );
+    let mut checkpoints = Vec::new();
+    while !driver.is_done() {
+        let cp = driver
+            .checkpoint(&spec)
+            .expect("every pre-Done boundary is checkpointable");
+        checkpoints.push((cp.next, cp.to_canonical_json()));
+        driver.step();
+    }
+    (stable64(rendered(driver).as_bytes()), checkpoints)
+}
+
+/// Restore from serialized bytes and run the study to completion.
+fn recover(json: &str, workers: usize) -> String {
+    let cp = StudyCheckpoint::from_json_str(json).expect("archived checkpoint parses");
+    let mut driver = StudyDriver::restore(&cp, &ExecOptions::with_workers(workers))
+        .expect("archived checkpoint restores");
+    driver.run_to_completion();
+    rendered(driver)
+}
+
+/// Run the whole study from scratch.
+fn recompute(workers: usize) -> String {
+    let spec = smoke_spec(SEED);
+    let mut driver = StudyDriver::new(
+        build(&spec).world,
+        cfg(),
+        &ExecOptions::with_workers(workers),
+    );
+    driver.run_to_completion();
+    rendered(driver)
+}
+
+fn main() {
+    let mut h = Harness::new("recovery");
+    let worker_counts = [1usize, 8];
+
+    // ---- Gate 1: reference digests and checkpoint bytes are
+    // worker-independent.
+    let (digest, checkpoints) = reference(worker_counts[0]);
+    for &w in &worker_counts[1..] {
+        let (d, cps) = reference(w);
+        assert_eq!(
+            d, digest,
+            "reference digest diverged at workers={w}: {d:016x} != {digest:016x}"
+        );
+        assert_eq!(
+            cps, checkpoints,
+            "serialized checkpoints diverged at workers={w}"
+        );
+    }
+
+    // ---- Gate 2: recovery from every boundary renders the reference
+    // bytes at every worker count.
+    for (stage, json) in &checkpoints {
+        for &w in &worker_counts {
+            let got = stable64(recover(json, w).as_bytes());
+            assert_eq!(
+                got, digest,
+                "recovery from {stage:?} diverged at workers={w}: \
+                 {got:016x} != {digest:016x}"
+            );
+        }
+    }
+    eprintln!(
+        "[recovery] digest {digest:016x} identical across {} boundaries at workers {worker_counts:?}",
+        checkpoints.len()
+    );
+
+    // ---- Trajectory. Timing runs on one worker so the numbers measure
+    // the recovery machinery, not thread scheduling noise.
+    let recompute_stats = h
+        .bench("recompute/full", || black_box(recompute(1).len()))
+        .clone();
+
+    let mut rows = Vec::new();
+    for (stage, json) in &checkpoints {
+        let name = format!("{stage:?}").to_lowercase();
+
+        // Serialization cost: snapshot the driver parked at this boundary.
+        let spec = smoke_spec(SEED);
+        let mut driver = StudyDriver::new(build(&spec).world, cfg(), &ExecOptions::with_workers(1));
+        while !driver.is_done() && driver.next_stage() != *stage {
+            driver.step();
+        }
+        let checkpoint_stats = h
+            .bench(&format!("checkpoint/{name}"), || {
+                let cp = driver.checkpoint(&spec).expect("boundary checkpoints");
+                black_box(cp.to_canonical_json().len())
+            })
+            .clone();
+
+        // Parse + rebuild cost: bytes back to a runnable driver.
+        let restore_stats = h
+            .bench(&format!("restore/{name}"), || {
+                let cp = StudyCheckpoint::from_json_str(json).expect("checkpoint parses");
+                let d = StudyDriver::restore(&cp, &ExecOptions::with_workers(1))
+                    .expect("checkpoint restores");
+                black_box(d.next_stage())
+            })
+            .clone();
+
+        // Time-to-recover: restore and finish the remaining stages.
+        let recover_stats = h
+            .bench(&format!("recover/from_{name}"), || {
+                black_box(recover(json, 1).len())
+            })
+            .clone();
+
+        rows.push(Json::Obj(vec![
+            ("stage".into(), Json::str(name)),
+            ("checkpoint_bytes".into(), Json::uint(json.len() as u64)),
+            (
+                "checkpoint_ns".into(),
+                Json::float(checkpoint_stats.median_ns),
+            ),
+            ("restore_ns".into(), Json::float(restore_stats.median_ns)),
+            ("recover_ns".into(), Json::float(recover_stats.median_ns)),
+            (
+                "recover_vs_recompute".into(),
+                Json::float(recover_stats.median_ns / recompute_stats.median_ns),
+            ),
+        ]));
+    }
+
+    println!("{}", h.render());
+    let doc = Json::Obj(vec![
+        ("label".into(), Json::str("recovery")),
+        ("quick".into(), Json::Bool(h.is_quick())),
+        ("seed".into(), Json::str(format!("{SEED:016x}"))),
+        ("report_digest".into(), Json::str(format!("{digest:016x}"))),
+        ("digest_identical_at_workers_1_8".into(), Json::Bool(true)),
+        ("boundaries".into(), Json::uint(checkpoints.len() as u64)),
+        (
+            "recompute_full_ns".into(),
+            Json::float(recompute_stats.median_ns),
+        ),
+        ("stages".into(), Json::Arr(rows)),
+    ]);
+    if let Some(path) = std::env::var_os("BENCH_JSON") {
+        let rendered = doc.render_pretty() + "\n";
+        if let Err(e) = std::fs::write(&path, rendered) {
+            eprintln!("[recovery] could not write {}: {e}", path.to_string_lossy());
+            std::process::exit(1);
+        }
+        eprintln!("[recovery] wrote {}", path.to_string_lossy());
+    }
+}

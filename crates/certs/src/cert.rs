@@ -11,6 +11,8 @@
 
 use netsim::SimTime;
 use std::fmt;
+use substrate::json::{FromJson, Json, JsonError, ToJson};
+use substrate::json_struct;
 
 /// A (simulated) public key identity. Two certificates carrying the same
 /// `KeyId` "share a public key" — the observation the paper makes about
@@ -139,6 +141,38 @@ impl Certificate {
         h
     }
 }
+
+impl ToJson for KeyId {
+    fn to_json(&self) -> Json {
+        Json::uint(self.0)
+    }
+}
+
+impl FromJson for KeyId {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_u64()
+            .map(KeyId)
+            .ok_or_else(|| JsonError::shape("KeyId: expected unsigned integer"))
+    }
+}
+
+json_struct!(DistinguishedName {
+    common_name,
+    organization: None,
+    country: None,
+});
+
+json_struct!(Certificate {
+    serial,
+    subject,
+    issuer,
+    subject_key,
+    issuer_key,
+    not_before,
+    not_after,
+    san,
+    is_ca,
+});
 
 fn host_matches(pattern: &str, host: &str) -> bool {
     if let Some(suffix) = pattern.strip_prefix("*.") {

@@ -179,6 +179,21 @@ impl FromStr for DnsName {
     }
 }
 
+impl substrate::json::ToJson for DnsName {
+    fn to_json(&self) -> substrate::json::Json {
+        substrate::json::Json::Str(self.to_string())
+    }
+}
+
+impl substrate::json::FromJson for DnsName {
+    fn from_json(v: &substrate::json::Json) -> Result<Self, substrate::json::JsonError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| substrate::json::JsonError::shape("DnsName: expected string"))?;
+        DnsName::parse(s).map_err(|e| substrate::json::JsonError::shape(format!("DnsName: {e}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

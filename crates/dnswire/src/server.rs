@@ -82,6 +82,13 @@ pub struct QueryLogEntry {
     pub qtype: QType,
 }
 
+substrate::json_struct!(QueryLogEntry {
+    at,
+    src,
+    qname,
+    qtype,
+});
+
 /// The authoritative server: a zone, per-name overrides, and a query log.
 #[derive(Debug, Clone)]
 pub struct AuthServer {

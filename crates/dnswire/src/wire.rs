@@ -60,6 +60,23 @@ impl QType {
     }
 }
 
+impl substrate::json::ToJson for QType {
+    fn to_json(&self) -> substrate::json::Json {
+        substrate::json::Json::uint(u64::from(self.code()))
+    }
+}
+
+impl substrate::json::FromJson for QType {
+    fn from_json(v: &substrate::json::Json) -> Result<Self, substrate::json::JsonError> {
+        let n = v
+            .as_u64()
+            .ok_or_else(|| substrate::json::JsonError::shape("QType: expected wire code"))?;
+        u16::try_from(n)
+            .map(QType::from_code)
+            .map_err(|_| substrate::json::JsonError::shape("QType: code exceeds u16"))
+    }
+}
+
 impl fmt::Display for QType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -270,6 +270,20 @@ impl fmt::Display for SimDuration {
     }
 }
 
+impl substrate::json::ToJson for SimTime {
+    fn to_json(&self) -> substrate::json::Json {
+        substrate::json::Json::uint(self.0)
+    }
+}
+
+impl substrate::json::FromJson for SimTime {
+    fn from_json(v: &substrate::json::Json) -> Result<Self, substrate::json::JsonError> {
+        v.as_u64()
+            .map(SimTime)
+            .ok_or_else(|| substrate::json::JsonError::shape("SimTime: expected millisecond count"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -54,6 +54,20 @@ impl fmt::Display for ZId {
     }
 }
 
+impl substrate::json::ToJson for ZId {
+    fn to_json(&self) -> substrate::json::Json {
+        substrate::json::Json::uint(self.0)
+    }
+}
+
+impl substrate::json::FromJson for ZId {
+    fn from_json(v: &substrate::json::Json) -> Result<Self, substrate::json::JsonError> {
+        v.as_u64()
+            .map(ZId)
+            .ok_or_else(|| substrate::json::JsonError::shape("ZId: expected unsigned integer"))
+    }
+}
+
 /// Hola client platform. Only Windows and Mac OS installations run the
 /// background service that makes a peer usable as a Luminati exit (§2.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]

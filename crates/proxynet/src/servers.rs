@@ -23,6 +23,14 @@ pub struct WebLogEntry {
     pub user_agent: Option<String>,
 }
 
+substrate::json_struct!(WebLogEntry {
+    at,
+    src,
+    host,
+    path,
+    user_agent: None,
+});
+
 /// The study's web server: serves probe objects and logs every request.
 #[derive(Debug, Clone, Default)]
 pub struct WebServer {

@@ -707,6 +707,83 @@ impl World {
         }
     }
 
+    // -- checkpoint/restore support (tft-core crash recovery) ----------------
+
+    /// Web-server log entries recorded after `mark` was taken.
+    pub fn web_log_since<'a>(&'a self, mark: &EvidenceMark) -> &'a [crate::WebLogEntry] {
+        &self.web_server.log()[mark.web_log_len..]
+    }
+
+    /// Authoritative-DNS log entries recorded after `mark` was taken.
+    pub fn auth_log_since<'a>(&'a self, mark: &EvidenceMark) -> &'a [dnswire::QueryLogEntry] {
+        &self.auth_server.log()[mark.auth_log_len..]
+    }
+
+    /// Per-customer billing accrued since `mark`, in canonical (sorted
+    /// customer) order.
+    pub fn billing_delta(&self, mark: &EvidenceMark) -> Vec<(String, u64)> {
+        let mut deltas: Vec<(String, u64)> = self
+            .bytes_billed
+            .iter()
+            .filter_map(|(customer, &billed)| {
+                let base = mark.bytes_billed.get(customer).copied().unwrap_or(0);
+                let delta = billed
+                    .checked_sub(base)
+                    .expect("billing went backwards since mark");
+                (delta > 0).then(|| (customer.clone(), delta))
+            })
+            .collect();
+        deltas.sort();
+        deltas
+    }
+
+    /// Fingerprint of the world RNG's stream position: the next value the
+    /// generator *would* produce, read off a clone so the live stream is
+    /// untouched. Two worlds whose RNGs agree on seed and position agree on
+    /// this value; a checkpoint pins it so restore can prove the rebuilt
+    /// world's stream is where the original's was.
+    pub fn rng_fingerprint(&self) -> u64 {
+        use netsim::rng::Rng;
+        self.rng.clone().next_u64()
+    }
+
+    /// Number of live proxy sessions — a watermark the checkpoint layer
+    /// pins. Study stages end with their shard sessions discarded, so a
+    /// stage-boundary world holds zero; a nonzero count means the world is
+    /// mid-probe and not checkpointable.
+    pub fn session_watermark(&self) -> u64 {
+        self.sessions.len() as u64
+    }
+
+    /// True when no scheduled event is pending. Stage-boundary worlds in a
+    /// standard (churn-free) study are idle: advancing them only moves the
+    /// clock, which is what makes clock-only restore exact.
+    pub fn is_idle(&self) -> bool {
+        self.sched.is_idle()
+    }
+
+    /// Splice checkpointed evidence into a freshly rebuilt world (the
+    /// restore path): append recorded server-log entries and add billing
+    /// deltas. The caller is responsible for having advanced the clock to
+    /// the checkpoint time first and for feeding entries in canonical
+    /// (experiment-major) order — this is the same append discipline as
+    /// [`World::absorb_evidence`], sourced from a checkpoint instead of a
+    /// live shard.
+    pub fn restore_evidence(
+        &mut self,
+        web: &[crate::WebLogEntry],
+        auth: &[dnswire::QueryLogEntry],
+        billing: &[(String, u64)],
+    ) {
+        self.web_server.absorb_log(web);
+        self.auth_server.absorb_log(auth);
+        for (customer, delta) in billing {
+            if *delta > 0 {
+                *self.bytes_billed.entry(customer.clone()).or_insert(0) += delta;
+            }
+        }
+    }
+
     /// The anycast instance a Google-DNS-configured node in `country` hits.
     pub(crate) fn google_instance_for(&self, country: CountryCode, node: NodeId) -> Ipv4Addr {
         let mut h: u64 = 0xcbf2_9ce4_8422_2325;

@@ -810,6 +810,36 @@ impl<K: ToString, V: ToJson> ToJson for BTreeMap<K, V> {
     }
 }
 
+impl<K: std::str::FromStr + Ord, V: FromJson> FromJson for BTreeMap<K, V> {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        v.as_obj()
+            .ok_or_else(|| JsonError::shape(format!("expected object, got {v:?}")))?
+            .iter()
+            .map(|(k, val)| {
+                let key = k
+                    .parse::<K>()
+                    .map_err(|_| JsonError::shape(format!("unparseable map key {k:?}")))?;
+                Ok((key, V::from_json(val)?))
+            })
+            .collect()
+    }
+}
+
+impl ToJson for std::net::Ipv4Addr {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+impl FromJson for std::net::Ipv4Addr {
+    fn from_json(v: &Json) -> Result<Self, JsonError> {
+        let s = v
+            .as_str()
+            .ok_or_else(|| JsonError::shape(format!("expected IPv4 string, got {v:?}")))?;
+        s.parse()
+            .map_err(|_| JsonError::shape(format!("invalid IPv4 address {s:?}")))
+    }
+}
+
 impl ToJson for Json {
     fn to_json(&self) -> Json {
         self.clone()

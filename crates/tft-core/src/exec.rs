@@ -209,9 +209,11 @@ enum ShardData {
     Monitor(MonitorDataset),
 }
 
-/// One unit of wave work: experiment, shard index, its country plan, its
-/// world fork.
-type WaveTask = (Experiment, usize, Vec<(CountryCode, usize)>, World);
+/// One unit of wave work: experiment, shard index, its country plan. The
+/// shard's world fork is materialized inside the task (cheap `Arc` bump),
+/// so a supervised retry re-forks from the same pristine snapshot and is
+/// a pure function of this tuple.
+type WaveTask = (Experiment, usize, Vec<(CountryCode, usize)>);
 
 /// Run `experiments` as **one wave**: every (experiment × shard) pair
 /// becomes a task in a single work queue, all forked from the same
@@ -236,7 +238,15 @@ type WaveTask = (Experiment, usize, Vec<(CountryCode, usize)>, World);
 /// `deep_fork` is a test seam: when set, every shard world is deeply
 /// unshared after forking ([`World::unshare`]), which reproduces the old
 /// whole-clone execution exactly and pins the copy-on-write overlay to it.
+///
+/// `fault` selects supervised execution: per-task panics are contained and
+/// retried per the policy ([`substrate::pool::Pool::run_supervised`]); each
+/// retry re-forks the shard world from `base`, so an attempt that succeeds
+/// on retry `k` is byte-identical to one that succeeded immediately. Tasks
+/// still failing after every retry abort the wave with a named panic — a
+/// study must never render a report with a missing shard.
 // tft-lint: hot-root — shard bodies: every per-probe loop runs inside this
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_wave(
     live: &mut World,
     base: &World,
@@ -245,6 +255,7 @@ pub(crate) fn run_wave(
     workers: usize,
     experiments: &[Experiment],
     deep_fork: bool,
+    fault: Option<&pool::FaultPolicy>,
 ) -> Vec<ExpData> {
     let plans = plan_shards(&base.reported_country_counts(), SHARD_COUNT);
     let tasks: Vec<WaveTask> = experiments
@@ -253,15 +264,18 @@ pub(crate) fn run_wave(
             plans
                 .iter()
                 .enumerate()
-                // tft-lint: allow(hot-path-alloc, reason = "per-wave forks, not per-probe: plan is a handful of country codes and base.clone() only bumps the shared world's Arcs")
-                .map(move |(k, plan)| (exp, k, plan.clone(), base.clone()))
+                // tft-lint: allow(hot-path-alloc, reason = "per-wave task list, not per-probe: plan is a handful of country codes per shard")
+                .map(move |(k, plan)| (exp, k, plan.clone()))
         })
         .collect();
-    let finished = pool::par_map(workers, tasks, |(exp, k, plan, mut shard_world)| {
+    let run_task = |&(exp, k, ref plan): &WaveTask| {
+        // tft-lint: allow(hot-path-alloc, reason = "per-attempt fork, not per-probe: base.clone() only bumps the shared world's Arcs, and re-forking per attempt is what makes supervised retries pure")
+        let mut shard_world = base.clone();
         if deep_fork {
             shard_world.unshare();
         }
-        let scope = ProbeScope::shard(k, plan);
+        // tft-lint: allow(hot-path-alloc, reason = "per-attempt scope setup: a handful of country codes per shard")
+        let scope = ProbeScope::shard(k, plan.clone());
         let data = match exp {
             Experiment::Dns => ShardData::Dns(dns_exp::run_shard(&mut shard_world, cfg, scope)),
             Experiment::Http => ShardData::Http(http_exp::run_shard(&mut shard_world, cfg, scope)),
@@ -273,7 +287,35 @@ pub(crate) fn run_wave(
             }
         };
         (data, shard_world)
-    });
+    };
+    let finished: Vec<(ShardData, World)> = match fault {
+        None => pool::par_map(workers, tasks, |task| run_task(&task)),
+        Some(policy) => {
+            let (results, report) =
+                pool::Pool::new(workers).run_supervised(&tasks, policy, |_, task| run_task(task));
+            if !report.quarantined.is_empty() {
+                let detail: Vec<String> = report
+                    .quarantined
+                    .iter()
+                    .map(|(i, msg)| {
+                        let (exp, k, _) = &tasks[*i];
+                        // tft-lint: allow(hot-path-alloc, reason = "failure path only: formatting quarantine details immediately before the wave aborts")
+                        format!("{exp:?} shard {k} (task {i}): {msg}")
+                    })
+                    .collect();
+                panic!(
+                    "supervised wave: {} task(s) poisoned after {} retries: {}",
+                    detail.len(),
+                    policy.max_retries,
+                    detail.join("; ")
+                );
+            }
+            results
+                .into_iter()
+                .map(|r| r.expect("no task is poisoned, checked above"))
+                .collect()
+        }
+    };
 
     // Absorb in task order (experiment-major, shard-minor) — the same
     // canonical order regardless of worker count, and the same order a
@@ -505,7 +547,9 @@ mod tests {
             let mut world = worldgen::build(&worldgen::smoke_spec(7)).world;
             let base = world.clone();
             let mark = world.evidence_mark();
-            let out = run_wave(&mut world, &base, &mark, &cfg, workers, &all, deep_fork);
+            let out = run_wave(
+                &mut world, &base, &mark, &cfg, workers, &all, deep_fork, None,
+            );
             let data: Vec<String> = out
                 .iter()
                 .map(|d| match d {

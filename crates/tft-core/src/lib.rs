@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod checkpoint;
 pub mod config;
 pub mod crawl;
 pub mod dns_exp;
@@ -49,6 +50,7 @@ pub mod scoring;
 pub mod smtp_exp;
 pub mod study;
 
+pub use checkpoint::{CheckpointError, StudyCheckpoint, CHECKPOINT_VERSION};
 pub use config::StudyConfig;
 pub use crawl::Sampler;
 pub use exec::ExecOptions;

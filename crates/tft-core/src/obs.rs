@@ -42,7 +42,7 @@ pub struct DnsObservation {
 }
 
 /// The DNS experiment's dataset.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DnsDataset {
     /// Per-node observations.
     pub observations: Vec<DnsObservation>,
@@ -151,7 +151,7 @@ pub struct HttpObservation {
 }
 
 /// The HTTP experiment's dataset.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct HttpDataset {
     /// Per-node observations.
     pub observations: Vec<HttpObservation>,
@@ -206,7 +206,7 @@ pub struct HttpsObservation {
 }
 
 /// The HTTPS experiment's dataset.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct HttpsDataset {
     /// Per-node observations.
     pub observations: Vec<HttpsObservation>,
@@ -236,7 +236,7 @@ pub struct MonitorObservation {
 }
 
 /// The monitoring experiment's dataset.
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct MonitorDataset {
     /// Per-node observations.
     pub observations: Vec<MonitorObservation>,

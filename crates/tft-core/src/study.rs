@@ -134,6 +134,7 @@ pub fn run_study_with(
             Experiment::Monitor,
         ],
         false,
+        None,
     )
     .into_iter();
     let (
@@ -259,21 +260,24 @@ impl StudyStage {
 /// absorbs them in the same canonical order, so splitting the wave across
 /// steps cannot change a byte. The equivalence is pinned by a test.
 pub struct StudyDriver {
-    world: World,
+    pub(crate) world: World,
     /// The study-start snapshot every stage's shards fork from — the same
     /// fork point [`run_study_with`]'s single wave uses.
-    base: World,
+    pub(crate) base: World,
     /// Evidence high-water mark at study start, for shard absorption.
-    mark: EvidenceMark,
-    cfg: StudyConfig,
-    workers: usize,
-    started: SimTime,
-    next: StudyStage,
-    dns_data: Option<DnsDataset>,
-    http_data: Option<HttpDataset>,
-    https_data: Option<HttpsDataset>,
-    monitor_data: Option<MonitorDataset>,
-    report: Option<StudyReport>,
+    pub(crate) mark: EvidenceMark,
+    pub(crate) cfg: StudyConfig,
+    pub(crate) workers: usize,
+    pub(crate) started: SimTime,
+    pub(crate) next: StudyStage,
+    pub(crate) dns_data: Option<DnsDataset>,
+    pub(crate) http_data: Option<HttpDataset>,
+    pub(crate) https_data: Option<HttpsDataset>,
+    pub(crate) monitor_data: Option<MonitorDataset>,
+    pub(crate) report: Option<StudyReport>,
+    /// Supervised-execution policy for stage waves; `None` runs stages
+    /// unsupervised (a task panic unwinds, the historical behaviour).
+    pub(crate) fault: Option<substrate::pool::FaultPolicy>,
 }
 
 impl StudyDriver {
@@ -296,7 +300,17 @@ impl StudyDriver {
             https_data: None,
             monitor_data: None,
             report: None,
+            fault: None,
         }
+    }
+
+    /// Run stage waves under supervision: per-task panics are contained and
+    /// retried per `policy` instead of unwinding (see
+    /// [`substrate::pool::Pool::run_supervised`]). Retries re-fork their
+    /// shard from the study-start snapshot, so a stage where a shard
+    /// succeeded on retry `k` is byte-identical to a fault-free stage.
+    pub fn set_fault_policy(&mut self, policy: substrate::pool::FaultPolicy) {
+        self.fault = Some(policy);
     }
 
     /// The stage the next [`step`](StudyDriver::step) will run, or
@@ -381,6 +395,7 @@ impl StudyDriver {
             self.workers,
             &[exp],
             false,
+            self.fault.as_ref(),
         )
         .pop()
         .expect("run_wave returns one dataset per requested experiment")

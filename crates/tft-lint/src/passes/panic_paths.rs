@@ -4,15 +4,17 @@
 //! paper's middlebox adversaries — their inputs are by definition
 //! attacker-shaped. A parser that can `unwrap`, `expect`, `panic!`, or
 //! index a slice on untrusted bytes turns malformed input into a crash.
-//! The pass bans those constructs in the crates' library code; unit-test
-//! modules (`#[cfg(test)] mod …`) and integration tests are exempt, since
-//! tests unwrap their own well-formed fixtures.
+//! The same contract covers `tft-serve`: the gateway's `handle` consumes
+//! raw request bytes straight off the (virtual) wire, so its whole request
+//! path must be total too. The pass bans those constructs in the crates'
+//! library code; unit-test modules (`#[cfg(test)] mod …`) and integration
+//! tests are exempt, since tests unwrap their own well-formed fixtures.
 
 use super::{code_indices, in_ranges};
 use crate::engine::{Diagnostic, FileKind, Pass, SourceFile};
 use crate::lexer::TokKind;
 
-const PARSER_CRATES: [&str; 4] = ["dnswire", "httpwire", "smtpwire", "certs"];
+const PARSER_CRATES: [&str; 5] = ["dnswire", "httpwire", "smtpwire", "certs", "tft-serve"];
 
 const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
 
@@ -32,8 +34,8 @@ impl Pass for NoPanicOnUntrustedBytes {
     }
 
     fn description(&self) -> &'static str {
-        "forbid unwrap/expect/panic!/slice-indexing in dnswire/httpwire/smtpwire/certs \
-         library code; parsers of untrusted bytes must return errors"
+        "forbid unwrap/expect/panic!/slice-indexing in dnswire/httpwire/smtpwire/certs/tft-serve \
+         library code; parsers and servers of untrusted bytes must return errors"
     }
 
     fn applies(&self, file: &SourceFile) -> bool {

@@ -165,6 +165,34 @@ fn panic_macro_in_parser_fires() {
 }
 
 #[test]
+fn panic_paths_in_tft_serve_request_path_fire() {
+    // The gateway consumes raw bytes off the virtual wire, so the totality
+    // contract covers the whole serving crate — any module under src/.
+    for (path, body) in [
+        (
+            "crates/tft-serve/src/gateway.rs",
+            "pub fn route(b: &[u8]) -> u8 { b[0] }",
+        ),
+        (
+            "crates/tft-serve/src/cache.rs",
+            "pub fn first(b: &[u8]) -> u8 { *b.first().unwrap() }",
+        ),
+        (
+            "crates/tft-serve/src/some/new/module.rs",
+            r#"pub fn parse(b: &[u8]) { if b.is_empty() { panic!("empty request") } }"#,
+        ),
+    ] {
+        let f = SourceFile::rust(path, "tft-serve", body);
+        let hits = lint(&[f]);
+        assert!(
+            hits.iter()
+                .any(|h| h.starts_with("no-panic-on-untrusted-bytes:")),
+            "expected no-panic-on-untrusted-bytes in {path}, got {hits:?}"
+        );
+    }
+}
+
+#[test]
 fn unwrap_outside_parser_crates_is_fine() {
     let f = SourceFile::rust(
         "crates/tft-core/src/crawl.rs",

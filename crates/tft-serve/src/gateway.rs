@@ -37,7 +37,10 @@ use httpwire::{chunked, Method, Request, Response, StatusCode, Target};
 use netsim::{SimDuration, SimTime};
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
-use tft_core::{render_annex, render_tables, ExecOptions, StudyConfig, StudyDriver, StudyStage};
+use substrate::json::Json;
+use tft_core::{
+    render_annex, render_tables, ExecOptions, StudyCheckpoint, StudyConfig, StudyDriver, StudyStage,
+};
 use worldgen::WorldSpec;
 
 /// Gateway tuning.
@@ -51,6 +54,11 @@ pub struct GatewayConfig {
     pub world_cache: usize,
     /// Tier-2 capacity (rendered reports).
     pub report_cache: usize,
+    /// Per-study virtual deadline, measured from admission. A study whose
+    /// next stage would complete past the deadline is cancelled: its slot
+    /// frees, its partial output is discarded, and `GET` answers `504` —
+    /// never a partial or stale body. `None` (the default) disables it.
+    pub study_deadline: Option<SimDuration>,
 }
 
 impl Default for GatewayConfig {
@@ -60,6 +68,7 @@ impl Default for GatewayConfig {
             queue_depth: 8,
             world_cache: 8,
             report_cache: 8,
+            study_deadline: None,
         }
     }
 }
@@ -116,6 +125,18 @@ pub struct GatewayStats {
     pub worlds_built: u64,
     /// Studies actually executed end to end (tier-2 misses that did the work).
     pub studies_executed: u64,
+    /// Mid-study crashes (injected via [`Gateway::inject_crash_after`]).
+    pub crashes: u64,
+    /// Crashed studies resumed from their last stage-boundary checkpoint.
+    pub recoveries: u64,
+    /// Crashed studies that had to recompute from the start because their
+    /// checkpoint did not restore (the slow self-healing path).
+    pub recomputes: u64,
+    /// Studies cancelled for exceeding the per-study deadline.
+    pub deadline_cancelled: u64,
+    /// Cached report bodies that failed digest verification (expelled,
+    /// re-executed on resubmission, never served).
+    pub integrity_failures: u64,
 }
 
 /// One queued-or-running study.
@@ -124,8 +145,18 @@ struct Job {
     /// Virtual completion time of each remaining step; the first entry is
     /// the world build, the rest are [`StudyDriver`] stages in order.
     pending: VecDeque<SimTime>,
-    /// Populated by the build step.
+    /// Populated by the build step; `None` *after* the build means the
+    /// in-memory driver was lost to a crash and must be revived from
+    /// `checkpoint` (or recomputed) before the next stage runs.
     driver: Option<StudyDriver>,
+    /// Serialized [`StudyCheckpoint`] written after the build and after
+    /// every completed stage — the crash-recovery anchor.
+    checkpoint: Option<String>,
+    /// Driver stages completed so far (the recompute fallback fast-forwards
+    /// a fresh driver this many steps).
+    stages_done: usize,
+    /// Virtual cancellation time, from admission + `study_deadline`.
+    deadline: Option<SimTime>,
     /// Chunk-framed body emitted so far (what an incremental GET serves).
     wire: Vec<u8>,
     /// Plain body emitted so far (what the cache stores at completion).
@@ -141,6 +172,10 @@ pub struct Gateway {
     active: BoundedFifo<StudyKey>,
     jobs: BTreeMap<StudyKey, Job>,
     finished: BTreeMap<StudyKey, SimTime>,
+    cancelled: BTreeMap<StudyKey, SimTime>,
+    /// One-shot fault seam: drop the running study's in-memory driver the
+    /// next time this stage completes.
+    crash_after: Option<StudyStage>,
     clock: SimTime,
     busy_until: SimTime,
     stats: GatewayStats,
@@ -154,6 +189,8 @@ impl Gateway {
             active: BoundedFifo::new(cfg.queue_depth),
             jobs: BTreeMap::new(),
             finished: BTreeMap::new(),
+            cancelled: BTreeMap::new(),
+            crash_after: None,
             clock: SimTime::EPOCH,
             busy_until: SimTime::EPOCH,
             stats: GatewayStats::default(),
@@ -173,6 +210,7 @@ impl Gateway {
         };
         let response = match (&req.method, &req.target) {
             (Method::Post, Target::Origin(path)) if path == "/studies" => self.post_study(&req),
+            (Method::Get, Target::Origin(path)) if path == "/healthz" => self.healthz(),
             (Method::Get, Target::Origin(path)) => match path.strip_prefix("/studies/") {
                 Some(id) => self.get_study(id),
                 None => self.route_not_found(),
@@ -180,6 +218,91 @@ impl Gateway {
             _ => self.route_not_found(),
         };
         response.encode()
+    }
+
+    /// Arm the one-shot fault seam: the next time `stage` completes on any
+    /// running study, its in-memory driver is dropped — exactly what a
+    /// process crash at that boundary loses. The stage-boundary checkpoint
+    /// survives, and the next stage revives the study from it.
+    pub fn inject_crash_after(&mut self, stage: StudyStage) {
+        self.crash_after = Some(stage);
+    }
+
+    /// Test/chaos seam: corrupt `key`'s cached report body in place (its
+    /// sealed digest is left stale, so the next read detects and expels
+    /// it). Returns false if nothing is cached under `key`.
+    pub fn corrupt_cached_report(&mut self, key: &StudyKey) -> bool {
+        self.cache.corrupt_report(key)
+    }
+
+    /// `GET /healthz`: liveness plus the counters an operator pages on,
+    /// rendered as JSON. Always `200` — the body carries the judgement.
+    fn healthz(&mut self) -> Response {
+        let stats = self.stats();
+        let tier = |t: TierStats| {
+            Json::Obj(vec![
+                ("hits".to_string(), Json::uint(t.hits)),
+                ("misses".to_string(), Json::uint(t.misses)),
+                ("evictions".to_string(), Json::uint(t.evictions)),
+            ])
+        };
+        let doc = Json::Obj(vec![
+            ("status".to_string(), Json::str("ok")),
+            (
+                "virtual_now_ms".to_string(),
+                Json::uint(self.clock.as_millis()),
+            ),
+            (
+                "busy_until_ms".to_string(),
+                Json::uint(self.busy_until.as_millis()),
+            ),
+            (
+                "queue".to_string(),
+                Json::Obj(vec![
+                    ("depth".to_string(), Json::uint(self.active.depth() as u64)),
+                    ("len".to_string(), Json::uint(self.active.len() as u64)),
+                    ("shed".to_string(), Json::uint(self.active.rejections())),
+                ]),
+            ),
+            (
+                "studies".to_string(),
+                Json::Obj(vec![
+                    ("requests".to_string(), Json::uint(stats.requests)),
+                    ("accepted".to_string(), Json::uint(stats.accepted)),
+                    ("joined".to_string(), Json::uint(stats.joined)),
+                    ("cache_hits".to_string(), Json::uint(stats.cache_hits)),
+                    ("rejected".to_string(), Json::uint(stats.rejected)),
+                    ("invalid".to_string(), Json::uint(stats.invalid)),
+                    ("executed".to_string(), Json::uint(stats.studies_executed)),
+                    (
+                        "deadline_cancelled".to_string(),
+                        Json::uint(stats.deadline_cancelled),
+                    ),
+                ]),
+            ),
+            (
+                "recovery".to_string(),
+                Json::Obj(vec![
+                    ("crashes".to_string(), Json::uint(stats.crashes)),
+                    ("recoveries".to_string(), Json::uint(stats.recoveries)),
+                    ("recomputes".to_string(), Json::uint(stats.recomputes)),
+                    (
+                        "integrity_failures".to_string(),
+                        Json::uint(stats.integrity_failures),
+                    ),
+                ]),
+            ),
+            (
+                "cache".to_string(),
+                Json::Obj(vec![
+                    ("worlds".to_string(), tier(self.cache.world_stats())),
+                    ("reports".to_string(), tier(self.cache.report_stats())),
+                ]),
+            ),
+        ]);
+        let mut resp = Response::new(StatusCode::OK, doc.render_pretty().into_bytes());
+        resp.headers.set("Content-Type", "application/json");
+        resp
     }
 
     fn route_not_found(&mut self) -> Response {
@@ -215,7 +338,8 @@ impl Gateway {
             self.stats.joined += 1;
             return self.accepted_response(&id, "joined");
         }
-        if self.active.is_full() {
+        if self.active.push(key).is_err() {
+            // Shed: the queue refused the key (and counted the rejection).
             // Retry, not terminal: tell the client when a slot is plausible.
             self.stats.rejected += 1;
             let mut resp = plain(
@@ -243,20 +367,21 @@ impl Gateway {
             pending.push_back(t);
         }
         self.busy_until = t;
+        self.cancelled.remove(&key); // resubmission of a cancelled study starts clean
         self.jobs.insert(
             key,
             Job {
                 spec,
                 pending,
                 driver: None,
+                checkpoint: None,
+                stages_done: 0,
+                deadline: self.cfg.study_deadline.map(|d| self.clock + d),
                 wire: Vec::new(),
                 body: Vec::new(),
                 enc: chunked::Encoder::new(),
             },
         );
-        self.active
-            .push(key)
-            .unwrap_or_else(|_| unreachable!("fullness checked above"));
         self.stats.accepted += 1;
         self.accepted_response(&id, "miss")
     }
@@ -280,6 +405,16 @@ impl Gateway {
             self.stats.not_found += 1;
             return plain(StatusCode::NOT_FOUND, "malformed study id\n");
         };
+        if let Some(at) = self.cancelled.get(&key) {
+            // Terminal and honest: the partial output was discarded with
+            // the job; a deadline overrun never serves half a study.
+            let mut resp = plain(
+                StatusCode::GATEWAY_TIMEOUT,
+                &format!("study cancelled at {at}: exceeded deadline; resubmit to retry\n"),
+            );
+            resp.headers.set("X-Study-Id", id);
+            return resp;
+        }
         if let Some(job) = self.jobs.get(&key) {
             let mut wire = job.wire.clone();
             wire.extend_from_slice(b"0\r\n\r\n");
@@ -297,76 +432,125 @@ impl Gateway {
             return resp;
         }
         self.stats.not_found += 1;
+        if self.finished.contains_key(&key) {
+            // The study ran, but its cached body is gone — evicted, or
+            // expelled after failing digest verification. Either way the
+            // client gets an honest 404, never corrupt bytes; a POST of the
+            // same spec re-executes.
+            return plain(StatusCode::NOT_FOUND, "study result lost; resubmit\n");
+        }
         plain(StatusCode::NOT_FOUND, "unknown study\n")
     }
 
     /// Move the virtual clock to `now` and run every step whose virtual
     /// completion time has passed. Jobs run strictly in admission order —
     /// the FIFO front gates everything behind it.
+    ///
+    /// Every step executes through the checkpointed driver: after the build
+    /// and after each non-final stage, the driver's serialized
+    /// [`StudyCheckpoint`] is written to the job, so a crash that loses the
+    /// in-memory driver (see [`Gateway::inject_crash_after`]) costs at most
+    /// one stage — the next step revives the study from its last
+    /// checkpoint, or, if the checkpoint itself is unusable, recomputes the
+    /// completed stages from scratch. Either path renders the same bytes.
     fn advance_to(&mut self, now: SimTime) {
         if now > self.clock {
             self.clock = now;
         }
         while let Some(&key) = self.active.front() {
-            let job = self.jobs.get_mut(&key).expect("active keys have jobs");
+            let Some(job) = self.jobs.get_mut(&key) else {
+                // Defensive: an active key without a job is a bug, but the
+                // gateway sheds it rather than wedging the whole queue.
+                self.active.pop();
+                continue;
+            };
             while let Some(&end) = job.pending.front() {
-                if end > self.clock {
+                if end > self.clock || job.deadline.is_some_and(|d| end > d) {
                     break;
                 }
                 job.pending.pop_front();
-                // Build step or driver stage, decided by driver presence.
-                if job.driver.is_none() {
-                    let world = match self.cache.world(&key) {
-                        Some(world) => world,
-                        None => {
-                            let built = worldgen::build(&job.spec).world;
-                            self.stats.worlds_built += 1;
-                            self.cache.insert_world(key, built.clone());
-                            built
-                        }
-                    };
+                if job.driver.is_none() && job.checkpoint.is_none() {
+                    // Build step: never executed anything yet.
+                    let world = world_for(&mut self.cache, &mut self.stats, key, &job.spec);
                     let cfg = StudyConfig::scaled(job.spec.scale);
-                    job.driver = Some(StudyDriver::new(
-                        world,
-                        cfg,
-                        &ExecOptions::with_workers(self.cfg.workers),
-                    ));
+                    let driver =
+                        StudyDriver::new(world, cfg, &ExecOptions::with_workers(self.cfg.workers));
+                    job.checkpoint = seal(&driver, &job.spec);
+                    job.driver = Some(driver);
                     let section = format!(
                         "# study {}\nstage build complete at {end}\n",
                         key.study_id()
                     );
                     emit(job, &section);
+                    continue;
+                }
+                if job.driver.is_none() {
+                    // The in-memory driver was lost mid-study: self-heal.
+                    job.driver = Some(revive(
+                        &mut self.cache,
+                        &mut self.stats,
+                        key,
+                        job,
+                        self.cfg.workers,
+                    ));
+                }
+                let (stage, done) = {
+                    let Some(driver) = job.driver.as_mut() else {
+                        break; // unreachable: revive always yields a driver
+                    };
+                    let stage = driver.step();
+                    (stage, driver.is_done())
+                };
+                job.stages_done += 1;
+                let section = format!("stage {} complete at {end}\n", stage.label());
+                emit(job, &section);
+                if done {
+                    let Some(driver) = job.driver.take() else {
+                        break; // unreachable: borrowed as Some just above
+                    };
+                    let (report, _world) = driver.into_parts();
+                    let cfg = StudyConfig::scaled(job.spec.scale);
+                    let tail = format!(
+                        "\n{}{}# end study {}\n",
+                        render_tables(&report),
+                        render_annex(&report, &cfg),
+                        key.study_id()
+                    );
+                    emit(job, &tail);
+                    job.wire.extend_from_slice(&job.enc.finish());
+                    self.stats.studies_executed += 1;
+                    self.cache.insert_report(key, job.body.clone());
+                    self.finished.insert(key, end);
                 } else {
-                    let stage = job.driver.as_mut().expect("built above").step();
-                    let section = format!("stage {} complete at {end}\n", stage.label());
-                    emit(job, &section);
-                    if job.driver.as_ref().expect("built above").is_done() {
-                        let driver = job.driver.take().expect("present in this branch");
-                        let (report, _world) = driver.into_parts();
-                        let cfg = StudyConfig::scaled(job.spec.scale);
-                        let tail = format!(
-                            "\n{}{}# end study {}\n",
-                            render_tables(&report),
-                            render_annex(&report, &cfg),
-                            key.study_id()
-                        );
-                        emit(job, &tail);
-                        job.wire.extend_from_slice(&job.enc.finish());
-                        self.stats.studies_executed += 1;
-                        self.cache.insert_report(key, job.body.clone());
-                        self.finished.insert(key, end);
+                    // Persist the boundary before any crash can happen, so
+                    // the checkpoint always reflects completed work.
+                    job.checkpoint = job.driver.as_ref().and_then(|d| seal(d, &job.spec));
+                    if self.crash_after == Some(stage) {
+                        self.crash_after = None;
+                        self.stats.crashes += 1;
+                        job.driver = None;
                     }
                 }
             }
-            if self
-                .jobs
-                .get(&key)
-                .expect("still present")
-                .pending
-                .is_empty()
-            {
+            let Some(job) = self.jobs.get(&key) else {
+                self.active.pop();
+                continue;
+            };
+            if job.pending.is_empty() {
                 self.jobs.remove(&key);
                 self.active.pop();
+            } else if job.deadline.is_some_and(|d| self.clock >= d) {
+                // Deadline passed with work remaining: cancel. The job and
+                // its partial output are discarded whole — a GET answers
+                // 504, never a truncated body — and the slot frees for the
+                // next admission. (The virtual server stays reserved as
+                // scheduled; cancellation sheds the study, it does not
+                // reflow the timetable.)
+                let deadline = job.deadline.unwrap_or(self.clock);
+                self.jobs.remove(&key);
+                self.active.pop();
+                self.cancelled.insert(key, deadline);
+                self.stats.deadline_cancelled += 1;
             } else {
                 break;
             }
@@ -383,9 +567,12 @@ impl Gateway {
         backlog.as_millis().div_ceil(1000).max(1)
     }
 
-    /// Request counters.
+    /// Request counters. `integrity_failures` is synced from the cache at
+    /// read time so the snapshot is always current.
     pub fn stats(&self) -> GatewayStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.integrity_failures = self.cache.integrity_failures();
+        stats
     }
 
     /// Cache counters, `(tier-1 worlds, tier-2 reports)`.
@@ -412,6 +599,69 @@ impl Gateway {
     /// queue (used by clients to space their polls).
     pub fn cold_study_cost() -> SimDuration {
         total_cost()
+    }
+}
+
+/// The pristine world for `key`: tier-1 cache hit, or build-and-cache.
+fn world_for(
+    cache: &mut StudyCache,
+    stats: &mut GatewayStats,
+    key: StudyKey,
+    spec: &WorldSpec,
+) -> proxynet::World {
+    match cache.world(&key) {
+        Some(world) => world,
+        None => {
+            let built = worldgen::build(spec).world;
+            stats.worlds_built += 1;
+            cache.insert_world(key, built.clone());
+            built
+        }
+    }
+}
+
+/// Serialize a driver's stage-boundary checkpoint, or `None` if the study
+/// is not checkpointable (completed, or a world with pending events).
+fn seal(driver: &StudyDriver, spec: &WorldSpec) -> Option<String> {
+    match driver.checkpoint(spec) {
+        Ok(cp) => Some(cp.to_canonical_json()),
+        Err(_) => None,
+    }
+}
+
+/// Rebuild a crashed job's driver. Fast path: restore the last serialized
+/// checkpoint against the pristine world (tier-1 cache, else rebuilt).
+/// Slow path, if the checkpoint is missing or unusable: recompute — a
+/// fresh driver fast-forwarded through the completed stages. Both paths
+/// yield a driver whose remaining stages render byte-identical output
+/// (checkpoint/restore determinism is pinned by `tests/recovery.rs`).
+fn revive(
+    cache: &mut StudyCache,
+    stats: &mut GatewayStats,
+    key: StudyKey,
+    job: &Job,
+    workers: usize,
+) -> StudyDriver {
+    let opts = ExecOptions::with_workers(workers);
+    let world = world_for(cache, stats, key, &job.spec);
+    let restored = job
+        .checkpoint
+        .as_deref()
+        .and_then(|json| StudyCheckpoint::from_json_str(json).ok())
+        .and_then(|cp| StudyDriver::restore_with_world(&cp, world.clone(), &opts).ok());
+    match restored {
+        Some(driver) => {
+            stats.recoveries += 1;
+            driver
+        }
+        None => {
+            stats.recomputes += 1;
+            let mut driver = StudyDriver::new(world, StudyConfig::scaled(job.spec.scale), &opts);
+            for _ in 0..job.stages_done {
+                driver.step();
+            }
+            driver
+        }
     }
 }
 
@@ -559,5 +809,175 @@ mod tests {
         // parser) was a strict prefix of the final body.
         assert!(done.body.starts_with(&mid.body));
         assert!(done.body.len() > mid.body.len());
+    }
+
+    /// Run one study to completion, optionally crashing after `crash`,
+    /// returning the final body and the stats snapshot.
+    fn run_one(crash: Option<StudyStage>) -> (Vec<u8>, GatewayStats) {
+        let mut gw = Gateway::new(GatewayConfig::default());
+        if let Some(stage) = crash {
+            gw.inject_crash_after(stage);
+        }
+        let accept = parse(&gw.handle(&post_spec(&worldgen::smoke_spec(5)), SimTime::EPOCH));
+        let id = accept.headers.get("X-Study-Id").expect("id").to_string();
+        let get = Request::origin_get("gateway", &format!("/studies/{id}")).encode();
+        let done = parse(&gw.handle(&get, SimTime::from_millis(10_000)));
+        assert_eq!(done.headers.get("X-Study-Complete"), Some("true"));
+        (done.body, gw.stats())
+    }
+
+    #[test]
+    fn crash_after_any_stage_recovers_byte_identical() {
+        let (clean, stats) = run_one(None);
+        assert_eq!((stats.crashes, stats.recoveries), (0, 0));
+        for stage in [
+            StudyStage::Dns,
+            StudyStage::Http,
+            StudyStage::Https,
+            StudyStage::Monitor,
+        ] {
+            let (body, stats) = run_one(Some(stage));
+            assert_eq!(stats.crashes, 1, "crash after {stage:?} armed");
+            assert_eq!(stats.recoveries, 1, "restored from checkpoint");
+            assert_eq!(stats.recomputes, 0, "fast path, not recompute");
+            assert_eq!(
+                body, clean,
+                "crash after {stage:?} changed the served bytes"
+            );
+        }
+    }
+
+    #[test]
+    fn revive_without_checkpoint_recomputes_the_same_study() {
+        // The slow self-healing path: no (usable) checkpoint, so revive
+        // fast-forwards a fresh driver through the completed stages.
+        let spec = worldgen::smoke_spec(5);
+        let key = StudyKey::for_spec(&spec);
+        let mut cache = StudyCache::new(2, 2);
+        let mut stats = GatewayStats::default();
+        let job = Job {
+            spec: spec.clone(),
+            pending: VecDeque::new(),
+            driver: None,
+            checkpoint: None,
+            stages_done: 2,
+            deadline: None,
+            wire: Vec::new(),
+            body: Vec::new(),
+            enc: chunked::Encoder::new(),
+        };
+        let mut revived = revive(&mut cache, &mut stats, key, &job, 1);
+        assert_eq!((stats.recoveries, stats.recomputes), (0, 1));
+        revived.run_to_completion();
+        let (report, _) = revived.into_parts();
+
+        let cfg = StudyConfig::scaled(spec.scale);
+        let mut reference = StudyDriver::new(
+            worldgen::build(&spec).world,
+            cfg,
+            &ExecOptions::with_workers(1),
+        );
+        reference.run_to_completion();
+        let (expected, _) = reference.into_parts();
+        assert_eq!(render_tables(&report), render_tables(&expected));
+    }
+
+    #[test]
+    fn corrupted_cached_report_is_never_served_and_reexecutes() {
+        let mut gw = Gateway::new(GatewayConfig::default());
+        let spec = worldgen::smoke_spec(5);
+        let key = StudyKey::for_spec(&spec);
+        let id = key.study_id();
+        let get = Request::origin_get("gateway", &format!("/studies/{id}")).encode();
+
+        gw.handle(&post_spec(&spec), SimTime::EPOCH);
+        let done = parse(&gw.handle(&get, SimTime::from_millis(10_000)));
+        assert_eq!(done.headers.get("X-Study-Complete"), Some("true"));
+
+        assert!(gw.corrupt_cached_report(&key), "seam flips a cached byte");
+        // The corrupt body is detected, expelled, and never served.
+        let lost = parse(&gw.handle(&get, SimTime::from_millis(10_001)));
+        assert_eq!(lost.status, StatusCode::NOT_FOUND);
+        assert!(String::from_utf8_lossy(&lost.body).contains("result lost"));
+        assert_eq!(gw.stats().integrity_failures, 1);
+
+        // A resubmission is a miss: the study re-executes from scratch and
+        // serves the same bytes as before the corruption.
+        let resub = parse(&gw.handle(&post_spec(&spec), SimTime::from_millis(10_002)));
+        assert_eq!(resub.status, StatusCode::ACCEPTED);
+        let again = parse(&gw.handle(&get, SimTime::from_millis(30_000)));
+        assert_eq!(again.headers.get("X-Study-Complete"), Some("true"));
+        // Stage headers carry virtual completion times, which legitimately
+        // differ across executions; the report itself must be identical.
+        let report_of = |body: &[u8]| {
+            let text = String::from_utf8_lossy(body).to_string();
+            let at = text.find("=== Table 1").expect("report present");
+            text[at..].to_string()
+        };
+        assert_eq!(
+            report_of(&again.body),
+            report_of(&done.body),
+            "re-executed study must render the same report"
+        );
+        assert_eq!(gw.stats().studies_executed, 2);
+    }
+
+    #[test]
+    fn deadline_cancels_with_504_and_discards_partial_output() {
+        let mut gw = Gateway::new(GatewayConfig {
+            study_deadline: Some(SimDuration::from_millis(2_000)),
+            ..GatewayConfig::default()
+        });
+        let spec = worldgen::smoke_spec(5);
+        let id = StudyKey::for_spec(&spec).study_id();
+        let get = Request::origin_get("gateway", &format!("/studies/{id}")).encode();
+        gw.handle(&post_spec(&spec), SimTime::EPOCH);
+
+        // Deadline 2000ms admits the build (400) and DNS (1900) but not
+        // HTTP (3100): past the deadline the study cancels whole.
+        let resp = parse(&gw.handle(&get, SimTime::from_millis(5_000)));
+        assert_eq!(resp.status, StatusCode::GATEWAY_TIMEOUT);
+        let text = String::from_utf8_lossy(&resp.body).to_string();
+        assert!(text.contains("exceeded deadline"), "honest 504: {text}");
+        assert!(
+            !text.contains("stage"),
+            "no partial stage output may leak: {text}"
+        );
+        let stats = gw.stats();
+        assert_eq!(stats.deadline_cancelled, 1);
+        assert_eq!(stats.studies_executed, 0);
+
+        // The slot freed: resubmission is admitted, not joined or rejected.
+        let resub = parse(&gw.handle(&post_spec(&spec), SimTime::from_millis(5_001)));
+        assert_eq!(resub.status, StatusCode::ACCEPTED);
+        assert_eq!(resub.headers.get("X-Cache"), Some("miss"));
+    }
+
+    #[test]
+    fn healthz_reports_shed_and_recovery_counters() {
+        let mut gw = Gateway::new(GatewayConfig {
+            queue_depth: 1,
+            ..GatewayConfig::default()
+        });
+        let t = SimTime::EPOCH;
+        gw.handle(&post_spec(&worldgen::smoke_spec(1)), t);
+        gw.handle(&post_spec(&worldgen::smoke_spec(2)), t); // queue full: shed
+
+        let resp = parse(&gw.handle(&Request::origin_get("gateway", "/healthz").encode(), t));
+        assert_eq!(resp.status, StatusCode::OK);
+        assert_eq!(resp.headers.get("Content-Type"), Some("application/json"));
+        let doc = substrate::json::parse(std::str::from_utf8(&resp.body).expect("utf8"))
+            .expect("healthz body is JSON");
+        assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("ok"));
+        let queue = doc.get("queue").expect("queue section");
+        assert_eq!(queue.get("shed").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(queue.get("len").and_then(|v| v.as_u64()), Some(1));
+        let recovery = doc.get("recovery").expect("recovery section");
+        assert_eq!(
+            recovery.get("integrity_failures").and_then(|v| v.as_u64()),
+            Some(0)
+        );
+        // /healthz is not a study route: it must not count as a 404.
+        assert_eq!(gw.stats().not_found, 0);
     }
 }

@@ -18,6 +18,10 @@ pub struct QueueFull<T>(pub T);
 pub struct BoundedFifo<T> {
     depth: usize,
     items: VecDeque<T>,
+    /// Pushes refused at capacity — the queue's own honest record of shed
+    /// load, surfaced through [`BoundedFifo::rejections`] so overload is
+    /// visible even if the caller forgets to count.
+    rejected: u64,
 }
 
 impl<T> BoundedFifo<T> {
@@ -31,16 +35,24 @@ impl<T> BoundedFifo<T> {
         BoundedFifo {
             depth,
             items: VecDeque::with_capacity(depth),
+            rejected: 0,
         }
     }
 
-    /// Append `item`, or return it inside [`QueueFull`] if at capacity.
+    /// Append `item`, or return it inside [`QueueFull`] if at capacity
+    /// (counted in [`BoundedFifo::rejections`]).
     pub fn push(&mut self, item: T) -> Result<(), QueueFull<T>> {
         if self.items.len() >= self.depth {
+            self.rejected += 1;
             return Err(QueueFull(item));
         }
         self.items.push_back(item);
         Ok(())
+    }
+
+    /// Pushes refused because the queue was full, since construction.
+    pub fn rejections(&self) -> u64 {
+        self.rejected
     }
 
     /// The item that has waited longest, if any.
@@ -106,6 +118,7 @@ mod tests {
         // Draining one slot re-admits.
         assert_eq!(q.pop(), Some("a"));
         assert!(q.push("c").is_ok());
+        assert_eq!(q.rejections(), 1, "exactly the one refused push counted");
     }
 
     #[test]

@@ -9,11 +9,13 @@
 
 use certs::{exact_match, verify_chain, DistinguishedName, RootStore};
 use dnswire::{decode, encode, DnsName, Message, QType, RData, Rcode, Record};
-use httpwire::{Request, Response};
+use httpwire::{Headers, Method, Request, Response, Target};
 use netsim::{FaultInjector, SimDuration, SimRng, SimTime};
 use smtpwire::{Command, Reply};
 use substrate::qc::{self, alphabet, Config, Gen};
 use substrate::{qc_assert, RngExt};
+use tft_serve::gateway::Gateway;
+use tft_serve::GatewayConfig;
 
 fn cfg() -> Config {
     Config::with_cases(256)
@@ -159,6 +161,63 @@ fn smtp_parsers_survive_damaged_goldens() {
                     let _ = Reply::parse(&line);
                 }
             }
+            qc::pass()
+        },
+    );
+}
+
+/// The gateway sits one layer above the parsers: `Gateway::handle` takes
+/// raw bytes off the virtual wire and must answer *every* input — damaged
+/// goldens and pure line noise alike — with a well-formed HTTP response.
+/// This is the totality contract the `no-panic-on-untrusted-bytes` lint
+/// enforces syntactically over `crates/tft-serve/src/**`, checked here
+/// semantically.
+#[test]
+fn gateway_handle_is_total_on_damaged_and_arbitrary_bytes() {
+    let spec_body = worldgen::to_json(&worldgen::smoke_spec(7))
+        .expect("smoke spec renders")
+        .into_bytes();
+    qc::check(
+        "gateway handle total under damage",
+        &cfg(),
+        &qc::tuple2(qc::any_u64(), qc::bytes(0..300)),
+        |(seed, noise)| {
+            let mut rng = SimRng::new(*seed);
+            let mut gw = Gateway::new(GatewayConfig::default());
+            let now = SimTime::EPOCH;
+
+            let mut post = Request {
+                method: Method::Post,
+                target: Target::Origin("/studies".into()),
+                headers: Headers::new(),
+                body: spec_body.clone(),
+            };
+            post.headers.set("Host", "gateway");
+            post.headers
+                .set("Content-Length", &post.body.len().to_string());
+            let goldens = [
+                post.encode(),
+                Request::origin_get("gateway", "/studies/0123456789abcdef").encode(),
+                Request::origin_get("gateway", "/healthz").encode(),
+            ];
+            for bytes in goldens {
+                let mut corrupted = bytes.clone();
+                FaultInjector::corrupt(&mut rng, &mut corrupted);
+                let mut truncated = bytes;
+                FaultInjector::truncate(&mut rng, &mut truncated);
+                for damaged in [corrupted, truncated] {
+                    let reply = gw.handle(&damaged, now);
+                    qc_assert!(
+                        Response::parse(&reply).is_ok(),
+                        "gateway must answer damaged goldens with well-formed HTTP"
+                    );
+                }
+            }
+            let reply = gw.handle(noise, now);
+            qc_assert!(
+                Response::parse(&reply).is_ok(),
+                "gateway must answer arbitrary bytes with well-formed HTTP"
+            );
             qc::pass()
         },
     );
